@@ -1,0 +1,143 @@
+//! Ablations of the design choices the paper calls out (DESIGN.md §7):
+//! merge vs radix sort inside SpMSpV, atomic vs prefix compaction in
+//! eWiseMult, SPA vs sort-based SpMSpV, fine-grained vs bulk
+//! communication in the distributed SpMSpV.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gblas_bench::workloads;
+use gblas_core::algebra::semirings;
+use gblas_core::ops::ewise::{ewise_filter_atomic, ewise_filter_prefix};
+use gblas_core::ops::spmspv::{
+    spmspv_first_visitor, spmspv_semiring, spmspv_sort_based, SpMSpVOpts,
+};
+use gblas_core::par::ExecCtx;
+use gblas_core::sort::SortAlgo;
+use gblas_dist::ops::spmspv::{spmspv_dist, spmspv_dist_bulk};
+use gblas_dist::{DistCsrMatrix, DistCtx, DistSparseVec, ProcGrid};
+use gblas_sim::MachineConfig;
+
+fn sort_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sort");
+    g.sample_size(10);
+    let n = 200_000;
+    let a = workloads::er_matrix(n, 16, 7);
+    let x = workloads::spmspv_vector(n, 5, 8);
+    g.bench_function("merge", |b| {
+        b.iter(|| {
+            spmspv_first_visitor(
+                &a,
+                &x,
+                None,
+                SpMSpVOpts { sort: SortAlgo::Merge },
+                &ExecCtx::with_threads(2),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("radix", |b| {
+        b.iter(|| {
+            spmspv_first_visitor(
+                &a,
+                &x,
+                None,
+                SpMSpVOpts { sort: SortAlgo::Radix },
+                &ExecCtx::with_threads(2),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn compaction_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_compaction");
+    g.sample_size(10);
+    let (x, y) = workloads::ewise_pair(500_000, 9);
+    g.bench_function("atomic", |b| {
+        b.iter(|| ewise_filter_atomic(&x, &y, &|_: f64, k| k, &ExecCtx::with_threads(2)).unwrap())
+    });
+    g.bench_function("prefix", |b| {
+        b.iter(|| ewise_filter_prefix(&x, &y, &|_: f64, k| k, &ExecCtx::with_threads(2)).unwrap())
+    });
+    g.finish();
+}
+
+fn spa_vs_sort_based(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_spmspv_algo");
+    g.sample_size(10);
+    let n = 100_000;
+    let a = workloads::er_matrix(n, 8, 11);
+    let x = workloads::spmspv_vector(n, 2, 12);
+    let ring = semirings::plus_times_f64();
+    g.bench_function("spa", |b| {
+        b.iter(|| spmspv_semiring(&a, &x, &ring, &ExecCtx::serial()).unwrap())
+    });
+    g.bench_function("sort_based", |b| {
+        b.iter(|| spmspv_sort_based(&a, &x, &ring, &ExecCtx::serial()).unwrap())
+    });
+    g.finish();
+}
+
+fn fine_vs_bulk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_comm");
+    g.sample_size(10);
+    let n = 50_000;
+    let a = workloads::er_matrix(n, 16, 13);
+    let x = workloads::spmspv_vector(n, 2, 14);
+    let grid = ProcGrid::square_for(16);
+    let da = DistCsrMatrix::from_global(&a, grid);
+    let dx = DistSparseVec::from_global(&x, 16);
+    g.bench_function("fine", |b| {
+        b.iter(|| {
+            let dctx = DistCtx::new(MachineConfig::edison_cluster(16, 24));
+            spmspv_dist(&da, &dx, &dctx).unwrap()
+        })
+    });
+    g.bench_function("bulk", |b| {
+        b.iter(|| {
+            let dctx = DistCtx::new(MachineConfig::edison_cluster(16, 24));
+            spmspv_dist_bulk(&da, &dx, &dctx).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn row_vs_column_representation(c: &mut Criterion) {
+    // Fig 6's remark: row-wise vs column-wise representation changes
+    // neither the algorithm nor its complexity.
+    let mut g = c.benchmark_group("ablation_representation");
+    g.sample_size(10);
+    let n = 100_000;
+    let a = workloads::er_matrix(n, 8, 15);
+    let a_csc = gblas_core::container::CscMatrix::from_csr(&a);
+    let x = workloads::spmspv_vector(n, 2, 16);
+    let ring = semirings::plus_times_f64();
+    g.bench_function("csr_row_wise", |b| {
+        b.iter(|| {
+            gblas_core::ops::mxv::mxv_sparse::<_, _, f64, _, _>(&a, &x, &ring, &ExecCtx::serial())
+                .unwrap()
+        })
+    });
+    g.bench_function("csc_column_wise", |b| {
+        b.iter(|| {
+            gblas_core::ops::mxv::mxv_sparse_csc::<_, _, f64, _, _>(
+                &a_csc,
+                &x,
+                &ring,
+                &ExecCtx::serial(),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    sort_ablation,
+    compaction_ablation,
+    spa_vs_sort_based,
+    fine_vs_bulk,
+    row_vs_column_representation
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Real-execution microbench of the Apply kernel (Fig 1 workload, scaled).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gblas_bench::workloads;
+use gblas_core::ops::apply::apply_vec_inplace;
+use gblas_core::par::ExecCtx;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_apply");
+    g.sample_size(10);
+    let x = workloads::vector(1_000_000, 10);
+    for threads in [1usize, 2] {
+        g.bench_with_input(BenchmarkId::new("apply", threads), &threads, |b, &t| {
+            b.iter_batched(
+                || x.clone(),
+                |mut v| {
+                    let ctx = ExecCtx::with_threads(t);
+                    apply_vec_inplace(&mut v, &|a: f64| a * 1.000001, &ctx);
+                    v
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

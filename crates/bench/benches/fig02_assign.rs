@@ -1,0 +1,32 @@
+//! Assign1 (indexed, log-time) vs Assign2 (bulk) — Fig 2's shared-memory
+//! contrast, real execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gblas_bench::workloads;
+use gblas_core::container::SparseVec;
+use gblas_core::ops::assign::{assign_v1, assign_v2};
+use gblas_core::par::ExecCtx;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig02_assign");
+    g.sample_size(10);
+    let b = workloads::vector(200_000, 20);
+    g.bench_function("assign_v1", |bch| {
+        bch.iter(|| {
+            let mut a = SparseVec::new(b.capacity());
+            assign_v1(&mut a, &b, &ExecCtx::with_threads(2)).unwrap();
+            a
+        })
+    });
+    g.bench_function("assign_v2", |bch| {
+        bch.iter(|| {
+            let mut a = SparseVec::new(b.capacity());
+            assign_v2(&mut a, &b, &ExecCtx::with_threads(2)).unwrap();
+            a
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

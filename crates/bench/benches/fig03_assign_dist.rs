@@ -1,0 +1,28 @@
+//! Distributed Assign2 across node counts (Fig 3 workload, scaled) —
+//! wall time of the full simulation pipeline (shard copies + pricing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gblas_bench::workloads;
+use gblas_dist::ops::assign::assign_v2;
+use gblas_dist::{DistCtx, DistSparseVec};
+use gblas_sim::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03_assign_dist");
+    g.sample_size(10);
+    let b = workloads::vector(200_000, 30);
+    for p in [1usize, 4, 16] {
+        let bd = DistSparseVec::from_global(&b, p);
+        g.bench_with_input(BenchmarkId::new("assign_v2", p), &p, |bch, &p| {
+            bch.iter(|| {
+                let mut a = DistSparseVec::empty(b.capacity(), p);
+                let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+                assign_v2(&mut a, &bd, &dctx).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

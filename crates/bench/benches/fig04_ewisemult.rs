@@ -1,0 +1,23 @@
+//! Shared-memory eWiseMult (Fig 4 workload, scaled): the paper's atomic
+//! compaction vs the suggested thread-private + prefix-sum variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gblas_bench::workloads;
+use gblas_core::ops::ewise::{ewise_filter_atomic, ewise_filter_prefix};
+use gblas_core::par::ExecCtx;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_ewisemult");
+    g.sample_size(10);
+    let (x, y) = workloads::ewise_pair(1_000_000, 40);
+    g.bench_function("atomic", |b| {
+        b.iter(|| ewise_filter_atomic(&x, &y, &|_: f64, k| k, &ExecCtx::with_threads(2)).unwrap())
+    });
+    g.bench_function("prefix", |b| {
+        b.iter(|| ewise_filter_prefix(&x, &y, &|_: f64, k| k, &ExecCtx::with_threads(2)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Distributed eWiseMult (Fig 5 workload, scaled).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gblas_bench::workloads;
+use gblas_core::ops::ewise::EwiseVariant;
+use gblas_dist::ops::ewise::ewise_mult_dist;
+use gblas_dist::{DistCtx, DistDenseVec, DistSparseVec};
+use gblas_sim::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_ewisemult_dist");
+    g.sample_size(10);
+    let (x, y) = workloads::ewise_pair(500_000, 50);
+    for p in [1usize, 8] {
+        let dx = DistSparseVec::from_global(&x, p);
+        let dy = DistDenseVec::from_global(&y, p);
+        g.bench_with_input(BenchmarkId::new("ewise", p), &p, |b, &p| {
+            b.iter(|| {
+                let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+                ewise_mult_dist(&dx, &dy, &|_: f64, k| k, EwiseVariant::Atomic, &dctx).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

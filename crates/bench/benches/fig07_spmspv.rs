@@ -1,0 +1,30 @@
+//! Shared-memory SpMSpV (Fig 7 configurations, scaled to n = 100K).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gblas_bench::{figs::SPMSPV_CONFIGS, workloads};
+use gblas_core::ops::spmspv::{spmspv_first_visitor, SpMSpVOpts};
+use gblas_core::par::ExecCtx;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_spmspv");
+    g.sample_size(10);
+    let n = 100_000;
+    for &(d, f) in SPMSPV_CONFIGS {
+        let a = workloads::er_matrix(n, d, 70 + d as u64);
+        let x = workloads::spmspv_vector(n, f, 70 + d as u64 + f as u64);
+        g.bench_with_input(
+            BenchmarkId::new("spmspv", format!("d{d}-f{f}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), &ExecCtx::with_threads(2))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Distributed SpMSpV (Fig 8 workload, scaled to n = 50K).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gblas_bench::workloads;
+use gblas_dist::ops::spmspv::spmspv_dist;
+use gblas_dist::{DistCsrMatrix, DistCtx, DistSparseVec, ProcGrid};
+use gblas_sim::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_spmspv_dist");
+    g.sample_size(10);
+    let n = 50_000;
+    let a = workloads::er_matrix(n, 16, 96);
+    let x = workloads::spmspv_vector(n, 2, 98);
+    for p in [1usize, 4, 16] {
+        let grid = ProcGrid::square_for(p);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dx = DistSparseVec::from_global(&x, p);
+        g.bench_with_input(BenchmarkId::new("spmspv_dist", p), &p, |b, &p| {
+            b.iter(|| {
+                let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+                spmspv_dist(&da, &dx, &dctx).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Distributed SpMSpV at the larger Fig 9 scale (n = 200K stands in for
+//! the paper's 10M on CI hardware).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gblas_bench::{figs::SPMSPV_CONFIGS, workloads};
+use gblas_dist::ops::spmspv::spmspv_dist;
+use gblas_dist::{DistCsrMatrix, DistCtx, DistSparseVec, ProcGrid};
+use gblas_sim::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_spmspv_dist_10m");
+    g.sample_size(10);
+    let n = 200_000;
+    let p = 16usize;
+    let grid = ProcGrid::square_for(p);
+    for &(d, f) in SPMSPV_CONFIGS {
+        let a = workloads::er_matrix(n, d, 90 + d as u64);
+        let x = workloads::spmspv_vector(n, f, 90 + d as u64 + f as u64);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dx = DistSparseVec::from_global(&x, p);
+        g.bench_with_input(
+            BenchmarkId::new("spmspv_dist", format!("d{d}-f{f}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+                    spmspv_dist(&da, &dx, &dctx).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Assign with colocated locales (Fig 10 workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gblas_bench::workloads;
+use gblas_dist::ops::assign::{assign_v1, assign_v2};
+use gblas_dist::{DistCtx, DistSparseVec};
+use gblas_sim::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_colocated");
+    g.sample_size(10);
+    let b = workloads::vector(10_000, 100);
+    for locales in [1usize, 8, 32] {
+        let bd = DistSparseVec::from_global(&b, locales);
+        g.bench_with_input(BenchmarkId::new("assign_v1", locales), &locales, |bch, &l| {
+            bch.iter(|| {
+                let mut a = DistSparseVec::empty(b.capacity(), l);
+                let dctx = DistCtx::new(MachineConfig::edison_colocated(l));
+                assign_v1(&mut a, &bd, &dctx).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("assign_v2", locales), &locales, |bch, &l| {
+            bch.iter(|| {
+                let mut a = DistSparseVec::empty(b.capacity(), l);
+                let dctx = DistCtx::new(MachineConfig::edison_colocated(l));
+                assign_v2(&mut a, &bd, &dctx).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

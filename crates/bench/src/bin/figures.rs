@@ -1,0 +1,80 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! cargo run -p gblas-bench --release --bin figures -- [--fig N|all] [--scale S] [--out DIR]
+//! ```
+//!
+//! * `--fig N` — a figure number 1..10 (6 is the SPA diagram: no data);
+//!   `all` (default) runs everything.
+//! * `--scale S` — divide the paper's large input sizes (1M/10M/100M) by
+//!   `S` for quick runs; default 1 (full paper sizes, needs ~8 GB RAM and
+//!   a few minutes).
+//! * `--out DIR` — CSV output directory, default `results`.
+
+use gblas_bench::figs::run_fig;
+use std::path::PathBuf;
+
+fn main() {
+    let mut figs: Vec<usize> = (1..=10).collect();
+    let mut ablations = true;
+    let mut scale = 1usize;
+    let mut out = PathBuf::from("results");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                i += 1;
+                let v = args.get(i).expect("--fig needs a value");
+                if v == "ablations" {
+                    figs = Vec::new();
+                } else if v != "all" {
+                    figs = vec![v.parse().expect("--fig expects 1..10, 'ablations' or 'all'")];
+                    ablations = false;
+                }
+            }
+            "--scale" => {
+                i += 1;
+                scale = args.get(i).expect("--scale needs a value").parse().expect("integer scale");
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).expect("--out needs a value"));
+            }
+            "--help" | "-h" => {
+                println!("usage: figures [--fig N|all] [--scale S] [--out DIR]");
+                return;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    println!("# chapel-graphblas-rs figure harness");
+    println!("# scale = {scale} (paper sizes divided by this)");
+    for n in figs {
+        if n == 6 {
+            println!("\n=== fig06 — SPA diagram (Fig 6): illustrative only, nothing to measure ===");
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        for fig in run_fig(n, scale) {
+            fig.print();
+            match fig.write_csv(&out) {
+                Ok(path) => println!("(wrote {})", path.display()),
+                Err(e) => eprintln!("(csv write failed: {e})"),
+            }
+        }
+        eprintln!("# fig {n} regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    if ablations {
+        let t0 = std::time::Instant::now();
+        for fig in gblas_bench::figs::fig_ablations(scale) {
+            fig.print();
+            match fig.write_csv(&out) {
+                Ok(path) => println!("(wrote {})", path.display()),
+                Err(e) => eprintln!("(csv write failed: {e})"),
+            }
+        }
+        eprintln!("# ablations regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+}

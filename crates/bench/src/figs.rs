@@ -1,0 +1,502 @@
+//! Generators for every figure of the paper.
+//!
+//! Each `figN` function executes the paper's workload for real (the same
+//! kernels the library ships), collects the measured work/communication
+//! profiles, and prices them with the calibrated Edison model. See
+//! DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured notes.
+
+use crate::output::{FigPoint, Figure};
+use crate::workloads;
+use crate::{NODES, THREADS};
+use gblas_core::ops::apply::apply_vec_inplace;
+use gblas_core::ops::ewise::{ewise_filter_atomic, EwiseVariant};
+use gblas_core::ops::spmspv::{spmspv_first_visitor, SpMSpVOpts};
+use gblas_core::par::ExecCtx;
+use gblas_dist::ops::apply::{apply_v1 as dist_apply_v1, apply_v2 as dist_apply_v2};
+use gblas_dist::ops::assign::{assign_v1 as dist_assign_v1, assign_v2 as dist_assign_v2};
+use gblas_dist::ops::ewise::ewise_mult_dist;
+use gblas_dist::ops::spmspv::spmspv_dist;
+use gblas_dist::{DistCsrMatrix, DistCtx, DistDenseVec, DistSparseVec, ProcGrid};
+use gblas_sim::{CostModel, MachineConfig, SimReport};
+
+/// Locale counts used by Fig 10 (colocated on one node).
+pub const COLOCATED: &[usize] = &[1, 2, 4, 8, 16, 32];
+
+/// Price a shared-memory execution at `t` simulated threads.
+fn run_shm(t: usize, f: impl FnOnce(&ExecCtx)) -> SimReport {
+    let ctx = ExecCtx::simulated(t);
+    f(&ctx);
+    CostModel::edison().profile_time(&ctx.take_profile(), t)
+}
+
+/// Fig 1: Apply, shared-memory (left) and distributed (right), 10M-nonzero
+/// random sparse vectors.
+pub fn fig1(scale: usize) -> Vec<Figure> {
+    let nnz = workloads::scaled(10_000_000, scale, 10_000);
+    let global = workloads::vector(nnz, 10);
+    let bump = |v: f64| v * 1.000001;
+
+    let mut shm = Figure::new(
+        "fig01-shm",
+        "Apply, shared memory, nnz=10M (Fig 1 left)",
+        "threads",
+    );
+    for version in ["Apply1", "Apply2"] {
+        let mut points = Vec::new();
+        for &t in THREADS {
+            let mut x = global.clone();
+            let report = run_shm(t, |ctx| apply_vec_inplace(&mut x, &bump, ctx));
+            points.push(FigPoint { x: t, report });
+        }
+        shm.push_series(version, points);
+    }
+
+    let mut dist = Figure::new(
+        "fig01-dist",
+        "Apply, distributed memory, nnz=10M, 24 threads/node (Fig 1 right)",
+        "nodes",
+    );
+    for version in ["Apply1", "Apply2"] {
+        let mut points = Vec::new();
+        for &p in NODES {
+            let mut x = DistSparseVec::from_global(&global, p);
+            let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+            let report = if version == "Apply1" {
+                dist_apply_v1(&mut x, &bump, &dctx).expect("apply_v1")
+            } else {
+                dist_apply_v2(&mut x, &bump, &dctx).expect("apply_v2")
+            };
+            points.push(FigPoint { x: p, report });
+        }
+        dist.push_series(version, points);
+    }
+    vec![shm, dist]
+}
+
+/// Fig 2: Assign, shared-memory and distributed, 1M-nonzero vectors.
+pub fn fig2(scale: usize) -> Vec<Figure> {
+    let nnz = workloads::scaled(1_000_000, scale, 10_000);
+    let b = workloads::vector(nnz, 20);
+
+    let mut shm = Figure::new(
+        "fig02-shm",
+        "Assign, shared memory, nnz=1M (Fig 2 left)",
+        "threads",
+    );
+    for version in ["Assign1", "Assign2"] {
+        let mut points = Vec::new();
+        for &t in THREADS {
+            let mut a = gblas_core::container::SparseVec::new(b.capacity());
+            let report = run_shm(t, |ctx| {
+                if version == "Assign1" {
+                    gblas_core::ops::assign::assign_v1(&mut a, &b, ctx).expect("assign1");
+                } else {
+                    gblas_core::ops::assign::assign_v2(&mut a, &b, ctx).expect("assign2");
+                }
+            });
+            points.push(FigPoint { x: t, report });
+        }
+        shm.push_series(version, points);
+    }
+
+    let mut dist = Figure::new(
+        "fig02-dist",
+        "Assign, distributed memory, nnz=1M, 24 threads/node (Fig 2 right)",
+        "nodes",
+    );
+    for version in ["Assign1", "Assign2"] {
+        let mut points = Vec::new();
+        for &p in NODES {
+            let bd = DistSparseVec::from_global(&b, p);
+            let mut a = DistSparseVec::empty(b.capacity(), p);
+            let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+            let report = if version == "Assign1" {
+                dist_assign_v1(&mut a, &bd, &dctx).expect("assign_v1")
+            } else {
+                dist_assign_v2(&mut a, &bd, &dctx).expect("assign_v2")
+            };
+            points.push(FigPoint { x: p, report });
+        }
+        dist.push_series(version, points);
+    }
+    vec![shm, dist]
+}
+
+/// Fig 3: distributed Assign2 at 1M and 100M nonzeros.
+pub fn fig3(scale: usize) -> Vec<Figure> {
+    let mut fig = Figure::new(
+        "fig03",
+        "Assign2, distributed, nnz in {1M, 100M}, 24 threads/node (Fig 3)",
+        "nodes",
+    );
+    for (label, base) in [("nnz=1M", 1_000_000usize), ("nnz=100M", 100_000_000)] {
+        let nnz = workloads::scaled(base, scale, 10_000);
+        let b = workloads::vector(nnz, 30);
+        let mut points = Vec::new();
+        for &p in NODES {
+            let bd = DistSparseVec::from_global(&b, p);
+            let mut a = DistSparseVec::empty(b.capacity(), p);
+            let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+            let report = dist_assign_v2(&mut a, &bd, &dctx).expect("assign_v2");
+            points.push(FigPoint { x: p, report });
+        }
+        fig.push_series(label, points);
+    }
+    vec![fig]
+}
+
+/// Fig 4: shared-memory eWiseMult (sparse × dense boolean filter keeping
+/// about half the entries) at 10K, 1M and 100M nonzeros.
+pub fn fig4(scale: usize) -> Vec<Figure> {
+    let mut fig = Figure::new(
+        "fig04",
+        "eWiseMult, shared memory, nnz in {10K, 1M, 100M} (Fig 4)",
+        "threads",
+    );
+    for (label, base, min) in [
+        ("nnz=10K", 10_000usize, 10_000usize),
+        ("nnz=1M", 1_000_000, 10_000),
+        ("nnz=100M", 100_000_000, 10_000),
+    ] {
+        let nnz = workloads::scaled(base, scale, min);
+        let (x, y) = workloads::ewise_pair(nnz, 40);
+        let mut points = Vec::new();
+        for &t in THREADS {
+            let report = run_shm(t, |ctx| {
+                let _ = ewise_filter_atomic(&x, &y, &|_: f64, keep| keep, ctx).expect("ewise");
+            });
+            points.push(FigPoint { x: t, report });
+        }
+        fig.push_series(label, points);
+    }
+    vec![fig]
+}
+
+/// Fig 5: distributed eWiseMult at 1 thread/node (left) and 24
+/// threads/node (right), 1M and 100M nonzeros.
+pub fn fig5(scale: usize) -> Vec<Figure> {
+    let mut out = Vec::new();
+    for (fig_id, title, threads) in [
+        ("fig05-1t", "eWiseMult, distributed, 1 thread/node (Fig 5 left)", 1usize),
+        ("fig05-24t", "eWiseMult, distributed, 24 threads/node (Fig 5 right)", 24),
+    ] {
+        let mut fig = Figure::new(fig_id, title, "nodes");
+        for (label, base) in [("nnz=1M", 1_000_000usize), ("nnz=100M", 100_000_000)] {
+            let nnz = workloads::scaled(base, scale, 10_000);
+            let (x, y) = workloads::ewise_pair(nnz, 50);
+            let mut points = Vec::new();
+            for &p in NODES {
+                let dx = DistSparseVec::from_global(&x, p);
+                let dy = DistDenseVec::from_global(&y, p);
+                let dctx = DistCtx::new(MachineConfig::edison_cluster(p, threads));
+                let (_, report) =
+                    ewise_mult_dist(&dx, &dy, &|_: f64, keep| keep, EwiseVariant::Atomic, &dctx)
+                        .expect("ewise dist");
+                points.push(FigPoint { x: p, report });
+            }
+            fig.push_series(label, points);
+        }
+        out.push(fig);
+    }
+    out
+}
+
+/// The three SpMSpV configurations of Figs 7–9: `(d, f%)`.
+pub const SPMSPV_CONFIGS: &[(usize, usize)] = &[(16, 2), (4, 2), (16, 20)];
+
+/// Fig 7: shared-memory SpMSpV component breakdown (SPA / Sorting /
+/// Output) on Erdős–Rényi matrices with n = 1M.
+pub fn fig7(scale: usize) -> Vec<Figure> {
+    let n = workloads::scaled(1_000_000, scale, 20_000);
+    let mut out = Vec::new();
+    for &(d, f) in SPMSPV_CONFIGS {
+        let a = workloads::er_matrix(n, d, 70 + d as u64);
+        let x = workloads::spmspv_vector(n, f, 70 + d as u64 + f as u64);
+        let mut fig = Figure::new(
+            &format!("fig07-d{d}-f{f}"),
+            &format!("SpMSpV shared memory, ER n=1M d={d} f={f}% (Fig 7)"),
+            "threads",
+        );
+        let mut points = Vec::new();
+        for &t in THREADS {
+            let report = run_shm(t, |ctx| {
+                let _ = spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), ctx)
+                    .expect("spmspv");
+            });
+            points.push(FigPoint { x: t, report });
+        }
+        fig.push_series("components", points);
+        out.push(fig);
+    }
+    out
+}
+
+/// Figs 8–9: distributed SpMSpV component breakdown (Gather / Local
+/// multiply / Scatter). `n_base` is 1M for Fig 8 and 10M for Fig 9.
+fn spmspv_dist_figure(fig_prefix: &str, n_base: usize, scale: usize) -> Vec<Figure> {
+    let n = workloads::scaled(n_base, scale, 20_000);
+    let mut out = Vec::new();
+    for &(d, f) in SPMSPV_CONFIGS {
+        let a = workloads::er_matrix(n, d, 80 + d as u64);
+        let x = workloads::spmspv_vector(n, f, 80 + d as u64 + f as u64);
+        let mut fig = Figure::new(
+            &format!("{fig_prefix}-d{d}-f{f}"),
+            &format!(
+                "SpMSpV distributed, ER n={n} d={d} f={f}%, 24 threads/node ({})",
+                if n_base >= 10_000_000 { "Fig 9" } else { "Fig 8" }
+            ),
+            "nodes",
+        );
+        let mut points = Vec::new();
+        for &p in NODES {
+            let grid = ProcGrid::square_for(p);
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let dx = DistSparseVec::from_global(&x, p);
+            let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+            let (_, report) = spmspv_dist(&da, &dx, &dctx).expect("spmspv dist");
+            points.push(FigPoint { x: p, report });
+        }
+        fig.push_series("components", points);
+        out.push(fig);
+    }
+    out
+}
+
+/// Fig 8: distributed SpMSpV, n = 1M.
+pub fn fig8(scale: usize) -> Vec<Figure> {
+    spmspv_dist_figure("fig08", 1_000_000, scale)
+}
+
+/// Fig 9: distributed SpMSpV, n = 10M.
+pub fn fig9(scale: usize) -> Vec<Figure> {
+    spmspv_dist_figure("fig09", 10_000_000, scale)
+}
+
+/// Fig 10: Assign with 1–32 locales colocated on a single node, 1 thread
+/// per locale, 10K nonzeros.
+pub fn fig10(_scale: usize) -> Vec<Figure> {
+    let b = workloads::vector(10_000, 100);
+    let mut fig = Figure::new(
+        "fig10",
+        "Assign, multiple locales on one node, 1 thread/locale, nnz=10K (Fig 10)",
+        "locales",
+    );
+    for version in ["Assign1", "Assign2"] {
+        let mut points = Vec::new();
+        for &locales in COLOCATED {
+            let bd = DistSparseVec::from_global(&b, locales);
+            let mut a = DistSparseVec::empty(b.capacity(), locales);
+            let dctx = DistCtx::new(MachineConfig::edison_colocated(locales));
+            let report = if version == "Assign1" {
+                dist_assign_v1(&mut a, &bd, &dctx).expect("assign_v1")
+            } else {
+                dist_assign_v2(&mut a, &bd, &dctx).expect("assign_v2")
+            };
+            points.push(FigPoint { x: locales, report });
+        }
+        fig.push_series(version, points);
+    }
+    vec![fig]
+}
+
+/// Simulated ablations of the paper's suggested improvements (DESIGN.md
+/// §7), priced on the same Edison model as the figures:
+///
+/// * radix vs merge sort inside SpMSpV ("a less expensive integer sorting
+///   algorithm (e.g., radix sort) is expected to reduce the sorting
+///   cost", §III-D);
+/// * atomic vs thread-private/prefix-sum compaction in eWiseMult ("we can
+///   avoid the atomic variable", §III-C);
+/// * fine-grained vs bulk-synchronous communication in the distributed
+///   SpMSpV (§IV).
+pub fn fig_ablations(scale: usize) -> Vec<Figure> {
+    use gblas_core::sort::SortAlgo;
+    let mut out = Vec::new();
+
+    // --- sort ablation on the Fig 7 flagship config ---
+    let n = workloads::scaled(1_000_000, scale, 20_000);
+    let a = workloads::er_matrix(n, 16, 170);
+    let x = workloads::spmspv_vector(n, 2, 171);
+    let mut sort_fig = Figure::new(
+        "ablation-sort",
+        "SpMSpV sort step: merge vs radix (ER n=1M d=16 f=2%)",
+        "threads",
+    );
+    for (label, algo) in [("merge", SortAlgo::Merge), ("radix", SortAlgo::Radix)] {
+        let mut points = Vec::new();
+        for &t in THREADS {
+            let report = run_shm(t, |ctx| {
+                let _ = spmspv_first_visitor(&a, &x, None, SpMSpVOpts { sort: algo }, ctx)
+                    .expect("spmspv");
+            });
+            points.push(FigPoint { x: t, report });
+        }
+        sort_fig.push_series(label, points);
+    }
+    out.push(sort_fig);
+
+    // --- compaction ablation on the Fig 4 flagship size ---
+    let nnz = workloads::scaled(100_000_000, scale.max(10), 100_000);
+    let (ex, ey) = workloads::ewise_pair(nnz, 172);
+    let mut comp_fig = Figure::new(
+        "ablation-compaction",
+        "eWiseMult compaction: atomic fetch-add vs thread-private + prefix sum",
+        "threads",
+    );
+    for (label, variant) in
+        [("atomic", EwiseVariant::Atomic), ("prefix", EwiseVariant::Prefix)]
+    {
+        let mut points = Vec::new();
+        for &t in THREADS {
+            let report = run_shm(t, |ctx| {
+                let _ = gblas_core::ops::ewise::ewise_filter(&ex, &ey, &|_: f64, k| k, variant, ctx)
+                    .expect("ewise");
+            });
+            points.push(FigPoint { x: t, report });
+        }
+        comp_fig.push_series(label, points);
+    }
+    out.push(comp_fig);
+
+    // --- communication ablation on the Fig 8 flagship config ---
+    let nc = workloads::scaled(1_000_000, scale, 20_000);
+    let ac = workloads::er_matrix(nc, 16, 173);
+    let xc = workloads::spmspv_vector(nc, 2, 174);
+    let mut comm_fig = Figure::new(
+        "ablation-comm",
+        "Distributed SpMSpV: Listing-8 fine-grained vs bulk-synchronous (§IV)",
+        "nodes",
+    );
+    for (label, bulk) in [("fine-grained", false), ("bulk", true)] {
+        let mut points = Vec::new();
+        for &p in NODES {
+            let grid = ProcGrid::square_for(p);
+            let da = DistCsrMatrix::from_global(&ac, grid);
+            let dx = DistSparseVec::from_global(&xc, p);
+            let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+            let (_, report) = if bulk {
+                gblas_dist::ops::spmspv::spmspv_dist_bulk(&da, &dx, &dctx).expect("bulk")
+            } else {
+                spmspv_dist(&da, &dx, &dctx).expect("fine")
+            };
+            points.push(FigPoint { x: p, report });
+        }
+        comm_fig.push_series(label, points);
+    }
+    out.push(comm_fig);
+    out
+}
+
+/// Run one figure by number. Figure 6 is the SPA diagram — nothing to
+/// measure — so it returns an empty set.
+pub fn run_fig(n: usize, scale: usize) -> Vec<Figure> {
+    match n {
+        1 => fig1(scale),
+        2 => fig2(scale),
+        3 => fig3(scale),
+        4 => fig4(scale),
+        5 => fig5(scale),
+        6 => Vec::new(),
+        7 => fig7(scale),
+        8 => fig8(scale),
+        9 => fig9(scale),
+        10 => fig10(scale),
+        _ => panic!("the paper has figures 1-10, got {n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Heavily scaled-down shape checks: these run the full pipeline of
+    // every figure and assert the paper's qualitative findings.
+
+    const S: usize = 1000; // divide all big sizes by 1000
+
+    #[test]
+    fn fig1_shapes() {
+        let figs = fig1(200); // nnz = 50K: big enough that spawn overhead is amortized
+        let shm = &figs[0];
+        // near-perfect scaling at 24-ish threads (we check 16 for the
+        // scaled-down size)
+        let sp = shm.speedup("Apply1", 16).unwrap();
+        assert!(sp > 8.0, "shared-memory Apply speedup {sp}");
+        let dist = &figs[1];
+        // Apply1 collapses versus Apply2 beyond one node
+        let a1 = dist.series[0].points.iter().find(|p| p.x == 8).unwrap().report.total();
+        let a2 = dist.series[1].points.iter().find(|p| p.x == 8).unwrap().report.total();
+        assert!(a1 > 20.0 * a2, "Apply1 {a1} vs Apply2 {a2}");
+    }
+
+    #[test]
+    fn fig2_shapes() {
+        let figs = fig2(S);
+        let shm = &figs[0];
+        // Assign2 is roughly an order of magnitude faster than Assign1
+        let a1 = shm.series[0].points[0].report.total();
+        let a2 = shm.series[1].points[0].report.total();
+        assert!(a1 > 4.0 * a2, "Assign1 {a1} vs Assign2 {a2} at 1 thread");
+        let dist = &figs[1];
+        let d1 = dist.series[0].points.iter().find(|p| p.x == 16).unwrap().report.total();
+        let d2 = dist.series[1].points.iter().find(|p| p.x == 16).unwrap().report.total();
+        assert!(d1 > 20.0 * d2, "distributed Assign1 {d1} vs Assign2 {d2}");
+    }
+
+    #[test]
+    fn fig3_large_scales_small_flattens() {
+        let figs = fig3(100); // 1M -> 10K, 100M -> 1M
+        let fig = &figs[0];
+        let sp_large = fig.speedup("nnz=100M", 16).unwrap();
+        assert!(sp_large > 3.0, "100M-series speedup {sp_large}");
+    }
+
+    #[test]
+    fn fig4_large_input_scales() {
+        let figs = fig4(100);
+        let sp = figs[0].speedup("nnz=100M", 16).unwrap();
+        assert!(sp > 5.0, "eWiseMult 100M speedup {sp}");
+    }
+
+    #[test]
+    fn fig7_sort_dominates() {
+        let figs = fig7(50); // n = 20K
+        for fig in &figs {
+            let p1 = &fig.series[0].points[0].report;
+            assert!(
+                p1.phase("sort") > p1.phase("spa"),
+                "{}: sorting should dominate the SPA step ({} vs {})",
+                fig.id,
+                p1.phase("sort"),
+                p1.phase("spa")
+            );
+        }
+    }
+
+    #[test]
+    fn fig8_gather_grows_and_dominates() {
+        let figs = fig8(50);
+        let fig = &figs[0]; // d=16, f=2%
+        let at = |x: usize| {
+            fig.series[0].points.iter().find(|p| p.x == x).unwrap().report.clone()
+        };
+        let r1 = at(1);
+        let r16 = at(16);
+        assert!(r16.phase("gather") > 5.0 * r1.phase("gather"));
+        assert!(r16.phase("gather") > r16.phase("local"));
+        // local multiply scales
+        assert!(r16.phase("local") < r1.phase("local"));
+    }
+
+    #[test]
+    fn fig10_colocation_degrades() {
+        let figs = fig10(1);
+        let fig = &figs[0];
+        for s in &fig.series {
+            let first = s.points.first().unwrap().report.total();
+            let last = s.points.last().unwrap().report.total();
+            assert!(last > 2.0 * first, "{}: {first} -> {last}", s.name);
+        }
+    }
+}

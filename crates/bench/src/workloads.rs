@@ -1,0 +1,76 @@
+//! Workload builders with the paper's parameters.
+//!
+//! §II-A: Erdős–Rényi matrices `G(n, d/n)` (`d` nonzeros per row in
+//! expectation) and random sparse vectors of density `f = nnz/capacity`.
+//! All sizes accept a divisor (`scale`) so the sweeps run on small
+//! machines; seeds are fixed so every run is reproducible.
+
+use gblas_core::container::{DenseVec, SparseVec};
+use gblas_core::gen;
+
+/// Base seed; figure-specific offsets keep workloads distinct.
+pub const SEED: u64 = 20170529; // IPDPSW 2017
+
+/// Divide `base` by `scale`, keeping at least `min`.
+pub fn scaled(base: usize, scale: usize, min: usize) -> usize {
+    (base / scale.max(1)).max(min)
+}
+
+/// A random sparse vector with `nnz` nonzeros (capacity `2·nnz`, matching
+/// the paper's unspecified-but-sparse setting).
+pub fn vector(nnz: usize, seed_offset: u64) -> SparseVec<f64> {
+    gen::random_sparse_vec(nnz * 2, nnz, SEED + seed_offset)
+}
+
+/// The paper's eWiseMult pair: a sparse vector plus a boolean dense vector
+/// that keeps about half the entries (§III-C).
+pub fn ewise_pair(nnz: usize, seed_offset: u64) -> (SparseVec<f64>, DenseVec<bool>) {
+    let x = vector(nnz, seed_offset);
+    let y = gen::random_dense_bool(x.capacity(), 0.5, SEED + seed_offset + 1);
+    (x, y)
+}
+
+/// An Erdős–Rényi matrix with `n` rows/columns and `d` nonzeros per row.
+pub fn er_matrix(n: usize, d: usize, seed_offset: u64) -> gblas_core::container::CsrMatrix<f64> {
+    gen::erdos_renyi(n, d, SEED + seed_offset)
+}
+
+/// The SpMSpV input vector: `f`-dense over `n` rows (`nnz = n·f`).
+pub fn spmspv_vector(n: usize, f_percent: usize, seed_offset: u64) -> SparseVec<f64> {
+    let nnz = (n * f_percent / 100).max(1);
+    gen::random_sparse_vec(n, nnz, SEED + 1000 + seed_offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_floors_at_min() {
+        assert_eq!(scaled(100, 1, 1), 100);
+        assert_eq!(scaled(100, 8, 1), 12);
+        assert_eq!(scaled(100, 1000, 5), 5);
+    }
+
+    #[test]
+    fn vector_density_is_half() {
+        let v = vector(1000, 0);
+        assert_eq!(v.nnz(), 1000);
+        assert_eq!(v.capacity(), 2000);
+    }
+
+    #[test]
+    fn ewise_pair_aligned() {
+        let (x, y) = ewise_pair(500, 3);
+        assert_eq!(x.capacity(), y.len());
+    }
+
+    #[test]
+    fn spmspv_vector_density() {
+        let v = spmspv_vector(10_000, 2, 0);
+        assert_eq!(v.nnz(), 200);
+        assert_eq!(v.capacity(), 10_000);
+        let v20 = spmspv_vector(10_000, 20, 0);
+        assert_eq!(v20.nnz(), 2_000);
+    }
+}

@@ -1,0 +1,288 @@
+//! `gblas-cli` — graph analytics from the command line.
+//!
+//! ```text
+//! gblas-cli <command> [--input FILE.mtx | --gen er:N:D | --gen rmat:SCALE:EF]
+//!           [--source V] [--threads T] [--symmetrize] [--seed S]
+//!           [--simulate NODES]
+//!
+//! commands:
+//!   info        matrix shape, nnz, degree statistics
+//!   bfs         breadth-first search from --source (default 0)
+//!   sssp        single-source shortest paths from --source
+//!   pagerank    PageRank (top 10 printed)
+//!   cc          connected components (requires symmetric input; use --symmetrize)
+//!   triangles   triangle count (requires symmetric input; use --symmetrize)
+//!   bc          betweenness centrality from --source (or all if --source omitted and n <= 2000)
+//! ```
+//!
+//! With `--simulate NODES`, `bfs`, `sssp`, `pagerank` and `cc` also run on
+//! the simulated distributed machine and print where the time would go on
+//! the paper's Cray XC30.
+
+use gblas_core::container::CsrMatrix;
+use gblas_core::error::{GblasError, Result};
+use gblas_core::par::ExecCtx;
+use gblas_core::{gen, io};
+use gblas_dist::{DistCsrMatrix, DistCtx, ProcGrid};
+use gblas_sim::MachineConfig;
+
+struct Args {
+    command: String,
+    input: Option<String>,
+    generate: Option<String>,
+    source: usize,
+    threads: usize,
+    symmetrize: bool,
+    seed: u64,
+    simulate: Option<usize>,
+}
+
+fn parse_args() -> std::result::Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or("missing command (try --help)")?;
+    let mut args = Args {
+        command,
+        input: None,
+        generate: None,
+        source: 0,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        symmetrize: false,
+        seed: 1,
+        simulate: None,
+    };
+    let mut rest: Vec<String> = argv.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let need = |i: usize, rest: &mut Vec<String>| -> std::result::Result<String, String> {
+            rest.get(i + 1).cloned().ok_or_else(|| format!("{} needs a value", rest[i]))
+        };
+        match rest[i].as_str() {
+            "--input" => {
+                args.input = Some(need(i, &mut rest)?);
+                i += 2;
+            }
+            "--gen" => {
+                args.generate = Some(need(i, &mut rest)?);
+                i += 2;
+            }
+            "--source" => {
+                args.source = need(i, &mut rest)?.parse().map_err(|_| "bad --source")?;
+                i += 2;
+            }
+            "--threads" => {
+                args.threads = need(i, &mut rest)?.parse().map_err(|_| "bad --threads")?;
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = need(i, &mut rest)?.parse().map_err(|_| "bad --seed")?;
+                i += 2;
+            }
+            "--simulate" => {
+                args.simulate =
+                    Some(need(i, &mut rest)?.parse().map_err(|_| "bad --simulate")?);
+                i += 2;
+            }
+            "--symmetrize" => {
+                args.symmetrize = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn load(args: &Args) -> Result<CsrMatrix<f64>> {
+    let mut a = if let Some(path) = &args.input {
+        io::read_matrix_market_file(std::path::Path::new(path))?
+    } else if let Some(spec) = &args.generate {
+        let parts: Vec<&str> = spec.split(':').collect();
+        match parts.as_slice() {
+            ["er", n, d] => {
+                let n: usize = n.parse().map_err(|_| bad_spec(spec))?;
+                let d: usize = d.parse().map_err(|_| bad_spec(spec))?;
+                gen::erdos_renyi(n, d, args.seed)
+            }
+            ["rmat", scale, ef] => {
+                let scale: u32 = scale.parse().map_err(|_| bad_spec(spec))?;
+                let ef: usize = ef.parse().map_err(|_| bad_spec(spec))?;
+                gen::rmat(scale, ef, args.seed)
+            }
+            _ => return Err(bad_spec(spec)),
+        }
+    } else {
+        return Err(GblasError::InvalidArgument(
+            "provide --input FILE.mtx or --gen er:N:D | rmat:SCALE:EF".into(),
+        ));
+    };
+    if args.symmetrize {
+        let mut coo = gblas_core::container::CooMatrix::new(a.nrows(), a.ncols());
+        for (i, j, &v) in a.iter() {
+            if i != j {
+                coo.push(i, j, v)?;
+                coo.push(j, i, v)?;
+            }
+        }
+        a = coo.to_csr_with(gblas_core::container::DupPolicy::KeepLast, |x, _| x)?;
+    }
+    Ok(a)
+}
+
+fn bad_spec(spec: &str) -> GblasError {
+    GblasError::InvalidArgument(format!("bad --gen spec '{spec}' (er:N:D or rmat:SCALE:EF)"))
+}
+
+fn degree_stats(a: &CsrMatrix<f64>) -> (usize, usize, f64) {
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    for i in 0..a.nrows() {
+        let d = a.row_nnz(i);
+        min = min.min(d);
+        max = max.max(d);
+    }
+    (min.min(max), max, a.nnz() as f64 / a.nrows().max(1) as f64)
+}
+
+fn run() -> Result<()> {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e.contains("--help") || e.contains("missing command") {
+                eprintln!("usage: gblas-cli <info|bfs|sssp|pagerank|cc|triangles|bc> [options]");
+                eprintln!("see the crate docs for the option list");
+            }
+            return Err(GblasError::InvalidArgument(e));
+        }
+    };
+    let a = load(&args)?;
+    let ctx = ExecCtx::with_threads(args.threads);
+    println!(
+        "matrix: {}x{}, {} stored entries{}",
+        a.nrows(),
+        a.ncols(),
+        a.nnz(),
+        if args.symmetrize { " (symmetrized)" } else { "" }
+    );
+
+    match args.command.as_str() {
+        "info" => {
+            let (dmin, dmax, davg) = degree_stats(&a);
+            println!("out-degree: min {dmin}, max {dmax}, mean {davg:.2}");
+        }
+        "bfs" => {
+            let t0 = std::time::Instant::now();
+            let r = gblas_graph::bfs(&a, args.source, &ctx)?;
+            println!(
+                "bfs from {}: reached {} vertices, max level {} ({:.2?})",
+                args.source,
+                r.reached(),
+                r.levels.as_slice().iter().max().unwrap_or(&0),
+                t0.elapsed()
+            );
+            if let Some(nodes) = args.simulate {
+                let grid = ProcGrid::square_for(nodes);
+                let da = DistCsrMatrix::from_global(&a, grid);
+                let dctx = DistCtx::new(MachineConfig::edison_cluster(nodes, 24));
+                let (dr, report) = gblas_graph::bfs_dist(&da, args.source, &dctx)?;
+                assert_eq!(dr.levels, r.levels);
+                println!("simulated on {nodes} Edison nodes: {report}");
+            }
+        }
+        "sssp" => {
+            let t0 = std::time::Instant::now();
+            let dist = gblas_graph::sssp(&a, args.source, &ctx)?;
+            let reached = dist.as_slice().iter().filter(|d| d.is_finite()).count();
+            let furthest =
+                dist.as_slice().iter().filter(|d| d.is_finite()).cloned().fold(0.0, f64::max);
+            println!(
+                "sssp from {}: {} reachable, max distance {:.4} ({:.2?})",
+                args.source,
+                reached,
+                furthest,
+                t0.elapsed()
+            );
+            if let Some(nodes) = args.simulate {
+                let grid = ProcGrid::square_for(nodes);
+                let da = DistCsrMatrix::from_global(&a, grid);
+                let dctx = DistCtx::new(MachineConfig::edison_cluster(nodes, 24));
+                let (_, report) = gblas_graph::sssp_dist(&da, args.source, &dctx)?;
+                println!("simulated on {nodes} Edison nodes: {report}");
+            }
+        }
+        "pagerank" => {
+            let t0 = std::time::Instant::now();
+            let (pr, iters) =
+                gblas_graph::pagerank(&a, gblas_graph::PageRankOptions::default(), &ctx)?;
+            println!("pagerank converged in {iters} iterations ({:.2?})", t0.elapsed());
+            let mut order: Vec<usize> = (0..a.nrows()).collect();
+            order.sort_by(|&x, &y| pr[y].partial_cmp(&pr[x]).unwrap());
+            for (k, &v) in order.iter().take(10).enumerate() {
+                println!("  #{:<2} vertex {:>8}  score {:.6e}", k + 1, v, pr[v]);
+            }
+            if let Some(nodes) = args.simulate {
+                let grid = ProcGrid::square_for(nodes);
+                let dctx = DistCtx::new(MachineConfig::edison_cluster(nodes, 24));
+                let (_, _, report) = gblas_graph::pagerank_dist(
+                    &a,
+                    grid,
+                    gblas_graph::PageRankOptions::default(),
+                    &dctx,
+                )?;
+                println!("simulated on {nodes} Edison nodes: {report}");
+            }
+        }
+        "cc" => {
+            let t0 = std::time::Instant::now();
+            let labels = gblas_graph::connected_components(&a, &ctx)?;
+            println!(
+                "{} connected components ({:.2?})",
+                gblas_graph::cc::component_count(&labels),
+                t0.elapsed()
+            );
+            if let Some(nodes) = args.simulate {
+                let grid = ProcGrid::square_for(nodes);
+                let da = DistCsrMatrix::from_global(&a, grid);
+                let dctx = DistCtx::new(MachineConfig::edison_cluster(nodes, 24));
+                let (_, report) = gblas_graph::connected_components_dist(&da, &dctx)?;
+                println!("simulated on {nodes} Edison nodes: {report}");
+            }
+        }
+        "triangles" => {
+            let t0 = std::time::Instant::now();
+            let t = gblas_graph::triangle_count(&a, &ctx)?;
+            println!("{t} triangles ({:.2?})", t0.elapsed());
+        }
+        "bc" => {
+            let sources: Vec<usize> = if args.source != 0 || a.nrows() > 2000 {
+                vec![args.source]
+            } else {
+                (0..a.nrows()).collect()
+            };
+            let t0 = std::time::Instant::now();
+            let bc = gblas_graph::betweenness(&a, &sources, &ctx)?;
+            let mut order: Vec<usize> = (0..a.nrows()).collect();
+            order.sort_by(|&x, &y| bc[y].partial_cmp(&bc[x]).unwrap());
+            println!(
+                "betweenness over {} source(s) ({:.2?}); top vertices:",
+                sources.len(),
+                t0.elapsed()
+            );
+            for (k, &v) in order.iter().take(5).enumerate() {
+                println!("  #{:<2} vertex {:>8}  score {:.4}", k + 1, v, bc[v]);
+            }
+        }
+        other => {
+            return Err(GblasError::InvalidArgument(format!(
+                "unknown command '{other}' (info|bfs|sssp|pagerank|cc|triangles|bc)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

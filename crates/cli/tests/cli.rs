@@ -1,0 +1,85 @@
+//! End-to-end tests of the `gblas-cli` binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_gblas-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn info_on_generated_graph() {
+    let (ok, stdout, _) = run(&["info", "--gen", "er:2000:5", "--seed", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("matrix: 2000x2000"));
+    assert!(stdout.contains("out-degree"));
+}
+
+#[test]
+fn bfs_with_simulation() {
+    let (ok, stdout, _) =
+        run(&["bfs", "--gen", "er:5000:8", "--source", "7", "--simulate", "4"]);
+    assert!(ok);
+    assert!(stdout.contains("bfs from 7"));
+    assert!(stdout.contains("simulated on 4 Edison nodes"));
+    assert!(stdout.contains("gather="));
+}
+
+#[test]
+fn pagerank_prints_top_vertices() {
+    let (ok, stdout, _) = run(&["pagerank", "--gen", "rmat:10:8"]);
+    assert!(ok);
+    assert!(stdout.contains("pagerank converged"));
+    assert!(stdout.contains("#1"));
+}
+
+#[test]
+fn cc_and_triangles_need_symmetry_flag_to_make_sense() {
+    let (ok, stdout, _) = run(&["cc", "--gen", "er:3000:6", "--symmetrize"]);
+    assert!(ok);
+    assert!(stdout.contains("connected components"));
+    let (ok2, stdout2, _) = run(&["triangles", "--gen", "er:1000:6", "--symmetrize"]);
+    assert!(ok2);
+    assert!(stdout2.contains("triangles"));
+}
+
+#[test]
+fn sssp_reports_reachability() {
+    let (ok, stdout, _) = run(&["sssp", "--gen", "er:2000:5", "--source", "0"]);
+    assert!(ok);
+    assert!(stdout.contains("sssp from 0"));
+    assert!(stdout.contains("reachable"));
+}
+
+#[test]
+fn reads_matrix_market_files() {
+    // create a small file, then analyze it
+    let dir = std::env::temp_dir().join("gblas_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.mtx");
+    let a = gblas_core::gen::erdos_renyi(500, 4, 9);
+    gblas_core::io::write_matrix_market_file(&path, &a).unwrap();
+    let (ok, stdout, _) = run(&["info", "--input", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("matrix: 500x500"));
+}
+
+#[test]
+fn errors_are_clean_not_panics() {
+    let (ok, _, stderr) = run(&["bogus-command", "--gen", "er:10:2"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"));
+    let (ok2, _, stderr2) = run(&["bfs"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("error:"));
+    let (ok3, _, stderr3) = run(&["bfs", "--gen", "nonsense"]);
+    assert!(!ok3);
+    assert!(stderr3.contains("error:"));
+}

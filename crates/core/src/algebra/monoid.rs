@@ -1,0 +1,147 @@
+//! Monoids: associative binary operators with an identity element.
+//!
+//! "A GraphBLAS monoid is a semiring with only one binary operator and an
+//! identity element" (§III). Monoids are the *add* half of a semiring and
+//! the operator of `reduce`.
+
+use super::ops::{Max, Min, Plus, Scalar, Times};
+use super::BinaryOp;
+
+/// An associative binary operator `T × T -> T` with identity.
+///
+/// Associativity is a semantic contract the type system cannot check; the
+/// property tests in this crate verify it for all provided instances on
+/// sampled inputs.
+pub trait Monoid<T>: BinaryOp<T, T, T> {
+    /// The identity element: `combine(identity(), x) == x`.
+    fn identity(&self) -> T;
+    /// Combine two values (same as [`BinaryOp::eval`], kept for clarity at
+    /// call sites that require the monoid contract).
+    #[inline(always)]
+    fn combine(&self, a: T, b: T) -> T {
+        self.eval(a, b)
+    }
+}
+
+/// Marker trait: the monoid is also commutative, allowing tree-shaped and
+/// out-of-order parallel reductions.
+pub trait ComMonoid<T>: Monoid<T> {}
+
+impl<T: Scalar> Monoid<T> for Plus {
+    #[inline(always)]
+    fn identity(&self) -> T {
+        T::zero()
+    }
+}
+impl<T: Scalar> ComMonoid<T> for Plus {}
+
+impl<T: Scalar> Monoid<T> for Times {
+    #[inline(always)]
+    fn identity(&self) -> T {
+        T::one()
+    }
+}
+impl<T: Scalar> ComMonoid<T> for Times {}
+
+impl<T: Scalar> Monoid<T> for Min {
+    #[inline(always)]
+    fn identity(&self) -> T {
+        T::max_value()
+    }
+}
+impl<T: Scalar> ComMonoid<T> for Min {}
+
+impl<T: Scalar> Monoid<T> for Max {
+    #[inline(always)]
+    fn identity(&self) -> T {
+        T::min_value()
+    }
+}
+impl<T: Scalar> ComMonoid<T> for Max {}
+
+/// A monoid built from an arbitrary closure plus an identity value, for
+/// user-defined algebras:
+///
+/// ```
+/// use gblas_core::algebra::{Monoid, MonoidFn};
+/// let gcd = MonoidFn::new(|a: u64, b: u64| {
+///     let (mut a, mut b) = (a, b);
+///     while b != 0 { let t = a % b; a = b; b = t; }
+///     a
+/// }, 0);
+/// assert_eq!(gcd.combine(12, 18), 6);
+/// assert_eq!(gcd.combine(gcd.identity(), 7), 7);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MonoidFn<F, T> {
+    op: F,
+    id: T,
+}
+
+impl<F, T> MonoidFn<F, T> {
+    /// Wrap `op` with identity `id`. The caller asserts associativity and
+    /// that `id` is a true identity.
+    pub fn new(op: F, id: T) -> Self {
+        MonoidFn { op, id }
+    }
+}
+
+impl<F, T> BinaryOp<T, T, T> for MonoidFn<F, T>
+where
+    F: Fn(T, T) -> T + Sync,
+    T: Copy + Send + Sync,
+{
+    #[inline(always)]
+    fn eval(&self, a: T, b: T) -> T {
+        (self.op)(a, b)
+    }
+}
+
+impl<F, T> Monoid<T> for MonoidFn<F, T>
+where
+    F: Fn(T, T) -> T + Sync,
+    T: Copy + Send + Sync,
+{
+    #[inline(always)]
+    fn identity(&self) -> T {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_identity<T: PartialEq + Copy + std::fmt::Debug>(m: &impl Monoid<T>, samples: &[T]) {
+        for &s in samples {
+            assert_eq!(m.combine(m.identity(), s), s);
+            assert_eq!(m.combine(s, m.identity()), s);
+        }
+    }
+
+    #[test]
+    fn plus_identity_is_zero() {
+        check_identity(&Plus, &[0i64, 1, -5, 1 << 40]);
+        check_identity(&Plus, &[0.0f64, 2.5, -3.25]);
+        check_identity(&Plus, &[false, true]);
+    }
+
+    #[test]
+    fn times_identity_is_one() {
+        check_identity(&Times, &[1i32, -4, 9]);
+        check_identity(&Times, &[true, false]);
+    }
+
+    #[test]
+    fn min_max_identities_are_extremes() {
+        check_identity(&Min, &[0.5f32, -8.0, 1e30]);
+        check_identity(&Max, &[u16::MAX, 0, 42]);
+    }
+
+    #[test]
+    fn monoid_fn_custom() {
+        let longest = MonoidFn::new(|a: u32, b: u32| if a >= b { a } else { b }, 0);
+        assert_eq!(longest.combine(3, 9), 9);
+        check_identity(&longest, &[0, 7, u32::MAX]);
+    }
+}

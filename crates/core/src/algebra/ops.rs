@@ -1,0 +1,407 @@
+//! Named standard operators (the GraphBLAS built-in function library).
+//!
+//! Each operator is a zero-sized struct implementing [`BinaryOp`] or
+//! [`UnaryOp`]; zero-sized types monomorphize to direct calls with no
+//! indirection, which matters because these run once per nonzero in the
+//! innermost loops of every operation.
+
+use super::{BinaryOp, UnaryOp};
+
+/// Numeric-ish scalars usable with the named operators.
+///
+/// Deliberately minimal: just the constants the standard monoids need.
+/// `bool` participates with `or` as addition and `and` as multiplication,
+/// so boolean semirings (reachability) come for free.
+pub trait Scalar: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// `a + b` in the scalar's natural arithmetic (`or` for bool).
+    fn nat_add(a: Self, b: Self) -> Self;
+    /// `a * b` in the scalar's natural arithmetic (`and` for bool).
+    fn nat_mul(a: Self, b: Self) -> Self;
+    /// Largest representable value (identity of `min`).
+    fn max_value() -> Self;
+    /// Smallest representable value (identity of `max`).
+    fn min_value() -> Self;
+    /// `min(a, b)` under the scalar's natural order.
+    fn nat_min(a: Self, b: Self) -> Self;
+    /// `max(a, b)` under the scalar's natural order.
+    fn nat_max(a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_scalar_int {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            #[inline(always)] fn zero() -> Self { 0 }
+            #[inline(always)] fn one() -> Self { 1 }
+            #[inline(always)] fn nat_add(a: Self, b: Self) -> Self { a.wrapping_add(b) }
+            #[inline(always)] fn nat_mul(a: Self, b: Self) -> Self { a.wrapping_mul(b) }
+            #[inline(always)] fn max_value() -> Self { <$t>::MAX }
+            #[inline(always)] fn min_value() -> Self { <$t>::MIN }
+            #[inline(always)] fn nat_min(a: Self, b: Self) -> Self { a.min(b) }
+            #[inline(always)] fn nat_max(a: Self, b: Self) -> Self { a.max(b) }
+        }
+    )*};
+}
+impl_scalar_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_scalar_float {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            #[inline(always)] fn zero() -> Self { 0.0 }
+            #[inline(always)] fn one() -> Self { 1.0 }
+            #[inline(always)] fn nat_add(a: Self, b: Self) -> Self { a + b }
+            #[inline(always)] fn nat_mul(a: Self, b: Self) -> Self { a * b }
+            #[inline(always)] fn max_value() -> Self { <$t>::INFINITY }
+            #[inline(always)] fn min_value() -> Self { <$t>::NEG_INFINITY }
+            #[inline(always)] fn nat_min(a: Self, b: Self) -> Self { a.min(b) }
+            #[inline(always)] fn nat_max(a: Self, b: Self) -> Self { a.max(b) }
+        }
+    )*};
+}
+impl_scalar_float!(f32, f64);
+
+impl Scalar for bool {
+    #[inline(always)]
+    fn zero() -> Self {
+        false
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        true
+    }
+    #[inline(always)]
+    fn nat_add(a: Self, b: Self) -> Self {
+        a || b
+    }
+    #[inline(always)]
+    fn nat_mul(a: Self, b: Self) -> Self {
+        a && b
+    }
+    #[inline(always)]
+    fn max_value() -> Self {
+        true
+    }
+    #[inline(always)]
+    fn min_value() -> Self {
+        false
+    }
+    #[inline(always)]
+    fn nat_min(a: Self, b: Self) -> Self {
+        a && b
+    }
+    #[inline(always)]
+    fn nat_max(a: Self, b: Self) -> Self {
+        a || b
+    }
+}
+
+/// `Plus(a, b) = a + b` (logical OR on bool).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Plus;
+impl<T: Scalar> BinaryOp<T, T, T> for Plus {
+    #[inline(always)]
+    fn eval(&self, a: T, b: T) -> T {
+        T::nat_add(a, b)
+    }
+}
+
+/// `Times(a, b) = a * b` (logical AND on bool).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Times;
+impl<T: Scalar> BinaryOp<T, T, T> for Times {
+    #[inline(always)]
+    fn eval(&self, a: T, b: T) -> T {
+        T::nat_mul(a, b)
+    }
+}
+
+/// `Min(a, b)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Min;
+impl<T: Scalar> BinaryOp<T, T, T> for Min {
+    #[inline(always)]
+    fn eval(&self, a: T, b: T) -> T {
+        T::nat_min(a, b)
+    }
+}
+
+/// `Max(a, b)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Max;
+impl<T: Scalar> BinaryOp<T, T, T> for Max {
+    #[inline(always)]
+    fn eval(&self, a: T, b: T) -> T {
+        T::nat_max(a, b)
+    }
+}
+
+/// `First(a, _) = a` — GraphBLAS `GrB_FIRST`; with a min/any monoid this
+/// builds the "parent" semirings BFS uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct First;
+impl<A: Copy + Send + Sync, B> BinaryOp<A, B, A> for First {
+    #[inline(always)]
+    fn eval(&self, a: A, _b: B) -> A {
+        a
+    }
+}
+
+/// `Second(_, b) = b` — GraphBLAS `GrB_SECOND`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Second;
+impl<A, B: Copy + Send + Sync> BinaryOp<A, B, B> for Second {
+    #[inline(always)]
+    fn eval(&self, _a: A, b: B) -> B {
+        b
+    }
+}
+
+/// `Pair(_, _) = 1` — GraphBLAS `GxB_PAIR`; with a plus monoid it counts
+/// intersections (the triangle-counting multiply).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Pair;
+impl<A, B, C: Scalar> BinaryOp<A, B, C> for Pair {
+    #[inline(always)]
+    fn eval(&self, _a: A, _b: B) -> C {
+        C::one()
+    }
+}
+
+/// Logical OR on anything truthy (here: bool).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LOr;
+impl BinaryOp<bool, bool, bool> for LOr {
+    #[inline(always)]
+    fn eval(&self, a: bool, b: bool) -> bool {
+        a || b
+    }
+}
+
+/// Logical AND.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LAnd;
+impl BinaryOp<bool, bool, bool> for LAnd {
+    #[inline(always)]
+    fn eval(&self, a: bool, b: bool) -> bool {
+        a && b
+    }
+}
+
+/// `Minus(a, b) = a - b` — GraphBLAS `GrB_MINUS` (wrapping on integers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Minus;
+impl BinaryOp<f64, f64, f64> for Minus {
+    #[inline(always)]
+    fn eval(&self, a: f64, b: f64) -> f64 {
+        a - b
+    }
+}
+impl BinaryOp<f32, f32, f32> for Minus {
+    #[inline(always)]
+    fn eval(&self, a: f32, b: f32) -> f32 {
+        a - b
+    }
+}
+impl BinaryOp<i64, i64, i64> for Minus {
+    #[inline(always)]
+    fn eval(&self, a: i64, b: i64) -> i64 {
+        a.wrapping_sub(b)
+    }
+}
+
+/// `Div(a, b) = a / b` — GraphBLAS `GrB_DIV` (floating point only; the
+/// integer semantics of `GrB_DIV` are a known portability trap, so this
+/// library simply does not offer them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Div;
+impl BinaryOp<f64, f64, f64> for Div {
+    #[inline(always)]
+    fn eval(&self, a: f64, b: f64) -> f64 {
+        a / b
+    }
+}
+impl BinaryOp<f32, f32, f32> for Div {
+    #[inline(always)]
+    fn eval(&self, a: f32, b: f32) -> f32 {
+        a / b
+    }
+}
+
+/// Comparison ops returning `bool`: `GrB_GT`, `GrB_LT`, `GrB_EQ`,
+/// `GrB_NE`. Useful as the `keep` predicate of `select`/`eWiseMult`
+/// filters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gt;
+impl<T: Scalar + PartialOrd> BinaryOp<T, T, bool> for Gt {
+    #[inline(always)]
+    fn eval(&self, a: T, b: T) -> bool {
+        a > b
+    }
+}
+
+/// Strictly-less comparison, `GrB_LT`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lt;
+impl<T: Scalar + PartialOrd> BinaryOp<T, T, bool> for Lt {
+    #[inline(always)]
+    fn eval(&self, a: T, b: T) -> bool {
+        a < b
+    }
+}
+
+/// Equality comparison, `GrB_EQ`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Eq;
+impl<T: Scalar> BinaryOp<T, T, bool> for Eq {
+    #[inline(always)]
+    fn eval(&self, a: T, b: T) -> bool {
+        a == b
+    }
+}
+
+/// Inequality comparison, `GrB_NE`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ne;
+impl<T: Scalar> BinaryOp<T, T, bool> for Ne {
+    #[inline(always)]
+    fn eval(&self, a: T, b: T) -> bool {
+        a != b
+    }
+}
+
+/// Identity unary op, `GrB_IDENTITY`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Identity;
+impl<T: Copy + Send + Sync> UnaryOp<T, T> for Identity {
+    #[inline(always)]
+    fn eval(&self, a: T) -> T {
+        a
+    }
+}
+
+/// Additive inverse, `GrB_AINV`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Negate;
+impl UnaryOp<f64, f64> for Negate {
+    #[inline(always)]
+    fn eval(&self, a: f64) -> f64 {
+        -a
+    }
+}
+impl UnaryOp<i64, i64> for Negate {
+    #[inline(always)]
+    fn eval(&self, a: i64) -> i64 {
+        -a
+    }
+}
+
+/// Multiplicative inverse, `GrB_MINV` (floating point).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Recip;
+impl UnaryOp<f64, f64> for Recip {
+    #[inline(always)]
+    fn eval(&self, a: f64) -> f64 {
+        1.0 / a
+    }
+}
+
+/// Absolute value, `GrB_ABS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Abs;
+impl UnaryOp<f64, f64> for Abs {
+    #[inline(always)]
+    fn eval(&self, a: f64) -> f64 {
+        a.abs()
+    }
+}
+impl UnaryOp<i64, i64> for Abs {
+    #[inline(always)]
+    fn eval(&self, a: i64) -> i64 {
+        a.abs()
+    }
+}
+
+/// Constant-one unary op, `GxB_ONE`: structural "forget the values".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct One;
+impl<T, C: Scalar> UnaryOp<T, C> for One {
+    #[inline(always)]
+    fn eval(&self, _a: T) -> C {
+        C::one()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_times_numeric() {
+        assert_eq!(Plus.eval(2i64, 3i64), 5);
+        assert_eq!(Times.eval(2.0f64, 3.0f64), 6.0);
+    }
+
+    #[test]
+    fn bool_algebra_is_or_and() {
+        assert!(Plus.eval(true, false));
+        assert!(!Plus.eval(false, false));
+        assert!(Times.eval(true, true));
+        assert!(!Times.eval(true, false));
+    }
+
+    #[test]
+    fn min_max_identities() {
+        assert_eq!(Min.eval(f64::INFINITY, 3.0), 3.0);
+        assert_eq!(Max.eval(i32::MIN, -7), -7);
+        assert_eq!(<i64 as Scalar>::max_value(), i64::MAX);
+    }
+
+    #[test]
+    fn first_second_pair() {
+        assert_eq!(First.eval(1u32, 9.5f64), 1);
+        assert_eq!(Second.eval(1u32, 9.5f64), 9.5);
+        let c: u64 = Pair.eval(123i32, 4.5f32);
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn unary_builtins() {
+        assert_eq!(Identity.eval(42u8), 42);
+        assert_eq!(Negate.eval(2.5f64), -2.5);
+        assert_eq!(Negate.eval(-7i64), 7);
+    }
+
+    #[test]
+    fn wrapping_int_add_does_not_panic() {
+        assert_eq!(Plus.eval(u8::MAX, 1u8), 0);
+    }
+
+    #[test]
+    fn minus_div_ops() {
+        assert_eq!(Minus.eval(5.0f64, 3.0f64), 2.0);
+        assert_eq!(Minus.eval(i64::MIN, 1i64), i64::MAX);
+        assert_eq!(Div.eval(6.0f64, 3.0f64), 2.0);
+        assert!(Div.eval(1.0f64, 0.0f64).is_infinite());
+    }
+
+    #[test]
+    fn comparison_ops() {
+        assert!(Gt.eval(2.0f64, 1.0f64));
+        assert!(!Gt.eval(1.0f64, 1.0f64));
+        assert!(Lt.eval(1u32, 2u32));
+        assert!(Eq.eval(3i64, 3i64));
+        assert!(Ne.eval(true, false));
+    }
+
+    #[test]
+    fn more_unary_ops() {
+        assert_eq!(Recip.eval(4.0f64), 0.25);
+        assert_eq!(Abs.eval(-7i64), 7);
+        assert_eq!(Abs.eval(-2.5f64), 2.5);
+        let one: u32 = One.eval(-123.456f64);
+        assert_eq!(one, 1);
+    }
+}

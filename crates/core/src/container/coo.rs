@@ -1,0 +1,178 @@
+//! COO (triplet) builder for assembling matrices.
+
+use crate::error::{GblasError, Result};
+
+/// What to do with duplicate `(row, col)` entries when converting to CSR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DupPolicy {
+    /// Duplicates are an error (GraphBLAS `GrB_Matrix_build` without dup op).
+    Error,
+    /// Keep the last-pushed value.
+    KeepLast,
+    /// Sum duplicate values (the usual graph multi-edge collapse).
+    Sum,
+}
+
+/// A mutable triplet store: push `(row, col, value)` in any order, then
+/// convert to [`super::CsrMatrix`]. This is the `GrB_Matrix_build` path of
+/// the GraphBLAS C API.
+#[derive(Debug, Clone)]
+pub struct CooMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T> CooMatrix<T> {
+    /// An empty builder for an `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix { nrows, ncols, entries: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of pushed triplets (duplicates included).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append one entry, bounds-checked.
+    pub fn push(&mut self, row: usize, col: usize, value: T) -> Result<()> {
+        if row >= self.nrows {
+            return Err(GblasError::IndexOutOfBounds { index: row, capacity: self.nrows });
+        }
+        if col >= self.ncols {
+            return Err(GblasError::IndexOutOfBounds { index: col, capacity: self.ncols });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Reserve space for `additional` more triplets.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
+    /// Convert to CSR, resolving duplicates per `policy`.
+    ///
+    /// [`DupPolicy::Sum`] needs a combiner and must go through
+    /// [`CooMatrix::to_csr_with`]; passing it here is an
+    /// [`GblasError::InvalidArgument`].
+    pub fn to_csr(mut self, policy: DupPolicy) -> Result<super::CsrMatrix<T>>
+    where
+        T: Copy,
+    {
+        if policy == DupPolicy::Sum {
+            return Err(GblasError::InvalidArgument(
+                "DupPolicy::Sum requires to_csr_with and a combiner".into(),
+            ));
+        }
+        self.to_csr_with(policy, |a, _| a)
+    }
+
+    /// Convert to CSR with an explicit combiner used when `policy` is
+    /// [`DupPolicy::Sum`] (the combiner defines what "sum" means — any
+    /// binary op works, matching GraphBLAS `build`'s `dup` operator).
+    pub fn to_csr_with(
+        &mut self,
+        policy: DupPolicy,
+        combine: impl Fn(T, T) -> T,
+    ) -> Result<super::CsrMatrix<T>>
+    where
+        T: Copy,
+    {
+        // Stable sort keeps push order within equal (row, col) keys so
+        // KeepLast is well defined.
+        self.entries.sort_by_key(|&(r, c, _)| (r, c));
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        let mut colidx: Vec<usize> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<T> = Vec::with_capacity(self.entries.len());
+        let mut last: Option<(usize, usize)> = None;
+        for &(r, c, v) in &self.entries {
+            if last == Some((r, c)) {
+                match policy {
+                    DupPolicy::Error => {
+                        return Err(GblasError::InvalidContainer(format!(
+                            "duplicate entry at ({r}, {c})"
+                        )));
+                    }
+                    DupPolicy::KeepLast => {
+                        *values.last_mut().unwrap() = v;
+                    }
+                    DupPolicy::Sum => {
+                        let slot = values.last_mut().unwrap();
+                        *slot = combine(*slot, v);
+                    }
+                }
+            } else {
+                rowptr[r + 1] += 1;
+                colidx.push(c);
+                values.push(v);
+                last = Some((r, c));
+            }
+        }
+        for i in 0..self.nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        super::CsrMatrix::from_raw_parts(self.nrows, self.ncols, rowptr, colidx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_basic() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(1, 2, 9.0).unwrap();
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 0, 5.0).unwrap();
+        let a = coo.to_csr(DupPolicy::Error).unwrap();
+        assert_eq!(a.rowptr(), &[0, 1, 3]);
+        assert_eq!(a.colidx(), &[0, 0, 2]);
+        assert_eq!(a.values(), &[1.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn bounds_checked_push() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(coo.push(2, 0, 1).is_err());
+        assert!(coo.push(0, 2, 1).is_err());
+        assert!(coo.push(1, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn duplicate_policies() {
+        let build = |policy| {
+            let mut coo = CooMatrix::new(1, 2);
+            coo.push(0, 1, 10).unwrap();
+            coo.push(0, 1, 3).unwrap();
+            coo.to_csr_with(policy, |a, b| a + b)
+        };
+        assert!(build(DupPolicy::Error).is_err());
+        assert_eq!(build(DupPolicy::KeepLast).unwrap().values(), &[3]);
+        assert_eq!(build(DupPolicy::Sum).unwrap().values(), &[13]);
+    }
+
+    #[test]
+    fn empty_builder_gives_empty_matrix() {
+        let coo = CooMatrix::<f32>::new(4, 4);
+        let a = coo.to_csr(DupPolicy::Error).unwrap();
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.rowptr(), &[0, 0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Compressed Sparse Columns matrices.
+//!
+//! The paper draws its SPA figure column-wise and notes "Our actual Chapel
+//! implementation is row-wise but we chose to draw the figure column-wise
+//! for better visualization. Neither the algorithm nor its complexity is
+//! affected by the use of row-wise vs column-wise representation" (Fig 6).
+//! This module provides the column-wise representation so the claim can be
+//! tested (and is: the `ablations` bench and the ops tests run SpMSpV both
+//! ways).
+
+use crate::error::{GblasError, Result};
+
+/// A CSC matrix: the transpose-dual of [`super::CsrMatrix`].
+///
+/// Invariants mirror CSR with rows/columns swapped:
+/// * `colptr` has length `ncols + 1`, is monotone, starts at 0;
+/// * `rowidx` holds row ids, strictly increasing within each column;
+/// * `values` is parallel to `rowidx`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T> CscMatrix<T> {
+    /// An empty (all-zero) matrix.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        CscMatrix { nrows, ncols, colptr: vec![0; ncols + 1], rowidx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Build from raw CSC arrays, validating every invariant.
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Self> {
+        if colptr.len() != ncols + 1 {
+            return Err(GblasError::InvalidContainer(format!(
+                "colptr length {} != ncols + 1 = {}",
+                colptr.len(),
+                ncols + 1
+            )));
+        }
+        if colptr[0] != 0 {
+            return Err(GblasError::InvalidContainer("colptr[0] != 0".into()));
+        }
+        if *colptr.last().unwrap() != rowidx.len() {
+            return Err(GblasError::InvalidContainer(format!(
+                "colptr[last] = {} != nnz = {}",
+                colptr.last().unwrap(),
+                rowidx.len()
+            )));
+        }
+        if rowidx.len() != values.len() {
+            return Err(GblasError::InvalidContainer(format!(
+                "rowidx/values length mismatch: {} vs {}",
+                rowidx.len(),
+                values.len()
+            )));
+        }
+        for w in colptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(GblasError::InvalidContainer("colptr not monotone".into()));
+            }
+        }
+        for j in 0..ncols {
+            let col = &rowidx[colptr[j]..colptr[j + 1]];
+            for w in col.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(GblasError::InvalidContainer(format!(
+                        "column {j}: row ids not strictly increasing"
+                    )));
+                }
+            }
+            if let Some(&last) = col.last() {
+                if last >= nrows {
+                    return Err(GblasError::IndexOutOfBounds { index: last, capacity: nrows });
+                }
+            }
+        }
+        Ok(CscMatrix { nrows, ncols, colptr, rowidx, values })
+    }
+
+    /// Convert from CSR in `O(nnz + ncols)` by counting sort (the same
+    /// kernel as transposition, reinterpreted).
+    pub fn from_csr(a: &super::CsrMatrix<T>) -> Self
+    where
+        T: Copy,
+    {
+        let (nrows, ncols) = (a.nrows(), a.ncols());
+        let nnz = a.nnz();
+        let mut colptr = vec![0usize; ncols + 1];
+        for &j in a.colidx() {
+            colptr[j + 1] += 1;
+        }
+        for j in 0..ncols {
+            colptr[j + 1] += colptr[j];
+        }
+        let mut cursor = colptr.clone();
+        let mut rowidx = vec![0usize; nnz];
+        let mut values: Vec<T> = Vec::with_capacity(nnz);
+        // Walk rows in order so each column receives ascending row ids.
+        let mut targets = vec![0usize; nnz];
+        let mut pos = 0;
+        for i in 0..nrows {
+            let (cols, _) = a.row(i);
+            for &j in cols {
+                let t = cursor[j];
+                cursor[j] += 1;
+                rowidx[t] = i;
+                targets[pos] = t;
+                pos += 1;
+            }
+        }
+        let mut vbuf: Vec<T> = if nnz == 0 { Vec::new() } else { vec![a.values()[0]; nnz] };
+        for (p, v) in a.values().iter().enumerate() {
+            vbuf[targets[p]] = *v;
+        }
+        values.extend(vbuf);
+        CscMatrix { nrows, ncols, colptr, rowidx, values }
+    }
+
+    /// Convert to CSR.
+    pub fn to_csr(&self) -> super::CsrMatrix<T>
+    where
+        T: Copy,
+    {
+        let nnz = self.nnz();
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        for &i in &self.rowidx {
+            rowptr[i + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut cursor = rowptr.clone();
+        let mut colidx = vec![0usize; nnz];
+        let mut values: Vec<T> = if nnz == 0 { Vec::new() } else { vec![self.values[0]; nnz] };
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                let t = cursor[i];
+                cursor[i] += 1;
+                colidx[t] = j;
+                values[t] = v;
+            }
+        }
+        super::CsrMatrix::from_raw_parts(self.nrows, self.ncols, rowptr, colidx, values)
+            .expect("column-order walk preserves CSR invariants")
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+
+    /// Column `j` as `(row ids, values)`.
+    pub fn col(&self, j: usize) -> (&[usize], &[T]) {
+        let r = self.colptr[j]..self.colptr[j + 1];
+        (&self.rowidx[r.clone()], &self.values[r])
+    }
+
+    /// Number of stored entries in column `j`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.colptr[j + 1] - self.colptr[j]
+    }
+
+    /// Random access by binary search within column `j`.
+    pub fn get(&self, i: usize, j: usize) -> Option<&T> {
+        let (rows, vals) = self.col(j);
+        rows.binary_search(&i).ok().map(|p| &vals[p])
+    }
+
+    /// Iterate `(row, col, &value)` in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        (0..self.ncols).flat_map(move |j| {
+            let (rows, vals) = self.col(j);
+            rows.iter().zip(vals.iter()).map(move |(&i, v)| (i, j, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::CsrMatrix;
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn csr_round_trip() {
+        let a = gen::erdos_renyi(90, 5, 201);
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.nnz(), a.nnz());
+        for (i, j, &v) in a.iter() {
+            assert_eq!(c.get(i, j), Some(&v), "({i},{j})");
+        }
+        assert_eq!(c.to_csr(), a);
+    }
+
+    #[test]
+    fn columns_are_sorted() {
+        let a = gen::erdos_renyi(50, 8, 202);
+        let c = CscMatrix::from_csr(&a);
+        for j in 0..50 {
+            let (rows, _) = c.col(j);
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "col {j}");
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        assert!(CscMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CscMatrix::from_raw_parts(2, 1, vec![1, 1], vec![], Vec::<f64>::new()).is_err());
+        assert!(CscMatrix::from_raw_parts(3, 1, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
+        assert!(CscMatrix::from_raw_parts(2, 1, vec![0, 1], vec![5], vec![1.0]).is_err());
+        assert!(CscMatrix::from_raw_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn empty_and_rectangular() {
+        let e = CscMatrix::<i32>::empty(3, 4);
+        assert_eq!(e.nnz(), 0);
+        assert_eq!(e.to_csr(), CsrMatrix::empty(3, 4));
+        let a = CsrMatrix::from_triplets(2, 5, &[(0, 4, 1.0), (1, 0, 2.0)]).unwrap();
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.nrows(), 2);
+        assert_eq!(c.ncols(), 5);
+        assert_eq!(c.col_nnz(4), 1);
+        assert_eq!(c.to_csr(), a);
+    }
+
+    #[test]
+    fn iter_is_column_major() {
+        let a = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 2.0), (2, 1, 3.0)]).unwrap();
+        let c = CscMatrix::from_csr(&a);
+        let order: Vec<(usize, usize)> = c.iter().map(|(i, j, _)| (i, j)).collect();
+        assert_eq!(order, vec![(1, 0), (0, 1), (2, 1)]);
+    }
+}

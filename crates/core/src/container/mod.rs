@@ -1,0 +1,25 @@
+//! Sparse and dense containers in the layout the paper uses (§II-A).
+//!
+//! * [`SparseVec`] — "the indices of sparse vectors are kept sorted and
+//!   stored in an array"; `O(nnz)` space, binary-search random access.
+//! * [`DenseVec`] — a plain dense array (the `y` operand of the paper's
+//!   sparse×dense `eWiseMult`, SPA backing storage, BFS level arrays).
+//! * [`CsrMatrix`] — Compressed Sparse Rows with column ids sorted within
+//!   each row, "because this is supported in Chapel".
+//! * [`CscMatrix`] — the column-wise dual (Fig 6 is drawn column-wise;
+//!   the ops tests verify the paper's claim that the representation does
+//!   not change the algorithm or its complexity).
+//! * [`CooMatrix`] — a triplet builder for assembling matrices before
+//!   conversion to CSR.
+
+mod coo;
+mod csc;
+mod csr;
+mod dense_vec;
+mod sparse_vec;
+
+pub use coo::{CooMatrix, DupPolicy};
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use dense_vec::DenseVec;
+pub use sparse_vec::SparseVec;

@@ -1,0 +1,104 @@
+//! Error types shared by every gblas crate.
+
+use std::fmt;
+
+/// Errors produced by GraphBLAS operations.
+///
+/// Mirrors the error conditions of the GraphBLAS C API draft the paper
+/// targets (§III): dimension/domain mismatches, out-of-range indices, and
+/// malformed container invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GblasError {
+    /// Two operands have incompatible dimensions
+    /// (e.g. `eWiseMult` of a length-5 and a length-6 vector).
+    DimensionMismatch {
+        /// What the operation expected (human readable).
+        expected: String,
+        /// What it got.
+        actual: String,
+    },
+    /// An index is outside the valid domain `0..capacity`.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The container capacity it violated.
+        capacity: usize,
+    },
+    /// A container invariant is violated (unsorted indices, duplicate
+    /// indices, `rowptr` not monotone, …). Produced by the checked
+    /// constructors.
+    InvalidContainer(String),
+    /// The operation is not defined for the given arguments
+    /// (e.g. an empty index set where at least one element is required).
+    InvalidArgument(String),
+    /// A simulated communication failure that was injected via the fault
+    /// hooks in `gblas-dist` and not recovered by retry.
+    CommFailure(String),
+}
+
+impl fmt::Display for GblasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GblasError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            GblasError::IndexOutOfBounds { index, capacity } => {
+                write!(f, "index {index} out of bounds for capacity {capacity}")
+            }
+            GblasError::InvalidContainer(msg) => write!(f, "invalid container: {msg}"),
+            GblasError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            GblasError::CommFailure(msg) => write!(f, "communication failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GblasError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, GblasError>;
+
+/// Check that two lengths agree, producing a [`GblasError::DimensionMismatch`]
+/// with a helpful message otherwise.
+pub fn check_dims(what: &str, expected: usize, actual: usize) -> Result<()> {
+    if expected == actual {
+        Ok(())
+    } else {
+        Err(GblasError::DimensionMismatch {
+            expected: format!("{what} = {expected}"),
+            actual: format!("{what} = {actual}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = GblasError::DimensionMismatch {
+            expected: "len = 5".into(),
+            actual: "len = 6".into(),
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected len = 5, got len = 6");
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = GblasError::IndexOutOfBounds { index: 9, capacity: 4 };
+        assert_eq!(e.to_string(), "index 9 out of bounds for capacity 4");
+    }
+
+    #[test]
+    fn check_dims_ok_and_err() {
+        assert!(check_dims("len", 3, 3).is_ok());
+        let err = check_dims("len", 3, 4).unwrap_err();
+        assert!(matches!(err, GblasError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(GblasError::InvalidArgument("x".into()));
+        assert!(e.to_string().contains("invalid argument"));
+    }
+}

@@ -1,0 +1,154 @@
+//! `Apply`: a unary operator over every stored value (§III-A).
+//!
+//! "Apply takes a unary operator and a matrix (or a vector) as its input.
+//! It applies the unary operator to every nonzero ... The computation
+//! complexity of Apply is O(nnz) and it does not require any
+//! communication."
+//!
+//! In shared memory the paper's two versions (Listing 2's flat `forall` and
+//! Listing 3's per-locale `coforall`) perform identically — "both Apply1
+//! and Apply2 show near-perfect scaling on a single node" — and they only
+//! diverge in distributed memory (`gblas_dist::ops::apply`). The shared
+//! memory kernel below is the common body both distributed versions call.
+
+use crate::algebra::UnaryOp;
+use crate::container::{CsrMatrix, SparseVec};
+use crate::par::ExecCtx;
+
+/// Phase name used by this op.
+pub const PHASE: &str = "apply";
+
+/// Apply `op` in place to every stored value of a sparse vector.
+pub fn apply_vec_inplace<T: Copy + Send + Sync>(
+    x: &mut SparseVec<T>,
+    op: &impl UnaryOp<T, T>,
+    ctx: &ExecCtx,
+) {
+    let n = x.nnz();
+    let values = x.values_mut();
+    // Split the value array into per-task chunks (Chapel's `forall a in
+    // spArr` with one task per thread).
+    let chunks = crate::par::split_ranges(n, ctx.threads());
+    let mut slices: Vec<&mut [T]> = Vec::with_capacity(chunks.len());
+    let mut rest: &mut [T] = values;
+    for r in &chunks {
+        let (head, tail) = std::mem::take(&mut rest).split_at_mut(r.len());
+        slices.push(head);
+        rest = tail;
+    }
+    let slices: Vec<parking_lot::Mutex<&mut [T]>> =
+        slices.into_iter().map(parking_lot::Mutex::new).collect();
+    ctx.for_each_task(PHASE, slices.len(), |t, c| {
+        let mut guard = slices[t].lock();
+        for v in guard.iter_mut() {
+            *v = op.eval(*v);
+        }
+        c.elems += guard.len() as u64;
+        c.bytes_moved += (guard.len() * std::mem::size_of::<T>() * 2) as u64;
+    });
+}
+
+/// Apply `op` to a sparse vector, producing a new vector (possibly of a
+/// different value type) with the same structure.
+pub fn apply_vec<T: Copy + Send + Sync, C: Copy + Send + Sync>(
+    x: &SparseVec<T>,
+    op: &impl UnaryOp<T, C>,
+    ctx: &ExecCtx,
+) -> SparseVec<C> {
+    let outs = ctx.parallel_for(PHASE, x.nnz(), |r, c| {
+        let vals: Vec<C> = x.values()[r.clone()].iter().map(|&v| op.eval(v)).collect();
+        c.elems += r.len() as u64;
+        c.bytes_moved += (r.len() * (std::mem::size_of::<T>() + std::mem::size_of::<C>())) as u64;
+        vals
+    });
+    let mut values = Vec::with_capacity(x.nnz());
+    for o in outs {
+        values.extend(o);
+    }
+    SparseVec::from_sorted(x.capacity(), x.indices().to_vec(), values)
+        .expect("structure unchanged")
+}
+
+/// Apply `op` in place to every stored value of a CSR matrix.
+pub fn apply_mat_inplace<T: Copy + Send + Sync>(
+    a: &mut CsrMatrix<T>,
+    op: &impl UnaryOp<T, T>,
+    ctx: &ExecCtx,
+) {
+    let n = a.nnz();
+    let values = a.values_mut();
+    let chunks = crate::par::split_ranges(n, ctx.threads());
+    let mut slices: Vec<&mut [T]> = Vec::with_capacity(chunks.len());
+    let mut rest: &mut [T] = values;
+    for r in &chunks {
+        let (head, tail) = std::mem::take(&mut rest).split_at_mut(r.len());
+        slices.push(head);
+        rest = tail;
+    }
+    let slices: Vec<parking_lot::Mutex<&mut [T]>> =
+        slices.into_iter().map(parking_lot::Mutex::new).collect();
+    ctx.for_each_task(PHASE, slices.len(), |t, c| {
+        let mut guard = slices[t].lock();
+        for v in guard.iter_mut() {
+            *v = op.eval(*v);
+        }
+        c.elems += guard.len() as u64;
+        c.bytes_moved += (guard.len() * std::mem::size_of::<T>() * 2) as u64;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::SparseVec;
+
+    #[test]
+    fn inplace_applies_to_all_values() {
+        for threads in [1, 2, 8] {
+            let mut x = SparseVec::from_sorted(10, vec![1, 3, 5], vec![1.0, 2.0, 3.0]).unwrap();
+            let ctx = ExecCtx::new(threads, 2);
+            apply_vec_inplace(&mut x, &|v: f64| v * 10.0, &ctx);
+            assert_eq!(x.values(), &[10.0, 20.0, 30.0]);
+            assert_eq!(x.indices(), &[1, 3, 5]); // structure untouched
+            let prof = ctx.take_profile();
+            assert_eq!(prof.phase(PHASE).elems, 3);
+        }
+    }
+
+    #[test]
+    fn apply_with_type_change() {
+        let x = SparseVec::from_sorted(4, vec![0, 2], vec![1.5f64, 2.5]).unwrap();
+        let ctx = ExecCtx::serial();
+        let y = apply_vec(&x, &|v: f64| v > 2.0, &ctx);
+        assert_eq!(y.values(), &[false, true]);
+        assert_eq!(y.capacity(), 4);
+    }
+
+    #[test]
+    fn apply_empty_vector_is_noop() {
+        let mut x = SparseVec::<i32>::new(5);
+        let ctx = ExecCtx::with_threads(4);
+        apply_vec_inplace(&mut x, &|v: i32| v + 1, &ctx);
+        assert_eq!(x.nnz(), 0);
+    }
+
+    #[test]
+    fn apply_matrix_inplace() {
+        let mut a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1), (0, 1, 2), (1, 1, 3)]).unwrap();
+        let ctx = ExecCtx::with_threads(2);
+        apply_mat_inplace(&mut a, &|v: i32| -v, &ctx);
+        assert_eq!(a.values(), &[-1, -2, -3]);
+    }
+
+    #[test]
+    fn counters_scale_with_nnz() {
+        let n = 10_000;
+        let x = SparseVec::from_sorted(n, (0..n).collect(), vec![1u8; n]).unwrap();
+        let ctx = ExecCtx::simulated(24);
+        let _ = apply_vec(&x, &|v: u8| v, &ctx);
+        let c = ctx.take_profile().phase(PHASE);
+        assert_eq!(c.elems, n as u64);
+        assert_eq!(c.tasks, 24);
+    }
+}

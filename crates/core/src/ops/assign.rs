@@ -1,0 +1,328 @@
+//! `Assign`: copy one sparse object into another (§III-B).
+//!
+//! The paper implements the restricted form where the source and
+//! destination share the same distribution/capacity ("we implement a
+//! restrictive version of Assign that requires the domains of A and B to
+//! match"; complexity `O(nnz(A))`, no communication).
+//!
+//! * [`assign_v1`] is Listing 4: rebuild the destination's index set, then
+//!   iterate the *domain* and copy element-by-element through indexed
+//!   access — each access is an `O(log nnz)` binary search because "two
+//!   sparse arrays are not allowed to iterate together (zipper iteration
+//!   is not implemented for sparse arrays yet)". This makes Assign1 an
+//!   order of magnitude slower (Fig 2, left).
+//! * [`assign_v2`] is Listing 5: bulk-copy the index and value arrays
+//!   directly ("dense arrays stored in each locale can be zippered").
+
+use crate::container::SparseVec;
+use crate::error::{check_dims, Result};
+use crate::mask::VecMask;
+use crate::par::ExecCtx;
+
+/// Phase names used by this op.
+pub const PHASE_DOMAIN: &str = "assign-domain";
+/// Phase for the value-copy step.
+pub const PHASE_VALUES: &str = "assign-values";
+
+/// Listing 4: domain rebuild + per-element indexed copy (binary searches).
+pub fn assign_v1<T: Copy + Send + Sync + Default>(
+    a: &mut SparseVec<T>,
+    b: &SparseVec<T>,
+    ctx: &ExecCtx,
+) -> Result<()> {
+    check_dims("capacity", a.capacity(), b.capacity())?;
+    // ------ Assign domain ------- (DA.clear(); DA += DB). Rebuilding a
+    // sorted sparse domain is merge-class work (sort units), which is what
+    // limits Assign to the paper's 5-8x scaling at 24 threads.
+    ctx.record(PHASE_DOMAIN, |c| c.sort_elems += b.nnz() as u64);
+    a.clear();
+    a.assign_domain(b.indices(), T::default())?;
+    // ------ Assign array ------- (forall i in DA do A[i] = B[i])
+    // Both the read of B[i] and the write of A[i] go through logarithmic
+    // indexed access, as in Chapel. Collect per-chunk (index, value) pairs
+    // from B by search, then write them into A by search.
+    let b_indices = a.indices().to_vec(); // == b.indices()
+    let reads = ctx.parallel_for(PHASE_VALUES, b_indices.len(), |r, c| {
+        let mut out: Vec<(usize, T)> = Vec::with_capacity(r.len());
+        for &i in &b_indices[r.clone()] {
+            let mut probes = 0;
+            let v = *b.get_probed(i, &mut probes).expect("index came from b's domain");
+            c.search_probes += probes;
+            out.push((i, v));
+        }
+        c.elems += r.len() as u64;
+        out
+    });
+    let mut probes = 0u64;
+    for chunk in reads {
+        for (i, v) in chunk {
+            a.set_existing(i, v, &mut probes)?;
+        }
+    }
+    ctx.record(PHASE_VALUES, |c| c.search_probes += probes);
+    Ok(())
+}
+
+/// Listing 5: bulk domain copy + zippered dense value copy.
+pub fn assign_v2<T: Copy + Send + Sync + Default>(
+    a: &mut SparseVec<T>,
+    b: &SparseVec<T>,
+    ctx: &ExecCtx,
+) -> Result<()> {
+    check_dims("capacity", a.capacity(), b.capacity())?;
+    a.clear();
+    if b.nnz() == 0 {
+        return Ok(());
+    }
+    // ------ Assign domain ------- (locDA.mySparseBlock += locDB.mySparseBlock)
+    ctx.record(PHASE_DOMAIN, |c| {
+        c.sort_elems += b.nnz() as u64;
+        c.bytes_moved += (b.nnz() * std::mem::size_of::<usize>()) as u64;
+    });
+    a.assign_domain(b.indices(), T::default())?;
+    // ------ Assign array ------- zippered chunk copy of the value arrays.
+    let src = b.values();
+    let n = src.len();
+    let chunks = crate::par::split_ranges(n, ctx.threads());
+    let dst = a.values_mut();
+    let mut slices: Vec<&mut [T]> = Vec::with_capacity(chunks.len());
+    let mut rest: &mut [T] = dst;
+    for r in &chunks {
+        let (head, tail) = std::mem::take(&mut rest).split_at_mut(r.len());
+        slices.push(head);
+        rest = tail;
+    }
+    let slices: Vec<parking_lot::Mutex<(&mut [T], std::ops::Range<usize>)>> = slices
+        .into_iter()
+        .zip(chunks.iter().cloned())
+        .map(parking_lot::Mutex::new)
+        .collect();
+    ctx.for_each_task(PHASE_VALUES, slices.len(), |t, c| {
+        let mut guard = slices[t].lock();
+        let (dst_chunk, range) = &mut *guard;
+        dst_chunk.copy_from_slice(&src[range.clone()]);
+        c.elems += dst_chunk.len() as u64;
+        c.bytes_moved += (std::mem::size_of_val(*dst_chunk) * 2) as u64;
+    });
+    Ok(())
+}
+
+/// General subset assign, `w(I) = u` — GraphBLAS `GrB_assign` with an
+/// index list: `w[I[k]] = u[k]` for every stored `u[k]`, other entries of
+/// `w` preserved. `I` must be strictly increasing with `len ==
+/// u.capacity()`; this is the unrestricted form whose distributed version
+/// the paper notes "can require O((nnz(A)+nnz(B))/√p) communication"
+/// (§III-B) — here in shared memory it is a sorted merge.
+pub fn assign_subset<T: Copy + Send + Sync>(
+    w: &mut SparseVec<T>,
+    index_set: &[usize],
+    u: &SparseVec<T>,
+    ctx: &ExecCtx,
+) -> Result<()> {
+    use crate::error::GblasError;
+    if index_set.len() != u.capacity() {
+        return Err(GblasError::DimensionMismatch {
+            expected: format!("index set of length {}", u.capacity()),
+            actual: format!("length {}", index_set.len()),
+        });
+    }
+    for pair in index_set.windows(2) {
+        if pair[0] >= pair[1] {
+            return Err(GblasError::InvalidArgument(
+                "assign index set must be strictly increasing".into(),
+            ));
+        }
+    }
+    if let Some(&last) = index_set.last() {
+        if last >= w.capacity() {
+            return Err(GblasError::IndexOutOfBounds { index: last, capacity: w.capacity() });
+        }
+    }
+    // Translate u's entries into w coordinates (monotone because I is
+    // sorted), then merge over w.
+    let translated: Vec<(usize, T)> =
+        u.iter().map(|(k, &v)| (index_set[k], v)).collect();
+    let mut c = crate::par::Counters::default();
+    let (wi, wv) = (w.indices(), w.values());
+    let mut out_i = Vec::with_capacity(wi.len() + translated.len());
+    let mut out_v = Vec::with_capacity(wi.len() + translated.len());
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < wi.len() || q < translated.len() {
+        c.elems += 1;
+        if q >= translated.len() || (p < wi.len() && wi[p] < translated[q].0) {
+            out_i.push(wi[p]);
+            out_v.push(wv[p]);
+            p += 1;
+        } else if p >= wi.len() || translated[q].0 < wi[p] {
+            out_i.push(translated[q].0);
+            out_v.push(translated[q].1);
+            q += 1;
+        } else {
+            out_i.push(translated[q].0);
+            out_v.push(translated[q].1); // new value wins
+            p += 1;
+            q += 1;
+        }
+    }
+    ctx.record(PHASE_VALUES, |pc| pc.merge(&c));
+    *w = SparseVec::from_sorted(w.capacity(), out_i, out_v)?;
+    Ok(())
+}
+
+/// Masked assign: `a[i] = b[i]` only where the mask allows; other entries
+/// of `a` are preserved (GraphBLAS `GrB_assign` with a mask and
+/// `GrB_REPLACE` unset). Both inputs must share a capacity.
+pub fn assign_masked<T: Copy + Send + Sync>(
+    a: &mut SparseVec<T>,
+    b: &SparseVec<T>,
+    mask: &VecMask<'_>,
+    ctx: &ExecCtx,
+) -> Result<()> {
+    check_dims("capacity", a.capacity(), b.capacity())?;
+    let mut c = crate::par::Counters::default();
+    // Merge the surviving entries of b over a.
+    let (ai, av) = (a.indices(), a.values());
+    let (bi, bv) = (b.indices(), b.values());
+    let mut out_i: Vec<usize> = Vec::with_capacity(ai.len() + bi.len());
+    let mut out_v: Vec<T> = Vec::with_capacity(ai.len() + bi.len());
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < ai.len() || q < bi.len() {
+        let take_b = q < bi.len() && (p >= ai.len() || bi[q] <= ai[p]);
+        if take_b {
+            let i = bi[q];
+            let allowed = mask.allows(i, &mut c);
+            if allowed {
+                out_i.push(i);
+                out_v.push(bv[q]);
+            } else if p < ai.len() && ai[p] == i {
+                out_i.push(i);
+                out_v.push(av[p]);
+            }
+            if p < ai.len() && ai[p] == i {
+                p += 1;
+            }
+            q += 1;
+        } else {
+            out_i.push(ai[p]);
+            out_v.push(av[p]);
+            p += 1;
+        }
+        c.elems += 1;
+    }
+    ctx.record(PHASE_VALUES, |pc| pc.merge(&c));
+    *a = SparseVec::from_sorted(a.capacity(), out_i, out_v)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::DenseVec;
+
+    fn sample_pair(n: usize) -> (SparseVec<f64>, SparseVec<f64>) {
+        let b = SparseVec::from_sorted(n, vec![1, 4, 9, 17], vec![1.0, 4.0, 9.0, 17.0]).unwrap();
+        let a = SparseVec::from_sorted(n, vec![0, 2], vec![-1.0, -2.0]).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn v1_copies_exactly() {
+        let (mut a, b) = sample_pair(32);
+        let ctx = ExecCtx::with_threads(2);
+        assign_v1(&mut a, &b, &ctx).unwrap();
+        assert_eq!(a, b);
+        let prof = ctx.take_profile();
+        assert!(prof.phase(PHASE_VALUES).search_probes > 0, "v1 must pay log-time searches");
+    }
+
+    #[test]
+    fn v2_copies_exactly_without_searches() {
+        let (mut a, b) = sample_pair(32);
+        let ctx = ExecCtx::with_threads(2);
+        assign_v2(&mut a, &b, &ctx).unwrap();
+        assert_eq!(a, b);
+        let prof = ctx.take_profile();
+        assert_eq!(prof.phase(PHASE_VALUES).search_probes, 0, "v2 must not search");
+    }
+
+    #[test]
+    fn v1_and_v2_agree_on_larger_input() {
+        let n = 10_000;
+        let b = crate::gen::random_sparse_vec(n, 2_000, 42);
+        let mut a1 = SparseVec::new(n);
+        let mut a2 = SparseVec::new(n);
+        let ctx = ExecCtx::with_threads(4);
+        assign_v1(&mut a1, &b, &ctx).unwrap();
+        assign_v2(&mut a2, &b, &ctx).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(a1, b);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let b = SparseVec::from_sorted(8, vec![1], vec![1.0]).unwrap();
+        let mut a = SparseVec::new(9);
+        let ctx = ExecCtx::serial();
+        assert!(assign_v1(&mut a, &b, &ctx).is_err());
+        assert!(assign_v2(&mut a, &b, &ctx).is_err());
+    }
+
+    #[test]
+    fn assign_empty_source_clears_dest() {
+        let mut a = SparseVec::from_sorted(5, vec![3], vec![1.0]).unwrap();
+        let b = SparseVec::new(5);
+        let ctx = ExecCtx::serial();
+        assign_v2(&mut a, &b, &ctx).unwrap();
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    fn subset_assign_round_trips_with_extract() {
+        // w(I) = u followed by extract(w, I) recovers u.
+        let mut w = crate::gen::random_sparse_vec(50, 12, 77);
+        let index_set: Vec<usize> = (0..50).step_by(3).collect(); // 17 slots
+        let u = crate::gen::random_sparse_vec(index_set.len(), 6, 78);
+        let ctx = ExecCtx::serial();
+        assign_subset(&mut w, &index_set, &u, &ctx).unwrap();
+        let back = crate::ops::extract::extract_vec(&w, &index_set, &ctx).unwrap();
+        for (k, &v) in u.iter() {
+            assert_eq!(back.get(k), Some(&v), "slot {k}");
+        }
+        // entries of w outside I are untouched
+        let original = crate::gen::random_sparse_vec(50, 12, 77);
+        for (i, &v) in original.iter() {
+            if !index_set.contains(&i) {
+                assert_eq!(w.get(i), Some(&v), "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_assign_validates() {
+        let mut w = SparseVec::<f64>::new(10);
+        let u = SparseVec::from_sorted(3, vec![0], vec![1.0]).unwrap();
+        let ctx = ExecCtx::serial();
+        // wrong index-set length
+        assert!(assign_subset(&mut w, &[1, 2], &u, &ctx).is_err());
+        // unsorted
+        assert!(assign_subset(&mut w, &[3, 2, 5], &u, &ctx).is_err());
+        // out of bounds
+        assert!(assign_subset(&mut w, &[1, 2, 10], &u, &ctx).is_err());
+        // valid
+        assert!(assign_subset(&mut w, &[1, 2, 5], &u, &ctx).is_ok());
+        assert_eq!(w.get(1), Some(&1.0));
+    }
+
+    #[test]
+    fn masked_assign_merges() {
+        let mut a = SparseVec::from_sorted(8, vec![0, 2, 4], vec![10, 20, 30]).unwrap();
+        let b = SparseVec::from_sorted(8, vec![2, 3, 4], vec![99, 98, 97]).unwrap();
+        let allow = DenseVec::from_vec(vec![false, false, true, true, false, false, false, false]);
+        let mask = VecMask::dense(&allow);
+        let ctx = ExecCtx::serial();
+        assign_masked(&mut a, &b, &mask, &ctx).unwrap();
+        // index 2 and 3 allowed -> take b; index 4 masked out -> keep a's 30
+        assert_eq!(a.indices(), &[0, 2, 3, 4]);
+        assert_eq!(a.values(), &[10, 99, 98, 30]);
+    }
+}

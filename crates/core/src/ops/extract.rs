@@ -1,0 +1,253 @@
+//! `extract`: sub-vector / sub-matrix selection (GraphBLAS `GrB_extract`).
+//!
+//! The general `Assign`/`Extract` pair is "a very powerful primitive"
+//! (§III-B); the paper restricts Assign to matching domains, but Extract is
+//! implemented here in full generality for vectors and for matrix row
+//! selection.
+
+use crate::container::{CsrMatrix, SparseVec};
+use crate::error::{GblasError, Result};
+use crate::par::ExecCtx;
+
+/// Phase name for extraction.
+pub const PHASE: &str = "extract";
+
+/// `z = x(I)`: `z[k] = x[I[k]]` wherever `x` stores `I[k]`. `I` must be
+/// strictly increasing (a valid index *set*). The result has capacity
+/// `I.len()`.
+pub fn extract_vec<T: Copy + Send + Sync>(
+    x: &SparseVec<T>,
+    index_set: &[usize],
+    ctx: &ExecCtx,
+) -> Result<SparseVec<T>> {
+    for w in index_set.windows(2) {
+        if w[0] >= w[1] {
+            return Err(GblasError::InvalidArgument(
+                "extract index set must be strictly increasing".into(),
+            ));
+        }
+    }
+    if let Some(&last) = index_set.last() {
+        if last >= x.capacity() {
+            return Err(GblasError::IndexOutOfBounds { index: last, capacity: x.capacity() });
+        }
+    }
+    // Merge-walk x's stored indices against the (sorted) index set.
+    let (xi, xv) = (x.indices(), x.values());
+    let mut out_i = Vec::new();
+    let mut out_v = Vec::new();
+    let (mut p, mut q) = (0usize, 0usize);
+    let mut c = crate::par::Counters::default();
+    while p < xi.len() && q < index_set.len() {
+        c.elems += 1;
+        match xi[p].cmp(&index_set[q]) {
+            std::cmp::Ordering::Less => p += 1,
+            std::cmp::Ordering::Greater => q += 1,
+            std::cmp::Ordering::Equal => {
+                out_i.push(q); // position within the extracted domain
+                out_v.push(xv[p]);
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+    ctx.record(PHASE, |pc| pc.merge(&c));
+    SparseVec::from_sorted(index_set.len(), out_i, out_v)
+}
+
+/// `B = A(I, :)`: select rows `I` (strictly increasing). The result is
+/// `I.len() × ncols`.
+pub fn extract_rows<T: Copy + Send + Sync>(
+    a: &CsrMatrix<T>,
+    rows: &[usize],
+    ctx: &ExecCtx,
+) -> Result<CsrMatrix<T>> {
+    for w in rows.windows(2) {
+        if w[0] >= w[1] {
+            return Err(GblasError::InvalidArgument(
+                "extract row set must be strictly increasing".into(),
+            ));
+        }
+    }
+    if let Some(&last) = rows.last() {
+        if last >= a.nrows() {
+            return Err(GblasError::IndexOutOfBounds { index: last, capacity: a.nrows() });
+        }
+    }
+    let row_data = ctx.parallel_for(PHASE, rows.len(), |r, c| {
+        let mut out: Vec<(Vec<usize>, Vec<T>)> = Vec::with_capacity(r.len());
+        for &i in &rows[r.clone()] {
+            let (cols, vals) = a.row(i);
+            c.elems += cols.len() as u64;
+            out.push((cols.to_vec(), vals.to_vec()));
+        }
+        out
+    });
+    let mut rowptr = Vec::with_capacity(rows.len() + 1);
+    rowptr.push(0usize);
+    let mut colidx = Vec::new();
+    let mut values = Vec::new();
+    for block in row_data {
+        for (cols, vals) in block {
+            colidx.extend(cols);
+            values.extend(vals);
+            rowptr.push(colidx.len());
+        }
+    }
+    CsrMatrix::from_raw_parts(rows.len(), a.ncols(), rowptr, colidx, values)
+}
+
+/// `B = A(I, J)`: general submatrix extraction (GraphBLAS `GrB_extract`
+/// on matrices). Both index sets must be strictly increasing; the result
+/// is `I.len() × J.len()` with positions renumbered into the extracted
+/// domain.
+pub fn extract_submatrix<T: Copy + Send + Sync>(
+    a: &CsrMatrix<T>,
+    rows: &[usize],
+    cols: &[usize],
+    ctx: &ExecCtx,
+) -> Result<CsrMatrix<T>> {
+    for (set, bound, what) in [(rows, a.nrows(), "row"), (cols, a.ncols(), "column")] {
+        for w in set.windows(2) {
+            if w[0] >= w[1] {
+                return Err(GblasError::InvalidArgument(format!(
+                    "extract {what} set must be strictly increasing"
+                )));
+            }
+        }
+        if let Some(&last) = set.last() {
+            if last >= bound {
+                return Err(GblasError::IndexOutOfBounds { index: last, capacity: bound });
+            }
+        }
+    }
+    let row_data = ctx.parallel_for(PHASE, rows.len(), |r, c| {
+        let mut out: Vec<(Vec<usize>, Vec<T>)> = Vec::with_capacity(r.len());
+        for &i in &rows[r.clone()] {
+            let (acols, avals) = a.row(i);
+            // merge-walk the row's columns against the sorted J set
+            let mut ki = Vec::new();
+            let mut kv = Vec::new();
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < acols.len() && q < cols.len() {
+                c.elems += 1;
+                match acols[p].cmp(&cols[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        ki.push(q); // renumbered column
+                        kv.push(avals[p]);
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            out.push((ki, kv));
+        }
+        out
+    });
+    let mut rowptr = Vec::with_capacity(rows.len() + 1);
+    rowptr.push(0usize);
+    let mut colidx = Vec::new();
+    let mut values = Vec::new();
+    for block in row_data {
+        for (ki, kv) in block {
+            colidx.extend(ki);
+            values.extend(kv);
+            rowptr.push(colidx.len());
+        }
+    }
+    CsrMatrix::from_raw_parts(rows.len(), cols.len(), rowptr, colidx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_extract_repositions() {
+        let x = SparseVec::from_sorted(10, vec![2, 5, 8], vec![20, 50, 80]).unwrap();
+        let ctx = ExecCtx::serial();
+        // extract positions {1, 5, 8, 9}: x[5] -> z[1], x[8] -> z[2]
+        let z = extract_vec(&x, &[1, 5, 8, 9], &ctx).unwrap();
+        assert_eq!(z.capacity(), 4);
+        assert_eq!(z.indices(), &[1, 2]);
+        assert_eq!(z.values(), &[50, 80]);
+    }
+
+    #[test]
+    fn vector_extract_validates() {
+        let x = SparseVec::from_sorted(4, vec![0], vec![1]).unwrap();
+        let ctx = ExecCtx::serial();
+        assert!(extract_vec(&x, &[2, 1], &ctx).is_err());
+        assert!(extract_vec(&x, &[4], &ctx).is_err());
+        assert!(extract_vec(&x, &[], &ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn row_extract() {
+        let a = CsrMatrix::from_triplets(
+            4,
+            3,
+            &[(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (3, 0, 4.0)],
+        )
+        .unwrap();
+        let ctx = ExecCtx::with_threads(2);
+        let b = extract_rows(&a, &[1, 3], &ctx).unwrap();
+        assert_eq!(b.nrows(), 2);
+        assert_eq!(b.get(0, 1), Some(&2.0));
+        assert_eq!(b.get(1, 0), Some(&4.0));
+        assert_eq!(b.nnz(), 2);
+    }
+
+    #[test]
+    fn row_extract_out_of_bounds() {
+        let a = CsrMatrix::<f64>::empty(2, 2);
+        let ctx = ExecCtx::serial();
+        assert!(extract_rows(&a, &[2], &ctx).is_err());
+    }
+
+    #[test]
+    fn submatrix_extract_renumbers_and_filters() {
+        let a = crate::gen::erdos_renyi(40, 6, 51);
+        let rows: Vec<usize> = (0..40).step_by(2).collect();
+        let cols: Vec<usize> = (1..40).step_by(3).collect();
+        let ctx = ExecCtx::with_threads(2);
+        let b = extract_submatrix(&a, &rows, &cols, &ctx).unwrap();
+        assert_eq!(b.nrows(), rows.len());
+        assert_eq!(b.ncols(), cols.len());
+        // every extracted entry maps back correctly, and nothing is missed
+        let mut expect = 0usize;
+        for (bi, &gi) in rows.iter().enumerate() {
+            for (bj, &gj) in cols.iter().enumerate() {
+                match a.get(gi, gj) {
+                    Some(&v) => {
+                        expect += 1;
+                        assert_eq!(b.get(bi, bj), Some(&v), "({gi},{gj})");
+                    }
+                    None => assert_eq!(b.get(bi, bj), None),
+                }
+            }
+        }
+        assert_eq!(b.nnz(), expect);
+    }
+
+    #[test]
+    fn submatrix_full_sets_are_identity() {
+        let a = crate::gen::erdos_renyi(25, 4, 52);
+        let all_r: Vec<usize> = (0..25).collect();
+        let ctx = ExecCtx::serial();
+        let b = extract_submatrix(&a, &all_r, &all_r, &ctx).unwrap();
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn submatrix_validates_sets() {
+        let a = CsrMatrix::<f64>::empty(4, 4);
+        let ctx = ExecCtx::serial();
+        assert!(extract_submatrix(&a, &[1, 0], &[0], &ctx).is_err());
+        assert!(extract_submatrix(&a, &[0], &[4], &ctx).is_err());
+        let empty = extract_submatrix(&a, &[], &[], &ctx).unwrap();
+        assert_eq!(empty.nrows(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Kronecker product (GraphBLAS `GrB_kronecker`).
+//!
+//! `C = A ⊗_K B` with `C[(i·bm + k), (j·bn + l)] = A[i,j] ⊗ B[k,l]`:
+//! the structured way to build large graphs from small seeds (Kronecker /
+//! stochastic-Kronecker generators, of which R-MAT is the randomized
+//! cousin), and a stress test for index arithmetic at scale.
+
+use crate::algebra::BinaryOp;
+use crate::container::CsrMatrix;
+use crate::error::{GblasError, Result};
+use crate::par::ExecCtx;
+
+/// Phase name for the Kronecker product.
+pub const PHASE: &str = "kron";
+
+/// `C = kron(A, B)` with values combined by `op`.
+pub fn kron<A, B, C, Op>(
+    a: &CsrMatrix<A>,
+    b: &CsrMatrix<B>,
+    op: &Op,
+    ctx: &ExecCtx,
+) -> Result<CsrMatrix<C>>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync,
+    Op: BinaryOp<A, B, C>,
+{
+    let (am, an) = (a.nrows(), a.ncols());
+    let (bm, bn) = (b.nrows(), b.ncols());
+    let nrows = am.checked_mul(bm).ok_or_else(|| {
+        GblasError::InvalidArgument("kron: row dimension overflows usize".into())
+    })?;
+    let ncols = an.checked_mul(bn).ok_or_else(|| {
+        GblasError::InvalidArgument("kron: column dimension overflows usize".into())
+    })?;
+    // Row (i, k) of C is the outer combination of A's row i and B's row k,
+    // ordered by (j, l) — ascending because both row fragments are sorted
+    // and the blocks (by j) are disjoint. Parallel over C's rows.
+    let row_blocks = ctx.parallel_for(PHASE, nrows, |r, c| {
+        let mut out: Vec<(Vec<usize>, Vec<C>)> = Vec::with_capacity(r.len());
+        for ci in r.clone() {
+            let i = ci / bm;
+            let k = ci % bm;
+            let (acols, avals) = a.row(i);
+            let (bcols, bvals) = b.row(k);
+            let mut cols = Vec::with_capacity(acols.len() * bcols.len());
+            let mut vals = Vec::with_capacity(acols.len() * bcols.len());
+            for (&j, &av) in acols.iter().zip(avals) {
+                for (&l, &bv) in bcols.iter().zip(bvals) {
+                    cols.push(j * bn + l);
+                    vals.push(op.eval(av, bv));
+                }
+            }
+            c.flops += (acols.len() * bcols.len()) as u64;
+            out.push((cols, vals));
+        }
+        c.elems += r.len() as u64;
+        out
+    });
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let mut colidx = Vec::new();
+    let mut values = Vec::new();
+    for block in row_blocks {
+        for (cols, vals) in block {
+            colidx.extend(cols);
+            values.extend(vals);
+            rowptr.push(colidx.len());
+        }
+    }
+    CsrMatrix::from_raw_parts(nrows, ncols, rowptr, colidx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Times;
+    use crate::gen;
+
+    #[test]
+    fn matches_definition_on_small_matrices() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+        let b = CsrMatrix::from_triplets(2, 2, &[(0, 1, 5.0), (1, 0, 7.0)]).unwrap();
+        let ctx = ExecCtx::serial();
+        let c: CsrMatrix<f64> = kron(&a, &b, &Times, &ctx).unwrap();
+        assert_eq!(c.nrows(), 4);
+        assert_eq!(c.nnz(), 4);
+        assert_eq!(c.get(0, 1), Some(&10.0)); // A[0,0]*B[0,1]
+        assert_eq!(c.get(1, 0), Some(&14.0)); // A[0,0]*B[1,0]
+        assert_eq!(c.get(2, 3), Some(&15.0)); // A[1,1]*B[0,1]
+        assert_eq!(c.get(3, 2), Some(&21.0)); // A[1,1]*B[1,0]
+    }
+
+    #[test]
+    fn definition_holds_on_random_inputs() {
+        let a = gen::erdos_renyi(12, 3, 31);
+        let b = gen::erdos_renyi(9, 2, 32);
+        for threads in [1, 4] {
+            let ctx = ExecCtx::new(threads, 2);
+            let c = kron(&a, &b, &Times, &ctx).unwrap();
+            assert_eq!(c.nrows(), 12 * 9);
+            assert_eq!(c.nnz(), a.nnz() * b.nnz());
+            for (i, j, &av) in a.iter() {
+                for (k, l, &bv) in b.iter() {
+                    let got = c.get(i * 9 + k, j * 9 + l).copied().unwrap();
+                    assert!((got - av * bv).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kron_with_identity_replicates() {
+        let a = gen::erdos_renyi(8, 2, 33);
+        let eye =
+            CsrMatrix::from_triplets(3, 3, &(0..3).map(|i| (i, i, 1.0)).collect::<Vec<_>>())
+                .unwrap();
+        let ctx = ExecCtx::serial();
+        let c = kron(&a, &eye, &Times, &ctx).unwrap();
+        // kron(A, I3) places A's value at ((i*3+k),(j*3+k))
+        for (i, j, &v) in a.iter() {
+            for k in 0..3 {
+                assert_eq!(c.get(i * 3 + k, j * 3 + k), Some(&v));
+            }
+        }
+        assert_eq!(c.nnz(), a.nnz() * 3);
+    }
+
+    #[test]
+    fn kronecker_graph_iteration_grows_like_rmat() {
+        // seed graph -> 2 Kronecker powers: n = 3^3 = 27
+        let seed =
+            CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+                .unwrap();
+        let ctx = ExecCtx::serial();
+        let k2: CsrMatrix<f64> = kron(&seed, &seed, &Times, &ctx).unwrap();
+        let k3: CsrMatrix<f64> = kron(&k2, &seed, &Times, &ctx).unwrap();
+        assert_eq!(k3.nrows(), 27);
+        assert_eq!(k3.nnz(), seed.nnz().pow(3));
+    }
+
+    #[test]
+    fn empty_factor_gives_empty_product() {
+        let a = CsrMatrix::<f64>::empty(4, 4);
+        let b = gen::erdos_renyi(5, 2, 34);
+        let ctx = ExecCtx::serial();
+        let c = kron(&a, &b, &Times, &ctx).unwrap();
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.nrows(), 20);
+    }
+}

@@ -1,0 +1,184 @@
+//! `reduce`: fold stored values with a monoid.
+//!
+//! GraphBLAS `GrB_reduce` in its three shapes: vector → scalar,
+//! matrix-rows → vector, matrix → scalar. Parallel partial reductions are
+//! combined in task order, so commutativity is required ([`ComMonoid`]) for
+//! the parallel entry points.
+
+use crate::algebra::{ComMonoid, Monoid};
+use crate::container::{CsrMatrix, DenseVec, SparseVec};
+use crate::par::ExecCtx;
+
+/// Phase name for reductions.
+pub const PHASE: &str = "reduce";
+
+/// Fold all stored values of a sparse vector.
+pub fn reduce_vec<T, M>(x: &SparseVec<T>, monoid: &M, ctx: &ExecCtx) -> T
+where
+    T: Copy + Send + Sync,
+    M: ComMonoid<T>,
+{
+    let vals = x.values();
+    let partials = ctx.parallel_for(PHASE, vals.len(), |r, c| {
+        let mut acc = monoid.identity();
+        for &v in &vals[r.clone()] {
+            acc = monoid.combine(acc, v);
+        }
+        c.elems += r.len() as u64;
+        acc
+    });
+    partials.into_iter().fold(monoid.identity(), |a, b| monoid.combine(a, b))
+}
+
+/// Row-wise matrix reduction: `y[i] = ⊕_j A[i,j]`, dense output.
+pub fn reduce_rows<T, M>(a: &CsrMatrix<T>, monoid: &M, ctx: &ExecCtx) -> DenseVec<T>
+where
+    T: Copy + Send + Sync,
+    M: Monoid<T>,
+{
+    let chunks = ctx.parallel_for(PHASE, a.nrows(), |r, c| {
+        let mut out = Vec::with_capacity(r.len());
+        for i in r.clone() {
+            let (_, vals) = a.row(i);
+            let mut acc = monoid.identity();
+            for &v in vals {
+                acc = monoid.combine(acc, v);
+            }
+            c.elems += vals.len() as u64;
+            out.push(acc);
+        }
+        out
+    });
+    let mut y = Vec::with_capacity(a.nrows());
+    for chunk in chunks {
+        y.extend(chunk);
+    }
+    DenseVec::from_vec(y)
+}
+
+/// Column-wise matrix reduction: `y[j] = ⊕_i A[i,j]`, dense output.
+/// Requires commutativity (rows are folded in per-task order, then tasks
+/// combined).
+pub fn reduce_cols<T, M>(a: &CsrMatrix<T>, monoid: &M, ctx: &ExecCtx) -> DenseVec<T>
+where
+    T: Copy + Send + Sync,
+    M: ComMonoid<T>,
+{
+    let ncols = a.ncols();
+    let partials = ctx.parallel_for(PHASE, a.nrows(), |r, c| {
+        let mut acc = vec![monoid.identity(); ncols];
+        for i in r.clone() {
+            let (cols, vals) = a.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                acc[j] = monoid.combine(acc[j], v);
+            }
+            c.elems += cols.len() as u64;
+            c.rand_access += cols.len() as u64;
+        }
+        acc
+    });
+    let mut y = vec![monoid.identity(); ncols];
+    for p in partials {
+        for (slot, v) in y.iter_mut().zip(p) {
+            *slot = monoid.combine(*slot, v);
+        }
+    }
+    DenseVec::from_vec(y)
+}
+
+/// Whole-matrix reduction to a scalar.
+pub fn reduce_mat<T, M>(a: &CsrMatrix<T>, monoid: &M, ctx: &ExecCtx) -> T
+where
+    T: Copy + Send + Sync,
+    M: ComMonoid<T>,
+{
+    let vals = a.values();
+    let partials = ctx.parallel_for(PHASE, vals.len(), |r, c| {
+        let mut acc = monoid.identity();
+        for &v in &vals[r.clone()] {
+            acc = monoid.combine(acc, v);
+        }
+        c.elems += r.len() as u64;
+        acc
+    });
+    partials.into_iter().fold(monoid.identity(), |a, b| monoid.combine(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{Max, Min, Plus};
+    use crate::gen;
+
+    #[test]
+    fn vector_sum_and_extremes() {
+        let x = SparseVec::from_sorted(10, vec![1, 4, 7], vec![3.0, -1.0, 5.0]).unwrap();
+        let ctx = ExecCtx::with_threads(2);
+        assert_eq!(reduce_vec(&x, &Plus, &ctx), 7.0);
+        assert_eq!(reduce_vec(&x, &Min, &ctx), -1.0);
+        assert_eq!(reduce_vec(&x, &Max, &ctx), 5.0);
+    }
+
+    #[test]
+    fn empty_vector_reduces_to_identity() {
+        let x = SparseVec::<i64>::new(4);
+        let ctx = ExecCtx::serial();
+        assert_eq!(reduce_vec(&x, &Plus, &ctx), 0);
+        assert_eq!(reduce_vec(&x, &Min, &ctx), i64::MAX);
+    }
+
+    #[test]
+    fn row_reduce_counts_degrees() {
+        let a = gen::erdos_renyi_bool(100, 6, 17);
+        let ones = {
+            let (nr, nc, rp, ci, vals) = a.clone().into_raw_parts();
+            CsrMatrix::from_raw_parts(nr, nc, rp, ci, vec![1u64; vals.len()]).unwrap()
+        };
+        let ctx = ExecCtx::with_threads(4);
+        let deg = reduce_rows(&ones, &Plus, &ctx);
+        for i in 0..100 {
+            assert_eq!(deg[i], a.row_nnz(i) as u64, "row {i}");
+        }
+    }
+
+    #[test]
+    fn col_reduce_counts_in_degrees() {
+        let a = gen::erdos_renyi(120, 5, 19);
+        let ones = {
+            let (nr, nc, rp, ci, vals) = a.clone().into_raw_parts();
+            CsrMatrix::from_raw_parts(nr, nc, rp, ci, vec![1u64; vals.len()]).unwrap()
+        };
+        for threads in [1, 4] {
+            let ctx = ExecCtx::new(threads, 2);
+            let indeg = reduce_cols(&ones, &Plus, &ctx);
+            let mut expect = vec![0u64; 120];
+            for (_, j, _) in a.iter() {
+                expect[j] += 1;
+            }
+            assert_eq!(indeg.as_slice(), &expect[..]);
+        }
+    }
+
+    #[test]
+    fn col_reduce_equals_row_reduce_of_transpose() {
+        let a = gen::erdos_renyi(90, 4, 21);
+        let ctx = ExecCtx::serial();
+        let cols = reduce_cols(&a, &Plus, &ctx);
+        let t = crate::ops::transpose::transpose(&a, &ctx).unwrap();
+        let rows = reduce_rows(&t, &Plus, &ctx);
+        for j in 0..90 {
+            assert!((cols[j] - rows[j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matrix_scalar_reduce_matches_serial() {
+        let a = gen::erdos_renyi(80, 5, 23);
+        let serial: f64 = a.values().iter().sum();
+        for threads in [1, 3, 8] {
+            let ctx = ExecCtx::new(threads, 2);
+            let r = reduce_mat(&a, &Plus, &ctx);
+            assert!((r - serial).abs() < 1e-9);
+        }
+    }
+}

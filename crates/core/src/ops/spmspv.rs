@@ -1,0 +1,376 @@
+//! `SpMSpV`: sparse matrix × sparse vector, `y ← x A` (§III-D, Listing 7).
+//!
+//! "The algorithm iterates over the nonzeros of the input vector x and
+//! fetches rows A\[i, :\] for which x\[i\] ≠ 0. The nonzeros in those rows
+//! are merged using the SPA." Three instrumented steps, matching the
+//! components Fig 7 plots:
+//!
+//! 1. **`spa`** — merge the selected rows through the sparse accumulator;
+//! 2. **`sort`** — sort the collected column indices ("sorting is the most
+//!    expensive step"; merge sort by default, radix sort as the paper's
+//!    suggested improvement);
+//! 3. **`output`** — populate the output sparse vector from the SPA.
+//!
+//! Variants:
+//! * [`spmspv_first_visitor`] — exactly Listing 7: atomics-based parallel
+//!   SPA where the *first* visitor of a column wins and the stored value is
+//!   the visiting row id (the BFS parent).
+//! * [`spmspv_semiring`] — the general GraphBLAS semantics
+//!   `y[j] = ⊕_i x[i] ⊗ A[i,j]` over an arbitrary semiring.
+//! * [`spmspv_sort_based`] — an alternative merge strategy (collect all
+//!   products, sort by column, segmented-reduce) in the spirit of the
+//!   work-efficient algorithms the paper cites \[9\]; used by the ablation
+//!   bench.
+
+use crate::algebra::{BinaryOp, Monoid, Semiring};
+use crate::container::{CsrMatrix, SparseVec};
+use crate::error::{check_dims, Result};
+use crate::mask::VecMask;
+use crate::par::ExecCtx;
+use crate::sort::{parallel_merge_sort, sort_indices, SortAlgo};
+use crate::spa::{AtomicSpa, DenseSpa};
+
+/// Phase: SPA merge.
+pub const PHASE_SPA: &str = "spa";
+/// Phase: index sort.
+pub const PHASE_SORT: &str = "sort";
+/// Phase: output construction.
+pub const PHASE_OUTPUT: &str = "output";
+
+/// Options for the SpMSpV kernels.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpMSpVOpts {
+    /// Sorting algorithm for the collected indices.
+    pub sort: SortAlgo,
+}
+
+/// Listing 7: parallel first-visitor SpMSpV. The output stores, for every
+/// reached column, the id of the row that reached it first ("keep row
+/// index as value") — nondeterministic under real parallelism exactly as
+/// in Chapel, deterministic when `ctx.real_threads() == 1`.
+///
+/// `x`'s values are ignored; its *structure* selects the rows of `a`.
+/// An optional `mask` restricts which output columns may be claimed
+/// (BFS passes "not yet visited").
+pub fn spmspv_first_visitor<T: Send + Sync, X: Send + Sync>(
+    a: &CsrMatrix<T>,
+    x: &SparseVec<X>,
+    mask: Option<&VecMask<'_>>,
+    opts: SpMSpVOpts,
+    ctx: &ExecCtx,
+) -> Result<SparseVec<usize>> {
+    check_dims("x capacity vs matrix rows", a.nrows(), x.capacity())?;
+    let ncols = a.ncols();
+    // Step 1: SPA (Listing 7 lines 12–29).
+    let spa = AtomicSpa::new(ncols);
+    let xi = x.indices();
+    ctx.parallel_for(PHASE_SPA, x.nnz(), |r, c| {
+        for &rid in &xi[r.clone()] {
+            let (cols, _) = a.row(rid);
+            c.flops += cols.len() as u64;
+            for &colid in cols {
+                if let Some(m) = mask {
+                    if !m.allows(colid, c) {
+                        continue;
+                    }
+                }
+                spa.claim_first(colid, rid, c);
+            }
+        }
+        c.elems += r.len() as u64;
+    });
+    // Step 2: remove unused entries and sort (lines 30–32).
+    let mut nzinds = spa.collected();
+    sort_indices(&mut nzinds, opts.sort, ctx, PHASE_SORT);
+    // Step 3: populate the output vector (lines 33–39).
+    let value_chunks = ctx.parallel_for(PHASE_OUTPUT, nzinds.len(), |r, c| {
+        let vals: Vec<usize> = nzinds[r.clone()].iter().map(|&si| spa.value(si)).collect();
+        c.spa_touches += r.len() as u64;
+        c.elems += r.len() as u64;
+        vals
+    });
+    let mut values = Vec::with_capacity(nzinds.len());
+    for v in value_chunks {
+        values.extend(v);
+    }
+    SparseVec::from_sorted(ncols, nzinds, values)
+}
+
+/// General semiring SpMSpV: `y[j] = ⊕_{i : x[i] stored} x[i] ⊗ A[i,j]`.
+///
+/// Uses a serial [`DenseSpa`] (the accumulation order of a commutative
+/// monoid makes the result deterministic); the sort and output phases are
+/// shared with the first-visitor kernel.
+pub fn spmspv_semiring<A, B, C, AddM, MulOp>(
+    a: &CsrMatrix<B>,
+    x: &SparseVec<A>,
+    ring: &Semiring<AddM, MulOp>,
+    ctx: &ExecCtx,
+) -> Result<SpMSpVOutput<C>>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync,
+    AddM: Monoid<C>,
+    MulOp: BinaryOp<A, B, C>,
+{
+    spmspv_semiring_masked(a, x, ring, None, SpMSpVOpts::default(), ctx)
+}
+
+/// Result wrapper so call sites can destructure by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpMSpVOutput<C> {
+    /// The product vector `y`.
+    pub vector: SparseVec<C>,
+}
+
+/// [`spmspv_semiring`] with a mask over output columns and explicit
+/// options.
+pub fn spmspv_semiring_masked<A, B, C, AddM, MulOp>(
+    a: &CsrMatrix<B>,
+    x: &SparseVec<A>,
+    ring: &Semiring<AddM, MulOp>,
+    mask: Option<&VecMask<'_>>,
+    opts: SpMSpVOpts,
+    ctx: &ExecCtx,
+) -> Result<SpMSpVOutput<C>>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync,
+    AddM: Monoid<C>,
+    MulOp: BinaryOp<A, B, C>,
+{
+    check_dims("x capacity vs matrix rows", a.nrows(), x.capacity())?;
+    let ncols = a.ncols();
+    let mut spa = DenseSpa::new(ncols, ring.zero::<C>());
+    let mut c = crate::par::Counters::default();
+    for (rid, &xv) in x.iter() {
+        let (cols, vals) = a.row(rid);
+        c.flops += cols.len() as u64;
+        for (&colid, &av) in cols.iter().zip(vals.iter()) {
+            if let Some(m) = mask {
+                if !m.allows(colid, &mut c) {
+                    continue;
+                }
+            }
+            spa.accumulate(colid, ring.multiply(xv, av), &ring.add, &mut c);
+        }
+    }
+    c.elems += x.nnz() as u64;
+    ctx.record(PHASE_SPA, |pc| pc.merge(&c));
+
+    let mut nzinds = spa.nzinds().to_vec();
+    sort_indices(&mut nzinds, opts.sort, ctx, PHASE_SORT);
+
+    let mut out_c = crate::par::Counters::default();
+    let values: Vec<C> = nzinds
+        .iter()
+        .map(|&i| {
+            out_c.spa_touches += 1;
+            spa.get(i).expect("collected index is occupied")
+        })
+        .collect();
+    out_c.elems += nzinds.len() as u64;
+    ctx.record(PHASE_OUTPUT, |pc| pc.merge(&out_c));
+    Ok(SpMSpVOutput { vector: SparseVec::from_sorted(ncols, nzinds, values)? })
+}
+
+/// Sort-based SpMSpV: emit every product `(col, x[i] ⊗ A[i,j])`, sort the
+/// pairs by column, then reduce equal columns with the add monoid. Trades
+/// SPA random access for a bigger sort — the ablation bench compares it
+/// against the SPA algorithm.
+pub fn spmspv_sort_based<A, B, C, AddM, MulOp>(
+    a: &CsrMatrix<B>,
+    x: &SparseVec<A>,
+    ring: &Semiring<AddM, MulOp>,
+    ctx: &ExecCtx,
+) -> Result<SpMSpVOutput<C>>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync,
+    AddM: Monoid<C>,
+    MulOp: BinaryOp<A, B, C>,
+{
+    check_dims("x capacity vs matrix rows", a.nrows(), x.capacity())?;
+    let ncols = a.ncols();
+    // Emit products.
+    let mut keyed: Vec<(usize, usize)> = Vec::new(); // (col, position)
+    let mut products: Vec<C> = Vec::new();
+    let mut c = crate::par::Counters::default();
+    for (rid, &xv) in x.iter() {
+        let (cols, vals) = a.row(rid);
+        c.flops += cols.len() as u64;
+        for (&colid, &av) in cols.iter().zip(vals.iter()) {
+            keyed.push((colid, products.len()));
+            products.push(ring.multiply(xv, av));
+        }
+    }
+    c.elems += x.nnz() as u64;
+    ctx.record(PHASE_SPA, |pc| pc.merge(&c));
+    // Sort pairs by column (stable by construction of the secondary key).
+    parallel_merge_sort(&mut keyed, ctx, PHASE_SORT);
+    // Segmented reduce.
+    let mut out_i: Vec<usize> = Vec::new();
+    let mut out_v: Vec<C> = Vec::new();
+    let mut oc = crate::par::Counters::default();
+    for &(col, pos) in &keyed {
+        oc.elems += 1;
+        if out_i.last() == Some(&col) {
+            let last = out_v.last_mut().unwrap();
+            *last = ring.accumulate(*last, products[pos]);
+            oc.flops += 1;
+        } else {
+            out_i.push(col);
+            out_v.push(products[pos]);
+        }
+    }
+    ctx.record(PHASE_OUTPUT, |pc| pc.merge(&oc));
+    Ok(SpMSpVOutput { vector: SparseVec::from_sorted(ncols, out_i, out_v)? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::semirings;
+    use crate::container::DenseVec;
+    use crate::gen;
+
+    /// Dense reference for y = x A over plus-times.
+    fn dense_reference(a: &CsrMatrix<f64>, x: &SparseVec<f64>) -> Vec<f64> {
+        let mut y = vec![0.0; a.ncols()];
+        for (i, &xv) in x.iter() {
+            let (cols, vals) = a.row(i);
+            for (&j, &av) in cols.iter().zip(vals) {
+                y[j] += xv * av;
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn semiring_matches_dense_reference() {
+        let a = gen::erdos_renyi(500, 6, 11);
+        let x = gen::random_sparse_vec(500, 40, 12);
+        let ctx = ExecCtx::serial();
+        let out = spmspv_semiring(&a, &x, &semirings::plus_times_f64(), &ctx).unwrap();
+        let reference = dense_reference(&a, &x);
+        let dense = out.vector.to_dense(0.0);
+        for j in 0..500 {
+            assert!((dense[j] - reference[j]).abs() < 1e-9, "col {j}");
+        }
+    }
+
+    #[test]
+    fn sort_based_agrees_with_spa() {
+        let a = gen::erdos_renyi(300, 5, 21);
+        let x = gen::random_sparse_vec(300, 30, 22);
+        let ctx = ExecCtx::serial();
+        let spa = spmspv_semiring(&a, &x, &semirings::plus_times_f64(), &ctx).unwrap();
+        let srt = spmspv_sort_based(&a, &x, &semirings::plus_times_f64(), &ctx).unwrap();
+        assert_eq!(spa.vector.indices(), srt.vector.indices());
+        for (s, t) in spa.vector.values().iter().zip(srt.vector.values()) {
+            assert!((s - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn first_visitor_structure_matches_semiring_structure() {
+        let a = gen::erdos_renyi(400, 8, 31);
+        let x = gen::random_sparse_vec(400, 25, 32);
+        for threads in [1, 4] {
+            let ctx = ExecCtx::new(threads, 2);
+            let fv =
+                spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), &ctx).unwrap();
+            let sr = spmspv_semiring(&a, &x, &semirings::plus_times_f64(), &ctx).unwrap();
+            assert_eq!(fv.indices(), sr.vector.indices(), "reached set must agree");
+            // every stored value is a legitimate visiting row
+            for (col, &rid) in fv.iter() {
+                assert!(x.get(rid).is_some(), "value {rid} must be a frontier row");
+                assert!(a.get(rid, col).is_some(), "A[{rid},{col}] must exist");
+            }
+        }
+    }
+
+    #[test]
+    fn first_visitor_deterministic_when_serial() {
+        let a = gen::erdos_renyi(200, 6, 41);
+        let x = gen::random_sparse_vec(200, 20, 42);
+        let ctx = ExecCtx::serial();
+        let y1 = spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), &ctx).unwrap();
+        let y2 = spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), &ctx).unwrap();
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn radix_and_merge_sorts_agree() {
+        let a = gen::erdos_renyi(400, 8, 51);
+        let x = gen::random_sparse_vec(400, 30, 52);
+        let ctx = ExecCtx::serial();
+        let m = spmspv_first_visitor(&a, &x, None, SpMSpVOpts { sort: SortAlgo::Merge }, &ctx)
+            .unwrap();
+        let r = spmspv_first_visitor(&a, &x, None, SpMSpVOpts { sort: SortAlgo::Radix }, &ctx)
+            .unwrap();
+        assert_eq!(m, r);
+    }
+
+    #[test]
+    fn mask_excludes_columns() {
+        let a = gen::erdos_renyi_bool(200, 6, 61);
+        let x = gen::random_sparse_vec(200, 15, 62);
+        let visited = DenseVec::from_fn(200, |i| i % 2 == 0); // even columns visited
+        let not_visited = VecMask::dense(&visited).complement();
+        let ctx = ExecCtx::serial();
+        let y = spmspv_first_visitor(&a, &x, Some(&not_visited), SpMSpVOpts::default(), &ctx)
+            .unwrap();
+        assert!(y.indices().iter().all(|&j| j % 2 == 1), "only odd columns allowed");
+    }
+
+    #[test]
+    fn phases_are_recorded() {
+        let a = gen::erdos_renyi(300, 8, 71);
+        let x = gen::random_sparse_vec(300, 50, 72);
+        let ctx = ExecCtx::simulated(16);
+        let _ = spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), &ctx).unwrap();
+        let prof = ctx.take_profile();
+        assert!(prof.phase(PHASE_SPA).flops > 0);
+        assert!(prof.phase(PHASE_SPA).atomics > 0);
+        assert!(prof.phase(PHASE_SORT).sort_elems > 0);
+        assert!(prof.phase(PHASE_OUTPUT).spa_touches > 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_error() {
+        let a = gen::erdos_renyi(10, 2, 81);
+        let x = gen::random_sparse_vec(11, 2, 82);
+        let ctx = ExecCtx::serial();
+        assert!(spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), &ctx).is_err());
+        assert!(spmspv_semiring(&a, &x, &semirings::plus_times_f64(), &ctx).is_err());
+    }
+
+    #[test]
+    fn empty_frontier_gives_empty_output() {
+        let a = gen::erdos_renyi(50, 3, 91);
+        let x = SparseVec::<f64>::new(50);
+        let ctx = ExecCtx::serial();
+        let y = spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), &ctx).unwrap();
+        assert_eq!(y.nnz(), 0);
+        assert_eq!(y.capacity(), 50);
+    }
+
+    #[test]
+    fn tropical_semiring_relaxes_distances() {
+        // Path graph 0 -> 1 -> 2 with weights 2.0 and 3.0.
+        let a = CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (1, 2, 3.0)]).unwrap();
+        let x = SparseVec::from_sorted(3, vec![0], vec![0.0]).unwrap(); // dist 0 at source
+        let ctx = ExecCtx::serial();
+        let ring = semirings::min_plus();
+        let y1 = spmspv_semiring(&a, &x, &ring, &ctx).unwrap().vector;
+        assert_eq!(y1.indices(), &[1]);
+        assert_eq!(y1.values(), &[2.0]);
+        let y2 = spmspv_semiring(&a, &y1, &ring, &ctx).unwrap().vector;
+        assert_eq!(y2.indices(), &[2]);
+        assert_eq!(y2.values(), &[5.0]);
+    }
+}

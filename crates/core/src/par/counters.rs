@@ -1,0 +1,110 @@
+//! Work counters — the measurement half of the execution/simulation split.
+
+/// Counts of the primitive work performed while executing an operation.
+///
+/// Every counter corresponds to a mechanism the paper identifies as a
+/// performance driver, and `gblas_sim::CostModel` prices each with a
+/// calibrated per-unit cost:
+///
+/// * `elems` — elements streamed sequentially (the `O(nnz)` body of
+///   Apply/Assign/eWiseMult);
+/// * `flops` — semiring multiply+add pairs (SpMSpV/SpMV/MxM inner loops);
+/// * `search_probes` — binary-search probe steps. "Accessing the *i*th
+///   entry A\[i\] of the sparse array A requires logarithmic time" (§III-B)
+///   — this is the counter that makes Assign1 ~10× slower than Assign2;
+/// * `atomics` — atomic read-modify-write operations (the `fetchAdd`
+///   compaction in Listing 6, the `isthere` claims in Listing 7);
+/// * `sort_elems` — elements moved per sorting pass, summed over passes
+///   (`n·log n` for merge sort, `n·passes` for radix), the dominant cost of
+///   shared-memory SpMSpV (Fig 7);
+/// * `spa_touches` — sparse-accumulator reads/writes (dense-array random
+///   access, cache-unfriendly);
+/// * `rand_access` — other random (non-streaming) memory accesses;
+/// * `bytes_moved` — bytes streamed, used for the memory-bandwidth ceiling;
+/// * `tasks`/`regions` — fork-join bookkeeping: the per-task spawn
+///   overhead is exactly the "burdened parallelism" of §I.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Elements streamed sequentially.
+    pub elems: u64,
+    /// Semiring multiply/add operation pairs.
+    pub flops: u64,
+    /// Binary-search probe steps (each probe is one compare + dependent load).
+    pub search_probes: u64,
+    /// Atomic read-modify-write operations.
+    pub atomics: u64,
+    /// Elements moved during sorting, summed across passes.
+    pub sort_elems: u64,
+    /// Sparse-accumulator touches (random access into a dense array).
+    pub spa_touches: u64,
+    /// Other random-access loads/stores.
+    pub rand_access: u64,
+    /// Bytes streamed (for the bandwidth ceiling).
+    pub bytes_moved: u64,
+    /// Tasks spawned by fork-join regions.
+    pub tasks: u64,
+    /// Fork-join regions entered.
+    pub regions: u64,
+}
+
+impl Counters {
+    /// Element-wise accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &Counters) {
+        self.elems += other.elems;
+        self.flops += other.flops;
+        self.search_probes += other.search_probes;
+        self.atomics += other.atomics;
+        self.sort_elems += other.sort_elems;
+        self.spa_touches += other.spa_touches;
+        self.rand_access += other.rand_access;
+        self.bytes_moved += other.bytes_moved;
+        self.tasks += other.tasks;
+        self.regions += other.regions;
+    }
+
+    /// True when no work at all has been recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == Counters::default()
+    }
+
+    /// Total "CPU-side" unit count — a quick sanity aggregate used in tests
+    /// and logs, *not* by the cost model (which prices each field
+    /// separately).
+    pub fn total_units(&self) -> u64 {
+        self.elems
+            + self.flops
+            + self.search_probes
+            + self.atomics
+            + self.sort_elems
+            + self.spa_touches
+            + self.rand_access
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Counters { elems: 1, atomics: 2, ..Default::default() };
+        let b = Counters { elems: 10, sort_elems: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.elems, 11);
+        assert_eq!(a.atomics, 2);
+        assert_eq!(a.sort_elems, 5);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert!(Counters::default().is_empty());
+        let c = Counters { flops: 1, ..Default::default() };
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn total_units_excludes_bookkeeping() {
+        let c = Counters { elems: 3, tasks: 100, regions: 10, bytes_moved: 1 << 30, ..Default::default() };
+        assert_eq!(c.total_units(), 3);
+    }
+}

@@ -1,0 +1,294 @@
+//! Instrumented fork-join runtime.
+//!
+//! Chapel expresses parallelism with `forall` (data-parallel over a domain)
+//! and `coforall` (one explicit task per iteration, the SPMD style the paper
+//! repeatedly falls back to for performance). This module provides the same
+//! two shapes for Rust:
+//!
+//! * [`ExecCtx::parallel_for`] — a `forall`: an index range split into one
+//!   contiguous chunk per *logical* thread.
+//! * [`ExecCtx::for_each_task`] — a `coforall`: exactly `ntasks` explicit
+//!   tasks, each receiving its task id.
+//!
+//! The runtime separates **logical threads** (the thread count being
+//! *simulated*, swept 1..32 in the paper's figures) from **real OS threads**
+//! (bounded by the host, 2 in CI). Execution is real — every task body
+//! actually runs and produces real results — while [`Counters`] record the
+//! work performed (elements streamed, binary-search probes, atomic RMWs,
+//! sort passes, SPA touches, messages are counted in `gblas-dist`).
+//! `gblas-sim` prices the counters with a calibrated model of the paper's
+//! 24-core Edison node, which is what lets a 2-core container regenerate
+//! 32-thread scaling curves whose *shape* is driven by the measured work,
+//! not by a guess.
+
+mod counters;
+mod profile;
+
+pub use counters::Counters;
+pub use profile::Profile;
+
+use parking_lot::Mutex;
+use std::ops::Range;
+
+/// Execution context carried by every operation.
+///
+/// Holds the logical thread count, the real-thread budget, and the
+/// accumulated [`Profile`] of everything executed under this context.
+pub struct ExecCtx {
+    /// Logical (simulated) thread count: the number of tasks a `forall`
+    /// region creates. Mirrors `CHPL_RT_NUM_THREADS_PER_LOCALE`.
+    threads: usize,
+    /// Real OS threads used to execute tasks. `1` gives fully
+    /// deterministic execution (tasks run in task-id order).
+    real_threads: usize,
+    profile: Mutex<Profile>,
+}
+
+impl ExecCtx {
+    /// Fully serial, deterministic context (1 logical, 1 real thread).
+    pub fn serial() -> Self {
+        Self::new(1, 1)
+    }
+
+    /// `threads` logical threads, executed on up to `threads` real cores
+    /// (capped by the host's available parallelism). This is the "library
+    /// user" constructor: logical == real wherever possible.
+    pub fn with_threads(threads: usize) -> Self {
+        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::new(threads, threads.min(avail))
+    }
+
+    /// `threads` logical threads, executed **serially** on the calling
+    /// thread. Deterministic; used by tests and by the figure harness when
+    /// sweeping thread counts far beyond the host's core count (the
+    /// counters, and therefore the simulated times, are identical to a
+    /// parallel execution up to atomic-race winners).
+    pub fn simulated(threads: usize) -> Self {
+        Self::new(threads, 1)
+    }
+
+    /// Explicit constructor. `threads >= 1`, `real_threads >= 1`.
+    pub fn new(threads: usize, real_threads: usize) -> Self {
+        ExecCtx {
+            threads: threads.max(1),
+            real_threads: real_threads.max(1),
+            profile: Mutex::new(Profile::default()),
+        }
+    }
+
+    /// Logical thread count (the task count of `forall` regions).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Real OS threads in use.
+    pub fn real_threads(&self) -> usize {
+        self.real_threads
+    }
+
+    /// Record counters into `phase` without spawning a region (serial work).
+    pub fn record(&self, phase: &str, f: impl FnOnce(&mut Counters)) {
+        let mut p = self.profile.lock();
+        f(p.counters_mut(phase));
+    }
+
+    /// Take and reset the accumulated profile.
+    pub fn take_profile(&self) -> Profile {
+        std::mem::take(&mut self.profile.lock())
+    }
+
+    /// Peek at the accumulated profile.
+    pub fn profile(&self) -> Profile {
+        self.profile.lock().clone()
+    }
+
+    /// `coforall`: run exactly `ntasks` tasks, each with its id and a local
+    /// [`Counters`]. Results come back in task order. Counters are merged
+    /// into `phase`, and the region/task bookkeeping is recorded.
+    pub fn for_each_task<R, F>(&self, phase: &str, ntasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut Counters) -> R + Sync,
+    {
+        assert!(ntasks > 0, "for_each_task requires at least one task");
+        let nworkers = self.real_threads.min(ntasks);
+        let mut merged = Counters::default();
+        let mut results: Vec<Option<R>> = Vec::with_capacity(ntasks);
+
+        if nworkers <= 1 {
+            for t in 0..ntasks {
+                let mut c = Counters::default();
+                results.push(Some(f(t, &mut c)));
+                merged.merge(&c);
+            }
+        } else {
+            let slots: Vec<Mutex<Option<(R, Counters)>>> =
+                (0..ntasks).map(|_| Mutex::new(None)).collect();
+            crossbeam::thread::scope(|scope| {
+                for w in 0..nworkers {
+                    let slots = &slots;
+                    let f = &f;
+                    scope.spawn(move |_| {
+                        let mut t = w;
+                        while t < ntasks {
+                            let mut c = Counters::default();
+                            let r = f(t, &mut c);
+                            *slots[t].lock() = Some((r, c));
+                            t += nworkers;
+                        }
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+            for slot in slots {
+                let (r, c) = slot.into_inner().expect("task did not run");
+                results.push(Some(r));
+                merged.merge(&c);
+            }
+        }
+
+        merged.regions += 1;
+        merged.tasks += ntasks as u64;
+        self.record(phase, |c| c.merge(&merged));
+        results.into_iter().map(|r| r.unwrap()).collect()
+    }
+
+    /// `forall` over `0..len`: the range is split into `self.threads`
+    /// near-equal contiguous chunks (Chapel's default block iteration), and
+    /// each chunk runs as one task.
+    pub fn parallel_for<R, F>(&self, phase: &str, len: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>, &mut Counters) -> R + Sync,
+    {
+        let chunks = split_ranges(len, self.threads);
+        self.for_each_task(phase, chunks.len(), |t, c| f(chunks[t].clone(), c))
+    }
+}
+
+impl std::fmt::Debug for ExecCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecCtx")
+            .field("threads", &self.threads)
+            .field("real_threads", &self.real_threads)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Split `0..len` into `ntasks` near-equal contiguous ranges. Empty ranges
+/// are omitted, except that a zero-length input yields a single empty range
+/// so every `forall` still runs one (trivial) task.
+pub fn split_ranges(len: usize, ntasks: usize) -> Vec<Range<usize>> {
+    let ntasks = ntasks.max(1);
+    if len == 0 {
+        #[allow(clippy::single_range_in_vec_init)] // one empty task, not a range expansion
+        return vec![0..0];
+    }
+    let n = ntasks.min(len);
+    let base = len / n;
+    let extra = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for t in 0..n {
+        let sz = base + usize::from(t < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for len in [0usize, 1, 2, 7, 24, 1000] {
+            for t in [1usize, 2, 3, 24, 1000] {
+                let rs = split_ranges(len, t);
+                let total: usize = rs.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len, "len={len} t={t}");
+                // contiguous and ordered
+                let mut next = rs[0].start;
+                for r in &rs {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                // balanced within 1
+                if len > 0 {
+                    let min = rs.iter().map(|r| r.len()).min().unwrap();
+                    let max = rs.iter().map(|r| r.len()).max().unwrap();
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_task_returns_in_task_order() {
+        for real in [1, 2, 4] {
+            let ctx = ExecCtx::new(8, real);
+            let out = ctx.for_each_task("t", 8, |t, _| t * 10);
+            assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        }
+    }
+
+    #[test]
+    fn parallel_for_sums_correctly() {
+        let data: Vec<u64> = (0..10_000).collect();
+        for threads in [1, 3, 8, 32] {
+            let ctx = ExecCtx::new(threads, 2);
+            let partials = ctx.parallel_for("sum", data.len(), |r, c| {
+                c.elems += r.len() as u64;
+                data[r].iter().sum::<u64>()
+            });
+            let total: u64 = partials.into_iter().sum();
+            assert_eq!(total, 10_000 * 9_999 / 2);
+            let prof = ctx.take_profile();
+            assert_eq!(prof.phase("sum").elems, 10_000);
+            assert_eq!(prof.phase("sum").regions, 1);
+        }
+    }
+
+    #[test]
+    fn tasks_counter_matches_logical_threads() {
+        let ctx = ExecCtx::simulated(24);
+        ctx.parallel_for("p", 1000, |_, _| ());
+        assert_eq!(ctx.take_profile().phase("p").tasks, 24);
+    }
+
+    #[test]
+    fn real_parallel_execution_actually_runs_all_tasks() {
+        let hits = AtomicU64::new(0);
+        let ctx = ExecCtx::new(16, 2);
+        ctx.for_each_task("t", 16, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn record_accumulates_across_calls() {
+        let ctx = ExecCtx::serial();
+        ctx.record("x", |c| c.elems += 5);
+        ctx.record("x", |c| c.elems += 7);
+        assert_eq!(ctx.profile().phase("x").elems, 12);
+    }
+
+    #[test]
+    fn take_profile_resets() {
+        let ctx = ExecCtx::serial();
+        ctx.record("x", |c| c.elems += 1);
+        let _ = ctx.take_profile();
+        assert_eq!(ctx.take_profile().phase("x").elems, 0);
+    }
+
+    #[test]
+    fn zero_length_parallel_for_runs_one_empty_task() {
+        let ctx = ExecCtx::with_threads(4);
+        let out = ctx.parallel_for("z", 0, |r, _| r.len());
+        assert_eq!(out, vec![0]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Phase-structured profiles.
+
+use super::Counters;
+
+/// A profile: named phases, each with accumulated [`Counters`].
+///
+/// The paper's figures break operations into components — SpMSpV into
+/// `SPA / Sorting / Output` (Fig 7) and `Gather / Local Multiply / Scatter`
+/// (Figs 8–9) — so the instrumentation is phase-structured from the start.
+/// Phases appear in first-recorded order, which the figure harness relies on
+/// for stable column ordering.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    phases: Vec<(String, Counters)>,
+}
+
+impl Profile {
+    /// Counters for `phase`, creating the phase if needed.
+    pub fn counters_mut(&mut self, phase: &str) -> &mut Counters {
+        if let Some(pos) = self.phases.iter().position(|(n, _)| n == phase) {
+            &mut self.phases[pos].1
+        } else {
+            self.phases.push((phase.to_string(), Counters::default()));
+            &mut self.phases.last_mut().unwrap().1
+        }
+    }
+
+    /// Counters recorded for `phase` (zero if the phase never ran).
+    pub fn phase(&self, phase: &str) -> Counters {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == phase)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
+    }
+
+    /// Phase names in first-recorded order.
+    pub fn phase_names(&self) -> Vec<&str> {
+        self.phases.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Iterate `(name, counters)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Counters)> {
+        self.phases.iter().map(|(n, c)| (n.as_str(), c))
+    }
+
+    /// Sum of all phases.
+    pub fn total(&self) -> Counters {
+        let mut t = Counters::default();
+        for (_, c) in &self.phases {
+            t.merge(c);
+        }
+        t
+    }
+
+    /// Merge another profile phase-by-phase.
+    pub fn merge(&mut self, other: &Profile) {
+        for (name, c) in other.iter() {
+            self.counters_mut(name).merge(c);
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.iter().all(|(_, c)| c.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_independently() {
+        let mut p = Profile::default();
+        p.counters_mut("spa").elems += 10;
+        p.counters_mut("sort").sort_elems += 100;
+        p.counters_mut("spa").elems += 5;
+        assert_eq!(p.phase("spa").elems, 15);
+        assert_eq!(p.phase("sort").sort_elems, 100);
+        assert_eq!(p.phase("missing"), Counters::default());
+    }
+
+    #[test]
+    fn phase_order_is_first_recorded() {
+        let mut p = Profile::default();
+        p.counters_mut("gather");
+        p.counters_mut("local");
+        p.counters_mut("scatter");
+        p.counters_mut("gather");
+        assert_eq!(p.phase_names(), vec!["gather", "local", "scatter"]);
+    }
+
+    #[test]
+    fn total_sums_phases() {
+        let mut p = Profile::default();
+        p.counters_mut("a").elems = 3;
+        p.counters_mut("b").elems = 4;
+        assert_eq!(p.total().elems, 7);
+    }
+
+    #[test]
+    fn merge_profiles() {
+        let mut a = Profile::default();
+        a.counters_mut("x").flops = 1;
+        let mut b = Profile::default();
+        b.counters_mut("x").flops = 2;
+        b.counters_mut("y").atomics = 9;
+        a.merge(&b);
+        assert_eq!(a.phase("x").flops, 3);
+        assert_eq!(a.phase("y").atomics, 9);
+    }
+}

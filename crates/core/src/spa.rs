@@ -1,0 +1,273 @@
+//! Sparse accumulators (SPA).
+//!
+//! "The nonzeros in those rows are merged using the SPA, which is a data
+//! structure that consists of a dense vector of values of the same type as
+//! the output y, a dense vector of Booleans (`isthere`) for marking whether
+//! that entry in y has been initialized, and a list (or vector) of indices
+//! (`nzinds`) for which `isthere` has been set to true." (§III-D, Fig 6)
+//!
+//! Two variants:
+//! * [`DenseSpa`] — the textbook serial SPA, accumulating with an arbitrary
+//!   monoid. Used by the semiring SpMSpV and by SpGEMM.
+//! * [`AtomicSpa`] — the paper's parallel SPA (Listing 7): `isthere` is an
+//!   array of atomics claimed with compare-and-swap, `nzinds` is compacted
+//!   through an atomic fetch-add cursor, and only the claiming task writes
+//!   the value slot ("only keeping the first index"). Values are `usize`
+//!   because the paper stores "the row index as value" (line 25) — the
+//!   BFS parent.
+
+use crate::algebra::Monoid;
+use crate::par::Counters;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Serial sparse accumulator over domain `0..capacity` with monoid
+/// accumulation.
+#[derive(Debug)]
+pub struct DenseSpa<T> {
+    values: Vec<T>,
+    occupied: Vec<bool>,
+    nzinds: Vec<usize>,
+}
+
+impl<T: Copy> DenseSpa<T> {
+    /// A SPA for outputs of dimension `capacity`; `fill` initializes the
+    /// dense value array (any value works — unoccupied slots are never
+    /// read).
+    pub fn new(capacity: usize, fill: T) -> Self {
+        DenseSpa {
+            values: vec![fill; capacity],
+            occupied: vec![false; capacity],
+            nzinds: Vec::new(),
+        }
+    }
+
+    /// The domain size.
+    pub fn capacity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn nnz(&self) -> usize {
+        self.nzinds.len()
+    }
+
+    /// Accumulate `value` into slot `index` with `monoid`, charging the SPA
+    /// touches to `counters`.
+    pub fn accumulate(
+        &mut self,
+        index: usize,
+        value: T,
+        monoid: &impl Monoid<T>,
+        counters: &mut Counters,
+    ) {
+        counters.spa_touches += 1;
+        if self.occupied[index] {
+            self.values[index] = monoid.combine(self.values[index], value);
+        } else {
+            self.occupied[index] = true;
+            self.values[index] = value;
+            self.nzinds.push(index);
+        }
+    }
+
+    /// Insert only if the slot is empty (first-visitor-wins, the paper's
+    /// semantics). Returns whether the insert happened.
+    pub fn insert_first(&mut self, index: usize, value: T, counters: &mut Counters) -> bool {
+        counters.spa_touches += 1;
+        if self.occupied[index] {
+            false
+        } else {
+            self.occupied[index] = true;
+            self.values[index] = value;
+            self.nzinds.push(index);
+            true
+        }
+    }
+
+    /// Read an occupied slot.
+    pub fn get(&self, index: usize) -> Option<T> {
+        if self.occupied[index] {
+            Some(self.values[index])
+        } else {
+            None
+        }
+    }
+
+    /// The collected indices, in *insertion* order (unsorted — the caller
+    /// sorts, which is exactly the step Fig 7 shows dominating).
+    pub fn nzinds(&self) -> &[usize] {
+        &self.nzinds
+    }
+
+    /// Drain into `(indices_in_insertion_order, values_in_that_order)` and
+    /// reset the SPA for reuse (clearing only the occupied slots, so reuse
+    /// is `O(nnz)` not `O(capacity)`).
+    pub fn drain(&mut self, counters: &mut Counters) -> (Vec<usize>, Vec<T>) {
+        let inds = std::mem::take(&mut self.nzinds);
+        let mut vals = Vec::with_capacity(inds.len());
+        for &i in &inds {
+            vals.push(self.values[i]);
+            self.occupied[i] = false;
+        }
+        counters.spa_touches += inds.len() as u64;
+        (inds, vals)
+    }
+}
+
+/// The paper's parallel SPA: atomic `isthere` flags, an atomic compaction
+/// cursor, and value slots written only by the winning claimer.
+pub struct AtomicSpa {
+    isthere: Vec<AtomicBool>,
+    /// `localy` in Listing 7: value slot, written only by the claim winner.
+    values: Vec<AtomicUsize>,
+    nzinds: Vec<AtomicUsize>,
+    cursor: AtomicUsize,
+}
+
+impl AtomicSpa {
+    /// A SPA for outputs of dimension `capacity`, with room for up to
+    /// `capacity` collected indices (the listing allocates `nzinds` of
+    /// length `ncol`).
+    pub fn new(capacity: usize) -> Self {
+        AtomicSpa {
+            isthere: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
+            values: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
+            nzinds: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// The domain size.
+    pub fn capacity(&self) -> usize {
+        self.isthere.len()
+    }
+
+    /// Try to claim slot `index` with `value`; the first claimer wins
+    /// (Listing 7 lines 21–26: test, set, record). Returns `true` when this
+    /// call was the winner. Charges one atomic read, and on a win the CAS,
+    /// the fetch-add and the stores, to `counters`.
+    pub fn claim_first(&self, index: usize, value: usize, counters: &mut Counters) -> bool {
+        counters.atomics += 1;
+        if self.isthere[index].load(Ordering::Relaxed) {
+            return false;
+        }
+        counters.atomics += 1;
+        if self.isthere[index]
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        self.values[index].store(value, Ordering::Relaxed);
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed);
+        counters.atomics += 1;
+        self.nzinds[slot].store(index, Ordering::Relaxed);
+        counters.spa_touches += 2;
+        true
+    }
+
+    /// Number of claimed slots so far.
+    pub fn nnz(&self) -> usize {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    /// Read the value stored for a claimed index.
+    pub fn value(&self, index: usize) -> usize {
+        self.values[index].load(Ordering::Acquire)
+    }
+
+    /// Whether `index` has been claimed.
+    pub fn contains(&self, index: usize) -> bool {
+        self.isthere[index].load(Ordering::Acquire)
+    }
+
+    /// Snapshot the collected indices (unsorted) — Listing 7's
+    /// `nzinds.remove(k.read(), ncol-k.read())` truncation.
+    pub fn collected(&self) -> Vec<usize> {
+        let n = self.nnz();
+        self.nzinds[..n].iter().map(|a| a.load(Ordering::Acquire)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Plus;
+
+    #[test]
+    fn dense_spa_accumulates_with_monoid() {
+        let mut spa = DenseSpa::new(8, 0.0f64);
+        let mut c = Counters::default();
+        spa.accumulate(3, 1.0, &Plus, &mut c);
+        spa.accumulate(5, 2.0, &Plus, &mut c);
+        spa.accumulate(3, 4.0, &Plus, &mut c);
+        assert_eq!(spa.nnz(), 2);
+        assert_eq!(spa.get(3), Some(5.0));
+        assert_eq!(spa.get(0), None);
+        assert_eq!(c.spa_touches, 3);
+        let (inds, vals) = spa.drain(&mut c);
+        assert_eq!(inds, vec![3, 5]);
+        assert_eq!(vals, vec![5.0, 2.0]);
+        // reusable after drain
+        assert_eq!(spa.nnz(), 0);
+        assert_eq!(spa.get(3), None);
+    }
+
+    #[test]
+    fn dense_spa_first_visitor() {
+        let mut spa = DenseSpa::new(4, 0usize);
+        let mut c = Counters::default();
+        assert!(spa.insert_first(2, 10, &mut c));
+        assert!(!spa.insert_first(2, 20, &mut c));
+        assert_eq!(spa.get(2), Some(10));
+    }
+
+    #[test]
+    fn atomic_spa_single_winner_per_slot() {
+        let spa = AtomicSpa::new(16);
+        let mut c = Counters::default();
+        assert!(spa.claim_first(7, 100, &mut c));
+        assert!(!spa.claim_first(7, 200, &mut c));
+        assert_eq!(spa.value(7), 100);
+        assert!(spa.contains(7));
+        assert!(!spa.contains(8));
+        assert_eq!(spa.collected(), vec![7]);
+    }
+
+    #[test]
+    fn atomic_spa_concurrent_claims_are_exclusive() {
+        use std::sync::atomic::AtomicUsize;
+        let spa = AtomicSpa::new(64);
+        let wins = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for t in 0..4 {
+                let spa = &spa;
+                let wins = &wins;
+                s.spawn(move |_| {
+                    let mut c = Counters::default();
+                    for i in 0..64 {
+                        if spa.claim_first(i, t, &mut c) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // Every slot claimed exactly once across all threads.
+        assert_eq!(wins.load(Ordering::Relaxed), 64);
+        assert_eq!(spa.nnz(), 64);
+        let mut collected = spa.collected();
+        collected.sort_unstable();
+        assert_eq!(collected, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn atomic_counters_charged() {
+        let spa = AtomicSpa::new(4);
+        let mut c = Counters::default();
+        spa.claim_first(0, 1, &mut c); // win: load + cas + fetch_add = 3
+        spa.claim_first(0, 2, &mut c); // lose at the load: 1
+        assert_eq!(c.atomics, 4);
+    }
+}

@@ -1,0 +1,290 @@
+//! The instrumented communication layer.
+//!
+//! All locales live in one address space, so "communication" is a real
+//! memory copy plus a logged [`CommEvent`]. The distinction the paper
+//! cares about — and that decides every distributed figure — is *how* the
+//! copy happens:
+//!
+//! * [`Comm::fine`] — one message per element: Chapel's implicit remote
+//!   access inside `forall` over distributed sparse arrays (Apply1,
+//!   Assign1), the element-at-a-time vector gather of Listing 8, and the
+//!   per-element atomic scatter into the global SPA.
+//! * [`Comm::bulk`] — one message per block: what a bulk-synchronous,
+//!   aggregated implementation would do (§IV "Bulk-synchronous
+//!   communication of sparse arrays might improve the performance").
+//!
+//! Pricing happens later in [`crate::exec`]; this module only measures.
+//! A deterministic fault hook ([`Comm::fail_after`]) lets tests inject a
+//! communication failure at the N-th event and verify that operations
+//! propagate it instead of silently corrupting results.
+
+use gblas_core::error::{GblasError, Result};
+use parking_lot::Mutex;
+
+/// Message-granularity class of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommKind {
+    /// One message per element, issued from a parallel loop — requests
+    /// overlap (pipeline) up to the network model's concurrency.
+    Fine,
+    /// One message per element from a *dependent* chain (e.g. walking a
+    /// remote domain's iterator, where each access needs the previous
+    /// one's result): no pipelining, and sensitive to congestion when many
+    /// locales walk remote structures at once. This is what makes
+    /// Listing 8's gather blow up (Figs 8–9).
+    FineDependent,
+    /// Aggregated block transfer.
+    Bulk,
+}
+
+/// One logged transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommEvent {
+    /// Phase name (matches the op's compute phases).
+    pub phase: String,
+    /// Initiating locale (charged with the transfer time).
+    pub src: usize,
+    /// Peer locale.
+    pub dst: usize,
+    /// Granularity class.
+    pub kind: CommKind,
+    /// Number of messages (elements for `Fine`, blocks for `Bulk`).
+    pub msgs: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// The communication layer: event log + fault injection.
+///
+/// Operations *drain* the event log when they price themselves
+/// ([`Comm::take_events`]), so one `DistCtx` can run many operations
+/// without double pricing; the cumulative totals survive draining for
+/// inspection and tests.
+#[derive(Debug, Default)]
+pub struct Comm {
+    events: Mutex<Vec<CommEvent>>,
+    /// Cumulative (fine msgs, bulk msgs, bytes) across the context's
+    /// lifetime — not reset by `take_events`.
+    cumulative: Mutex<(u64, u64, u64)>,
+    /// Cumulative number of successful log calls (the unit the fault plan
+    /// counts in) — not reset by `take_events`.
+    calls: Mutex<u64>,
+    /// Fault plan: fail the N-th subsequent transfer (0-based countdown).
+    fail_in: Mutex<Option<u64>>,
+}
+
+impl Comm {
+    /// A fresh, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm the fault hook: the `n`-th transfer from now returns
+    /// [`GblasError::CommFailure`] (n = 0 fails the next transfer).
+    pub fn fail_after(&self, n: u64) {
+        *self.fail_in.lock() = Some(n);
+    }
+
+    /// Disarm the fault hook.
+    pub fn clear_faults(&self) {
+        *self.fail_in.lock() = None;
+    }
+
+    fn check_fault(&self, phase: &str) -> Result<()> {
+        let mut guard = self.fail_in.lock();
+        if let Some(n) = guard.as_mut() {
+            if *n == 0 {
+                *guard = None;
+                return Err(GblasError::CommFailure(format!(
+                    "injected fault during phase '{phase}'"
+                )));
+            }
+            *n -= 1;
+        }
+        Ok(())
+    }
+
+    /// Log `msgs` fine-grained single-element transfers of `bytes` total
+    /// from `src` touching `dst`.
+    pub fn fine(&self, phase: &str, src: usize, dst: usize, msgs: u64, bytes: u64) -> Result<()> {
+        if msgs == 0 {
+            return Ok(());
+        }
+        self.check_fault(phase)?;
+        {
+            let mut cum = self.cumulative.lock();
+            cum.0 += msgs;
+            cum.2 += bytes;
+            *self.calls.lock() += 1;
+        }
+        self.events.lock().push(CommEvent {
+            phase: phase.to_string(),
+            src,
+            dst,
+            kind: CommKind::Fine,
+            msgs,
+            bytes,
+        });
+        Ok(())
+    }
+
+    /// Log `msgs` *dependent* fine-grained transfers (each access waits
+    /// for the previous — a remote iterator walk).
+    pub fn fine_dependent(
+        &self,
+        phase: &str,
+        src: usize,
+        dst: usize,
+        msgs: u64,
+        bytes: u64,
+    ) -> Result<()> {
+        if msgs == 0 {
+            return Ok(());
+        }
+        self.check_fault(phase)?;
+        {
+            let mut cum = self.cumulative.lock();
+            cum.0 += msgs;
+            cum.2 += bytes;
+            *self.calls.lock() += 1;
+        }
+        self.events.lock().push(CommEvent {
+            phase: phase.to_string(),
+            src,
+            dst,
+            kind: CommKind::FineDependent,
+            msgs,
+            bytes,
+        });
+        Ok(())
+    }
+
+    /// Log one (or `msgs`) bulk transfers of `bytes` total from `src` to
+    /// `dst`.
+    pub fn bulk(&self, phase: &str, src: usize, dst: usize, msgs: u64, bytes: u64) -> Result<()> {
+        if msgs == 0 {
+            return Ok(());
+        }
+        self.check_fault(phase)?;
+        {
+            let mut cum = self.cumulative.lock();
+            cum.1 += msgs;
+            cum.2 += bytes;
+            *self.calls.lock() += 1;
+        }
+        self.events.lock().push(CommEvent {
+            phase: phase.to_string(),
+            src,
+            dst,
+            kind: CommKind::Bulk,
+            msgs,
+            bytes,
+        });
+        Ok(())
+    }
+
+    /// Snapshot the event log.
+    pub fn events(&self) -> Vec<CommEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Drain the event log.
+    pub fn take_events(&self) -> Vec<CommEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    /// Cumulative `(fine messages, bulk messages, bytes)` over the
+    /// context's lifetime. Survives [`Comm::take_events`].
+    pub fn totals(&self) -> (u64, u64, u64) {
+        *self.cumulative.lock()
+    }
+
+    /// Cumulative number of transfer calls (each a potential fault point).
+    /// Survives [`Comm::take_events`].
+    pub fn call_count(&self) -> u64 {
+        *self.calls.lock()
+    }
+}
+
+/// Retry a communication-bearing closure up to `attempts` times on
+/// [`GblasError::CommFailure`], propagating other errors immediately.
+/// Deterministic: no backoff randomness.
+pub fn with_retry<R>(attempts: usize, mut f: impl FnMut() -> Result<R>) -> Result<R> {
+    let mut last = None;
+    for _ in 0..attempts.max(1) {
+        match f() {
+            Ok(r) => return Ok(r),
+            Err(GblasError::CommFailure(msg)) => last = Some(GblasError::CommFailure(msg)),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logs_and_totals() {
+        let c = Comm::new();
+        c.fine("gather", 0, 1, 100, 800).unwrap();
+        c.bulk("gather", 1, 0, 1, 4096).unwrap();
+        c.fine("scatter", 2, 0, 50, 400).unwrap();
+        let (fine, bulk, bytes) = c.totals();
+        assert_eq!((fine, bulk, bytes), (150, 1, 5296));
+        assert_eq!(c.events().len(), 3);
+    }
+
+    #[test]
+    fn zero_message_events_are_elided() {
+        let c = Comm::new();
+        c.fine("x", 0, 1, 0, 0).unwrap();
+        assert!(c.events().is_empty());
+    }
+
+    #[test]
+    fn fault_fires_once_at_the_right_event() {
+        let c = Comm::new();
+        c.fail_after(2);
+        assert!(c.fine("p", 0, 1, 1, 8).is_ok());
+        assert!(c.fine("p", 0, 1, 1, 8).is_ok());
+        let err = c.fine("p", 0, 1, 1, 8).unwrap_err();
+        assert!(matches!(err, GblasError::CommFailure(_)));
+        // disarmed after firing
+        assert!(c.fine("p", 0, 1, 1, 8).is_ok());
+        // only successful events logged
+        assert_eq!(c.events().len(), 3);
+    }
+
+    #[test]
+    fn retry_recovers_from_injected_fault() {
+        let c = Comm::new();
+        c.fail_after(0);
+        let r = with_retry(3, || c.bulk("p", 0, 1, 1, 64));
+        assert!(r.is_ok());
+        assert_eq!(c.events().len(), 1);
+    }
+
+    #[test]
+    fn retry_gives_up_eventually() {
+        let mut count = 0;
+        let r: Result<()> = with_retry(3, || {
+            count += 1;
+            Err(GblasError::CommFailure("always".into()))
+        });
+        assert!(r.is_err());
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn retry_propagates_non_comm_errors_immediately() {
+        let mut count = 0;
+        let r: Result<()> = with_retry(5, || {
+            count += 1;
+            Err(GblasError::InvalidArgument("fatal".into()))
+        });
+        assert!(matches!(r, Err(GblasError::InvalidArgument(_))));
+        assert_eq!(count, 1);
+    }
+}

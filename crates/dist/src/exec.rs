@@ -1,0 +1,235 @@
+//! Distributed execution context and pricing.
+
+use crate::comm::{Comm, CommEvent, CommKind};
+use gblas_core::par::{ExecCtx, Profile};
+use gblas_sim::{MachineConfig, SimReport};
+
+/// Execution context for distributed operations.
+///
+/// Holds the simulated [`MachineConfig`] and the communication log for the
+/// current operation. Distributed ops execute one locale at a time (the
+/// functional result is identical to a concurrent execution because every
+/// superstep reads only the *previous* superstep's data — the
+/// bulk-synchronous structure the paper's version-2 codes follow), each
+/// locale on a fresh [`ExecCtx`] with the machine's `threads_per_locale`.
+#[derive(Debug)]
+pub struct DistCtx {
+    /// The simulated machine.
+    pub machine: MachineConfig,
+    /// Communication log + fault hooks for the current operation.
+    pub comm: Comm,
+}
+
+impl DistCtx {
+    /// A context for the given machine.
+    pub fn new(machine: MachineConfig) -> Self {
+        DistCtx { machine, comm: Comm::new() }
+    }
+
+    /// Total locales of the machine.
+    pub fn locales(&self) -> usize {
+        self.machine.locales()
+    }
+
+    /// A fresh per-locale execution context: `threads_per_locale` logical
+    /// threads, serial real execution (deterministic).
+    pub fn locale_ctx(&self) -> ExecCtx {
+        ExecCtx::new(self.machine.threads_per_locale, 1)
+    }
+
+    /// Compute time of one phase across locales: the bulk-synchronous
+    /// `max` of each locale's priced counters.
+    pub fn price_compute(&self, phase: &str, per_locale: &[Profile]) -> f64 {
+        per_locale
+            .iter()
+            .map(|p| self.machine.cost.phase_time(&p.phase(phase), self.machine.threads_per_locale))
+            .fold(0.0, f64::max)
+    }
+
+    /// Price all phases of per-locale profiles, mapping each profile phase
+    /// through `rename(phase)` into the report (used to fold e.g. the
+    /// local SpMSpV's `spa`/`sort`/`output` into the figure's single
+    /// "Local Multiply" component).
+    pub fn price_compute_all(
+        &self,
+        per_locale: &[Profile],
+        rename: impl Fn(&str) -> String,
+    ) -> SimReport {
+        let mut names: Vec<String> = Vec::new();
+        for p in per_locale {
+            for n in p.phase_names() {
+                if !names.iter().any(|m| m == n) {
+                    names.push(n.to_string());
+                }
+            }
+        }
+        let mut report = SimReport::default();
+        for n in &names {
+            report.push(&rename(n), self.price_compute(n, per_locale));
+        }
+        report
+    }
+
+    /// Price the logged communication events, per phase.
+    ///
+    /// Rules (see `gblas_sim::NetworkModel`):
+    /// * each event is charged to its initiating locale; a phase's comm
+    ///   time is the max over locales of their summed event costs;
+    /// * `Fine` events pay `α_fine / concurrency` per message — the
+    ///   requests come from a parallel loop and pipeline;
+    /// * `FineDependent` events pay the full `α_fine` per message (a
+    ///   dependent chain cannot pipeline), inflated by the congestion
+    ///   factor for the number of locales involved in the phase — the
+    ///   mechanism behind the gather's growth in Figs 8–9;
+    /// * intra-node traffic (colocated locales) uses the cheaper
+    ///   intra-node constants but is additionally multiplied by the
+    ///   colocation contention factor (Fig 10's mechanism);
+    /// * `Bulk` events pay `α_bulk` per message plus bytes over bandwidth.
+    pub fn price_comm(&self, events: &[CommEvent]) -> SimReport {
+        let mut report = SimReport::default();
+        let net = &self.machine.network;
+        let mut phases: Vec<&str> = Vec::new();
+        for e in events {
+            if !phases.contains(&e.phase.as_str()) {
+                phases.push(&e.phase);
+            }
+        }
+        for phase in phases {
+            let evs: Vec<&CommEvent> = events.iter().filter(|e| e.phase == phase).collect();
+            let mut involved: Vec<usize> =
+                evs.iter().flat_map(|e| [e.src, e.dst]).collect();
+            involved.sort_unstable();
+            involved.dedup();
+            let congestion = net.congestion(involved.len());
+            let colo = self.machine.colocation_factor();
+            let mut per_locale_time = vec![0.0f64; self.machine.locales()];
+            for e in &evs {
+                let intra = self.machine.same_node(e.src, e.dst);
+                let t = match e.kind {
+                    CommKind::Fine => {
+                        let base = if intra {
+                            net.fine_time_intra(e.msgs)
+                        } else {
+                            net.fine_time(e.msgs)
+                        };
+                        base * if intra { colo } else { 1.0 }
+                    }
+                    CommKind::FineDependent => {
+                        let base = if intra {
+                            net.fine_time_intra(e.msgs)
+                        } else {
+                            net.fine_time(e.msgs)
+                        };
+                        base * net.fine_concurrency * congestion * if intra { colo } else { 1.0 }
+                    }
+                    CommKind::Bulk => {
+                        let base = if intra {
+                            net.bulk_time_intra(e.msgs, e.bytes)
+                        } else {
+                            net.bulk_time(e.msgs, e.bytes)
+                        };
+                        base * if intra { colo } else { 1.0 }
+                    }
+                };
+                per_locale_time[e.src] += t;
+            }
+            let max = per_locale_time.iter().cloned().fold(0.0, f64::max);
+            report.push(phase, max);
+        }
+        report
+    }
+
+    /// The `coforall loc in Locales` fan-out cost for one superstep.
+    pub fn spawn_time(&self) -> f64 {
+        self.machine.locale_spawn_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gblas_core::par::Counters;
+
+    #[test]
+    fn price_compute_takes_max_locale() {
+        let machine = MachineConfig::edison_cluster(2, 24);
+        let ctx = DistCtx::new(machine);
+        let mut p0 = Profile::default();
+        p0.counters_mut("work").elems = 1_000_000;
+        let mut p1 = Profile::default();
+        p1.counters_mut("work").elems = 4_000_000;
+        let t = ctx.price_compute("work", &[p0.clone(), p1.clone()]);
+        let t1_alone = ctx.price_compute("work", &[p1]);
+        assert!((t - t1_alone).abs() < 1e-12, "slowest locale defines the superstep");
+        let t0_alone = ctx.price_compute("work", &[p0]);
+        assert!(t > t0_alone);
+    }
+
+    #[test]
+    fn fine_comm_much_more_expensive_than_bulk_for_same_bytes() {
+        let ctx = DistCtx::new(MachineConfig::edison_cluster(4, 24));
+        ctx.comm.fine("f", 0, 1, 100_000, 800_000).unwrap();
+        ctx.comm.bulk("b", 0, 1, 1, 800_000).unwrap();
+        let r = ctx.price_comm(&ctx.comm.events());
+        assert!(r.phase("f") > 20.0 * r.phase("b"));
+    }
+
+    #[test]
+    fn congestion_grows_with_participants_for_dependent_chains() {
+        // Same per-locale message count, more participating locales.
+        let ctx2 = DistCtx::new(MachineConfig::edison_cluster(2, 24));
+        ctx2.comm.fine_dependent("g", 0, 1, 1000, 8000).unwrap();
+        ctx2.comm.fine_dependent("g", 1, 0, 1000, 8000).unwrap();
+        let t2 = ctx2.price_comm(&ctx2.comm.events()).phase("g");
+
+        let ctx8 = DistCtx::new(MachineConfig::edison_cluster(8, 24));
+        for l in 0..8 {
+            ctx8.comm.fine_dependent("g", l, (l + 1) % 8, 1000, 8000).unwrap();
+        }
+        let t8 = ctx8.price_comm(&ctx8.comm.events()).phase("g");
+        assert!(t8 > t2, "8-way exchange should be slower per message: {t8} vs {t2}");
+    }
+
+    #[test]
+    fn pipelined_fine_does_not_congest_but_dependent_does() {
+        let ctx = DistCtx::new(MachineConfig::edison_cluster(8, 24));
+        ctx.comm.fine("pipelined", 0, 1, 1000, 8000).unwrap();
+        ctx.comm.fine_dependent("dependent", 0, 1, 1000, 8000).unwrap();
+        let r = ctx.price_comm(&ctx.comm.events());
+        // Dependent pays full latency (no pipelining), so it is at least
+        // fine_concurrency times slower even before congestion.
+        assert!(r.phase("dependent") >= 3.9 * r.phase("pipelined"));
+    }
+
+    #[test]
+    fn intra_node_colocation_pays_contention() {
+        let one = DistCtx::new(MachineConfig::edison_colocated(2));
+        one.comm.fine("p", 0, 1, 10_000, 80_000).unwrap();
+        let t2 = one.price_comm(&one.comm.events()).phase("p");
+
+        let many = DistCtx::new(MachineConfig::edison_colocated(16));
+        many.comm.fine("p", 0, 1, 10_000, 80_000).unwrap();
+        let t16 = many.price_comm(&many.comm.events()).phase("p");
+        assert!(t16 > 2.0 * t2, "colocation contention must bite: {t16} vs {t2}");
+    }
+
+    #[test]
+    fn rename_folds_phases() {
+        let ctx = DistCtx::new(MachineConfig::edison_cluster(1, 24));
+        let mut p = Profile::default();
+        p.counters_mut("spa").flops = 1000;
+        p.counters_mut("sort").sort_elems = 1000;
+        p.counters_mut("output").elems = 100;
+        let r = ctx.price_compute_all(&[p], |_| "local".to_string());
+        assert_eq!(r.phase_names(), vec!["local"]);
+        assert!(r.phase("local") > 0.0);
+    }
+
+    #[test]
+    fn locale_ctx_uses_machine_threads() {
+        let ctx = DistCtx::new(MachineConfig::edison_cluster(2, 24));
+        assert_eq!(ctx.locale_ctx().threads(), 24);
+        let c = Counters::default();
+        assert!(c.is_empty());
+    }
+}

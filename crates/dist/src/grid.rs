@@ -1,0 +1,201 @@
+//! The locale grid and block partitions (§II-B).
+
+/// A `pr × pc` grid of locales, row-major: locale `l = r·pc + c`.
+///
+/// "In 2-D block-distribution, locales are organized in a two dimensional
+/// grid and array indices are partitioned 'evenly' across the target
+/// locales."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcGrid {
+    pr: usize,
+    pc: usize,
+}
+
+impl ProcGrid {
+    /// Explicit grid shape.
+    pub fn new(pr: usize, pc: usize) -> Self {
+        assert!(pr >= 1 && pc >= 1, "grid must be at least 1x1");
+        ProcGrid { pr, pc }
+    }
+
+    /// The most-square grid for `p` locales with `pr ≤ pc` (Chapel's
+    /// default factoring for `Block` over a 2-D domain).
+    pub fn square_for(p: usize) -> Self {
+        assert!(p >= 1);
+        let mut pr = (p as f64).sqrt() as usize;
+        while pr > 1 && !p.is_multiple_of(pr) {
+            pr -= 1;
+        }
+        ProcGrid { pr: pr.max(1), pc: p / pr.max(1) }
+    }
+
+    /// Rows of the grid.
+    pub fn pr(&self) -> usize {
+        self.pr
+    }
+
+    /// Columns of the grid.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Total locales.
+    pub fn locales(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// Locale id at grid position `(r, c)`.
+    pub fn locale(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.pr && c < self.pc);
+        r * self.pc + c
+    }
+
+    /// Grid coordinates of locale `l`.
+    pub fn coords(&self, l: usize) -> (usize, usize) {
+        debug_assert!(l < self.locales());
+        (l / self.pc, l % self.pc)
+    }
+
+    /// Locales in grid row `r` (the "processor row" the SpMSpV gather
+    /// walks).
+    pub fn row_locales(&self, r: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.pc).map(move |c| self.locale(r, c))
+    }
+
+    /// Locales in grid column `c` (the scatter's "processor column").
+    pub fn col_locales(&self, c: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.pr).map(move |r| self.locale(r, c))
+    }
+}
+
+/// A contiguous block partition of `0..n` into `blocks` pieces:
+/// block `b` owns `[b·n/blocks, (b+1)·n/blocks)` (floor arithmetic).
+///
+/// The floor formula has the alignment property the distributed SpMSpV
+/// relies on: partitioning `0..n` into `pr·pc` vector blocks and into `pr`
+/// matrix row-blocks makes row-block `r` exactly the union of the vector
+/// blocks owned by grid row `r`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDist {
+    n: usize,
+    blocks: usize,
+}
+
+impl BlockDist {
+    /// Partition `0..n` into `blocks` contiguous pieces.
+    pub fn new(n: usize, blocks: usize) -> Self {
+        assert!(blocks >= 1);
+        BlockDist { n, blocks }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// The index range of block `b`.
+    pub fn range(&self, b: usize) -> std::ops::Range<usize> {
+        debug_assert!(b < self.blocks);
+        let lo = b * self.n / self.blocks;
+        let hi = (b + 1) * self.n / self.blocks;
+        lo..hi
+    }
+
+    /// Which block owns index `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        debug_assert!(i < self.n);
+        // Invert the floor formula: the owner is the largest b with
+        // b*n/blocks <= i, i.e. floor((i*blocks + blocks - 1 ... )) —
+        // compute directly and fix up boundary effects.
+        if self.n == 0 {
+            return 0;
+        }
+        let mut b = (i * self.blocks) / self.n;
+        // floor rounding can land one block early/late; adjust.
+        while b + 1 < self.blocks && self.range(b).end <= i {
+            b += 1;
+        }
+        while b > 0 && self.range(b).start > i {
+            b -= 1;
+        }
+        b
+    }
+
+    /// Size of block `b`.
+    pub fn size(&self, b: usize) -> usize {
+        self.range(b).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_grids() {
+        assert_eq!(ProcGrid::square_for(1), ProcGrid::new(1, 1));
+        assert_eq!(ProcGrid::square_for(4), ProcGrid::new(2, 2));
+        assert_eq!(ProcGrid::square_for(8), ProcGrid::new(2, 4));
+        assert_eq!(ProcGrid::square_for(64), ProcGrid::new(8, 8));
+        assert_eq!(ProcGrid::square_for(6), ProcGrid::new(2, 3));
+        // primes degrade to 1 x p
+        assert_eq!(ProcGrid::square_for(7), ProcGrid::new(1, 7));
+    }
+
+    #[test]
+    fn locale_coords_round_trip() {
+        let g = ProcGrid::new(3, 4);
+        for l in 0..12 {
+            let (r, c) = g.coords(l);
+            assert_eq!(g.locale(r, c), l);
+        }
+        assert_eq!(g.row_locales(1).collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        assert_eq!(g.col_locales(2).collect::<Vec<_>>(), vec![2, 6, 10]);
+    }
+
+    #[test]
+    fn block_dist_covers_exactly() {
+        for (n, b) in [(10, 3), (7, 7), (100, 8), (5, 8), (0, 2), (1_000_000, 64)] {
+            let d = BlockDist::new(n, b);
+            let mut covered = 0;
+            for blk in 0..b {
+                let r = d.range(blk);
+                assert_eq!(r.start, covered, "contiguous");
+                covered = r.end;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn owner_is_consistent_with_range() {
+        for (n, b) in [(10usize, 3usize), (100, 8), (97, 13), (64, 64)] {
+            let d = BlockDist::new(n, b);
+            for i in 0..n {
+                let o = d.owner(i);
+                assert!(d.range(o).contains(&i), "n={n} b={b} i={i} owner={o}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_block_alignment_property() {
+        // Vector blocks over pr*pc locales, matrix row blocks over pr:
+        // row block r must equal the union of grid-row r's vector blocks.
+        for (n, pr, pc) in [(1000usize, 2usize, 4usize), (97, 3, 3), (1_000_000, 8, 8)] {
+            let p = pr * pc;
+            let vecd = BlockDist::new(n, p);
+            let rowd = BlockDist::new(n, pr);
+            for r in 0..pr {
+                let start = vecd.range(r * pc).start;
+                let end = vecd.range(r * pc + pc - 1).end;
+                assert_eq!(rowd.range(r), start..end, "n={n} pr={pr} pc={pc} r={r}");
+            }
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! 2-D block-distributed CSR matrices.
+
+use crate::grid::{BlockDist, ProcGrid};
+use gblas_core::container::{CooMatrix, CsrMatrix, DupPolicy};
+use gblas_core::error::Result;
+
+/// An `nrows × ncols` sparse matrix distributed over a [`ProcGrid`]:
+/// locale `(r, c)` owns the CSR block covering row range `r` of `pr` and
+/// column range `c` of `pc` — Chapel's `Block` distribution with
+/// `sparseLayoutType = CSR` (Listing 1).
+///
+/// Each block is an ordinary [`CsrMatrix`] in **local coordinates**: row
+/// ids `0..block_rows`, column ids `0..block_cols`. The global position of
+/// a block entry is `(row + row_range.start, col + col_range.start)`.
+/// Local column coordinates mirror Listing 7's SPA, which is allocated
+/// over the local block's column range `ciLow..ciHigh` only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistCsrMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    grid: ProcGrid,
+    row_dist: BlockDist,
+    col_dist: BlockDist,
+    blocks: Vec<CsrMatrix<T>>,
+}
+
+impl<T: Copy> DistCsrMatrix<T> {
+    /// Distribute a global CSR matrix over `grid`.
+    ///
+    /// `O(nnz)` with no sorting: the global CSR is walked in row-major
+    /// order, so each block's entries arrive already in CSR order and can
+    /// be appended directly.
+    pub fn from_global(a: &CsrMatrix<T>, grid: ProcGrid) -> Self {
+        let row_dist = BlockDist::new(a.nrows(), grid.pr());
+        let col_dist = BlockDist::new(a.ncols(), grid.pc());
+        let p = grid.locales();
+        struct Builder<T> {
+            rowptr: Vec<usize>,
+            colidx: Vec<usize>,
+            values: Vec<T>,
+        }
+        let mut builders: Vec<Builder<T>> = (0..p)
+            .map(|l| {
+                let (r, _) = grid.coords(l);
+                Builder {
+                    rowptr: Vec::with_capacity(row_dist.size(r) + 1),
+                    colidx: Vec::new(),
+                    values: Vec::new(),
+                }
+            })
+            .collect();
+        for b in &mut builders {
+            b.rowptr.push(0);
+        }
+        for i in 0..a.nrows() {
+            let r = row_dist.owner(i);
+            let (cols, vals) = a.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let c = col_dist.owner(j);
+                let l = grid.locale(r, c);
+                builders[l].colidx.push(j - col_dist.range(c).start);
+                builders[l].values.push(v);
+            }
+            for c in 0..grid.pc() {
+                let b = &mut builders[grid.locale(r, c)];
+                b.rowptr.push(b.colidx.len());
+            }
+        }
+        let blocks = builders
+            .into_iter()
+            .enumerate()
+            .map(|(l, b)| {
+                let (r, c) = grid.coords(l);
+                debug_assert_eq!(b.rowptr.len(), row_dist.size(r) + 1);
+                CsrMatrix::from_raw_parts(
+                    row_dist.size(r),
+                    col_dist.size(c),
+                    b.rowptr,
+                    b.colidx,
+                    b.values,
+                )
+                .expect("row-major walk preserves CSR order")
+            })
+            .collect();
+        DistCsrMatrix { nrows: a.nrows(), ncols: a.ncols(), grid, row_dist, col_dist, blocks }
+    }
+
+    /// Assemble from per-locale blocks in local coordinates. Each block's
+    /// shape must match its grid cell's row/column ranges; validated.
+    pub fn from_blocks(
+        nrows: usize,
+        ncols: usize,
+        grid: ProcGrid,
+        blocks: Vec<CsrMatrix<T>>,
+    ) -> Result<Self> {
+        use gblas_core::error::GblasError;
+        if blocks.len() != grid.locales() {
+            return Err(GblasError::InvalidContainer(format!(
+                "{} blocks for a {}x{} grid",
+                blocks.len(),
+                grid.pr(),
+                grid.pc()
+            )));
+        }
+        let row_dist = BlockDist::new(nrows, grid.pr());
+        let col_dist = BlockDist::new(ncols, grid.pc());
+        for (l, b) in blocks.iter().enumerate() {
+            let (r, c) = grid.coords(l);
+            if b.nrows() != row_dist.size(r) || b.ncols() != col_dist.size(c) {
+                return Err(GblasError::InvalidContainer(format!(
+                    "block {l} is {}x{}, cell ({r},{c}) needs {}x{}",
+                    b.nrows(),
+                    b.ncols(),
+                    row_dist.size(r),
+                    col_dist.size(c)
+                )));
+            }
+        }
+        Ok(DistCsrMatrix { nrows, ncols, grid, row_dist, col_dist, blocks })
+    }
+
+    /// Global row count.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Global column count.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The locale grid.
+    pub fn grid(&self) -> ProcGrid {
+        self.grid
+    }
+
+    /// The row partition (over `pr`).
+    pub fn row_dist(&self) -> BlockDist {
+        self.row_dist
+    }
+
+    /// The column partition (over `pc`).
+    pub fn col_dist(&self) -> BlockDist {
+        self.col_dist
+    }
+
+    /// Locale `l`'s global row range.
+    pub fn row_range(&self, l: usize) -> std::ops::Range<usize> {
+        let (r, _) = self.grid.coords(l);
+        self.row_dist.range(r)
+    }
+
+    /// Locale `l`'s global column range (`ciLow..ciHigh+1`).
+    pub fn col_range(&self, l: usize) -> std::ops::Range<usize> {
+        let (_, c) = self.grid.coords(l);
+        self.col_dist.range(c)
+    }
+
+    /// Global stored-entry count.
+    pub fn nnz(&self) -> usize {
+        self.blocks.iter().map(|b| b.nnz()).sum()
+    }
+
+    /// Locale `l`'s CSR block (local coordinates).
+    pub fn block(&self, l: usize) -> &CsrMatrix<T> {
+        &self.blocks[l]
+    }
+
+    /// Mutable access to locale `l`'s block.
+    pub fn block_mut(&mut self, l: usize) -> &mut CsrMatrix<T> {
+        &mut self.blocks[l]
+    }
+
+    /// Reassemble the global matrix (verification path).
+    pub fn to_global(&self) -> Result<CsrMatrix<T>> {
+        let mut coo = CooMatrix::new(self.nrows, self.ncols);
+        for l in 0..self.grid.locales() {
+            let row_start = self.row_range(l).start;
+            let col_start = self.col_range(l).start;
+            for (li, lj, &v) in self.blocks[l].iter() {
+                coo.push(li + row_start, lj + col_start, v)?;
+            }
+        }
+        coo.to_csr(DupPolicy::Error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gblas_core::gen;
+
+    #[test]
+    fn round_trip_all_grid_shapes() {
+        let a = gen::erdos_renyi(100, 5, 77);
+        for (pr, pc) in [(1, 1), (1, 4), (4, 1), (2, 2), (2, 4), (3, 3)] {
+            let d = DistCsrMatrix::from_global(&a, ProcGrid::new(pr, pc));
+            assert_eq!(d.nnz(), a.nnz(), "grid {pr}x{pc}");
+            assert_eq!(d.to_global().unwrap(), a, "grid {pr}x{pc}");
+        }
+    }
+
+    #[test]
+    fn blocks_are_local_coordinates() {
+        let a = gen::erdos_renyi(60, 4, 3);
+        let grid = ProcGrid::new(2, 3);
+        let d = DistCsrMatrix::from_global(&a, grid);
+        for l in 0..6 {
+            let rows = d.row_range(l);
+            let cols = d.col_range(l);
+            let blk = d.block(l);
+            assert_eq!(blk.nrows(), rows.len());
+            assert_eq!(blk.ncols(), cols.len());
+            for (li, lj, &v) in blk.iter() {
+                assert_eq!(a.get(li + rows.start, lj + cols.start), Some(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn row_union_across_grid_row_matches_global() {
+        let a = gen::erdos_renyi(50, 6, 13);
+        let grid = ProcGrid::new(2, 2);
+        let d = DistCsrMatrix::from_global(&a, grid);
+        for gid in 0..50 {
+            let r = d.row_dist().owner(gid);
+            let mut cols = Vec::new();
+            for l in grid.row_locales(r) {
+                let local_row = gid - d.row_range(l).start;
+                let (bc, _) = d.block(l).row(local_row);
+                let off = d.col_range(l).start;
+                cols.extend(bc.iter().map(|&j| j + off));
+            }
+            cols.sort_unstable();
+            let (gc, _) = a.row(gid);
+            assert_eq!(cols, gc, "row {gid}");
+        }
+    }
+
+    #[test]
+    fn uneven_dimensions_distribute() {
+        let a = gen::erdos_renyi(97, 3, 5);
+        let d = DistCsrMatrix::from_global(&a, ProcGrid::new(3, 4));
+        assert_eq!(d.to_global().unwrap(), a);
+    }
+}

@@ -1,0 +1,121 @@
+//! Distributed reductions: local fold + simulated all-reduce.
+//!
+//! §IV: "MPI provides functions for a number of team collectives. Support
+//! for these operations is expected to improve the productivity and
+//! performance of graph algorithms." This module supplies the collective
+//! the library actually needs — a commutative-monoid all-reduce — with a
+//! binomial-tree cost model (`⌈log₂ p⌉` rounds of one small bulk message
+//! per participating locale).
+
+use crate::exec::DistCtx;
+use crate::vec::DistSparseVec;
+use gblas_core::algebra::ComMonoid;
+use gblas_core::error::Result;
+use gblas_core::par::Profile;
+use gblas_sim::SimReport;
+
+/// Phase for the local fold.
+pub const PHASE_LOCAL: &str = "reduce-local";
+/// Phase for the all-reduce combine.
+pub const PHASE_COMBINE: &str = "reduce-combine";
+
+/// Reduce all stored values of a distributed sparse vector with a
+/// commutative monoid. Every locale ends with the result (all-reduce
+/// semantics), and the report prices the tree combine.
+pub fn reduce_dist<T, M>(
+    x: &DistSparseVec<T>,
+    monoid: &M,
+    dctx: &DistCtx,
+) -> Result<(T, SimReport)>
+where
+    T: Copy + Send + Sync,
+    M: ComMonoid<T>,
+{
+    let p = x.locales();
+    // Local folds (one task per locale, 24-way within each).
+    let mut partials: Vec<T> = Vec::with_capacity(p);
+    let mut profiles: Vec<Profile> = Vec::with_capacity(p);
+    for l in 0..p {
+        let ctx = dctx.locale_ctx();
+        let local = gblas_core::ops::reduce::reduce_vec(x.shard(l), monoid, &ctx);
+        partials.push(local);
+        let mut folded = Profile::default();
+        let c = folded.counters_mut(PHASE_LOCAL);
+        for (_, counters) in ctx.take_profile().iter() {
+            c.merge(counters);
+        }
+        profiles.push(folded);
+    }
+    // Binomial-tree all-reduce: log2(p) rounds, one message per active
+    // pair per round.
+    let mut value = monoid.identity();
+    for &partial in &partials {
+        value = monoid.combine(value, partial);
+    }
+    let mut stride = 1usize;
+    while stride < p {
+        for l in (0..p).step_by(stride * 2) {
+            let peer = l + stride;
+            if peer < p {
+                dctx.comm.bulk(PHASE_COMBINE, peer, l, 1, std::mem::size_of::<T>() as u64)?;
+            }
+        }
+        stride *= 2;
+    }
+    let mut report = SimReport::default();
+    report.push(
+        PHASE_LOCAL,
+        dctx.spawn_time() + dctx.price_compute(PHASE_LOCAL, &profiles),
+    );
+    report.merge(&dctx.price_comm(&dctx.comm.take_events()));
+    Ok((value, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gblas_core::algebra::{Max, Plus};
+    use gblas_core::gen;
+    use gblas_sim::MachineConfig;
+
+    #[test]
+    fn matches_global_fold_at_every_locale_count() {
+        let v = gen::random_sparse_vec(4000, 900, 71);
+        let expect: f64 = v.values().iter().sum();
+        for p in [1usize, 2, 5, 8, 16] {
+            let d = DistSparseVec::from_global(&v, p);
+            let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+            let (sum, report) = reduce_dist(&d, &Plus, &dctx).unwrap();
+            assert!((sum - expect).abs() < 1e-9, "p={p}");
+            assert!(report.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn max_reduce() {
+        let v = gen::random_sparse_vec(1000, 200, 72);
+        let expect = v.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let d = DistSparseVec::from_global(&v, 4);
+        let dctx = DistCtx::new(MachineConfig::edison_cluster(4, 24));
+        let (m, _) = reduce_dist(&d, &Max, &dctx).unwrap();
+        assert_eq!(m, expect);
+    }
+
+    #[test]
+    fn tree_combine_messages_are_logarithmic() {
+        let v = gen::random_sparse_vec(1000, 200, 73);
+        let d = DistSparseVec::from_global(&v, 16);
+        let dctx = DistCtx::new(MachineConfig::edison_cluster(16, 24));
+        let _ = reduce_dist(&d, &Plus, &dctx).unwrap();
+        let (_, bulk, _) = dctx.comm.totals();
+        assert_eq!(bulk, 15, "p-1 messages in a binomial tree");
+    }
+
+    #[test]
+    fn empty_vector_reduces_to_identity() {
+        let d = DistSparseVec::<f64>::empty(100, 4);
+        let dctx = DistCtx::new(MachineConfig::edison_cluster(4, 24));
+        let (sum, _) = reduce_dist(&d, &Plus, &dctx).unwrap();
+        assert_eq!(sum, 0.0);
+    }
+}

@@ -1,0 +1,692 @@
+//! Distributed `SpMSpV` (§III-D, Listing 8, Figs 8–9).
+//!
+//! `y ← x A` on a 2-D block-distributed matrix, in the paper's three
+//! steps, each a separately-timed component:
+//!
+//! 1. **`gather`** — every locale `(r, c)` collects the pieces of `x`
+//!    owned by the locales of its processor *row* `r` (those blocks cover
+//!    exactly its row range). Listing 8 copies the remote indices
+//!    element-at-a-time (`lxDom._value.indices[di] = si` over a remote
+//!    iterator), which [`spmspv_dist`] reproduces as fine-grained traffic;
+//!    [`spmspv_dist_bulk`] aggregates each source block into one message —
+//!    the §IV "bulk-synchronous communication" remedy.
+//! 2. **`local`** — each locale runs the shared-memory SpMSpV
+//!    ([`gblas_core::ops::spmspv::spmspv_first_visitor`]) on its block.
+//!    This is the part the paper observes scaling well ("up to 43×").
+//! 3. **`scatter`** — local results are written into a *global SPA*: a
+//!    dense Block-distributed `isthere`/value pair. Listing 8 writes one
+//!    remote atomic per output element (fine-grained again); the bulk
+//!    variant aggregates per destination locale. Each locale then builds
+//!    its output shard from its dense segment (`denseToSparse`).
+//!
+//! The output stores, per reached column, the **global row id** of the
+//! first visitor — the BFS parent vector.
+
+use crate::exec::DistCtx;
+use crate::mat::DistCsrMatrix;
+use crate::vec::DistSparseVec;
+use gblas_core::container::SparseVec;
+use gblas_core::error::{check_dims, GblasError, Result};
+use gblas_core::ops::spmspv::{spmspv_first_visitor, SpMSpVOpts};
+use gblas_core::par::Profile;
+use gblas_sim::SimReport;
+
+/// Phase: gather `x` along the processor row.
+pub const PHASE_GATHER: &str = "gather";
+/// Phase: local multiply.
+pub const PHASE_LOCAL: &str = "local";
+/// Phase: scatter the output across processor columns.
+pub const PHASE_SCATTER: &str = "scatter";
+
+/// Communication aggregation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommStrategy {
+    /// Element-at-a-time remote access — Listing 8 as written.
+    #[default]
+    Fine,
+    /// One aggregated message per locale pair (§IV's recommendation).
+    Bulk,
+}
+
+/// A mask over the *output* columns of the distributed SpMSpV — the
+/// paper's §V future work ("efficient implementations of novel concepts
+/// in GraphBLAS, such as masks, have not been attempted in distributed
+/// memory before"), implemented here.
+///
+/// The mask is a dense boolean vector distributed with the same block
+/// layout as the output, so each mask bit lives on the locale that owns
+/// the corresponding output entry: masking is enforced *scatter-side*, at
+/// the owner, with a local lookup. Suppressed entries still pay their
+/// scatter message — the claim has to reach the owner to be rejected —
+/// which is exactly the cost structure a real distributed mask has.
+#[derive(Debug, Clone, Copy)]
+pub struct DistMask<'a> {
+    /// The mask bits, block-distributed like the output.
+    pub bits: &'a crate::vec::DistDenseVec<bool>,
+    /// GraphBLAS `GrB_COMP`: allow where the bit is *false*.
+    pub complement: bool,
+}
+
+impl<'a> DistMask<'a> {
+    /// Allow output entries where the bit is `true`.
+    pub fn new(bits: &'a crate::vec::DistDenseVec<bool>) -> Self {
+        DistMask { bits, complement: false }
+    }
+
+    /// Allow output entries where the bit is `false` (e.g. BFS's
+    /// "not yet visited").
+    pub fn complement(bits: &'a crate::vec::DistDenseVec<bool>) -> Self {
+        DistMask { bits, complement: true }
+    }
+}
+
+/// Listing 8 as written: fine-grained gather and scatter.
+pub fn spmspv_dist<T: Copy + Send + Sync>(
+    a: &DistCsrMatrix<T>,
+    x: &DistSparseVec<T>,
+    dctx: &DistCtx,
+) -> Result<(DistSparseVec<usize>, SimReport)> {
+    spmspv_dist_with(a, x, None, CommStrategy::Fine, SpMSpVOpts::default(), dctx)
+}
+
+/// The bulk-synchronous variant (ablation; §IV).
+pub fn spmspv_dist_bulk<T: Copy + Send + Sync>(
+    a: &DistCsrMatrix<T>,
+    x: &DistSparseVec<T>,
+    dctx: &DistCtx,
+) -> Result<(DistSparseVec<usize>, SimReport)> {
+    spmspv_dist_with(a, x, None, CommStrategy::Bulk, SpMSpVOpts::default(), dctx)
+}
+
+/// Masked distributed SpMSpV (fine-grained communication).
+pub fn spmspv_dist_masked<T: Copy + Send + Sync>(
+    a: &DistCsrMatrix<T>,
+    x: &DistSparseVec<T>,
+    mask: DistMask<'_>,
+    dctx: &DistCtx,
+) -> Result<(DistSparseVec<usize>, SimReport)> {
+    spmspv_dist_with(a, x, Some(mask), CommStrategy::Fine, SpMSpVOpts::default(), dctx)
+}
+
+/// Full-control entry point.
+pub fn spmspv_dist_with<T: Copy + Send + Sync>(
+    a: &DistCsrMatrix<T>,
+    x: &DistSparseVec<T>,
+    mask: Option<DistMask<'_>>,
+    strategy: CommStrategy,
+    opts: SpMSpVOpts,
+    dctx: &DistCtx,
+) -> Result<(DistSparseVec<usize>, SimReport)> {
+    check_dims("x capacity vs matrix rows", a.nrows(), x.capacity())?;
+    let grid = a.grid();
+    let p = grid.locales();
+    if x.locales() != p {
+        return Err(GblasError::DimensionMismatch {
+            expected: format!("{p} locales"),
+            actual: format!("{} locales", x.locales()),
+        });
+    }
+    if dctx.locales() != p {
+        return Err(GblasError::DimensionMismatch {
+            expected: format!("machine with {p} locales"),
+            actual: format!("machine with {} locales", dctx.locales()),
+        });
+    }
+    let n = a.ncols();
+    if let Some(m) = &mask {
+        check_dims("mask length vs matrix cols", n, m.bits.len())?;
+        if m.bits.locales() != p {
+            return Err(GblasError::DimensionMismatch {
+                expected: format!("mask over {p} locales"),
+                actual: format!("mask over {} locales", m.bits.locales()),
+            });
+        }
+    }
+    let elem_bytes = (std::mem::size_of::<usize>() + std::mem::size_of::<T>()) as u64;
+
+    // ---- Steps 1 + 2 per locale: gather x along the row, local multiply.
+    let mut gather_profiles: Vec<Profile> = Vec::with_capacity(p);
+    let mut local_profiles: Vec<Profile> = Vec::with_capacity(p);
+    // Per-locale local results in *global* coordinates: (col, parent row).
+    let mut local_results: Vec<Vec<(usize, usize)>> = Vec::with_capacity(p);
+    for l in 0..p {
+        let (r, _) = grid.coords(l);
+        let row_range = a.row_range(l);
+        let col_range = a.col_range(l);
+
+        // Step 1: gather the row-block slice of x from the processor row.
+        let gctx = dctx.locale_ctx();
+        let mut inds: Vec<usize> = Vec::new();
+        let mut vals: Vec<T> = Vec::new();
+        for src in grid.row_locales(r) {
+            let shard = x.shard(src);
+            let nnz = shard.nnz() as u64;
+            if src != l {
+                match strategy {
+                    // Listing 8 walks the remote domain's iterator and the
+                    // remote value array element-by-element: two dependent
+                    // accesses per nonzero.
+                    CommStrategy::Fine => dctx.comm.fine_dependent(
+                        PHASE_GATHER,
+                        l,
+                        src,
+                        2 * nnz,
+                        nnz * elem_bytes,
+                    )?,
+                    CommStrategy::Bulk => {
+                        dctx.comm.bulk(PHASE_GATHER, l, src, 1, nnz * elem_bytes)?
+                    }
+                }
+            }
+            // The copy itself (local work on locale l).
+            inds.extend(shard.indices().iter().map(|&i| i - row_range.start));
+            vals.extend_from_slice(shard.values());
+        }
+        gctx.record(PHASE_GATHER, |c| {
+            c.elems += inds.len() as u64;
+            c.bytes_moved += inds.len() as u64 * elem_bytes;
+        });
+        gather_profiles.push(gctx.take_profile());
+        let lx = SparseVec::from_sorted(row_range.len().max(1), inds, vals)
+            .expect("row-ordered shards concatenate sorted");
+
+        // Step 2: local multiply on the locale's block (local coords).
+        let lctx = dctx.locale_ctx();
+        let ly = if row_range.is_empty() || col_range.is_empty() {
+            SparseVec::new(col_range.len().max(1))
+        } else {
+            spmspv_first_visitor(a.block(l), &lx, None, opts, &lctx)?
+        };
+        local_profiles.push(lctx.take_profile());
+        local_results.push(
+            ly.iter()
+                .map(|(lj, &lrid)| (lj + col_range.start, lrid + row_range.start))
+                .collect(),
+        );
+    }
+
+    // ---- Step 3: scatter into the global SPA (dense, Block over p).
+    let out_dist = crate::grid::BlockDist::new(n, p);
+    let mut isthere: Vec<Vec<bool>> = (0..p).map(|b| vec![false; out_dist.size(b)]).collect();
+    let mut value: Vec<Vec<usize>> = (0..p).map(|b| vec![0usize; out_dist.size(b)]).collect();
+    let mut scatter_profiles: Vec<Profile> = Vec::with_capacity(p);
+    #[allow(clippy::needless_range_loop)] // `l` indexes three parallel per-locale arrays
+    for l in 0..p {
+        let sctx = dctx.locale_ctx();
+        // Aggregate message counts per destination for the comm log.
+        let mut per_dst: Vec<u64> = vec![0; p];
+        let mut c = gblas_core::par::Counters::default();
+        for &(col, rid) in &local_results[l] {
+            let owner = out_dist.owner(col);
+            if owner != l {
+                per_dst[owner] += 1;
+            }
+            c.atomics += 1; // the remote/local atomic test-and-set
+            let off = col - out_dist.range(owner).start;
+            // Scatter-side mask check at the owning locale (§V future
+            // work): the bit lives with the output entry.
+            if let Some(m) = &mask {
+                c.rand_access += 1;
+                let set = m.bits.segment(owner)[off];
+                if set == m.complement {
+                    continue;
+                }
+            }
+            if !isthere[owner][off] {
+                isthere[owner][off] = true;
+                value[owner][off] = rid;
+            }
+        }
+        sctx.record(PHASE_SCATTER, |pc| pc.merge(&c));
+        for (dst, msgs) in per_dst.iter().enumerate() {
+            if *msgs > 0 {
+                match strategy {
+                    CommStrategy::Fine => {
+                        dctx.comm.fine(PHASE_SCATTER, l, dst, *msgs, msgs * 16)?
+                    }
+                    CommStrategy::Bulk => {
+                        dctx.comm.bulk(PHASE_SCATTER, l, dst, 1, msgs * 16)?
+                    }
+                }
+            }
+        }
+        scatter_profiles.push(sctx.take_profile());
+    }
+    // denseToSparse: each locale scans its dense segment.
+    let mut shards: Vec<SparseVec<usize>> = Vec::with_capacity(p);
+    for l in 0..p {
+        let range = out_dist.range(l);
+        let mut inds = Vec::new();
+        let mut vals = Vec::new();
+        for (off, &set) in isthere[l].iter().enumerate() {
+            if set {
+                inds.push(range.start + off);
+                vals.push(value[l][off]);
+            }
+        }
+        scatter_profiles[l].counters_mut(PHASE_SCATTER).elems += range.len() as u64;
+        shards.push(SparseVec::from_sorted(n, inds, vals)?);
+    }
+    let y = DistSparseVec::from_shards(n, shards)?;
+
+    // ---- Assemble the report.
+    let mut report = SimReport::default();
+    report.push(
+        PHASE_GATHER,
+        dctx.spawn_time() + dctx.price_compute(PHASE_GATHER, &gather_profiles),
+    );
+    report.merge(&dctx.price_compute_all(&local_profiles, |_| PHASE_LOCAL.to_string()));
+    report.push(PHASE_SCATTER, dctx.price_compute(PHASE_SCATTER, &scatter_profiles));
+    report.merge(&dctx.price_comm(&dctx.comm.take_events()));
+    Ok((y, report))
+}
+
+/// General-semiring distributed SpMSpV: `y[j] = ⊕_i x[i] ⊗ A[i,j]` with
+/// true accumulation — contributions from different grid rows to the same
+/// output column are combined with the add monoid *at the owning locale*
+/// (the scatter carries values, and the owner accumulates instead of
+/// first-writer-wins). Same three components as [`spmspv_dist`].
+///
+/// This is what distributed SSSP needs (min-plus), and together with the
+/// masked first-visitor kernel it completes the distributed SpMSpV
+/// family.
+pub fn spmspv_dist_semiring<A, B, C, AddM, MulOp>(
+    a: &DistCsrMatrix<B>,
+    x: &DistSparseVec<A>,
+    ring: &gblas_core::algebra::Semiring<AddM, MulOp>,
+    strategy: CommStrategy,
+    dctx: &DistCtx,
+) -> Result<(DistSparseVec<C>, SimReport)>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync + PartialEq,
+    AddM: gblas_core::algebra::Monoid<C>,
+    MulOp: gblas_core::algebra::BinaryOp<A, B, C>,
+{
+    check_dims("x capacity vs matrix rows", a.nrows(), x.capacity())?;
+    let grid = a.grid();
+    let p = grid.locales();
+    if x.locales() != p || dctx.locales() != p {
+        return Err(GblasError::DimensionMismatch {
+            expected: format!("{p} locales"),
+            actual: format!("{} / {} locales", x.locales(), dctx.locales()),
+        });
+    }
+    let n = a.ncols();
+    let elem_bytes = (std::mem::size_of::<usize>() + std::mem::size_of::<A>()) as u64;
+
+    let mut gather_profiles: Vec<Profile> = Vec::with_capacity(p);
+    let mut local_profiles: Vec<Profile> = Vec::with_capacity(p);
+    let mut local_results: Vec<Vec<(usize, C)>> = Vec::with_capacity(p);
+    for l in 0..p {
+        let (r, _) = grid.coords(l);
+        let row_range = a.row_range(l);
+        let col_range = a.col_range(l);
+        // Gather x along the processor row (same pattern as the
+        // first-visitor kernel).
+        let gctx = dctx.locale_ctx();
+        let mut inds: Vec<usize> = Vec::new();
+        let mut vals: Vec<A> = Vec::new();
+        for src in grid.row_locales(r) {
+            let shard = x.shard(src);
+            let nnz = shard.nnz() as u64;
+            if src != l {
+                match strategy {
+                    CommStrategy::Fine => dctx.comm.fine_dependent(
+                        PHASE_GATHER,
+                        l,
+                        src,
+                        2 * nnz,
+                        nnz * elem_bytes,
+                    )?,
+                    CommStrategy::Bulk => {
+                        dctx.comm.bulk(PHASE_GATHER, l, src, 1, nnz * elem_bytes)?
+                    }
+                }
+            }
+            inds.extend(shard.indices().iter().map(|&i| i - row_range.start));
+            vals.extend_from_slice(shard.values());
+        }
+        gctx.record(PHASE_GATHER, |c| {
+            c.elems += inds.len() as u64;
+            c.bytes_moved += inds.len() as u64 * elem_bytes;
+        });
+        gather_profiles.push(gctx.take_profile());
+        let lx = SparseVec::from_sorted(row_range.len().max(1), inds, vals)
+            .expect("row-ordered shards concatenate sorted");
+        // Local semiring multiply.
+        let lctx = dctx.locale_ctx();
+        let ly = if row_range.is_empty() || col_range.is_empty() {
+            SparseVec::new(col_range.len().max(1))
+        } else {
+            gblas_core::ops::spmspv::spmspv_semiring(a.block(l), &lx, ring, &lctx)?.vector
+        };
+        local_profiles.push(lctx.take_profile());
+        local_results
+            .push(ly.iter().map(|(lj, &v)| (lj + col_range.start, v)).collect());
+    }
+
+    // Scatter with accumulation at the owner.
+    let out_dist = crate::grid::BlockDist::new(n, p);
+    let mut occupied: Vec<Vec<bool>> = (0..p).map(|b| vec![false; out_dist.size(b)]).collect();
+    let mut value: Vec<Vec<C>> =
+        (0..p).map(|b| vec![ring.zero::<C>(); out_dist.size(b)]).collect();
+    let mut scatter_profiles: Vec<Profile> = Vec::with_capacity(p);
+    #[allow(clippy::needless_range_loop)] // `l` indexes three parallel per-locale arrays
+    for l in 0..p {
+        let sctx = dctx.locale_ctx();
+        let mut per_dst: Vec<u64> = vec![0; p];
+        let mut c = gblas_core::par::Counters::default();
+        for &(col, v) in &local_results[l] {
+            let owner = out_dist.owner(col);
+            if owner != l {
+                per_dst[owner] += 1;
+            }
+            let off = col - out_dist.range(owner).start;
+            c.atomics += 1;
+            if occupied[owner][off] {
+                value[owner][off] = ring.accumulate(value[owner][off], v);
+                c.flops += 1;
+            } else {
+                occupied[owner][off] = true;
+                value[owner][off] = v;
+            }
+        }
+        sctx.record(PHASE_SCATTER, |pc| pc.merge(&c));
+        for (dst, msgs) in per_dst.iter().enumerate() {
+            if *msgs > 0 {
+                match strategy {
+                    CommStrategy::Fine => {
+                        dctx.comm.fine(PHASE_SCATTER, l, dst, *msgs, *msgs * 16)?
+                    }
+                    CommStrategy::Bulk => {
+                        dctx.comm.bulk(PHASE_SCATTER, l, dst, 1, *msgs * 16)?
+                    }
+                }
+            }
+        }
+        scatter_profiles.push(sctx.take_profile());
+    }
+    let mut shards: Vec<SparseVec<C>> = Vec::with_capacity(p);
+    for l in 0..p {
+        let range = out_dist.range(l);
+        let mut inds = Vec::new();
+        let mut vals = Vec::new();
+        for (off, &set) in occupied[l].iter().enumerate() {
+            if set {
+                inds.push(range.start + off);
+                vals.push(value[l][off]);
+            }
+        }
+        scatter_profiles[l].counters_mut(PHASE_SCATTER).elems += range.len() as u64;
+        shards.push(SparseVec::from_sorted(n, inds, vals)?);
+    }
+    let y = DistSparseVec::from_shards(n, shards)?;
+
+    let mut report = SimReport::default();
+    report.push(
+        PHASE_GATHER,
+        dctx.spawn_time() + dctx.price_compute(PHASE_GATHER, &gather_profiles),
+    );
+    report.merge(&dctx.price_compute_all(&local_profiles, |_| PHASE_LOCAL.to_string()));
+    report.push(PHASE_SCATTER, dctx.price_compute(PHASE_SCATTER, &scatter_profiles));
+    report.merge(&dctx.price_comm(&dctx.comm.take_events()));
+    Ok((y, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ProcGrid;
+    use gblas_core::gen;
+    use gblas_sim::MachineConfig;
+
+    fn machine_for(grid: ProcGrid) -> MachineConfig {
+        MachineConfig::edison_cluster(grid.locales(), 24)
+    }
+
+    /// Shared-memory reference (serial first-visitor).
+    fn reference(a: &gblas_core::container::CsrMatrix<f64>, x: &SparseVec<f64>) -> SparseVec<usize> {
+        let ctx = gblas_core::par::ExecCtx::serial();
+        spmspv_first_visitor(a, x, None, SpMSpVOpts::default(), &ctx).unwrap()
+    }
+
+    #[test]
+    fn reached_set_matches_reference_at_every_grid() {
+        let n = 600;
+        let a = gen::erdos_renyi(n, 6, 55);
+        let x = gen::random_sparse_vec(n, 40, 56);
+        let expect = reference(&a, &x);
+        for (pr, pc) in [(1, 1), (1, 4), (2, 2), (4, 2), (3, 3)] {
+            let grid = ProcGrid::new(pr, pc);
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let dx = DistSparseVec::from_global(&x, grid.locales());
+            let dctx = DistCtx::new(machine_for(grid));
+            let (y, _) = spmspv_dist(&da, &dx, &dctx).unwrap();
+            let yg = y.to_global();
+            assert_eq!(yg.indices(), expect.indices(), "grid {pr}x{pc}");
+            // parents must be legitimate: x[parent] stored, A[parent, col] stored
+            for (col, &rid) in yg.iter() {
+                assert!(x.get(rid).is_some(), "grid {pr}x{pc}: parent {rid} not in frontier");
+                assert!(a.get(rid, col).is_some(), "grid {pr}x{pc}: A[{rid},{col}] missing");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_variant_same_result_fewer_messages() {
+        let n = 500;
+        let a = gen::erdos_renyi(n, 8, 65);
+        let x = gen::random_sparse_vec(n, 50, 66);
+        let grid = ProcGrid::new(2, 4);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dx = DistSparseVec::from_global(&x, 8);
+
+        let d_fine = DistCtx::new(machine_for(grid));
+        let (y_fine, r_fine) = spmspv_dist(&da, &dx, &d_fine).unwrap();
+        let d_bulk = DistCtx::new(machine_for(grid));
+        let (y_bulk, r_bulk) = spmspv_dist_bulk(&da, &dx, &d_bulk).unwrap();
+
+        assert_eq!(y_fine.to_global().indices(), y_bulk.to_global().indices());
+        let (fine_msgs, _, _) = d_fine.comm.totals();
+        let (_, bulk_msgs, _) = d_bulk.comm.totals();
+        assert!(fine_msgs > 10 * bulk_msgs, "{fine_msgs} fine vs {bulk_msgs} bulk");
+        // and the simulated comm time reflects it
+        let fine_comm = r_fine.phase(PHASE_GATHER) + r_fine.phase(PHASE_SCATTER);
+        let bulk_comm = r_bulk.phase(PHASE_GATHER) + r_bulk.phase(PHASE_SCATTER);
+        assert!(fine_comm > bulk_comm, "{fine_comm} vs {bulk_comm}");
+    }
+
+    #[test]
+    fn report_has_three_components() {
+        let a = gen::erdos_renyi(300, 5, 75);
+        let x = gen::random_sparse_vec(300, 30, 76);
+        let grid = ProcGrid::new(2, 2);
+        let dctx = DistCtx::new(machine_for(grid));
+        let (_, r) =
+            spmspv_dist(&DistCsrMatrix::from_global(&a, grid), &DistSparseVec::from_global(&x, 4), &dctx)
+                .unwrap();
+        for phase in [PHASE_GATHER, PHASE_LOCAL, PHASE_SCATTER] {
+            assert!(r.phase(phase) > 0.0, "phase {phase} missing");
+        }
+    }
+
+    #[test]
+    fn fig9_shape_gather_dominates_at_scale_local_multiply_scales() {
+        // n scaled down from the paper's 10M, same relative structure.
+        let n = 20_000;
+        let a = gen::erdos_renyi(n, 16, 85);
+        let x = gen::random_sparse_vec(n, n / 50, 86); // f = 2%
+        let run = |p: usize| {
+            let grid = ProcGrid::square_for(p);
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let dx = DistSparseVec::from_global(&x, p);
+            let dctx = DistCtx::new(machine_for(grid));
+            let (_, r) = spmspv_dist(&da, &dx, &dctx).unwrap();
+            r
+        };
+        let r1 = run(1);
+        let r16 = run(16);
+        // local multiply speeds up with nodes
+        assert!(
+            r16.phase(PHASE_LOCAL) < r1.phase(PHASE_LOCAL) / 2.0,
+            "local: {} -> {}",
+            r1.phase(PHASE_LOCAL),
+            r16.phase(PHASE_LOCAL)
+        );
+        // gather grows enormously once data is remote
+        assert!(
+            r16.phase(PHASE_GATHER) > 10.0 * r1.phase(PHASE_GATHER),
+            "gather: {} -> {}",
+            r1.phase(PHASE_GATHER),
+            r16.phase(PHASE_GATHER)
+        );
+        // and dominates the total
+        assert!(r16.phase(PHASE_GATHER) > r16.phase(PHASE_LOCAL));
+    }
+
+    #[test]
+    fn semiring_dist_matches_shared_semiring_at_every_grid() {
+        let n = 500;
+        let a = gen::erdos_renyi(n, 6, 145);
+        let x = gen::random_sparse_vec(n, 35, 146);
+        let ring = gblas_core::algebra::semirings::plus_times_f64();
+        let expect = gblas_core::ops::spmspv::spmspv_semiring(
+            &a,
+            &x,
+            &ring,
+            &gblas_core::par::ExecCtx::serial(),
+        )
+        .unwrap()
+        .vector;
+        for (pr, pc) in [(1, 1), (2, 2), (2, 3), (3, 3)] {
+            let grid = ProcGrid::new(pr, pc);
+            let p = grid.locales();
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let dx = DistSparseVec::from_global(&x, p);
+            for strategy in [CommStrategy::Fine, CommStrategy::Bulk] {
+                let dctx = DistCtx::new(machine_for(grid));
+                let (y, report) =
+                    spmspv_dist_semiring(&da, &dx, &ring, strategy, &dctx).unwrap();
+                let yg = y.to_global();
+                assert_eq!(yg.indices(), expect.indices(), "grid {pr}x{pc} {strategy:?}");
+                for (got, want) in yg.values().iter().zip(expect.values()) {
+                    assert!((got - want).abs() < 1e-9, "grid {pr}x{pc}");
+                }
+                assert!(report.total() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn semiring_dist_min_plus_relaxation() {
+        // one min-plus step on a weighted path graph, distributed
+        let a = gblas_core::container::CsrMatrix::from_triplets(
+            6,
+            6,
+            &[(0, 1, 2.0), (1, 2, 3.0), (0, 2, 10.0)],
+        )
+        .unwrap();
+        let x = SparseVec::from_sorted(6, vec![0, 1], vec![0.0, 2.0]).unwrap();
+        let ring = gblas_core::algebra::semirings::min_plus();
+        let grid = ProcGrid::new(2, 3);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dx = DistSparseVec::from_global(&x, 6);
+        let dctx = DistCtx::new(machine_for(grid));
+        let (y, _) =
+            spmspv_dist_semiring(&da, &dx, &ring, CommStrategy::Bulk, &dctx).unwrap();
+        let yg = y.to_global();
+        // y[1] = 0+2 = 2; y[2] = min(0+10, 2+3) = 5
+        assert_eq!(yg.indices(), &[1, 2]);
+        assert_eq!(yg.values(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn masked_spmspv_excludes_and_matches_shared_mask() {
+        use crate::vec::DistDenseVec;
+        let n = 400;
+        let a = gen::erdos_renyi(n, 6, 125);
+        let x = gen::random_sparse_vec(n, 30, 126);
+        // mask: allow only columns not divisible by 3
+        let bits = gblas_core::container::DenseVec::from_fn(n, |i| i % 3 == 0);
+        // shared-memory reference with the complemented mask
+        let shared_mask = gblas_core::mask::VecMask::dense(&bits).complement();
+        let expect = spmspv_first_visitor(
+            &a,
+            &x,
+            Some(&shared_mask),
+            SpMSpVOpts::default(),
+            &gblas_core::par::ExecCtx::serial(),
+        )
+        .unwrap();
+        for (pr, pc) in [(1, 1), (2, 2), (2, 3)] {
+            let grid = ProcGrid::new(pr, pc);
+            let p = grid.locales();
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let dx = DistSparseVec::from_global(&x, p);
+            let dbits = DistDenseVec::from_global(&bits, p);
+            let dctx = DistCtx::new(machine_for(grid));
+            let (y, report) =
+                spmspv_dist_masked(&da, &dx, DistMask::complement(&dbits), &dctx).unwrap();
+            let yg = y.to_global();
+            assert_eq!(yg.indices(), expect.indices(), "grid {pr}x{pc}");
+            assert!(yg.indices().iter().all(|&j| j % 3 != 0));
+            assert!(report.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn masked_spmspv_validates_mask_shape() {
+        use crate::vec::DistDenseVec;
+        let a = gen::erdos_renyi(100, 4, 135);
+        let x = gen::random_sparse_vec(100, 10, 136);
+        let grid = ProcGrid::new(2, 2);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dx = DistSparseVec::from_global(&x, 4);
+        let dctx = DistCtx::new(machine_for(grid));
+        // wrong length
+        let short = DistDenseVec::filled(99, true, 4);
+        assert!(spmspv_dist_masked(&da, &dx, DistMask::new(&short), &dctx).is_err());
+        // wrong locale count
+        let wrong_p = DistDenseVec::filled(100, true, 2);
+        assert!(spmspv_dist_masked(&da, &dx, DistMask::new(&wrong_p), &dctx).is_err());
+    }
+
+    #[test]
+    fn dimension_and_locale_mismatches() {
+        let a = gen::erdos_renyi(100, 4, 95);
+        let grid = ProcGrid::new(2, 2);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let x_bad_cap = gen::random_sparse_vec(99, 5, 96);
+        let dctx = DistCtx::new(machine_for(grid));
+        assert!(spmspv_dist(&da, &DistSparseVec::from_global(&x_bad_cap, 4), &dctx).is_err());
+        let x_bad_p = gen::random_sparse_vec(100, 5, 97);
+        assert!(spmspv_dist(&da, &DistSparseVec::from_global(&x_bad_p, 2), &dctx).is_err());
+    }
+
+    #[test]
+    fn comm_fault_propagates() {
+        let a = gen::erdos_renyi(200, 5, 105);
+        let x = gen::random_sparse_vec(200, 20, 106);
+        let grid = ProcGrid::new(2, 2);
+        let dctx = DistCtx::new(machine_for(grid));
+        dctx.comm.fail_after(0);
+        let r = spmspv_dist(
+            &DistCsrMatrix::from_global(&a, grid),
+            &DistSparseVec::from_global(&x, 4),
+            &dctx,
+        );
+        assert!(matches!(r, Err(GblasError::CommFailure(_))));
+    }
+
+    #[test]
+    fn empty_frontier() {
+        let a = gen::erdos_renyi(100, 4, 115);
+        let grid = ProcGrid::new(2, 2);
+        let dctx = DistCtx::new(machine_for(grid));
+        let x = DistSparseVec::<f64>::empty(100, 4);
+        let (y, _) = spmspv_dist(&DistCsrMatrix::from_global(&a, grid), &x, &dctx).unwrap();
+        assert_eq!(y.nnz(), 0);
+    }
+}

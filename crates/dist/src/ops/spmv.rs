@@ -1,0 +1,251 @@
+//! Distributed SpMV: `y = x A` with dense vectors on the 2-D grid.
+//!
+//! The dense counterpart of the distributed SpMSpV, with the communication
+//! pattern the paper recommends (§IV): *bulk* transfers throughout —
+//! dense segments are contiguous, so the gather along the processor row
+//! and the partial-result combine down each processor column are one
+//! block message each. Comparing this op's comm time against the
+//! fine-grained SpMSpV quantifies how much Listing 8 leaves on the table.
+//!
+//! Phases: `gather` (row-block segments of `x`), `local` (block
+//! multiply), `combine` (tree-combine the `pr` partial vectors down each
+//! processor column, then place output blocks with their owners).
+
+use crate::exec::DistCtx;
+use crate::mat::DistCsrMatrix;
+use crate::vec::DistDenseVec;
+use gblas_core::algebra::{BinaryOp, Monoid, Semiring};
+use gblas_core::error::{check_dims, GblasError, Result};
+use gblas_core::par::Profile;
+use gblas_sim::SimReport;
+
+/// Phase: gather dense x segments along the processor row.
+pub const PHASE_GATHER: &str = "gather";
+/// Phase: local block multiply.
+pub const PHASE_LOCAL: &str = "local";
+/// Phase: combine partials down processor columns.
+pub const PHASE_COMBINE: &str = "combine";
+
+/// `y[j] = ⊕_i x[i] ⊗ A[i,j]` with block-distributed dense `x`, dense
+/// output distributed like `x`.
+pub fn spmv_dist<A, B, C, AddM, MulOp>(
+    a: &DistCsrMatrix<B>,
+    x: &DistDenseVec<A>,
+    ring: &Semiring<AddM, MulOp>,
+    dctx: &DistCtx,
+) -> Result<(DistDenseVec<C>, SimReport)>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync,
+    AddM: Monoid<C>,
+    MulOp: BinaryOp<A, B, C>,
+{
+    check_dims("x length vs matrix rows", a.nrows(), x.len())?;
+    let grid = a.grid();
+    let p = grid.locales();
+    if x.locales() != p {
+        return Err(GblasError::DimensionMismatch {
+            expected: format!("{p} locales"),
+            actual: format!("{} locales", x.locales()),
+        });
+    }
+    if dctx.locales() != p {
+        return Err(GblasError::DimensionMismatch {
+            expected: format!("machine with {p} locales"),
+            actual: format!("machine with {} locales", dctx.locales()),
+        });
+    }
+    let n = a.ncols();
+    let a_bytes = std::mem::size_of::<A>() as u64;
+    let c_bytes = std::mem::size_of::<C>() as u64;
+
+    // ---- Gather + local multiply per locale.
+    let mut gather_profiles: Vec<Profile> = Vec::with_capacity(p);
+    let mut local_profiles: Vec<Profile> = Vec::with_capacity(p);
+    // partial[l] = this locale's contribution over its column range.
+    let mut partials: Vec<Vec<C>> = Vec::with_capacity(p);
+    for l in 0..p {
+        let (r, _) = grid.coords(l);
+        let row_range = a.row_range(l);
+        // Bulk-gather the row block of x (one message per remote segment).
+        let gctx = dctx.locale_ctx();
+        let mut lx: Vec<A> = Vec::with_capacity(row_range.len());
+        for src in grid.row_locales(r) {
+            let seg = x.segment(src);
+            if src != l {
+                dctx.comm.bulk(PHASE_GATHER, l, src, 1, seg.len() as u64 * a_bytes)?;
+            }
+            lx.extend_from_slice(seg);
+        }
+        gctx.record(PHASE_GATHER, |c| {
+            c.elems += lx.len() as u64;
+            c.bytes_moved += lx.len() as u64 * a_bytes;
+        });
+        gather_profiles.push(gctx.take_profile());
+        // Local multiply: partial[j_local] over the block's column range.
+        let lctx = dctx.locale_ctx();
+        let block = a.block(l);
+        let width = a.col_range(l).len();
+        let partial = {
+            let lx_dense = gblas_core::container::DenseVec::from_vec(lx);
+            if row_range.is_empty() || width == 0 {
+                vec![ring.zero::<C>(); width]
+            } else {
+                gblas_core::ops::spmv::spmv_col(block, &lx_dense, ring, &lctx)?.into_vec()
+            }
+        };
+        let mut folded = Profile::default();
+        let cc = folded.counters_mut(PHASE_LOCAL);
+        for (_, counters) in lctx.take_profile().iter() {
+            cc.merge(counters);
+        }
+        local_profiles.push(folded);
+        partials.push(partial);
+    }
+
+    // ---- Combine partials down each processor column; column leader
+    // (grid row 0) accumulates, then hands output blocks to their owners.
+    let out_dist = crate::grid::BlockDist::new(n, p);
+    let mut segments: Vec<Vec<C>> = (0..p).map(|b| vec![ring.zero::<C>(); out_dist.size(b)]).collect();
+    let mut combine_profiles: Vec<Profile> = (0..p).map(|_| Profile::default()).collect();
+    for c in 0..grid.pc() {
+        let leader = grid.locale(0, c);
+        let col_range = a.col_range(leader);
+        let mut acc: Vec<C> = vec![ring.zero::<C>(); col_range.len()];
+        for src in grid.col_locales(c) {
+            if src != leader {
+                dctx.comm.bulk(PHASE_COMBINE, src, leader, 1, acc.len() as u64 * c_bytes)?;
+            }
+            for (slot, &v) in acc.iter_mut().zip(&partials[src]) {
+                *slot = ring.accumulate(*slot, v);
+            }
+        }
+        combine_profiles[leader].counters_mut(PHASE_COMBINE).elems +=
+            (acc.len() * grid.pr()) as u64;
+        combine_profiles[leader].counters_mut(PHASE_COMBINE).flops +=
+            (acc.len() * grid.pr()) as u64;
+        // Distribute the combined column slice to the owning output blocks.
+        for (off, &v) in acc.iter().enumerate() {
+            let j = col_range.start + off;
+            let owner = out_dist.owner(j);
+            segments[owner][j - out_dist.range(owner).start] = v;
+        }
+        // One bulk message per distinct owner block the slice spans.
+        let first_owner = if col_range.is_empty() { 0 } else { out_dist.owner(col_range.start) };
+        let last_owner =
+            if col_range.is_empty() { 0 } else { out_dist.owner(col_range.end - 1) };
+        for owner in first_owner..=last_owner {
+            if !col_range.is_empty() && owner != leader {
+                let overlap = out_dist.range(owner);
+                let lo = overlap.start.max(col_range.start);
+                let hi = overlap.end.min(col_range.end);
+                if lo < hi {
+                    dctx.comm.bulk(PHASE_COMBINE, leader, owner, 1, (hi - lo) as u64 * c_bytes)?;
+                }
+            }
+        }
+    }
+
+    let y = DistDenseVec::from_segments(n, segments)?;
+    let mut report = SimReport::default();
+    report.push(
+        PHASE_GATHER,
+        dctx.spawn_time() + dctx.price_compute(PHASE_GATHER, &gather_profiles),
+    );
+    report.push(PHASE_LOCAL, dctx.price_compute(PHASE_LOCAL, &local_profiles));
+    report.push(PHASE_COMBINE, dctx.price_compute(PHASE_COMBINE, &combine_profiles));
+    report.merge(&dctx.price_comm(&dctx.comm.take_events()));
+    Ok((y, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ProcGrid;
+    use gblas_core::algebra::semirings;
+    use gblas_core::container::DenseVec;
+    use gblas_core::gen;
+    use gblas_sim::MachineConfig;
+
+    #[test]
+    fn matches_shared_memory_at_every_grid() {
+        let n = 300;
+        let a = gen::erdos_renyi(n, 6, 401);
+        let x = DenseVec::from_fn(n, |i| 1.0 + (i % 5) as f64);
+        let ctx = gblas_core::par::ExecCtx::serial();
+        let expect: DenseVec<f64> =
+            gblas_core::ops::spmv::spmv_col(&a, &x, &semirings::plus_times_f64(), &ctx).unwrap();
+        for (pr, pc) in [(1, 1), (1, 3), (3, 1), (2, 2), (2, 3), (3, 3)] {
+            let grid = ProcGrid::new(pr, pc);
+            let p = grid.locales();
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let dx = DistDenseVec::from_global(&x, p);
+            let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+            let (y, report) = spmv_dist(&da, &dx, &semirings::plus_times_f64(), &dctx).unwrap();
+            let yg = y.to_global();
+            for j in 0..n {
+                assert!(
+                    (yg[j] - expect[j]).abs() < 1e-9,
+                    "grid {pr}x{pc} col {j}: {} vs {}",
+                    yg[j],
+                    expect[j]
+                );
+            }
+            assert!(report.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn uses_only_bulk_communication() {
+        let a = gen::erdos_renyi(200, 4, 402);
+        let x = DenseVec::filled(200, 1.0);
+        let grid = ProcGrid::new(2, 2);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dx = DistDenseVec::from_global(&x, 4);
+        let dctx = DistCtx::new(MachineConfig::edison_cluster(4, 24));
+        let _ = spmv_dist(&da, &dx, &semirings::plus_times_f64(), &dctx).unwrap();
+        let (fine, bulk, _) = dctx.comm.totals();
+        assert_eq!(fine, 0, "dense SpMV must be all-bulk");
+        assert!(bulk > 0);
+    }
+
+    #[test]
+    fn bulk_spmv_comm_beats_fine_grained_spmspv_comm() {
+        // §IV quantified: same matrix, comparable data volume, orders of
+        // magnitude less communication time.
+        let n = 5000;
+        let a = gen::erdos_renyi(n, 8, 403);
+        let grid = ProcGrid::new(4, 4);
+        let da = DistCsrMatrix::from_global(&a, grid);
+
+        let xd = DenseVec::filled(n, 1.0);
+        let dxd = DistDenseVec::from_global(&xd, 16);
+        let d1 = DistCtx::new(MachineConfig::edison_cluster(16, 24));
+        let (_, dense_rep) = spmv_dist(&da, &dxd, &semirings::plus_times_f64(), &d1).unwrap();
+
+        let xs = gen::random_sparse_vec(n, n / 2, 404);
+        let dxs = crate::vec::DistSparseVec::from_global(&xs, 16);
+        let d2 = DistCtx::new(MachineConfig::edison_cluster(16, 24));
+        let (_, sparse_rep) = crate::ops::spmspv::spmspv_dist(&da, &dxs, &d2).unwrap();
+
+        let dense_comm = dense_rep.phase(PHASE_GATHER) + dense_rep.phase(PHASE_COMBINE);
+        let sparse_comm = sparse_rep.phase("gather") + sparse_rep.phase("scatter");
+        assert!(
+            sparse_comm > 10.0 * dense_comm,
+            "fine-grained {sparse_comm} vs bulk {dense_comm}"
+        );
+    }
+
+    #[test]
+    fn dimension_and_locale_checks() {
+        let a = gen::erdos_renyi(100, 4, 405);
+        let grid = ProcGrid::new(2, 2);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dctx = DistCtx::new(MachineConfig::edison_cluster(4, 24));
+        let wrong_len = DistDenseVec::filled(99, 1.0, 4);
+        assert!(spmv_dist::<_, _, f64, _, _>(&da, &wrong_len, &semirings::plus_times_f64(), &dctx).is_err());
+        let wrong_p = DistDenseVec::filled(100, 1.0, 2);
+        assert!(spmv_dist::<_, _, f64, _, _>(&da, &wrong_p, &semirings::plus_times_f64(), &dctx).is_err());
+    }
+}

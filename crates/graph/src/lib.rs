@@ -1,0 +1,55 @@
+//! # gblas-graph — graph algorithms on the GraphBLAS API
+//!
+//! The paper motivates its operation subset by composability: "Our
+//! operations are chosen such that they can be composed to implement an
+//! efficient breadth-first search algorithm, which is often the 'hello
+//! world' example of GraphBLAS" (§III), and names "complete graph
+//! algorithms written in our GraphBLAS Chapel library" as future work
+//! (§V). This crate closes that loop:
+//!
+//! * [`mod@bfs`] — level-synchronous BFS with parent tracking, in shared
+//!   memory (masked SpMSpV per level) and distributed memory (the
+//!   Listing-8 SpMSpV as the level kernel);
+//! * [`cc`] — connected components by label propagation over the
+//!   `(min, first)` semiring;
+//! * [`mod@pagerank`] — PageRank power iteration over `(+, ×)` SpMV with
+//!   dangling-mass correction;
+//! * [`mod@sssp`] — single-source shortest paths: Bellman–Ford over the
+//!   tropical `(min, +)` semiring;
+//! * [`triangles`] — triangle counting via masked SpGEMM
+//!   (`C⟨L⟩ = L · Lᵀ` over the plus-pair semiring);
+//! * [`mod@betweenness`] — Brandes betweenness centrality from masked
+//!   path-counting SpMSpV sweeps and a transposed dependency
+//!   back-propagation;
+//! * [`kcore`] — k-core decomposition by `reduce`/`select` peeling.
+//!
+//! Every algorithm is written against the *public* `gblas-core` /
+//! `gblas-dist` API — they double as integration tests of the operation
+//! set, exactly the role BFS plays in the paper.
+
+//! ```
+//! use gblas_core::{gen, par::ExecCtx};
+//!
+//! let a = gen::erdos_renyi(500, 8, 42);
+//! let result = gblas_graph::bfs(&a, 0, &ExecCtx::with_threads(2)).unwrap();
+//! assert!(result.reached() > 1);
+//! result.validate(&a, 0).unwrap();
+//! ```
+
+pub mod betweenness;
+pub mod bfs;
+pub mod cc;
+pub mod kcore;
+pub mod mis;
+pub mod pagerank;
+pub mod sssp;
+pub mod triangles;
+
+pub use betweenness::betweenness;
+pub use bfs::{bfs, bfs_dist, BfsResult};
+pub use cc::{connected_components, connected_components_dist};
+pub use kcore::core_numbers;
+pub use mis::maximal_independent_set;
+pub use pagerank::{pagerank, pagerank_dist, PageRankOptions};
+pub use sssp::{sssp, sssp_dist};
+pub use triangles::triangle_count;

@@ -1,0 +1,139 @@
+//! Maximal independent set by Luby's algorithm, in GraphBLAS form.
+//!
+//! Each round, every candidate vertex draws a random priority; a vertex
+//! joins the set when its priority beats all of its neighbours'
+//! (a `(max, first)` SpMSpV comparison), and winners' neighbourhoods
+//! leave the candidate pool. Expected `O(log n)` rounds. A classic
+//! GraphBLAS kernel (it appears in the GraphBLAS API papers the paper
+//! cites) exercising ewise ops, masks and reductions together.
+
+use gblas_core::algebra::{First, Max, Semiring};
+use gblas_core::container::{CsrMatrix, DenseVec, SparseVec};
+use gblas_core::error::{check_dims, Result};
+use gblas_core::ops::spmspv::spmspv_semiring;
+use gblas_core::par::ExecCtx;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Compute a maximal independent set of the *symmetric* graph `a`.
+/// Returns the indicator vector (true = in the set). Deterministic in
+/// `seed`.
+pub fn maximal_independent_set<T: Copy + Send + Sync>(
+    a: &CsrMatrix<T>,
+    seed: u64,
+    ctx: &ExecCtx,
+) -> Result<DenseVec<bool>> {
+    check_dims("square matrix", a.nrows(), a.ncols())?;
+    let n = a.nrows();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut in_set = DenseVec::filled(n, false);
+    let mut candidate = vec![true; n];
+    let ring: Semiring<Max, First> = Semiring::new(Max, First);
+    let mut rounds = 0usize;
+    while candidate.iter().any(|&c| c) {
+        rounds += 1;
+        assert!(rounds <= 4 * (usize::BITS as usize), "Luby must terminate in O(log n)");
+        // Draw strictly-positive priorities for the candidates (ties are
+        // broken by adding a deterministic per-vertex epsilon).
+        let mut inds = Vec::new();
+        let mut vals = Vec::new();
+        for (v, &is_candidate) in candidate.iter().enumerate() {
+            if is_candidate {
+                inds.push(v);
+                vals.push(1.0 + rng.gen::<f64>() + v as f64 * 1e-15);
+            }
+        }
+        let prio = SparseVec::from_sorted(n, inds, vals)?;
+        // max neighbour priority among candidates:
+        // nbr[j] = max_{i candidate, i->j} prio[i]
+        let nbr = spmspv_semiring(a, &prio, &ring, ctx)?.vector;
+        // winners: candidates whose own priority beats every candidate
+        // neighbour's
+        let mut winners = Vec::new();
+        for (v, &p) in prio.iter() {
+            let best_nbr = nbr.get(v).copied().unwrap_or(0.0);
+            if p > best_nbr {
+                winners.push(v);
+            }
+        }
+        debug_assert!(!winners.is_empty(), "some candidate always wins a round");
+        for &w in &winners {
+            in_set[w] = true;
+            candidate[w] = false;
+            let (cols, _) = a.row(w);
+            for &u in cols {
+                candidate[u] = false;
+            }
+        }
+    }
+    Ok(in_set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gblas_core::gen;
+
+    fn check_mis(a: &CsrMatrix<f64>, set: &DenseVec<bool>) {
+        let n = a.nrows();
+        // independence: no edge inside the set
+        for (i, j, _) in a.iter() {
+            assert!(!(set[i] && set[j]), "edge ({i},{j}) inside the set");
+        }
+        // maximality: every vertex outside the set has a neighbour inside
+        for v in 0..n {
+            if !set[v] {
+                let (cols, _) = a.row(v);
+                assert!(
+                    cols.iter().any(|&u| set[u]),
+                    "vertex {v} could still join the set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn valid_mis_on_random_graphs() {
+        for seed in [1u64, 2, 3, 4] {
+            let a = gen::erdos_renyi_symmetric(300, 4, seed);
+            let ctx = ExecCtx::with_threads(2);
+            let set = maximal_independent_set(&a, seed * 7, &ctx).unwrap();
+            check_mis(&a, &set);
+            assert!(set.as_slice().iter().any(|&b| b), "set must be nonempty");
+        }
+    }
+
+    #[test]
+    fn empty_graph_takes_everything() {
+        let a = CsrMatrix::<f64>::empty(10, 10);
+        let ctx = ExecCtx::serial();
+        let set = maximal_independent_set(&a, 1, &ctx).unwrap();
+        assert!(set.as_slice().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn clique_takes_exactly_one() {
+        let k = 8;
+        let mut trips = Vec::new();
+        for i in 0..k {
+            for j in 0..k {
+                if i != j {
+                    trips.push((i, j, 1.0));
+                }
+            }
+        }
+        let a = CsrMatrix::from_triplets(k, k, &trips).unwrap();
+        let ctx = ExecCtx::serial();
+        let set = maximal_independent_set(&a, 5, &ctx).unwrap();
+        assert_eq!(set.as_slice().iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = gen::erdos_renyi_symmetric(150, 3, 9);
+        let ctx = ExecCtx::serial();
+        let s1 = maximal_independent_set(&a, 42, &ctx).unwrap();
+        let s2 = maximal_independent_set(&a, 42, &ctx).unwrap();
+        assert_eq!(s1, s2);
+    }
+}

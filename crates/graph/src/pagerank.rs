@@ -1,0 +1,277 @@
+//! PageRank by power iteration over `(+, ×)` SpMV.
+
+use gblas_core::algebra::semirings;
+use gblas_core::container::{CsrMatrix, DenseVec};
+use gblas_core::error::{check_dims, Result};
+use gblas_core::ops::reduce::reduce_rows;
+use gblas_core::ops::spmv::spmv_col;
+use gblas_core::par::ExecCtx;
+
+/// Tunables for [`pagerank`].
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankOptions {
+    /// Damping factor (0.85 is the classic value).
+    pub damping: f64,
+    /// Stop when the L1 change between iterations falls below this.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> Self {
+        PageRankOptions { damping: 0.85, tolerance: 1e-9, max_iterations: 200 }
+    }
+}
+
+/// PageRank of the directed graph `a` (edge `i -> j` stored at `A[i,j]`).
+/// Returns `(ranks, iterations)`; ranks sum to 1.
+pub fn pagerank<T: Copy + Send + Sync>(
+    a: &CsrMatrix<T>,
+    opts: PageRankOptions,
+    ctx: &ExecCtx,
+) -> Result<(DenseVec<f64>, usize)> {
+    check_dims("square matrix", a.nrows(), a.ncols())?;
+    let n = a.nrows();
+    if n == 0 {
+        return Ok((DenseVec::from_vec(Vec::new()), 0));
+    }
+    // Row-stochastic weights: W[i,j] = 1/outdeg(i).
+    let ones = {
+        let (nr, nc, rp, ci, vals) = a.clone().into_raw_parts();
+        CsrMatrix::from_raw_parts(nr, nc, rp, ci, vec![1.0f64; vals.len()])?
+    };
+    let outdeg = reduce_rows(&ones, &gblas_core::algebra::Plus, ctx);
+    let w = {
+        let (nr, nc, rp, ci, _) = ones.into_raw_parts();
+        let mut vals = Vec::with_capacity(ci.len());
+        for i in 0..nr {
+            let deg = outdeg[i];
+            for _ in rp[i]..rp[i + 1] {
+                vals.push(1.0 / deg);
+            }
+        }
+        CsrMatrix::from_raw_parts(nr, nc, rp, ci, vals)?
+    };
+    let ring = semirings::plus_times_f64();
+    let mut pr = DenseVec::filled(n, 1.0 / n as f64);
+    let base = (1.0 - opts.damping) / n as f64;
+    for iter in 1..=opts.max_iterations {
+        // Dangling vertices redistribute their mass uniformly.
+        let dangling: f64 = (0..n).filter(|&i| outdeg[i] == 0.0).map(|i| pr[i]).sum();
+        let spread: DenseVec<f64> = spmv_col(&w, &pr, &ring, ctx)?;
+        let mut diff = 0.0;
+        let mut next = DenseVec::filled(n, 0.0);
+        for v in 0..n {
+            let r = base + opts.damping * (spread[v] + dangling / n as f64);
+            diff += (r - pr[v]).abs();
+            next[v] = r;
+        }
+        pr = next;
+        if diff < opts.tolerance {
+            return Ok((pr, iter));
+        }
+    }
+    Ok((pr, opts.max_iterations))
+}
+
+/// Distributed PageRank: the power iteration runs on the 2-D grid with
+/// bulk-only communication — one `spmv_dist` per iteration plus two
+/// all-reduce-style scalar combines (dangling mass, convergence check),
+/// each priced as a binomial tree of small bulk messages.
+///
+/// The stochastic scaling of the matrix (`W[i,j] = 1/outdeg(i)`) is a
+/// one-time setup performed globally before distribution, as a real
+/// deployment would do during ingest.
+///
+/// Returns `(ranks, iterations, simulated time)`.
+pub fn pagerank_dist(
+    a: &CsrMatrix<f64>,
+    grid: gblas_dist::ProcGrid,
+    opts: PageRankOptions,
+    dctx: &gblas_dist::DistCtx,
+) -> Result<(DenseVec<f64>, usize, gblas_sim::SimReport)> {
+    use gblas_dist::ops::spmv::spmv_dist;
+    use gblas_dist::{DistCsrMatrix, DistDenseVec};
+
+    check_dims("square matrix", a.nrows(), a.ncols())?;
+    let n = a.nrows();
+    let p = grid.locales();
+    if n == 0 {
+        return Ok((DenseVec::from_vec(Vec::new()), 0, gblas_sim::SimReport::default()));
+    }
+    // --- One-time setup (global): stochastic scaling. ---
+    let setup_ctx = ExecCtx::serial();
+    let ones = {
+        let (nr, nc, rp, ci, vals) = a.clone().into_raw_parts();
+        CsrMatrix::from_raw_parts(nr, nc, rp, ci, vec![1.0f64; vals.len()])?
+    };
+    let outdeg = reduce_rows(&ones, &gblas_core::algebra::Plus, &setup_ctx);
+    let w = {
+        let (nr, nc, rp, ci, _) = ones.into_raw_parts();
+        let mut vals = Vec::with_capacity(ci.len());
+        for i in 0..nr {
+            for _ in rp[i]..rp[i + 1] {
+                vals.push(1.0 / outdeg[i]);
+            }
+        }
+        CsrMatrix::from_raw_parts(nr, nc, rp, ci, vals)?
+    };
+    let dw = DistCsrMatrix::from_global(&w, grid);
+    let ring = semirings::plus_times_f64();
+    let base = (1.0 - opts.damping) / n as f64;
+    let out_dist = gblas_dist::BlockDist::new(n, p);
+    let dangling_mask: Vec<Vec<bool>> = (0..p)
+        .map(|l| out_dist.range(l).map(|i| outdeg[i] == 0.0).collect())
+        .collect();
+
+    let mut pr = DistDenseVec::filled(n, 1.0 / n as f64, p);
+    let mut total = gblas_sim::SimReport::default();
+    let mut iters = 0usize;
+    // Scalar all-reduce cost: binomial tree of p-1 tiny bulk messages.
+    let allreduce = |phase: &str| -> Result<()> {
+        let mut stride = 1usize;
+        while stride < p {
+            for l in (0..p).step_by(stride * 2) {
+                if l + stride < p {
+                    dctx.comm.bulk(phase, l + stride, l, 1, 8)?;
+                }
+            }
+            stride *= 2;
+        }
+        Ok(())
+    };
+    for iter in 1..=opts.max_iterations {
+        iters = iter;
+        // Dangling mass: local partial sums + allreduce.
+        let mut dangling = 0.0;
+        #[allow(clippy::needless_range_loop)] // `l` indexes mask and segments in parallel
+        for l in 0..p {
+            for (off, &is_dangling) in dangling_mask[l].iter().enumerate() {
+                if is_dangling {
+                    dangling += pr.segment(l)[off];
+                }
+            }
+        }
+        allreduce("dangling-allreduce")?;
+        // One distributed SpMV.
+        let (spread, report) = spmv_dist(&dw, &pr, &ring, dctx)?;
+        total.merge(&report);
+        // Local segment update + convergence partials.
+        let mut diff = 0.0;
+        let mut next = DistDenseVec::filled(n, 0.0f64, p);
+        for l in 0..p {
+            let seg_pr = pr.segment(l);
+            let seg_sp = spread.segment(l);
+            let out = next.segment_mut(l);
+            for off in 0..out.len() {
+                let r = base + opts.damping * (seg_sp[off] + dangling / n as f64);
+                diff += (r - seg_pr[off]).abs();
+                out[off] = r;
+            }
+        }
+        allreduce("diff-allreduce")?;
+        pr = next;
+        if diff < opts.tolerance {
+            break;
+        }
+    }
+    total.merge(&dctx.price_comm(&dctx.comm.take_events()));
+    Ok((pr.to_global(), iters, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gblas_core::gen;
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let a = gen::erdos_renyi(300, 6, 31);
+        let ctx = ExecCtx::with_threads(2);
+        let (pr, iters) = pagerank(&a, PageRankOptions::default(), &ctx).unwrap();
+        let sum: f64 = pr.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+        assert!(iters > 1);
+        assert!(pr.as_slice().iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn star_graph_centre_dominates() {
+        // Edges: every leaf points to the centre (vertex 0).
+        let trips: Vec<(usize, usize, f64)> = (1..10).map(|i| (i, 0, 1.0)).collect();
+        let a = CsrMatrix::from_triplets(10, 10, &trips).unwrap();
+        let ctx = ExecCtx::serial();
+        let (pr, _) = pagerank(&a, PageRankOptions::default(), &ctx).unwrap();
+        for i in 1..10 {
+            assert!(pr[0] > 3.0 * pr[i], "centre must dominate leaf {i}");
+        }
+    }
+
+    #[test]
+    fn cycle_graph_is_uniform() {
+        let n = 8;
+        let trips: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
+        let a = CsrMatrix::from_triplets(n, n, &trips).unwrap();
+        let ctx = ExecCtx::serial();
+        let (pr, _) = pagerank(&a, PageRankOptions::default(), &ctx).unwrap();
+        for v in 0..n {
+            assert!((pr[v] - 1.0 / n as f64).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn dangling_mass_is_conserved() {
+        // 0 -> 1, 1 has no out-edges.
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]).unwrap();
+        let ctx = ExecCtx::serial();
+        let (pr, _) = pagerank(&a, PageRankOptions::default(), &ctx).unwrap();
+        let sum: f64 = pr.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(pr[1] > pr[0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let a = CsrMatrix::<f64>::empty(0, 0);
+        let ctx = ExecCtx::serial();
+        let (pr, iters) = pagerank(&a, PageRankOptions::default(), &ctx).unwrap();
+        assert!(pr.is_empty());
+        assert_eq!(iters, 0);
+    }
+
+    #[test]
+    fn distributed_matches_shared_at_every_grid() {
+        let a = gen::erdos_renyi(250, 6, 33);
+        let ctx = ExecCtx::serial();
+        let opts = PageRankOptions { tolerance: 1e-12, ..Default::default() };
+        let (expect, iters_shared) = pagerank(&a, opts, &ctx).unwrap();
+        for (pr_grid, pc_grid) in [(1, 1), (2, 2), (2, 3)] {
+            let grid = gblas_dist::ProcGrid::new(pr_grid, pc_grid);
+            let dctx = gblas_dist::DistCtx::new(
+                gblas_sim::MachineConfig::edison_cluster(grid.locales(), 24),
+            );
+            let (ranks, iters, report) = pagerank_dist(&a, grid, opts, &dctx).unwrap();
+            assert_eq!(iters, iters_shared, "grid {pr_grid}x{pc_grid}");
+            for v in 0..250 {
+                assert!(
+                    (ranks[v] - expect[v]).abs() < 1e-9,
+                    "grid {pr_grid}x{pc_grid} vertex {v}"
+                );
+            }
+            assert!(report.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn distributed_pagerank_is_all_bulk() {
+        let a = gen::erdos_renyi(200, 5, 34);
+        let grid = gblas_dist::ProcGrid::new(2, 2);
+        let dctx =
+            gblas_dist::DistCtx::new(gblas_sim::MachineConfig::edison_cluster(4, 24));
+        let _ = pagerank_dist(&a, grid, PageRankOptions::default(), &dctx).unwrap();
+        let (fine, bulk, _) = dctx.comm.totals();
+        assert_eq!(fine, 0, "distributed PageRank must use only bulk messages");
+        assert!(bulk > 0);
+    }
+}

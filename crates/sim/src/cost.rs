@@ -1,0 +1,224 @@
+//! The shared-memory (single-locale) cost model.
+
+use gblas_core::par::{Counters, Profile};
+
+/// Per-unit costs and scaling parameters for one locale.
+///
+/// Pricing of one phase's [`Counters`] on `t` logical threads:
+///
+/// ```text
+/// T(phase, t) = spawn(regions, tasks)
+///             + max( stream(elems, t),  bytes_moved / mem_bw )
+///             + flops·c_flop·amdahl(σ_flop, t)
+///             + search_probes·c_probe·amdahl(σ_probe, t)
+///             + atomics·c_atomic·contend(t) / t
+///             + (spa_touches + rand_access)·c_rand·amdahl(σ_rand, min(t, mlp_cap))
+///             + sort_elems·c_sort·amdahl(σ_sort, t)
+/// ```
+///
+/// where `amdahl(σ, t) = (1-σ)/t + σ` is the inverse speedup of work with
+/// serial fraction `σ`, and `contend(t) = 1 + γ·(t-1)` models cache-line
+/// ping-ponging on hot atomics. Every term corresponds to one of the
+/// mechanisms the paper identifies; see the field docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Seconds per sequentially-streamed element (Apply's per-nonzero cost,
+    /// including interpreter/runtime overhead Chapel adds).
+    pub c_elem: f64,
+    /// Serial fraction of streaming loops (loop setup, remainders).
+    pub sigma_elem: f64,
+    /// Seconds per semiring multiply+add pair.
+    pub c_flop: f64,
+    /// Serial fraction of flop work.
+    pub sigma_flop: f64,
+    /// Seconds per binary-search probe (dependent load + compare) — the
+    /// §III-B "logarithmic time" indexed access cost.
+    pub c_probe: f64,
+    /// Serial fraction of probe work.
+    pub sigma_probe: f64,
+    /// Seconds per uncontended atomic RMW.
+    pub c_atomic: f64,
+    /// Contention growth per extra thread on atomics (γ).
+    pub atomic_contention: f64,
+    /// Seconds per random (cache-unfriendly) access: SPA touches and
+    /// gathers.
+    pub c_rand: f64,
+    /// Serial fraction of random-access work.
+    pub sigma_rand: f64,
+    /// Memory-level-parallelism cap: random access stops scaling past this
+    /// many threads.
+    pub mlp_cap: usize,
+    /// Seconds per element-move while sorting.
+    pub c_sort: f64,
+    /// Serial fraction of the parallel merge sort (the top merges).
+    pub sigma_sort: f64,
+    /// Node memory bandwidth (bytes/s) — the ceiling for streaming work.
+    pub mem_bw: f64,
+    /// Fixed cost of entering a fork-join region (scheduler hand-off).
+    pub c_region: f64,
+    /// Cost of spawning one task within a locale (qthreads task spawn) —
+    /// the "burdened parallelism" overhead of §I.
+    pub c_task: f64,
+}
+
+impl CostModel {
+    /// Constants calibrated against the paper's Edison measurements.
+    pub fn edison() -> Self {
+        CostModel {
+            c_elem: 26e-9,
+            sigma_elem: 0.008,
+            c_flop: 12e-9,
+            sigma_flop: 0.008,
+            c_probe: 28e-9,
+            sigma_probe: 0.08,
+            c_atomic: 90e-9,
+            atomic_contention: 0.035,
+            c_rand: 70e-9,
+            sigma_rand: 0.01,
+            mlp_cap: 14,
+            c_sort: 55e-9,
+            sigma_sort: 0.11,
+            mem_bw: 52e9,
+            c_region: 4e-6,
+            c_task: 0.7e-6,
+        }
+    }
+
+    /// Inverse speedup of work with serial fraction `sigma` on `t` threads.
+    fn amdahl(sigma: f64, t: usize) -> f64 {
+        let t = t.max(1) as f64;
+        (1.0 - sigma) / t + sigma
+    }
+
+    /// Price one phase's counters on `threads` logical threads of one
+    /// locale. Returns seconds.
+    pub fn phase_time(&self, c: &Counters, threads: usize) -> f64 {
+        let t = threads.max(1);
+        let spawn = c.regions as f64 * self.c_region + c.tasks as f64 * self.c_task;
+        let stream_compute = c.elems as f64 * self.c_elem * Self::amdahl(self.sigma_elem, t);
+        let stream_bw = c.bytes_moved as f64 / self.mem_bw;
+        let stream = stream_compute.max(stream_bw);
+        let flops = c.flops as f64 * self.c_flop * Self::amdahl(self.sigma_flop, t);
+        let probes = c.search_probes as f64 * self.c_probe * Self::amdahl(self.sigma_probe, t);
+        let atomics = c.atomics as f64 * self.c_atomic
+            * (1.0 + self.atomic_contention * (t as f64 - 1.0))
+            / t as f64;
+        let rand = (c.spa_touches + c.rand_access) as f64
+            * self.c_rand
+            * Self::amdahl(self.sigma_rand, t.min(self.mlp_cap));
+        let sort = c.sort_elems as f64 * self.c_sort * Self::amdahl(self.sigma_sort, t);
+        spawn + stream + flops + probes + atomics + rand + sort
+    }
+
+    /// Price a whole profile phase-by-phase.
+    pub fn profile_time(&self, p: &Profile, threads: usize) -> crate::report::SimReport {
+        let mut report = crate::report::SimReport::default();
+        for (name, c) in p.iter() {
+            report.push(name, self.phase_time(c, threads));
+        }
+        report
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::edison()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream_counters(n: u64) -> Counters {
+        Counters { elems: n, bytes_moved: n * 16, regions: 1, tasks: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn apply_level_matches_paper_calibration() {
+        // Fig 1 left: 10M nonzeros, 1 thread ≈ 256 ms.
+        let m = CostModel::edison();
+        let t1 = m.phase_time(&stream_counters(10_000_000), 1);
+        assert!((0.15..0.45).contains(&t1), "one-thread Apply = {t1}s");
+        // 24 threads ≈ 20x speedup.
+        let mut c24 = stream_counters(10_000_000);
+        c24.tasks = 24;
+        let t24 = m.phase_time(&c24, 24);
+        let speedup = t1 / t24;
+        assert!((15.0..24.0).contains(&speedup), "Apply speedup at 24t = {speedup}");
+    }
+
+    #[test]
+    fn more_threads_never_slower_for_stream_work() {
+        let m = CostModel::edison();
+        let mut prev = f64::INFINITY;
+        for t in [1usize, 2, 4, 8, 16, 24] {
+            let mut c = stream_counters(1_000_000);
+            c.tasks = t as u64;
+            let time = m.phase_time(&c, t);
+            assert!(time <= prev * 1.001, "t={t}: {time} > {prev}");
+            prev = time;
+        }
+    }
+
+    #[test]
+    fn atomic_contention_limits_scaling() {
+        let m = CostModel::edison();
+        let c = Counters { atomics: 10_000_000, ..Default::default() };
+        let t1 = m.phase_time(&c, 1);
+        let t24 = m.phase_time(&c, 24);
+        let speedup = t1 / t24;
+        assert!(speedup < 16.0, "atomic-bound speedup should be limited, got {speedup}");
+        assert!(speedup > 4.0, "but not absent, got {speedup}");
+    }
+
+    #[test]
+    fn sort_scales_like_the_paper() {
+        // Fig 7: overall SpMSpV 9–11x at 24 threads, sorting the binding
+        // component with visibly sublinear scaling.
+        let m = CostModel::edison();
+        let c = Counters { sort_elems: 5_000_000, ..Default::default() };
+        let speedup = m.phase_time(&c, 1) / m.phase_time(&c, 24);
+        assert!((5.0..10.0).contains(&speedup), "sort speedup {speedup}");
+    }
+
+    #[test]
+    fn random_access_caps_at_mlp() {
+        let m = CostModel::edison();
+        let c = Counters { spa_touches: 10_000_000, ..Default::default() };
+        let t14 = m.phase_time(&c, m.mlp_cap);
+        let t24 = m.phase_time(&c, 24);
+        assert!((t14 - t24).abs() / t14 < 1e-9, "no extra scaling past the MLP cap");
+    }
+
+    #[test]
+    fn spawn_overhead_dominates_tiny_work() {
+        // Burdened parallelism: 100 elements on 32 threads is slower than
+        // on 1 thread.
+        let m = CostModel::edison();
+        let c1 = Counters { elems: 100, regions: 1, tasks: 1, ..Default::default() };
+        let mut c32 = c1;
+        c32.tasks = 32;
+        assert!(m.phase_time(&c32, 32) > m.phase_time(&c1, 1));
+    }
+
+    #[test]
+    fn bandwidth_ceiling_binds_for_pure_copies() {
+        let m = CostModel::edison();
+        // A memcpy-like phase: few "elements" but lots of bytes.
+        let c = Counters { elems: 1_000_000, bytes_moved: 16_000_000_000, ..Default::default() };
+        let t24 = m.phase_time(&c, 24);
+        assert!(t24 >= 16e9 / m.mem_bw * 0.999, "bandwidth floor must hold");
+    }
+
+    #[test]
+    fn profile_time_reports_phases_in_order() {
+        let m = CostModel::edison();
+        let mut p = Profile::default();
+        p.counters_mut("spa").flops = 1000;
+        p.counters_mut("sort").sort_elems = 1000;
+        let r = m.profile_time(&p, 4);
+        assert_eq!(r.phase_names(), vec!["spa", "sort"]);
+        assert!(r.total() > 0.0);
+    }
+}

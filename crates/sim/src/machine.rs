@@ -1,0 +1,125 @@
+//! Machine topology: nodes, cores, locales.
+
+use crate::{CostModel, NetworkModel};
+
+/// The simulated machine: how many nodes, how locales map onto them, and
+/// the cost/network models that price work and traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of physical compute nodes.
+    pub nodes: usize,
+    /// Locales per node (1 in all experiments except Fig 10).
+    pub locales_per_node: usize,
+    /// Physical cores per node (24 on Edison).
+    pub cores_per_node: usize,
+    /// Logical threads each locale runs (the figures use 1 or 24).
+    pub threads_per_locale: usize,
+    /// Shared-memory cost model.
+    pub cost: CostModel,
+    /// Network model.
+    pub network: NetworkModel,
+    /// Extra cost of spawning a task on a *remote* locale (a `coforall ...
+    /// on loc` hand-off): the distributed flavour of burdened parallelism.
+    pub c_remote_task: f64,
+    /// Runtime-contention growth per extra colocated locale (qthreads +
+    /// communication stacks sharing one node, Fig 10).
+    pub colocation_contention: f64,
+}
+
+impl MachineConfig {
+    /// One Edison node with `threads` threads (shared-memory experiments).
+    pub fn edison_node(threads: usize) -> Self {
+        MachineConfig {
+            nodes: 1,
+            locales_per_node: 1,
+            cores_per_node: 24,
+            threads_per_locale: threads,
+            cost: CostModel::edison(),
+            network: NetworkModel::aries(),
+            c_remote_task: 5e-6,
+            colocation_contention: 0.55,
+        }
+    }
+
+    /// `nodes` Edison nodes with one locale per node and
+    /// `threads_per_locale` threads each (distributed experiments; the
+    /// figures use 24, Fig 5 left uses 1).
+    pub fn edison_cluster(nodes: usize, threads_per_locale: usize) -> Self {
+        MachineConfig { nodes, threads_per_locale, ..Self::edison_node(threads_per_locale) }
+    }
+
+    /// Fig 10's configuration: all `locales` colocated on a single node,
+    /// one thread per locale.
+    pub fn edison_colocated(locales: usize) -> Self {
+        MachineConfig {
+            nodes: 1,
+            locales_per_node: locales,
+            threads_per_locale: 1,
+            ..Self::edison_node(1)
+        }
+    }
+
+    /// Total locale count.
+    pub fn locales(&self) -> usize {
+        self.nodes * self.locales_per_node
+    }
+
+    /// Whether two locales share a node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        a / self.locales_per_node == b / self.locales_per_node
+    }
+
+    /// Contention multiplier applied to colocated locales' communication
+    /// and spawn costs: 1 for one locale per node, growing linearly after
+    /// that ("the performance of our code degrades significantly when we
+    /// placed more than one locale on a single node", §IV).
+    pub fn colocation_factor(&self) -> f64 {
+        1.0 + self.colocation_contention * (self.locales_per_node.saturating_sub(1)) as f64
+    }
+
+    /// Cost of the `coforall loc in Locales` spawn fan-out: one remote
+    /// task per locale, issued serially from the initiating locale.
+    pub fn locale_spawn_time(&self) -> f64 {
+        self.locales() as f64 * self.c_remote_task * self.colocation_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let one = MachineConfig::edison_node(24);
+        assert_eq!(one.locales(), 1);
+        let cluster = MachineConfig::edison_cluster(64, 24);
+        assert_eq!(cluster.locales(), 64);
+        assert_eq!(cluster.cores_per_node, 24);
+        let colo = MachineConfig::edison_colocated(32);
+        assert_eq!(colo.locales(), 32);
+        assert_eq!(colo.nodes, 1);
+    }
+
+    #[test]
+    fn same_node_topology() {
+        let colo = MachineConfig::edison_colocated(4);
+        assert!(colo.same_node(0, 3));
+        let cluster = MachineConfig::edison_cluster(4, 24);
+        assert!(!cluster.same_node(0, 1));
+        assert!(cluster.same_node(2, 2));
+    }
+
+    #[test]
+    fn colocation_grows_spawn_cost() {
+        let t1 = MachineConfig::edison_colocated(1).locale_spawn_time();
+        let t32 = MachineConfig::edison_colocated(32).locale_spawn_time();
+        assert!(t32 > 32.0 * t1, "colocated spawn must superlinearly exceed {t1}");
+    }
+
+    #[test]
+    fn cluster_spawn_grows_with_nodes() {
+        let t1 = MachineConfig::edison_cluster(1, 24).locale_spawn_time();
+        let t64 = MachineConfig::edison_cluster(64, 24).locale_spawn_time();
+        assert!((t64 / t1 - 64.0).abs() < 1e-9);
+    }
+}

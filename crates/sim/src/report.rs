@@ -1,0 +1,117 @@
+//! Simulated-time reports.
+
+/// One named phase's simulated duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTime {
+    /// Phase name (matches the profile phase that produced it).
+    pub name: String,
+    /// Simulated seconds.
+    pub seconds: f64,
+}
+
+/// A phase-structured simulated-time report — what the figure harness
+/// prints as the stacked components of Figs 7–9.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimReport {
+    phases: Vec<PhaseTime>,
+}
+
+impl SimReport {
+    /// Append (or accumulate into) a phase.
+    pub fn push(&mut self, name: &str, seconds: f64) {
+        if let Some(p) = self.phases.iter_mut().find(|p| p.name == name) {
+            p.seconds += seconds;
+        } else {
+            self.phases.push(PhaseTime { name: name.to_string(), seconds });
+        }
+    }
+
+    /// Total simulated time across phases.
+    pub fn total(&self) -> f64 {
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+
+    /// Seconds recorded for `name` (0 when absent).
+    pub fn phase(&self, name: &str) -> f64 {
+        self.phases.iter().find(|p| p.name == name).map(|p| p.seconds).unwrap_or(0.0)
+    }
+
+    /// Phase names in insertion order.
+    pub fn phase_names(&self) -> Vec<&str> {
+        self.phases.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// Iterate phases.
+    pub fn iter(&self) -> impl Iterator<Item = &PhaseTime> {
+        self.phases.iter()
+    }
+
+    /// Merge another report phase-by-phase.
+    pub fn merge(&mut self, other: &SimReport) {
+        for p in other.iter() {
+            self.push(&p.name, p.seconds);
+        }
+    }
+
+    /// Point-wise maximum with another report — the bulk-synchronous
+    /// combiner across locales (each superstep ends when the slowest
+    /// locale finishes).
+    pub fn max_with(&mut self, other: &SimReport) {
+        for p in other.iter() {
+            match self.phases.iter_mut().find(|q| q.name == p.name) {
+                Some(q) => q.seconds = q.seconds.max(p.seconds),
+                None => self.phases.push(p.clone()),
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    /// Writes `name=1.234s name2=... total=...` — the compact one-line
+    /// form used in harness logs.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for p in &self.phases {
+            write!(f, "{}={:.6}s ", p.name, p.seconds)?;
+        }
+        write!(f, "total={:.6}s", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_accumulates_same_phase() {
+        let mut r = SimReport::default();
+        r.push("gather", 1.0);
+        r.push("local", 2.0);
+        r.push("gather", 0.5);
+        assert_eq!(r.phase("gather"), 1.5);
+        assert!((r.total() - 3.5).abs() < 1e-12);
+        assert_eq!(r.phase_names(), vec!["gather", "local"]);
+    }
+
+    #[test]
+    fn max_with_takes_pointwise_max() {
+        let mut a = SimReport::default();
+        a.push("x", 1.0);
+        a.push("y", 5.0);
+        let mut b = SimReport::default();
+        b.push("x", 3.0);
+        b.push("z", 1.0);
+        a.max_with(&b);
+        assert_eq!(a.phase("x"), 3.0);
+        assert_eq!(a.phase("y"), 5.0);
+        assert_eq!(a.phase("z"), 1.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut r = SimReport::default();
+        r.push("a", 0.001);
+        let s = format!("{r}");
+        assert!(s.contains("a=0.001000s"));
+        assert!(s.contains("total="));
+    }
+}

@@ -1,0 +1,32 @@
+//! # gblas — Rust reproduction of "Towards a GraphBLAS Library in Chapel"
+//!
+//! Facade crate re-exporting the whole workspace:
+//!
+//! * [`core`] (`gblas_core`) — algebra, sparse containers, shared-memory
+//!   GraphBLAS operations, instrumented parallel runtime, generators;
+//! * [`sim`] (`gblas_sim`) — the calibrated Edison (Cray XC30) cost and
+//!   network models that price measured work into simulated time;
+//! * [`dist`] (`gblas_dist`) — the simulated distributed-memory
+//!   substrate: locales, 2-D block distributions, instrumented
+//!   communication, and the paper's distributed operations;
+//! * [`graph`] (`gblas_graph`) — BFS, connected components, PageRank and
+//!   triangle counting composed from the GraphBLAS API.
+//!
+//! See the repository README for a tour, `examples/` for runnable
+//! programs, and DESIGN.md / EXPERIMENTS.md for the reproduction notes.
+
+pub use gblas_core as core;
+pub use gblas_dist as dist;
+pub use gblas_graph as graph;
+pub use gblas_sim as sim;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use gblas_core::algebra::{semirings, Monoid, Semiring};
+    pub use gblas_core::container::{CooMatrix, CsrMatrix, DenseVec, SparseVec};
+    pub use gblas_core::mask::VecMask;
+    pub use gblas_core::par::ExecCtx;
+    pub use gblas_core::{GblasError, Result};
+    pub use gblas_dist::{DistCsrMatrix, DistCtx, DistDenseVec, DistSparseVec, ProcGrid};
+    pub use gblas_sim::{CostModel, MachineConfig, NetworkModel, SimReport};
+}

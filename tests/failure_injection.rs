@@ -1,0 +1,87 @@
+//! Failure injection: every communication-bearing distributed operation
+//! must surface an injected fault as `GblasError::CommFailure` (never a
+//! silent wrong answer), and the retry helper must recover transient ones.
+
+use gblas::prelude::*;
+use gblas_core::gen;
+use gblas_dist::comm::with_retry;
+use gblas_dist::ops as dops;
+
+fn machine(p: usize) -> MachineConfig {
+    MachineConfig::edison_cluster(p, 24)
+}
+
+#[test]
+fn apply_v1_fault_propagates() {
+    let v = gen::random_sparse_vec(1000, 300, 1);
+    let mut d = DistSparseVec::from_global(&v, 4);
+    let dctx = DistCtx::new(machine(4));
+    dctx.comm.fail_after(0);
+    let err = dops::apply::apply_v1(&mut d, &|x: f64| x, &dctx).unwrap_err();
+    assert!(matches!(err, GblasError::CommFailure(_)));
+}
+
+#[test]
+fn spmspv_fault_at_every_event_position_is_surfaced() {
+    let a = gen::erdos_renyi(200, 5, 2);
+    let x = gen::random_sparse_vec(200, 30, 3);
+    let grid = ProcGrid::new(2, 2);
+    let da = DistCsrMatrix::from_global(&a, grid);
+    let dx = DistSparseVec::from_global(&x, 4);
+    // count events on a clean run
+    let clean = DistCtx::new(machine(4));
+    let _ = dops::spmspv::spmspv_dist(&da, &dx, &clean).unwrap();
+    let total_events = clean.comm.call_count() as usize;
+    assert!(total_events > 0);
+    // inject at several positions including first and last
+    for pos in [0, total_events / 2, total_events - 1] {
+        let dctx = DistCtx::new(machine(4));
+        dctx.comm.fail_after(pos as u64);
+        let r = dops::spmspv::spmspv_dist(&da, &dx, &dctx);
+        assert!(
+            matches!(r, Err(GblasError::CommFailure(_))),
+            "fault at event {pos} not surfaced"
+        );
+    }
+}
+
+#[test]
+fn retry_wrapper_recovers_a_transient_fault() {
+    let b = gen::random_sparse_vec(500, 100, 4);
+    let bd = DistSparseVec::from_global(&b, 4);
+    let dctx = DistCtx::new(machine(4));
+    dctx.comm.fail_after(2); // third transfer fails once
+    let result = with_retry(2, || {
+        let mut a = DistSparseVec::empty(500, 4);
+        dops::assign::assign_v1(&mut a, &bd, &dctx)?;
+        Ok(a)
+    })
+    .unwrap();
+    assert_eq!(result.to_global(), b);
+}
+
+#[test]
+fn fault_free_runs_after_a_cleared_plan() {
+    let b = gen::random_sparse_vec(500, 100, 5);
+    let bd = DistSparseVec::from_global(&b, 2);
+    let dctx = DistCtx::new(machine(2));
+    dctx.comm.fail_after(1_000_000); // armed but far away
+    dctx.comm.clear_faults();
+    let mut a = DistSparseVec::empty(500, 2);
+    dops::assign::assign_v1(&mut a, &bd, &dctx).unwrap();
+    assert_eq!(a.to_global(), b);
+}
+
+#[test]
+fn comm_free_ops_are_immune_to_faults() {
+    // Apply2 and Assign2 never touch the network; an armed fault must not
+    // fire.
+    let v = gen::random_sparse_vec(1000, 300, 6);
+    let mut d = DistSparseVec::from_global(&v, 4);
+    let dctx = DistCtx::new(machine(4));
+    dctx.comm.fail_after(0);
+    dops::apply::apply_v2(&mut d, &|x: f64| x + 1.0, &dctx).unwrap();
+    let mut a = DistSparseVec::empty(1000, 4);
+    dops::assign::assign_v2(&mut a, &d, &dctx).unwrap();
+    assert_eq!(a.to_global().nnz(), 300);
+}

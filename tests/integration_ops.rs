@@ -1,0 +1,136 @@
+//! Cross-crate integration: distributed operations must agree with their
+//! shared-memory counterparts on every grid shape, through the public
+//! facade API.
+
+use gblas::prelude::*;
+use gblas_core::gen;
+use gblas_core::ops::{apply, assign, ewise, spmspv};
+use gblas_dist::ops as dops;
+
+const GRIDS: &[(usize, usize)] = &[(1, 1), (1, 2), (2, 1), (2, 2), (2, 3), (3, 3), (2, 4)];
+
+fn machine(p: usize) -> MachineConfig {
+    MachineConfig::edison_cluster(p, 24)
+}
+
+#[test]
+fn apply_dist_equals_shared_everywhere() {
+    let v = gen::random_sparse_vec(5000, 900, 1);
+    let mut expect = v.clone();
+    apply::apply_vec_inplace(&mut expect, &|x: f64| x.sqrt(), &ExecCtx::serial());
+    for &(pr, pc) in GRIDS {
+        let p = pr * pc;
+        for version in [1, 2] {
+            let mut dv = DistSparseVec::from_global(&v, p);
+            let dctx = DistCtx::new(machine(p));
+            if version == 1 {
+                dops::apply::apply_v1(&mut dv, &|x: f64| x.sqrt(), &dctx).unwrap();
+            } else {
+                dops::apply::apply_v2(&mut dv, &|x: f64| x.sqrt(), &dctx).unwrap();
+            }
+            assert_eq!(dv.to_global(), expect, "apply v{version} p={p}");
+        }
+    }
+}
+
+#[test]
+fn assign_dist_equals_shared_everywhere() {
+    let b = gen::random_sparse_vec(4000, 700, 2);
+    let mut expect = SparseVec::new(4000);
+    assign::assign_v2(&mut expect, &b, &ExecCtx::serial()).unwrap();
+    for &(pr, pc) in GRIDS {
+        let p = pr * pc;
+        for version in [1, 2] {
+            let bd = DistSparseVec::from_global(&b, p);
+            let mut ad = DistSparseVec::empty(4000, p);
+            let dctx = DistCtx::new(machine(p));
+            if version == 1 {
+                dops::assign::assign_v1(&mut ad, &bd, &dctx).unwrap();
+            } else {
+                dops::assign::assign_v2(&mut ad, &bd, &dctx).unwrap();
+            }
+            assert_eq!(ad.to_global(), expect, "assign v{version} p={p}");
+        }
+    }
+}
+
+#[test]
+fn ewise_dist_equals_shared_everywhere() {
+    let x = gen::random_sparse_vec(6000, 1200, 3);
+    let y = gen::random_dense_bool(6000, 0.5, 4);
+    let expect =
+        ewise::ewise_filter_prefix(&x, &y, &|_: f64, k| k, &ExecCtx::serial()).unwrap();
+    for &(pr, pc) in GRIDS {
+        let p = pr * pc;
+        let dx = DistSparseVec::from_global(&x, p);
+        let dy = DistDenseVec::from_global(&y, p);
+        let dctx = DistCtx::new(machine(p));
+        let (z, _) = dops::ewise::ewise_mult_dist(
+            &dx,
+            &dy,
+            &|_: f64, k| k,
+            gblas_core::ops::ewise::EwiseVariant::Prefix,
+            &dctx,
+        )
+        .unwrap();
+        assert_eq!(z.to_global(), expect, "p={p}");
+    }
+}
+
+#[test]
+fn spmspv_dist_reaches_the_same_columns_everywhere() {
+    let a = gen::erdos_renyi(800, 7, 5);
+    let x = gen::random_sparse_vec(800, 60, 6);
+    let expect = spmspv::spmspv_first_visitor(
+        &a,
+        &x,
+        None,
+        spmspv::SpMSpVOpts::default(),
+        &ExecCtx::serial(),
+    )
+    .unwrap();
+    for &(pr, pc) in GRIDS {
+        let grid = ProcGrid::new(pr, pc);
+        let p = grid.locales();
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dx = DistSparseVec::from_global(&x, p);
+        let dctx = DistCtx::new(machine(p));
+        let (y, report) = dops::spmspv::spmspv_dist(&da, &dx, &dctx).unwrap();
+        assert_eq!(y.to_global().indices(), expect.indices(), "grid {pr}x{pc}");
+        assert!(report.total() > 0.0);
+    }
+}
+
+#[test]
+fn semiring_spmspv_composes_with_ewise_and_reduce() {
+    // A small end-to-end pipeline exercising several ops together:
+    // y = x A (plus-times); z = y filtered by a mask; s = sum(z).
+    let a = gen::erdos_renyi(300, 5, 7);
+    let x = gen::random_sparse_vec(300, 25, 8);
+    let ctx = ExecCtx::with_threads(2);
+    let y = spmspv::spmspv_semiring(&a, &x, &semirings::plus_times_f64(), &ctx)
+        .unwrap()
+        .vector;
+    let keep = gen::random_dense_bool(300, 0.5, 9);
+    let z = ewise::ewise_filter_prefix(&y, &keep, &|_: f64, k| k, &ctx).unwrap();
+    let s = gblas_core::ops::reduce::reduce_vec(&z, &gblas_core::algebra::Plus, &ctx);
+    // reference
+    let mut expect = 0.0;
+    for (i, &v) in y.iter() {
+        if keep[i] {
+            expect += v;
+        }
+    }
+    assert!((s - expect).abs() < 1e-9);
+}
+
+#[test]
+fn profile_counters_flow_through_the_facade() {
+    let ctx = ExecCtx::with_threads(2);
+    let mut v = gen::random_sparse_vec(1000, 200, 10);
+    apply::apply_vec_inplace(&mut v, &|x: f64| x + 1.0, &ctx);
+    let profile = ctx.take_profile();
+    assert_eq!(profile.phase("apply").elems, 200);
+    let t = CostModel::edison().profile_time(&profile, 24);
+    assert!(t.total() > 0.0);
+}

@@ -1,0 +1,167 @@
+//! End-to-end figure-shape assertions: the scaled-down figure harness must
+//! reproduce every qualitative claim the paper's evaluation makes. These
+//! are the repository's "does the reproduction actually reproduce" tests.
+
+use gblas_bench::figs;
+
+/// Scale divisor for fast CI runs (shapes are scale-free; see gblas-bench
+/// crate docs).
+const S: usize = 100;
+
+fn total(fig: &gblas_bench::Figure, series: &str, x: usize) -> f64 {
+    fig.series
+        .iter()
+        .find(|s| s.name == series)
+        .and_then(|s| s.points.iter().find(|p| p.x == x))
+        .map(|p| p.report.total())
+        .unwrap_or_else(|| panic!("missing {series}@{x} in {}", fig.id))
+}
+
+#[test]
+fn fig1_apply1_and_apply2_tie_in_shared_memory_but_diverge_distributed() {
+    let figs = figs::fig1(S);
+    let shm = &figs[0];
+    for &t in gblas_bench::THREADS {
+        let a1 = total(shm, "Apply1", t);
+        let a2 = total(shm, "Apply2", t);
+        assert!((a1 / a2 - 1.0).abs() < 0.3, "shm t={t}: {a1} vs {a2}");
+    }
+    let dist = &figs[1];
+    for &p in &[2usize, 8, 64] {
+        let a1 = total(dist, "Apply1", p);
+        let a2 = total(dist, "Apply2", p);
+        assert!(a1 > 10.0 * a2, "dist p={p}: Apply1 {a1} vs Apply2 {a2}");
+    }
+    // Apply1 distributed is roughly flat (no scaling): within 4x across
+    // 2..64 nodes.
+    let lo = total(dist, "Apply1", 2);
+    let hi = total(dist, "Apply1", 64);
+    assert!(hi / lo < 4.0 && lo / hi < 4.0, "Apply1 flatness: {lo} vs {hi}");
+}
+
+#[test]
+fn fig2_assign1_slower_shared_and_collapsing_distributed() {
+    let figs = figs::fig2(S);
+    let shm = &figs[0];
+    // §III-B: "Assign2 is an order of magnitude faster than Assign1"
+    let ratio = total(shm, "Assign1", 1) / total(shm, "Assign2", 1);
+    assert!(ratio > 4.0, "shared-memory Assign1/Assign2 = {ratio}");
+    // 5-8x speedup at 24 threads (we accept 3..24 on the scaled input)
+    let sp2 = total(shm, "Assign2", 1) / total(shm, "Assign2", 32);
+    assert!(sp2 > 3.0, "Assign2 speedup {sp2}");
+    let dist = &figs[1];
+    assert!(total(dist, "Assign1", 16) > 20.0 * total(dist, "Assign2", 16));
+}
+
+#[test]
+fn fig3_assign2_scales_with_size() {
+    let figs = figs::fig3(S);
+    let fig = &figs[0];
+    // the 100M series keeps improving to large node counts
+    let sp = fig.speedup("nnz=100M", 32).unwrap();
+    assert!(sp > 4.0, "100M speedup to 32 nodes = {sp}");
+    // the 1M series saturates earlier: its 64-node point is no better
+    // than ~2x its best small-node point
+    let t8 = total(fig, "nnz=1M", 8);
+    let t64 = total(fig, "nnz=1M", 64);
+    assert!(t64 > t8 / 4.0, "small input must saturate: {t8} -> {t64}");
+}
+
+#[test]
+fn fig4_ewisemult_shared_memory_speedups() {
+    let figs = figs::fig4(S);
+    let fig = &figs[0];
+    // "13x speedup when nnz(x) is 100M" — scaled: demand >5x at 24t
+    let sp_large = fig.speedup("nnz=100M", 32).unwrap();
+    assert!(sp_large > 5.0, "100M speedup {sp_large}");
+    // tiny input scales worse than the big one
+    let sp_small = fig.speedup("nnz=10K", 32).unwrap();
+    assert!(sp_small < sp_large, "10K {sp_small} vs 100M {sp_large}");
+}
+
+#[test]
+fn fig5_ewisemult_distributed_scaling_depends_on_size() {
+    let figs = figs::fig5(S);
+    for fig in &figs {
+        // 100M scales from 1 to 32 nodes ("more than 16x" in the paper;
+        // scaled input: demand > 4x)
+        let sp = fig.speedup("nnz=100M", 32).unwrap();
+        assert!(sp > 4.0, "{}: 100M speedup {sp}", fig.id);
+        // 1M does not scale well: by 64 nodes it is worse than its best
+        let best_1m = fig
+            .series
+            .iter()
+            .find(|s| s.name == "nnz=1M")
+            .unwrap()
+            .points
+            .iter()
+            .map(|p| p.report.total())
+            .fold(f64::INFINITY, f64::min);
+        let at64 = total(fig, "nnz=1M", 64);
+        assert!(at64 > best_1m, "{}: 1M must not keep scaling to 64", fig.id);
+    }
+}
+
+#[test]
+fn fig7_spmspv_components_and_speedup() {
+    let figs = figs::fig7(10); // n = 100K
+    for fig in &figs {
+        let s = &fig.series[0];
+        let p1 = &s.points[0].report;
+        // "sorting is the most expensive step"
+        assert!(p1.phase("sort") > p1.phase("spa"), "{}", fig.id);
+        assert!(p1.phase("sort") > p1.phase("output"), "{}", fig.id);
+        // "9-11x speedups ... 1 to 24 threads" — scaled: demand 4..20 at 32
+        let sp = fig.speedup("components", 32).unwrap();
+        assert!((3.0..24.0).contains(&sp), "{}: speedup {sp}", fig.id);
+    }
+}
+
+#[test]
+fn fig8_fig9_gather_dominates_and_total_does_not_improve() {
+    for figset in [figs::fig8(20), figs::fig9(200)] {
+        for fig in &figset {
+            let s = &fig.series[0];
+            let at = |x: usize| {
+                s.points.iter().find(|p| p.x == x).unwrap().report.clone()
+            };
+            let r1 = at(1);
+            let r64 = at(64);
+            // local multiply scales (the paper reports up to 43x)
+            assert!(
+                r64.phase("local") < r1.phase("local") / 4.0,
+                "{}: local {} -> {}",
+                fig.id,
+                r1.phase("local"),
+                r64.phase("local")
+            );
+            // gather grows by orders of magnitude and dominates
+            assert!(
+                r64.phase("gather") > 20.0 * r1.phase("gather").max(1e-9),
+                "{}: gather {} -> {}",
+                fig.id,
+                r1.phase("gather"),
+                r64.phase("gather")
+            );
+            assert!(r64.phase("gather") > r64.phase("local"), "{}", fig.id);
+            // "total runtime does not go down as we increase the number of
+            // nodes"
+            assert!(r64.total() > 0.5 * r1.total(), "{}", fig.id);
+        }
+    }
+}
+
+#[test]
+fn fig10_colocation_degrades_significantly() {
+    let figs = figs::fig10(1);
+    let fig = &figs[0];
+    for series in ["Assign1", "Assign2"] {
+        let t1 = total(fig, series, 1);
+        let t32 = total(fig, series, 32);
+        assert!(t32 > 3.0 * t1, "{series}: {t1} -> {t32}");
+    }
+    // Assign1 stays the slower implementation throughout
+    for &l in figs::COLOCATED {
+        assert!(total(fig, "Assign1", l) > total(fig, "Assign2", l), "locales {l}");
+    }
+}
