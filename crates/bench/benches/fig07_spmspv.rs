@@ -12,16 +12,12 @@ fn bench(c: &mut Criterion) {
     for &(d, f) in SPMSPV_CONFIGS {
         let a = workloads::er_matrix(n, d, 70 + d as u64);
         let x = workloads::spmspv_vector(n, f, 70 + d as u64 + f as u64);
-        g.bench_with_input(
-            BenchmarkId::new("spmspv", format!("d{d}-f{f}")),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), &ExecCtx::with_threads(2))
-                        .unwrap()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("spmspv", format!("d{d}-f{f}")), &(), |b, _| {
+            b.iter(|| {
+                spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), &ExecCtx::with_threads(2))
+                    .unwrap()
+            })
+        });
     }
     g.finish();
 }

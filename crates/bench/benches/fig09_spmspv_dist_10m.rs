@@ -18,16 +18,12 @@ fn bench(c: &mut Criterion) {
         let x = workloads::spmspv_vector(n, f, 90 + d as u64 + f as u64);
         let da = DistCsrMatrix::from_global(&a, grid);
         let dx = DistSparseVec::from_global(&x, p);
-        g.bench_with_input(
-            BenchmarkId::new("spmspv_dist", format!("d{d}-f{f}")),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
-                    spmspv_dist(&da, &dx, &dctx).unwrap()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("spmspv_dist", format!("d{d}-f{f}")), &(), |b, _| {
+            b.iter(|| {
+                let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+                spmspv_dist(&da, &dx, &dctx).unwrap()
+            })
+        });
     }
     g.finish();
 }

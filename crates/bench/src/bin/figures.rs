@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run -p gblas-bench --release --bin figures -- [--fig N|all] [--scale S] [--out DIR]
+//!                                                     [--trace FILE]
 //! ```
 //!
 //! * `--fig N` — a figure number 1..10 (6 is the SPA diagram: no data);
@@ -10,8 +11,12 @@
 //!   `S` for quick runs; default 1 (full paper sizes, needs ~8 GB RAM and
 //!   a few minutes).
 //! * `--out DIR` — CSV output directory, default `results`.
+//! * `--trace FILE` — record every simulated operation across all figures
+//!   into one trace: Chrome trace-event JSON, or JSONL when `FILE` ends in
+//!   `.jsonl`. Metrics are printed at the end.
 
 use gblas_bench::figs::run_fig;
+use gblas_core::trace::sink;
 use std::path::PathBuf;
 
 fn main() {
@@ -19,6 +24,7 @@ fn main() {
     let mut ablations = true;
     let mut scale = 1usize;
     let mut out = PathBuf::from("results");
+    let mut trace_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -41,8 +47,12 @@ fn main() {
                 i += 1;
                 out = PathBuf::from(args.get(i).expect("--out needs a value"));
             }
+            "--trace" => {
+                i += 1;
+                trace_out = Some(args.get(i).expect("--trace needs a value").clone());
+            }
             "--help" | "-h" => {
-                println!("usage: figures [--fig N|all] [--scale S] [--out DIR]");
+                println!("usage: figures [--fig N|all] [--scale S] [--out DIR] [--trace FILE]");
                 return;
             }
             other => panic!("unknown argument {other}"),
@@ -51,9 +61,12 @@ fn main() {
     }
     println!("# chapel-graphblas-rs figure harness");
     println!("# scale = {scale} (paper sizes divided by this)");
+    let tracing = trace_out.as_ref().map(|_| gblas_bench::figs::enable_tracing());
     for n in figs {
         if n == 6 {
-            println!("\n=== fig06 — SPA diagram (Fig 6): illustrative only, nothing to measure ===");
+            println!(
+                "\n=== fig06 — SPA diagram (Fig 6): illustrative only, nothing to measure ==="
+            );
             continue;
         }
         let t0 = std::time::Instant::now();
@@ -76,5 +89,21 @@ fn main() {
             }
         }
         eprintln!("# ablations regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    if let (Some(path), Some((recorder, metrics))) = (trace_out, tracing) {
+        let trace = recorder.snapshot();
+        let text =
+            if path.ends_with(".jsonl") { sink::jsonl(&trace) } else { sink::chrome_trace(&trace) };
+        match std::fs::write(&path, text) {
+            Ok(()) => println!(
+                "# trace: {} spans, {} events, {:.6}s simulated -> {path}",
+                trace.spans.len(),
+                trace.instants.len(),
+                trace.sim_end()
+            ),
+            Err(e) => eprintln!("# trace write failed: {e}"),
+        }
+        println!("# metrics:");
+        print!("{}", metrics.snapshot());
     }
 }

@@ -13,15 +13,39 @@ use gblas_core::ops::apply::apply_vec_inplace;
 use gblas_core::ops::ewise::{ewise_filter_atomic, EwiseVariant};
 use gblas_core::ops::spmspv::{spmspv_first_visitor, SpMSpVOpts};
 use gblas_core::par::ExecCtx;
+use gblas_core::trace::{MetricsRegistry, TraceRecorder};
 use gblas_dist::ops::apply::{apply_v1 as dist_apply_v1, apply_v2 as dist_apply_v2};
 use gblas_dist::ops::assign::{assign_v1 as dist_assign_v1, assign_v2 as dist_assign_v2};
 use gblas_dist::ops::ewise::ewise_mult_dist;
 use gblas_dist::ops::spmspv::spmspv_dist;
 use gblas_dist::{DistCsrMatrix, DistCtx, DistDenseVec, DistSparseVec, ProcGrid};
 use gblas_sim::{CostModel, MachineConfig, SimReport};
+use std::sync::{Arc, OnceLock};
 
 /// Locale counts used by Fig 10 (colocated on one node).
 pub const COLOCATED: &[usize] = &[1, 2, 4, 8, 16, 32];
+
+/// Shared recorder/metrics installed by [`enable_tracing`]; every
+/// simulated [`DistCtx`] the harness builds reports into it.
+static TRACING: OnceLock<(TraceRecorder, Arc<MetricsRegistry>)> = OnceLock::new();
+
+/// Capture traces for every figure run in this process (`--trace` in the
+/// `figures` binary). Returns the shared recorder; subsequent calls return
+/// the same one. Ops from all figures land end-to-end on one simulated
+/// timeline.
+pub fn enable_tracing() -> (TraceRecorder, Arc<MetricsRegistry>) {
+    let (r, m) =
+        TRACING.get_or_init(|| (TraceRecorder::new(), Arc::new(MetricsRegistry::default())));
+    (r.clone(), Arc::clone(m))
+}
+
+/// Build a `DistCtx`, instrumented when [`enable_tracing`] was called.
+fn dist_ctx(machine: MachineConfig) -> DistCtx {
+    match TRACING.get() {
+        Some((r, m)) => DistCtx::with_instrumentation(machine, r.clone(), Arc::clone(m)),
+        None => DistCtx::new(machine),
+    }
+}
 
 /// Price a shared-memory execution at `t` simulated threads.
 fn run_shm(t: usize, f: impl FnOnce(&ExecCtx)) -> SimReport {
@@ -37,11 +61,7 @@ pub fn fig1(scale: usize) -> Vec<Figure> {
     let global = workloads::vector(nnz, 10);
     let bump = |v: f64| v * 1.000001;
 
-    let mut shm = Figure::new(
-        "fig01-shm",
-        "Apply, shared memory, nnz=10M (Fig 1 left)",
-        "threads",
-    );
+    let mut shm = Figure::new("fig01-shm", "Apply, shared memory, nnz=10M (Fig 1 left)", "threads");
     for version in ["Apply1", "Apply2"] {
         let mut points = Vec::new();
         for &t in THREADS {
@@ -61,7 +81,7 @@ pub fn fig1(scale: usize) -> Vec<Figure> {
         let mut points = Vec::new();
         for &p in NODES {
             let mut x = DistSparseVec::from_global(&global, p);
-            let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+            let dctx = dist_ctx(MachineConfig::edison_cluster(p, 24));
             let report = if version == "Apply1" {
                 dist_apply_v1(&mut x, &bump, &dctx).expect("apply_v1")
             } else {
@@ -79,11 +99,7 @@ pub fn fig2(scale: usize) -> Vec<Figure> {
     let nnz = workloads::scaled(1_000_000, scale, 10_000);
     let b = workloads::vector(nnz, 20);
 
-    let mut shm = Figure::new(
-        "fig02-shm",
-        "Assign, shared memory, nnz=1M (Fig 2 left)",
-        "threads",
-    );
+    let mut shm = Figure::new("fig02-shm", "Assign, shared memory, nnz=1M (Fig 2 left)", "threads");
     for version in ["Assign1", "Assign2"] {
         let mut points = Vec::new();
         for &t in THREADS {
@@ -110,7 +126,7 @@ pub fn fig2(scale: usize) -> Vec<Figure> {
         for &p in NODES {
             let bd = DistSparseVec::from_global(&b, p);
             let mut a = DistSparseVec::empty(b.capacity(), p);
-            let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+            let dctx = dist_ctx(MachineConfig::edison_cluster(p, 24));
             let report = if version == "Assign1" {
                 dist_assign_v1(&mut a, &bd, &dctx).expect("assign_v1")
             } else {
@@ -137,7 +153,7 @@ pub fn fig3(scale: usize) -> Vec<Figure> {
         for &p in NODES {
             let bd = DistSparseVec::from_global(&b, p);
             let mut a = DistSparseVec::empty(b.capacity(), p);
-            let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+            let dctx = dist_ctx(MachineConfig::edison_cluster(p, 24));
             let report = dist_assign_v2(&mut a, &bd, &dctx).expect("assign_v2");
             points.push(FigPoint { x: p, report });
         }
@@ -149,11 +165,8 @@ pub fn fig3(scale: usize) -> Vec<Figure> {
 /// Fig 4: shared-memory eWiseMult (sparse × dense boolean filter keeping
 /// about half the entries) at 10K, 1M and 100M nonzeros.
 pub fn fig4(scale: usize) -> Vec<Figure> {
-    let mut fig = Figure::new(
-        "fig04",
-        "eWiseMult, shared memory, nnz in {10K, 1M, 100M} (Fig 4)",
-        "threads",
-    );
+    let mut fig =
+        Figure::new("fig04", "eWiseMult, shared memory, nnz in {10K, 1M, 100M} (Fig 4)", "threads");
     for (label, base, min) in [
         ("nnz=10K", 10_000usize, 10_000usize),
         ("nnz=1M", 1_000_000, 10_000),
@@ -189,7 +202,7 @@ pub fn fig5(scale: usize) -> Vec<Figure> {
             for &p in NODES {
                 let dx = DistSparseVec::from_global(&x, p);
                 let dy = DistDenseVec::from_global(&y, p);
-                let dctx = DistCtx::new(MachineConfig::edison_cluster(p, threads));
+                let dctx = dist_ctx(MachineConfig::edison_cluster(p, threads));
                 let (_, report) =
                     ewise_mult_dist(&dx, &dy, &|_: f64, keep| keep, EwiseVariant::Atomic, &dctx)
                         .expect("ewise dist");
@@ -221,8 +234,8 @@ pub fn fig7(scale: usize) -> Vec<Figure> {
         let mut points = Vec::new();
         for &t in THREADS {
             let report = run_shm(t, |ctx| {
-                let _ = spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), ctx)
-                    .expect("spmspv");
+                let _ =
+                    spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), ctx).expect("spmspv");
             });
             points.push(FigPoint { x: t, report });
         }
@@ -253,7 +266,7 @@ fn spmspv_dist_figure(fig_prefix: &str, n_base: usize, scale: usize) -> Vec<Figu
             let grid = ProcGrid::square_for(p);
             let da = DistCsrMatrix::from_global(&a, grid);
             let dx = DistSparseVec::from_global(&x, p);
-            let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+            let dctx = dist_ctx(MachineConfig::edison_cluster(p, 24));
             let (_, report) = spmspv_dist(&da, &dx, &dctx).expect("spmspv dist");
             points.push(FigPoint { x: p, report });
         }
@@ -287,7 +300,7 @@ pub fn fig10(_scale: usize) -> Vec<Figure> {
         for &locales in COLOCATED {
             let bd = DistSparseVec::from_global(&b, locales);
             let mut a = DistSparseVec::empty(b.capacity(), locales);
-            let dctx = DistCtx::new(MachineConfig::edison_colocated(locales));
+            let dctx = dist_ctx(MachineConfig::edison_colocated(locales));
             let report = if version == "Assign1" {
                 dist_assign_v1(&mut a, &bd, &dctx).expect("assign_v1")
             } else {
@@ -344,14 +357,13 @@ pub fn fig_ablations(scale: usize) -> Vec<Figure> {
         "eWiseMult compaction: atomic fetch-add vs thread-private + prefix sum",
         "threads",
     );
-    for (label, variant) in
-        [("atomic", EwiseVariant::Atomic), ("prefix", EwiseVariant::Prefix)]
-    {
+    for (label, variant) in [("atomic", EwiseVariant::Atomic), ("prefix", EwiseVariant::Prefix)] {
         let mut points = Vec::new();
         for &t in THREADS {
             let report = run_shm(t, |ctx| {
-                let _ = gblas_core::ops::ewise::ewise_filter(&ex, &ey, &|_: f64, k| k, variant, ctx)
-                    .expect("ewise");
+                let _ =
+                    gblas_core::ops::ewise::ewise_filter(&ex, &ey, &|_: f64, k| k, variant, ctx)
+                        .expect("ewise");
             });
             points.push(FigPoint { x: t, report });
         }
@@ -374,7 +386,7 @@ pub fn fig_ablations(scale: usize) -> Vec<Figure> {
             let grid = ProcGrid::square_for(p);
             let da = DistCsrMatrix::from_global(&ac, grid);
             let dx = DistSparseVec::from_global(&xc, p);
-            let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+            let dctx = dist_ctx(MachineConfig::edison_cluster(p, 24));
             let (_, report) = if bulk {
                 gblas_dist::ops::spmspv::spmspv_dist_bulk(&da, &dx, &dctx).expect("bulk")
             } else {
@@ -478,9 +490,7 @@ mod tests {
     fn fig8_gather_grows_and_dominates() {
         let figs = fig8(50);
         let fig = &figs[0]; // d=16, f=2%
-        let at = |x: usize| {
-            fig.series[0].points.iter().find(|p| p.x == x).unwrap().report.clone()
-        };
+        let at = |x: usize| fig.series[0].points.iter().find(|p| p.x == x).unwrap().report.clone();
         let r1 = at(1);
         let r16 = at(16);
         assert!(r16.phase("gather") > 5.0 * r1.phase("gather"));

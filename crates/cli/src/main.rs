@@ -3,7 +3,7 @@
 //! ```text
 //! gblas-cli <command> [--input FILE.mtx | --gen er:N:D | --gen rmat:SCALE:EF]
 //!           [--source V] [--threads T] [--symmetrize] [--seed S]
-//!           [--simulate NODES]
+//!           [--simulate NODES] [--trace FILE]
 //!
 //! commands:
 //!   info        matrix shape, nnz, degree statistics
@@ -13,15 +13,20 @@
 //!   cc          connected components (requires symmetric input; use --symmetrize)
 //!   triangles   triangle count (requires symmetric input; use --symmetrize)
 //!   bc          betweenness centrality from --source (or all if --source omitted and n <= 2000)
+//!   trace       summarize a saved JSONL trace (--input trace.jsonl)
 //! ```
 //!
 //! With `--simulate NODES`, `bfs`, `sssp`, `pagerank` and `cc` also run on
 //! the simulated distributed machine and print where the time would go on
-//! the paper's Cray XC30.
+//! the paper's Cray XC30. Adding `--trace FILE` records every simulated
+//! operation (spans per op/phase/locale) and writes a Chrome trace-event
+//! file (load it in `chrome://tracing` / Perfetto), or a JSONL stream if
+//! `FILE` ends in `.jsonl`; cumulative metrics are printed either way.
 
 use gblas_core::container::CsrMatrix;
 use gblas_core::error::{GblasError, Result};
 use gblas_core::par::ExecCtx;
+use gblas_core::trace::sink;
 use gblas_core::{gen, io};
 use gblas_dist::{DistCsrMatrix, DistCtx, ProcGrid};
 use gblas_sim::MachineConfig;
@@ -35,6 +40,7 @@ struct Args {
     symmetrize: bool,
     seed: u64,
     simulate: Option<usize>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -49,6 +55,7 @@ fn parse_args() -> std::result::Result<Args, String> {
         symmetrize: false,
         seed: 1,
         simulate: None,
+        trace_out: None,
     };
     let mut rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -78,8 +85,11 @@ fn parse_args() -> std::result::Result<Args, String> {
                 i += 2;
             }
             "--simulate" => {
-                args.simulate =
-                    Some(need(i, &mut rest)?.parse().map_err(|_| "bad --simulate")?);
+                args.simulate = Some(need(i, &mut rest)?.parse().map_err(|_| "bad --simulate")?);
+                i += 2;
+            }
+            "--trace" => {
+                args.trace_out = Some(need(i, &mut rest)?);
                 i += 2;
             }
             "--symmetrize" => {
@@ -132,6 +142,55 @@ fn bad_spec(spec: &str) -> GblasError {
     GblasError::InvalidArgument(format!("bad --gen spec '{spec}' (er:N:D or rmat:SCALE:EF)"))
 }
 
+/// Build the simulated cluster, with trace capture on when `--trace` was
+/// given.
+fn sim_ctx(nodes: usize, args: &Args) -> DistCtx {
+    let mut dctx = DistCtx::new(MachineConfig::edison_cluster(nodes, 24));
+    if args.trace_out.is_some() {
+        dctx.enable_tracing();
+    }
+    dctx
+}
+
+/// After a simulated run: write the trace file (Chrome JSON, or JSONL when
+/// the path ends in `.jsonl`) and dump the metrics registry.
+fn finish_sim(dctx: &DistCtx, args: &Args) -> Result<()> {
+    let Some(path) = &args.trace_out else { return Ok(()) };
+    let trace = dctx.recorder().snapshot();
+    let text =
+        if path.ends_with(".jsonl") { sink::jsonl(&trace) } else { sink::chrome_trace(&trace) };
+    std::fs::write(path, text)
+        .map_err(|e| GblasError::InvalidArgument(format!("cannot write {path}: {e}")))?;
+    println!(
+        "trace: {} spans, {} events, {:.6}s simulated -> {path}",
+        trace.spans.len(),
+        trace.instants.len(),
+        trace.sim_end()
+    );
+    println!("metrics:");
+    print!("{}", dctx.metrics().snapshot());
+    Ok(())
+}
+
+/// `trace` subcommand: reload a JSONL trace and print the summary table.
+fn summarize_trace(args: &Args) -> Result<()> {
+    let path = args.input.as_ref().ok_or_else(|| {
+        GblasError::InvalidArgument("trace needs --input FILE.jsonl (a saved JSONL trace)".into())
+    })?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| GblasError::InvalidArgument(format!("cannot read {path}: {e}")))?;
+    if text.trim_start().starts_with('[') {
+        return Err(GblasError::InvalidArgument(
+            "this looks like a Chrome trace; the trace subcommand reads the JSONL format \
+             (--trace FILE.jsonl)"
+                .into(),
+        ));
+    }
+    let trace = sink::from_jsonl(&text).map_err(GblasError::InvalidArgument)?;
+    print!("{}", sink::summary(&trace));
+    Ok(())
+}
+
 fn degree_stats(a: &CsrMatrix<f64>) -> (usize, usize, f64) {
     let mut min = usize::MAX;
     let mut max = 0usize;
@@ -148,12 +207,17 @@ fn run() -> Result<()> {
         Ok(a) => a,
         Err(e) => {
             if e.contains("--help") || e.contains("missing command") {
-                eprintln!("usage: gblas-cli <info|bfs|sssp|pagerank|cc|triangles|bc> [options]");
+                eprintln!(
+                    "usage: gblas-cli <info|bfs|sssp|pagerank|cc|triangles|bc|trace> [options]"
+                );
                 eprintln!("see the crate docs for the option list");
             }
             return Err(GblasError::InvalidArgument(e));
         }
     };
+    if args.command == "trace" {
+        return summarize_trace(&args);
+    }
     let a = load(&args)?;
     let ctx = ExecCtx::with_threads(args.threads);
     println!(
@@ -182,10 +246,11 @@ fn run() -> Result<()> {
             if let Some(nodes) = args.simulate {
                 let grid = ProcGrid::square_for(nodes);
                 let da = DistCsrMatrix::from_global(&a, grid);
-                let dctx = DistCtx::new(MachineConfig::edison_cluster(nodes, 24));
+                let dctx = sim_ctx(nodes, &args);
                 let (dr, report) = gblas_graph::bfs_dist(&da, args.source, &dctx)?;
                 assert_eq!(dr.levels, r.levels);
                 println!("simulated on {nodes} Edison nodes: {report}");
+                finish_sim(&dctx, &args)?;
             }
         }
         "sssp" => {
@@ -204,9 +269,10 @@ fn run() -> Result<()> {
             if let Some(nodes) = args.simulate {
                 let grid = ProcGrid::square_for(nodes);
                 let da = DistCsrMatrix::from_global(&a, grid);
-                let dctx = DistCtx::new(MachineConfig::edison_cluster(nodes, 24));
+                let dctx = sim_ctx(nodes, &args);
                 let (_, report) = gblas_graph::sssp_dist(&da, args.source, &dctx)?;
                 println!("simulated on {nodes} Edison nodes: {report}");
+                finish_sim(&dctx, &args)?;
             }
         }
         "pagerank" => {
@@ -221,7 +287,7 @@ fn run() -> Result<()> {
             }
             if let Some(nodes) = args.simulate {
                 let grid = ProcGrid::square_for(nodes);
-                let dctx = DistCtx::new(MachineConfig::edison_cluster(nodes, 24));
+                let dctx = sim_ctx(nodes, &args);
                 let (_, _, report) = gblas_graph::pagerank_dist(
                     &a,
                     grid,
@@ -229,6 +295,7 @@ fn run() -> Result<()> {
                     &dctx,
                 )?;
                 println!("simulated on {nodes} Edison nodes: {report}");
+                finish_sim(&dctx, &args)?;
             }
         }
         "cc" => {
@@ -242,9 +309,10 @@ fn run() -> Result<()> {
             if let Some(nodes) = args.simulate {
                 let grid = ProcGrid::square_for(nodes);
                 let da = DistCsrMatrix::from_global(&a, grid);
-                let dctx = DistCtx::new(MachineConfig::edison_cluster(nodes, 24));
+                let dctx = sim_ctx(nodes, &args);
                 let (_, report) = gblas_graph::connected_components_dist(&da, &dctx)?;
                 println!("simulated on {nodes} Edison nodes: {report}");
+                finish_sim(&dctx, &args)?;
             }
         }
         "triangles" => {
@@ -273,9 +341,12 @@ fn run() -> Result<()> {
         }
         other => {
             return Err(GblasError::InvalidArgument(format!(
-                "unknown command '{other}' (info|bfs|sssp|pagerank|cc|triangles|bc)"
+                "unknown command '{other}' (info|bfs|sssp|pagerank|cc|triangles|bc|trace)"
             )));
         }
+    }
+    if args.trace_out.is_some() && args.simulate.is_none() {
+        eprintln!("note: --trace records the simulated run; add --simulate NODES");
     }
     Ok(())
 }

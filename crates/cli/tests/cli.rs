@@ -3,10 +3,8 @@
 use std::process::Command;
 
 fn run(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_gblas-cli"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_gblas-cli")).args(args).output().expect("binary runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -24,8 +22,7 @@ fn info_on_generated_graph() {
 
 #[test]
 fn bfs_with_simulation() {
-    let (ok, stdout, _) =
-        run(&["bfs", "--gen", "er:5000:8", "--source", "7", "--simulate", "4"]);
+    let (ok, stdout, _) = run(&["bfs", "--gen", "er:5000:8", "--source", "7", "--simulate", "4"]);
     assert!(ok);
     assert!(stdout.contains("bfs from 7"));
     assert!(stdout.contains("simulated on 4 Edison nodes"));

@@ -1,0 +1,206 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Implements just enough of the criterion surface for this workspace's
+//! `harness = false` benches to build and run without registry access:
+//! benchmark groups, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is honest but simple: each benchmark runs `sample_size`
+//! samples after one warm-up and reports min / median / max wall time to
+//! stdout. No statistical analysis, HTML reports, or comparison against
+//! saved baselines.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Batch sizing hints for [`Bencher::iter_batched`] (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter display.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Times closures; handed to benchmark bodies.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, `samples` times (plus one warm-up).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.results.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.results.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, results: &mut [Duration]) {
+    if results.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    results.sort();
+    let min = results[0];
+    let med = results[results.len() / 2];
+    let max = results[results.len() - 1];
+    println!(
+        "{name:<40} min {:>12.3?}  median {:>12.3?}  max {:>12.3?}  ({} samples)",
+        min,
+        med,
+        max,
+        results.len()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut body: F) {
+        let mut b = Bencher { samples: self.sample_size, results: Vec::new() };
+        body(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut b.results);
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, body: F) {
+        self.run(id.to_string(), body);
+    }
+
+    /// Benchmark a closure receiving `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut body: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.id.clone(), |b| body(b, input));
+    }
+
+    /// End the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("== {name}");
+        BenchmarkGroup { name: name.to_string(), sample_size: 10, _criterion: self }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) -> &mut Self {
+        let mut b = Bencher { samples: 10, results: Vec::new() };
+        body(&mut b);
+        report(id, &mut b.results);
+        self
+    }
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_expected_sample_count() {
+        let mut g = Criterion::default();
+        let mut group = g.benchmark_group("t");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        // one warm-up + 3 samples
+        assert_eq!(runs, 4);
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut g = Criterion::default();
+        let mut group = g.benchmark_group("t2");
+        group.sample_size(2);
+        let mut setups = 0usize;
+        group.bench_with_input(BenchmarkId::new("b", 1), &(), |b, _| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 3);
+        group.finish();
+    }
+}

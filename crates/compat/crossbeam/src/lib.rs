@@ -1,0 +1,78 @@
+//! Offline stand-in for `crossbeam` (0.8 API subset).
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn`,
+//! which std has provided natively since 1.63 (`std::thread::scope`). This
+//! shim adapts the std API to crossbeam's signatures: `scope` returns a
+//! `Result` (std instead propagates child panics by panicking, so the
+//! `Err` arm is never constructed here) and the spawn closure receives a
+//! `&Scope` for nested spawning.
+
+pub mod thread {
+    //! Scoped threads, crossbeam-flavoured.
+
+    /// Result of a scope: `Err` would carry a child panic payload;
+    /// std-backed scopes resume the panic instead, so this is always `Ok`.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle that can spawn borrowed-data threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; the closure receives this scope so it
+        /// can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope; all threads it spawns are joined before
+    /// `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let hits = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_arg() {
+        let hits = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = super::thread::scope(|s| s.spawn(|_| 21).join().unwrap() * 2).unwrap();
+        assert_eq!(v, 42);
+    }
+}

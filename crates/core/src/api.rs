@@ -241,8 +241,17 @@ mod tests {
         let x = v(4, &[(0, 1.0), (1, 1.0)]);
         let mut w = v(4, &[(3, 9.0)]);
         let ctx = ExecCtx::serial();
-        vxm(&mut w, None, None::<&Plus>, &semirings::plus_times_f64(), &x, &a, Descriptor::none(), &ctx)
-            .unwrap();
+        vxm(
+            &mut w,
+            None,
+            None::<&Plus>,
+            &semirings::plus_times_f64(),
+            &x,
+            &a,
+            Descriptor::none(),
+            &ctx,
+        )
+        .unwrap();
         // no mask, no accum: t merged over w; w[3] untouched (t has no entry there)
         assert_eq!(w.indices(), &[1, 2, 3]);
         assert_eq!(w.values(), &[2.0, 3.0, 9.0]);
@@ -254,8 +263,17 @@ mod tests {
         let x = v(3, &[(0, 1.0)]);
         let mut w = v(3, &[(1, 10.0)]);
         let ctx = ExecCtx::serial();
-        vxm(&mut w, None, Some(&Plus), &semirings::plus_times_f64(), &x, &a, Descriptor::none(), &ctx)
-            .unwrap();
+        vxm(
+            &mut w,
+            None,
+            Some(&Plus),
+            &semirings::plus_times_f64(),
+            &x,
+            &a,
+            Descriptor::none(),
+            &ctx,
+        )
+        .unwrap();
         assert_eq!(w.values(), &[15.0]);
     }
 
@@ -292,10 +310,30 @@ mod tests {
         let mask = VecMask::dense(&bits);
         let ctx = ExecCtx::serial();
         let mut w1 = SparseVec::new(3);
-        vxm(&mut w1, Some(&mask), None::<&Plus>, &semirings::plus_times_f64(), &x, &a, Descriptor::none(), &ctx).unwrap();
+        vxm(
+            &mut w1,
+            Some(&mask),
+            None::<&Plus>,
+            &semirings::plus_times_f64(),
+            &x,
+            &a,
+            Descriptor::none(),
+            &ctx,
+        )
+        .unwrap();
         assert_eq!(w1.indices(), &[1]);
         let mut w2 = SparseVec::new(3);
-        vxm(&mut w2, Some(&mask), None::<&Plus>, &semirings::plus_times_f64(), &x, &a, Descriptor::comp(), &ctx).unwrap();
+        vxm(
+            &mut w2,
+            Some(&mask),
+            None::<&Plus>,
+            &semirings::plus_times_f64(),
+            &x,
+            &a,
+            Descriptor::comp(),
+            &ctx,
+        )
+        .unwrap();
         assert_eq!(w2.indices(), &[2]);
     }
 
@@ -306,9 +344,29 @@ mod tests {
         let x = crate::gen::random_sparse_vec(60, 10, 502);
         let ctx = ExecCtx::serial();
         let mut w1 = SparseVec::new(60);
-        vxm(&mut w1, None, None::<&Plus>, &semirings::plus_times_f64(), &x, &a, Descriptor::none(), &ctx).unwrap();
+        vxm(
+            &mut w1,
+            None,
+            None::<&Plus>,
+            &semirings::plus_times_f64(),
+            &x,
+            &a,
+            Descriptor::none(),
+            &ctx,
+        )
+        .unwrap();
         let mut w2 = SparseVec::new(60);
-        mxv(&mut w2, None, None::<&Plus>, &semirings::plus_times_f64(), &at, &x, Descriptor::none(), &ctx).unwrap();
+        mxv(
+            &mut w2,
+            None,
+            None::<&Plus>,
+            &semirings::plus_times_f64(),
+            &at,
+            &x,
+            Descriptor::none(),
+            &ctx,
+        )
+        .unwrap();
         assert_eq!(w1.indices(), w2.indices());
         for (p, q) in w1.values().iter().zip(w2.values()) {
             assert!((p - q).abs() < 1e-9);
@@ -335,8 +393,7 @@ mod tests {
         let vv = v(4, &[(0, 5.0), (3, 7.0)]);
         let mut w = SparseVec::new(4);
         let ctx = ExecCtx::serial();
-        ewise_mult(&mut w, None, None::<&Plus>, &Times, &u, &vv, Descriptor::none(), &ctx)
-            .unwrap();
+        ewise_mult(&mut w, None, None::<&Plus>, &Times, &u, &vv, Descriptor::none(), &ctx).unwrap();
         assert_eq!(w.indices(), &[0]);
         assert_eq!(w.values(), &[10.0]);
     }
@@ -345,12 +402,9 @@ mod tests {
     fn bfs_written_against_the_c_style_api() {
         // The "hello world" again, this time through vxm with mask +
         // replace, as the GraphBLAS C examples write it.
-        let a = CsrMatrix::from_triplets(
-            5,
-            5,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 4, 1.0)],
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::from_triplets(5, 5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 4, 1.0)])
+                .unwrap();
         let ctx = ExecCtx::serial();
         let mut visited = DenseVec::filled(5, false);
         visited[0] = true;

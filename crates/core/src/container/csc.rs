@@ -28,7 +28,13 @@ pub struct CscMatrix<T> {
 impl<T> CscMatrix<T> {
     /// An empty (all-zero) matrix.
     pub fn empty(nrows: usize, ncols: usize) -> Self {
-        CscMatrix { nrows, ncols, colptr: vec![0; ncols + 1], rowidx: Vec::new(), values: Vec::new() }
+        CscMatrix {
+            nrows,
+            ncols,
+            colptr: vec![0; ncols + 1],
+            rowidx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Build from raw CSC arrays, validating every invariant.

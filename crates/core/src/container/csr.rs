@@ -23,7 +23,13 @@ pub struct CsrMatrix<T> {
 impl<T> CsrMatrix<T> {
     /// An empty (all-zero) matrix.
     pub fn empty(nrows: usize, ncols: usize) -> Self {
-        CsrMatrix { nrows, ncols, rowptr: vec![0; nrows + 1], colidx: Vec::new(), values: Vec::new() }
+        CsrMatrix {
+            nrows,
+            ncols,
+            rowptr: vec![0; nrows + 1],
+            colidx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Build from raw CSR arrays, validating every invariant.
@@ -168,7 +174,8 @@ mod tests {
         // [ .  1  .  2 ]
         // [ .  .  .  . ]
         // [ 3  .  4  . ]
-        CsrMatrix::from_triplets(3, 4, &[(0, 1, 1.0), (0, 3, 2.0), (2, 0, 3.0), (2, 2, 4.0)]).unwrap()
+        CsrMatrix::from_triplets(3, 4, &[(0, 1, 1.0), (0, 3, 2.0), (2, 0, 3.0), (2, 2, 4.0)])
+            .unwrap()
     }
 
     #[test]

@@ -57,10 +57,7 @@ impl<T> SparseVec<T> {
         pairs.sort_unstable_by_key(|(i, _)| *i);
         for w in pairs.windows(2) {
             if w[0].0 == w[1].0 {
-                return Err(GblasError::InvalidContainer(format!(
-                    "duplicate index {}",
-                    w[0].0
-                )));
+                return Err(GblasError::InvalidContainer(format!("duplicate index {}", w[0].0)));
             }
         }
         let (indices, values): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
@@ -178,9 +175,7 @@ impl<T> SparseVec<T> {
                 }
             }
         }
-        Err(GblasError::InvalidArgument(format!(
-            "index {index} not present in sparse vector"
-        )))
+        Err(GblasError::InvalidArgument(format!("index {index} not present in sparse vector")))
     }
 
     /// Drop all entries, keeping the capacity — Chapel's `DA.clear()`
@@ -267,7 +262,8 @@ mod tests {
     #[test]
     fn from_pairs_rejects_duplicates_but_combine_merges() {
         assert!(SparseVec::from_pairs(5, vec![(1, 2), (1, 3)]).is_err());
-        let v = SparseVec::from_pairs_combine(5, vec![(1, 2), (1, 3), (0, 5)], |a, b| a + b).unwrap();
+        let v =
+            SparseVec::from_pairs_combine(5, vec![(1, 2), (1, 3), (0, 5)], |a, b| a + b).unwrap();
         assert_eq!(v.indices(), &[0, 1]);
         assert_eq!(v.values(), &[5, 5]);
     }

@@ -76,10 +76,8 @@ mod tests {
 
     #[test]
     fn display_dimension_mismatch() {
-        let e = GblasError::DimensionMismatch {
-            expected: "len = 5".into(),
-            actual: "len = 6".into(),
-        };
+        let e =
+            GblasError::DimensionMismatch { expected: "len = 5".into(), actual: "len = 6".into() };
         assert_eq!(e.to_string(), "dimension mismatch: expected len = 5, got len = 6");
     }
 

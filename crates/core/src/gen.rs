@@ -172,10 +172,7 @@ mod tests {
         assert_eq!(a.nrows(), n);
         assert_eq!(a.ncols(), n);
         let avg = a.nnz() as f64 / n as f64;
-        assert!(
-            (avg - d as f64).abs() < 0.5,
-            "expected ≈{d} nnz/row, got {avg}"
-        );
+        assert!((avg - d as f64).abs() < 0.5, "expected ≈{d} nnz/row, got {avg}");
         // values in range
         assert!(a.values().iter().all(|&v| (0.0..1.0).contains(&v)));
     }
@@ -214,10 +211,7 @@ mod tests {
         // power-law skew: the max out-degree far exceeds the mean
         let max_deg = (0..1024).map(|i| a.row_nnz(i)).max().unwrap();
         let mean = a.nnz() as f64 / 1024.0;
-        assert!(
-            max_deg as f64 > 4.0 * mean,
-            "expected skew: max {max_deg} vs mean {mean:.1}"
-        );
+        assert!(max_deg as f64 > 4.0 * mean, "expected skew: max {max_deg} vs mean {mean:.1}");
         // deterministic
         assert_eq!(a, rmat(10, 8, 77));
         assert_ne!(a.nnz(), rmat(10, 8, 78).nnz());

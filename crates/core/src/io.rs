@@ -208,10 +208,8 @@ mod tests {
     fn rejects_malformed_input() {
         assert!(read_matrix_market("".as_bytes()).is_err());
         assert!(read_matrix_market("%%MatrixMarket tensor\n".as_bytes()).is_err());
-        assert!(read_matrix_market(
-            "%%MatrixMarket matrix array real general\n2 2\n".as_bytes()
-        )
-        .is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n2 2\n".as_bytes())
+            .is_err());
         // wrong count
         assert!(read_matrix_market(
             "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n".as_bytes()

@@ -24,6 +24,11 @@
 //!   touches, tasks spawned). The `gblas-sim` crate prices those counters
 //!   with a calibrated cost model of the paper's Cray XC30 platform so that
 //!   the paper's figures can be regenerated on any machine.
+//! * **Tracing & metrics** ([`trace`]): an opt-in span recorder on the
+//!   simulated clock (operation → phase → per-locale segment) with Chrome
+//!   trace-event / JSONL / summary exporters, plus an always-on registry of
+//!   cumulative atomic metrics. Disabled recorders are free: one branch per
+//!   call, no locks on the hot path.
 //! * **Workload generators** ([`gen`]): seeded Erdős–Rényi matrices
 //!   `G(n, d/n)` and random sparse/dense vectors, matching §II-A.
 //!
@@ -55,5 +60,6 @@ pub mod ops;
 pub mod par;
 pub mod sort;
 pub mod spa;
+pub mod trace;
 
 pub use error::{GblasError, Result};

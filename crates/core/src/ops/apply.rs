@@ -25,6 +25,7 @@ pub fn apply_vec_inplace<T: Copy + Send + Sync>(
     ctx: &ExecCtx,
 ) {
     let n = x.nnz();
+    let _op = ctx.trace_op("apply_vec_inplace", n as u64, &[("capacity", x.capacity())]);
     let values = x.values_mut();
     // Split the value array into per-task chunks (Chapel's `forall a in
     // spArr` with one task per thread).
@@ -65,8 +66,7 @@ pub fn apply_vec<T: Copy + Send + Sync, C: Copy + Send + Sync>(
     for o in outs {
         values.extend(o);
     }
-    SparseVec::from_sorted(x.capacity(), x.indices().to_vec(), values)
-        .expect("structure unchanged")
+    SparseVec::from_sorted(x.capacity(), x.indices().to_vec(), values).expect("structure unchanged")
 }
 
 /// Apply `op` in place to every stored value of a CSR matrix.
@@ -134,8 +134,7 @@ mod tests {
 
     #[test]
     fn apply_matrix_inplace() {
-        let mut a =
-            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1), (0, 1, 2), (1, 1, 3)]).unwrap();
+        let mut a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1), (0, 1, 2), (1, 1, 3)]).unwrap();
         let ctx = ExecCtx::with_threads(2);
         apply_mat_inplace(&mut a, &|v: i32| -v, &ctx);
         assert_eq!(a.values(), &[-1, -2, -3]);

@@ -31,6 +31,7 @@ pub fn assign_v1<T: Copy + Send + Sync + Default>(
     ctx: &ExecCtx,
 ) -> Result<()> {
     check_dims("capacity", a.capacity(), b.capacity())?;
+    let _op = ctx.trace_op("assign_v1", b.nnz() as u64, &[("capacity", a.capacity())]);
     // ------ Assign domain ------- (DA.clear(); DA += DB). Rebuilding a
     // sorted sparse domain is merge-class work (sort units), which is what
     // limits Assign to the paper's 5-8x scaling at 24 threads.
@@ -70,6 +71,7 @@ pub fn assign_v2<T: Copy + Send + Sync + Default>(
     ctx: &ExecCtx,
 ) -> Result<()> {
     check_dims("capacity", a.capacity(), b.capacity())?;
+    let _op = ctx.trace_op("assign_v2", b.nnz() as u64, &[("capacity", a.capacity())]);
     a.clear();
     if b.nnz() == 0 {
         return Ok(());
@@ -92,11 +94,8 @@ pub fn assign_v2<T: Copy + Send + Sync + Default>(
         slices.push(head);
         rest = tail;
     }
-    let slices: Vec<parking_lot::Mutex<(&mut [T], std::ops::Range<usize>)>> = slices
-        .into_iter()
-        .zip(chunks.iter().cloned())
-        .map(parking_lot::Mutex::new)
-        .collect();
+    let slices: Vec<parking_lot::Mutex<(&mut [T], std::ops::Range<usize>)>> =
+        slices.into_iter().zip(chunks.iter().cloned()).map(parking_lot::Mutex::new).collect();
     ctx.for_each_task(PHASE_VALUES, slices.len(), |t, c| {
         let mut guard = slices[t].lock();
         let (dst_chunk, range) = &mut *guard;
@@ -140,8 +139,7 @@ pub fn assign_subset<T: Copy + Send + Sync>(
     }
     // Translate u's entries into w coordinates (monotone because I is
     // sorted), then merge over w.
-    let translated: Vec<(usize, T)> =
-        u.iter().map(|(k, &v)| (index_set[k], v)).collect();
+    let translated: Vec<(usize, T)> = u.iter().map(|(k, &v)| (index_set[k], v)).collect();
     let mut c = crate::par::Counters::default();
     let (wi, wv) = (w.indices(), w.values());
     let mut out_i = Vec::with_capacity(wi.len() + translated.len());

@@ -160,6 +160,7 @@ where
     Op: BinaryOp<A, B, C>,
 {
     check_dims("capacity", a.capacity(), b.capacity())?;
+    let _op = ctx.trace_op("ewise_mult", (a.nnz() + b.nnz()) as u64, &[("capacity", a.capacity())]);
     let (ai, av) = (a.indices(), a.values());
     let (bi, bv) = (b.indices(), b.values());
     let mut out_i = Vec::new();
@@ -197,6 +198,7 @@ where
     Op: BinaryOp<T, T, T>,
 {
     check_dims("capacity", a.capacity(), b.capacity())?;
+    let _op = ctx.trace_op("ewise_add", (a.nnz() + b.nnz()) as u64, &[("capacity", a.capacity())]);
     let (ai, av) = (a.indices(), a.values());
     let (bi, bv) = (b.indices(), b.values());
     let mut out_i = Vec::with_capacity(ai.len() + bi.len());

@@ -186,12 +186,9 @@ mod tests {
 
     #[test]
     fn row_extract() {
-        let a = CsrMatrix::from_triplets(
-            4,
-            3,
-            &[(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (3, 0, 4.0)],
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::from_triplets(4, 3, &[(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (3, 0, 4.0)])
+                .unwrap();
         let ctx = ExecCtx::with_threads(2);
         let b = extract_rows(&a, &[1, 3], &ctx).unwrap();
         assert_eq!(b.nrows(), 2);

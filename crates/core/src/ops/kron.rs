@@ -28,9 +28,9 @@ where
 {
     let (am, an) = (a.nrows(), a.ncols());
     let (bm, bn) = (b.nrows(), b.ncols());
-    let nrows = am.checked_mul(bm).ok_or_else(|| {
-        GblasError::InvalidArgument("kron: row dimension overflows usize".into())
-    })?;
+    let nrows = am
+        .checked_mul(bm)
+        .ok_or_else(|| GblasError::InvalidArgument("kron: row dimension overflows usize".into()))?;
     let ncols = an.checked_mul(bn).ok_or_else(|| {
         GblasError::InvalidArgument("kron: column dimension overflows usize".into())
     })?;
@@ -113,9 +113,8 @@ mod tests {
     #[test]
     fn kron_with_identity_replicates() {
         let a = gen::erdos_renyi(8, 2, 33);
-        let eye =
-            CsrMatrix::from_triplets(3, 3, &(0..3).map(|i| (i, i, 1.0)).collect::<Vec<_>>())
-                .unwrap();
+        let eye = CsrMatrix::from_triplets(3, 3, &(0..3).map(|i| (i, i, 1.0)).collect::<Vec<_>>())
+            .unwrap();
         let ctx = ExecCtx::serial();
         let c = kron(&a, &eye, &Times, &ctx).unwrap();
         // kron(A, I3) places A's value at ((i*3+k),(j*3+k))

@@ -139,8 +139,7 @@ mod tests {
                 assert!((v - reference[i][j]).abs() < 1e-9, "({i},{j})");
             }
             // every nonzero of the reference is present
-            let nnz_ref: usize =
-                reference.iter().flatten().filter(|v| v.abs() > 1e-12).count();
+            let nnz_ref: usize = reference.iter().flatten().filter(|v| v.abs() > 1e-12).count();
             assert_eq!(c.nnz(), nnz_ref);
         }
     }
@@ -151,14 +150,15 @@ mod tests {
         let b = gen::erdos_renyi(40, 5, 8);
         let mask = gen::erdos_renyi_bool(40, 10, 9);
         let ctx = ExecCtx::serial();
-        let c = mxm::<_, _, f64, _, _, bool>(&a, &b, &semirings::plus_times_f64(), Some(&mask), &ctx)
-            .unwrap();
+        let c =
+            mxm::<_, _, f64, _, _, bool>(&a, &b, &semirings::plus_times_f64(), Some(&mask), &ctx)
+                .unwrap();
         for (i, j, _) in c.iter() {
             assert!(mask.get(i, j).is_some(), "({i},{j}) escaped the mask");
         }
         // and the values agree with the unmasked product
-        let full = mxm::<_, _, f64, _, _, bool>(&a, &b, &semirings::plus_times_f64(), None, &ctx)
-            .unwrap();
+        let full =
+            mxm::<_, _, f64, _, _, bool>(&a, &b, &semirings::plus_times_f64(), None, &ctx).unwrap();
         for (i, j, &v) in c.iter() {
             assert_eq!(full.get(i, j), Some(&v));
         }
@@ -178,12 +178,8 @@ mod tests {
     fn identity_times_a_is_a() {
         let n = 30;
         let a = gen::erdos_renyi(n, 3, 13);
-        let eye = CsrMatrix::from_triplets(
-            n,
-            n,
-            &(0..n).map(|i| (i, i, 1.0)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let eye = CsrMatrix::from_triplets(n, n, &(0..n).map(|i| (i, i, 1.0)).collect::<Vec<_>>())
+            .unwrap();
         let ctx = ExecCtx::serial();
         let c = mxm::<_, _, f64, _, _, bool>(&eye, &a, &semirings::plus_times_f64(), None, &ctx)
             .unwrap();

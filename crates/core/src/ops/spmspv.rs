@@ -60,6 +60,11 @@ pub fn spmspv_first_visitor<T: Send + Sync, X: Send + Sync>(
     ctx: &ExecCtx,
 ) -> Result<SparseVec<usize>> {
     check_dims("x capacity vs matrix rows", a.nrows(), x.capacity())?;
+    let _op = ctx.trace_op(
+        "spmspv_first_visitor",
+        x.nnz() as u64,
+        &[("nrows", a.nrows()), ("ncols", a.ncols())],
+    );
     let ncols = a.ncols();
     // Step 1: SPA (Listing 7 lines 12–29).
     let spa = AtomicSpa::new(ncols);
@@ -142,6 +147,11 @@ where
     MulOp: BinaryOp<A, B, C>,
 {
     check_dims("x capacity vs matrix rows", a.nrows(), x.capacity())?;
+    let _op = ctx.trace_op(
+        "spmspv_semiring",
+        x.nnz() as u64,
+        &[("nrows", a.nrows()), ("ncols", a.ncols())],
+    );
     let ncols = a.ncols();
     let mut spa = DenseSpa::new(ncols, ring.zero::<C>());
     let mut c = crate::par::Counters::default();
@@ -194,6 +204,11 @@ where
     MulOp: BinaryOp<A, B, C>,
 {
     check_dims("x capacity vs matrix rows", a.nrows(), x.capacity())?;
+    let _op = ctx.trace_op(
+        "spmspv_sort_based",
+        x.nnz() as u64,
+        &[("nrows", a.nrows()), ("ncols", a.ncols())],
+    );
     let ncols = a.ncols();
     // Emit products.
     let mut keyed: Vec<(usize, usize)> = Vec::new(); // (col, position)
@@ -281,8 +296,7 @@ mod tests {
         let x = gen::random_sparse_vec(400, 25, 32);
         for threads in [1, 4] {
             let ctx = ExecCtx::new(threads, 2);
-            let fv =
-                spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), &ctx).unwrap();
+            let fv = spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), &ctx).unwrap();
             let sr = spmspv_semiring(&a, &x, &semirings::plus_times_f64(), &ctx).unwrap();
             assert_eq!(fv.indices(), sr.vector.indices(), "reached set must agree");
             // every stored value is a legitimate visiting row
@@ -308,10 +322,10 @@ mod tests {
         let a = gen::erdos_renyi(400, 8, 51);
         let x = gen::random_sparse_vec(400, 30, 52);
         let ctx = ExecCtx::serial();
-        let m = spmspv_first_visitor(&a, &x, None, SpMSpVOpts { sort: SortAlgo::Merge }, &ctx)
-            .unwrap();
-        let r = spmspv_first_visitor(&a, &x, None, SpMSpVOpts { sort: SortAlgo::Radix }, &ctx)
-            .unwrap();
+        let m =
+            spmspv_first_visitor(&a, &x, None, SpMSpVOpts { sort: SortAlgo::Merge }, &ctx).unwrap();
+        let r =
+            spmspv_first_visitor(&a, &x, None, SpMSpVOpts { sort: SortAlgo::Radix }, &ctx).unwrap();
         assert_eq!(m, r);
     }
 
@@ -322,8 +336,8 @@ mod tests {
         let visited = DenseVec::from_fn(200, |i| i % 2 == 0); // even columns visited
         let not_visited = VecMask::dense(&visited).complement();
         let ctx = ExecCtx::serial();
-        let y = spmspv_first_visitor(&a, &x, Some(&not_visited), SpMSpVOpts::default(), &ctx)
-            .unwrap();
+        let y =
+            spmspv_first_visitor(&a, &x, Some(&not_visited), SpMSpVOpts::default(), &ctx).unwrap();
         assert!(y.indices().iter().all(|&j| j % 2 == 1), "only odd columns allowed");
     }
 

@@ -137,8 +137,12 @@ mod tests {
         let a = gen::erdos_renyi(10, 2, 3);
         let short = DenseVec::filled(9, 1.0);
         let ctx = ExecCtx::serial();
-        assert!(spmv_row::<_, _, f64, _, _>(&a, &short, &semirings::plus_times_f64(), &ctx).is_err());
-        assert!(spmv_col::<_, _, f64, _, _>(&a, &short, &semirings::plus_times_f64(), &ctx).is_err());
+        assert!(
+            spmv_row::<_, _, f64, _, _>(&a, &short, &semirings::plus_times_f64(), &ctx).is_err()
+        );
+        assert!(
+            spmv_col::<_, _, f64, _, _>(&a, &short, &semirings::plus_times_f64(), &ctx).is_err()
+        );
     }
 
     #[test]

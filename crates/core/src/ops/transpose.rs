@@ -55,8 +55,7 @@ pub fn transpose<T: Copy + Send + Sync>(a: &CsrMatrix<T>, ctx: &ExecCtx) -> Resu
         }
     }
     c.elems += nnz as u64;
-    let mut values_t: Vec<T> =
-        if nnz == 0 { Vec::new() } else { vec![a.values()[0]; nnz] };
+    let mut values_t: Vec<T> = if nnz == 0 { Vec::new() } else { vec![a.values()[0]; nnz] };
     for (p, v) in a.values().iter().enumerate() {
         values_t[targets[p]] = *v;
     }

@@ -67,6 +67,23 @@ impl Counters {
         *self == Counters::default()
     }
 
+    /// Field-wise `self - earlier`, saturating at zero — used to attribute
+    /// the work performed between two profile snapshots to a trace span.
+    pub fn saturating_sub(&self, earlier: &Counters) -> Counters {
+        Counters {
+            elems: self.elems.saturating_sub(earlier.elems),
+            flops: self.flops.saturating_sub(earlier.flops),
+            search_probes: self.search_probes.saturating_sub(earlier.search_probes),
+            atomics: self.atomics.saturating_sub(earlier.atomics),
+            sort_elems: self.sort_elems.saturating_sub(earlier.sort_elems),
+            spa_touches: self.spa_touches.saturating_sub(earlier.spa_touches),
+            rand_access: self.rand_access.saturating_sub(earlier.rand_access),
+            bytes_moved: self.bytes_moved.saturating_sub(earlier.bytes_moved),
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            regions: self.regions.saturating_sub(earlier.regions),
+        }
+    }
+
     /// Total "CPU-side" unit count — a quick sanity aggregate used in tests
     /// and logs, *not* by the cost model (which prices each field
     /// separately).
@@ -103,8 +120,26 @@ mod tests {
     }
 
     #[test]
+    fn saturating_sub_attributes_deltas() {
+        let before = Counters { elems: 10, flops: 5, ..Default::default() };
+        let after = Counters { elems: 25, flops: 5, atomics: 3, ..Default::default() };
+        let d = after.saturating_sub(&before);
+        assert_eq!(d.elems, 15);
+        assert_eq!(d.flops, 0);
+        assert_eq!(d.atomics, 3);
+        // underflow clamps instead of wrapping
+        assert_eq!(before.saturating_sub(&after).elems, 0);
+    }
+
+    #[test]
     fn total_units_excludes_bookkeeping() {
-        let c = Counters { elems: 3, tasks: 100, regions: 10, bytes_moved: 1 << 30, ..Default::default() };
+        let c = Counters {
+            elems: 3,
+            tasks: 100,
+            regions: 10,
+            bytes_moved: 1 << 30,
+            ..Default::default()
+        };
         assert_eq!(c.total_units(), 3);
     }
 }

@@ -27,13 +27,17 @@ mod profile;
 pub use counters::Counters;
 pub use profile::Profile;
 
+use crate::trace::{MetricsRegistry, SpanKind, TraceRecorder};
 use parking_lot::Mutex;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Execution context carried by every operation.
 ///
 /// Holds the logical thread count, the real-thread budget, and the
-/// accumulated [`Profile`] of everything executed under this context.
+/// accumulated [`Profile`] of everything executed under this context — plus
+/// the observability handles: a [`TraceRecorder`] (disabled by default) and
+/// a shared [`MetricsRegistry`].
 pub struct ExecCtx {
     /// Logical (simulated) thread count: the number of tasks a `forall`
     /// region creates. Mirrors `CHPL_RT_NUM_THREADS_PER_LOCALE`.
@@ -42,6 +46,8 @@ pub struct ExecCtx {
     /// deterministic execution (tasks run in task-id order).
     real_threads: usize,
     profile: Mutex<Profile>,
+    recorder: TraceRecorder,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl ExecCtx {
@@ -73,6 +79,53 @@ impl ExecCtx {
             threads: threads.max(1),
             real_threads: real_threads.max(1),
             profile: Mutex::new(Profile::default()),
+            recorder: TraceRecorder::disabled(),
+            metrics: Arc::new(MetricsRegistry::default()),
+        }
+    }
+
+    /// Attach a trace recorder and metrics registry. Operations run under
+    /// this context afterwards emit wall-clock op spans and count into the
+    /// shared registry.
+    pub fn instrument(&mut self, recorder: TraceRecorder, metrics: Arc<MetricsRegistry>) {
+        self.recorder = recorder;
+        self.metrics = metrics;
+    }
+
+    /// The trace recorder (disabled unless [`ExecCtx::instrument`]ed).
+    pub fn recorder(&self) -> &TraceRecorder {
+        &self.recorder
+    }
+
+    /// The cumulative metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Open an op-level span: bumps `ops_executed`/`nnz_processed`, and —
+    /// when the recorder is enabled — emits a span on drop carrying the
+    /// wall-clock nanoseconds and the [`Counters`] delta this op added to
+    /// the context's profile. Shared-memory spans are wall-timed instants
+    /// on the simulated clock (core cannot price counters; `gblas-sim`
+    /// does), so their `sim_dur` is zero.
+    pub fn trace_op<'a>(&'a self, name: &str, nnz: u64, attrs: &[(&str, usize)]) -> OpSpan<'a> {
+        self.metrics.ops_executed(1);
+        self.metrics.nnz_processed(nnz);
+        let mut span_attrs = Vec::with_capacity(attrs.len() + 1);
+        span_attrs.push(("nnz".to_string(), nnz.to_string()));
+        for (k, v) in attrs {
+            span_attrs.push((k.to_string(), v.to_string()));
+        }
+        OpSpan {
+            ctx: self,
+            name: name.to_string(),
+            attrs: span_attrs,
+            before: if self.recorder.is_enabled() {
+                Some(self.profile.lock().total())
+            } else {
+                None
+            },
+            wall_start: std::time::Instant::now(),
         }
     }
 
@@ -163,6 +216,37 @@ impl ExecCtx {
     {
         let chunks = split_ranges(len, self.threads);
         self.for_each_task(phase, chunks.len(), |t, c| f(chunks[t].clone(), c))
+    }
+}
+
+/// Guard returned by [`ExecCtx::trace_op`]; records the span when dropped.
+pub struct OpSpan<'a> {
+    ctx: &'a ExecCtx,
+    name: String,
+    attrs: Vec<(String, String)>,
+    /// Profile totals when the op started (`Some` only when tracing).
+    before: Option<Counters>,
+    wall_start: std::time::Instant,
+}
+
+impl Drop for OpSpan<'_> {
+    fn drop(&mut self) {
+        let Some(before) = self.before.take() else { return };
+        let delta = self.ctx.profile.lock().total().saturating_sub(&before);
+        let cursor = self.ctx.recorder.cursor();
+        self.ctx.recorder.span(
+            None,
+            &self.name,
+            SpanKind::Op,
+            None,
+            cursor,
+            0.0,
+            self.wall_start.elapsed().as_nanos() as u64,
+            delta,
+            std::mem::take(&mut self.attrs),
+            None,
+        );
+        self.ctx.metrics.spans_recorded(1);
     }
 }
 

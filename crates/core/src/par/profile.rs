@@ -27,11 +27,7 @@ impl Profile {
 
     /// Counters recorded for `phase` (zero if the phase never ran).
     pub fn phase(&self, phase: &str) -> Counters {
-        self.phases
-            .iter()
-            .find(|(n, _)| n == phase)
-            .map(|(_, c)| *c)
-            .unwrap_or_default()
+        self.phases.iter().find(|(n, _)| n == phase).map(|(_, c)| *c).unwrap_or_default()
     }
 
     /// Phase names in first-recorded order.

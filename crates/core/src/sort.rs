@@ -113,7 +113,7 @@ fn natural_run_merge_sort<T: Copy + Ord>(data: &mut [T], c: &mut Counters) {
     }
     runs.push((start, n));
     c.sort_elems += n as u64; // the detection scan
-    // Merge runs pairwise until one remains.
+                              // Merge runs pairwise until one remains.
     let mut buf: Vec<T> = Vec::new();
     while runs.len() > 1 {
         let mut next = Vec::with_capacity(runs.len().div_ceil(2));
@@ -191,7 +191,11 @@ pub fn radix_sort(data: &mut [usize], ctx: &ExecCtx, phase: &str) {
         return;
     }
     let max = *data.iter().max().unwrap();
-    let passes = if max == 0 { 1 } else { (usize::BITS as usize - max.leading_zeros() as usize).div_ceil(BITS) };
+    let passes = if max == 0 {
+        1
+    } else {
+        (usize::BITS as usize - max.leading_zeros() as usize).div_ceil(BITS)
+    };
     let mut buf = vec![0usize; n];
     let mut src_is_data = true;
     for pass in 0..passes {

@@ -1,0 +1,98 @@
+//! Golden-file test for the Chrome trace exporter.
+//!
+//! The Chrome sink promises byte-determinism (fixed field order, fixed
+//! `{:.3}` µs precision, simulated clock only). This pins the exact bytes
+//! for a small hand-built trace; if the format changes intentionally,
+//! regenerate the golden file with
+//! `GBLAS_REGEN_GOLDEN=1 cargo test -p gblas-core --test trace_golden`.
+
+use gblas_core::par::Counters;
+use gblas_core::trace::sink::chrome_trace;
+use gblas_core::trace::{CommSummary, SpanKind, TraceRecorder};
+
+fn fixed_trace() -> gblas_core::trace::Trace {
+    let r = TraceRecorder::new();
+    let op = r.span(
+        None,
+        "spmspv_dist",
+        SpanKind::Op,
+        None,
+        0.0,
+        0.002,
+        7_777, // wall_ns: must never reach the Chrome output
+        Counters { elems: 5, flops: 12, ..Default::default() },
+        vec![("nnz".into(), "5".into()), ("strategy".into(), "fine".into())],
+        None,
+    );
+    let gather = r.span(
+        Some(op),
+        "gather",
+        SpanKind::Phase,
+        None,
+        0.0,
+        0.0015,
+        0,
+        Counters::default(),
+        vec![],
+        None,
+    );
+    r.span(
+        Some(gather),
+        "gather",
+        SpanKind::LocaleCompute,
+        Some(0),
+        0.0,
+        0.001,
+        0,
+        Counters { elems: 3, ..Default::default() },
+        vec![],
+        None,
+    );
+    r.span(
+        Some(gather),
+        "gather",
+        SpanKind::LocaleComm,
+        Some(1),
+        0.001,
+        0.0005,
+        0,
+        Counters::default(),
+        vec![],
+        Some(CommSummary { fine_msgs: 4, bytes: 32, peers: 1, ..Default::default() }),
+    );
+    r.span(
+        Some(op),
+        "local",
+        SpanKind::Phase,
+        None,
+        0.0015,
+        0.0005,
+        0,
+        Counters::default(),
+        vec![],
+        None,
+    );
+    r.advance(0.002);
+    r.instant("comm_fault", Some(1), vec![("phase".into(), "gather".into())]);
+    r.snapshot()
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let got = chrome_trace(&fixed_trace());
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chrome_small.json");
+    if std::env::var_os("GBLAS_REGEN_GOLDEN").is_some() {
+        std::fs::write(&golden, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden).expect("golden file present");
+    assert_eq!(got, want, "Chrome exporter output drifted from the golden file");
+}
+
+#[test]
+fn golden_run_is_reproducible() {
+    // Two recorders fed the same spans must serialize identically —
+    // the recorder itself introduces no nondeterminism.
+    assert_eq!(chrome_trace(&fixed_trace()), chrome_trace(&fixed_trace()));
+}

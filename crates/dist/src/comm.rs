@@ -16,10 +16,15 @@
 //! Pricing happens later in [`crate::exec`]; this module only measures.
 //! A deterministic fault hook ([`Comm::fail_after`]) lets tests inject a
 //! communication failure at the N-th event and verify that operations
-//! propagate it instead of silently corrupting results.
+//! propagate it instead of silently corrupting results. When the owning
+//! `DistCtx` is instrumented, every message feeds the shared
+//! [`MetricsRegistry`], and injected faults / retry attempts appear as
+//! instant events on the trace.
 
 use gblas_core::error::{GblasError, Result};
+use gblas_core::trace::{MetricsRegistry, TraceRecorder};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// Message-granularity class of an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +40,17 @@ pub enum CommKind {
     FineDependent,
     /// Aggregated block transfer.
     Bulk,
+}
+
+impl CommKind {
+    /// Stable lowercase name (used in trace attributes).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CommKind::Fine => "fine",
+            CommKind::FineDependent => "fine_dependent",
+            CommKind::Bulk => "bulk",
+        }
+    }
 }
 
 /// One logged transfer.
@@ -54,6 +70,16 @@ pub struct CommEvent {
     pub bytes: u64,
 }
 
+/// Lifetime totals, kept under one lock so every log call pays a single
+/// acquisition for all of its bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct Totals {
+    fine_msgs: u64,
+    bulk_msgs: u64,
+    bytes: u64,
+    calls: u64,
+}
+
 /// The communication layer: event log + fault injection.
 ///
 /// Operations *drain* the event log when they price themselves
@@ -63,20 +89,34 @@ pub struct CommEvent {
 #[derive(Debug, Default)]
 pub struct Comm {
     events: Mutex<Vec<CommEvent>>,
-    /// Cumulative (fine msgs, bulk msgs, bytes) across the context's
-    /// lifetime — not reset by `take_events`.
-    cumulative: Mutex<(u64, u64, u64)>,
-    /// Cumulative number of successful log calls (the unit the fault plan
-    /// counts in) — not reset by `take_events`.
-    calls: Mutex<u64>,
+    /// Cumulative totals across the context's lifetime — not reset by
+    /// `take_events`.
+    totals: Mutex<Totals>,
     /// Fault plan: fail the N-th subsequent transfer (0-based countdown).
     fail_in: Mutex<Option<u64>>,
+    /// Shared cumulative metrics (always cheap; a fresh registry when the
+    /// owning context is not instrumented).
+    metrics: Arc<MetricsRegistry>,
+    /// Trace handle for fault/retry instant events (disabled by default).
+    tracer: TraceRecorder,
 }
 
 impl Comm {
     /// A fresh, empty log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach a trace recorder and metrics registry (normally done by
+    /// `DistCtx`, so comm totals land in the same registry as op metrics).
+    pub fn instrument(&mut self, tracer: TraceRecorder, metrics: Arc<MetricsRegistry>) {
+        self.tracer = tracer;
+        self.metrics = metrics;
+    }
+
+    /// The metrics registry this layer feeds.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Arm the fault hook: the `n`-th transfer from now returns
@@ -90,11 +130,21 @@ impl Comm {
         *self.fail_in.lock() = None;
     }
 
-    fn check_fault(&self, phase: &str) -> Result<()> {
+    fn check_fault(&self, phase: &str, src: usize, kind: CommKind) -> Result<()> {
         let mut guard = self.fail_in.lock();
         if let Some(n) = guard.as_mut() {
             if *n == 0 {
                 *guard = None;
+                drop(guard);
+                self.metrics.faults_injected(1);
+                self.tracer.instant(
+                    "comm_fault",
+                    Some(src),
+                    vec![
+                        ("phase".to_string(), phase.to_string()),
+                        ("kind".to_string(), kind.as_str().to_string()),
+                    ],
+                );
                 return Err(GblasError::CommFailure(format!(
                     "injected fault during phase '{phase}'"
                 )));
@@ -104,28 +154,50 @@ impl Comm {
         Ok(())
     }
 
-    /// Log `msgs` fine-grained single-element transfers of `bytes` total
-    /// from `src` touching `dst`.
-    pub fn fine(&self, phase: &str, src: usize, dst: usize, msgs: u64, bytes: u64) -> Result<()> {
+    /// The one logging path all three public kinds share: fault check,
+    /// totals + metrics bookkeeping, event append.
+    fn log(
+        &self,
+        kind: CommKind,
+        phase: &str,
+        src: usize,
+        dst: usize,
+        msgs: u64,
+        bytes: u64,
+    ) -> Result<()> {
         if msgs == 0 {
             return Ok(());
         }
-        self.check_fault(phase)?;
+        self.check_fault(phase, src, kind)?;
         {
-            let mut cum = self.cumulative.lock();
-            cum.0 += msgs;
-            cum.2 += bytes;
-            *self.calls.lock() += 1;
+            let mut t = self.totals.lock();
+            match kind {
+                CommKind::Bulk => t.bulk_msgs += msgs,
+                CommKind::Fine | CommKind::FineDependent => t.fine_msgs += msgs,
+            }
+            t.bytes += bytes;
+            t.calls += 1;
         }
+        match kind {
+            CommKind::Bulk => self.metrics.bulk_msgs(msgs),
+            CommKind::Fine | CommKind::FineDependent => self.metrics.fine_msgs(msgs),
+        }
+        self.metrics.bytes_sent(bytes);
         self.events.lock().push(CommEvent {
             phase: phase.to_string(),
             src,
             dst,
-            kind: CommKind::Fine,
+            kind,
             msgs,
             bytes,
         });
         Ok(())
+    }
+
+    /// Log `msgs` fine-grained single-element transfers of `bytes` total
+    /// from `src` touching `dst`.
+    pub fn fine(&self, phase: &str, src: usize, dst: usize, msgs: u64, bytes: u64) -> Result<()> {
+        self.log(CommKind::Fine, phase, src, dst, msgs, bytes)
     }
 
     /// Log `msgs` *dependent* fine-grained transfers (each access waits
@@ -138,49 +210,39 @@ impl Comm {
         msgs: u64,
         bytes: u64,
     ) -> Result<()> {
-        if msgs == 0 {
-            return Ok(());
-        }
-        self.check_fault(phase)?;
-        {
-            let mut cum = self.cumulative.lock();
-            cum.0 += msgs;
-            cum.2 += bytes;
-            *self.calls.lock() += 1;
-        }
-        self.events.lock().push(CommEvent {
-            phase: phase.to_string(),
-            src,
-            dst,
-            kind: CommKind::FineDependent,
-            msgs,
-            bytes,
-        });
-        Ok(())
+        self.log(CommKind::FineDependent, phase, src, dst, msgs, bytes)
     }
 
     /// Log one (or `msgs`) bulk transfers of `bytes` total from `src` to
     /// `dst`.
     pub fn bulk(&self, phase: &str, src: usize, dst: usize, msgs: u64, bytes: u64) -> Result<()> {
-        if msgs == 0 {
-            return Ok(());
+        self.log(CommKind::Bulk, phase, src, dst, msgs, bytes)
+    }
+
+    /// Like [`with_retry`], but instrumented: each retry attempt becomes a
+    /// `comm_retry` instant on the trace and bumps the `retries` metric.
+    pub fn with_retry<R>(&self, attempts: usize, mut f: impl FnMut() -> Result<R>) -> Result<R> {
+        let attempts = attempts.max(1);
+        let mut last = None;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                self.metrics.retries(1);
+                self.tracer.instant(
+                    "comm_retry",
+                    None,
+                    vec![
+                        ("attempt".to_string(), attempt.to_string()),
+                        ("max_attempts".to_string(), attempts.to_string()),
+                    ],
+                );
+            }
+            match f() {
+                Ok(r) => return Ok(r),
+                Err(GblasError::CommFailure(msg)) => last = Some(GblasError::CommFailure(msg)),
+                Err(e) => return Err(e),
+            }
         }
-        self.check_fault(phase)?;
-        {
-            let mut cum = self.cumulative.lock();
-            cum.1 += msgs;
-            cum.2 += bytes;
-            *self.calls.lock() += 1;
-        }
-        self.events.lock().push(CommEvent {
-            phase: phase.to_string(),
-            src,
-            dst,
-            kind: CommKind::Bulk,
-            msgs,
-            bytes,
-        });
-        Ok(())
+        Err(last.expect("at least one attempt"))
     }
 
     /// Snapshot the event log.
@@ -196,24 +258,47 @@ impl Comm {
     /// Cumulative `(fine messages, bulk messages, bytes)` over the
     /// context's lifetime. Survives [`Comm::take_events`].
     pub fn totals(&self) -> (u64, u64, u64) {
-        *self.cumulative.lock()
+        let t = self.totals.lock();
+        (t.fine_msgs, t.bulk_msgs, t.bytes)
     }
 
     /// Cumulative number of transfer calls (each a potential fault point).
     /// Survives [`Comm::take_events`].
     pub fn call_count(&self) -> u64 {
-        *self.calls.lock()
+        self.totals.lock().calls
     }
 }
 
 /// Retry a communication-bearing closure up to `attempts` times on
 /// [`GblasError::CommFailure`], propagating other errors immediately.
-/// Deterministic: no backoff randomness.
-pub fn with_retry<R>(attempts: usize, mut f: impl FnMut() -> Result<R>) -> Result<R> {
+/// Deterministic: no backoff randomness. Discards the attempt count —
+/// use [`with_retry_counted`] to observe it, or [`Comm::with_retry`] to
+/// additionally record retries on the trace.
+pub fn with_retry<R>(attempts: usize, f: impl FnMut() -> Result<R>) -> Result<R> {
+    with_retry_counted(attempts, f).map(|(r, _)| r)
+}
+
+/// Like [`with_retry`], but on success also reports how many attempts the
+/// closure consumed (1 = first try succeeded).
+///
+/// ```
+/// use gblas_dist::comm::{with_retry_counted, Comm};
+///
+/// let comm = Comm::new();
+/// comm.fail_after(0); // next transfer fails
+/// let ((), attempts) =
+///     with_retry_counted(3, || comm.bulk("p", 0, 1, 1, 64)).unwrap();
+/// assert_eq!(attempts, 2); // first try hit the injected fault
+/// ```
+pub fn with_retry_counted<R>(
+    attempts: usize,
+    mut f: impl FnMut() -> Result<R>,
+) -> Result<(R, usize)> {
+    let attempts = attempts.max(1);
     let mut last = None;
-    for _ in 0..attempts.max(1) {
+    for attempt in 1..=attempts {
         match f() {
-            Ok(r) => return Ok(r),
+            Ok(r) => return Ok((r, attempt)),
             Err(GblasError::CommFailure(msg)) => last = Some(GblasError::CommFailure(msg)),
             Err(e) => return Err(e),
         }
@@ -234,6 +319,7 @@ mod tests {
         let (fine, bulk, bytes) = c.totals();
         assert_eq!((fine, bulk, bytes), (150, 1, 5296));
         assert_eq!(c.events().len(), 3);
+        assert_eq!(c.call_count(), 3);
     }
 
     #[test]
@@ -258,12 +344,72 @@ mod tests {
     }
 
     #[test]
+    fn all_kinds_share_the_fault_countdown_and_totals() {
+        let c = Comm::new();
+        c.fail_after(1);
+        assert!(c.fine_dependent("p", 0, 1, 10, 80).is_ok());
+        assert!(c.bulk("p", 0, 1, 1, 64).is_err());
+        let (fine, bulk, bytes) = c.totals();
+        assert_eq!((fine, bulk, bytes), (10, 0, 80));
+    }
+
+    #[test]
+    fn metrics_registry_sees_messages_and_faults() {
+        let mut c = Comm::new();
+        let metrics = Arc::new(MetricsRegistry::default());
+        c.instrument(TraceRecorder::disabled(), Arc::clone(&metrics));
+        c.fine("p", 0, 1, 5, 40).unwrap();
+        c.bulk("p", 0, 1, 2, 128).unwrap();
+        c.fail_after(0);
+        let _ = c.fine("p", 0, 1, 1, 8);
+        let s = metrics.snapshot();
+        assert_eq!(s.fine_msgs, 5);
+        assert_eq!(s.bulk_msgs, 2);
+        assert_eq!(s.bytes_sent, 168);
+        assert_eq!(s.faults_injected, 1);
+    }
+
+    #[test]
+    fn instrumented_retry_traces_fault_and_retry_instants() {
+        let mut c = Comm::new();
+        let tracer = TraceRecorder::new();
+        let metrics = Arc::new(MetricsRegistry::default());
+        c.instrument(tracer.clone(), Arc::clone(&metrics));
+        c.fail_after(0);
+        c.with_retry(3, || c.bulk("p", 0, 1, 1, 64)).unwrap();
+        let trace = tracer.snapshot();
+        let names: Vec<&str> = trace.instants.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["comm_fault", "comm_retry"]);
+        assert_eq!(
+            trace.instants[1].attrs,
+            vec![
+                ("attempt".to_string(), "2".to_string()),
+                ("max_attempts".to_string(), "3".to_string())
+            ]
+        );
+        assert_eq!(metrics.snapshot().retries, 1);
+        assert_eq!(metrics.snapshot().faults_injected, 1);
+    }
+
+    #[test]
     fn retry_recovers_from_injected_fault() {
         let c = Comm::new();
         c.fail_after(0);
         let r = with_retry(3, || c.bulk("p", 0, 1, 1, 64));
         assert!(r.is_ok());
         assert_eq!(c.events().len(), 1);
+    }
+
+    #[test]
+    fn retry_counted_reports_attempts_used() {
+        let c = Comm::new();
+        let ((), n) = with_retry_counted(3, || c.bulk("p", 0, 1, 1, 8)).unwrap();
+        assert_eq!(n, 1);
+        c.fail_after(1);
+        let ((), n) = with_retry_counted(3, || c.bulk("p", 0, 1, 1, 8)).unwrap();
+        assert_eq!(n, 1, "countdown not yet reached: first try succeeds");
+        let ((), n) = with_retry_counted(3, || c.bulk("p", 0, 1, 1, 8)).unwrap();
+        assert_eq!(n, 2, "armed fault consumes one attempt");
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! Distributed execution context and pricing.
+//! Distributed execution context, pricing, and op-level tracing.
 
 use crate::comm::{Comm, CommEvent, CommKind};
-use gblas_core::par::{ExecCtx, Profile};
+use gblas_core::par::{Counters, ExecCtx, Profile};
+use gblas_core::trace::{CommSummary, MetricsRegistry, SpanKind, TraceRecorder};
 use gblas_sim::{MachineConfig, SimReport};
+use std::sync::Arc;
 
 /// Execution context for distributed operations.
 ///
@@ -12,18 +14,60 @@ use gblas_sim::{MachineConfig, SimReport};
 /// superstep reads only the *previous* superstep's data — the
 /// bulk-synchronous structure the paper's version-2 codes follow), each
 /// locale on a fresh [`ExecCtx`] with the machine's `threads_per_locale`.
+///
+/// The context also carries the observability handles: a [`TraceRecorder`]
+/// (disabled by default — [`DistCtx::enable_tracing`] turns it on) and a
+/// shared [`MetricsRegistry`] that accumulates cumulative totals across
+/// every operation run under this context.
 #[derive(Debug)]
 pub struct DistCtx {
     /// The simulated machine.
     pub machine: MachineConfig,
     /// Communication log + fault hooks for the current operation.
     pub comm: Comm,
+    recorder: TraceRecorder,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl DistCtx {
-    /// A context for the given machine.
+    /// A context for the given machine (tracing disabled).
     pub fn new(machine: MachineConfig) -> Self {
-        DistCtx { machine, comm: Comm::new() }
+        Self::with_instrumentation(
+            machine,
+            TraceRecorder::disabled(),
+            Arc::new(MetricsRegistry::default()),
+        )
+    }
+
+    /// A context wired to an existing recorder and metrics registry.
+    pub fn with_instrumentation(
+        machine: MachineConfig,
+        recorder: TraceRecorder,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
+        let mut comm = Comm::new();
+        comm.instrument(recorder.clone(), Arc::clone(&metrics));
+        DistCtx { machine, comm, recorder, metrics }
+    }
+
+    /// Turn tracing on; returns the recorder (clone it freely — all clones
+    /// share the same trace). Operations run after this call emit spans.
+    pub fn enable_tracing(&mut self) -> TraceRecorder {
+        let r = TraceRecorder::new();
+        self.recorder = r.clone();
+        self.comm.instrument(r.clone(), Arc::clone(&self.metrics));
+        r
+    }
+
+    /// The trace recorder (disabled unless [`DistCtx::enable_tracing`] or
+    /// [`DistCtx::with_instrumentation`] provided one).
+    pub fn recorder(&self) -> &TraceRecorder {
+        &self.recorder
+    }
+
+    /// The cumulative metrics registry shared with the comm layer.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Total locales of the machine.
@@ -37,13 +81,18 @@ impl DistCtx {
         ExecCtx::new(self.machine.threads_per_locale, 1)
     }
 
-    /// Compute time of one phase across locales: the bulk-synchronous
-    /// `max` of each locale's priced counters.
-    pub fn price_compute(&self, phase: &str, per_locale: &[Profile]) -> f64 {
+    /// Per-locale compute time of one phase: each locale's priced counters.
+    pub fn price_compute_per_locale(&self, phase: &str, per_locale: &[Profile]) -> Vec<f64> {
         per_locale
             .iter()
             .map(|p| self.machine.cost.phase_time(&p.phase(phase), self.machine.threads_per_locale))
-            .fold(0.0, f64::max)
+            .collect()
+    }
+
+    /// Compute time of one phase across locales: the bulk-synchronous
+    /// `max` of each locale's priced counters.
+    pub fn price_compute(&self, phase: &str, per_locale: &[Profile]) -> f64 {
+        self.price_compute_per_locale(phase, per_locale).into_iter().fold(0.0, f64::max)
     }
 
     /// Price all phases of per-locale profiles, mapping each profile phase
@@ -70,7 +119,8 @@ impl DistCtx {
         report
     }
 
-    /// Price the logged communication events, per phase.
+    /// Detailed communication pricing: per phase, each locale's summed
+    /// transfer seconds and a message/byte summary of what it initiated.
     ///
     /// Rules (see `gblas_sim::NetworkModel`):
     /// * each event is charged to its initiating locale; a phase's comm
@@ -85,8 +135,7 @@ impl DistCtx {
     ///   intra-node constants but is additionally multiplied by the
     ///   colocation contention factor (Fig 10's mechanism);
     /// * `Bulk` events pay `α_bulk` per message plus bytes over bandwidth.
-    pub fn price_comm(&self, events: &[CommEvent]) -> SimReport {
-        let mut report = SimReport::default();
+    pub fn price_comm_detailed(&self, events: &[CommEvent]) -> Vec<CommPhaseCost> {
         let net = &self.machine.network;
         let mut phases: Vec<&str> = Vec::new();
         for e in events {
@@ -94,32 +143,28 @@ impl DistCtx {
                 phases.push(&e.phase);
             }
         }
+        let mut out = Vec::with_capacity(phases.len());
         for phase in phases {
             let evs: Vec<&CommEvent> = events.iter().filter(|e| e.phase == phase).collect();
-            let mut involved: Vec<usize> =
-                evs.iter().flat_map(|e| [e.src, e.dst]).collect();
+            let mut involved: Vec<usize> = evs.iter().flat_map(|e| [e.src, e.dst]).collect();
             involved.sort_unstable();
             involved.dedup();
             let congestion = net.congestion(involved.len());
             let colo = self.machine.colocation_factor();
-            let mut per_locale_time = vec![0.0f64; self.machine.locales()];
+            let mut per_locale_seconds = vec![0.0f64; self.machine.locales()];
+            let mut per_locale_summary = vec![CommSummary::default(); self.machine.locales()];
+            let mut peers: Vec<Vec<usize>> = vec![Vec::new(); self.machine.locales()];
             for e in &evs {
                 let intra = self.machine.same_node(e.src, e.dst);
                 let t = match e.kind {
                     CommKind::Fine => {
-                        let base = if intra {
-                            net.fine_time_intra(e.msgs)
-                        } else {
-                            net.fine_time(e.msgs)
-                        };
+                        let base =
+                            if intra { net.fine_time_intra(e.msgs) } else { net.fine_time(e.msgs) };
                         base * if intra { colo } else { 1.0 }
                     }
                     CommKind::FineDependent => {
-                        let base = if intra {
-                            net.fine_time_intra(e.msgs)
-                        } else {
-                            net.fine_time(e.msgs)
-                        };
+                        let base =
+                            if intra { net.fine_time_intra(e.msgs) } else { net.fine_time(e.msgs) };
                         base * net.fine_concurrency * congestion * if intra { colo } else { 1.0 }
                     }
                     CommKind::Bulk => {
@@ -131,10 +176,36 @@ impl DistCtx {
                         base * if intra { colo } else { 1.0 }
                     }
                 };
-                per_locale_time[e.src] += t;
+                per_locale_seconds[e.src] += t;
+                let s = &mut per_locale_summary[e.src];
+                match e.kind {
+                    CommKind::Fine => s.fine_msgs += e.msgs,
+                    CommKind::FineDependent => s.fine_dependent_msgs += e.msgs,
+                    CommKind::Bulk => s.bulk_msgs += e.msgs,
+                }
+                s.bytes += e.bytes;
+                if !peers[e.src].contains(&e.dst) {
+                    peers[e.src].push(e.dst);
+                }
             }
-            let max = per_locale_time.iter().cloned().fold(0.0, f64::max);
-            report.push(phase, max);
+            for (s, p) in per_locale_summary.iter_mut().zip(&peers) {
+                s.peers = p.len() as u64;
+            }
+            out.push(CommPhaseCost {
+                phase: phase.to_string(),
+                per_locale_seconds,
+                per_locale_summary,
+            });
+        }
+        out
+    }
+
+    /// Price the logged communication events, per phase: the max over
+    /// locales of [`DistCtx::price_comm_detailed`]'s per-locale seconds.
+    pub fn price_comm(&self, events: &[CommEvent]) -> SimReport {
+        let mut report = SimReport::default();
+        for c in self.price_comm_detailed(events) {
+            report.push(&c.phase, c.max_seconds());
         }
         report
     }
@@ -142,6 +213,281 @@ impl DistCtx {
     /// The `coforall loc in Locales` fan-out cost for one superstep.
     pub fn spawn_time(&self) -> f64 {
         self.machine.locale_spawn_time()
+    }
+
+    /// Begin an op-level trace. The returned builder is how distributed
+    /// operations assemble their [`SimReport`]; when tracing is enabled it
+    /// *also* materializes the operation → phase → per-locale span tree on
+    /// the recorder, and it always bumps the metrics registry.
+    pub fn op<'a>(&'a self, name: &str) -> OpTrace<'a> {
+        OpTrace {
+            dctx: self,
+            name: name.to_string(),
+            attrs: Vec::new(),
+            nnz: 0,
+            report: SimReport::default(),
+            detail: if self.recorder.is_enabled() { Some(Vec::new()) } else { None },
+            wall_start: std::time::Instant::now(),
+        }
+    }
+}
+
+/// One phase's priced communication: per-locale seconds + traffic summary.
+#[derive(Debug, Clone)]
+pub struct CommPhaseCost {
+    /// Phase name (matches the op's compute phases).
+    pub phase: String,
+    /// Transfer seconds charged to each initiating locale.
+    pub per_locale_seconds: Vec<f64>,
+    /// What each locale initiated (messages by kind, bytes, peers).
+    pub per_locale_summary: Vec<CommSummary>,
+}
+
+impl CommPhaseCost {
+    /// The phase's bulk-synchronous comm time: slowest locale.
+    pub fn max_seconds(&self) -> f64 {
+        self.per_locale_seconds.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Per-phase compute detail buffered while an op runs (only when tracing).
+#[derive(Debug, Default)]
+struct PhaseDetail {
+    name: String,
+    /// Spawn-overhead seconds folded into this phase.
+    spawn_seconds: f64,
+    /// `(locale, seconds, counters)` compute segments.
+    segments: Vec<(usize, f64, Counters)>,
+}
+
+/// Builder that assembles a distributed operation's [`SimReport`] and —
+/// when the context's recorder is enabled — the matching span tree.
+///
+/// Usage inside an op:
+///
+/// ```ignore
+/// let mut op = dctx.op("spmspv_dist");
+/// op.spawn("gather", 1);
+/// op.compute("gather", &gather_profiles);
+/// op.compute_folded("local", &local_profiles);
+/// op.compute("scatter", &scatter_profiles);
+/// let report = op.finish(); // drains + prices comm, emits spans/metrics
+/// ```
+///
+/// With tracing disabled this produces *exactly* the report the manual
+/// `report.push(...)` / `price_comm` assembly used to produce, at the cost
+/// of one branch per call.
+#[derive(Debug)]
+pub struct OpTrace<'a> {
+    dctx: &'a DistCtx,
+    name: String,
+    attrs: Vec<(String, String)>,
+    nnz: u64,
+    report: SimReport,
+    /// Per-locale segment detail; `None` when the recorder is disabled so
+    /// the untraced path stays allocation-light.
+    detail: Option<Vec<PhaseDetail>>,
+    wall_start: std::time::Instant,
+}
+
+impl OpTrace<'_> {
+    /// Attach a display attribute (dims, strategy, …) to the op span.
+    pub fn attr(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        self.attrs.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Record how many nonzeros this op processed (metrics + op attr).
+    pub fn nnz(&mut self, nnz: u64) -> &mut Self {
+        self.nnz = nnz;
+        self.attr("nnz", nnz)
+    }
+
+    /// Charge `count` fork-join fan-outs (`coforall loc in Locales`) to
+    /// `phase` — the old `spawn_time()` / `spawn_time() * stages` terms.
+    pub fn spawn(&mut self, phase: &str, count: usize) -> &mut Self {
+        let t = self.dctx.spawn_time() * count as f64;
+        self.report.push(phase, t);
+        if self.detail.is_some() {
+            self.phase_detail(phase).spawn_seconds += t;
+        }
+        self
+    }
+
+    /// Price `profiles`' phase `phase` into the report phase of the same
+    /// name (bulk-synchronous max over locales).
+    pub fn compute(&mut self, phase: &str, profiles: &[Profile]) -> &mut Self {
+        self.compute_as(phase, phase, profiles)
+    }
+
+    /// Price `profiles`' phase `profile_phase` into report phase
+    /// `report_phase` (the two differ when a dist op reuses a core
+    /// kernel's phase name).
+    pub fn compute_as(
+        &mut self,
+        report_phase: &str,
+        profile_phase: &str,
+        profiles: &[Profile],
+    ) -> &mut Self {
+        let per_locale = self.dctx.price_compute_per_locale(profile_phase, profiles);
+        self.report.push(report_phase, per_locale.iter().cloned().fold(0.0, f64::max));
+        if self.detail.is_some() {
+            let counters: Vec<Counters> = profiles.iter().map(|p| p.phase(profile_phase)).collect();
+            let d = self.phase_detail(report_phase);
+            for (l, (sec, c)) in per_locale.into_iter().zip(counters).enumerate() {
+                d.segments.push((l, sec, c));
+            }
+        }
+        self
+    }
+
+    /// Fold *all* phases of `profiles` into one report phase — the old
+    /// `price_compute_all(profiles, |_| name)` pattern (each source phase
+    /// contributes its own max-over-locales; per-locale segments carry the
+    /// summed seconds and counters).
+    pub fn compute_folded(&mut self, report_phase: &str, profiles: &[Profile]) -> &mut Self {
+        let folded = self.dctx.price_compute_all(profiles, |_| report_phase.to_string());
+        self.report.merge(&folded);
+        if self.detail.is_some() {
+            let mut per_locale: Vec<(f64, Counters)> =
+                vec![(0.0, Counters::default()); profiles.len()];
+            let mut names: Vec<String> = Vec::new();
+            for p in profiles {
+                for n in p.phase_names() {
+                    if !names.iter().any(|m| m == n) {
+                        names.push(n.to_string());
+                    }
+                }
+            }
+            for n in &names {
+                let secs = self.dctx.price_compute_per_locale(n, profiles);
+                for (l, s) in secs.into_iter().enumerate() {
+                    per_locale[l].0 += s;
+                    per_locale[l].1.merge(&profiles[l].phase(n));
+                }
+            }
+            let d = self.phase_detail(report_phase);
+            for (l, (sec, c)) in per_locale.into_iter().enumerate() {
+                d.segments.push((l, sec, c));
+            }
+        }
+        self
+    }
+
+    fn phase_detail(&mut self, phase: &str) -> &mut PhaseDetail {
+        let detail = self.detail.as_mut().expect("detail buffered only when tracing");
+        if let Some(pos) = detail.iter().position(|d| d.name == phase) {
+            &mut detail[pos]
+        } else {
+            detail.push(PhaseDetail { name: phase.to_string(), ..Default::default() });
+            detail.last_mut().unwrap()
+        }
+    }
+
+    /// Drain and price the context's communication log, merge it into the
+    /// report, emit the span tree (if tracing) and metrics, and return the
+    /// finished report.
+    pub fn finish(self) -> SimReport {
+        let OpTrace { dctx, name, mut attrs, nnz, mut report, detail, wall_start } = self;
+        let comm_costs = dctx.price_comm_detailed(&dctx.comm.take_events());
+        for c in &comm_costs {
+            report.push(&c.phase, c.max_seconds());
+        }
+
+        dctx.metrics.ops_executed(1);
+        dctx.metrics.nnz_processed(nnz);
+
+        if let Some(detail) = detail {
+            let recorder = &dctx.recorder;
+            let wall_ns = wall_start.elapsed().as_nanos() as u64;
+            let (op_start, _) = recorder.advance(report.total());
+            let mut counters_total = Counters::default();
+            for d in &detail {
+                for (_, _, c) in &d.segments {
+                    counters_total.merge(c);
+                }
+            }
+            if !attrs.iter().any(|(k, _)| k == "locales") {
+                attrs.push(("locales".to_string(), dctx.locales().to_string()));
+            }
+            let op_id = recorder.span(
+                None,
+                &name,
+                SpanKind::Op,
+                None,
+                op_start,
+                report.total(),
+                wall_ns,
+                counters_total,
+                attrs,
+                None,
+            );
+            let mut spans = 1u64;
+            let mut phase_start = op_start;
+            for pname in report.phase_names() {
+                let phase_dur = report.phase(pname);
+                let comm = comm_costs.iter().find(|c| c.phase == pname);
+                let comm_max = comm.map(|c| c.max_seconds()).unwrap_or(0.0);
+                let compute_dur = (phase_dur - comm_max).max(0.0);
+                let phase_id = recorder.span(
+                    Some(op_id),
+                    pname,
+                    SpanKind::Phase,
+                    None,
+                    phase_start,
+                    phase_dur,
+                    0,
+                    Counters::default(),
+                    Vec::new(),
+                    None,
+                );
+                spans += 1;
+                if let Some(d) = detail.iter().find(|d| d.name == pname) {
+                    for (l, sec, c) in &d.segments {
+                        if *sec > 0.0 || !c.is_empty() {
+                            recorder.span(
+                                Some(phase_id),
+                                pname,
+                                SpanKind::LocaleCompute,
+                                Some(*l),
+                                phase_start,
+                                *sec,
+                                0,
+                                *c,
+                                Vec::new(),
+                                None,
+                            );
+                            spans += 1;
+                        }
+                    }
+                }
+                if let Some(c) = comm {
+                    // Comm segments start once the slowest locale's compute
+                    // (plus spawn) is done — the bulk-synchronous picture.
+                    let comm_start = phase_start + compute_dur;
+                    for (l, sec) in c.per_locale_seconds.iter().enumerate() {
+                        if *sec > 0.0 {
+                            recorder.span(
+                                Some(phase_id),
+                                pname,
+                                SpanKind::LocaleComm,
+                                Some(l),
+                                comm_start,
+                                *sec,
+                                0,
+                                Counters::default(),
+                                Vec::new(),
+                                Some(c.per_locale_summary[l].clone()),
+                            );
+                            spans += 1;
+                        }
+                    }
+                }
+                phase_start += phase_dur;
+            }
+            dctx.metrics.spans_recorded(spans);
+        }
+        report
     }
 }
 
@@ -231,5 +577,132 @@ mod tests {
         assert_eq!(ctx.locale_ctx().threads(), 24);
         let c = Counters::default();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn comm_detailed_agrees_with_price_comm_and_summarizes_traffic() {
+        let ctx = DistCtx::new(MachineConfig::edison_cluster(4, 24));
+        ctx.comm.fine("g", 0, 1, 100, 800).unwrap();
+        ctx.comm.fine_dependent("g", 1, 2, 50, 400).unwrap();
+        ctx.comm.bulk("s", 2, 3, 1, 4096).unwrap();
+        let events = ctx.comm.events();
+        let detailed = ctx.price_comm_detailed(&events);
+        let report = ctx.price_comm(&events);
+        assert_eq!(detailed.len(), 2);
+        for c in &detailed {
+            assert!((c.max_seconds() - report.phase(&c.phase)).abs() < 1e-15);
+        }
+        let g = &detailed[0];
+        assert_eq!(g.per_locale_summary[0].fine_msgs, 100);
+        assert_eq!(g.per_locale_summary[1].fine_dependent_msgs, 50);
+        assert_eq!(g.per_locale_summary[0].peers, 1);
+        assert_eq!(detailed[1].per_locale_summary[2].bulk_msgs, 1);
+    }
+
+    #[test]
+    fn op_trace_report_matches_manual_assembly() {
+        // The OpTrace builder must reproduce the legacy push/merge pattern
+        // exactly, traced or not.
+        let build = |dctx: &DistCtx| {
+            let mut p0 = Profile::default();
+            p0.counters_mut("gather").elems = 10_000;
+            p0.counters_mut("spa").flops = 2_000;
+            p0.counters_mut("sort").sort_elems = 5_000;
+            let mut p1 = Profile::default();
+            p1.counters_mut("gather").elems = 40_000;
+            p1.counters_mut("spa").flops = 1_000;
+            dctx.comm.fine_dependent("gather", 0, 1, 500, 4000).unwrap();
+            dctx.comm.bulk("scatter", 1, 0, 1, 800).unwrap();
+            (vec![p0.clone(), p1.clone()], vec![p0, p1])
+        };
+
+        // Manual (legacy) assembly.
+        let manual_ctx = DistCtx::new(MachineConfig::edison_cluster(2, 24));
+        let (gather, local) = build(&manual_ctx);
+        let mut manual = SimReport::default();
+        manual
+            .push("gather", manual_ctx.spawn_time() + manual_ctx.price_compute("gather", &gather));
+        manual.merge(&manual_ctx.price_compute_all(&local, |_| "local".to_string()));
+        manual.merge(&manual_ctx.price_comm(&manual_ctx.comm.take_events()));
+
+        for traced in [false, true] {
+            let mut dctx = DistCtx::new(MachineConfig::edison_cluster(2, 24));
+            if traced {
+                dctx.enable_tracing();
+            }
+            let (gather, local) = build(&dctx);
+            let mut op = dctx.op("test_op");
+            op.spawn("gather", 1);
+            op.compute("gather", &gather);
+            op.compute_folded("local", &local);
+            let report = op.finish();
+            assert_eq!(report, manual, "traced={traced}");
+        }
+    }
+
+    #[test]
+    fn op_trace_emits_span_tree_with_locale_segments() {
+        let mut dctx = DistCtx::new(MachineConfig::edison_cluster(2, 24));
+        let recorder = dctx.enable_tracing();
+        let mut p0 = Profile::default();
+        p0.counters_mut("work").elems = 1_000;
+        let mut p1 = Profile::default();
+        p1.counters_mut("work").elems = 9_000;
+        dctx.comm.bulk("work", 0, 1, 1, 4096).unwrap();
+        let mut op = dctx.op("unit_op");
+        op.attr("n", 10_000).nnz(10_000);
+        op.compute("work", &[p0, p1]);
+        let report = op.finish();
+
+        let trace = recorder.snapshot();
+        let op_span = &trace.spans[0];
+        assert_eq!(op_span.kind, SpanKind::Op);
+        assert_eq!(op_span.name, "unit_op");
+        assert!((op_span.sim_dur - report.total()).abs() < 1e-15);
+        assert!(op_span.attrs.iter().any(|(k, v)| k == "nnz" && v == "10000"));
+        assert!(op_span.attrs.iter().any(|(k, v)| k == "locales" && v == "2"));
+
+        let phases: Vec<_> = trace.spans.iter().filter(|s| s.kind == SpanKind::Phase).collect();
+        assert_eq!(phases.len(), 1);
+        assert!((phases[0].sim_dur - report.phase("work")).abs() < 1e-15);
+
+        let computes: Vec<_> =
+            trace.spans.iter().filter(|s| s.kind == SpanKind::LocaleCompute).collect();
+        assert_eq!(computes.len(), 2);
+        assert_eq!(computes[0].locale, Some(0));
+        assert_eq!(computes[0].counters.elems, 1_000);
+        assert!(computes[1].sim_dur > computes[0].sim_dur, "locale 1 has 9x the work");
+
+        let comms: Vec<_> = trace.spans.iter().filter(|s| s.kind == SpanKind::LocaleComm).collect();
+        assert_eq!(comms.len(), 1);
+        assert_eq!(comms[0].locale, Some(0));
+        let cs = comms[0].comm.as_ref().unwrap();
+        assert_eq!(cs.bulk_msgs, 1);
+        assert_eq!(cs.bytes, 4096);
+        // comm follows the compute portion of the phase
+        assert!(comms[0].sim_start > phases[0].sim_start);
+
+        let m = dctx.metrics().snapshot();
+        assert_eq!(m.ops_executed, 1);
+        assert_eq!(m.nnz_processed, 10_000);
+        assert_eq!(m.bulk_msgs, 1);
+        assert_eq!(m.spans_recorded, trace.spans.len() as u64);
+    }
+
+    #[test]
+    fn consecutive_ops_lay_out_end_to_end_on_the_sim_clock() {
+        let mut dctx = DistCtx::new(MachineConfig::edison_cluster(2, 24));
+        let recorder = dctx.enable_tracing();
+        for _ in 0..2 {
+            let mut p = Profile::default();
+            p.counters_mut("w").elems = 1_000_000;
+            let mut op = dctx.op("o");
+            op.compute("w", &[p.clone(), p]);
+            op.finish();
+        }
+        let trace = recorder.snapshot();
+        let ops: Vec<_> = trace.spans.iter().filter(|s| s.kind == SpanKind::Op).collect();
+        assert_eq!(ops.len(), 2);
+        assert!((ops[1].sim_start - (ops[0].sim_start + ops[0].sim_dur)).abs() < 1e-15);
     }
 }

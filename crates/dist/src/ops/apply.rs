@@ -36,10 +36,10 @@ pub fn apply_v1<T: Copy + Send + Sync>(
         apply_vec_inplace(x.shard_mut(l), op, &ctx);
     }
     let profile = ctx.take_profile();
-    let mut report = SimReport::default();
-    report.push(PHASE, dctx.price_compute(gblas_core::ops::apply::PHASE, &[profile]));
-    report.merge(&dctx.price_comm(&dctx.comm.take_events()));
-    Ok(report)
+    let mut trace = dctx.op("apply_v1");
+    trace.nnz(x.nnz() as u64);
+    trace.compute_as(PHASE, gblas_core::ops::apply::PHASE, &[profile]);
+    Ok(trace.finish())
 }
 
 /// Listing 3 (`Apply2`): `coforall` one task per locale, each updating
@@ -56,12 +56,11 @@ pub fn apply_v2<T: Copy + Send + Sync>(
         apply_vec_inplace(x.shard_mut(l), op, &ctx);
         profiles.push(ctx.take_profile());
     }
-    let mut report = SimReport::default();
-    report.push(
-        PHASE,
-        dctx.spawn_time() + dctx.price_compute(gblas_core::ops::apply::PHASE, &profiles),
-    );
-    Ok(report)
+    let mut trace = dctx.op("apply_v2");
+    trace.nnz(x.nnz() as u64);
+    trace.spawn(PHASE, 1);
+    trace.compute_as(PHASE, gblas_core::ops::apply::PHASE, &profiles);
+    Ok(trace.finish())
 }
 
 /// Distributed matrix Apply (SPMD style only — the sensible one): each
@@ -78,12 +77,11 @@ pub fn apply_mat_v2<T: Copy + Send + Sync>(
         gblas_core::ops::apply::apply_mat_inplace(a.block_mut(l), op, &ctx);
         profiles.push(ctx.take_profile());
     }
-    let mut report = SimReport::default();
-    report.push(
-        PHASE,
-        dctx.spawn_time() + dctx.price_compute(gblas_core::ops::apply::PHASE, &profiles),
-    );
-    Ok(report)
+    let mut trace = dctx.op("apply_mat_v2");
+    trace.nnz(a.nnz() as u64);
+    trace.spawn(PHASE, 1);
+    trace.compute_as(PHASE, gblas_core::ops::apply::PHASE, &profiles);
+    Ok(trace.finish())
 }
 
 #[cfg(test)]

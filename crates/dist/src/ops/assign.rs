@@ -54,10 +54,10 @@ pub fn assign_v1<T: Copy + Send + Sync + Default>(
         gblas_core::ops::assign::assign_v1(a.shard_mut(l), b.shard(l), &ctx)?;
     }
     let profile = fold_assign_phases(ctx.take_profile());
-    let mut report = SimReport::default();
-    report.push(PHASE, dctx.price_compute(PHASE, &[profile]));
-    report.merge(&dctx.price_comm(&dctx.comm.take_events()));
-    Ok(report)
+    let mut trace = dctx.op("assign_v1");
+    trace.nnz(b.nnz() as u64);
+    trace.compute(PHASE, &[profile]);
+    Ok(trace.finish())
 }
 
 /// Listing 5 (`Assign2`): `coforall` per locale, bulk-copying the local
@@ -75,9 +75,11 @@ pub fn assign_v2<T: Copy + Send + Sync + Default>(
         gblas_core::ops::assign::assign_v2(a.shard_mut(l), b.shard(l), &ctx)?;
         profiles.push(fold_assign_phases(ctx.take_profile()));
     }
-    let mut report = SimReport::default();
-    report.push(PHASE, dctx.spawn_time() + dctx.price_compute(PHASE, &profiles));
-    Ok(report)
+    let mut trace = dctx.op("assign_v2");
+    trace.nnz(b.nnz() as u64);
+    trace.spawn(PHASE, 1);
+    trace.compute(PHASE, &profiles);
+    Ok(trace.finish())
 }
 
 /// Fold the core op's `assign-domain`/`assign-values` phases into the

@@ -66,9 +66,11 @@ where
         shards.push(SparseVec::from_sorted(x.capacity(), gi, lv)?);
     }
     let out = DistSparseVec::from_shards(x.capacity(), shards)?;
-    let mut report = SimReport::default();
-    report.push(PHASE, dctx.spawn_time() + dctx.price_compute(PHASE, &profiles));
-    Ok((out, report))
+    let mut trace = dctx.op("ewise_mult_dist");
+    trace.nnz(x.nnz() as u64);
+    trace.spawn(PHASE, 1);
+    trace.compute(PHASE, &profiles);
+    Ok((out, trace.finish()))
 }
 
 fn fold_phases(p: Profile) -> Profile {
@@ -117,9 +119,11 @@ where
         shards.push(z);
     }
     let out = DistSparseVec::from_shards(a.capacity(), shards)?;
-    let mut report = SimReport::default();
-    report.push(PHASE, dctx.spawn_time() + dctx.price_compute(PHASE, &profiles));
-    Ok((out, report))
+    let mut trace = dctx.op("ewise_mult_dist_ss");
+    trace.nnz((a.nnz() + b.nnz()) as u64);
+    trace.spawn(PHASE, 1);
+    trace.compute(PHASE, &profiles);
+    Ok((out, trace.finish()))
 }
 
 /// Distributed sparse ∪ sparse element-wise add (same alignment rules).
@@ -144,9 +148,11 @@ where
         shards.push(z);
     }
     let out = DistSparseVec::from_shards(a.capacity(), shards)?;
-    let mut report = SimReport::default();
-    report.push(PHASE, dctx.spawn_time() + dctx.price_compute(PHASE, &profiles));
-    Ok((out, report))
+    let mut trace = dctx.op("ewise_add_dist");
+    trace.nnz((a.nnz() + b.nnz()) as u64);
+    trace.spawn(PHASE, 1);
+    trace.compute(PHASE, &profiles);
+    Ok((out, trace.finish()))
 }
 
 #[cfg(test)]
@@ -214,8 +220,7 @@ mod tests {
         let b = gen::random_sparse_vec(3000, 500, 8);
         let ctx = gblas_core::par::ExecCtx::serial();
         let mult_expect: gblas_core::container::SparseVec<f64> =
-            gblas_core::ops::ewise::ewise_mult(&a, &b, &gblas_core::algebra::Times, &ctx)
-                .unwrap();
+            gblas_core::ops::ewise::ewise_mult(&a, &b, &gblas_core::algebra::Times, &ctx).unwrap();
         let add_expect =
             gblas_core::ops::ewise::ewise_add(&a, &b, &gblas_core::algebra::Plus, &ctx).unwrap();
         for p in [1usize, 3, 8] {
@@ -239,8 +244,6 @@ mod tests {
         let (dx, _) = setup(100, 10, 2);
         let (_, dy) = setup(100, 10, 4);
         let dctx = DistCtx::new(MachineConfig::edison_cluster(4, 24));
-        assert!(
-            ewise_mult_dist(&dx, &dy, &|_: f64, b| b, EwiseVariant::Atomic, &dctx).is_err()
-        );
+        assert!(ewise_mult_dist(&dx, &dy, &|_: f64, b| b, EwiseVariant::Atomic, &dctx).is_err());
     }
 }

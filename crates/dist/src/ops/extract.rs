@@ -103,21 +103,15 @@ pub fn extract_dist<T: Copy + Send + Sync>(
         });
         exchange_profiles.push(ctx.take_profile());
         let (inds, vals): (Vec<usize>, Vec<T>) = pairs.into_iter().unzip();
-        shards.push(gblas_core::container::SparseVec::from_sorted(
-            index_set.len(),
-            inds,
-            vals,
-        )?);
+        shards.push(gblas_core::container::SparseVec::from_sorted(index_set.len(), inds, vals)?);
     }
     let z = DistSparseVec::from_shards(index_set.len(), shards)?;
-    let mut report = SimReport::default();
-    report.push(
-        PHASE_SELECT,
-        dctx.spawn_time() + dctx.price_compute(PHASE_SELECT, &select_profiles),
-    );
-    report.push(PHASE_EXCHANGE, dctx.price_compute(PHASE_EXCHANGE, &exchange_profiles));
-    report.merge(&dctx.price_comm(&dctx.comm.take_events()));
-    Ok((z, report))
+    let mut trace = dctx.op("extract_dist");
+    trace.nnz(x.nnz() as u64);
+    trace.spawn(PHASE_SELECT, 1);
+    trace.compute(PHASE_SELECT, &select_profiles);
+    trace.compute(PHASE_EXCHANGE, &exchange_profiles);
+    Ok((z, trace.finish()))
 }
 
 #[cfg(test)]
@@ -131,8 +125,7 @@ mod tests {
         let x = gen::random_sparse_vec(2000, 350, 61);
         let index_set: Vec<usize> = (0..2000).step_by(3).collect();
         let ctx = gblas_core::par::ExecCtx::serial();
-        let expect =
-            gblas_core::ops::extract::extract_vec(&x, &index_set, &ctx).unwrap();
+        let expect = gblas_core::ops::extract::extract_vec(&x, &index_set, &ctx).unwrap();
         for p in [1usize, 2, 5, 8] {
             let dx = DistSparseVec::from_global(&x, p);
             let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));

@@ -39,9 +39,7 @@ where
 {
     let grid = a.grid();
     if grid.pr() != grid.pc() {
-        return Err(GblasError::InvalidArgument(
-            "sparse SUMMA needs a square process grid".into(),
-        ));
+        return Err(GblasError::InvalidArgument("sparse SUMMA needs a square process grid".into()));
     }
     if b.grid() != grid {
         return Err(GblasError::DimensionMismatch {
@@ -115,15 +113,12 @@ where
     }
 
     let c = DistCsrMatrix::from_blocks(a.nrows(), b.ncols(), grid, c_blocks)?;
-    let mut report = SimReport::default();
-    report.push(
-        PHASE_BCAST,
-        dctx.spawn_time() * stages as f64
-            + dctx.price_compute(PHASE_BCAST, &bcast_profiles),
-    );
-    report.push(PHASE_LOCAL, dctx.price_compute(PHASE_LOCAL, &local_profiles));
-    report.merge(&dctx.price_comm(&dctx.comm.take_events()));
-    Ok((c, report))
+    let mut trace = dctx.op("mxm_dist");
+    trace.attr("stages", stages).nnz((a.nnz() + b.nnz()) as u64);
+    trace.spawn(PHASE_BCAST, stages);
+    trace.compute(PHASE_BCAST, &bcast_profiles);
+    trace.compute(PHASE_LOCAL, &local_profiles);
+    Ok((c, trace.finish()))
 }
 
 #[cfg(test)]
@@ -153,8 +148,7 @@ mod tests {
             let da = DistCsrMatrix::from_global(&a, grid);
             let db = DistCsrMatrix::from_global(&b, grid);
             let dctx = DistCtx::new(MachineConfig::edison_cluster(p, 24));
-            let (dc, report) =
-                mxm_dist(&da, &db, &semirings::plus_times_f64(), &dctx).unwrap();
+            let (dc, report) = mxm_dist(&da, &db, &semirings::plus_times_f64(), &dctx).unwrap();
             let got = dc.to_global().unwrap();
             assert_eq!(got.rowptr(), expect.rowptr(), "grid {s}x{s}");
             assert_eq!(got.colidx(), expect.colidx(), "grid {s}x{s}");
@@ -172,9 +166,7 @@ mod tests {
         // non-square grid
         let g_rect = ProcGrid::new(1, 4);
         let da = DistCsrMatrix::from_global(&a, g_rect);
-        assert!(
-            mxm_dist(&da, &da, &semirings::plus_times_f64(), &dctx4).is_err()
-        );
+        assert!(mxm_dist(&da, &da, &semirings::plus_times_f64(), &dctx4).is_err());
         // grid mismatch
         let g2 = ProcGrid::new(2, 2);
         let da2 = DistCsrMatrix::from_global(&a, g2);

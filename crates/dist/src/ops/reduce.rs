@@ -22,11 +22,7 @@ pub const PHASE_COMBINE: &str = "reduce-combine";
 /// Reduce all stored values of a distributed sparse vector with a
 /// commutative monoid. Every locale ends with the result (all-reduce
 /// semantics), and the report prices the tree combine.
-pub fn reduce_dist<T, M>(
-    x: &DistSparseVec<T>,
-    monoid: &M,
-    dctx: &DistCtx,
-) -> Result<(T, SimReport)>
+pub fn reduce_dist<T, M>(x: &DistSparseVec<T>, monoid: &M, dctx: &DistCtx) -> Result<(T, SimReport)>
 where
     T: Copy + Send + Sync,
     M: ComMonoid<T>,
@@ -62,13 +58,11 @@ where
         }
         stride *= 2;
     }
-    let mut report = SimReport::default();
-    report.push(
-        PHASE_LOCAL,
-        dctx.spawn_time() + dctx.price_compute(PHASE_LOCAL, &profiles),
-    );
-    report.merge(&dctx.price_comm(&dctx.comm.take_events()));
-    Ok((value, report))
+    let mut trace = dctx.op("reduce_dist");
+    trace.nnz(x.nnz() as u64);
+    trace.spawn(PHASE_LOCAL, 1);
+    trace.compute(PHASE_LOCAL, &profiles);
+    Ok((value, trace.finish()))
 }
 
 #[cfg(test)]

@@ -166,13 +166,9 @@ pub fn spmspv_dist_with<T: Copy + Send + Sync>(
                     // Listing 8 walks the remote domain's iterator and the
                     // remote value array element-by-element: two dependent
                     // accesses per nonzero.
-                    CommStrategy::Fine => dctx.comm.fine_dependent(
-                        PHASE_GATHER,
-                        l,
-                        src,
-                        2 * nnz,
-                        nnz * elem_bytes,
-                    )?,
+                    CommStrategy::Fine => {
+                        dctx.comm.fine_dependent(PHASE_GATHER, l, src, 2 * nnz, nnz * elem_bytes)?
+                    }
                     CommStrategy::Bulk => {
                         dctx.comm.bulk(PHASE_GATHER, l, src, 1, nnz * elem_bytes)?
                     }
@@ -199,9 +195,7 @@ pub fn spmspv_dist_with<T: Copy + Send + Sync>(
         };
         local_profiles.push(lctx.take_profile());
         local_results.push(
-            ly.iter()
-                .map(|(lj, &lrid)| (lj + col_range.start, lrid + row_range.start))
-                .collect(),
+            ly.iter().map(|(lj, &lrid)| (lj + col_range.start, lrid + row_range.start)).collect(),
         );
     }
 
@@ -244,9 +238,7 @@ pub fn spmspv_dist_with<T: Copy + Send + Sync>(
                     CommStrategy::Fine => {
                         dctx.comm.fine(PHASE_SCATTER, l, dst, *msgs, msgs * 16)?
                     }
-                    CommStrategy::Bulk => {
-                        dctx.comm.bulk(PHASE_SCATTER, l, dst, 1, msgs * 16)?
-                    }
+                    CommStrategy::Bulk => dctx.comm.bulk(PHASE_SCATTER, l, dst, 1, msgs * 16)?,
                 }
             }
         }
@@ -269,16 +261,25 @@ pub fn spmspv_dist_with<T: Copy + Send + Sync>(
     }
     let y = DistSparseVec::from_shards(n, shards)?;
 
-    // ---- Assemble the report.
-    let mut report = SimReport::default();
-    report.push(
-        PHASE_GATHER,
-        dctx.spawn_time() + dctx.price_compute(PHASE_GATHER, &gather_profiles),
-    );
-    report.merge(&dctx.price_compute_all(&local_profiles, |_| PHASE_LOCAL.to_string()));
-    report.push(PHASE_SCATTER, dctx.price_compute(PHASE_SCATTER, &scatter_profiles));
-    report.merge(&dctx.price_comm(&dctx.comm.take_events()));
-    Ok((y, report))
+    // ---- Assemble the report (and, when tracing, the span tree).
+    let mut op = dctx.op("spmspv_dist");
+    op.attr("strategy", strategy_name(strategy))
+        .attr("nrows", a.nrows())
+        .attr("ncols", n)
+        .attr("masked", mask.is_some())
+        .nnz(x.nnz() as u64);
+    op.spawn(PHASE_GATHER, 1);
+    op.compute(PHASE_GATHER, &gather_profiles);
+    op.compute_folded(PHASE_LOCAL, &local_profiles);
+    op.compute(PHASE_SCATTER, &scatter_profiles);
+    Ok((y, op.finish()))
+}
+
+fn strategy_name(strategy: CommStrategy) -> &'static str {
+    match strategy {
+        CommStrategy::Fine => "fine",
+        CommStrategy::Bulk => "bulk",
+    }
 }
 
 /// General-semiring distributed SpMSpV: `y[j] = ⊕_i x[i] ⊗ A[i,j]` with
@@ -333,13 +334,9 @@ where
             let nnz = shard.nnz() as u64;
             if src != l {
                 match strategy {
-                    CommStrategy::Fine => dctx.comm.fine_dependent(
-                        PHASE_GATHER,
-                        l,
-                        src,
-                        2 * nnz,
-                        nnz * elem_bytes,
-                    )?,
+                    CommStrategy::Fine => {
+                        dctx.comm.fine_dependent(PHASE_GATHER, l, src, 2 * nnz, nnz * elem_bytes)?
+                    }
                     CommStrategy::Bulk => {
                         dctx.comm.bulk(PHASE_GATHER, l, src, 1, nnz * elem_bytes)?
                     }
@@ -363,15 +360,13 @@ where
             gblas_core::ops::spmspv::spmspv_semiring(a.block(l), &lx, ring, &lctx)?.vector
         };
         local_profiles.push(lctx.take_profile());
-        local_results
-            .push(ly.iter().map(|(lj, &v)| (lj + col_range.start, v)).collect());
+        local_results.push(ly.iter().map(|(lj, &v)| (lj + col_range.start, v)).collect());
     }
 
     // Scatter with accumulation at the owner.
     let out_dist = crate::grid::BlockDist::new(n, p);
     let mut occupied: Vec<Vec<bool>> = (0..p).map(|b| vec![false; out_dist.size(b)]).collect();
-    let mut value: Vec<Vec<C>> =
-        (0..p).map(|b| vec![ring.zero::<C>(); out_dist.size(b)]).collect();
+    let mut value: Vec<Vec<C>> = (0..p).map(|b| vec![ring.zero::<C>(); out_dist.size(b)]).collect();
     let mut scatter_profiles: Vec<Profile> = Vec::with_capacity(p);
     #[allow(clippy::needless_range_loop)] // `l` indexes three parallel per-locale arrays
     for l in 0..p {
@@ -400,9 +395,7 @@ where
                     CommStrategy::Fine => {
                         dctx.comm.fine(PHASE_SCATTER, l, dst, *msgs, *msgs * 16)?
                     }
-                    CommStrategy::Bulk => {
-                        dctx.comm.bulk(PHASE_SCATTER, l, dst, 1, *msgs * 16)?
-                    }
+                    CommStrategy::Bulk => dctx.comm.bulk(PHASE_SCATTER, l, dst, 1, *msgs * 16)?,
                 }
             }
         }
@@ -424,15 +417,16 @@ where
     }
     let y = DistSparseVec::from_shards(n, shards)?;
 
-    let mut report = SimReport::default();
-    report.push(
-        PHASE_GATHER,
-        dctx.spawn_time() + dctx.price_compute(PHASE_GATHER, &gather_profiles),
-    );
-    report.merge(&dctx.price_compute_all(&local_profiles, |_| PHASE_LOCAL.to_string()));
-    report.push(PHASE_SCATTER, dctx.price_compute(PHASE_SCATTER, &scatter_profiles));
-    report.merge(&dctx.price_comm(&dctx.comm.take_events()));
-    Ok((y, report))
+    let mut op = dctx.op("spmspv_dist_semiring");
+    op.attr("strategy", strategy_name(strategy))
+        .attr("nrows", a.nrows())
+        .attr("ncols", n)
+        .nnz(x.nnz() as u64);
+    op.spawn(PHASE_GATHER, 1);
+    op.compute(PHASE_GATHER, &gather_profiles);
+    op.compute_folded(PHASE_LOCAL, &local_profiles);
+    op.compute(PHASE_SCATTER, &scatter_profiles);
+    Ok((y, op.finish()))
 }
 
 #[cfg(test)]
@@ -447,7 +441,10 @@ mod tests {
     }
 
     /// Shared-memory reference (serial first-visitor).
-    fn reference(a: &gblas_core::container::CsrMatrix<f64>, x: &SparseVec<f64>) -> SparseVec<usize> {
+    fn reference(
+        a: &gblas_core::container::CsrMatrix<f64>,
+        x: &SparseVec<f64>,
+    ) -> SparseVec<usize> {
         let ctx = gblas_core::par::ExecCtx::serial();
         spmspv_first_visitor(a, x, None, SpMSpVOpts::default(), &ctx).unwrap()
     }
@@ -504,9 +501,12 @@ mod tests {
         let x = gen::random_sparse_vec(300, 30, 76);
         let grid = ProcGrid::new(2, 2);
         let dctx = DistCtx::new(machine_for(grid));
-        let (_, r) =
-            spmspv_dist(&DistCsrMatrix::from_global(&a, grid), &DistSparseVec::from_global(&x, 4), &dctx)
-                .unwrap();
+        let (_, r) = spmspv_dist(
+            &DistCsrMatrix::from_global(&a, grid),
+            &DistSparseVec::from_global(&x, 4),
+            &dctx,
+        )
+        .unwrap();
         for phase in [PHASE_GATHER, PHASE_LOCAL, PHASE_SCATTER] {
             assert!(r.phase(phase) > 0.0, "phase {phase} missing");
         }
@@ -567,8 +567,7 @@ mod tests {
             let dx = DistSparseVec::from_global(&x, p);
             for strategy in [CommStrategy::Fine, CommStrategy::Bulk] {
                 let dctx = DistCtx::new(machine_for(grid));
-                let (y, report) =
-                    spmspv_dist_semiring(&da, &dx, &ring, strategy, &dctx).unwrap();
+                let (y, report) = spmspv_dist_semiring(&da, &dx, &ring, strategy, &dctx).unwrap();
                 let yg = y.to_global();
                 assert_eq!(yg.indices(), expect.indices(), "grid {pr}x{pc} {strategy:?}");
                 for (got, want) in yg.values().iter().zip(expect.values()) {
@@ -594,8 +593,7 @@ mod tests {
         let da = DistCsrMatrix::from_global(&a, grid);
         let dx = DistSparseVec::from_global(&x, 6);
         let dctx = DistCtx::new(machine_for(grid));
-        let (y, _) =
-            spmspv_dist_semiring(&da, &dx, &ring, CommStrategy::Bulk, &dctx).unwrap();
+        let (y, _) = spmspv_dist_semiring(&da, &dx, &ring, CommStrategy::Bulk, &dctx).unwrap();
         let yg = y.to_global();
         // y[1] = 0+2 = 2; y[2] = min(0+10, 2+3) = 5
         assert_eq!(yg.indices(), &[1, 2]);

@@ -107,7 +107,8 @@ where
     // ---- Combine partials down each processor column; column leader
     // (grid row 0) accumulates, then hands output blocks to their owners.
     let out_dist = crate::grid::BlockDist::new(n, p);
-    let mut segments: Vec<Vec<C>> = (0..p).map(|b| vec![ring.zero::<C>(); out_dist.size(b)]).collect();
+    let mut segments: Vec<Vec<C>> =
+        (0..p).map(|b| vec![ring.zero::<C>(); out_dist.size(b)]).collect();
     let mut combine_profiles: Vec<Profile> = (0..p).map(|_| Profile::default()).collect();
     for c in 0..grid.pc() {
         let leader = grid.locale(0, c);
@@ -133,8 +134,7 @@ where
         }
         // One bulk message per distinct owner block the slice spans.
         let first_owner = if col_range.is_empty() { 0 } else { out_dist.owner(col_range.start) };
-        let last_owner =
-            if col_range.is_empty() { 0 } else { out_dist.owner(col_range.end - 1) };
+        let last_owner = if col_range.is_empty() { 0 } else { out_dist.owner(col_range.end - 1) };
         for owner in first_owner..=last_owner {
             if !col_range.is_empty() && owner != leader {
                 let overlap = out_dist.range(owner);
@@ -148,15 +148,13 @@ where
     }
 
     let y = DistDenseVec::from_segments(n, segments)?;
-    let mut report = SimReport::default();
-    report.push(
-        PHASE_GATHER,
-        dctx.spawn_time() + dctx.price_compute(PHASE_GATHER, &gather_profiles),
-    );
-    report.push(PHASE_LOCAL, dctx.price_compute(PHASE_LOCAL, &local_profiles));
-    report.push(PHASE_COMBINE, dctx.price_compute(PHASE_COMBINE, &combine_profiles));
-    report.merge(&dctx.price_comm(&dctx.comm.take_events()));
-    Ok((y, report))
+    let mut trace = dctx.op("spmv_dist");
+    trace.attr("nrows", a.nrows()).attr("ncols", n).nnz(a.nnz() as u64);
+    trace.spawn(PHASE_GATHER, 1);
+    trace.compute(PHASE_GATHER, &gather_profiles);
+    trace.compute(PHASE_LOCAL, &local_profiles);
+    trace.compute(PHASE_COMBINE, &combine_profiles);
+    Ok((y, trace.finish()))
 }
 
 #[cfg(test)]
@@ -231,10 +229,7 @@ mod tests {
 
         let dense_comm = dense_rep.phase(PHASE_GATHER) + dense_rep.phase(PHASE_COMBINE);
         let sparse_comm = sparse_rep.phase("gather") + sparse_rep.phase("scatter");
-        assert!(
-            sparse_comm > 10.0 * dense_comm,
-            "fine-grained {sparse_comm} vs bulk {dense_comm}"
-        );
+        assert!(sparse_comm > 10.0 * dense_comm, "fine-grained {sparse_comm} vs bulk {dense_comm}");
     }
 
     #[test]
@@ -244,8 +239,10 @@ mod tests {
         let da = DistCsrMatrix::from_global(&a, grid);
         let dctx = DistCtx::new(MachineConfig::edison_cluster(4, 24));
         let wrong_len = DistDenseVec::filled(99, 1.0, 4);
-        assert!(spmv_dist::<_, _, f64, _, _>(&da, &wrong_len, &semirings::plus_times_f64(), &dctx).is_err());
+        assert!(spmv_dist::<_, _, f64, _, _>(&da, &wrong_len, &semirings::plus_times_f64(), &dctx)
+            .is_err());
         let wrong_p = DistDenseVec::filled(100, 1.0, 2);
-        assert!(spmv_dist::<_, _, f64, _, _>(&da, &wrong_p, &semirings::plus_times_f64(), &dctx).is_err());
+        assert!(spmv_dist::<_, _, f64, _, _>(&da, &wrong_p, &semirings::plus_times_f64(), &dctx)
+            .is_err());
     }
 }

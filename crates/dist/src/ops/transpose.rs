@@ -63,13 +63,11 @@ pub fn transpose_dist<T: Copy + Send + Sync>(
         .map(|b| b.expect("mirror placement covers every grid cell"))
         .collect();
     let result = DistCsrMatrix::from_blocks(a.ncols(), a.nrows(), new_grid, blocks)?;
-    let mut report = SimReport::default();
-    report.push(
-        PHASE_LOCAL,
-        dctx.spawn_time() + dctx.price_compute(PHASE_LOCAL, &profiles),
-    );
-    report.merge(&dctx.price_comm(&dctx.comm.take_events()));
-    Ok((result, report))
+    let mut trace = dctx.op("transpose_dist");
+    trace.attr("nrows", a.nrows()).attr("ncols", a.ncols()).nnz(a.nnz() as u64);
+    trace.spawn(PHASE_LOCAL, 1);
+    trace.compute(PHASE_LOCAL, &profiles);
+    Ok((result, trace.finish()))
 }
 
 #[cfg(test)]

@@ -32,12 +32,8 @@ impl<T: Copy> DistSparseVec<T> {
                 hi += 1;
             }
             shards.push(
-                SparseVec::from_sorted(
-                    v.capacity(),
-                    idx[lo..hi].to_vec(),
-                    vals[lo..hi].to_vec(),
-                )
-                .expect("slices of a valid vector stay valid"),
+                SparseVec::from_sorted(v.capacity(), idx[lo..hi].to_vec(), vals[lo..hi].to_vec())
+                    .expect("slices of a valid vector stay valid"),
             );
             lo = hi;
         }
@@ -131,8 +127,7 @@ impl<T: Copy> DistDenseVec<T> {
     /// Distribute a global dense vector.
     pub fn from_global(v: &gblas_core::container::DenseVec<T>, p: usize) -> Self {
         let dist = BlockDist::new(v.len(), p);
-        let segments =
-            (0..p).map(|b| v.as_slice()[dist.range(b)].to_vec()).collect();
+        let segments = (0..p).map(|b| v.as_slice()[dist.range(b)].to_vec()).collect();
         DistDenseVec { dist, segments }
     }
 

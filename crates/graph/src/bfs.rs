@@ -237,12 +237,9 @@ mod tests {
 
     #[test]
     fn bfs_on_path_graph() {
-        let a = CsrMatrix::from_triplets(
-            5,
-            5,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)],
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::from_triplets(5, 5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+                .unwrap();
         let ctx = ExecCtx::serial();
         let r = bfs(&a, 0, &ctx).unwrap();
         assert_eq!(r.levels.as_slice(), &[0, 1, 2, 3, 4]);

@@ -165,9 +165,10 @@ mod tests {
         for (pr, pc) in [(1, 1), (2, 2), (2, 3)] {
             let grid = gblas_dist::ProcGrid::new(pr, pc);
             let da = gblas_dist::DistCsrMatrix::from_global(&a, grid);
-            let dctx = gblas_dist::DistCtx::new(
-                gblas_sim::MachineConfig::edison_cluster(grid.locales(), 24),
-            );
+            let dctx = gblas_dist::DistCtx::new(gblas_sim::MachineConfig::edison_cluster(
+                grid.locales(),
+                24,
+            ));
             let (labels, report) = connected_components_dist(&da, &dctx).unwrap();
             assert_eq!(labels, expect, "grid {pr}x{pc}");
             assert!(report.total() > 0.0);

@@ -35,9 +35,7 @@ pub fn core_numbers<T: Copy + Send + Sync>(
         // peel everything of degree < k+1 at the current level; if nothing
         // would remain to peel, advance k
         let next_k = k + 1;
-        let peel: Vec<usize> = (0..n)
-            .filter(|&v| alive[v] && (deg[v] as usize) < next_k)
-            .collect();
+        let peel: Vec<usize> = (0..n).filter(|&v| alive[v] && (deg[v] as usize) < next_k).collect();
         if peel.is_empty() {
             if alive.iter().any(|&x| x) {
                 k = next_k;

@@ -84,10 +84,7 @@ mod tests {
         for v in 0..n {
             if !set[v] {
                 let (cols, _) = a.row(v);
-                assert!(
-                    cols.iter().any(|&u| set[u]),
-                    "vertex {v} could still join the set"
-                );
+                assert!(cols.iter().any(|&u| set[u]), "vertex {v} could still join the set");
             }
         }
     }

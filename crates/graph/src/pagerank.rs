@@ -121,9 +121,8 @@ pub fn pagerank_dist(
     let ring = semirings::plus_times_f64();
     let base = (1.0 - opts.damping) / n as f64;
     let out_dist = gblas_dist::BlockDist::new(n, p);
-    let dangling_mask: Vec<Vec<bool>> = (0..p)
-        .map(|l| out_dist.range(l).map(|i| outdeg[i] == 0.0).collect())
-        .collect();
+    let dangling_mask: Vec<Vec<bool>> =
+        (0..p).map(|l| out_dist.range(l).map(|i| outdeg[i] == 0.0).collect()).collect();
 
     let mut pr = DistDenseVec::filled(n, 1.0 / n as f64, p);
     let mut total = gblas_sim::SimReport::default();
@@ -248,16 +247,14 @@ mod tests {
         let (expect, iters_shared) = pagerank(&a, opts, &ctx).unwrap();
         for (pr_grid, pc_grid) in [(1, 1), (2, 2), (2, 3)] {
             let grid = gblas_dist::ProcGrid::new(pr_grid, pc_grid);
-            let dctx = gblas_dist::DistCtx::new(
-                gblas_sim::MachineConfig::edison_cluster(grid.locales(), 24),
-            );
+            let dctx = gblas_dist::DistCtx::new(gblas_sim::MachineConfig::edison_cluster(
+                grid.locales(),
+                24,
+            ));
             let (ranks, iters, report) = pagerank_dist(&a, grid, opts, &dctx).unwrap();
             assert_eq!(iters, iters_shared, "grid {pr_grid}x{pc_grid}");
             for v in 0..250 {
-                assert!(
-                    (ranks[v] - expect[v]).abs() < 1e-9,
-                    "grid {pr_grid}x{pc_grid} vertex {v}"
-                );
+                assert!((ranks[v] - expect[v]).abs() < 1e-9, "grid {pr_grid}x{pc_grid} vertex {v}");
             }
             assert!(report.total() > 0.0);
         }
@@ -267,8 +264,7 @@ mod tests {
     fn distributed_pagerank_is_all_bulk() {
         let a = gen::erdos_renyi(200, 5, 34);
         let grid = gblas_dist::ProcGrid::new(2, 2);
-        let dctx =
-            gblas_dist::DistCtx::new(gblas_sim::MachineConfig::edison_cluster(4, 24));
+        let dctx = gblas_dist::DistCtx::new(gblas_sim::MachineConfig::edison_cluster(4, 24));
         let _ = pagerank_dist(&a, grid, PageRankOptions::default(), &dctx).unwrap();
         let (fine, bulk, _) = dctx.comm.totals();
         assert_eq!(fine, 0, "distributed PageRank must use only bulk messages");

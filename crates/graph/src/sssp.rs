@@ -212,18 +212,16 @@ mod tests {
         for (pr, pc) in [(1, 1), (2, 2), (2, 3)] {
             let grid = gblas_dist::ProcGrid::new(pr, pc);
             let da = gblas_dist::DistCsrMatrix::from_global(&a, grid);
-            let dctx = gblas_dist::DistCtx::new(
-                gblas_sim::MachineConfig::edison_cluster(grid.locales(), 24),
-            );
+            let dctx = gblas_dist::DistCtx::new(gblas_sim::MachineConfig::edison_cluster(
+                grid.locales(),
+                24,
+            ));
             let (dist, report) = sssp_dist(&da, 7, &dctx).unwrap();
             for v in 0..250 {
                 if expect[v].is_infinite() {
                     assert!(dist[v].is_infinite(), "grid {pr}x{pc} vertex {v}");
                 } else {
-                    assert!(
-                        (dist[v] - expect[v]).abs() < 1e-9,
-                        "grid {pr}x{pc} vertex {v}"
-                    );
+                    assert!((dist[v] - expect[v]).abs() < 1e-9, "grid {pr}x{pc} vertex {v}");
                 }
             }
             assert!(report.total() > 0.0);

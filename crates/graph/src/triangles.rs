@@ -98,11 +98,7 @@ mod tests {
         for seed in [1, 2, 3] {
             let a = gen::erdos_renyi_symmetric(60, 6, seed);
             let ctx = ExecCtx::with_threads(2);
-            assert_eq!(
-                triangle_count(&a, &ctx).unwrap(),
-                reference(&a),
-                "seed {seed}"
-            );
+            assert_eq!(triangle_count(&a, &ctx).unwrap(), reference(&a), "seed {seed}");
         }
     }
 }

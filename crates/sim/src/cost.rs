@@ -100,9 +100,9 @@ impl CostModel {
         let stream = stream_compute.max(stream_bw);
         let flops = c.flops as f64 * self.c_flop * Self::amdahl(self.sigma_flop, t);
         let probes = c.search_probes as f64 * self.c_probe * Self::amdahl(self.sigma_probe, t);
-        let atomics = c.atomics as f64 * self.c_atomic
-            * (1.0 + self.atomic_contention * (t as f64 - 1.0))
-            / t as f64;
+        let atomics =
+            c.atomics as f64 * self.c_atomic * (1.0 + self.atomic_contention * (t as f64 - 1.0))
+                / t as f64;
         let rand = (c.spa_touches + c.rand_access) as f64
             * self.c_rand
             * Self::amdahl(self.sigma_rand, t.min(self.mlp_cap));

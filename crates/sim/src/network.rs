@@ -105,10 +105,7 @@ mod tests {
         let bytes = elements * 8;
         let fine = n.fine_time(elements);
         let bulk = n.bulk_time(1, bytes);
-        assert!(
-            fine > 100.0 * bulk,
-            "1M-element fine {fine}s should dwarf one bulk block {bulk}s"
-        );
+        assert!(fine > 100.0 * bulk, "1M-element fine {fine}s should dwarf one bulk block {bulk}s");
     }
 
     #[test]

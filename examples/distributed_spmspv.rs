@@ -15,11 +15,18 @@ fn main() -> Result<()> {
     let n = 1_000_000;
     let d = 16;
     let f = 0.02;
-    println!("ER matrix n={n}, d={d}; input vector f={:.0}% ({} nonzeros)", f * 100.0, (n as f64 * f) as usize);
+    println!(
+        "ER matrix n={n}, d={d}; input vector f={:.0}% ({} nonzeros)",
+        f * 100.0,
+        (n as f64 * f) as usize
+    );
     let a = gen::erdos_renyi(n, d, 99);
     let x = gen::random_sparse_vec(n, (n as f64 * f) as usize, 100);
 
-    println!("\n{:<6} {:>12} {:>12} {:>12} {:>12}   strategy", "nodes", "gather(s)", "local(s)", "scatter(s)", "total(s)");
+    println!(
+        "\n{:<6} {:>12} {:>12} {:>12} {:>12}   strategy",
+        "nodes", "gather(s)", "local(s)", "scatter(s)", "total(s)"
+    );
     for &p in &[1usize, 4, 16, 64] {
         let grid = ProcGrid::square_for(p);
         let da = DistCsrMatrix::from_global(&a, grid);

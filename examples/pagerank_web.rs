@@ -42,10 +42,7 @@ fn main() -> Result<()> {
     for (rank_pos, &page) in order.iter().take(10).enumerate() {
         println!("  #{:<2} page {:>6}  score {:.6}", rank_pos + 1, page, ranks[page]);
     }
-    assert!(
-        order[..3].iter().all(|p| *p < 3),
-        "the three hubs must rank on top"
-    );
+    assert!(order[..3].iter().all(|p| *p < 3), "the three hubs must rank on top");
     let sum: f64 = ranks.as_slice().iter().sum();
     println!("\nrank mass: {sum:.9} (conserved)");
     Ok(())

@@ -62,10 +62,7 @@ fn main() -> Result<()> {
     println!("travel time corner-to-corner: {:.3}", dist[far]);
     assert!(dist[far].is_finite());
     for (u, v, &w) in a.iter().step_by(97) {
-        assert!(
-            dist[v] <= dist[u] + w + 1e-9,
-            "triangle inequality violated on edge {u}->{v}"
-        );
+        assert!(dist[v] <= dist[u] + w + 1e-9, "triangle inequality violated on edge {u}->{v}");
     }
 
     // Compare structure against hop counts: weighted distance must need

@@ -18,10 +18,7 @@ fn generators_are_deterministic() {
     assert_eq!(gen::erdos_renyi(500, 5, 1), gen::erdos_renyi(500, 5, 1));
     assert_eq!(gen::rmat(9, 8, 2), gen::rmat(9, 8, 2));
     assert_eq!(gen::random_sparse_vec(100, 30, 3), gen::random_sparse_vec(100, 30, 3));
-    assert_eq!(
-        gen::random_dense_bool(100, 0.5, 4),
-        gen::random_dense_bool(100, 0.5, 4)
-    );
+    assert_eq!(gen::random_dense_bool(100, 0.5, 4), gen::random_dense_bool(100, 0.5, 4));
 }
 
 #[test]

@@ -38,10 +38,7 @@ fn spmspv_fault_at_every_event_position_is_surfaced() {
         let dctx = DistCtx::new(machine(4));
         dctx.comm.fail_after(pos as u64);
         let r = dops::spmspv::spmspv_dist(&da, &dx, &dctx);
-        assert!(
-            matches!(r, Err(GblasError::CommFailure(_))),
-            "fault at event {pos} not surfaced"
-        );
+        assert!(matches!(r, Err(GblasError::CommFailure(_))), "fault at event {pos} not surfaced");
     }
 }
 

@@ -44,10 +44,7 @@ fn distributed_bfs_simulated_cost_decreases_for_local_multiply() {
         assert_eq!(r.levels, shared.levels, "p={p}");
         local_times.push(report.phase("local"));
     }
-    assert!(
-        local_times[2] < local_times[0],
-        "local multiply should scale: {local_times:?}"
-    );
+    assert!(local_times[2] < local_times[0], "local multiply should scale: {local_times:?}");
 }
 
 #[test]
@@ -100,9 +97,8 @@ fn bfs_via_tropical_semiring_agrees_on_unweighted_graph() {
     dist[0] = 0.0;
     let mut frontier = SparseVec::from_sorted(150, vec![0], vec![0.0]).unwrap();
     while frontier.nnz() > 0 {
-        let y = gblas_core::ops::spmspv::spmspv_semiring(&unit, &frontier, &ring, &ctx)
-            .unwrap()
-            .vector;
+        let y =
+            gblas_core::ops::spmspv::spmspv_semiring(&unit, &frontier, &ring, &ctx).unwrap().vector;
         let mut next_i = Vec::new();
         let mut next_v = Vec::new();
         for (j, &d) in y.iter() {

@@ -58,8 +58,7 @@ fn assign_dist_equals_shared_everywhere() {
 fn ewise_dist_equals_shared_everywhere() {
     let x = gen::random_sparse_vec(6000, 1200, 3);
     let y = gen::random_dense_bool(6000, 0.5, 4);
-    let expect =
-        ewise::ewise_filter_prefix(&x, &y, &|_: f64, k| k, &ExecCtx::serial()).unwrap();
+    let expect = ewise::ewise_filter_prefix(&x, &y, &|_: f64, k| k, &ExecCtx::serial()).unwrap();
     for &(pr, pc) in GRIDS {
         let p = pr * pc;
         let dx = DistSparseVec::from_global(&x, p);
@@ -108,9 +107,7 @@ fn semiring_spmspv_composes_with_ewise_and_reduce() {
     let a = gen::erdos_renyi(300, 5, 7);
     let x = gen::random_sparse_vec(300, 25, 8);
     let ctx = ExecCtx::with_threads(2);
-    let y = spmspv::spmspv_semiring(&a, &x, &semirings::plus_times_f64(), &ctx)
-        .unwrap()
-        .vector;
+    let y = spmspv::spmspv_semiring(&a, &x, &semirings::plus_times_f64(), &ctx).unwrap().vector;
     let keep = gen::random_dense_bool(300, 0.5, 9);
     let z = ewise::ewise_filter_prefix(&y, &keep, &|_: f64, k| k, &ctx).unwrap();
     let s = gblas_core::ops::reduce::reduce_vec(&z, &gblas_core::algebra::Plus, &ctx);

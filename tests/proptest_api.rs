@@ -11,9 +11,8 @@ fn sparse_vec(cap: usize) -> impl Strategy<Value = SparseVec<f64>> {
     prop::collection::btree_set(0..cap, 0..=cap.min(24)).prop_flat_map(move |idx| {
         let indices: Vec<usize> = idx.into_iter().collect();
         let n = indices.len();
-        prop::collection::vec(-20.0f64..20.0, n).prop_map(move |values| {
-            SparseVec::from_sorted(cap, indices.clone(), values).unwrap()
-        })
+        prop::collection::vec(-20.0f64..20.0, n)
+            .prop_map(move |values| SparseVec::from_sorted(cap, indices.clone(), values).unwrap())
     })
 }
 

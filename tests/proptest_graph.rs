@@ -3,7 +3,7 @@
 
 use gblas::prelude::*;
 use gblas_core::gen;
-use gblas_graph::{bfs, betweenness, connected_components, pagerank, sssp, PageRankOptions};
+use gblas_graph::{betweenness, bfs, connected_components, pagerank, sssp, PageRankOptions};
 use proptest::prelude::*;
 
 proptest! {

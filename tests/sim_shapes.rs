@@ -122,9 +122,7 @@ fn fig8_fig9_gather_dominates_and_total_does_not_improve() {
     for figset in [figs::fig8(20), figs::fig9(200)] {
         for fig in &figset {
             let s = &fig.series[0];
-            let at = |x: usize| {
-                s.points.iter().find(|p| p.x == x).unwrap().report.clone()
-            };
+            let at = |x: usize| s.points.iter().find(|p| p.x == x).unwrap().report.clone();
             let r1 = at(1);
             let r64 = at(64);
             // local multiply scales (the paper reports up to 43x)
