@@ -63,29 +63,95 @@ pub fn parallel_merge_sort<T: Copy + Ord + Send + Sync>(
             natural_run_merge_sort(&mut guard, c);
         });
     }
-    // Phase 2: merge runs pairwise until one remains.
+    // Phase 2: merge runs pairwise until one remains. Each round's merges
+    // touch disjoint `[s1..e2)` windows, so they run concurrently.
     let mut runs: Vec<(usize, usize)> =
         bounds.windows(2).map(|w| (w[0], w[1])).filter(|(a, b)| a < b).collect();
-    let mut buf: Vec<T> = Vec::with_capacity(n);
     while runs.len() > 1 {
+        let mut pairs: Vec<(usize, usize, usize)> = Vec::with_capacity(runs.len() / 2);
         let mut next = Vec::with_capacity(runs.len().div_ceil(2));
         let mut i = 0;
         while i + 1 < runs.len() {
             let (s1, e1) = runs[i];
             let (s2, e2) = runs[i + 1];
             debug_assert_eq!(e1, s2);
-            let mut c = Counters::default();
-            merge_adjacent(data, s1, e1, e2, &mut buf, &mut c);
-            ctx.record(phase, |pc| pc.merge(&c));
+            pairs.push((s1, e1, e2));
             next.push((s1, e2));
             i += 2;
         }
         if i < runs.len() {
             next.push(runs[i]);
         }
+        merge_pairs_parallel(data, &pairs, ctx, phase);
         runs = next;
     }
     debug_assert!(data.windows(2).all(|w| w[0] <= w[1]));
+}
+
+/// Merge each `(s, m, e)` pair of adjacent runs in `data`, concurrently.
+///
+/// The windows are disjoint, so the buffer splits into one `&mut` slice
+/// per pair. Counters accumulate per pair and are recorded in pair order,
+/// so `sort_elems` accounting is identical to the serial left-to-right
+/// sweep this replaces. Deliberately *not* [`ExecCtx::for_each_task`]:
+/// that would add priced region/task bookkeeping the serial loop never
+/// paid.
+fn merge_pairs_parallel<T: Copy + Ord + Send + Sync>(
+    data: &mut [T],
+    pairs: &[(usize, usize, usize)],
+    ctx: &ExecCtx,
+    phase: &str,
+) {
+    if pairs.is_empty() {
+        return;
+    }
+    let nworkers = ctx.real_threads().min(pairs.len());
+    let mut counters: Vec<Counters> = vec![Counters::default(); pairs.len()];
+    if nworkers <= 1 {
+        let mut buf: Vec<T> = Vec::new();
+        for (k, &(s, m, e)) in pairs.iter().enumerate() {
+            merge_adjacent(&mut data[s..e], 0, m - s, e - s, &mut buf, &mut counters[k]);
+        }
+    } else {
+        // A hand-off cell: each worker takes its pair's window + counter
+        // exactly once, so no two workers ever hold the same slice.
+        type MergeCell<'a, T> = parking_lot::Mutex<Option<(&'a mut [T], &'a mut Counters)>>;
+        // Carve one disjoint window per pair out of the buffer.
+        let mut windows: Vec<&mut [T]> = Vec::with_capacity(pairs.len());
+        let mut rest: &mut [T] = data;
+        let mut offset = 0usize;
+        for &(s, _, e) in pairs {
+            let (_, tail) = std::mem::take(&mut rest).split_at_mut(s - offset);
+            let (window, tail) = tail.split_at_mut(e - s);
+            windows.push(window);
+            rest = tail;
+            offset = e;
+        }
+        let cells: Vec<MergeCell<'_, T>> = windows
+            .into_iter()
+            .zip(counters.iter_mut())
+            .map(|pair| parking_lot::Mutex::new(Some(pair)))
+            .collect();
+        crossbeam::thread::scope(|scope| {
+            for w in 0..nworkers {
+                let cells = &cells;
+                scope.spawn(move |_| {
+                    let mut buf: Vec<T> = Vec::new();
+                    let mut k = w;
+                    while k < cells.len() {
+                        let (window, c) = cells[k].lock().take().expect("pair merged exactly once");
+                        let (s, m, e) = pairs[k];
+                        merge_adjacent(window, 0, m - s, e - s, &mut buf, c);
+                        k += nworkers;
+                    }
+                });
+            }
+        })
+        .expect("merge worker panicked");
+    }
+    for c in &counters {
+        ctx.record(phase, |pc| pc.merge(c));
+    }
 }
 
 /// Serial natural-runs merge sort counting element moves.
@@ -280,6 +346,27 @@ mod tests {
             let prof = ctx.take_profile();
             // n log n-ish work was counted
             assert!(prof.phase("sort").sort_elems >= 10_000);
+        }
+    }
+
+    #[test]
+    fn phase2_parallel_merges_match_serial_output_and_accounting() {
+        // Same simulated chunking (6 tasks), different *real* worker
+        // counts: the pairwise merges must produce the same array and
+        // charge exactly the same counters whether they ran serially or
+        // on disjoint windows in parallel.
+        let reference = {
+            let ctx = ExecCtx::new(6, 1);
+            let mut v = shuffled(20_000, 9);
+            parallel_merge_sort(&mut v, &ctx, "s");
+            (v, ctx.take_profile().phase("s"))
+        };
+        for real_threads in [2, 4, 8] {
+            let ctx = ExecCtx::new(6, real_threads);
+            let mut v = shuffled(20_000, 9);
+            parallel_merge_sort(&mut v, &ctx, "s");
+            assert_eq!(v, reference.0, "real_threads={real_threads}");
+            assert_eq!(ctx.take_profile().phase("s"), reference.1, "real_threads={real_threads}");
         }
     }
 

@@ -1,19 +1,48 @@
 //! Distributed execution context, pricing, and op-level tracing.
 
 use crate::comm::{Comm, CommEvent, CommKind};
+use gblas_core::error::{GblasError, Result};
 use gblas_core::par::{Counters, ExecCtx, Profile};
 use gblas_core::trace::{CommSummary, MetricsRegistry, SpanKind, TraceRecorder};
 use gblas_sim::{MachineConfig, SimReport};
+use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// How [`DistCtx::for_each_locale`] runs the per-locale bodies of a
+/// superstep on the *real* machine (the simulated clock is unaffected —
+/// pricing only reads the profiles and the comm log, never wall time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocaleExecutor {
+    /// SPMD: scoped worker threads execute one task per locale
+    /// concurrently — the wall-clock realization of Chapel's
+    /// `coforall loc in Locales do on loc`.
+    #[default]
+    Threaded,
+    /// Locale bodies run back-to-back on the driver thread (the historic
+    /// behaviour). Kept as a differential-testing oracle and for
+    /// single-core environments; selectable via the
+    /// `GBLAS_DIST_EXECUTOR=serial` environment variable.
+    Serial,
+}
+
+/// One message list per destination locale: the send side of an
+/// outbox/inbox superstep. A sender fills `outbox[dst]` for each owner
+/// `dst`; after the superstep barrier, owner `o` drains `outboxes[src][o]`
+/// in source-locale order, so cross-locale writes resolve exactly as a
+/// serial sweep would.
+pub type Outbox<M> = Vec<Vec<M>>;
 
 /// Execution context for distributed operations.
 ///
 /// Holds the simulated [`MachineConfig`] and the communication log for the
-/// current operation. Distributed ops execute one locale at a time (the
-/// functional result is identical to a concurrent execution because every
-/// superstep reads only the *previous* superstep's data — the
-/// bulk-synchronous structure the paper's version-2 codes follow), each
-/// locale on a fresh [`ExecCtx`] with the machine's `threads_per_locale`.
+/// current operation. Distributed ops execute SPMD-style through
+/// [`DistCtx::for_each_locale`]: one task per locale per superstep, each
+/// touching only its own disjoint state, with an implicit barrier between
+/// supersteps (the bulk-synchronous structure the paper's version-2 codes
+/// follow). Each locale body runs on a fresh [`ExecCtx`] with the
+/// machine's `threads_per_locale` *logical* threads; whether the bodies
+/// also run concurrently on the real machine is the [`LocaleExecutor`]'s
+/// choice and never changes results, comm logs, or simulated times.
 ///
 /// The context also carries the observability handles: a [`TraceRecorder`]
 /// (disabled by default — [`DistCtx::enable_tracing`] turns it on) and a
@@ -25,6 +54,7 @@ pub struct DistCtx {
     pub machine: MachineConfig,
     /// Communication log + fault hooks for the current operation.
     pub comm: Comm,
+    executor: LocaleExecutor,
     recorder: TraceRecorder,
     metrics: Arc<MetricsRegistry>,
 }
@@ -47,7 +77,22 @@ impl DistCtx {
     ) -> Self {
         let mut comm = Comm::new();
         comm.instrument(recorder.clone(), Arc::clone(&metrics));
-        DistCtx { machine, comm, recorder, metrics }
+        let executor = match std::env::var("GBLAS_DIST_EXECUTOR").ok().as_deref() {
+            Some("serial") => LocaleExecutor::Serial,
+            _ => LocaleExecutor::default(),
+        };
+        DistCtx { machine, comm, executor, recorder, metrics }
+    }
+
+    /// The wall-clock executor for per-locale superstep bodies.
+    pub fn executor(&self) -> LocaleExecutor {
+        self.executor
+    }
+
+    /// Override the wall-clock executor (results and simulated times are
+    /// identical either way; tests pin this).
+    pub fn set_executor(&mut self, executor: LocaleExecutor) {
+        self.executor = executor;
     }
 
     /// Turn tracing on; returns the recorder (clone it freely — all clones
@@ -79,6 +124,91 @@ impl DistCtx {
     /// threads, serial real execution (deterministic).
     pub fn locale_ctx(&self) -> ExecCtx {
         ExecCtx::new(self.machine.threads_per_locale, 1)
+    }
+
+    /// Run one superstep SPMD-style: `f(l)` once per locale, results in
+    /// locale order. See [`DistCtx::for_each_locale_state`].
+    ///
+    /// Cross-locale writes must be staged through an [`Outbox`] built in
+    /// one superstep and drained by the owning locale in the next.
+    pub fn for_each_locale<R, F>(&self, f: F) -> Result<Vec<R>>
+    where
+        R: Send,
+        F: Fn(usize) -> Result<R> + Sync,
+    {
+        let mut unit = vec![(); self.locales()];
+        self.for_each_locale_state(&mut unit, |l, ()| f(l))
+    }
+
+    /// Run one superstep SPMD-style with per-locale mutable state: `f(l,
+    /// &mut states[l])` once per locale — `states` is split into disjoint
+    /// `&mut` borrows, so each task mutates only its own locale's share
+    /// (Chapel's `on loc` locality discipline, enforced by the borrow
+    /// checker).
+    ///
+    /// Under [`LocaleExecutor::Threaded`] the bodies run on scoped worker
+    /// threads (at most one OS thread per locale); under
+    /// [`LocaleExecutor::Serial`] they run in locale order on the caller.
+    /// Either way every locale body runs to completion before this
+    /// returns (the superstep barrier), results come back in locale
+    /// order, and if any bodies fail the error of the *lowest-numbered*
+    /// locale is returned — so error propagation is deterministic even
+    /// when a fault races between concurrent tasks.
+    pub fn for_each_locale_state<S, R, F>(&self, states: &mut [S], f: F) -> Result<Vec<R>>
+    where
+        S: Send,
+        R: Send,
+        F: Fn(usize, &mut S) -> Result<R> + Sync,
+    {
+        let p = states.len();
+        let workers = match self.executor {
+            LocaleExecutor::Serial => 1,
+            LocaleExecutor::Threaded => {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(p)
+            }
+        };
+        let mut results: Vec<Option<Result<R>>> = if workers <= 1 {
+            states.iter_mut().enumerate().map(|(l, s)| Some(f(l, s))).collect()
+        } else {
+            // One cell per locale: the worker owning task `l` takes the
+            // `&mut S` out exactly once; the Mutex is uncontended.
+            let cells: Vec<Mutex<Option<&mut S>>> =
+                states.iter_mut().map(|s| Mutex::new(Some(s))).collect();
+            let slots: Vec<Mutex<Option<Result<R>>>> = (0..p).map(|_| Mutex::new(None)).collect();
+            crossbeam::thread::scope(|scope| {
+                for w in 0..workers {
+                    let cells = &cells;
+                    let slots = &slots;
+                    let f = &f;
+                    scope.spawn(move |_| {
+                        let mut l = w;
+                        while l < p {
+                            let s = cells[l].lock().take().expect("state taken exactly once");
+                            *slots[l].lock() = Some(f(l, s));
+                            l += workers;
+                        }
+                    });
+                }
+            })
+            .expect("locale task panicked");
+            slots.into_iter().map(|s| s.into_inner()).collect()
+        };
+        let mut out = Vec::with_capacity(p);
+        let mut first_err: Option<GblasError> = None;
+        for r in results.drain(..) {
+            match r.expect("every locale task ran to completion") {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Per-locale compute time of one phase: each locale's priced counters.

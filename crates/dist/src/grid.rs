@@ -99,23 +99,31 @@ impl BlockDist {
     }
 
     /// The index range of block `b`.
+    ///
+    /// Computed in `u128` so domains near `usize::MAX` don't overflow the
+    /// `b·n` product.
     pub fn range(&self, b: usize) -> std::ops::Range<usize> {
         debug_assert!(b < self.blocks);
-        let lo = b * self.n / self.blocks;
-        let hi = (b + 1) * self.n / self.blocks;
+        let (n, blocks) = (self.n as u128, self.blocks as u128);
+        let lo = (b as u128 * n / blocks) as usize;
+        let hi = ((b as u128 + 1) * n / blocks) as usize;
         lo..hi
     }
 
     /// Which block owns index `i`.
     pub fn owner(&self, i: usize) -> usize {
-        debug_assert!(i < self.n);
-        // Invert the floor formula: the owner is the largest b with
-        // b*n/blocks <= i, i.e. floor((i*blocks + blocks - 1 ... )) —
-        // compute directly and fix up boundary effects.
+        // The empty-domain guard must precede any division: with `n == 0`
+        // the debug_assert below is compiled out of release builds and
+        // `i * blocks / n` would fault.
         if self.n == 0 {
             return 0;
         }
-        let mut b = (i * self.blocks) / self.n;
+        debug_assert!(i < self.n);
+        // Invert the floor formula: the owner is the largest b with
+        // b*n/blocks <= i — compute the quotient in u128 (the product
+        // `i * blocks` overflows usize for large domains) and fix up
+        // boundary effects.
+        let mut b = ((i as u128 * self.blocks as u128) / self.n as u128) as usize;
         // floor rounding can land one block early/late; adjust.
         while b + 1 < self.blocks && self.range(b).end <= i {
             b += 1;
@@ -180,6 +188,42 @@ mod tests {
                 let o = d.owner(i);
                 assert!(d.range(o).contains(&i), "n={n} b={b} i={i} owner={o}");
             }
+        }
+    }
+
+    #[test]
+    fn owner_on_empty_domain_does_not_divide_by_zero() {
+        // Regression: with n == 0 the old guard sat after a debug_assert,
+        // so release builds divided by zero.
+        let d = BlockDist::new(0, 4);
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(17), 0);
+    }
+
+    #[test]
+    fn owner_with_fewer_indices_than_blocks() {
+        let d = BlockDist::new(3, 8);
+        for i in 0..3 {
+            let o = d.owner(i);
+            assert!(d.range(o).contains(&i), "i={i} owner={o}");
+        }
+        // Exactly 3 of the 8 blocks are non-empty.
+        let nonempty = (0..8).filter(|&b| d.size(b) > 0).count();
+        assert_eq!(nonempty, 3);
+    }
+
+    #[test]
+    fn owner_near_usize_max_does_not_overflow() {
+        // Regression: `i * blocks` overflowed usize for large domains.
+        let n = usize::MAX - 5;
+        for blocks in [2usize, 7, 64] {
+            let d = BlockDist::new(n, blocks);
+            for i in [0usize, 1, n / 2, n - 1] {
+                let o = d.owner(i);
+                assert!(d.range(o).contains(&i), "n={n} blocks={blocks} i={i} owner={o}");
+            }
+            assert_eq!(d.range(0).start, 0);
+            assert_eq!(d.range(blocks - 1).end, n);
         }
     }
 

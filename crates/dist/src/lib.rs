@@ -57,7 +57,7 @@ pub mod ops;
 pub mod vec;
 
 pub use comm::Comm;
-pub use exec::DistCtx;
+pub use exec::{DistCtx, LocaleExecutor, Outbox};
 pub use grid::{BlockDist, ProcGrid};
 pub use mat::DistCsrMatrix;
 pub use vec::{DistDenseVec, DistSparseVec};

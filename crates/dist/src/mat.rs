@@ -171,6 +171,13 @@ impl<T: Copy> DistCsrMatrix<T> {
         &mut self.blocks[l]
     }
 
+    /// All blocks in locale order — the shape
+    /// [`crate::DistCtx::for_each_locale_state`] splits into one disjoint
+    /// `&mut` per locale task.
+    pub fn blocks_mut(&mut self) -> &mut [CsrMatrix<T>] {
+        &mut self.blocks
+    }
+
     /// Reassemble the global matrix (verification path).
     pub fn to_global(&self) -> Result<CsrMatrix<T>> {
         let mut coo = CooMatrix::new(self.nrows, self.ncols);

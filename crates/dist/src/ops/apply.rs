@@ -30,12 +30,21 @@ pub fn apply_v1<T: Copy + Send + Sync>(
         let nnz = x.shard(l).nnz() as u64;
         dctx.comm.fine(PHASE, 0, l, 2 * nnz, 2 * nnz * elem_bytes)?;
     }
-    // Compute: the whole loop body runs on locale 0's threads.
-    let ctx = dctx.locale_ctx();
-    for l in 0..p {
-        apply_vec_inplace(x.shard_mut(l), op, &ctx);
+    // Compute: simulated on locale 0's threads (the flat `forall` runs
+    // entirely on the initiating locale). The wall-clock execution still
+    // fans out one task per shard; merging the per-shard profiles in
+    // locale order reproduces the single shared profile exactly.
+    let per_shard = dctx.for_each_locale_state(x.shards_mut(), |_, shard| {
+        let ctx = dctx.locale_ctx();
+        apply_vec_inplace(shard, op, &ctx);
+        Ok(ctx.take_profile())
+    })?;
+    let mut profile = Profile::default();
+    for sp in &per_shard {
+        for (name, c) in sp.iter() {
+            profile.counters_mut(name).merge(c);
+        }
     }
-    let profile = ctx.take_profile();
     let mut trace = dctx.op("apply_v1");
     trace.nnz(x.nnz() as u64);
     trace.compute_as(PHASE, gblas_core::ops::apply::PHASE, &[profile]);
@@ -49,13 +58,11 @@ pub fn apply_v2<T: Copy + Send + Sync>(
     op: &impl UnaryOp<T, T>,
     dctx: &DistCtx,
 ) -> Result<SimReport> {
-    let p = x.locales();
-    let mut profiles: Vec<Profile> = Vec::with_capacity(p);
-    for l in 0..p {
+    let profiles = dctx.for_each_locale_state(x.shards_mut(), |_, shard| {
         let ctx = dctx.locale_ctx();
-        apply_vec_inplace(x.shard_mut(l), op, &ctx);
-        profiles.push(ctx.take_profile());
-    }
+        apply_vec_inplace(shard, op, &ctx);
+        Ok(ctx.take_profile())
+    })?;
     let mut trace = dctx.op("apply_v2");
     trace.nnz(x.nnz() as u64);
     trace.spawn(PHASE, 1);
@@ -70,13 +77,11 @@ pub fn apply_mat_v2<T: Copy + Send + Sync>(
     op: &impl UnaryOp<T, T>,
     dctx: &DistCtx,
 ) -> Result<SimReport> {
-    let p = a.grid().locales();
-    let mut profiles: Vec<Profile> = Vec::with_capacity(p);
-    for l in 0..p {
+    let profiles = dctx.for_each_locale_state(a.blocks_mut(), |_, block| {
         let ctx = dctx.locale_ctx();
-        gblas_core::ops::apply::apply_mat_inplace(a.block_mut(l), op, &ctx);
-        profiles.push(ctx.take_profile());
-    }
+        gblas_core::ops::apply::apply_mat_inplace(block, op, &ctx);
+        Ok(ctx.take_profile())
+    })?;
     let mut trace = dctx.op("apply_mat_v2");
     trace.nnz(a.nnz() as u64);
     trace.spawn(PHASE, 1);

@@ -48,12 +48,21 @@ pub fn assign_v1<T: Copy + Send + Sync + Default>(
         let nnz = b.shard(l).nnz() as u64;
         dctx.comm.fine(PHASE, 0, l, 2 * nnz, 2 * nnz * elem_bytes)?;
     }
-    // ...while the searches execute on the initiating locale's threads.
-    let ctx = dctx.locale_ctx();
-    for l in 0..p {
-        gblas_core::ops::assign::assign_v1(a.shard_mut(l), b.shard(l), &ctx)?;
+    // ...while the searches are *simulated* on the initiating locale's
+    // threads: the per-shard profiles are merged in locale order into one
+    // locale-0 profile, identical to a single shared context.
+    let per_shard = dctx.for_each_locale_state(a.shards_mut(), |l, shard| {
+        let ctx = dctx.locale_ctx();
+        gblas_core::ops::assign::assign_v1(shard, b.shard(l), &ctx)?;
+        Ok(ctx.take_profile())
+    })?;
+    let mut merged = Profile::default();
+    for sp in &per_shard {
+        for (name, c) in sp.iter() {
+            merged.counters_mut(name).merge(c);
+        }
     }
-    let profile = fold_assign_phases(ctx.take_profile());
+    let profile = fold_assign_phases(merged);
     let mut trace = dctx.op("assign_v1");
     trace.nnz(b.nnz() as u64);
     trace.compute(PHASE, &[profile]);
@@ -68,13 +77,11 @@ pub fn assign_v2<T: Copy + Send + Sync + Default>(
     dctx: &DistCtx,
 ) -> Result<SimReport> {
     check_conformant(a, b)?;
-    let p = b.locales();
-    let mut profiles: Vec<Profile> = Vec::with_capacity(p);
-    for l in 0..p {
+    let profiles = dctx.for_each_locale_state(a.shards_mut(), |l, shard| {
         let ctx = dctx.locale_ctx();
-        gblas_core::ops::assign::assign_v2(a.shard_mut(l), b.shard(l), &ctx)?;
-        profiles.push(fold_assign_phases(ctx.take_profile()));
-    }
+        gblas_core::ops::assign::assign_v2(shard, b.shard(l), &ctx)?;
+        Ok(fold_assign_phases(ctx.take_profile()))
+    })?;
     let mut trace = dctx.op("assign_v2");
     trace.nnz(b.nnz() as u64);
     trace.spawn(PHASE, 1);

@@ -40,31 +40,32 @@ where
             actual: format!("{} locales", y.locales()),
         });
     }
-    let p = x.locales();
-    let mut profiles: Vec<Profile> = Vec::with_capacity(p);
-    let mut shards: Vec<SparseVec<T>> = Vec::with_capacity(p);
-    for l in 0..p {
-        let range = x.dist().range(l);
-        // Rebase the shard to local coordinates so the local dense segment
-        // indexes directly (Listing 6 operates on local arrays).
-        let shard = x.shard(l);
-        let local_inds: Vec<usize> = shard.indices().iter().map(|&i| i - range.start).collect();
-        let local = SparseVec::from_sorted(range.len().max(1), local_inds, shard.values().to_vec())
-            .expect("rebased shard stays sorted");
-        let seg = DenseVec::from_vec(y.segment(l).to_vec());
-        // Guard against the degenerate empty-block case.
-        let ctx = dctx.locale_ctx();
-        let filtered = if range.is_empty() {
-            SparseVec::new(0)
-        } else {
-            ewise_filter(&local, &seg, keep, variant, &ctx)?
-        };
-        profiles.push(fold_phases(ctx.take_profile()));
-        // Back to global coordinates.
-        let (_, li, lv) = filtered.into_parts();
-        let gi: Vec<usize> = li.into_iter().map(|i| i + range.start).collect();
-        shards.push(SparseVec::from_sorted(x.capacity(), gi, lv)?);
-    }
+    let (profiles, shards): (Vec<Profile>, Vec<SparseVec<T>>) = dctx
+        .for_each_locale(|l| {
+            let range = x.dist().range(l);
+            // Rebase the shard to local coordinates so the local dense
+            // segment indexes directly (Listing 6 operates on local arrays).
+            let shard = x.shard(l);
+            let local_inds: Vec<usize> = shard.indices().iter().map(|&i| i - range.start).collect();
+            let local =
+                SparseVec::from_sorted(range.len().max(1), local_inds, shard.values().to_vec())
+                    .expect("rebased shard stays sorted");
+            let seg = DenseVec::from_vec(y.segment(l).to_vec());
+            // Guard against the degenerate empty-block case.
+            let ctx = dctx.locale_ctx();
+            let filtered = if range.is_empty() {
+                SparseVec::new(0)
+            } else {
+                ewise_filter(&local, &seg, keep, variant, &ctx)?
+            };
+            let profile = fold_phases(ctx.take_profile());
+            // Back to global coordinates.
+            let (_, li, lv) = filtered.into_parts();
+            let gi: Vec<usize> = li.into_iter().map(|i| i + range.start).collect();
+            Ok((profile, SparseVec::from_sorted(x.capacity(), gi, lv)?))
+        })?
+        .into_iter()
+        .unzip();
     let out = DistSparseVec::from_shards(x.capacity(), shards)?;
     let mut trace = dctx.op("ewise_mult_dist");
     trace.nnz(x.nnz() as u64);
@@ -109,15 +110,14 @@ where
     Op: gblas_core::algebra::BinaryOp<A, B, C>,
 {
     check_aligned(a, b)?;
-    let p = a.locales();
-    let mut profiles: Vec<Profile> = Vec::with_capacity(p);
-    let mut shards: Vec<SparseVec<C>> = Vec::with_capacity(p);
-    for l in 0..p {
-        let ctx = dctx.locale_ctx();
-        let z = gblas_core::ops::ewise::ewise_mult(a.shard(l), b.shard(l), op, &ctx)?;
-        profiles.push(fold_phases(ctx.take_profile()));
-        shards.push(z);
-    }
+    let (profiles, shards): (Vec<Profile>, Vec<SparseVec<C>>) = dctx
+        .for_each_locale(|l| {
+            let ctx = dctx.locale_ctx();
+            let z = gblas_core::ops::ewise::ewise_mult(a.shard(l), b.shard(l), op, &ctx)?;
+            Ok((fold_phases(ctx.take_profile()), z))
+        })?
+        .into_iter()
+        .unzip();
     let out = DistSparseVec::from_shards(a.capacity(), shards)?;
     let mut trace = dctx.op("ewise_mult_dist_ss");
     trace.nnz((a.nnz() + b.nnz()) as u64);
@@ -138,15 +138,14 @@ where
     Op: gblas_core::algebra::BinaryOp<T, T, T>,
 {
     check_aligned(a, b)?;
-    let p = a.locales();
-    let mut profiles: Vec<Profile> = Vec::with_capacity(p);
-    let mut shards: Vec<SparseVec<T>> = Vec::with_capacity(p);
-    for l in 0..p {
-        let ctx = dctx.locale_ctx();
-        let z = gblas_core::ops::ewise::ewise_add(a.shard(l), b.shard(l), op, &ctx)?;
-        profiles.push(fold_phases(ctx.take_profile()));
-        shards.push(z);
-    }
+    let (profiles, shards): (Vec<Profile>, Vec<SparseVec<T>>) = dctx
+        .for_each_locale(|l| {
+            let ctx = dctx.locale_ctx();
+            let z = gblas_core::ops::ewise::ewise_add(a.shard(l), b.shard(l), op, &ctx)?;
+            Ok((fold_phases(ctx.take_profile()), z))
+        })?
+        .into_iter()
+        .unzip();
     let out = DistSparseVec::from_shards(a.capacity(), shards)?;
     let mut trace = dctx.op("ewise_add_dist");
     trace.nnz((a.nnz() + b.nnz()) as u64);

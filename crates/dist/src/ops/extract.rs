@@ -10,7 +10,7 @@
 //! locale pair — the §IV style) and reports the communication volume, so
 //! the √p cost is observable in the simulated report.
 
-use crate::exec::DistCtx;
+use crate::exec::{DistCtx, Outbox};
 use crate::vec::DistSparseVec;
 use gblas_core::error::{GblasError, Result};
 use gblas_core::par::Profile;
@@ -48,63 +48,65 @@ pub fn extract_dist<T: Copy + Send + Sync>(
         }
     }
     let out_dist = crate::grid::BlockDist::new(index_set.len(), p);
-    // Per destination locale: collected (dest index, value) pairs.
-    let mut outgoing: Vec<Vec<(usize, T)>> = (0..p).map(|_| Vec::new()).collect();
-    let mut select_profiles: Vec<Profile> = Vec::with_capacity(p);
-    // Each source locale walks its shard against the index set
-    // (merge-walk, the shard and I are both sorted) and routes matches.
-    let mut traffic: Vec<Vec<u64>> = vec![vec![0; p]; p]; // [src][dst] element counts
-    #[allow(clippy::needless_range_loop)] // `l` indexes shards, traffic and outgoing together
-    for l in 0..p {
-        let sctx = dctx.locale_ctx();
-        let mut c = gblas_core::par::Counters::default();
-        let shard = x.shard(l);
-        let (si, sv) = (shard.indices(), shard.values());
-        let (mut a, mut b) = (0usize, 0usize);
-        while a < si.len() && b < index_set.len() {
-            c.elems += 1;
-            match si[a].cmp(&index_set[b]) {
-                std::cmp::Ordering::Less => a += 1,
-                std::cmp::Ordering::Greater => b += 1,
-                std::cmp::Ordering::Equal => {
-                    let dest_pos = b; // renumbered index
-                    let owner = out_dist.owner(dest_pos);
-                    outgoing[owner].push((dest_pos, sv[a]));
-                    if owner != l {
-                        traffic[l][owner] += 1;
+    let elem_bytes = (std::mem::size_of::<usize>() + std::mem::size_of::<T>()) as u64;
+    // Superstep 1 (select): each source locale walks its shard against the
+    // index set (merge-walk, the shard and I are both sorted), builds one
+    // outbox per destination, and logs its own aggregated exchange
+    // messages (one bulk message per communicating pair).
+    let (select_profiles, outboxes): (Vec<Profile>, Vec<Outbox<(usize, T)>>) = dctx
+        .for_each_locale(|l| {
+            let sctx = dctx.locale_ctx();
+            let mut c = gblas_core::par::Counters::default();
+            // outbox[dst] = (dest index, value) pairs bound for locale dst.
+            let mut outbox: Vec<Vec<(usize, T)>> = (0..p).map(|_| Vec::new()).collect();
+            let shard = x.shard(l);
+            let (si, sv) = (shard.indices(), shard.values());
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < si.len() && b < index_set.len() {
+                c.elems += 1;
+                match si[a].cmp(&index_set[b]) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        let dest_pos = b; // renumbered index
+                        let owner = out_dist.owner(dest_pos);
+                        outbox[owner].push((dest_pos, sv[a]));
+                        a += 1;
+                        b += 1;
                     }
-                    a += 1;
-                    b += 1;
                 }
             }
-        }
-        sctx.record(PHASE_SELECT, |pc| pc.merge(&c));
-        select_profiles.push(sctx.take_profile());
-    }
-    // Aggregated exchange: one bulk message per communicating pair.
-    let elem_bytes = (std::mem::size_of::<usize>() + std::mem::size_of::<T>()) as u64;
-    for (src, row) in traffic.iter().enumerate() {
-        for (dst, &count) in row.iter().enumerate() {
-            if count > 0 {
-                dctx.comm.bulk(PHASE_EXCHANGE, src, dst, 1, count * elem_bytes)?;
+            for (dst, pairs) in outbox.iter().enumerate() {
+                if dst != l && !pairs.is_empty() {
+                    dctx.comm.bulk(PHASE_EXCHANGE, l, dst, 1, pairs.len() as u64 * elem_bytes)?;
+                }
             }
-        }
-    }
-    // Build destination shards (each locale sorts what it received —
-    // arrivals from different sources interleave).
-    let mut shards = Vec::with_capacity(p);
-    let mut exchange_profiles: Vec<Profile> = Vec::with_capacity(p);
-    for mut pairs in outgoing {
-        let ctx = dctx.locale_ctx();
-        pairs.sort_unstable_by_key(|(i, _)| *i);
-        ctx.record(PHASE_EXCHANGE, |c| {
-            c.sort_elems += pairs.len() as u64;
-            c.elems += pairs.len() as u64;
-        });
-        exchange_profiles.push(ctx.take_profile());
-        let (inds, vals): (Vec<usize>, Vec<T>) = pairs.into_iter().unzip();
-        shards.push(gblas_core::container::SparseVec::from_sorted(index_set.len(), inds, vals)?);
-    }
+            sctx.record(PHASE_SELECT, |pc| pc.merge(&c));
+            Ok((sctx.take_profile(), outbox))
+        })?
+        .into_iter()
+        .unzip();
+    // Superstep 2 (apply): each destination locale concatenates its
+    // inboxes in source-locale order (arrivals from different sources
+    // interleave) and sorts, building only its own shard.
+    let (exchange_profiles, shards): (Vec<Profile>, Vec<gblas_core::container::SparseVec<T>>) =
+        dctx.for_each_locale(|o| {
+            let ctx = dctx.locale_ctx();
+            let mut pairs: Vec<(usize, T)> = Vec::new();
+            for outbox in &outboxes {
+                pairs.extend_from_slice(&outbox[o]);
+            }
+            pairs.sort_unstable_by_key(|(i, _)| *i);
+            ctx.record(PHASE_EXCHANGE, |c| {
+                c.sort_elems += pairs.len() as u64;
+                c.elems += pairs.len() as u64;
+            });
+            let (inds, vals): (Vec<usize>, Vec<T>) = pairs.into_iter().unzip();
+            let shard = gblas_core::container::SparseVec::from_sorted(index_set.len(), inds, vals)?;
+            Ok((ctx.take_profile(), shard))
+        })?
+        .into_iter()
+        .unzip();
     let z = DistSparseVec::from_shards(index_set.len(), shards)?;
     let mut trace = dctx.op("extract_dist");
     trace.nnz(x.nnz() as u64);

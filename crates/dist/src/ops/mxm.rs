@@ -66,50 +66,65 @@ where
     let stages = grid.pc();
     let elem_bytes = (2 * std::mem::size_of::<usize>() + std::mem::size_of::<T>()) as u64;
 
-    // Stationary C blocks, accumulated stage by stage.
-    let mut c_blocks: Vec<CsrMatrix<T>> = (0..p)
+    // Stationary C blocks, accumulated stage by stage. Each locale's
+    // superstep state bundles its C block with its two profiles.
+    let mut state: Vec<(CsrMatrix<T>, Profile, Profile)> = (0..p)
         .map(|l| {
             let rows = a.row_range(l).len();
             let cols = b.col_range(l).len();
-            CsrMatrix::empty(rows, cols)
+            (CsrMatrix::empty(rows, cols), Profile::default(), Profile::default())
         })
         .collect();
-    let mut local_profiles: Vec<Profile> = (0..p).map(|_| Profile::default()).collect();
-    let mut bcast_profiles: Vec<Profile> = (0..p).map(|_| Profile::default()).collect();
 
     for k in 0..stages {
-        for l in 0..p {
+        dctx.for_each_locale_state(&mut state, |l, (c_block, local_profile, bcast_profile)| {
             let (r, c) = grid.coords(l);
-            // Receive A(r, k) from its owner along the grid row...
+            // A(r, k) arrives along the grid row, B(k, c) down the grid
+            // column. The broadcast sends are logged by the *owner*'s task
+            // — one writer per source locale keeps the comm log's per-src
+            // order deterministic under the threaded executor.
             let a_owner = grid.locale(r, k);
             let a_blk = a.block(a_owner);
-            if a_owner != l {
-                dctx.comm.bulk(PHASE_BCAST, a_owner, l, 1, a_blk.nnz() as u64 * elem_bytes)?;
-            }
-            // ...and B(k, c) from its owner along the grid column.
             let b_owner = grid.locale(k, c);
             let b_blk = b.block(b_owner);
-            if b_owner != l {
-                dctx.comm.bulk(PHASE_BCAST, b_owner, l, 1, b_blk.nnz() as u64 * elem_bytes)?;
+            if l == a_owner {
+                for peer in grid.row_locales(r) {
+                    if peer != l {
+                        dctx.comm.bulk(PHASE_BCAST, l, peer, 1, a_blk.nnz() as u64 * elem_bytes)?;
+                    }
+                }
             }
-            bcast_profiles[l].counters_mut(PHASE_BCAST).bytes_moved +=
+            if l == b_owner {
+                for peer in grid.col_locales(c) {
+                    if peer != l {
+                        dctx.comm.bulk(PHASE_BCAST, l, peer, 1, b_blk.nnz() as u64 * elem_bytes)?;
+                    }
+                }
+            }
+            bcast_profile.counters_mut(PHASE_BCAST).bytes_moved +=
                 (a_blk.nnz() + b_blk.nnz()) as u64 * elem_bytes;
             // Local multiply + accumulate into the stationary block.
             let lctx = dctx.locale_ctx();
             let partial: CsrMatrix<T> =
                 gblas_core::ops::mxm::mxm::<_, _, T, _, _, bool>(a_blk, b_blk, ring, None, &lctx)?;
-            let accumulated = gblas_core::ops::ewise_mat::ewise_add_mat(
-                &c_blocks[l],
-                &partial,
-                &ring.add,
-                &lctx,
-            )?;
-            c_blocks[l] = accumulated;
-            let folded = local_profiles[l].counters_mut(PHASE_LOCAL);
+            let accumulated =
+                gblas_core::ops::ewise_mat::ewise_add_mat(&*c_block, &partial, &ring.add, &lctx)?;
+            *c_block = accumulated;
+            let folded = local_profile.counters_mut(PHASE_LOCAL);
             for (_, cs) in lctx.take_profile().iter() {
                 folded.merge(cs);
             }
-        }
+            Ok(())
+        })?;
+    }
+
+    let mut c_blocks: Vec<CsrMatrix<T>> = Vec::with_capacity(p);
+    let mut local_profiles: Vec<Profile> = Vec::with_capacity(p);
+    let mut bcast_profiles: Vec<Profile> = Vec::with_capacity(p);
+    for (blk, local, bcast) in state {
+        c_blocks.push(blk);
+        local_profiles.push(local);
+        bcast_profiles.push(bcast);
     }
 
     let c = DistCsrMatrix::from_blocks(a.nrows(), b.ncols(), grid, c_blocks)?;

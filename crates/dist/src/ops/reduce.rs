@@ -29,19 +29,19 @@ where
 {
     let p = x.locales();
     // Local folds (one task per locale, 24-way within each).
-    let mut partials: Vec<T> = Vec::with_capacity(p);
-    let mut profiles: Vec<Profile> = Vec::with_capacity(p);
-    for l in 0..p {
-        let ctx = dctx.locale_ctx();
-        let local = gblas_core::ops::reduce::reduce_vec(x.shard(l), monoid, &ctx);
-        partials.push(local);
-        let mut folded = Profile::default();
-        let c = folded.counters_mut(PHASE_LOCAL);
-        for (_, counters) in ctx.take_profile().iter() {
-            c.merge(counters);
-        }
-        profiles.push(folded);
-    }
+    let (partials, profiles): (Vec<T>, Vec<Profile>) = dctx
+        .for_each_locale(|l| {
+            let ctx = dctx.locale_ctx();
+            let local = gblas_core::ops::reduce::reduce_vec(x.shard(l), monoid, &ctx);
+            let mut folded = Profile::default();
+            let c = folded.counters_mut(PHASE_LOCAL);
+            for (_, counters) in ctx.take_profile().iter() {
+                c.merge(counters);
+            }
+            Ok((local, folded))
+        })?
+        .into_iter()
+        .unzip();
     // Binomial-tree all-reduce: log2(p) rounds, one message per active
     // pair per round.
     let mut value = monoid.identity();

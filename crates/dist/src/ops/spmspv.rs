@@ -16,13 +16,17 @@
 //! 3. **`scatter`** — local results are written into a *global SPA*: a
 //!    dense Block-distributed `isthere`/value pair. Listing 8 writes one
 //!    remote atomic per output element (fine-grained again); the bulk
-//!    variant aggregates per destination locale. Each locale then builds
-//!    its output shard from its dense segment (`denseToSparse`).
+//!    variant aggregates per destination locale. Under the SPMD executor
+//!    this runs as two supersteps: every source locale builds one outbox
+//!    per owning locale (and logs its own traffic), then every owner
+//!    drains its inboxes — in source-locale order, so first-writer-wins
+//!    resolves exactly as a serial sweep would — into its *own* dense
+//!    segment and builds its output shard from it (`denseToSparse`).
 //!
 //! The output stores, per reached column, the **global row id** of the
 //! first visitor — the BFS parent vector.
 
-use crate::exec::DistCtx;
+use crate::exec::{DistCtx, Outbox};
 use crate::mat::DistCsrMatrix;
 use crate::vec::DistSparseVec;
 use gblas_core::container::SparseVec;
@@ -143,13 +147,20 @@ pub fn spmspv_dist_with<T: Copy + Send + Sync>(
         }
     }
     let elem_bytes = (std::mem::size_of::<usize>() + std::mem::size_of::<T>()) as u64;
+    // A scatter claim carries the destination offset and the parent row id
+    // (the byte count used to be a hardcoded `16`, silently wrong for any
+    // other payload — computed from the actual pair width now).
+    let claim_bytes = (2 * std::mem::size_of::<usize>()) as u64;
 
-    // ---- Steps 1 + 2 per locale: gather x along the row, local multiply.
+    // ---- Superstep 1: gather x along the row + local multiply, one task
+    // per locale. All comm here is logged by the task whose id is the
+    // event's source locale, so the log's per-source order is
+    // deterministic under the threaded executor.
     let mut gather_profiles: Vec<Profile> = Vec::with_capacity(p);
     let mut local_profiles: Vec<Profile> = Vec::with_capacity(p);
     // Per-locale local results in *global* coordinates: (col, parent row).
     let mut local_results: Vec<Vec<(usize, usize)>> = Vec::with_capacity(p);
-    for l in 0..p {
+    for (gather, local, result) in dctx.for_each_locale(|l| {
         let (r, _) = grid.coords(l);
         let row_range = a.row_range(l);
         let col_range = a.col_range(l);
@@ -182,7 +193,6 @@ pub fn spmspv_dist_with<T: Copy + Send + Sync>(
             c.elems += inds.len() as u64;
             c.bytes_moved += inds.len() as u64 * elem_bytes;
         });
-        gather_profiles.push(gctx.take_profile());
         let lx = SparseVec::from_sorted(row_range.len().max(1), inds, vals)
             .expect("row-ordered shards concatenate sorted");
 
@@ -193,71 +203,101 @@ pub fn spmspv_dist_with<T: Copy + Send + Sync>(
         } else {
             spmspv_first_visitor(a.block(l), &lx, None, opts, &lctx)?
         };
-        local_profiles.push(lctx.take_profile());
-        local_results.push(
-            ly.iter().map(|(lj, &lrid)| (lj + col_range.start, lrid + row_range.start)).collect(),
-        );
+        let result: Vec<(usize, usize)> =
+            ly.iter().map(|(lj, &lrid)| (lj + col_range.start, lrid + row_range.start)).collect();
+        Ok((gctx.take_profile(), lctx.take_profile(), result))
+    })? {
+        gather_profiles.push(gather);
+        local_profiles.push(local);
+        local_results.push(result);
     }
 
-    // ---- Step 3: scatter into the global SPA (dense, Block over p).
+    // ---- Superstep 2 (scatter, send side): each source locale partitions
+    // its claims into one outbox per owning locale and logs its own
+    // scatter traffic.
     let out_dist = crate::grid::BlockDist::new(n, p);
-    let mut isthere: Vec<Vec<bool>> = (0..p).map(|b| vec![false; out_dist.size(b)]).collect();
-    let mut value: Vec<Vec<usize>> = (0..p).map(|b| vec![0usize; out_dist.size(b)]).collect();
-    let mut scatter_profiles: Vec<Profile> = Vec::with_capacity(p);
-    #[allow(clippy::needless_range_loop)] // `l` indexes three parallel per-locale arrays
-    for l in 0..p {
-        let sctx = dctx.locale_ctx();
-        // Aggregate message counts per destination for the comm log.
-        let mut per_dst: Vec<u64> = vec![0; p];
-        let mut c = gblas_core::par::Counters::default();
-        for &(col, rid) in &local_results[l] {
-            let owner = out_dist.owner(col);
-            if owner != l {
-                per_dst[owner] += 1;
-            }
-            c.atomics += 1; // the remote/local atomic test-and-set
-            let off = col - out_dist.range(owner).start;
-            // Scatter-side mask check at the owning locale (§V future
-            // work): the bit lives with the output entry.
-            if let Some(m) = &mask {
-                c.rand_access += 1;
-                let set = m.bits.segment(owner)[off];
-                if set == m.complement {
-                    continue;
+    let (send_profiles, outboxes): (Vec<Profile>, Vec<Outbox<(usize, usize)>>) = dctx
+        .for_each_locale(|l| {
+            let sctx = dctx.locale_ctx();
+            let mut c = gblas_core::par::Counters::default();
+            // outbox[owner] = (segment offset, parent row) claims.
+            let mut outbox: Vec<Vec<(usize, usize)>> = (0..p).map(|_| Vec::new()).collect();
+            let mut per_dst: Vec<u64> = vec![0; p];
+            for &(col, rid) in &local_results[l] {
+                let owner = out_dist.owner(col);
+                if owner != l {
+                    per_dst[owner] += 1;
                 }
+                c.atomics += 1; // the remote/local atomic test-and-set
+                outbox[owner].push((col - out_dist.range(owner).start, rid));
             }
-            if !isthere[owner][off] {
-                isthere[owner][off] = true;
-                value[owner][off] = rid;
-            }
-        }
-        sctx.record(PHASE_SCATTER, |pc| pc.merge(&c));
-        for (dst, msgs) in per_dst.iter().enumerate() {
-            if *msgs > 0 {
-                match strategy {
-                    CommStrategy::Fine => {
-                        dctx.comm.fine(PHASE_SCATTER, l, dst, *msgs, msgs * 16)?
+            for (dst, msgs) in per_dst.iter().enumerate() {
+                if *msgs > 0 {
+                    match strategy {
+                        CommStrategy::Fine => {
+                            dctx.comm.fine(PHASE_SCATTER, l, dst, *msgs, *msgs * claim_bytes)?
+                        }
+                        CommStrategy::Bulk => {
+                            dctx.comm.bulk(PHASE_SCATTER, l, dst, 1, *msgs * claim_bytes)?
+                        }
                     }
-                    CommStrategy::Bulk => dctx.comm.bulk(PHASE_SCATTER, l, dst, 1, msgs * 16)?,
                 }
             }
-        }
-        scatter_profiles.push(sctx.take_profile());
-    }
-    // denseToSparse: each locale scans its dense segment.
-    let mut shards: Vec<SparseVec<usize>> = Vec::with_capacity(p);
-    for l in 0..p {
-        let range = out_dist.range(l);
-        let mut inds = Vec::new();
-        let mut vals = Vec::new();
-        for (off, &set) in isthere[l].iter().enumerate() {
-            if set {
-                inds.push(range.start + off);
-                vals.push(value[l][off]);
+            sctx.record(PHASE_SCATTER, |pc| pc.merge(&c));
+            Ok((sctx.take_profile(), outbox))
+        })?
+        .into_iter()
+        .unzip();
+
+    // ---- Superstep 3 (scatter, owner side): each owner drains its
+    // inboxes into its *own* dense SPA segment — no cross-locale writes —
+    // in source-locale order, so first-writer-wins resolves exactly as the
+    // serial schedule does. The mask bit lives with the output entry (§V
+    // future work), so the check happens here, at the owner. Finishes with
+    // the owner's denseToSparse scan.
+    let (apply_profiles, shards): (Vec<Profile>, Vec<SparseVec<usize>>) = dctx
+        .for_each_locale(|o| {
+            let octx = dctx.locale_ctx();
+            let range = out_dist.range(o);
+            let mut isthere: Vec<bool> = vec![false; range.len()];
+            let mut value: Vec<usize> = vec![0usize; range.len()];
+            let mut c = gblas_core::par::Counters::default();
+            for outbox in &outboxes {
+                for &(off, rid) in &outbox[o] {
+                    if let Some(m) = &mask {
+                        c.rand_access += 1;
+                        let set = m.bits.segment(o)[off];
+                        if set == m.complement {
+                            continue;
+                        }
+                    }
+                    if !isthere[off] {
+                        isthere[off] = true;
+                        value[off] = rid;
+                    }
+                }
             }
+            let mut inds = Vec::new();
+            let mut vals = Vec::new();
+            for (off, &set) in isthere.iter().enumerate() {
+                if set {
+                    inds.push(range.start + off);
+                    vals.push(value[off]);
+                }
+            }
+            c.elems += range.len() as u64;
+            octx.record(PHASE_SCATTER, |pc| pc.merge(&c));
+            Ok((octx.take_profile(), SparseVec::from_sorted(n, inds, vals)?))
+        })?
+        .into_iter()
+        .unzip();
+    // Each locale's scatter profile is its send-side work plus its
+    // owner-side work (merged in that order).
+    let mut scatter_profiles = send_profiles;
+    for (l, apply) in apply_profiles.iter().enumerate() {
+        for (name, cs) in apply.iter() {
+            scatter_profiles[l].counters_mut(name).merge(cs);
         }
-        scatter_profiles[l].counters_mut(PHASE_SCATTER).elems += range.len() as u64;
-        shards.push(SparseVec::from_sorted(n, inds, vals)?);
     }
     let y = DistSparseVec::from_shards(n, shards)?;
 
@@ -316,11 +356,16 @@ where
     }
     let n = a.ncols();
     let elem_bytes = (std::mem::size_of::<usize>() + std::mem::size_of::<A>()) as u64;
+    // A scatter claim carries the destination offset and an output value —
+    // computed from the actual types (this used to be a hardcoded `16`,
+    // which over-billed small `C` and under-billed large `C`).
+    let claim_bytes = (std::mem::size_of::<usize>() + std::mem::size_of::<C>()) as u64;
 
+    // ---- Superstep 1: gather + local multiply, one task per locale.
     let mut gather_profiles: Vec<Profile> = Vec::with_capacity(p);
     let mut local_profiles: Vec<Profile> = Vec::with_capacity(p);
     let mut local_results: Vec<Vec<(usize, C)>> = Vec::with_capacity(p);
-    for l in 0..p {
+    for (gather, local, result) in dctx.for_each_locale(|l| {
         let (r, _) = grid.coords(l);
         let row_range = a.row_range(l);
         let col_range = a.col_range(l);
@@ -349,7 +394,6 @@ where
             c.elems += inds.len() as u64;
             c.bytes_moved += inds.len() as u64 * elem_bytes;
         });
-        gather_profiles.push(gctx.take_profile());
         let lx = SparseVec::from_sorted(row_range.len().max(1), inds, vals)
             .expect("row-ordered shards concatenate sorted");
         // Local semiring multiply.
@@ -359,61 +403,90 @@ where
         } else {
             gblas_core::ops::spmspv::spmspv_semiring(a.block(l), &lx, ring, &lctx)?.vector
         };
-        local_profiles.push(lctx.take_profile());
-        local_results.push(ly.iter().map(|(lj, &v)| (lj + col_range.start, v)).collect());
+        let result: Vec<(usize, C)> = ly.iter().map(|(lj, &v)| (lj + col_range.start, v)).collect();
+        Ok((gctx.take_profile(), lctx.take_profile(), result))
+    })? {
+        gather_profiles.push(gather);
+        local_profiles.push(local);
+        local_results.push(result);
     }
 
-    // Scatter with accumulation at the owner.
+    // ---- Superstep 2 (scatter, send side): per-owner outboxes + each
+    // source's own comm log entries.
     let out_dist = crate::grid::BlockDist::new(n, p);
-    let mut occupied: Vec<Vec<bool>> = (0..p).map(|b| vec![false; out_dist.size(b)]).collect();
-    let mut value: Vec<Vec<C>> = (0..p).map(|b| vec![ring.zero::<C>(); out_dist.size(b)]).collect();
-    let mut scatter_profiles: Vec<Profile> = Vec::with_capacity(p);
-    #[allow(clippy::needless_range_loop)] // `l` indexes three parallel per-locale arrays
-    for l in 0..p {
-        let sctx = dctx.locale_ctx();
-        let mut per_dst: Vec<u64> = vec![0; p];
-        let mut c = gblas_core::par::Counters::default();
-        for &(col, v) in &local_results[l] {
-            let owner = out_dist.owner(col);
-            if owner != l {
-                per_dst[owner] += 1;
+    let (send_profiles, outboxes): (Vec<Profile>, Vec<Outbox<(usize, C)>>) = dctx
+        .for_each_locale(|l| {
+            let sctx = dctx.locale_ctx();
+            let mut c = gblas_core::par::Counters::default();
+            let mut outbox: Vec<Vec<(usize, C)>> = (0..p).map(|_| Vec::new()).collect();
+            let mut per_dst: Vec<u64> = vec![0; p];
+            for &(col, v) in &local_results[l] {
+                let owner = out_dist.owner(col);
+                if owner != l {
+                    per_dst[owner] += 1;
+                }
+                c.atomics += 1;
+                outbox[owner].push((col - out_dist.range(owner).start, v));
             }
-            let off = col - out_dist.range(owner).start;
-            c.atomics += 1;
-            if occupied[owner][off] {
-                value[owner][off] = ring.accumulate(value[owner][off], v);
-                c.flops += 1;
-            } else {
-                occupied[owner][off] = true;
-                value[owner][off] = v;
-            }
-        }
-        sctx.record(PHASE_SCATTER, |pc| pc.merge(&c));
-        for (dst, msgs) in per_dst.iter().enumerate() {
-            if *msgs > 0 {
-                match strategy {
-                    CommStrategy::Fine => {
-                        dctx.comm.fine(PHASE_SCATTER, l, dst, *msgs, *msgs * 16)?
+            for (dst, msgs) in per_dst.iter().enumerate() {
+                if *msgs > 0 {
+                    match strategy {
+                        CommStrategy::Fine => {
+                            dctx.comm.fine(PHASE_SCATTER, l, dst, *msgs, *msgs * claim_bytes)?
+                        }
+                        CommStrategy::Bulk => {
+                            dctx.comm.bulk(PHASE_SCATTER, l, dst, 1, *msgs * claim_bytes)?
+                        }
                     }
-                    CommStrategy::Bulk => dctx.comm.bulk(PHASE_SCATTER, l, dst, 1, *msgs * 16)?,
                 }
             }
-        }
-        scatter_profiles.push(sctx.take_profile());
-    }
-    let mut shards: Vec<SparseVec<C>> = Vec::with_capacity(p);
-    for l in 0..p {
-        let range = out_dist.range(l);
-        let mut inds = Vec::new();
-        let mut vals = Vec::new();
-        for (off, &set) in occupied[l].iter().enumerate() {
-            if set {
-                inds.push(range.start + off);
-                vals.push(value[l][off]);
+            sctx.record(PHASE_SCATTER, |pc| pc.merge(&c));
+            Ok((sctx.take_profile(), outbox))
+        })?
+        .into_iter()
+        .unzip();
+
+    // ---- Superstep 3 (scatter, owner side): accumulate into the owner's
+    // own dense segment with the add monoid, draining inboxes in
+    // source-locale order so the floating-point accumulation order is
+    // exactly the serial schedule's.
+    let (apply_profiles, shards): (Vec<Profile>, Vec<SparseVec<C>>) = dctx
+        .for_each_locale(|o| {
+            let octx = dctx.locale_ctx();
+            let range = out_dist.range(o);
+            let mut occupied: Vec<bool> = vec![false; range.len()];
+            let mut value: Vec<C> = vec![ring.zero::<C>(); range.len()];
+            let mut c = gblas_core::par::Counters::default();
+            for outbox in &outboxes {
+                for &(off, v) in &outbox[o] {
+                    if occupied[off] {
+                        value[off] = ring.accumulate(value[off], v);
+                        c.flops += 1;
+                    } else {
+                        occupied[off] = true;
+                        value[off] = v;
+                    }
+                }
             }
+            let mut inds = Vec::new();
+            let mut vals = Vec::new();
+            for (off, &set) in occupied.iter().enumerate() {
+                if set {
+                    inds.push(range.start + off);
+                    vals.push(value[off]);
+                }
+            }
+            c.elems += range.len() as u64;
+            octx.record(PHASE_SCATTER, |pc| pc.merge(&c));
+            Ok((octx.take_profile(), SparseVec::from_sorted(n, inds, vals)?))
+        })?
+        .into_iter()
+        .unzip();
+    let mut scatter_profiles = send_profiles;
+    for (l, apply) in apply_profiles.iter().enumerate() {
+        for (name, cs) in apply.iter() {
+            scatter_profiles[l].counters_mut(name).merge(cs);
         }
-        scatter_profiles[l].counters_mut(PHASE_SCATTER).elems += range.len() as u64;
-        shards.push(SparseVec::from_sorted(n, inds, vals)?);
     }
     let y = DistSparseVec::from_shards(n, shards)?;
 

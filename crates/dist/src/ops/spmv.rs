@@ -60,12 +60,14 @@ where
     let a_bytes = std::mem::size_of::<A>() as u64;
     let c_bytes = std::mem::size_of::<C>() as u64;
 
-    // ---- Gather + local multiply per locale.
-    let mut gather_profiles: Vec<Profile> = Vec::with_capacity(p);
-    let mut local_profiles: Vec<Profile> = Vec::with_capacity(p);
-    // partial[l] = this locale's contribution over its column range.
-    let mut partials: Vec<Vec<C>> = Vec::with_capacity(p);
-    for l in 0..p {
+    // ---- Superstep 1: gather + local multiply, one task per locale.
+    struct GatherLocal<C> {
+        gather: Profile,
+        local: Profile,
+        /// This locale's contribution over its column range.
+        partial: Vec<C>,
+    }
+    let gl: Vec<GatherLocal<C>> = dctx.for_each_locale(|l| {
         let (r, _) = grid.coords(l);
         let row_range = a.row_range(l);
         // Bulk-gather the row block of x (one message per remote segment).
@@ -82,7 +84,6 @@ where
             c.elems += lx.len() as u64;
             c.bytes_moved += lx.len() as u64 * a_bytes;
         });
-        gather_profiles.push(gctx.take_profile());
         // Local multiply: partial[j_local] over the block's column range.
         let lctx = dctx.locale_ctx();
         let block = a.block(l);
@@ -100,32 +101,48 @@ where
         for (_, counters) in lctx.take_profile().iter() {
             cc.merge(counters);
         }
-        local_profiles.push(folded);
-        partials.push(partial);
-    }
+        Ok(GatherLocal { gather: gctx.take_profile(), local: folded, partial })
+    })?;
+    let gather_profiles: Vec<Profile> = gl.iter().map(|g| g.gather.clone()).collect();
+    let local_profiles: Vec<Profile> = gl.iter().map(|g| g.local.clone()).collect();
+    let partials: Vec<Vec<C>> = gl.into_iter().map(|g| g.partial).collect();
 
-    // ---- Combine partials down each processor column; column leader
-    // (grid row 0) accumulates, then hands output blocks to their owners.
+    // ---- Superstep 2: combine partials down each processor column. Each
+    // non-leader logs its own upload (single writer per source locale);
+    // the column leader (grid row 0) accumulates in column order.
+    let (combine_profiles, accs): (Vec<Profile>, Vec<Option<Vec<C>>>) = dctx
+        .for_each_locale(|l| {
+            let (_, c) = grid.coords(l);
+            let leader = grid.locale(0, c);
+            let col_range = a.col_range(leader);
+            if l != leader {
+                dctx.comm.bulk(PHASE_COMBINE, l, leader, 1, col_range.len() as u64 * c_bytes)?;
+                return Ok((Profile::default(), None));
+            }
+            let mut acc: Vec<C> = vec![ring.zero::<C>(); col_range.len()];
+            for src in grid.col_locales(c) {
+                for (slot, &v) in acc.iter_mut().zip(&partials[src]) {
+                    *slot = ring.accumulate(*slot, v);
+                }
+            }
+            let mut profile = Profile::default();
+            profile.counters_mut(PHASE_COMBINE).elems += (acc.len() * grid.pr()) as u64;
+            profile.counters_mut(PHASE_COMBINE).flops += (acc.len() * grid.pr()) as u64;
+            Ok((profile, Some(acc)))
+        })?
+        .into_iter()
+        .unzip();
+
+    // ---- The leaders hand output blocks to their owners (driver-side:
+    // placement touches every segment, and the serial walk keeps the
+    // leaders' send order deterministic).
     let out_dist = crate::grid::BlockDist::new(n, p);
     let mut segments: Vec<Vec<C>> =
         (0..p).map(|b| vec![ring.zero::<C>(); out_dist.size(b)]).collect();
-    let mut combine_profiles: Vec<Profile> = (0..p).map(|_| Profile::default()).collect();
     for c in 0..grid.pc() {
         let leader = grid.locale(0, c);
         let col_range = a.col_range(leader);
-        let mut acc: Vec<C> = vec![ring.zero::<C>(); col_range.len()];
-        for src in grid.col_locales(c) {
-            if src != leader {
-                dctx.comm.bulk(PHASE_COMBINE, src, leader, 1, acc.len() as u64 * c_bytes)?;
-            }
-            for (slot, &v) in acc.iter_mut().zip(&partials[src]) {
-                *slot = ring.accumulate(*slot, v);
-            }
-        }
-        combine_profiles[leader].counters_mut(PHASE_COMBINE).elems +=
-            (acc.len() * grid.pr()) as u64;
-        combine_profiles[leader].counters_mut(PHASE_COMBINE).flops +=
-            (acc.len() * grid.pr()) as u64;
+        let acc = accs[leader].as_ref().expect("column leader produced its accumulator");
         // Distribute the combined column slice to the owning output blocks.
         for (off, &v) in acc.iter().enumerate() {
             let j = col_range.start + off;

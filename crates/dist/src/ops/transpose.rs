@@ -36,13 +36,13 @@ pub fn transpose_dist<T: Copy + Send + Sync>(
         });
     }
     let new_grid = ProcGrid::new(grid.pc(), grid.pr());
-    // Transpose each block locally, then place it at the mirrored grid
-    // position.
+    // Superstep: each locale transposes its block locally and logs the
+    // bulk send to its mirror cell; the driver then places the blocks.
+    let elem_bytes = (2 * std::mem::size_of::<usize>() + std::mem::size_of::<T>()) as u64;
+    let mut profiles: Vec<Profile> = Vec::with_capacity(p);
     let mut new_blocks: Vec<Option<gblas_core::container::CsrMatrix<T>>> =
         (0..p).map(|_| None).collect();
-    let mut profiles: Vec<Profile> = Vec::with_capacity(p);
-    let elem_bytes = (2 * std::mem::size_of::<usize>() + std::mem::size_of::<T>()) as u64;
-    for l in 0..p {
+    for (profile, dest, t) in dctx.for_each_locale(|l| {
         let (r, c) = grid.coords(l);
         let lctx = dctx.locale_ctx();
         let t = gblas_core::ops::transpose::transpose(a.block(l), &lctx)?;
@@ -51,11 +51,13 @@ pub fn transpose_dist<T: Copy + Send + Sync>(
         for (_, cs) in lctx.take_profile().iter() {
             counters.merge(cs);
         }
-        profiles.push(folded);
         let dest = new_grid.locale(c, r);
         if dest != l {
             dctx.comm.bulk(PHASE_EXCHANGE, l, dest, 1, t.nnz() as u64 * elem_bytes)?;
         }
+        Ok((folded, dest, t))
+    })? {
+        profiles.push(profile);
         new_blocks[dest] = Some(t);
     }
     let blocks: Vec<_> = new_blocks

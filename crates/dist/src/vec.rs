@@ -95,6 +95,13 @@ impl<T: Copy> DistSparseVec<T> {
         &mut self.shards[l]
     }
 
+    /// All shards in locale order — the shape
+    /// [`crate::DistCtx::for_each_locale_state`] splits into one disjoint
+    /// `&mut` per locale task.
+    pub fn shards_mut(&mut self) -> &mut [SparseVec<T>] {
+        &mut self.shards
+    }
+
     /// Gather into a single global vector (test/verification path — on a
     /// real machine this is the expensive operation the paper avoids).
     pub fn to_global(&self) -> SparseVec<T> {
@@ -184,6 +191,13 @@ impl<T: Copy> DistDenseVec<T> {
     /// Mutable segment access.
     pub fn segment_mut(&mut self, l: usize) -> &mut Vec<T> {
         &mut self.segments[l]
+    }
+
+    /// All segments in locale order — the shape
+    /// [`crate::DistCtx::for_each_locale_state`] splits into one disjoint
+    /// `&mut` per locale task.
+    pub fn segments_mut(&mut self) -> &mut [Vec<T>] {
+        &mut self.segments
     }
 
     /// Gather to a global dense vector (verification path).

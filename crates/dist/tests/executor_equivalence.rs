@@ -1,0 +1,274 @@
+//! Executor equivalence: every distributed op must produce identical
+//! results, an identical comm ledger, and an identical simulated report
+//! whether its locale supersteps run on the threaded SPMD executor or
+//! serially. Wall-clock parallelism is an implementation detail — the
+//! simulated machine must not be able to tell.
+//!
+//! Also pins the scatter byte-accounting fix (gather and scatter now
+//! charge the same per-element payload width) and fault propagation
+//! mid-superstep under the threaded executor.
+
+use gblas_core::algebra::{semirings, Plus};
+use gblas_core::container::{CsrMatrix, DenseVec, SparseVec};
+use gblas_core::error::GblasError;
+use gblas_core::gen;
+use gblas_core::ops::ewise::EwiseVariant;
+use gblas_core::ops::spmspv::SpMSpVOpts;
+use gblas_core::trace::SpanKind;
+use gblas_dist::ops::spmspv::{CommStrategy, DistMask};
+use gblas_dist::ops::{apply, assign, ewise, extract, mxm, reduce, spmspv, spmv, transpose};
+use gblas_dist::{DistCsrMatrix, DistCtx, DistDenseVec, DistSparseVec, LocaleExecutor, ProcGrid};
+use gblas_sim::{MachineConfig, SimReport};
+
+/// The grids the acceptance criteria name: a rectangular and a square one.
+const GRIDS: [(usize, usize); 2] = [(2, 3), (3, 3)];
+
+fn ctx_with(p: usize, exec: LocaleExecutor) -> DistCtx {
+    let mut d = DistCtx::new(MachineConfig::edison_cluster(p, 24));
+    d.set_executor(exec);
+    d
+}
+
+/// Run `f` once under each executor and assert the communication totals
+/// and the phase-structured simulated report agree exactly; hands both
+/// results back for the caller's own equality check.
+fn run_both<R>(p: usize, label: &str, f: impl Fn(&DistCtx) -> (R, SimReport)) -> (R, R) {
+    let dt = ctx_with(p, LocaleExecutor::Threaded);
+    let (rt, rep_t) = f(&dt);
+    let ds = ctx_with(p, LocaleExecutor::Serial);
+    let (rs, rep_s) = f(&ds);
+    assert_eq!(dt.comm.totals(), ds.comm.totals(), "{label}: comm totals diverge");
+    assert_eq!(rep_t, rep_s, "{label}: simulated reports diverge");
+    (rt, rs)
+}
+
+#[test]
+fn spmspv_family_matches_across_executors() {
+    for (pr, pc) in GRIDS {
+        let grid = ProcGrid::new(pr, pc);
+        let p = grid.locales();
+        let a = gen::erdos_renyi(400, 6, 11);
+        let x = gen::random_sparse_vec(400, 40, 12);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dx = DistSparseVec::from_global(&x, p);
+        for strategy in [CommStrategy::Fine, CommStrategy::Bulk] {
+            let (yt, ys) = run_both(p, "spmspv", |d| {
+                spmspv::spmspv_dist_with(&da, &dx, None, strategy, SpMSpVOpts::default(), d)
+                    .unwrap()
+            });
+            assert_eq!(yt, ys, "spmspv {pr}x{pc} {strategy:?}");
+        }
+        let bits = DenseVec::from_fn(400, |i| i % 3 == 0);
+        let dbits = DistDenseVec::from_global(&bits, p);
+        let (yt, ys) = run_both(p, "spmspv_masked", |d| {
+            spmspv::spmspv_dist_masked(&da, &dx, DistMask::complement(&dbits), d).unwrap()
+        });
+        assert_eq!(yt, ys, "spmspv_masked {pr}x{pc}");
+        let ring = semirings::plus_times_f64();
+        for strategy in [CommStrategy::Fine, CommStrategy::Bulk] {
+            let (yt, ys) = run_both(p, "spmspv_semiring", |d| {
+                spmspv::spmspv_dist_semiring(&da, &dx, &ring, strategy, d).unwrap()
+            });
+            // Bit-identical floats: the owner drains its inboxes in
+            // source-locale order, so the accumulation order is fixed.
+            assert_eq!(yt.to_global().indices(), ys.to_global().indices());
+            let bits_of = |v: &DistSparseVec<f64>| -> Vec<u64> {
+                v.to_global().values().iter().map(|x| x.to_bits()).collect()
+            };
+            assert_eq!(bits_of(&yt), bits_of(&ys), "semiring {pr}x{pc} {strategy:?}");
+        }
+    }
+}
+
+#[test]
+fn spmv_mxm_transpose_match_across_executors() {
+    for (pr, pc) in GRIDS {
+        let grid = ProcGrid::new(pr, pc);
+        let p = grid.locales();
+        let a = gen::erdos_renyi(300, 5, 21);
+        let da = DistCsrMatrix::from_global(&a, grid);
+
+        let xd = DenseVec::from_fn(300, |i| 1.0 + (i % 7) as f64);
+        let dxd = DistDenseVec::from_global(&xd, p);
+        let (yt, ys) = run_both(p, "spmv", |d| {
+            spmv::spmv_dist(&da, &dxd, &semirings::plus_times_f64(), d).unwrap()
+        });
+        assert_eq!(yt, ys, "spmv {pr}x{pc}");
+
+        let (tt, ts) = run_both(p, "transpose", |d| transpose::transpose_dist(&da, d).unwrap());
+        assert_eq!(tt, ts, "transpose {pr}x{pc}");
+
+        if pr == pc {
+            let b = gen::erdos_renyi(300, 5, 22);
+            let db = DistCsrMatrix::from_global(&b, grid);
+            let (ct, cs) = run_both(p, "mxm", |d| {
+                mxm::mxm_dist(&da, &db, &semirings::plus_times_f64(), d).unwrap()
+            });
+            assert_eq!(ct, cs, "mxm {pr}x{pc}");
+        }
+    }
+}
+
+#[test]
+fn elementwise_apply_assign_reduce_extract_match_across_executors() {
+    for (pr, pc) in GRIDS {
+        let p = pr * pc;
+        let x = gen::random_sparse_vec(500, 80, 31);
+        let x2 = gen::random_sparse_vec(500, 90, 32);
+        let dx = DistSparseVec::from_global(&x, p);
+        let dx2 = DistSparseVec::from_global(&x2, p);
+        let dense = DistDenseVec::from_global(&DenseVec::from_fn(500, |i| (i % 4) as f64), p);
+
+        for variant in [EwiseVariant::Atomic, EwiseVariant::Prefix] {
+            let (zt, zs) = run_both(p, "ewise_mult", |d| {
+                ewise::ewise_mult_dist(&dx, &dense, &|_: f64, b| b > 1.0, variant, d).unwrap()
+            });
+            assert_eq!(zt, zs, "ewise_mult p={p} {variant:?}");
+        }
+        let (zt, zs) = run_both(p, "ewise_mult_ss", |d| {
+            ewise::ewise_mult_dist_ss(&dx, &dx2, &|a: f64, b: f64| a * b, d).unwrap()
+        });
+        assert_eq!(zt, zs, "ewise_mult_ss p={p}");
+        let (zt, zs) = run_both(p, "ewise_add", |d| {
+            ewise::ewise_add_dist(&dx, &dx2, &|a: f64, b: f64| a + b, d).unwrap()
+        });
+        assert_eq!(zt, zs, "ewise_add p={p}");
+
+        let (vt, vs) = run_both(p, "apply_v1", |d| {
+            let mut v = dx.clone();
+            let rep = apply::apply_v1(&mut v, &|t: f64| t * 2.0, d).unwrap();
+            (v, rep)
+        });
+        assert_eq!(vt, vs, "apply_v1 p={p}");
+        let (vt, vs) = run_both(p, "apply_v2", |d| {
+            let mut v = dx.clone();
+            let rep = apply::apply_v2(&mut v, &|t: f64| t + 1.5, d).unwrap();
+            (v, rep)
+        });
+        assert_eq!(vt, vs, "apply_v2 p={p}");
+
+        let (vt, vs) = run_both(p, "assign_v1", |d| {
+            let mut v = dx.clone();
+            let rep = assign::assign_v1(&mut v, &dx2, d).unwrap();
+            (v, rep)
+        });
+        assert_eq!(vt, vs, "assign_v1 p={p}");
+        let (vt, vs) = run_both(p, "assign_v2", |d| {
+            let mut v = dx.clone();
+            let rep = assign::assign_v2(&mut v, &dx2, d).unwrap();
+            (v, rep)
+        });
+        assert_eq!(vt, vs, "assign_v2 p={p}");
+
+        let (st, ss) = run_both(p, "reduce", |d| reduce::reduce_dist(&dx, &Plus, d).unwrap());
+        assert_eq!(st.to_bits(), ss.to_bits(), "reduce p={p}");
+
+        let index_set: Vec<usize> = (0..500).step_by(3).collect();
+        let (zt, zs) =
+            run_both(p, "extract", |d| extract::extract_dist(&dx, &index_set, d).unwrap());
+        assert_eq!(zt, zs, "extract p={p}");
+    }
+}
+
+/// Satellite of the scatter-accounting fix: gather and scatter must charge
+/// the same per-element payload width. With `f32` outputs the old
+/// hardcoded 16-byte scatter claim breaks this (the real pair is
+/// `usize + f32` = 12 bytes on 64-bit targets).
+#[test]
+fn gather_and_scatter_charge_the_same_element_width() {
+    let n = 300;
+    let a64 = gen::erdos_renyi(n, 5, 41);
+    let mut trips: Vec<(usize, usize, f32)> = Vec::new();
+    for i in 0..n {
+        let (cols, vals) = a64.row(i);
+        for (c, v) in cols.iter().zip(vals) {
+            trips.push((i, *c, *v as f32));
+        }
+    }
+    let a = CsrMatrix::from_triplets(n, n, &trips).unwrap();
+    let x64 = gen::random_sparse_vec(n, 40, 42);
+    let x = SparseVec::from_sorted(
+        n,
+        x64.indices().to_vec(),
+        x64.values().iter().map(|&v| v as f32).collect(),
+    )
+    .unwrap();
+    let grid = ProcGrid::new(2, 3);
+    let da = DistCsrMatrix::from_global(&a, grid);
+    let dx = DistSparseVec::from_global(&x, grid.locales());
+    let mut dctx = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+    dctx.enable_tracing();
+    let ring = semirings::plus_times::<f32>();
+    let (_, _) = spmspv::spmspv_dist_semiring(&da, &dx, &ring, CommStrategy::Fine, &dctx).unwrap();
+
+    let elem = (std::mem::size_of::<usize>() + std::mem::size_of::<f32>()) as u64;
+    let trace = dctx.recorder().snapshot();
+    let (mut saw_gather, mut saw_scatter) = (false, false);
+    for span in trace.spans.iter().filter(|s| s.kind == SpanKind::LocaleComm) {
+        let Some(cs) = &span.comm else { continue };
+        if cs.is_empty() {
+            continue;
+        }
+        match span.name.as_str() {
+            // The fine gather issues two dependent messages per element.
+            "gather" => {
+                assert_eq!(
+                    cs.bytes * 2,
+                    cs.fine_dependent_msgs * elem,
+                    "gather width off at locale {:?}",
+                    span.locale
+                );
+                saw_gather = true;
+            }
+            // The fine scatter issues one message per claimed element.
+            "scatter" => {
+                assert_eq!(
+                    cs.bytes,
+                    cs.fine_msgs * elem,
+                    "scatter width off at locale {:?}",
+                    span.locale
+                );
+                saw_scatter = true;
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_gather && saw_scatter, "trace must carry both comm phases");
+}
+
+#[test]
+fn mid_superstep_fault_propagates_without_deadlock() {
+    let grid = ProcGrid::new(2, 3);
+    let p = grid.locales();
+    let a = gen::erdos_renyi(300, 6, 51);
+    let x = gen::random_sparse_vec(300, 40, 52);
+    let da = DistCsrMatrix::from_global(&a, grid);
+    let dx = DistSparseVec::from_global(&x, p);
+    // Fail the comm layer at several points: the first transfer (gather),
+    // and later ones that land mid-superstep with other locale tasks in
+    // flight. The op must return `CommFailure` — the test completing at
+    // all is the no-deadlock proof — under both executors.
+    for exec in [LocaleExecutor::Threaded, LocaleExecutor::Serial] {
+        for fail_at in [0, 3, 7] {
+            let dctx = ctx_with(p, exec);
+            dctx.comm.fail_after(fail_at);
+            let r = spmspv::spmspv_dist(&da, &dx, &dctx);
+            assert!(
+                matches!(r, Err(GblasError::CommFailure(_))),
+                "fail_after={fail_at} {exec:?}: expected CommFailure, got {r:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn failed_in_place_op_does_not_corrupt_its_operand() {
+    let x = gen::random_sparse_vec(400, 60, 61);
+    let dx0 = DistSparseVec::from_global(&x, 6);
+    let mut dx1 = dx0.clone();
+    let dctx = ctx_with(6, LocaleExecutor::Threaded);
+    dctx.comm.fail_after(0);
+    let r = apply::apply_v1(&mut dx1, &|v: f64| v + 1.0, &dctx);
+    assert!(matches!(r, Err(GblasError::CommFailure(_))));
+    assert_eq!(dx1, dx0, "failed apply_v1 must leave the vector untouched");
+}
