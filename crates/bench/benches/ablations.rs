@@ -8,7 +8,7 @@ use gblas_bench::workloads;
 use gblas_core::algebra::semirings;
 use gblas_core::ops::ewise::{ewise_filter_atomic, ewise_filter_prefix};
 use gblas_core::ops::spmspv::{
-    spmspv_first_visitor, spmspv_semiring, spmspv_sort_based, SpMSpVOpts,
+    spmspv_first_visitor, spmspv_semiring_masked, spmspv_sort_based, MergeStrategy, SpMSpVOpts,
 };
 use gblas_core::par::ExecCtx;
 use gblas_core::sort::SortAlgo;
@@ -22,30 +22,15 @@ fn sort_ablation(c: &mut Criterion) {
     let n = 200_000;
     let a = workloads::er_matrix(n, 16, 7);
     let x = workloads::spmspv_vector(n, 5, 8);
-    g.bench_function("merge", |b| {
-        b.iter(|| {
-            spmspv_first_visitor(
-                &a,
-                &x,
-                None,
-                SpMSpVOpts { sort: SortAlgo::Merge },
-                &ExecCtx::with_threads(2),
-            )
-            .unwrap()
-        })
-    });
-    g.bench_function("radix", |b| {
-        b.iter(|| {
-            spmspv_first_visitor(
-                &a,
-                &x,
-                None,
-                SpMSpVOpts { sort: SortAlgo::Radix },
-                &ExecCtx::with_threads(2),
-            )
-            .unwrap()
-        })
-    });
+    for (label, opts) in [
+        ("merge", SpMSpVOpts { sort: SortAlgo::Merge, ..Default::default() }),
+        ("radix", SpMSpVOpts { sort: SortAlgo::Radix, ..Default::default() }),
+        ("bucket", SpMSpVOpts::with_merge(MergeStrategy::Bucketed)),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| spmspv_first_visitor(&a, &x, None, opts, &ExecCtx::with_threads(2)).unwrap())
+        });
+    }
     g.finish();
 }
 
@@ -69,9 +54,25 @@ fn spa_vs_sort_based(c: &mut Criterion) {
     let a = workloads::er_matrix(n, 8, 11);
     let x = workloads::spmspv_vector(n, 2, 12);
     let ring = semirings::plus_times_f64();
-    g.bench_function("spa", |b| {
-        b.iter(|| spmspv_semiring(&a, &x, &ring, &ExecCtx::serial()).unwrap())
-    });
+    // the SPA algorithm under both merge strategies, against the
+    // sort-everything oracle
+    for (label, merge) in
+        [("spa_sorted", MergeStrategy::SortBased), ("spa_bucketed", MergeStrategy::Bucketed)]
+    {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                spmspv_semiring_masked(
+                    &a,
+                    &x,
+                    &ring,
+                    None,
+                    SpMSpVOpts::with_merge(merge),
+                    &ExecCtx::serial(),
+                )
+                .unwrap()
+            })
+        });
+    }
     g.bench_function("sort_based", |b| {
         b.iter(|| spmspv_sort_based(&a, &x, &ring, &ExecCtx::serial()).unwrap())
     });

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p gblas-bench --release --bin figures -- [--fig N|all] [--scale S] [--out DIR]
-//!                                                     [--trace FILE]
+//!                                                     [--trace FILE] [--spmspv-merge sort|bucket]
 //! ```
 //!
 //! * `--fig N` — a figure number 1..10 (6 is the SPA diagram: no data);
@@ -11,11 +11,14 @@
 //!   `S` for quick runs; default 1 (full paper sizes, needs ~8 GB RAM and
 //!   a few minutes).
 //! * `--out DIR` — CSV output directory, default `results`.
+//! * `--spmspv-merge sort|bucket` — merge strategy for the SpMSpV figures
+//!   (7–9): the paper's comparison sort or the sort-free bucketed merge.
 //! * `--trace FILE` — record every simulated operation across all figures
 //!   into one trace: Chrome trace-event JSON, or JSONL when `FILE` ends in
 //!   `.jsonl`. Metrics are printed at the end.
 
-use gblas_bench::figs::run_fig;
+use gblas_bench::figs::run_fig_with;
+use gblas_core::ops::spmspv::{MergeStrategy, SpMSpVOpts};
 use gblas_core::trace::sink;
 use std::path::PathBuf;
 
@@ -25,6 +28,7 @@ fn main() {
     let mut scale = 1usize;
     let mut out = PathBuf::from("results");
     let mut trace_out: Option<String> = None;
+    let mut opts = SpMSpVOpts::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -51,8 +55,18 @@ fn main() {
                 i += 1;
                 trace_out = Some(args.get(i).expect("--trace needs a value").clone());
             }
+            "--spmspv-merge" => {
+                i += 1;
+                let v = args.get(i).expect("--spmspv-merge needs a value");
+                opts = SpMSpVOpts::with_merge(
+                    MergeStrategy::parse(v).expect("--spmspv-merge expects sort|bucket"),
+                );
+            }
             "--help" | "-h" => {
-                println!("usage: figures [--fig N|all] [--scale S] [--out DIR] [--trace FILE]");
+                println!(
+                    "usage: figures [--fig N|all] [--scale S] [--out DIR] [--trace FILE] \
+                     [--spmspv-merge sort|bucket]"
+                );
                 return;
             }
             other => panic!("unknown argument {other}"),
@@ -61,6 +75,7 @@ fn main() {
     }
     println!("# chapel-graphblas-rs figure harness");
     println!("# scale = {scale} (paper sizes divided by this)");
+    println!("# spmspv merge = {}", opts.merge.name());
     let tracing = trace_out.as_ref().map(|_| gblas_bench::figs::enable_tracing());
     for n in figs {
         if n == 6 {
@@ -70,7 +85,7 @@ fn main() {
             continue;
         }
         let t0 = std::time::Instant::now();
-        for fig in run_fig(n, scale) {
+        for fig in run_fig_with(n, scale, opts) {
             fig.print();
             match fig.write_csv(&out) {
                 Ok(path) => println!("(wrote {})", path.display()),

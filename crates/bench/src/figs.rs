@@ -11,7 +11,7 @@ use crate::workloads;
 use crate::{NODES, THREADS};
 use gblas_core::ops::apply::apply_vec_inplace;
 use gblas_core::ops::ewise::{ewise_filter_atomic, EwiseVariant};
-use gblas_core::ops::spmspv::{spmspv_first_visitor, SpMSpVOpts};
+use gblas_core::ops::spmspv::{spmspv_first_visitor, MergeStrategy, SpMSpVOpts};
 use gblas_core::par::ExecCtx;
 use gblas_core::trace::{MetricsRegistry, TraceRecorder};
 use gblas_dist::ops::apply::{apply_v1 as dist_apply_v1, apply_v2 as dist_apply_v2};
@@ -221,6 +221,12 @@ pub const SPMSPV_CONFIGS: &[(usize, usize)] = &[(16, 2), (4, 2), (16, 20)];
 /// Fig 7: shared-memory SpMSpV component breakdown (SPA / Sorting /
 /// Output) on Erdős–Rényi matrices with n = 1M.
 pub fn fig7(scale: usize) -> Vec<Figure> {
+    fig7_with(scale, SpMSpVOpts::default())
+}
+
+/// Fig 7 with explicit SpMSpV options, so the same component breakdown
+/// can be produced under the sort-free bucketed merge.
+pub fn fig7_with(scale: usize, opts: SpMSpVOpts) -> Vec<Figure> {
     let n = workloads::scaled(1_000_000, scale, 20_000);
     let mut out = Vec::new();
     for &(d, f) in SPMSPV_CONFIGS {
@@ -228,14 +234,16 @@ pub fn fig7(scale: usize) -> Vec<Figure> {
         let x = workloads::spmspv_vector(n, f, 70 + d as u64 + f as u64);
         let mut fig = Figure::new(
             &format!("fig07-d{d}-f{f}"),
-            &format!("SpMSpV shared memory, ER n=1M d={d} f={f}% (Fig 7)"),
+            &format!(
+                "SpMSpV shared memory ({} merge), ER n=1M d={d} f={f}% (Fig 7)",
+                opts.merge.name()
+            ),
             "threads",
         );
         let mut points = Vec::new();
         for &t in THREADS {
             let report = run_shm(t, |ctx| {
-                let _ =
-                    spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), ctx).expect("spmspv");
+                let _ = spmspv_first_visitor(&a, &x, None, opts, ctx).expect("spmspv");
             });
             points.push(FigPoint { x: t, report });
         }
@@ -247,7 +255,13 @@ pub fn fig7(scale: usize) -> Vec<Figure> {
 
 /// Figs 8–9: distributed SpMSpV component breakdown (Gather / Local
 /// multiply / Scatter). `n_base` is 1M for Fig 8 and 10M for Fig 9.
-fn spmspv_dist_figure(fig_prefix: &str, n_base: usize, scale: usize) -> Vec<Figure> {
+fn spmspv_dist_figure(
+    fig_prefix: &str,
+    n_base: usize,
+    scale: usize,
+    opts: SpMSpVOpts,
+) -> Vec<Figure> {
+    use gblas_dist::ops::spmspv::{spmspv_dist_with, CommStrategy};
     let n = workloads::scaled(n_base, scale, 20_000);
     let mut out = Vec::new();
     for &(d, f) in SPMSPV_CONFIGS {
@@ -256,7 +270,8 @@ fn spmspv_dist_figure(fig_prefix: &str, n_base: usize, scale: usize) -> Vec<Figu
         let mut fig = Figure::new(
             &format!("{fig_prefix}-d{d}-f{f}"),
             &format!(
-                "SpMSpV distributed, ER n={n} d={d} f={f}%, 24 threads/node ({})",
+                "SpMSpV distributed ({} merge), ER n={n} d={d} f={f}%, 24 threads/node ({})",
+                opts.merge.name(),
                 if n_base >= 10_000_000 { "Fig 9" } else { "Fig 8" }
             ),
             "nodes",
@@ -267,7 +282,8 @@ fn spmspv_dist_figure(fig_prefix: &str, n_base: usize, scale: usize) -> Vec<Figu
             let da = DistCsrMatrix::from_global(&a, grid);
             let dx = DistSparseVec::from_global(&x, p);
             let dctx = dist_ctx(MachineConfig::edison_cluster(p, 24));
-            let (_, report) = spmspv_dist(&da, &dx, &dctx).expect("spmspv dist");
+            let (_, report) = spmspv_dist_with(&da, &dx, None, CommStrategy::Fine, opts, &dctx)
+                .expect("spmspv dist");
             points.push(FigPoint { x: p, report });
         }
         fig.push_series("components", points);
@@ -278,12 +294,22 @@ fn spmspv_dist_figure(fig_prefix: &str, n_base: usize, scale: usize) -> Vec<Figu
 
 /// Fig 8: distributed SpMSpV, n = 1M.
 pub fn fig8(scale: usize) -> Vec<Figure> {
-    spmspv_dist_figure("fig08", 1_000_000, scale)
+    fig8_with(scale, SpMSpVOpts::default())
+}
+
+/// Fig 8 with explicit SpMSpV options.
+pub fn fig8_with(scale: usize, opts: SpMSpVOpts) -> Vec<Figure> {
+    spmspv_dist_figure("fig08", 1_000_000, scale, opts)
 }
 
 /// Fig 9: distributed SpMSpV, n = 10M.
 pub fn fig9(scale: usize) -> Vec<Figure> {
-    spmspv_dist_figure("fig09", 10_000_000, scale)
+    fig9_with(scale, SpMSpVOpts::default())
+}
+
+/// Fig 9 with explicit SpMSpV options.
+pub fn fig9_with(scale: usize, opts: SpMSpVOpts) -> Vec<Figure> {
+    spmspv_dist_figure("fig09", 10_000_000, scale, opts)
 }
 
 /// Fig 10: Assign with 1–32 locales colocated on a single node, 1 thread
@@ -327,21 +353,25 @@ pub fn fig_ablations(scale: usize) -> Vec<Figure> {
     use gblas_core::sort::SortAlgo;
     let mut out = Vec::new();
 
-    // --- sort ablation on the Fig 7 flagship config ---
+    // --- merge-strategy ablation on the Fig 7 flagship config: the two
+    // comparison sorts versus the sort-free bucket merge ---
     let n = workloads::scaled(1_000_000, scale, 20_000);
     let a = workloads::er_matrix(n, 16, 170);
     let x = workloads::spmspv_vector(n, 2, 171);
     let mut sort_fig = Figure::new(
         "ablation-sort",
-        "SpMSpV sort step: merge vs radix (ER n=1M d=16 f=2%)",
+        "SpMSpV merge step: merge/radix sort vs sort-free buckets (ER n=1M d=16 f=2%)",
         "threads",
     );
-    for (label, algo) in [("merge", SortAlgo::Merge), ("radix", SortAlgo::Radix)] {
+    for (label, opts) in [
+        ("merge", SpMSpVOpts { sort: SortAlgo::Merge, ..Default::default() }),
+        ("radix", SpMSpVOpts { sort: SortAlgo::Radix, ..Default::default() }),
+        ("bucket", SpMSpVOpts::with_merge(MergeStrategy::Bucketed)),
+    ] {
         let mut points = Vec::new();
         for &t in THREADS {
             let report = run_shm(t, |ctx| {
-                let _ = spmspv_first_visitor(&a, &x, None, SpMSpVOpts { sort: algo }, ctx)
-                    .expect("spmspv");
+                let _ = spmspv_first_visitor(&a, &x, None, opts, ctx).expect("spmspv");
             });
             points.push(FigPoint { x: t, report });
         }
@@ -403,6 +433,12 @@ pub fn fig_ablations(scale: usize) -> Vec<Figure> {
 /// Run one figure by number. Figure 6 is the SPA diagram — nothing to
 /// measure — so it returns an empty set.
 pub fn run_fig(n: usize, scale: usize) -> Vec<Figure> {
+    run_fig_with(n, scale, SpMSpVOpts::default())
+}
+
+/// Run one figure by number with explicit SpMSpV options; the SpMSpV
+/// figures (7–9) honor the merge strategy, the rest ignore it.
+pub fn run_fig_with(n: usize, scale: usize, opts: SpMSpVOpts) -> Vec<Figure> {
     match n {
         1 => fig1(scale),
         2 => fig2(scale),
@@ -410,9 +446,9 @@ pub fn run_fig(n: usize, scale: usize) -> Vec<Figure> {
         4 => fig4(scale),
         5 => fig5(scale),
         6 => Vec::new(),
-        7 => fig7(scale),
-        8 => fig8(scale),
-        9 => fig9(scale),
+        7 => fig7_with(scale, opts),
+        8 => fig8_with(scale, opts),
+        9 => fig9_with(scale, opts),
         10 => fig10(scale),
         _ => panic!("the paper has figures 1-10, got {n}"),
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! gblas-cli <command> [--input FILE.mtx | --gen er:N:D | --gen rmat:SCALE:EF]
 //!           [--source V] [--threads T] [--symmetrize] [--seed S]
-//!           [--simulate NODES] [--trace FILE]
+//!           [--simulate NODES] [--trace FILE] [--spmspv-merge sort|bucket]
 //!
 //! commands:
 //!   info        matrix shape, nnz, degree statistics
@@ -16,6 +16,10 @@
 //!   trace       summarize a saved JSONL trace (--input trace.jsonl)
 //! ```
 //!
+//! `--spmspv-merge` selects how `bfs` and `sssp` merge SpMSpV results each
+//! frontier round: `sort` (the paper's merge/radix sort) or `bucket` (the
+//! sort-free bucketed merge). Both give identical output.
+//!
 //! With `--simulate NODES`, `bfs`, `sssp`, `pagerank` and `cc` also run on
 //! the simulated distributed machine and print where the time would go on
 //! the paper's Cray XC30. Adding `--trace FILE` records every simulated
@@ -25,6 +29,7 @@
 
 use gblas_core::container::CsrMatrix;
 use gblas_core::error::{GblasError, Result};
+use gblas_core::ops::spmspv::{MergeStrategy, SpMSpVOpts};
 use gblas_core::par::ExecCtx;
 use gblas_core::trace::sink;
 use gblas_core::{gen, io};
@@ -41,6 +46,7 @@ struct Args {
     seed: u64,
     simulate: Option<usize>,
     trace_out: Option<String>,
+    merge: MergeStrategy,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -56,6 +62,7 @@ fn parse_args() -> std::result::Result<Args, String> {
         seed: 1,
         simulate: None,
         trace_out: None,
+        merge: MergeStrategy::default(),
     };
     let mut rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -90,6 +97,12 @@ fn parse_args() -> std::result::Result<Args, String> {
             }
             "--trace" => {
                 args.trace_out = Some(need(i, &mut rest)?);
+                i += 2;
+            }
+            "--spmspv-merge" => {
+                let v = need(i, &mut rest)?;
+                args.merge = MergeStrategy::parse(&v)
+                    .ok_or_else(|| format!("bad --spmspv-merge '{v}' (sort|bucket)"))?;
                 i += 2;
             }
             "--symmetrize" => {
@@ -235,7 +248,8 @@ fn run() -> Result<()> {
         }
         "bfs" => {
             let t0 = std::time::Instant::now();
-            let r = gblas_graph::bfs(&a, args.source, &ctx)?;
+            let r =
+                gblas_graph::bfs_with(&a, args.source, SpMSpVOpts::with_merge(args.merge), &ctx)?;
             println!(
                 "bfs from {}: reached {} vertices, max level {} ({:.2?})",
                 args.source,
@@ -247,7 +261,13 @@ fn run() -> Result<()> {
                 let grid = ProcGrid::square_for(nodes);
                 let da = DistCsrMatrix::from_global(&a, grid);
                 let dctx = sim_ctx(nodes, &args);
-                let (dr, report) = gblas_graph::bfs_dist(&da, args.source, &dctx)?;
+                let (dr, report) = gblas_graph::bfs_dist_with(
+                    &da,
+                    args.source,
+                    gblas_dist::ops::spmspv::CommStrategy::Fine,
+                    SpMSpVOpts::with_merge(args.merge),
+                    &dctx,
+                )?;
                 assert_eq!(dr.levels, r.levels);
                 println!("simulated on {nodes} Edison nodes: {report}");
                 finish_sim(&dctx, &args)?;
@@ -255,7 +275,8 @@ fn run() -> Result<()> {
         }
         "sssp" => {
             let t0 = std::time::Instant::now();
-            let dist = gblas_graph::sssp(&a, args.source, &ctx)?;
+            let dist =
+                gblas_graph::sssp_with(&a, args.source, SpMSpVOpts::with_merge(args.merge), &ctx)?;
             let reached = dist.as_slice().iter().filter(|d| d.is_finite()).count();
             let furthest =
                 dist.as_slice().iter().filter(|d| d.is_finite()).cloned().fold(0.0, f64::max);
@@ -270,7 +291,13 @@ fn run() -> Result<()> {
                 let grid = ProcGrid::square_for(nodes);
                 let da = DistCsrMatrix::from_global(&a, grid);
                 let dctx = sim_ctx(nodes, &args);
-                let (_, report) = gblas_graph::sssp_dist(&da, args.source, &dctx)?;
+                let (_, report) = gblas_graph::sssp_dist_with(
+                    &da,
+                    args.source,
+                    gblas_dist::ops::spmspv::CommStrategy::Bulk,
+                    SpMSpVOpts::with_merge(args.merge),
+                    &dctx,
+                )?;
                 println!("simulated on {nodes} Edison nodes: {report}");
                 finish_sim(&dctx, &args)?;
             }

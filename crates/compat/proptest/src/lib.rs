@@ -15,8 +15,12 @@
 //!
 //! * **Deterministic**: case `k` of every test derives its generator from
 //!   `k` alone, so failures reproduce exactly with no persistence files.
-//! * **No shrinking**: a failing case reports its index; inputs are small
-//!   by construction in this suite, so minimisation matters little.
+//! * **No shrinking**: a failing case reports its index and seed in the
+//!   panic message; inputs are small by construction in this suite, so
+//!   minimisation matters little.
+//! * **Replay**: setting `PROPTEST_REPLAY=<case>` re-runs just that case
+//!   of every `proptest!` test in the process — the deterministic
+//!   per-case seeding makes that exact reproduction, not approximation.
 
 pub mod test_runner {
     //! Case configuration and the per-case generator.
@@ -49,7 +53,12 @@ pub mod test_runner {
     impl TestRng {
         /// The generator for the `case`-th case of a test.
         pub fn for_case(case: u32) -> Self {
-            TestRng(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1))
+            TestRng(seed_for_case(case))
+        }
+
+        /// Current internal state (the seed, before any draws).
+        pub fn state(&self) -> u64 {
+            self.0
         }
 
         /// Next 64 random bits.
@@ -70,6 +79,53 @@ pub mod test_runner {
         pub fn below(&mut self, bound: u64) -> u64 {
             ((self.next_u64() as u128 * bound as u128) >> 64) as u64
         }
+    }
+
+    /// The SplitMix64 seed that [`TestRng::for_case`] starts case `case`
+    /// from; reported in failure messages so cases can be reproduced out
+    /// of band.
+    pub fn seed_for_case(case: u32) -> u64 {
+        0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)
+    }
+
+    /// Drive `f` over the configured cases, replaying a single case when
+    /// `replay` is set. On a panicking case, re-panics with a message
+    /// naming the case index, its seed, and the `PROPTEST_REPLAY`
+    /// incantation that re-runs just that case.
+    ///
+    /// Exposed (rather than private to the macro) so the shim's own tests
+    /// can exercise the driver without racing on the process environment.
+    pub fn run_cases_with<F: Fn(u32)>(cases: u32, replay: Option<u32>, f: F) {
+        let to_run: Vec<u32> = match replay {
+            Some(case) => vec![case],
+            None => (0..cases).collect(),
+        };
+        for case in to_run {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(case)));
+            if let Err(payload) = result {
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "<non-string panic payload>".to_string()
+                };
+                panic!(
+                    "proptest case {case} failed (seed {:#018x}): {msg}\n\
+                     replay just this case with PROPTEST_REPLAY={case}",
+                    seed_for_case(case)
+                );
+            }
+        }
+    }
+
+    /// The macro entry point: [`run_cases_with`] with the replay case
+    /// taken from the `PROPTEST_REPLAY` environment variable (ignored
+    /// when unset or unparsable).
+    pub fn run_cases<F: Fn(u32)>(cfg: &Config, f: F) {
+        let replay =
+            std::env::var("PROPTEST_REPLAY").ok().and_then(|v| v.trim().parse::<u32>().ok());
+        run_cases_with(cfg.cases, replay, f);
     }
 }
 
@@ -341,11 +397,11 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let cfg: $crate::test_runner::Config = $cfg;
-                for case in 0..cfg.cases {
+                $crate::test_runner::run_cases(&cfg, |case| {
                     let mut prop_rng = $crate::test_runner::TestRng::for_case(case);
                     $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut prop_rng);)*
                     $body
-                }
+                });
             }
         )*
     };
@@ -385,6 +441,37 @@ mod tests {
             let (n, v) = pair;
             prop_assert_eq!(v.len(), n);
         }
+    }
+
+    #[test]
+    fn failing_case_reports_index_seed_and_replay_hint() {
+        let err = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases_with(10, None, |case| {
+                assert!(case != 7, "boom at {case}");
+            })
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("case 7 failed"), "{msg}");
+        assert!(msg.contains("boom at 7"), "{msg}");
+        assert!(msg.contains(&format!("{:#018x}", crate::test_runner::seed_for_case(7))), "{msg}");
+        assert!(msg.contains("PROPTEST_REPLAY=7"), "{msg}");
+    }
+
+    #[test]
+    fn replay_runs_only_the_requested_case() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        crate::test_runner::run_cases_with(100, Some(42), |case| seen.lock().unwrap().push(case));
+        assert_eq!(*seen.lock().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn passing_cases_all_run_in_order() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        crate::test_runner::run_cases_with(5, None, |case| seen.lock().unwrap().push(case));
+        assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

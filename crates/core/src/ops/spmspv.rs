@@ -8,7 +8,10 @@
 //! 1. **`spa`** — merge the selected rows through the sparse accumulator;
 //! 2. **`sort`** — sort the collected column indices ("sorting is the most
 //!    expensive step"; merge sort by default, radix sort as the paper's
-//!    suggested improvement);
+//!    suggested improvement). With [`MergeStrategy::Bucketed`] this phase
+//!    disappears entirely: a cheap **`bucket`** scatter plus in-order
+//!    bucket drains produce the same sorted output with zero comparison
+//!    sorts (the CombBLAS 2.0-style remedy);
 //! 3. **`output`** — populate the output sparse vector from the SPA.
 //!
 //! Variants:
@@ -28,20 +31,101 @@ use crate::error::{check_dims, Result};
 use crate::mask::VecMask;
 use crate::par::ExecCtx;
 use crate::sort::{parallel_merge_sort, sort_indices, SortAlgo};
-use crate::spa::{AtomicSpa, DenseSpa};
+use crate::spa::{AtomicSpa, BucketSpa, DenseSpa};
 
 /// Phase: SPA merge.
 pub const PHASE_SPA: &str = "spa";
 /// Phase: index sort.
 pub const PHASE_SORT: &str = "sort";
+/// Phase: bucket scatter (the sort-free merge's replacement for `sort`).
+pub const PHASE_BUCKET: &str = "bucket";
 /// Phase: output construction.
 pub const PHASE_OUTPUT: &str = "output";
+
+/// How the SPA's collected (unsorted) indices become the sorted output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// Global comparison sort of `nzinds` — Listing 7 as written, the
+    /// step Fig 7 shows dominating. The differential oracle.
+    #[default]
+    SortBased,
+    /// Sort-free bucket merge ([`BucketSpa`]): scatter indices into
+    /// per-task column-range buckets, emit each bucket by an in-order
+    /// occupancy scan. `PHASE_SORT` disappears; a cheap `PHASE_BUCKET`
+    /// takes its place.
+    Bucketed,
+}
+
+impl MergeStrategy {
+    /// Stable lowercase name (trace attributes, CLI flags, CSV columns).
+    pub fn name(self) -> &'static str {
+        match self {
+            MergeStrategy::SortBased => "sort",
+            MergeStrategy::Bucketed => "bucket",
+        }
+    }
+
+    /// Parse a CLI spelling (`sort` | `bucket`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sort" | "sorted" | "sort-based" => Some(MergeStrategy::SortBased),
+            "bucket" | "bucketed" => Some(MergeStrategy::Bucketed),
+            _ => None,
+        }
+    }
+}
 
 /// Options for the SpMSpV kernels.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SpMSpVOpts {
-    /// Sorting algorithm for the collected indices.
+    /// Sorting algorithm for the collected indices (sort-based merge only).
     pub sort: SortAlgo,
+    /// How the collected indices are merged into sorted order.
+    pub merge: MergeStrategy,
+}
+
+impl SpMSpVOpts {
+    /// Default options with the given merge strategy.
+    pub fn with_merge(merge: MergeStrategy) -> Self {
+        SpMSpVOpts { merge, ..Default::default() }
+    }
+}
+
+/// Turn the SPA's collected (unsorted, duplicate-free) indices into
+/// ascending order with the selected merge strategy. The sort-based path
+/// charges `PHASE_SORT`; the bucketed path never compares — it charges a
+/// `PHASE_BUCKET` scatter plus per-bucket occupancy scans against `is_set`
+/// (the SPA's `isthere`), one `coforall` task per bucket.
+fn merged_indices<F>(
+    nzinds: Vec<usize>,
+    capacity: usize,
+    is_set: F,
+    opts: SpMSpVOpts,
+    ctx: &ExecCtx,
+) -> Vec<usize>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    match opts.merge {
+        MergeStrategy::SortBased => {
+            let mut inds = nzinds;
+            sort_indices(&mut inds, opts.sort, ctx, PHASE_SORT);
+            inds
+        }
+        MergeStrategy::Bucketed => {
+            let nnz = nzinds.len();
+            let mut bspa = BucketSpa::new(capacity, ctx.threads());
+            ctx.record(PHASE_BUCKET, |c| bspa.scatter(&nzinds, c));
+            let parts = ctx.for_each_task(PHASE_BUCKET, bspa.nbuckets(), |b, c| {
+                bspa.collect_bucket(b, &is_set, c)
+            });
+            let mut out = Vec::with_capacity(nnz);
+            for p in parts {
+                out.extend(p);
+            }
+            out
+        }
+    }
 }
 
 /// Listing 7: parallel first-visitor SpMSpV. The output stores, for every
@@ -84,9 +168,9 @@ pub fn spmspv_first_visitor<T: Send + Sync, X: Send + Sync>(
         }
         c.elems += r.len() as u64;
     });
-    // Step 2: remove unused entries and sort (lines 30–32).
-    let mut nzinds = spa.collected();
-    sort_indices(&mut nzinds, opts.sort, ctx, PHASE_SORT);
+    // Step 2: remove unused entries and order them (lines 30–32) — a
+    // global sort, or the sort-free bucket merge.
+    let nzinds = merged_indices(spa.collected(), ncols, |i| spa.contains(i), opts, ctx);
     // Step 3: populate the output vector (lines 33–39).
     let value_chunks = ctx.parallel_for(PHASE_OUTPUT, nzinds.len(), |r, c| {
         let vals: Vec<usize> = nzinds[r.clone()].iter().map(|&si| spa.value(si)).collect();
@@ -170,8 +254,7 @@ where
     c.elems += x.nnz() as u64;
     ctx.record(PHASE_SPA, |pc| pc.merge(&c));
 
-    let mut nzinds = spa.nzinds().to_vec();
-    sort_indices(&mut nzinds, opts.sort, ctx, PHASE_SORT);
+    let nzinds = merged_indices(spa.nzinds().to_vec(), ncols, |i| spa.get(i).is_some(), opts, ctx);
 
     let mut out_c = crate::par::Counters::default();
     let values: Vec<C> = nzinds
@@ -322,11 +405,107 @@ mod tests {
         let a = gen::erdos_renyi(400, 8, 51);
         let x = gen::random_sparse_vec(400, 30, 52);
         let ctx = ExecCtx::serial();
-        let m =
-            spmspv_first_visitor(&a, &x, None, SpMSpVOpts { sort: SortAlgo::Merge }, &ctx).unwrap();
-        let r =
-            spmspv_first_visitor(&a, &x, None, SpMSpVOpts { sort: SortAlgo::Radix }, &ctx).unwrap();
+        let m = spmspv_first_visitor(
+            &a,
+            &x,
+            None,
+            SpMSpVOpts { sort: SortAlgo::Merge, ..Default::default() },
+            &ctx,
+        )
+        .unwrap();
+        let r = spmspv_first_visitor(
+            &a,
+            &x,
+            None,
+            SpMSpVOpts { sort: SortAlgo::Radix, ..Default::default() },
+            &ctx,
+        )
+        .unwrap();
         assert_eq!(m, r);
+    }
+
+    #[test]
+    fn bucketed_first_visitor_matches_sorted_and_skips_the_sort() {
+        let a = gen::erdos_renyi(400, 8, 53);
+        let x = gen::random_sparse_vec(400, 30, 54);
+        for threads in [1usize, 4, 16] {
+            let ctx_s = ExecCtx::simulated(threads);
+            let ctx_b = ExecCtx::simulated(threads);
+            let sorted = spmspv_first_visitor(&a, &x, None, SpMSpVOpts::default(), &ctx_s).unwrap();
+            let bucketed = spmspv_first_visitor(
+                &a,
+                &x,
+                None,
+                SpMSpVOpts::with_merge(MergeStrategy::Bucketed),
+                &ctx_b,
+            )
+            .unwrap();
+            assert_eq!(sorted, bucketed, "threads={threads}");
+            let ps = ctx_s.take_profile();
+            let pb = ctx_b.take_profile();
+            // the SPA work is strategy-independent
+            assert_eq!(ps.phase(PHASE_SPA), pb.phase(PHASE_SPA), "threads={threads}");
+            // bucketed: zero sort comparisons anywhere, bucket phase recorded
+            assert!(pb.phase(PHASE_SORT).is_empty(), "threads={threads}");
+            assert_eq!(pb.total().sort_elems, 0, "threads={threads}");
+            assert!(pb.phase(PHASE_BUCKET).rand_access > 0, "threads={threads}");
+            assert!(ps.phase(PHASE_SORT).sort_elems > 0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn bucketed_semiring_matches_sorted_semiring() {
+        let a = gen::erdos_renyi(500, 6, 57);
+        let x = gen::random_sparse_vec(500, 45, 58);
+        let ring = semirings::plus_times_f64();
+        let ctx_s = ExecCtx::simulated(8);
+        let ctx_b = ExecCtx::simulated(8);
+        let sorted =
+            spmspv_semiring_masked(&a, &x, &ring, None, SpMSpVOpts::default(), &ctx_s).unwrap();
+        let bucketed = spmspv_semiring_masked(
+            &a,
+            &x,
+            &ring,
+            None,
+            SpMSpVOpts::with_merge(MergeStrategy::Bucketed),
+            &ctx_b,
+        )
+        .unwrap();
+        assert_eq!(sorted.vector.indices(), bucketed.vector.indices());
+        for (s, b) in sorted.vector.values().iter().zip(bucketed.vector.values()) {
+            assert!((s - b).abs() < 1e-12);
+        }
+        assert_eq!(ctx_b.take_profile().total().sort_elems, 0);
+    }
+
+    #[test]
+    fn bucketed_masked_agrees_with_sorted_masked() {
+        let a = gen::erdos_renyi_bool(300, 7, 59);
+        let x = gen::random_sparse_vec(300, 25, 60);
+        let visited = DenseVec::from_fn(300, |i| i % 3 == 0);
+        let not_visited = VecMask::dense(&visited).complement();
+        let ctx = ExecCtx::serial();
+        let s =
+            spmspv_first_visitor(&a, &x, Some(&not_visited), SpMSpVOpts::default(), &ctx).unwrap();
+        let b = spmspv_first_visitor(
+            &a,
+            &x,
+            Some(&not_visited),
+            SpMSpVOpts::with_merge(MergeStrategy::Bucketed),
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(s, b);
+    }
+
+    #[test]
+    fn merge_strategy_parses_cli_spellings() {
+        assert_eq!(MergeStrategy::parse("sort"), Some(MergeStrategy::SortBased));
+        assert_eq!(MergeStrategy::parse("bucket"), Some(MergeStrategy::Bucketed));
+        assert_eq!(MergeStrategy::parse("bucketed"), Some(MergeStrategy::Bucketed));
+        assert_eq!(MergeStrategy::parse("quantum"), None);
+        assert_eq!(MergeStrategy::SortBased.name(), "sort");
+        assert_eq!(MergeStrategy::Bucketed.name(), "bucket");
     }
 
     #[test]

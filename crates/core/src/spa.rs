@@ -6,7 +6,7 @@
 //! that entry in y has been initialized, and a list (or vector) of indices
 //! (`nzinds`) for which `isthere` has been set to true." (§III-D, Fig 6)
 //!
-//! Two variants:
+//! Three variants:
 //! * [`DenseSpa`] — the textbook serial SPA, accumulating with an arbitrary
 //!   monoid. Used by the semiring SpMSpV and by SpGEMM.
 //! * [`AtomicSpa`] — the paper's parallel SPA (Listing 7): `isthere` is an
@@ -15,9 +15,15 @@
 //!   the value slot ("only keeping the first index"). Values are `usize`
 //!   because the paper stores "the row index as value" (line 25) — the
 //!   BFS parent.
+//! * [`BucketSpa`] — the sort-*free* merge the paper suggests as the fix
+//!   for the dominant sort step of Fig 7 (and that CombBLAS 2.0 ships):
+//!   the collected indices are scattered into per-task contiguous
+//!   column-range buckets, and each bucket is emitted in index order by a
+//!   scan of its (small) range. Sorted output, zero comparison sorts.
 
 use crate::algebra::Monoid;
 use crate::par::Counters;
+use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Serial sparse accumulator over domain `0..capacity` with monoid
@@ -189,6 +195,106 @@ impl AtomicSpa {
     }
 }
 
+/// Bucketed index merger: the sort-free alternative to the global
+/// comparison sort of the collected `nzinds`.
+///
+/// The output domain `0..capacity` is split into `nbuckets` contiguous
+/// column ranges (one per task, the same block split `parallel_for` uses).
+/// [`BucketSpa::scatter`] drops each collected index into its bucket — an
+/// `O(nnz)` random-access pass — and [`BucketSpa::collect_bucket`] emits a
+/// bucket's indices in ascending order by scanning the bucket's column
+/// range against the SPA's occupancy predicate. Concatenating the buckets
+/// in order yields a globally sorted index list without a single
+/// comparison sort (`sort_elems` stays zero); the price is the `O(range)`
+/// scan of every *non-empty* bucket, which is the classic bucket/counting
+/// trade the paper's suggested remedy makes.
+#[derive(Debug)]
+pub struct BucketSpa {
+    ranges: Vec<Range<usize>>,
+    buckets: Vec<Vec<usize>>,
+}
+
+impl BucketSpa {
+    /// Buckets covering `0..capacity` in `nbuckets` near-equal contiguous
+    /// ranges (fewer when `capacity < nbuckets`; one empty range when the
+    /// domain is empty).
+    pub fn new(capacity: usize, nbuckets: usize) -> Self {
+        let ranges = crate::par::split_ranges(capacity, nbuckets);
+        let buckets = vec![Vec::new(); ranges.len()];
+        BucketSpa { ranges, buckets }
+    }
+
+    /// Number of buckets actually allocated.
+    pub fn nbuckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The column range bucket `b` covers.
+    pub fn range(&self, b: usize) -> Range<usize> {
+        self.ranges[b].clone()
+    }
+
+    /// Which bucket owns `index` — inverts the block-split floor
+    /// arithmetic instead of binary searching.
+    pub fn bucket_of(&self, index: usize) -> usize {
+        let len = self.ranges.last().map_or(0, |r| r.end);
+        let n = self.ranges.len();
+        let base = len / n;
+        if base == 0 {
+            return 0; // empty domain: the single 0..0 bucket
+        }
+        let extra = len % n;
+        let wide = extra * (base + 1);
+        if index < wide {
+            index / (base + 1)
+        } else {
+            extra + (index - wide) / base
+        }
+    }
+
+    /// Scatter the collected (unsorted, duplicate-free) indices into their
+    /// buckets: one streamed read plus one random bucket append per index.
+    pub fn scatter(&mut self, indices: &[usize], counters: &mut Counters) {
+        for &i in indices {
+            let b = self.bucket_of(i);
+            self.buckets[b].push(i);
+        }
+        counters.elems += indices.len() as u64;
+        counters.rand_access += indices.len() as u64;
+    }
+
+    /// Emit bucket `b`'s indices in ascending order by scanning its column
+    /// range against the SPA occupancy predicate `is_set`. Empty buckets
+    /// are free; a non-empty bucket pays its full range scan (`elems`).
+    pub fn collect_bucket(
+        &self,
+        b: usize,
+        is_set: impl Fn(usize) -> bool,
+        counters: &mut Counters,
+    ) -> Vec<usize> {
+        let pending = &self.buckets[b];
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        let range = self.ranges[b].clone();
+        counters.elems += range.len() as u64;
+        counters.spa_touches += pending.len() as u64;
+        let mut out = Vec::with_capacity(pending.len());
+        for i in range {
+            if is_set(i) {
+                out.push(i);
+            }
+        }
+        debug_assert_eq!(out.len(), pending.len(), "occupancy must match the scattered indices");
+        out
+    }
+
+    /// Total scattered indices currently held.
+    pub fn nnz(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +366,52 @@ mod tests {
         let mut collected = spa.collected();
         collected.sort_unstable();
         assert_eq!(collected, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bucket_of_matches_ranges() {
+        for (cap, nb) in [(10usize, 3usize), (100, 8), (7, 16), (1, 1), (1000, 24)] {
+            let spa = BucketSpa::new(cap, nb);
+            for i in 0..cap {
+                let b = spa.bucket_of(i);
+                assert!(spa.range(b).contains(&i), "cap={cap} nb={nb} i={i} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_scatter_collect_sorts_without_comparisons() {
+        let occupied = [3usize, 17, 4, 96, 55, 0, 42, 99, 18];
+        let spa = {
+            let mut s = BucketSpa::new(100, 4);
+            let mut c = Counters::default();
+            s.scatter(&occupied, &mut c);
+            assert_eq!(c.rand_access, occupied.len() as u64);
+            assert_eq!(c.sort_elems, 0);
+            assert_eq!(s.nnz(), occupied.len());
+            s
+        };
+        let set: std::collections::BTreeSet<usize> = occupied.iter().copied().collect();
+        let mut out = Vec::new();
+        let mut c = Counters::default();
+        for b in 0..spa.nbuckets() {
+            out.extend(spa.collect_bucket(b, |i| set.contains(&i), &mut c));
+        }
+        assert_eq!(out, set.into_iter().collect::<Vec<_>>());
+        assert_eq!(c.sort_elems, 0);
+    }
+
+    #[test]
+    fn empty_buckets_are_free() {
+        let mut spa = BucketSpa::new(1000, 10);
+        let mut c = Counters::default();
+        spa.scatter(&[5], &mut c); // only bucket 0 is touched
+        let mut c = Counters::default();
+        for b in 0..spa.nbuckets() {
+            let _ = spa.collect_bucket(b, |i| i == 5, &mut c);
+        }
+        // only bucket 0's 100-wide range was scanned
+        assert_eq!(c.elems, 100);
     }
 
     #[test]

@@ -74,6 +74,89 @@ fn fixed_trace() -> gblas_core::trace::Trace {
     );
     r.advance(0.002);
     r.instant("comm_fault", Some(1), vec![("phase".into(), "gather".into())]);
+
+    // A bucketed-merge op: the sort phase is replaced by a `bucket`
+    // scatter/drain (random scatter writes + occupancy scans, zero
+    // sort_elems), and the aggregated gather coalesces each locale pair's
+    // traffic into one request and one bulk reply.
+    let op2 = r.span(
+        None,
+        "spmspv_dist_semiring",
+        SpanKind::Op,
+        None,
+        0.002,
+        0.002,
+        8_888, // wall_ns: must never reach the Chrome output
+        Counters { elems: 9, flops: 20, ..Default::default() },
+        vec![
+            ("nnz".into(), "9".into()),
+            ("strategy".into(), "bulk".into()),
+            ("merge".into(), "bucket".into()),
+        ],
+        None,
+    );
+    let bucket = r.span(
+        Some(op2),
+        "bucket",
+        SpanKind::Phase,
+        None,
+        0.002,
+        0.0004,
+        0,
+        Counters::default(),
+        vec![],
+        None,
+    );
+    r.span(
+        Some(bucket),
+        "bucket",
+        SpanKind::LocaleCompute,
+        Some(0),
+        0.002,
+        0.0003,
+        0,
+        Counters { elems: 9, rand_access: 9, spa_touches: 9, ..Default::default() },
+        vec![],
+        None,
+    );
+    let agg = r.span(
+        Some(op2),
+        "gather",
+        SpanKind::Phase,
+        None,
+        0.0024,
+        0.0012,
+        0,
+        Counters::default(),
+        vec![],
+        None,
+    );
+    // one 16-byte range request, answered by one coalesced bulk reply
+    r.span(
+        Some(agg),
+        "gather",
+        SpanKind::LocaleComm,
+        Some(0),
+        0.0024,
+        0.0002,
+        0,
+        Counters::default(),
+        vec![],
+        Some(CommSummary { bulk_msgs: 1, bytes: 16, peers: 1, ..Default::default() }),
+    );
+    r.span(
+        Some(agg),
+        "gather",
+        SpanKind::LocaleComm,
+        Some(1),
+        0.0026,
+        0.001,
+        0,
+        Counters::default(),
+        vec![],
+        Some(CommSummary { bulk_msgs: 1, bytes: 144, peers: 1, ..Default::default() }),
+    );
+    r.advance(0.004);
     r.snapshot()
 }
 

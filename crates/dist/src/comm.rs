@@ -94,6 +94,11 @@ pub struct Comm {
     totals: Mutex<Totals>,
     /// Fault plan: fail the N-th subsequent transfer (0-based countdown).
     fail_in: Mutex<Option<u64>>,
+    /// Opt-in cumulative copy of every logged event — unlike the main
+    /// log, *not* drained by [`Comm::take_events`], so tests can audit a
+    /// ledger that operations have already priced. `None` (off) unless
+    /// [`Comm::record_history`] was called.
+    history: Mutex<Option<Vec<CommEvent>>>,
     /// Shared cumulative metrics (always cheap; a fresh registry when the
     /// owning context is not instrumented).
     metrics: Arc<MetricsRegistry>,
@@ -183,14 +188,11 @@ impl Comm {
             CommKind::Fine | CommKind::FineDependent => self.metrics.fine_msgs(msgs),
         }
         self.metrics.bytes_sent(bytes);
-        self.events.lock().push(CommEvent {
-            phase: phase.to_string(),
-            src,
-            dst,
-            kind,
-            msgs,
-            bytes,
-        });
+        let event = CommEvent { phase: phase.to_string(), src, dst, kind, msgs, bytes };
+        if let Some(h) = self.history.lock().as_mut() {
+            h.push(event.clone());
+        }
+        self.events.lock().push(event);
         Ok(())
     }
 
@@ -243,6 +245,23 @@ impl Comm {
             }
         }
         Err(last.expect("at least one attempt"))
+    }
+
+    /// Start keeping a cumulative event history that survives
+    /// [`Comm::take_events`] (i.e. survives operations pricing
+    /// themselves). Test/audit hook; off by default because it doubles the
+    /// logging cost.
+    pub fn record_history(&self) {
+        let mut h = self.history.lock();
+        if h.is_none() {
+            *h = Some(Vec::new());
+        }
+    }
+
+    /// Snapshot the cumulative history (empty unless
+    /// [`Comm::record_history`] was called before the traffic).
+    pub fn history(&self) -> Vec<CommEvent> {
+        self.history.lock().clone().unwrap_or_default()
     }
 
     /// Snapshot the event log.
@@ -320,6 +339,22 @@ mod tests {
         assert_eq!((fine, bulk, bytes), (150, 1, 5296));
         assert_eq!(c.events().len(), 3);
         assert_eq!(c.call_count(), 3);
+    }
+
+    #[test]
+    fn history_survives_take_events() {
+        let c = Comm::new();
+        c.fine("a", 0, 1, 2, 16).unwrap();
+        assert!(c.history().is_empty(), "history is opt-in");
+        c.record_history();
+        c.bulk("b", 1, 0, 1, 64).unwrap();
+        let _ = c.take_events();
+        c.fine("c", 0, 1, 1, 8).unwrap();
+        let h = c.history();
+        assert_eq!(h.len(), 2, "history keeps draining-surviving copies");
+        assert_eq!(h[0].phase, "b");
+        assert_eq!(h[1].phase, "c");
+        assert!(c.events().len() == 1, "main log was drained then refilled");
     }
 
     #[test]

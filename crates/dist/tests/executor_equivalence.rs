@@ -13,7 +13,7 @@ use gblas_core::container::{CsrMatrix, DenseVec, SparseVec};
 use gblas_core::error::GblasError;
 use gblas_core::gen;
 use gblas_core::ops::ewise::EwiseVariant;
-use gblas_core::ops::spmspv::SpMSpVOpts;
+use gblas_core::ops::spmspv::{MergeStrategy, SpMSpVOpts};
 use gblas_core::trace::SpanKind;
 use gblas_dist::ops::spmspv::{CommStrategy, DistMask};
 use gblas_dist::ops::{apply, assign, ewise, extract, mxm, reduce, spmspv, spmv, transpose};
@@ -52,11 +52,20 @@ fn spmspv_family_matches_across_executors() {
         let da = DistCsrMatrix::from_global(&a, grid);
         let dx = DistSparseVec::from_global(&x, p);
         for strategy in [CommStrategy::Fine, CommStrategy::Bulk] {
-            let (yt, ys) = run_both(p, "spmspv", |d| {
-                spmspv::spmspv_dist_with(&da, &dx, None, strategy, SpMSpVOpts::default(), d)
+            for merge in [MergeStrategy::SortBased, MergeStrategy::Bucketed] {
+                let (yt, ys) = run_both(p, "spmspv", |d| {
+                    spmspv::spmspv_dist_with(
+                        &da,
+                        &dx,
+                        None,
+                        strategy,
+                        SpMSpVOpts::with_merge(merge),
+                        d,
+                    )
                     .unwrap()
-            });
-            assert_eq!(yt, ys, "spmspv {pr}x{pc} {strategy:?}");
+                });
+                assert_eq!(yt, ys, "spmspv {pr}x{pc} {strategy:?} {merge:?}");
+            }
         }
         let bits = DenseVec::from_fn(400, |i| i % 3 == 0);
         let dbits = DistDenseVec::from_global(&bits, p);
@@ -66,16 +75,28 @@ fn spmspv_family_matches_across_executors() {
         assert_eq!(yt, ys, "spmspv_masked {pr}x{pc}");
         let ring = semirings::plus_times_f64();
         for strategy in [CommStrategy::Fine, CommStrategy::Bulk] {
-            let (yt, ys) = run_both(p, "spmspv_semiring", |d| {
-                spmspv::spmspv_dist_semiring(&da, &dx, &ring, strategy, d).unwrap()
-            });
-            // Bit-identical floats: the owner drains its inboxes in
-            // source-locale order, so the accumulation order is fixed.
-            assert_eq!(yt.to_global().indices(), ys.to_global().indices());
-            let bits_of = |v: &DistSparseVec<f64>| -> Vec<u64> {
-                v.to_global().values().iter().map(|x| x.to_bits()).collect()
-            };
-            assert_eq!(bits_of(&yt), bits_of(&ys), "semiring {pr}x{pc} {strategy:?}");
+            for merge in [MergeStrategy::SortBased, MergeStrategy::Bucketed] {
+                let (yt, ys) = run_both(p, "spmspv_semiring", |d| {
+                    spmspv::spmspv_dist_semiring_with(
+                        &da,
+                        &dx,
+                        &ring,
+                        strategy,
+                        SpMSpVOpts::with_merge(merge),
+                        d,
+                    )
+                    .unwrap()
+                });
+                // Bit-identical floats: the owner drains its inboxes in
+                // source-locale order (and the aggregated gather assembles
+                // replies in ascending peer order), so the accumulation
+                // order is fixed.
+                assert_eq!(yt.to_global().indices(), ys.to_global().indices());
+                let bits_of = |v: &DistSparseVec<f64>| -> Vec<u64> {
+                    v.to_global().values().iter().map(|x| x.to_bits()).collect()
+                };
+                assert_eq!(bits_of(&yt), bits_of(&ys), "semiring {pr}x{pc} {strategy:?} {merge:?}");
+            }
         }
     }
 }
@@ -236,6 +257,74 @@ fn gather_and_scatter_charge_the_same_element_width() {
     assert!(saw_gather && saw_scatter, "trace must carry both comm phases");
 }
 
+/// The aggregated gather's ledger must be pairwise byte-symmetric: every
+/// coalesced request a locale posts (one fixed-width range descriptor per
+/// remote row peer) is answered by exactly one reply from that peer, and
+/// every reply's payload is a whole number of gathered elements. This is
+/// what makes the "≤ p messages per locale per superstep" bound auditable
+/// from the ledger alone.
+#[test]
+fn aggregated_gather_ledger_is_pairwise_symmetric() {
+    let req_bytes = (2 * std::mem::size_of::<usize>()) as u64;
+    let elem_bytes = (std::mem::size_of::<usize>() + std::mem::size_of::<f64>()) as u64;
+    for (pr, pc) in GRIDS {
+        let grid = ProcGrid::new(pr, pc);
+        let p = grid.locales();
+        let a = gen::erdos_renyi(350, 6, 71);
+        let x = gen::random_sparse_vec(350, 60, 72);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dx = DistSparseVec::from_global(&x, p);
+        let dctx = ctx_with(p, LocaleExecutor::Threaded);
+        dctx.comm.record_history();
+        let ring = semirings::plus_times_f64();
+        spmspv::spmspv_dist_semiring(&da, &dx, &ring, CommStrategy::Bulk, &dctx).unwrap();
+
+        let gather: Vec<_> = dctx
+            .comm
+            .history()
+            .into_iter()
+            .filter(|e| e.phase == "gather" && e.src != e.dst)
+            .collect();
+        assert!(!gather.is_empty(), "{pr}x{pc}: bulk gather sent no messages");
+        // Requests are the fixed-width range descriptors; everything else
+        // in the gather phase is a reply.
+        let mut requests = std::collections::HashMap::new();
+        let mut replies = std::collections::HashMap::new();
+        for e in &gather {
+            assert_eq!(e.msgs, 1, "{pr}x{pc}: gather messages must be coalesced");
+            if e.bytes == req_bytes {
+                *requests.entry((e.src, e.dst)).or_insert(0u64) += 1;
+            } else {
+                assert_eq!(
+                    e.bytes % elem_bytes,
+                    0,
+                    "{pr}x{pc}: reply {} -> {} carries a partial element ({} bytes)",
+                    e.src,
+                    e.dst,
+                    e.bytes
+                );
+                *replies.entry((e.src, e.dst)).or_insert(0u64) += 1;
+            }
+        }
+        // one reply per request, mirrored across the pair; at most one
+        // request per (requester, owner) pair per superstep
+        for (&(l, o), &nreq) in &requests {
+            assert_eq!(nreq, 1, "{pr}x{pc}: {l} sent {nreq} requests to {o}");
+            assert_eq!(
+                replies.get(&(o, l)).copied().unwrap_or(0),
+                1,
+                "{pr}x{pc}: request {l} -> {o} unanswered"
+            );
+        }
+        assert_eq!(requests.len(), replies.len(), "{pr}x{pc}: unrequested replies");
+        // the ≤ p-per-locale-per-superstep aggregate bound
+        for l in 0..p {
+            let sent = requests.keys().filter(|&&(s, _)| s == l).count();
+            assert!(sent <= p, "{pr}x{pc}: locale {l} sent {sent} requests");
+        }
+    }
+}
+
 #[test]
 fn mid_superstep_fault_propagates_without_deadlock() {
     let grid = ProcGrid::new(2, 3);
@@ -256,6 +345,30 @@ fn mid_superstep_fault_propagates_without_deadlock() {
             assert!(
                 matches!(r, Err(GblasError::CommFailure(_))),
                 "fail_after={fail_at} {exec:?}: expected CommFailure, got {r:?}"
+            );
+        }
+    }
+}
+
+/// The same no-deadlock guarantee on the aggregated-gather (Bulk) path:
+/// faults landing in the request, reply, and scatter supersteps must all
+/// surface as `CommFailure` under both executors.
+#[test]
+fn mid_superstep_fault_propagates_on_aggregated_gather() {
+    let grid = ProcGrid::new(2, 3);
+    let p = grid.locales();
+    let a = gen::erdos_renyi(300, 6, 53);
+    let x = gen::random_sparse_vec(300, 40, 54);
+    let da = DistCsrMatrix::from_global(&a, grid);
+    let dx = DistSparseVec::from_global(&x, p);
+    for exec in [LocaleExecutor::Threaded, LocaleExecutor::Serial] {
+        for fail_at in [0, 3, 9, 15] {
+            let dctx = ctx_with(p, exec);
+            dctx.comm.fail_after(fail_at);
+            let r = spmspv::spmspv_dist_bulk(&da, &dx, &dctx);
+            assert!(
+                matches!(r, Err(GblasError::CommFailure(_))),
+                "bulk fail_after={fail_at} {exec:?}: expected CommFailure, got {r:?}"
             );
         }
     }

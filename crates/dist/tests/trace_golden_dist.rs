@@ -1,0 +1,119 @@
+//! Golden-file coverage for real distributed SpMSpV traces.
+//!
+//! One small fixed workload, exported through the byte-deterministic
+//! Chrome sink, once per merge strategy. These pin the span structure the
+//! observability stack promises: the `bucket` phase (and the absence of
+//! any sort work) under the bucketed merge, and the aggregated
+//! request/reply `gather` supersteps under `CommStrategy::Bulk`. The
+//! serial executor makes the run — and therefore the file — exactly
+//! reproducible.
+//!
+//! Regenerate after an intentional format or pricing change with
+//! `GBLAS_REGEN_GOLDEN=1 cargo test -p gblas-dist --test trace_golden_dist`.
+
+use gblas_core::algebra::semirings;
+use gblas_core::gen;
+use gblas_core::ops::spmspv::{MergeStrategy, SpMSpVOpts};
+use gblas_core::trace::sink::chrome_trace;
+use gblas_core::trace::SpanKind;
+use gblas_dist::ops::spmspv::{spmspv_dist_semiring_with, CommStrategy, PHASE_GATHER};
+use gblas_dist::{DistCsrMatrix, DistCtx, DistSparseVec, LocaleExecutor, ProcGrid};
+use gblas_sim::MachineConfig;
+
+fn traced_run(merge: MergeStrategy) -> gblas_core::trace::Trace {
+    let grid = ProcGrid::new(2, 2);
+    let a = gen::erdos_renyi(60, 4, 5);
+    let x = gen::random_sparse_vec(60, 12, 6);
+    let da = DistCsrMatrix::from_global(&a, grid);
+    let dx = DistSparseVec::from_global(&x, grid.locales());
+    let mut dctx = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+    dctx.set_executor(LocaleExecutor::Serial);
+    dctx.enable_tracing();
+    let ring = semirings::plus_times_f64();
+    spmspv_dist_semiring_with(
+        &da,
+        &dx,
+        &ring,
+        CommStrategy::Bulk,
+        SpMSpVOpts::with_merge(merge),
+        &dctx,
+    )
+    .expect("spmspv");
+    dctx.recorder().snapshot()
+}
+
+fn check_against_golden(merge: MergeStrategy) {
+    let got = chrome_trace(&traced_run(merge));
+    let golden = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join(format!("tests/golden/spmspv_bulk_{}.json", merge.name()));
+    if std::env::var_os("GBLAS_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden.parent().unwrap()).expect("mkdir golden");
+        std::fs::write(&golden, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden).expect("golden file present");
+    assert_eq!(got, want, "{} merge trace drifted from the golden file", merge.name());
+}
+
+#[test]
+fn sort_merge_trace_matches_golden() {
+    check_against_golden(MergeStrategy::SortBased);
+}
+
+#[test]
+fn bucket_merge_trace_matches_golden() {
+    check_against_golden(MergeStrategy::Bucketed);
+}
+
+/// Structural claims the golden bytes encode, asserted directly so a
+/// regeneration cannot silently drop them.
+#[test]
+fn traces_carry_the_promised_spans() {
+    let sorted = traced_run(MergeStrategy::SortBased);
+    let bucketed = traced_run(MergeStrategy::Bucketed);
+
+    // The dist trace folds the core merge phases into each locale's
+    // `local` compute span (the standalone `bucket`/`sort` spans are
+    // pinned by the core golden test), but their counters survive: the
+    // sorted run records sort comparisons and no bucket scatter, the
+    // bucketed run the exact opposite.
+    let totals = |t: &gblas_core::trace::Trace| {
+        t.spans.iter().fold((0u64, 0u64), |(se, ra), s| {
+            (se + s.counters.sort_elems, ra + s.counters.rand_access)
+        })
+    };
+    let (sorted_se, sorted_ra) = totals(&sorted);
+    let (bucketed_se, bucketed_ra) = totals(&bucketed);
+    assert!(sorted_se > 0, "sorted run recorded no sort comparisons");
+    assert_eq!(sorted_ra, 0, "sorted run recorded bucket scatters");
+    assert_eq!(bucketed_se, 0, "bucketed run recorded sort comparisons");
+    assert!(bucketed_ra > 0, "bucketed run recorded no bucket scatters");
+    for t in [&sorted, &bucketed] {
+        // the aggregated gather prices whole coalesced messages only
+        let gather_comm: Vec<_> = t
+            .spans
+            .iter()
+            .filter(|s| {
+                s.kind == SpanKind::LocaleComm
+                    && s.name == PHASE_GATHER
+                    && s.comm.as_ref().is_some_and(|c| !c.is_empty())
+            })
+            .collect();
+        assert!(!gather_comm.is_empty(), "no gather comm spans recorded");
+        for s in &gather_comm {
+            let c = s.comm.as_ref().unwrap();
+            assert_eq!(c.fine_msgs, 0, "aggregated gather sent fine messages");
+            assert_eq!(c.fine_dependent_msgs, 0, "aggregated gather sent dependent messages");
+            assert!(c.bulk_msgs > 0);
+        }
+    }
+    // the op span records which merge strategy produced it
+    let merge_attr = |t: &gblas_core::trace::Trace| {
+        t.spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Op)
+            .and_then(|s| s.attrs.iter().find(|(k, _)| k == "merge").map(|(_, v)| v.clone()))
+    };
+    assert_eq!(merge_attr(&sorted).as_deref(), Some("sort"));
+    assert_eq!(merge_attr(&bucketed).as_deref(), Some("bucket"));
+}

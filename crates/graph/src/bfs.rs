@@ -11,7 +11,7 @@ use gblas_core::error::{check_dims, GblasError, Result};
 use gblas_core::mask::VecMask;
 use gblas_core::ops::spmspv::{spmspv_first_visitor, SpMSpVOpts};
 use gblas_core::par::ExecCtx;
-use gblas_dist::ops::spmspv::{spmspv_dist_masked, DistMask};
+use gblas_dist::ops::spmspv::{spmspv_dist_with, CommStrategy, DistMask};
 use gblas_dist::{DistCsrMatrix, DistCtx, DistDenseVec, DistSparseVec};
 
 /// BFS output: per-vertex level and parent.
@@ -70,6 +70,18 @@ pub fn bfs<T: Copy + Send + Sync>(
     source: usize,
     ctx: &ExecCtx,
 ) -> Result<BfsResult> {
+    bfs_with(a, source, SpMSpVOpts::default(), ctx)
+}
+
+/// BFS with explicit SpMSpV options (sort algorithm / merge strategy),
+/// so the frontier loop can run either the sort-based or the sort-free
+/// bucketed merge.
+pub fn bfs_with<T: Copy + Send + Sync>(
+    a: &CsrMatrix<T>,
+    source: usize,
+    opts: SpMSpVOpts,
+    ctx: &ExecCtx,
+) -> Result<BfsResult> {
     check_dims("square matrix", a.nrows(), a.ncols())?;
     let n = a.nrows();
     if source >= n {
@@ -87,7 +99,7 @@ pub fn bfs<T: Copy + Send + Sync>(
         level += 1;
         let next = {
             let unvisited = VecMask::dense(&visited).complement();
-            spmspv_first_visitor(a, &frontier, Some(&unvisited), SpMSpVOpts::default(), ctx)?
+            spmspv_first_visitor(a, &frontier, Some(&unvisited), opts, ctx)?
         };
         for (v, &parent) in next.iter() {
             visited[v] = true;
@@ -110,6 +122,18 @@ pub fn bfs<T: Copy + Send + Sync>(
 pub fn bfs_dist<T: FrontierValue>(
     a: &DistCsrMatrix<T>,
     source: usize,
+    dctx: &DistCtx,
+) -> Result<(BfsResult, gblas_sim::SimReport)> {
+    bfs_dist_with(a, source, CommStrategy::Fine, SpMSpVOpts::default(), dctx)
+}
+
+/// Distributed BFS with an explicit communication strategy and SpMSpV
+/// options for the per-level kernel.
+pub fn bfs_dist_with<T: FrontierValue>(
+    a: &DistCsrMatrix<T>,
+    source: usize,
+    strategy: CommStrategy,
+    opts: SpMSpVOpts,
     dctx: &DistCtx,
 ) -> Result<(BfsResult, gblas_sim::SimReport)> {
     check_dims("square matrix", a.nrows(), a.ncols())?;
@@ -136,8 +160,14 @@ pub fn bfs_dist<T: FrontierValue>(
     let mut level = 0i64;
     while frontier.nnz() > 0 {
         level += 1;
-        let (next, report) =
-            spmspv_dist_masked(a, &frontier, DistMask::complement(&visited), dctx)?;
+        let (next, report) = spmspv_dist_with(
+            a,
+            &frontier,
+            Some(DistMask::complement(&visited)),
+            strategy,
+            opts,
+            dctx,
+        )?;
         total.merge(&report);
         // The masked kernel already excluded visited vertices; record the
         // new ones and mark them visited, locale by locale.
@@ -270,6 +300,41 @@ mod tests {
             dist.validate(&a, 3).unwrap();
             assert!(report.total() > 0.0);
         }
+    }
+
+    #[test]
+    fn bucketed_bfs_matches_sorted_bfs() {
+        use gblas_core::ops::spmspv::MergeStrategy;
+        let a = gen::erdos_renyi(500, 4, 47);
+        for threads in [1, 4] {
+            let ctx = ExecCtx::new(threads, 2);
+            let sorted = bfs_with(&a, 0, SpMSpVOpts::default(), &ctx).unwrap();
+            let bucketed =
+                bfs_with(&a, 0, SpMSpVOpts::with_merge(MergeStrategy::Bucketed), &ctx).unwrap();
+            assert_eq!(sorted, bucketed, "threads {threads}");
+            bucketed.validate(&a, 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn bucketed_bulk_bfs_dist_matches_shared() {
+        use gblas_core::ops::spmspv::MergeStrategy;
+        let a = gen::erdos_renyi(400, 5, 57);
+        let shared = bfs(&a, 3, &ExecCtx::serial()).unwrap();
+        let grid = ProcGrid::new(2, 3);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dctx = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+        let (dist, report) = bfs_dist_with(
+            &da,
+            3,
+            CommStrategy::Bulk,
+            SpMSpVOpts::with_merge(MergeStrategy::Bucketed),
+            &dctx,
+        )
+        .unwrap();
+        assert_eq!(dist.levels, shared.levels);
+        dist.validate(&a, 3).unwrap();
+        assert!(report.total() > 0.0);
     }
 
     #[test]

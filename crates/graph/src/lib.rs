@@ -46,10 +46,10 @@ pub mod sssp;
 pub mod triangles;
 
 pub use betweenness::betweenness;
-pub use bfs::{bfs, bfs_dist, BfsResult};
+pub use bfs::{bfs, bfs_dist, bfs_dist_with, bfs_with, BfsResult};
 pub use cc::{connected_components, connected_components_dist};
 pub use kcore::core_numbers;
 pub use mis::maximal_independent_set;
 pub use pagerank::{pagerank, pagerank_dist, PageRankOptions};
-pub use sssp::{sssp, sssp_dist};
+pub use sssp::{sssp, sssp_dist, sssp_dist_with, sssp_with};
 pub use triangles::triangle_count;

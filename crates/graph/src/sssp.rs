@@ -9,7 +9,7 @@
 use gblas_core::algebra::semirings;
 use gblas_core::container::{CsrMatrix, DenseVec, SparseVec};
 use gblas_core::error::{check_dims, GblasError, Result};
-use gblas_core::ops::spmspv::spmspv_semiring;
+use gblas_core::ops::spmspv::{spmspv_semiring_masked, SpMSpVOpts};
 use gblas_core::par::ExecCtx;
 
 /// Shortest-path distances from `source`; unreachable vertices hold
@@ -18,6 +18,17 @@ use gblas_core::par::ExecCtx;
 /// Returns an error on out-of-range sources, non-square matrices, or when
 /// relaxation fails to settle within `V` rounds (a negative cycle).
 pub fn sssp(a: &CsrMatrix<f64>, source: usize, ctx: &ExecCtx) -> Result<DenseVec<f64>> {
+    sssp_with(a, source, SpMSpVOpts::default(), ctx)
+}
+
+/// SSSP with explicit SpMSpV options (sort algorithm / merge strategy)
+/// for the per-round relaxation kernel.
+pub fn sssp_with(
+    a: &CsrMatrix<f64>,
+    source: usize,
+    opts: SpMSpVOpts,
+    ctx: &ExecCtx,
+) -> Result<DenseVec<f64>> {
     check_dims("square matrix", a.nrows(), a.ncols())?;
     let n = a.nrows();
     if source >= n {
@@ -35,7 +46,7 @@ pub fn sssp(a: &CsrMatrix<f64>, source: usize, ctx: &ExecCtx) -> Result<DenseVec
                 "sssp did not converge within V rounds (negative cycle?)".into(),
             ));
         }
-        let relaxed = spmspv_semiring(a, &frontier, &ring, ctx)?.vector;
+        let relaxed = spmspv_semiring_masked(a, &frontier, &ring, None, opts, ctx)?.vector;
         let mut next_i = Vec::new();
         let mut next_v = Vec::new();
         for (j, &d) in relaxed.iter() {
@@ -62,7 +73,20 @@ pub fn sssp_dist(
     source: usize,
     dctx: &gblas_dist::DistCtx,
 ) -> Result<(DenseVec<f64>, gblas_sim::SimReport)> {
-    use gblas_dist::ops::spmspv::{spmspv_dist_semiring, CommStrategy};
+    use gblas_dist::ops::spmspv::CommStrategy;
+    sssp_dist_with(a, source, CommStrategy::Bulk, SpMSpVOpts::default(), dctx)
+}
+
+/// Distributed SSSP with an explicit communication strategy and SpMSpV
+/// options for the per-round relaxation kernel.
+pub fn sssp_dist_with(
+    a: &gblas_dist::DistCsrMatrix<f64>,
+    source: usize,
+    strategy: gblas_dist::ops::spmspv::CommStrategy,
+    opts: SpMSpVOpts,
+    dctx: &gblas_dist::DistCtx,
+) -> Result<(DenseVec<f64>, gblas_sim::SimReport)> {
+    use gblas_dist::ops::spmspv::spmspv_dist_semiring_with;
     use gblas_dist::{DistDenseVec, DistSparseVec};
 
     check_dims("square matrix", a.nrows(), a.ncols())?;
@@ -90,7 +114,7 @@ pub fn sssp_dist(
             ));
         }
         let (relaxed, report) =
-            spmspv_dist_semiring(a, &frontier, &ring, CommStrategy::Bulk, dctx)?;
+            spmspv_dist_semiring_with(a, &frontier, &ring, strategy, opts, dctx)?;
         total.merge(&report);
         // Locale-local improvement detection: relaxed and dist share the
         // same block layout.
@@ -202,6 +226,47 @@ mod tests {
     fn source_out_of_range_is_error() {
         let a = CsrMatrix::<f64>::empty(2, 2);
         assert!(sssp(&a, 5, &ExecCtx::serial()).is_err());
+    }
+
+    #[test]
+    fn bucketed_sssp_matches_sorted_sssp() {
+        use gblas_core::ops::spmspv::MergeStrategy;
+        let a = gen::erdos_renyi(250, 5, 21);
+        for threads in [1, 4] {
+            let ctx = ExecCtx::new(threads, 2);
+            let sorted = sssp_with(&a, 0, SpMSpVOpts::default(), &ctx).unwrap();
+            let bucketed =
+                sssp_with(&a, 0, SpMSpVOpts::with_merge(MergeStrategy::Bucketed), &ctx).unwrap();
+            assert_eq!(sorted.as_slice(), bucketed.as_slice(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn bucketed_bulk_sssp_dist_matches_shared() {
+        use gblas_core::ops::spmspv::MergeStrategy;
+        use gblas_dist::ops::spmspv::CommStrategy;
+        let a = gen::erdos_renyi(250, 5, 11);
+        let expect = sssp(&a, 7, &ExecCtx::serial()).unwrap();
+        let grid = gblas_dist::ProcGrid::new(2, 3);
+        let da = gblas_dist::DistCsrMatrix::from_global(&a, grid);
+        let dctx =
+            gblas_dist::DistCtx::new(gblas_sim::MachineConfig::edison_cluster(grid.locales(), 24));
+        let (dist, report) = sssp_dist_with(
+            &da,
+            7,
+            CommStrategy::Bulk,
+            SpMSpVOpts::with_merge(MergeStrategy::Bucketed),
+            &dctx,
+        )
+        .unwrap();
+        for v in 0..250 {
+            if expect[v].is_infinite() {
+                assert!(dist[v].is_infinite(), "vertex {v}");
+            } else {
+                assert!((dist[v] - expect[v]).abs() < 1e-9, "vertex {v}");
+            }
+        }
+        assert!(report.total() > 0.0);
     }
 
     #[test]
