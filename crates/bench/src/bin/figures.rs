@@ -6,7 +6,10 @@
 //! ```
 //!
 //! * `--fig N` — a figure number 1..10 (6 is the SPA diagram: no data);
-//!   `all` (default) runs everything.
+//!   `ablations` for the design-choice sweeps, `algorithms` for the
+//!   node sweep of the newly-distributed analytics (triangles, k-core,
+//!   MIS, betweenness via the backend trait); `all` (default) runs
+//!   everything.
 //! * `--scale S` — divide the paper's large input sizes (1M/10M/100M) by
 //!   `S` for quick runs; default 1 (full paper sizes, needs ~8 GB RAM and
 //!   a few minutes).
@@ -25,6 +28,7 @@ use std::path::PathBuf;
 fn main() {
     let mut figs: Vec<usize> = (1..=10).collect();
     let mut ablations = true;
+    let mut algorithms = true;
     let mut scale = 1usize;
     let mut out = PathBuf::from("results");
     let mut trace_out: Option<String> = None;
@@ -38,9 +42,16 @@ fn main() {
                 let v = args.get(i).expect("--fig needs a value");
                 if v == "ablations" {
                     figs = Vec::new();
-                } else if v != "all" {
-                    figs = vec![v.parse().expect("--fig expects 1..10, 'ablations' or 'all'")];
+                    algorithms = false;
+                } else if v == "algorithms" {
+                    figs = Vec::new();
                     ablations = false;
+                } else if v != "all" {
+                    figs = vec![v
+                        .parse()
+                        .expect("--fig expects 1..10, 'ablations', 'algorithms' or 'all'")];
+                    ablations = false;
+                    algorithms = false;
                 }
             }
             "--scale" => {
@@ -64,8 +75,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig N|all] [--scale S] [--out DIR] [--trace FILE] \
-                     [--spmspv-merge sort|bucket]"
+                    "usage: figures [--fig N|ablations|algorithms|all] [--scale S] [--out DIR] \
+                     [--trace FILE] [--spmspv-merge sort|bucket]"
                 );
                 return;
             }
@@ -104,6 +115,17 @@ fn main() {
             }
         }
         eprintln!("# ablations regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    if algorithms {
+        let t0 = std::time::Instant::now();
+        for fig in gblas_bench::figs::fig_algorithms(scale) {
+            fig.print();
+            match fig.write_csv(&out) {
+                Ok(path) => println!("(wrote {})", path.display()),
+                Err(e) => eprintln!("(csv write failed: {e})"),
+            }
+        }
+        eprintln!("# algorithms sweep regenerated in {:.1}s", t0.elapsed().as_secs_f64());
     }
     if let (Some(path), Some((recorder, metrics))) = (trace_out, tracing) {
         let trace = recorder.snapshot();

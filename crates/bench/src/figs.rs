@@ -430,6 +430,47 @@ pub fn fig_ablations(scale: usize) -> Vec<Figure> {
     out
 }
 
+/// Beyond-the-paper node sweep of the four analytics the backend-generic
+/// algorithm layer newly runs distributed (triangles, k-core, MIS,
+/// betweenness): each point executes the *same* generic algorithm text
+/// as the shared-memory run, on the simulated Edison cluster, and
+/// reports the priced comm/compute ledger. Exposed as `--fig algorithms`
+/// in the `figures` binary.
+pub fn fig_algorithms(scale: usize) -> Vec<Figure> {
+    let n = workloads::scaled(100_000, scale, 2_000);
+    let a = gblas_core::gen::erdos_renyi_symmetric(n, 8, 175);
+    let mut fig = Figure::new(
+        "algorithms-dist",
+        "Newly-distributed analytics via the backend trait (ER symmetric d=8)",
+        "nodes",
+    );
+    type Runner = fn(&DistCsrMatrix<f64>, &DistCtx) -> SimReport;
+    let runners: [(&str, Runner); 4] = [
+        ("triangles", |da, dctx| gblas_graph::triangle_count_dist(da, dctx).expect("triangles").1),
+        ("kcore", |da, dctx| gblas_graph::core_numbers_dist(da, dctx).expect("kcore").1),
+        ("mis", |da, dctx| gblas_graph::maximal_independent_set_dist(da, 42, dctx).expect("mis").1),
+        ("bc", |da, dctx| gblas_graph::betweenness_dist(da, &[0, 1, 2, 3], dctx).expect("bc").1),
+    ];
+    for (label, run) in runners {
+        let mut points = Vec::new();
+        for &p in NODES {
+            // triangles runs a sparse SUMMA, which needs a square grid
+            let grid = if label == "triangles" {
+                let q = (p as f64).sqrt() as usize;
+                ProcGrid::new(q.max(1), q.max(1))
+            } else {
+                ProcGrid::square_for(p)
+            };
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let dctx = dist_ctx(MachineConfig::edison_cluster(grid.locales(), 24));
+            let report = run(&da, &dctx);
+            points.push(FigPoint { x: p, report });
+        }
+        fig.push_series(label, points);
+    }
+    vec![fig]
+}
+
 /// Run one figure by number. Figure 6 is the SPA diagram — nothing to
 /// measure — so it returns an empty set.
 pub fn run_fig(n: usize, scale: usize) -> Vec<Figure> {

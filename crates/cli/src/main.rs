@@ -12,29 +12,39 @@
 //!   pagerank    PageRank (top 10 printed)
 //!   cc          connected components (requires symmetric input; use --symmetrize)
 //!   triangles   triangle count (requires symmetric input; use --symmetrize)
+//!   kcore       k-core decomposition (requires symmetric input; use --symmetrize)
+//!   mis         maximal independent set, seeded by --seed (requires symmetric input)
 //!   bc          betweenness centrality from --source (or all if --source omitted and n <= 2000)
 //!   trace       summarize a saved JSONL trace (--input trace.jsonl)
 //! ```
 //!
-//! `--spmspv-merge` selects how `bfs` and `sssp` merge SpMSpV results each
-//! frontier round: `sort` (the paper's merge/radix sort) or `bucket` (the
-//! sort-free bucketed merge). Both give identical output.
+//! `--spmspv-merge` selects how the frontier algorithms merge SpMSpV
+//! results each round: `sort` (the paper's merge/radix sort) or `bucket`
+//! (the sort-free bucketed merge). Both give identical output.
 //!
-//! With `--simulate NODES`, `bfs`, `sssp`, `pagerank` and `cc` also run on
-//! the simulated distributed machine and print where the time would go on
-//! the paper's Cray XC30. Adding `--trace FILE` records every simulated
-//! operation (spans per op/phase/locale) and writes a Chrome trace-event
-//! file (load it in `chrome://tracing` / Perfetto), or a JSONL stream if
-//! `FILE` ends in `.jsonl`; cumulative metrics are printed either way.
+//! Every algorithm is a single generic function over the backend trait,
+//! so with `--simulate NODES` **every** analytic (bfs, sssp, pagerank,
+//! cc, triangles, kcore, mis, bc) also runs — same algorithm text — on
+//! the simulated distributed machine and prints where the time would go
+//! on the paper's Cray XC30. `triangles` rounds the node count down to a
+//! square locale grid (the sparse-SUMMA requirement). Adding `--trace
+//! FILE` records every simulated operation (spans per op/phase/locale)
+//! and writes a Chrome trace-event file (load it in `chrome://tracing` /
+//! Perfetto), or a JSONL stream if `FILE` ends in `.jsonl`; cumulative
+//! metrics are printed either way.
 
+use gblas_core::backend::{GblasBackend, SharedBackend};
 use gblas_core::container::CsrMatrix;
 use gblas_core::error::{GblasError, Result};
 use gblas_core::ops::spmspv::{MergeStrategy, SpMSpVOpts};
 use gblas_core::par::ExecCtx;
 use gblas_core::trace::sink;
 use gblas_core::{gen, io};
-use gblas_dist::{DistCsrMatrix, DistCtx, ProcGrid};
+use gblas_dist::ops::spmspv::CommStrategy;
+use gblas_dist::{DistBackend, DistCsrMatrix, DistCtx, ProcGrid};
 use gblas_sim::MachineConfig;
+
+const USAGE_COMMANDS: &str = "info|bfs|sssp|pagerank|cc|triangles|kcore|mis|bc|trace";
 
 struct Args {
     command: String,
@@ -215,14 +225,128 @@ fn degree_stats(a: &CsrMatrix<f64>) -> (usize, usize, f64) {
     (min.min(max), max, a.nnz() as f64 / a.nrows().max(1) as f64)
 }
 
+/// Format the top-scoring vertices of a dense score vector.
+fn top_vertices(scores: &[f64], k: usize, fmt: impl Fn(f64) -> String) -> String {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&x, &y| scores[y].partial_cmp(&scores[x]).unwrap());
+    let mut out = String::new();
+    for (rank, &v) in order.iter().take(k).enumerate() {
+        out.push_str(&format!("\n  #{:<2} vertex {:>8}  score {}", rank + 1, v, fmt(scores[v])));
+    }
+    out
+}
+
+/// The bc source set: `--source` when given (or on big graphs), else all.
+fn bc_sources(args: &Args, n: usize) -> Vec<usize> {
+    if args.source != 0 || n > 2000 {
+        vec![args.source]
+    } else {
+        (0..n).collect()
+    }
+}
+
+/// Run one analytic on any backend and summarize the result.
+///
+/// This is the whole dispatch: the shared-memory run and the `--simulate`
+/// run call the identical function with a different `B`, which is the
+/// point of the backend trait — one algorithm text, two substrates.
+fn run_algo<B: GblasBackend>(backend: &B, a: &B::Matrix<f64>, args: &Args) -> Result<String> {
+    let opts = SpMSpVOpts::with_merge(args.merge);
+    Ok(match args.command.as_str() {
+        "bfs" => {
+            let r = gblas_graph::bfs_on(backend, a, args.source, opts)?;
+            format!(
+                "bfs from {}: reached {} vertices, max level {}",
+                args.source,
+                r.reached(),
+                r.levels.as_slice().iter().max().unwrap_or(&0)
+            )
+        }
+        "sssp" => {
+            let dist = gblas_graph::sssp_on(backend, a, args.source, opts)?;
+            let reached = dist.as_slice().iter().filter(|d| d.is_finite()).count();
+            let furthest =
+                dist.as_slice().iter().filter(|d| d.is_finite()).cloned().fold(0.0, f64::max);
+            format!(
+                "sssp from {}: {} reachable, max distance {:.4}",
+                args.source, reached, furthest
+            )
+        }
+        "pagerank" => {
+            let (pr, iters) =
+                gblas_graph::pagerank_on(backend, a, gblas_graph::PageRankOptions::default())?;
+            format!(
+                "pagerank converged in {iters} iterations{}",
+                top_vertices(pr.as_slice(), 10, |s| format!("{s:.6e}"))
+            )
+        }
+        "cc" => {
+            let labels = gblas_graph::connected_components_on(backend, a)?;
+            format!("{} connected components", gblas_graph::cc::component_count(&labels))
+        }
+        "triangles" => {
+            let t = gblas_graph::triangle_count_on(backend, a)?;
+            format!("{t} triangles")
+        }
+        "kcore" => {
+            let core = gblas_graph::core_numbers_on(backend, a)?;
+            let kmax = core.as_slice().iter().max().copied().unwrap_or(0);
+            let in_kmax = core.as_slice().iter().filter(|&&c| c == kmax).count();
+            format!("degeneracy {kmax} ({in_kmax} vertices in the {kmax}-core)")
+        }
+        "mis" => {
+            let set = gblas_graph::maximal_independent_set_on(backend, a, args.seed)?;
+            let size = set.as_slice().iter().filter(|&&b| b).count();
+            format!(
+                "maximal independent set: {size} of {} vertices (seed {})",
+                set.len(),
+                args.seed
+            )
+        }
+        "bc" => {
+            let sources = bc_sources(args, backend.mat_nrows(a));
+            let bc = gblas_graph::betweenness_on(backend, a, &sources)?;
+            format!(
+                "betweenness over {} source(s); top vertices:{}",
+                sources.len(),
+                top_vertices(bc.as_slice(), 5, |s| format!("{s:.4}"))
+            )
+        }
+        other => {
+            return Err(GblasError::InvalidArgument(format!(
+                "unknown command '{other}' ({USAGE_COMMANDS})"
+            )));
+        }
+    })
+}
+
+/// Pick the locale grid for `--simulate`. Triangles runs a sparse SUMMA,
+/// which needs a square grid, so its node count rounds down to a square.
+fn sim_grid(command: &str, nodes: usize) -> ProcGrid {
+    if command == "triangles" {
+        let q = (nodes as f64).sqrt() as usize;
+        ProcGrid::new(q.max(1), q.max(1))
+    } else {
+        ProcGrid::square_for(nodes)
+    }
+}
+
+/// The per-command communication strategy for the sparse-vector kernels
+/// (the paper's fine-grained Listing 8 for BFS, aggregated for the rest).
+fn sim_strategy(command: &str) -> CommStrategy {
+    if command == "bfs" {
+        CommStrategy::Fine
+    } else {
+        CommStrategy::Bulk
+    }
+}
+
 fn run() -> Result<()> {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             if e.contains("--help") || e.contains("missing command") {
-                eprintln!(
-                    "usage: gblas-cli <info|bfs|sssp|pagerank|cc|triangles|bc|trace> [options]"
-                );
+                eprintln!("usage: gblas-cli <{USAGE_COMMANDS}> [options]");
                 eprintln!("see the crate docs for the option list");
             }
             return Err(GblasError::InvalidArgument(e));
@@ -241,136 +365,29 @@ fn run() -> Result<()> {
         if args.symmetrize { " (symmetrized)" } else { "" }
     );
 
-    match args.command.as_str() {
-        "info" => {
-            let (dmin, dmax, davg) = degree_stats(&a);
-            println!("out-degree: min {dmin}, max {dmax}, mean {davg:.2}");
+    if args.command == "info" {
+        let (dmin, dmax, davg) = degree_stats(&a);
+        println!("out-degree: min {dmin}, max {dmax}, mean {davg:.2}");
+        return Ok(());
+    }
+
+    let t0 = std::time::Instant::now();
+    let summary = run_algo(&SharedBackend::new(&ctx), &a, &args)?;
+    println!("{summary} ({:.2?})", t0.elapsed());
+
+    if let Some(nodes) = args.simulate {
+        let grid = sim_grid(&args.command, nodes);
+        let nodes = grid.locales();
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dctx = sim_ctx(nodes, &args);
+        let backend = DistBackend::with_strategy(&dctx, sim_strategy(&args.command));
+        let dist_summary = run_algo(&backend, &da, &args)?;
+        let report = backend.take_report();
+        if dist_summary != summary {
+            println!("(distributed result) {dist_summary}");
         }
-        "bfs" => {
-            let t0 = std::time::Instant::now();
-            let r =
-                gblas_graph::bfs_with(&a, args.source, SpMSpVOpts::with_merge(args.merge), &ctx)?;
-            println!(
-                "bfs from {}: reached {} vertices, max level {} ({:.2?})",
-                args.source,
-                r.reached(),
-                r.levels.as_slice().iter().max().unwrap_or(&0),
-                t0.elapsed()
-            );
-            if let Some(nodes) = args.simulate {
-                let grid = ProcGrid::square_for(nodes);
-                let da = DistCsrMatrix::from_global(&a, grid);
-                let dctx = sim_ctx(nodes, &args);
-                let (dr, report) = gblas_graph::bfs_dist_with(
-                    &da,
-                    args.source,
-                    gblas_dist::ops::spmspv::CommStrategy::Fine,
-                    SpMSpVOpts::with_merge(args.merge),
-                    &dctx,
-                )?;
-                assert_eq!(dr.levels, r.levels);
-                println!("simulated on {nodes} Edison nodes: {report}");
-                finish_sim(&dctx, &args)?;
-            }
-        }
-        "sssp" => {
-            let t0 = std::time::Instant::now();
-            let dist =
-                gblas_graph::sssp_with(&a, args.source, SpMSpVOpts::with_merge(args.merge), &ctx)?;
-            let reached = dist.as_slice().iter().filter(|d| d.is_finite()).count();
-            let furthest =
-                dist.as_slice().iter().filter(|d| d.is_finite()).cloned().fold(0.0, f64::max);
-            println!(
-                "sssp from {}: {} reachable, max distance {:.4} ({:.2?})",
-                args.source,
-                reached,
-                furthest,
-                t0.elapsed()
-            );
-            if let Some(nodes) = args.simulate {
-                let grid = ProcGrid::square_for(nodes);
-                let da = DistCsrMatrix::from_global(&a, grid);
-                let dctx = sim_ctx(nodes, &args);
-                let (_, report) = gblas_graph::sssp_dist_with(
-                    &da,
-                    args.source,
-                    gblas_dist::ops::spmspv::CommStrategy::Bulk,
-                    SpMSpVOpts::with_merge(args.merge),
-                    &dctx,
-                )?;
-                println!("simulated on {nodes} Edison nodes: {report}");
-                finish_sim(&dctx, &args)?;
-            }
-        }
-        "pagerank" => {
-            let t0 = std::time::Instant::now();
-            let (pr, iters) =
-                gblas_graph::pagerank(&a, gblas_graph::PageRankOptions::default(), &ctx)?;
-            println!("pagerank converged in {iters} iterations ({:.2?})", t0.elapsed());
-            let mut order: Vec<usize> = (0..a.nrows()).collect();
-            order.sort_by(|&x, &y| pr[y].partial_cmp(&pr[x]).unwrap());
-            for (k, &v) in order.iter().take(10).enumerate() {
-                println!("  #{:<2} vertex {:>8}  score {:.6e}", k + 1, v, pr[v]);
-            }
-            if let Some(nodes) = args.simulate {
-                let grid = ProcGrid::square_for(nodes);
-                let dctx = sim_ctx(nodes, &args);
-                let (_, _, report) = gblas_graph::pagerank_dist(
-                    &a,
-                    grid,
-                    gblas_graph::PageRankOptions::default(),
-                    &dctx,
-                )?;
-                println!("simulated on {nodes} Edison nodes: {report}");
-                finish_sim(&dctx, &args)?;
-            }
-        }
-        "cc" => {
-            let t0 = std::time::Instant::now();
-            let labels = gblas_graph::connected_components(&a, &ctx)?;
-            println!(
-                "{} connected components ({:.2?})",
-                gblas_graph::cc::component_count(&labels),
-                t0.elapsed()
-            );
-            if let Some(nodes) = args.simulate {
-                let grid = ProcGrid::square_for(nodes);
-                let da = DistCsrMatrix::from_global(&a, grid);
-                let dctx = sim_ctx(nodes, &args);
-                let (_, report) = gblas_graph::connected_components_dist(&da, &dctx)?;
-                println!("simulated on {nodes} Edison nodes: {report}");
-                finish_sim(&dctx, &args)?;
-            }
-        }
-        "triangles" => {
-            let t0 = std::time::Instant::now();
-            let t = gblas_graph::triangle_count(&a, &ctx)?;
-            println!("{t} triangles ({:.2?})", t0.elapsed());
-        }
-        "bc" => {
-            let sources: Vec<usize> = if args.source != 0 || a.nrows() > 2000 {
-                vec![args.source]
-            } else {
-                (0..a.nrows()).collect()
-            };
-            let t0 = std::time::Instant::now();
-            let bc = gblas_graph::betweenness(&a, &sources, &ctx)?;
-            let mut order: Vec<usize> = (0..a.nrows()).collect();
-            order.sort_by(|&x, &y| bc[y].partial_cmp(&bc[x]).unwrap());
-            println!(
-                "betweenness over {} source(s) ({:.2?}); top vertices:",
-                sources.len(),
-                t0.elapsed()
-            );
-            for (k, &v) in order.iter().take(5).enumerate() {
-                println!("  #{:<2} vertex {:>8}  score {:.4}", k + 1, v, bc[v]);
-            }
-        }
-        other => {
-            return Err(GblasError::InvalidArgument(format!(
-                "unknown command '{other}' (info|bfs|sssp|pagerank|cc|triangles|bc|trace)"
-            )));
-        }
+        println!("simulated on {nodes} Edison nodes: {report}");
+        finish_sim(&dctx, &args)?;
     }
     if args.trace_out.is_some() && args.simulate.is_none() {
         eprintln!("note: --trace records the simulated run; add --simulate NODES");

@@ -1,0 +1,442 @@
+//! The backend trait: one algorithm layer, many execution substrates.
+//!
+//! The paper's central structural lesson (§IV) is that *algorithms* should
+//! be written once against GraphBLAS primitives while *backends* encode
+//! locality — its Apply1/Assign1 versions are the same algorithm text as
+//! Apply2/Assign2, differing only in how the backend maps iterations to
+//! locales. [`GblasBackend`] makes that split a compile-time contract: a
+//! graph algorithm is a single generic function over `B: GblasBackend`,
+//! and the choice of shared-memory ([`SharedBackend`]) or simulated
+//! distributed memory (`gblas_dist::backend::DistBackend`) is made at the
+//! call site, exactly like CombBLAS 2.0's process/thread backends.
+//!
+//! What lives on which side of the line:
+//!
+//! * **algorithm layer** — iteration structure, frontier logic,
+//!   convergence tests, per-vertex driver state (levels, labels,
+//!   distances). Driver state is small and global by construction; the
+//!   distributed backend treats it as replicated control state, which is
+//!   what the paper's Chapel driver loops do implicitly.
+//! * **backend layer** — containers ([`GblasBackend::Matrix`],
+//!   [`GblasBackend::SparseVec`], [`GblasBackend::DenseVec`]), the
+//!   primitive ops (SpMSpV / SpMV / SpGEMM / transpose / select / map /
+//!   reduce) with masks and semirings, and all cost accounting: the
+//!   distributed backend threads `CommStrategy`, `SpMSpVOpts`, and the
+//!   `SimReport` ledger through every call; the shared backend charges its
+//!   instrumented `ExecCtx`.
+//!
+//! Masks cross the boundary as [`MaskSpec`] — a dense boolean vector in
+//! the backend's own layout plus a complement flag — so `q⟨¬visited⟩ =
+//! Aᵀq` reads identically whether the bits live in one address space or
+//! are block-distributed with the output.
+
+use crate::algebra::{BinaryOp, ComMonoid, Monoid, Scalar, Semiring};
+use crate::container::{CsrMatrix, DenseVec, SparseVec};
+use crate::error::Result;
+use crate::mask::VecMask;
+use crate::ops;
+use crate::ops::spmspv::SpMSpVOpts;
+use crate::par::ExecCtx;
+
+/// A dense boolean output mask in the backend's native vector layout.
+///
+/// `complement = true` is GraphBLAS `GrB_COMP`: allow where the bit is
+/// *false* (BFS's "not yet visited").
+#[derive(Debug, Clone, Copy)]
+pub struct MaskSpec<'a, V> {
+    /// The mask bits, in the backend's dense-vector representation.
+    pub bits: &'a V,
+    /// Allow where the bit is `false` instead of `true`.
+    pub complement: bool,
+}
+
+impl<'a, V> MaskSpec<'a, V> {
+    /// Allow output entries where the bit is `true`.
+    pub fn new(bits: &'a V) -> Self {
+        MaskSpec { bits, complement: false }
+    }
+
+    /// Allow output entries where the bit is `false`.
+    pub fn complement(bits: &'a V) -> Self {
+        MaskSpec { bits, complement: true }
+    }
+}
+
+/// A GraphBLAS execution backend: containers plus the primitive operation
+/// set, with all locality and accounting decisions behind the interface.
+///
+/// Predicates and map functions always receive **global** coordinates —
+/// the distributed backend translates block-local positions before calling
+/// them, so algorithm code never sees the partition.
+pub trait GblasBackend {
+    /// Sparse matrix in this backend's layout.
+    type Matrix<T: Scalar>;
+    /// Sparse vector in this backend's layout.
+    type SparseVec<T: Scalar>;
+    /// Dense vector in this backend's layout.
+    type DenseVec<T: Scalar>;
+
+    /// Human-readable backend name (for traces and error messages).
+    fn name(&self) -> &'static str;
+
+    // ---- matrix queries ----------------------------------------------
+
+    /// Number of matrix rows.
+    fn mat_nrows<T: Scalar>(&self, a: &Self::Matrix<T>) -> usize;
+    /// Number of matrix columns.
+    fn mat_ncols<T: Scalar>(&self, a: &Self::Matrix<T>) -> usize;
+    /// Number of stored entries.
+    fn mat_nnz<T: Scalar>(&self, a: &Self::Matrix<T>) -> usize;
+
+    // ---- structural matrix ops ---------------------------------------
+
+    /// `Apply` with coordinates: `B[i,j] = f(i, j, A[i,j])` over stored
+    /// entries, possibly changing the value type. Local on every backend.
+    fn mat_map<T: Scalar, U: Scalar>(
+        &self,
+        a: &Self::Matrix<T>,
+        f: &(impl Fn(usize, usize, T) -> U + Sync),
+    ) -> Result<Self::Matrix<U>>;
+
+    /// `GrB_select`: keep the stored entries where `pred(i, j, v)` holds.
+    fn mat_select<T: Scalar>(
+        &self,
+        a: &Self::Matrix<T>,
+        pred: &(impl Fn(usize, usize, T) -> bool + Sync),
+    ) -> Result<Self::Matrix<T>>;
+
+    /// `B = Aᵀ`.
+    fn mat_transpose<T: Scalar>(&self, a: &Self::Matrix<T>) -> Result<Self::Matrix<T>>;
+
+    /// Masked SpGEMM: `C⟨M⟩ = A ⊗ B` (structural mask intersection).
+    fn mxm_masked<A, B, C, AddM, MulOp, M>(
+        &self,
+        a: &Self::Matrix<A>,
+        b: &Self::Matrix<B>,
+        ring: &Semiring<AddM, MulOp>,
+        mask: Option<&Self::Matrix<M>>,
+    ) -> Result<Self::Matrix<C>>
+    where
+        A: Scalar,
+        B: Scalar,
+        C: Scalar,
+        M: Scalar,
+        AddM: Monoid<C>,
+        MulOp: BinaryOp<A, B, C>;
+
+    /// Row-wise reduction `y[i] = ⊕_j A[i,j]`, returned as a *global*
+    /// driver-side vector (identity for empty rows). Block partials are
+    /// combined in ascending column-block order, i.e. the serial fold
+    /// order — exact for the integer-valued data the algorithms feed it.
+    fn reduce_rows<T: Scalar, M>(&self, a: &Self::Matrix<T>, monoid: &M) -> Result<Vec<T>>
+    where
+        M: Monoid<T>;
+
+    /// Whole-matrix reduction `⊕_{ij} A[i,j]` with a commutative monoid.
+    fn reduce_mat<T: Scalar, M>(&self, a: &Self::Matrix<T>, monoid: &M) -> Result<T>
+    where
+        M: ComMonoid<T>;
+
+    // ---- vector kernels ----------------------------------------------
+
+    /// BFS kernel: `y⟨mask⟩ = x Aᵀ`-structure with first-writer-wins
+    /// parents. The frontier's values are ignored; the output stores, per
+    /// reached column, the global row id of its first visitor.
+    fn spmspv_first_visitor<T: Scalar>(
+        &self,
+        a: &Self::Matrix<T>,
+        x: &Self::SparseVec<usize>,
+        mask: Option<MaskSpec<'_, Self::DenseVec<bool>>>,
+        opts: SpMSpVOpts,
+    ) -> Result<Self::SparseVec<usize>>;
+
+    /// General masked SpMSpV: `y[j]⟨mask⟩ = ⊕_i x[i] ⊗ A[i,j]`.
+    fn spmspv_semiring<A, B, C, AddM, MulOp>(
+        &self,
+        a: &Self::Matrix<B>,
+        x: &Self::SparseVec<A>,
+        ring: &Semiring<AddM, MulOp>,
+        mask: Option<MaskSpec<'_, Self::DenseVec<bool>>>,
+        opts: SpMSpVOpts,
+    ) -> Result<Self::SparseVec<C>>
+    where
+        A: Scalar,
+        B: Scalar,
+        C: Scalar,
+        AddM: Monoid<C>,
+        MulOp: BinaryOp<A, B, C>;
+
+    /// Dense SpMV in the column orientation the algorithms use:
+    /// `y[j] = ⊕_i x[i] ⊗ A[i,j]` (`y = x A`).
+    fn spmv<A, B, C, AddM, MulOp>(
+        &self,
+        a: &Self::Matrix<B>,
+        x: &Self::DenseVec<A>,
+        ring: &Semiring<AddM, MulOp>,
+    ) -> Result<Self::DenseVec<C>>
+    where
+        A: Scalar,
+        B: Scalar,
+        C: Scalar,
+        AddM: Monoid<C>,
+        MulOp: BinaryOp<A, B, C>;
+
+    // ---- driver <-> backend data movement ----------------------------
+
+    /// A dense vector of `len` copies of `fill`.
+    fn dense_filled<T: Scalar>(&self, len: usize, fill: T) -> Self::DenseVec<T>;
+
+    /// Import a global driver-side vector into the backend layout.
+    fn dense_from_vec<T: Scalar>(&self, v: Vec<T>) -> Self::DenseVec<T>;
+
+    /// Export a backend vector to a global driver-side vector.
+    fn dense_to_vec<T: Scalar>(&self, v: &Self::DenseVec<T>) -> Vec<T>;
+
+    /// Point update `v[i] = value` (driver-side control state; the
+    /// distributed backend pokes the owning locale's segment).
+    fn dense_set<T: Scalar>(&self, v: &mut Self::DenseVec<T>, i: usize, value: T);
+
+    /// Build a sparse vector from globally-sorted `(indices, values)`.
+    fn sparse_from_sorted<T: Scalar>(
+        &self,
+        capacity: usize,
+        indices: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Self::SparseVec<T>>;
+
+    /// Export the stored entries in ascending global index order.
+    fn sparse_entries<T: Scalar>(&self, x: &Self::SparseVec<T>) -> Vec<(usize, T)>;
+
+    /// Number of stored entries.
+    fn sparse_nnz<T: Scalar>(&self, x: &Self::SparseVec<T>) -> usize;
+
+    // ---- accounting ---------------------------------------------------
+
+    /// Charge one global scalar decision (a convergence flag, a dangling
+    /// sum) to the ledger under `phase`. The shared backend is a no-op;
+    /// the distributed backend prices a `⌈log₂ p⌉`-round binomial tree.
+    fn allreduce_scalar(&self, phase: &'static str) -> Result<()>;
+}
+
+/// The shared-memory backend: plain CSR containers driven by an
+/// instrumented [`ExecCtx`]. All ops delegate to `gblas_core::ops`.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedBackend<'a> {
+    /// The execution context every op runs under.
+    pub ctx: &'a ExecCtx,
+}
+
+impl<'a> SharedBackend<'a> {
+    /// Wrap an execution context as a backend.
+    pub fn new(ctx: &'a ExecCtx) -> Self {
+        SharedBackend { ctx }
+    }
+}
+
+/// Convert a backend mask into the shared kernels' [`VecMask`].
+fn vec_mask<'m>(m: &MaskSpec<'m, DenseVec<bool>>) -> VecMask<'m> {
+    let vm = VecMask::dense(m.bits);
+    if m.complement {
+        vm.complement()
+    } else {
+        vm
+    }
+}
+
+impl GblasBackend for SharedBackend<'_> {
+    type Matrix<T: Scalar> = CsrMatrix<T>;
+    type SparseVec<T: Scalar> = SparseVec<T>;
+    type DenseVec<T: Scalar> = DenseVec<T>;
+
+    fn name(&self) -> &'static str {
+        "shared"
+    }
+
+    fn mat_nrows<T: Scalar>(&self, a: &CsrMatrix<T>) -> usize {
+        a.nrows()
+    }
+
+    fn mat_ncols<T: Scalar>(&self, a: &CsrMatrix<T>) -> usize {
+        a.ncols()
+    }
+
+    fn mat_nnz<T: Scalar>(&self, a: &CsrMatrix<T>) -> usize {
+        a.nnz()
+    }
+
+    fn mat_map<T: Scalar, U: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        f: &(impl Fn(usize, usize, T) -> U + Sync),
+    ) -> Result<CsrMatrix<U>> {
+        Ok(ops::apply::map_mat(a, f, self.ctx))
+    }
+
+    fn mat_select<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        pred: &(impl Fn(usize, usize, T) -> bool + Sync),
+    ) -> Result<CsrMatrix<T>> {
+        Ok(ops::select::select_mat(a, pred, self.ctx))
+    }
+
+    fn mat_transpose<T: Scalar>(&self, a: &CsrMatrix<T>) -> Result<CsrMatrix<T>> {
+        ops::transpose::transpose(a, self.ctx)
+    }
+
+    fn mxm_masked<A, B, C, AddM, MulOp, M>(
+        &self,
+        a: &CsrMatrix<A>,
+        b: &CsrMatrix<B>,
+        ring: &Semiring<AddM, MulOp>,
+        mask: Option<&CsrMatrix<M>>,
+    ) -> Result<CsrMatrix<C>>
+    where
+        A: Scalar,
+        B: Scalar,
+        C: Scalar,
+        M: Scalar,
+        AddM: Monoid<C>,
+        MulOp: BinaryOp<A, B, C>,
+    {
+        ops::mxm::mxm(a, b, ring, mask, self.ctx)
+    }
+
+    fn reduce_rows<T: Scalar, M>(&self, a: &CsrMatrix<T>, monoid: &M) -> Result<Vec<T>>
+    where
+        M: Monoid<T>,
+    {
+        Ok(ops::reduce::reduce_rows(a, monoid, self.ctx).into_vec())
+    }
+
+    fn reduce_mat<T: Scalar, M>(&self, a: &CsrMatrix<T>, monoid: &M) -> Result<T>
+    where
+        M: ComMonoid<T>,
+    {
+        Ok(ops::reduce::reduce_mat(a, monoid, self.ctx))
+    }
+
+    fn spmspv_first_visitor<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        x: &SparseVec<usize>,
+        mask: Option<MaskSpec<'_, DenseVec<bool>>>,
+        opts: SpMSpVOpts,
+    ) -> Result<SparseVec<usize>> {
+        let vm = mask.as_ref().map(vec_mask);
+        ops::spmspv::spmspv_first_visitor(a, x, vm.as_ref(), opts, self.ctx)
+    }
+
+    fn spmspv_semiring<A, B, C, AddM, MulOp>(
+        &self,
+        a: &CsrMatrix<B>,
+        x: &SparseVec<A>,
+        ring: &Semiring<AddM, MulOp>,
+        mask: Option<MaskSpec<'_, DenseVec<bool>>>,
+        opts: SpMSpVOpts,
+    ) -> Result<SparseVec<C>>
+    where
+        A: Scalar,
+        B: Scalar,
+        C: Scalar,
+        AddM: Monoid<C>,
+        MulOp: BinaryOp<A, B, C>,
+    {
+        let vm = mask.as_ref().map(vec_mask);
+        Ok(ops::spmspv::spmspv_semiring_masked(a, x, ring, vm.as_ref(), opts, self.ctx)?.vector)
+    }
+
+    fn spmv<A, B, C, AddM, MulOp>(
+        &self,
+        a: &CsrMatrix<B>,
+        x: &DenseVec<A>,
+        ring: &Semiring<AddM, MulOp>,
+    ) -> Result<DenseVec<C>>
+    where
+        A: Scalar,
+        B: Scalar,
+        C: Scalar,
+        AddM: Monoid<C>,
+        MulOp: BinaryOp<A, B, C>,
+    {
+        ops::spmv::spmv_col(a, x, ring, self.ctx)
+    }
+
+    fn dense_filled<T: Scalar>(&self, len: usize, fill: T) -> DenseVec<T> {
+        DenseVec::filled(len, fill)
+    }
+
+    fn dense_from_vec<T: Scalar>(&self, v: Vec<T>) -> DenseVec<T> {
+        DenseVec::from_vec(v)
+    }
+
+    fn dense_to_vec<T: Scalar>(&self, v: &DenseVec<T>) -> Vec<T> {
+        v.as_slice().to_vec()
+    }
+
+    fn dense_set<T: Scalar>(&self, v: &mut DenseVec<T>, i: usize, value: T) {
+        v.as_mut_slice()[i] = value;
+    }
+
+    fn sparse_from_sorted<T: Scalar>(
+        &self,
+        capacity: usize,
+        indices: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<SparseVec<T>> {
+        SparseVec::from_sorted(capacity, indices, values)
+    }
+
+    fn sparse_entries<T: Scalar>(&self, x: &SparseVec<T>) -> Vec<(usize, T)> {
+        x.iter().map(|(i, &v)| (i, v)).collect()
+    }
+
+    fn sparse_nnz<T: Scalar>(&self, x: &SparseVec<T>) -> usize {
+        x.nnz()
+    }
+
+    fn allreduce_scalar(&self, _phase: &'static str) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{semirings, Plus};
+    use crate::gen;
+
+    #[test]
+    fn shared_backend_round_trips_vectors() {
+        let ctx = ExecCtx::serial();
+        let b = SharedBackend::new(&ctx);
+        let d = b.dense_from_vec(vec![1.0, 2.0, 3.0]);
+        assert_eq!(b.dense_to_vec(&d), vec![1.0, 2.0, 3.0]);
+        let s = b.sparse_from_sorted(5, vec![1, 4], vec![10u64, 40]).unwrap();
+        assert_eq!(b.sparse_entries(&s), vec![(1, 10), (4, 40)]);
+        assert_eq!(b.sparse_nnz(&s), 2);
+    }
+
+    #[test]
+    fn shared_backend_ops_match_direct_calls() {
+        let ctx = ExecCtx::serial();
+        let b = SharedBackend::new(&ctx);
+        let a = gen::erdos_renyi(50, 4, 17);
+        // map to ones, reduce rows = degrees
+        let ones: CsrMatrix<u64> = b.mat_map(&a, &|_, _, _| 1u64).unwrap();
+        let deg = b.reduce_rows(&ones, &Plus).unwrap();
+        for (i, &d) in deg.iter().enumerate() {
+            assert_eq!(d as usize, a.row_nnz(i));
+        }
+        assert_eq!(b.reduce_mat(&ones, &Plus).unwrap() as usize, a.nnz());
+        // select strictly-lower + transpose round-trip keeps nnz
+        let l = b.mat_select(&a, &|i, j, _| j < i).unwrap();
+        let u = b.mat_transpose(&l).unwrap();
+        assert_eq!(b.mat_nnz(&l), b.mat_nnz(&u));
+        // spmv against the direct kernel
+        let x = b.dense_filled(50, 1.0f64);
+        let y: DenseVec<f64> = b.spmv(&a, &x, &semirings::plus_times_f64()).unwrap();
+        let want = ops::spmv::spmv_col(&a, &x, &semirings::plus_times_f64(), &ctx).unwrap();
+        assert_eq!(y.as_slice(), want.as_slice());
+    }
+}

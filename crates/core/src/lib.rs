@@ -51,6 +51,7 @@
 
 pub mod algebra;
 pub mod api;
+pub mod backend;
 pub mod container;
 pub mod error;
 pub mod gen;
@@ -62,4 +63,5 @@ pub mod sort;
 pub mod spa;
 pub mod trace;
 
+pub use backend::{GblasBackend, MaskSpec, SharedBackend};
 pub use error::{GblasError, Result};

@@ -69,6 +69,41 @@ pub fn apply_vec<T: Copy + Send + Sync, C: Copy + Send + Sync>(
     SparseVec::from_sorted(x.capacity(), x.indices().to_vec(), values).expect("structure unchanged")
 }
 
+/// Apply a coordinate-aware map to every stored entry of a CSR matrix,
+/// producing a new matrix (possibly of a different value type) with the
+/// same structure: `B[i,j] = f(i, j, A[i,j])`.
+pub fn map_mat<T: Copy + Send + Sync, C: Copy + Send + Sync>(
+    a: &CsrMatrix<T>,
+    f: &(impl Fn(usize, usize, T) -> C + Sync),
+    ctx: &ExecCtx,
+) -> CsrMatrix<C> {
+    let chunks = ctx.parallel_for(PHASE, a.nrows(), |r, c| {
+        let mut out: Vec<C> = Vec::new();
+        for i in r.clone() {
+            let (cols, vals) = a.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                out.push(f(i, j, v));
+            }
+            c.elems += cols.len() as u64;
+            c.bytes_moved +=
+                (cols.len() * (std::mem::size_of::<T>() + std::mem::size_of::<C>())) as u64;
+        }
+        out
+    });
+    let mut values = Vec::with_capacity(a.nnz());
+    for chunk in chunks {
+        values.extend(chunk);
+    }
+    CsrMatrix::from_raw_parts(
+        a.nrows(),
+        a.ncols(),
+        a.rowptr().to_vec(),
+        a.colidx().to_vec(),
+        values,
+    )
+    .expect("structure unchanged")
+}
+
 /// Apply `op` in place to every stored value of a CSR matrix.
 pub fn apply_mat_inplace<T: Copy + Send + Sync>(
     a: &mut CsrMatrix<T>,

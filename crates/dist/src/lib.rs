@@ -49,6 +49,7 @@
 //! assert!(report.phase("gather") + report.phase("local") + report.phase("scatter") > 0.0);
 //! ```
 
+pub mod backend;
 pub mod comm;
 pub mod exec;
 pub mod grid;
@@ -56,6 +57,7 @@ pub mod mat;
 pub mod ops;
 pub mod vec;
 
+pub use backend::DistBackend;
 pub use comm::Comm;
 pub use exec::{DistCtx, LocaleExecutor, Outbox};
 pub use grid::{BlockDist, ProcGrid};

@@ -26,6 +26,7 @@ pub mod ewise;
 pub mod extract;
 pub mod mxm;
 pub mod reduce;
+pub mod select;
 pub mod spmspv;
 pub mod spmv;
 pub mod transpose;

@@ -37,6 +37,32 @@ where
     AddM: Monoid<T>,
     MulOp: BinaryOp<T, T, T>,
 {
+    mxm_dist_masked::<T, T, T, AddM, MulOp, bool>(a, b, ring, None, dctx)
+}
+
+/// Masked, mixed-type sparse SUMMA: `C⟨M⟩ = A ⊗ B`.
+///
+/// The mask is structural and distributed on the *same grid* as the
+/// stationary `C` blocks, so each stage applies its locale's mask block to
+/// the local Gustavson multiply — masking commutes with the stage-wise
+/// element-wise accumulation (`(Σ Pₖ) ∩ M = Σ (Pₖ ∩ M)`), and suppressed
+/// entries never enter a stationary block. This is what masked distributed
+/// triangle counting (`C⟨L⟩ = L · Lᵀ`) needs.
+pub fn mxm_dist_masked<A, B, C, AddM, MulOp, M>(
+    a: &DistCsrMatrix<A>,
+    b: &DistCsrMatrix<B>,
+    ring: &Semiring<AddM, MulOp>,
+    mask: Option<&DistCsrMatrix<M>>,
+    dctx: &DistCtx,
+) -> Result<(DistCsrMatrix<C>, SimReport)>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync,
+    M: Copy + Send + Sync,
+    AddM: Monoid<C>,
+    MulOp: BinaryOp<A, B, C>,
+{
     let grid = a.grid();
     if grid.pr() != grid.pc() {
         return Err(GblasError::InvalidArgument("sparse SUMMA needs a square process grid".into()));
@@ -63,12 +89,27 @@ where
             actual: format!("machine with {} locales", dctx.locales()),
         });
     }
+    if let Some(m) = mask {
+        if m.grid() != grid {
+            return Err(GblasError::DimensionMismatch {
+                expected: format!("mask on the same {}x{} grid", grid.pr(), grid.pc()),
+                actual: format!("mask on {}x{}", m.grid().pr(), m.grid().pc()),
+            });
+        }
+        if m.nrows() != a.nrows() || m.ncols() != b.ncols() {
+            return Err(GblasError::DimensionMismatch {
+                expected: format!("{}x{} mask", a.nrows(), b.ncols()),
+                actual: format!("{}x{} mask", m.nrows(), m.ncols()),
+            });
+        }
+    }
     let stages = grid.pc();
-    let elem_bytes = (2 * std::mem::size_of::<usize>() + std::mem::size_of::<T>()) as u64;
+    let a_bytes = (2 * std::mem::size_of::<usize>() + std::mem::size_of::<A>()) as u64;
+    let b_bytes = (2 * std::mem::size_of::<usize>() + std::mem::size_of::<B>()) as u64;
 
     // Stationary C blocks, accumulated stage by stage. Each locale's
     // superstep state bundles its C block with its two profiles.
-    let mut state: Vec<(CsrMatrix<T>, Profile, Profile)> = (0..p)
+    let mut state: Vec<(CsrMatrix<C>, Profile, Profile)> = (0..p)
         .map(|l| {
             let rows = a.row_range(l).len();
             let cols = b.col_range(l).len();
@@ -90,23 +131,29 @@ where
             if l == a_owner {
                 for peer in grid.row_locales(r) {
                     if peer != l {
-                        dctx.comm.bulk(PHASE_BCAST, l, peer, 1, a_blk.nnz() as u64 * elem_bytes)?;
+                        dctx.comm.bulk(PHASE_BCAST, l, peer, 1, a_blk.nnz() as u64 * a_bytes)?;
                     }
                 }
             }
             if l == b_owner {
                 for peer in grid.col_locales(c) {
                     if peer != l {
-                        dctx.comm.bulk(PHASE_BCAST, l, peer, 1, b_blk.nnz() as u64 * elem_bytes)?;
+                        dctx.comm.bulk(PHASE_BCAST, l, peer, 1, b_blk.nnz() as u64 * b_bytes)?;
                     }
                 }
             }
             bcast_profile.counters_mut(PHASE_BCAST).bytes_moved +=
-                (a_blk.nnz() + b_blk.nnz()) as u64 * elem_bytes;
-            // Local multiply + accumulate into the stationary block.
+                a_blk.nnz() as u64 * a_bytes + b_blk.nnz() as u64 * b_bytes;
+            // Local multiply + accumulate into the stationary block. The
+            // locale's mask block covers exactly its stationary C block.
             let lctx = dctx.locale_ctx();
-            let partial: CsrMatrix<T> =
-                gblas_core::ops::mxm::mxm::<_, _, T, _, _, bool>(a_blk, b_blk, ring, None, &lctx)?;
+            let partial: CsrMatrix<C> = gblas_core::ops::mxm::mxm::<_, _, C, _, _, M>(
+                a_blk,
+                b_blk,
+                ring,
+                mask.map(|m| m.block(l)),
+                &lctx,
+            )?;
             let accumulated =
                 gblas_core::ops::ewise_mat::ewise_add_mat(&*c_block, &partial, &ring.add, &lctx)?;
             *c_block = accumulated;
@@ -118,7 +165,7 @@ where
         })?;
     }
 
-    let mut c_blocks: Vec<CsrMatrix<T>> = Vec::with_capacity(p);
+    let mut c_blocks: Vec<CsrMatrix<C>> = Vec::with_capacity(p);
     let mut local_profiles: Vec<Profile> = Vec::with_capacity(p);
     let mut bcast_profiles: Vec<Profile> = Vec::with_capacity(p);
     for (blk, local, bcast) in state {
@@ -130,6 +177,9 @@ where
     let c = DistCsrMatrix::from_blocks(a.nrows(), b.ncols(), grid, c_blocks)?;
     let mut trace = dctx.op("mxm_dist");
     trace.attr("stages", stages).nnz((a.nnz() + b.nnz()) as u64);
+    if mask.is_some() {
+        trace.attr("masked", true);
+    }
     trace.spawn(PHASE_BCAST, stages);
     trace.compute(PHASE_BCAST, &bcast_profiles);
     trace.compute(PHASE_LOCAL, &local_profiles);
@@ -172,6 +222,58 @@ mod tests {
             }
             assert!(report.total() > 0.0);
         }
+    }
+
+    #[test]
+    fn masked_mixed_type_summa_matches_shared() {
+        // the triangle-counting shape: C⟨L⟩ = L · Lᵀ over plus-pair,
+        // f64 operands producing u64 counts
+        let a = gen::erdos_renyi_symmetric(80, 5, 225);
+        let ctx = gblas_core::par::ExecCtx::serial();
+        let l = gblas_core::ops::select::tril(&a, &ctx);
+        let u = gblas_core::ops::transpose::transpose(&l, &ctx).unwrap();
+        let ring = semirings::plus_pair();
+        let expect: gblas_core::container::CsrMatrix<u64> =
+            gblas_core::ops::mxm::mxm(&l, &u, &ring, Some(&l), &ctx).unwrap();
+        for s in [1usize, 2, 3] {
+            let grid = ProcGrid::new(s, s);
+            let dl = DistCsrMatrix::from_global(&l, grid);
+            let du = DistCsrMatrix::from_global(&u, grid);
+            let dctx = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+            let (dc, report) =
+                mxm_dist_masked::<_, _, u64, _, _, f64>(&dl, &du, &ring, Some(&dl), &dctx).unwrap();
+            assert_eq!(dc.to_global().unwrap(), expect, "grid {s}x{s}");
+            assert!(report.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn masked_summa_validates_mask_shape() {
+        let a = gen::erdos_renyi(40, 3, 226);
+        let grid = ProcGrid::new(2, 2);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dctx = DistCtx::new(MachineConfig::edison_cluster(4, 24));
+        // mask on a different grid
+        let m1 = DistCsrMatrix::from_global(&a, ProcGrid::new(1, 1));
+        assert!(mxm_dist_masked::<_, _, f64, _, _, f64>(
+            &da,
+            &da,
+            &semirings::plus_times_f64(),
+            Some(&m1),
+            &dctx
+        )
+        .is_err());
+        // mask with the wrong shape
+        let small = gen::erdos_renyi(39, 3, 227);
+        let m2 = DistCsrMatrix::from_global(&small, grid);
+        assert!(mxm_dist_masked::<_, _, f64, _, _, f64>(
+            &da,
+            &da,
+            &semirings::plus_times_f64(),
+            Some(&m2),
+            &dctx
+        )
+        .is_err());
     }
 
     #[test]

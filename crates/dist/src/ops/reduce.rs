@@ -8,8 +8,9 @@
 //! per participating locale).
 
 use crate::exec::DistCtx;
+use crate::mat::DistCsrMatrix;
 use crate::vec::DistSparseVec;
-use gblas_core::algebra::ComMonoid;
+use gblas_core::algebra::{ComMonoid, Monoid};
 use gblas_core::error::Result;
 use gblas_core::par::Profile;
 use gblas_sim::SimReport;
@@ -65,6 +66,115 @@ where
     Ok((value, trace.finish()))
 }
 
+/// Row-wise reduction of a distributed matrix: `y[i] = ⊕_j A[i,j]`,
+/// returned as a *global* driver-side vector (identity for empty rows).
+///
+/// Each locale folds its block's rows locally; then every off-leader
+/// locale of a grid row ships its partial row-slice to the row leader
+/// (column 0) in one bulk message, and the leader combines partials in
+/// ascending column-block order — the same order a serial row fold visits
+/// the values, so the result is exact whenever inserting extra identities
+/// is (integers, min/max, and `+0.0` sums).
+pub fn reduce_rows_dist<T, M>(
+    a: &DistCsrMatrix<T>,
+    monoid: &M,
+    dctx: &DistCtx,
+) -> Result<(Vec<T>, SimReport)>
+where
+    T: Copy + Send + Sync,
+    M: Monoid<T>,
+{
+    let grid = a.grid();
+    let elem_bytes = std::mem::size_of::<T>() as u64;
+    // Local per-block row folds (block rows are local coordinates).
+    let (partials, profiles): (Vec<gblas_core::container::DenseVec<T>>, Vec<Profile>) = dctx
+        .for_each_locale(|l| {
+            let ctx = dctx.locale_ctx();
+            let local = gblas_core::ops::reduce::reduce_rows(a.block(l), monoid, &ctx);
+            let mut folded = Profile::default();
+            let c = folded.counters_mut(PHASE_LOCAL);
+            for (_, counters) in ctx.take_profile().iter() {
+                c.merge(counters);
+            }
+            // Off-leader locales send their slice to the grid-row leader.
+            let (r, c_coord) = grid.coords(l);
+            if c_coord != 0 {
+                let leader = grid.locale(r, 0);
+                dctx.comm.bulk(PHASE_COMBINE, l, leader, 1, local.len() as u64 * elem_bytes)?;
+            }
+            Ok((local, folded))
+        })?
+        .into_iter()
+        .unzip();
+    // Leaders combine in ascending column-block order = serial fold order.
+    let mut y: Vec<T> = Vec::with_capacity(a.nrows());
+    for r in 0..grid.pr() {
+        let leader = grid.locale(r, 0);
+        let rows = a.row_range(leader).len();
+        let mut combined: Vec<T> = partials[leader].as_slice().to_vec();
+        for c in 1..grid.pc() {
+            let part = partials[grid.locale(r, c)].as_slice();
+            for (acc, &v) in combined.iter_mut().zip(part) {
+                *acc = monoid.combine(*acc, v);
+            }
+        }
+        debug_assert_eq!(combined.len(), rows);
+        y.extend(combined);
+    }
+    let mut trace = dctx.op("reduce_rows_dist");
+    trace.attr("nrows", a.nrows()).attr("ncols", a.ncols()).nnz(a.nnz() as u64);
+    trace.spawn(PHASE_LOCAL, 1);
+    trace.compute(PHASE_LOCAL, &profiles);
+    Ok((y, trace.finish()))
+}
+
+/// Whole-matrix reduction of a distributed matrix with a commutative
+/// monoid: local per-block folds plus the binomial-tree combine of
+/// [`reduce_dist`].
+pub fn reduce_mat_dist<T, M>(
+    a: &DistCsrMatrix<T>,
+    monoid: &M,
+    dctx: &DistCtx,
+) -> Result<(T, SimReport)>
+where
+    T: Copy + Send + Sync,
+    M: ComMonoid<T>,
+{
+    let p = a.grid().locales();
+    let (partials, profiles): (Vec<T>, Vec<Profile>) = dctx
+        .for_each_locale(|l| {
+            let ctx = dctx.locale_ctx();
+            let local = gblas_core::ops::reduce::reduce_mat(a.block(l), monoid, &ctx);
+            let mut folded = Profile::default();
+            let c = folded.counters_mut(PHASE_LOCAL);
+            for (_, counters) in ctx.take_profile().iter() {
+                c.merge(counters);
+            }
+            Ok((local, folded))
+        })?
+        .into_iter()
+        .unzip();
+    let mut value = monoid.identity();
+    for &partial in &partials {
+        value = monoid.combine(value, partial);
+    }
+    let mut stride = 1usize;
+    while stride < p {
+        for l in (0..p).step_by(stride * 2) {
+            let peer = l + stride;
+            if peer < p {
+                dctx.comm.bulk(PHASE_COMBINE, peer, l, 1, std::mem::size_of::<T>() as u64)?;
+            }
+        }
+        stride *= 2;
+    }
+    let mut trace = dctx.op("reduce_mat_dist");
+    trace.nnz(a.nnz() as u64);
+    trace.spawn(PHASE_LOCAL, 1);
+    trace.compute(PHASE_LOCAL, &profiles);
+    Ok((value, trace.finish()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +213,44 @@ mod tests {
         let _ = reduce_dist(&d, &Plus, &dctx).unwrap();
         let (_, bulk, _) = dctx.comm.totals();
         assert_eq!(bulk, 15, "p-1 messages in a binomial tree");
+    }
+
+    #[test]
+    fn row_reduce_matches_shared_at_every_grid() {
+        let a = gen::erdos_renyi(300, 6, 74);
+        let ctx = gblas_core::par::ExecCtx::serial();
+        let expect = gblas_core::ops::reduce::reduce_rows(&a, &Plus, &ctx).as_slice().to_vec();
+        for (pr, pc) in [(1, 1), (1, 4), (2, 2), (3, 2)] {
+            let grid = crate::grid::ProcGrid::new(pr, pc);
+            let da = crate::mat::DistCsrMatrix::from_global(&a, grid);
+            let dctx = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+            let (y, report) = reduce_rows_dist(&da, &Plus, &dctx).unwrap();
+            assert_eq!(y.len(), 300, "grid {pr}x{pc}");
+            for (got, want) in y.iter().zip(&expect) {
+                assert!((got - want).abs() < 1e-9, "grid {pr}x{pc}");
+            }
+            assert!(report.total() > 0.0);
+            // one combine message per off-leader locale, all bulk
+            let (fine, bulk, _) = dctx.comm.totals();
+            assert_eq!(fine, 0);
+            assert_eq!(bulk as usize, pr * (pc - 1), "grid {pr}x{pc}");
+        }
+    }
+
+    #[test]
+    fn mat_reduce_matches_shared() {
+        let a = gen::erdos_renyi(200, 5, 75);
+        let ctx = gblas_core::par::ExecCtx::serial();
+        let ones = gblas_core::ops::apply::map_mat(&a, &|_, _, _| 1u64, &ctx);
+        let expect = gblas_core::ops::reduce::reduce_mat(&ones, &Plus, &ctx);
+        for (pr, pc) in [(1, 1), (2, 3), (2, 2)] {
+            let grid = crate::grid::ProcGrid::new(pr, pc);
+            let dones = crate::mat::DistCsrMatrix::from_global(&ones, grid);
+            let dctx = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+            let (total, report) = reduce_mat_dist(&dones, &Plus, &dctx).unwrap();
+            assert_eq!(total, expect, "grid {pr}x{pc}");
+            assert!(report.total() > 0.0);
+        }
     }
 
     #[test]

@@ -290,10 +290,11 @@ pub fn spmspv_dist_masked<T: Copy + Send + Sync>(
     spmspv_dist_with(a, x, Some(mask), CommStrategy::Fine, SpMSpVOpts::default(), dctx)
 }
 
-/// Full-control entry point.
-pub fn spmspv_dist_with<T: Copy + Send + Sync>(
+/// Full-control entry point. The frontier's value type `V` is independent
+/// of the matrix type — first-visitor semantics never read the values.
+pub fn spmspv_dist_with<T: Copy + Send + Sync, V: Copy + Send + Sync>(
     a: &DistCsrMatrix<T>,
-    x: &DistSparseVec<T>,
+    x: &DistSparseVec<V>,
     mask: Option<DistMask<'_>>,
     strategy: CommStrategy,
     opts: SpMSpVOpts,
@@ -324,7 +325,7 @@ pub fn spmspv_dist_with<T: Copy + Send + Sync>(
             });
         }
     }
-    let elem_bytes = (std::mem::size_of::<usize>() + std::mem::size_of::<T>()) as u64;
+    let elem_bytes = (std::mem::size_of::<usize>() + std::mem::size_of::<V>()) as u64;
     // A scatter claim carries the destination offset and the parent row id
     // (the byte count used to be a hardcoded `16`, silently wrong for any
     // other payload — computed from the actual pair width now).
@@ -495,15 +496,19 @@ where
     AddM: gblas_core::algebra::Monoid<C>,
     MulOp: gblas_core::algebra::BinaryOp<A, B, C>,
 {
-    spmspv_dist_semiring_with(a, x, ring, strategy, SpMSpVOpts::default(), dctx)
+    spmspv_dist_semiring_with(a, x, ring, None, strategy, SpMSpVOpts::default(), dctx)
 }
 
 /// [`spmspv_dist_semiring`] with explicit local-kernel options (merge
-/// strategy, sort algorithm).
+/// strategy, sort algorithm) and an optional output mask, enforced
+/// owner-side exactly like the first-visitor kernel's: the claim still
+/// pays its scatter message, then the owning locale's mask bit decides
+/// whether the value accumulates.
 pub fn spmspv_dist_semiring_with<A, B, C, AddM, MulOp>(
     a: &DistCsrMatrix<B>,
     x: &DistSparseVec<A>,
     ring: &gblas_core::algebra::Semiring<AddM, MulOp>,
+    mask: Option<DistMask<'_>>,
     strategy: CommStrategy,
     opts: SpMSpVOpts,
     dctx: &DistCtx,
@@ -525,6 +530,15 @@ where
         });
     }
     let n = a.ncols();
+    if let Some(m) = &mask {
+        check_dims("mask length vs matrix cols", n, m.bits.len())?;
+        if m.bits.locales() != p {
+            return Err(GblasError::DimensionMismatch {
+                expected: format!("mask over {p} locales"),
+                actual: format!("mask over {} locales", m.bits.locales()),
+            });
+        }
+    }
     let elem_bytes = (std::mem::size_of::<usize>() + std::mem::size_of::<A>()) as u64;
     // A scatter claim carries the destination offset and an output value —
     // computed from the actual types (this used to be a hardcoded `16`,
@@ -611,6 +625,13 @@ where
             let mut c = gblas_core::par::Counters::default();
             for outbox in &outboxes {
                 for &(off, v) in &outbox[o] {
+                    if let Some(m) = &mask {
+                        c.rand_access += 1;
+                        let set = m.bits.segment(o)[off];
+                        if set == m.complement {
+                            continue;
+                        }
+                    }
                     if occupied[off] {
                         value[off] = ring.accumulate(value[off], v);
                         c.flops += 1;
@@ -648,6 +669,11 @@ where
         .attr("nrows", a.nrows())
         .attr("ncols", n)
         .nnz(x.nnz() as u64);
+    // Only stamp the attr for masked runs so unmasked traces (and their
+    // golden files) are byte-identical to the pre-mask kernel.
+    if mask.is_some() {
+        op.attr("masked", true);
+    }
     op.spawn(PHASE_GATHER, if strategy == CommStrategy::Bulk { 3 } else { 1 });
     op.compute(PHASE_GATHER, &gather_profiles);
     op.compute_folded(PHASE_LOCAL, &local_profiles);
@@ -871,6 +897,54 @@ mod tests {
             assert_eq!(yg.indices(), expect.indices(), "grid {pr}x{pc}");
             assert!(yg.indices().iter().all(|&j| j % 3 != 0));
             assert!(report.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn masked_semiring_matches_shared_masked_semiring() {
+        use crate::vec::DistDenseVec;
+        let n = 400;
+        let a = gen::erdos_renyi(n, 6, 155);
+        let x = gen::random_sparse_vec(n, 30, 156);
+        let ring = gblas_core::algebra::semirings::plus_times_f64();
+        let bits = gblas_core::container::DenseVec::from_fn(n, |i| i % 3 == 0);
+        let shared_mask = gblas_core::mask::VecMask::dense(&bits).complement();
+        let expect = gblas_core::ops::spmspv::spmspv_semiring_masked(
+            &a,
+            &x,
+            &ring,
+            Some(&shared_mask),
+            SpMSpVOpts::default(),
+            &gblas_core::par::ExecCtx::serial(),
+        )
+        .unwrap()
+        .vector;
+        for (pr, pc) in [(1, 1), (2, 2), (2, 3)] {
+            let grid = ProcGrid::new(pr, pc);
+            let p = grid.locales();
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let dx = DistSparseVec::from_global(&x, p);
+            let dbits = DistDenseVec::from_global(&bits, p);
+            for strategy in [CommStrategy::Fine, CommStrategy::Bulk] {
+                let dctx = DistCtx::new(machine_for(grid));
+                let (y, report) = spmspv_dist_semiring_with(
+                    &da,
+                    &dx,
+                    &ring,
+                    Some(DistMask::complement(&dbits)),
+                    strategy,
+                    SpMSpVOpts::default(),
+                    &dctx,
+                )
+                .unwrap();
+                let yg = y.to_global();
+                assert_eq!(yg.indices(), expect.indices(), "grid {pr}x{pc} {strategy:?}");
+                assert!(yg.indices().iter().all(|&j| j % 3 != 0));
+                for (got, want) in yg.values().iter().zip(expect.values()) {
+                    assert!((got - want).abs() < 1e-9, "grid {pr}x{pc}");
+                }
+                assert!(report.total() > 0.0);
+            }
         }
     }
 

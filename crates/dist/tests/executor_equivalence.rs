@@ -81,6 +81,7 @@ fn spmspv_family_matches_across_executors() {
                         &da,
                         &dx,
                         &ring,
+                        None,
                         strategy,
                         SpMSpVOpts::with_merge(merge),
                         d,

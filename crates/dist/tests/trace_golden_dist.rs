@@ -34,6 +34,7 @@ fn traced_run(merge: MergeStrategy) -> gblas_core::trace::Trace {
         &da,
         &dx,
         &ring,
+        None,
         CommStrategy::Bulk,
         SpMSpVOpts::with_merge(merge),
         &dctx,

@@ -7,103 +7,135 @@
 //! dependencies through the transposed matrix (`mxv` + element-wise
 //! combines). Unweighted, directed; normalized by convention of Brandes
 //! (no division by 2).
+//!
+//! One implementation, [`betweenness_on`], generic over
+//! [`GblasBackend`]: the visited and previous-frontier masks are dense
+//! boolean vectors in the backend's own layout, so the same text runs the
+//! masked sweeps in shared or distributed memory.
 
-use gblas_core::algebra::semirings;
-use gblas_core::container::{CsrMatrix, DenseVec, SparseVec};
+use gblas_core::algebra::{semirings, Scalar};
+use gblas_core::backend::{GblasBackend, MaskSpec, SharedBackend};
+use gblas_core::container::{CsrMatrix, DenseVec};
 use gblas_core::error::{check_dims, GblasError, Result};
-use gblas_core::mask::VecMask;
-use gblas_core::ops::spmspv::{spmspv_semiring_masked, SpMSpVOpts};
-use gblas_core::ops::transpose::transpose;
+use gblas_core::ops::spmspv::SpMSpVOpts;
 use gblas_core::par::ExecCtx;
+use gblas_dist::{DistBackend, DistCsrMatrix, DistCtx};
 
-/// Betweenness-centrality scores accumulated over the given source
-/// vertices (exact when `sources` is all vertices; a standard unbiased
-/// sample estimate otherwise).
-pub fn betweenness<T: Copy + Send + Sync>(
-    a: &CsrMatrix<T>,
+/// Brandes over any backend: per-source forward path-counting sweeps
+/// against the complement of the visited set, then dependency
+/// back-propagation through the transpose restricted to the previous
+/// frontier. Sigma, delta and the per-level frontier entry lists are
+/// driver-side control state.
+pub fn betweenness_on<B: GblasBackend, T: Scalar>(
+    backend: &B,
+    a: &B::Matrix<T>,
     sources: &[usize],
-    ctx: &ExecCtx,
 ) -> Result<DenseVec<f64>> {
-    check_dims("square matrix", a.nrows(), a.ncols())?;
-    let n = a.nrows();
+    check_dims("square matrix", backend.mat_nrows(a), backend.mat_ncols(a))?;
+    let n = backend.mat_nrows(a);
     for &s in sources {
         if s >= n {
             return Err(GblasError::IndexOutOfBounds { index: s, capacity: n });
         }
     }
     // Path counting needs numeric weights of 1 regardless of T.
-    let ones = {
-        let (nr, nc, rp, ci, vals) = a.clone().into_raw_parts();
-        CsrMatrix::from_raw_parts(nr, nc, rp, ci, vec![1.0f64; vals.len()])?
-    };
-    let ones_t = transpose(&ones, ctx)?;
+    let ones: B::Matrix<f64> = backend.mat_map(a, &|_, _, _| 1.0f64)?;
+    let ones_t = backend.mat_transpose(&ones)?;
     let ring = semirings::plus_times_f64();
-    let mut bc = DenseVec::filled(n, 0.0f64);
+    let opts = SpMSpVOpts::default();
+    let mut bc = vec![0.0f64; n];
 
     for &source in sources {
-        // ---- Forward: sigma per level.
-        let mut visited = DenseVec::filled(n, false);
-        visited[source] = true;
-        let mut sigma = DenseVec::filled(n, 0.0f64);
+        // ---- Forward: sigma per level, frontiers as driver-side entry
+        // lists (index, path count).
+        let mut visited = backend.dense_filled(n, false);
+        backend.dense_set(&mut visited, source, true);
+        let mut sigma = vec![0.0f64; n];
         sigma[source] = 1.0;
-        let mut frontiers: Vec<SparseVec<f64>> =
-            vec![SparseVec::from_sorted(n, vec![source], vec![1.0])?];
+        let mut frontiers: Vec<Vec<(usize, f64)>> = vec![vec![(source, 1.0)]];
         loop {
-            let next = {
-                let unvisited = VecMask::dense(&visited).complement();
-                spmspv_semiring_masked(
-                    &ones,
-                    frontiers.last().unwrap(),
-                    &ring,
-                    Some(&unvisited),
-                    SpMSpVOpts::default(),
-                    ctx,
-                )?
-                .vector
-            };
-            if next.nnz() == 0 {
+            let last = frontiers.last().unwrap();
+            let fx = backend.sparse_from_sorted(
+                n,
+                last.iter().map(|&(v, _)| v).collect(),
+                last.iter().map(|&(_, p)| p).collect(),
+            )?;
+            let next: B::SparseVec<f64> = backend.spmspv_semiring(
+                &ones,
+                &fx,
+                &ring,
+                Some(MaskSpec::complement(&visited)),
+                opts,
+            )?;
+            let entries = backend.sparse_entries(&next);
+            if entries.is_empty() {
                 break;
             }
-            for (v, &paths) in next.iter() {
-                visited[v] = true;
+            for &(v, paths) in &entries {
+                backend.dense_set(&mut visited, v, true);
                 sigma[v] = paths;
             }
-            frontiers.push(next);
+            frontiers.push(entries);
         }
         // ---- Backward: dependency accumulation.
-        let mut delta = DenseVec::filled(n, 0.0f64);
+        let mut delta = vec![0.0f64; n];
         for d in (1..frontiers.len()).rev() {
             // w[v] = (1 + delta[v]) / sigma[v] on frontier d
             let fd = &frontiers[d];
-            let w_vals: Vec<f64> =
-                fd.indices().iter().map(|&v| (1.0 + delta[v]) / sigma[v]).collect();
-            let w = SparseVec::from_sorted(n, fd.indices().to_vec(), w_vals)?;
+            let w = backend.sparse_from_sorted(
+                n,
+                fd.iter().map(|&(v, _)| v).collect(),
+                fd.iter().map(|&(v, _)| (1.0 + delta[v]) / sigma[v]).collect(),
+            )?;
             // t = Aᵀ w restricted to the previous frontier:
             // t[u] = Σ_{v : u->v} w[v]
-            let structural = {
-                let prev = &frontiers[d - 1];
-                VecMask::from_sorted_indices(prev.indices())
-            };
-            let t = spmspv_semiring_masked(
+            let mut prev_mask = backend.dense_filled(n, false);
+            for &(u, _) in &frontiers[d - 1] {
+                backend.dense_set(&mut prev_mask, u, true);
+            }
+            let t: B::SparseVec<f64> = backend.spmspv_semiring(
                 &ones_t,
                 &w,
                 &ring,
-                Some(&structural),
-                SpMSpVOpts::default(),
-                ctx,
-            )?
-            .vector;
-            for (u, &tv) in t.iter() {
+                Some(MaskSpec::new(&prev_mask)),
+                opts,
+            )?;
+            for (u, tv) in backend.sparse_entries(&t) {
                 delta[u] += sigma[u] * tv;
             }
         }
-        for v in 0..n {
+        for (v, slot) in bc.iter_mut().enumerate() {
             if v != source {
-                bc[v] += delta[v];
+                *slot += delta[v];
             }
         }
     }
-    Ok(bc)
+    Ok(DenseVec::from_vec(bc))
+}
+
+/// Betweenness-centrality scores accumulated over the given source
+/// vertices (exact when `sources` is all vertices; a standard unbiased
+/// sample estimate otherwise).
+pub fn betweenness<T: Scalar>(
+    a: &CsrMatrix<T>,
+    sources: &[usize],
+    ctx: &ExecCtx,
+) -> Result<DenseVec<f64>> {
+    betweenness_on(&SharedBackend::new(ctx), a, sources)
+}
+
+/// Distributed betweenness centrality: the same [`betweenness_on`] text
+/// with the distributed masked SpMSpV as both the forward and the
+/// backward kernel (the backward matrix lives on the transposed grid).
+/// Returns scores and accumulated simulated time.
+pub fn betweenness_dist<T: Scalar>(
+    a: &DistCsrMatrix<T>,
+    sources: &[usize],
+    dctx: &DistCtx,
+) -> Result<(DenseVec<f64>, gblas_sim::SimReport)> {
+    let backend = DistBackend::new(dctx);
+    let bc = betweenness_on(&backend, a, sources)?;
+    Ok((bc, backend.take_report()))
 }
 
 #[cfg(test)]
@@ -215,5 +247,28 @@ mod tests {
     fn invalid_source_is_error() {
         let a = CsrMatrix::<f64>::empty(3, 3);
         assert!(betweenness(&a, &[3], &ExecCtx::serial()).is_err());
+    }
+
+    #[test]
+    fn distributed_matches_shared_within_tolerance() {
+        let a = gen::erdos_renyi(60, 3, 5);
+        let sources = [0usize, 9, 23];
+        let ctx = ExecCtx::serial();
+        let expect = betweenness(&a, &sources, &ctx).unwrap();
+        for (pr, pc) in [(1, 1), (2, 2), (4, 1)] {
+            let grid = gblas_dist::ProcGrid::new(pr, pc);
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let dctx = DistCtx::new(gblas_sim::MachineConfig::edison_cluster(grid.locales(), 24));
+            let (bc, report) = betweenness_dist(&da, &sources, &dctx).unwrap();
+            for v in 0..60 {
+                assert!(
+                    (bc[v] - expect[v]).abs() < 1e-9,
+                    "grid {pr}x{pc} vertex {v}: {} vs {}",
+                    bc[v],
+                    expect[v]
+                );
+            }
+            assert!(report.total() > 0.0);
+        }
     }
 }

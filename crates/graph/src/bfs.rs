@@ -5,14 +5,20 @@
 //! columns), and the first-visitor values are exactly the BFS parents —
 //! the paper's SpMSpV stores "the row index as value" (Listing 7, line 25)
 //! for precisely this purpose.
+//!
+//! There is exactly one implementation, [`bfs_on`], generic over
+//! [`GblasBackend`]; the shared-memory entry points ([`bfs`],
+//! [`bfs_with`]) and the distributed ones ([`bfs_dist`],
+//! [`bfs_dist_with`]) are thin wrappers choosing a backend.
 
-use gblas_core::container::{CsrMatrix, DenseVec, SparseVec};
+use gblas_core::algebra::Scalar;
+use gblas_core::backend::{GblasBackend, MaskSpec, SharedBackend};
+use gblas_core::container::{CsrMatrix, DenseVec};
 use gblas_core::error::{check_dims, GblasError, Result};
-use gblas_core::mask::VecMask;
-use gblas_core::ops::spmspv::{spmspv_first_visitor, SpMSpVOpts};
+use gblas_core::ops::spmspv::SpMSpVOpts;
 use gblas_core::par::ExecCtx;
-use gblas_dist::ops::spmspv::{spmspv_dist_with, CommStrategy, DistMask};
-use gblas_dist::{DistCsrMatrix, DistCtx, DistDenseVec, DistSparseVec};
+use gblas_dist::ops::spmspv::CommStrategy;
+use gblas_dist::{DistBackend, DistCsrMatrix, DistCtx};
 
 /// BFS output: per-vertex level and parent.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,62 +70,75 @@ impl BfsResult {
     }
 }
 
-/// Shared-memory BFS from `source` over the out-edges of `a` (square).
-pub fn bfs<T: Copy + Send + Sync>(
-    a: &CsrMatrix<T>,
+/// Level-synchronous BFS over any backend: one masked first-visitor
+/// SpMSpV per level against the complement of the visited set. Levels and
+/// parents are driver-side control state; the visited bits live in the
+/// backend's own layout so the mask never has to be reshaped.
+pub fn bfs_on<B: GblasBackend, T: Scalar>(
+    backend: &B,
+    a: &B::Matrix<T>,
     source: usize,
-    ctx: &ExecCtx,
+    opts: SpMSpVOpts,
 ) -> Result<BfsResult> {
+    check_dims("square matrix", backend.mat_nrows(a), backend.mat_ncols(a))?;
+    let n = backend.mat_nrows(a);
+    if source >= n {
+        return Err(GblasError::IndexOutOfBounds { index: source, capacity: n });
+    }
+    let mut levels = DenseVec::filled(n, -1i64);
+    let mut parents = DenseVec::filled(n, usize::MAX);
+    let mut visited = backend.dense_filled(n, false);
+    levels[source] = 0;
+    parents[source] = source;
+    backend.dense_set(&mut visited, source, true);
+    let mut frontier = backend.sparse_from_sorted(n, vec![source], vec![source])?;
+    let mut level = 0i64;
+    while backend.sparse_nnz(&frontier) > 0 {
+        level += 1;
+        let next = backend.spmspv_first_visitor(
+            a,
+            &frontier,
+            Some(MaskSpec::complement(&visited)),
+            opts,
+        )?;
+        let entries = backend.sparse_entries(&next);
+        let mut inds = Vec::with_capacity(entries.len());
+        let mut vals = Vec::with_capacity(entries.len());
+        for (v, parent) in entries {
+            backend.dense_set(&mut visited, v, true);
+            levels[v] = level;
+            parents[v] = parent;
+            inds.push(v);
+            vals.push(v);
+        }
+        frontier = backend.sparse_from_sorted(n, inds, vals)?;
+    }
+    Ok(BfsResult { levels, parents })
+}
+
+/// Shared-memory BFS from `source` over the out-edges of `a` (square).
+pub fn bfs<T: Scalar>(a: &CsrMatrix<T>, source: usize, ctx: &ExecCtx) -> Result<BfsResult> {
     bfs_with(a, source, SpMSpVOpts::default(), ctx)
 }
 
 /// BFS with explicit SpMSpV options (sort algorithm / merge strategy),
 /// so the frontier loop can run either the sort-based or the sort-free
 /// bucketed merge.
-pub fn bfs_with<T: Copy + Send + Sync>(
+pub fn bfs_with<T: Scalar>(
     a: &CsrMatrix<T>,
     source: usize,
     opts: SpMSpVOpts,
     ctx: &ExecCtx,
 ) -> Result<BfsResult> {
-    check_dims("square matrix", a.nrows(), a.ncols())?;
-    let n = a.nrows();
-    if source >= n {
-        return Err(GblasError::IndexOutOfBounds { index: source, capacity: n });
-    }
-    let mut levels = DenseVec::filled(n, -1i64);
-    let mut parents = DenseVec::filled(n, usize::MAX);
-    let mut visited = DenseVec::filled(n, false);
-    levels[source] = 0;
-    parents[source] = source;
-    visited[source] = true;
-    let mut frontier = SparseVec::from_sorted(n, vec![source], vec![source])?;
-    let mut level = 0i64;
-    while frontier.nnz() > 0 {
-        level += 1;
-        let next = {
-            let unvisited = VecMask::dense(&visited).complement();
-            spmspv_first_visitor(a, &frontier, Some(&unvisited), opts, ctx)?
-        };
-        for (v, &parent) in next.iter() {
-            visited[v] = true;
-            levels[v] = level;
-            parents[v] = parent;
-        }
-        frontier = next;
-    }
-    Ok(BfsResult { levels, parents })
+    bfs_on(&SharedBackend::new(ctx), a, source, opts)
 }
 
-/// Distributed BFS: the Listing-8 SpMSpV as the level kernel, with the
-/// "not yet visited" filter expressed as a **distributed mask** — the
-/// §V future-work feature ("masks ... have not been attempted in
-/// distributed memory before"), implemented in
-/// [`gblas_dist::ops::spmspv::spmspv_dist_masked`]. The visited set is a
-/// dense boolean vector block-distributed like the frontier, updated
-/// locale-by-locale each level. Returns the result and the accumulated
-/// simulated time across all levels.
-pub fn bfs_dist<T: FrontierValue>(
+/// Distributed BFS: the same [`bfs_on`] text with the Listing-8 SpMSpV as
+/// the level kernel and the "not yet visited" filter as a **distributed
+/// mask** — the §V future-work feature ("masks ... have not been
+/// attempted in distributed memory before"). Returns the result and the
+/// accumulated simulated time across all levels.
+pub fn bfs_dist<T: Scalar>(
     a: &DistCsrMatrix<T>,
     source: usize,
     dctx: &DistCtx,
@@ -129,104 +148,16 @@ pub fn bfs_dist<T: FrontierValue>(
 
 /// Distributed BFS with an explicit communication strategy and SpMSpV
 /// options for the per-level kernel.
-pub fn bfs_dist_with<T: FrontierValue>(
+pub fn bfs_dist_with<T: Scalar>(
     a: &DistCsrMatrix<T>,
     source: usize,
     strategy: CommStrategy,
     opts: SpMSpVOpts,
     dctx: &DistCtx,
 ) -> Result<(BfsResult, gblas_sim::SimReport)> {
-    check_dims("square matrix", a.nrows(), a.ncols())?;
-    let n = a.nrows();
-    if source >= n {
-        return Err(GblasError::IndexOutOfBounds { index: source, capacity: n });
-    }
-    let p = a.grid().locales();
-    let mut levels = DenseVec::filled(n, -1i64);
-    let mut parents = DenseVec::filled(n, usize::MAX);
-    let mut visited = DistDenseVec::filled(n, false, p);
-    levels[source] = 0;
-    parents[source] = source;
-    {
-        let owner = visited.dist().owner(source);
-        let off = source - visited.dist().range(owner).start;
-        visited.segment_mut(owner)[off] = true;
-    }
-    let mut frontier = DistSparseVec::from_global(
-        &SparseVec::from_sorted(n, vec![source], vec![T::default_like()])?,
-        p,
-    );
-    let mut total = gblas_sim::SimReport::default();
-    let mut level = 0i64;
-    while frontier.nnz() > 0 {
-        level += 1;
-        let (next, report) = spmspv_dist_with(
-            a,
-            &frontier,
-            Some(DistMask::complement(&visited)),
-            strategy,
-            opts,
-            dctx,
-        )?;
-        total.merge(&report);
-        // The masked kernel already excluded visited vertices; record the
-        // new ones and mark them visited, locale by locale.
-        let mut shards = Vec::with_capacity(p);
-        for l in 0..p {
-            let shard = next.shard(l);
-            let start = visited.dist().range(l).start;
-            let mut inds = Vec::with_capacity(shard.nnz());
-            let mut vals = Vec::with_capacity(shard.nnz());
-            for (v, &parent) in shard.iter() {
-                debug_assert!(!visited.segment(l)[v - start], "mask must have excluded {v}");
-                visited.segment_mut(l)[v - start] = true;
-                levels[v] = level;
-                parents[v] = parent;
-                inds.push(v);
-                vals.push(T::from_index(v));
-            }
-            shards.push(SparseVec::from_sorted(n, inds, vals)?);
-        }
-        frontier = DistSparseVec::from_shards(n, shards)?;
-    }
-    Ok((BfsResult { levels, parents }, total))
-}
-
-/// Minimal value-construction contract the distributed BFS frontier
-/// needs (values are ignored by the first-visitor kernel; these just fill
-/// the slots).
-pub trait FrontierValue: Copy + Send + Sync {
-    /// An arbitrary fill value.
-    fn default_like() -> Self;
-    /// A fill value derived from a vertex id.
-    fn from_index(i: usize) -> Self;
-}
-
-impl FrontierValue for f64 {
-    fn default_like() -> Self {
-        1.0
-    }
-    fn from_index(i: usize) -> Self {
-        i as f64
-    }
-}
-
-impl FrontierValue for bool {
-    fn default_like() -> Self {
-        true
-    }
-    fn from_index(_: usize) -> Self {
-        true
-    }
-}
-
-impl FrontierValue for usize {
-    fn default_like() -> Self {
-        0
-    }
-    fn from_index(i: usize) -> Self {
-        i
-    }
+    let backend = DistBackend::with_strategy(dctx, strategy);
+    let result = bfs_on(&backend, a, source, opts)?;
+    Ok((result, backend.take_report()))
 }
 
 #[cfg(test)]

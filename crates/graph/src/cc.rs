@@ -5,24 +5,33 @@
 //! computed as one SpMV over the `(min, first)` semiring
 //! (`y[j] = min_i label[i]` over in-neighbours `i`). Fixpoint in at most
 //! `diameter` rounds. The input must be symmetric (an undirected graph).
+//!
+//! One implementation, [`connected_components_on`], generic over
+//! [`GblasBackend`].
 
-use gblas_core::algebra::{First, Min, Semiring};
+use gblas_core::algebra::{First, Min, Scalar, Semiring};
+use gblas_core::backend::{GblasBackend, SharedBackend};
 use gblas_core::container::{CsrMatrix, DenseVec};
 use gblas_core::error::{check_dims, Result};
-use gblas_core::ops::spmv::spmv_col;
 use gblas_core::par::ExecCtx;
+use gblas_dist::{DistBackend, DistCsrMatrix, DistCtx};
 
-/// Component labels (the smallest vertex id in each component).
-pub fn connected_components<T: Copy + Send + Sync>(
-    a: &CsrMatrix<T>,
-    ctx: &ExecCtx,
+/// Min-label propagation over any backend. Labels are driver-side
+/// control state; each round is one `(min, first)` SpMV, the min-combine
+/// with the previous labels runs in ascending vertex order, and the
+/// global "changed?" decision is priced as one scalar all-reduce.
+pub fn connected_components_on<B: GblasBackend, T: Scalar>(
+    backend: &B,
+    a: &B::Matrix<T>,
 ) -> Result<DenseVec<usize>> {
-    check_dims("square matrix", a.nrows(), a.ncols())?;
-    let n = a.nrows();
-    let mut labels = DenseVec::from_fn(n, |i| i);
+    check_dims("square matrix", backend.mat_nrows(a), backend.mat_ncols(a))?;
+    let n = backend.mat_nrows(a);
     let ring: Semiring<Min, First> = Semiring::new(Min, First);
+    let mut labels: Vec<usize> = (0..n).collect();
     loop {
-        let propagated: DenseVec<usize> = spmv_col(a, &labels, &ring, ctx)?;
+        let x = backend.dense_from_vec(labels.clone());
+        let propagated: B::DenseVec<usize> = backend.spmv(a, &x, &ring)?;
+        let propagated = backend.dense_to_vec(&propagated);
         let mut changed = false;
         for v in 0..n {
             let candidate = propagated[v].min(labels[v]);
@@ -31,10 +40,16 @@ pub fn connected_components<T: Copy + Send + Sync>(
                 changed = true;
             }
         }
+        backend.allreduce_scalar("cc-allreduce")?;
         if !changed {
-            return Ok(labels);
+            return Ok(DenseVec::from_vec(labels));
         }
     }
+}
+
+/// Component labels (the smallest vertex id in each component).
+pub fn connected_components<T: Scalar>(a: &CsrMatrix<T>, ctx: &ExecCtx) -> Result<DenseVec<usize>> {
+    connected_components_on(&SharedBackend::new(ctx), a)
 }
 
 /// Count distinct components from a label vector.
@@ -45,42 +60,17 @@ pub fn component_count(labels: &DenseVec<usize>) -> usize {
     seen.len()
 }
 
-/// Distributed connected components: the same min-label propagation with
-/// [`gblas_dist::ops::spmv::spmv_dist`] (bulk-only communication) as the
-/// per-round kernel. Labels live block-distributed; the min-combine with
-/// the previous labels is locale-local. Returns labels and accumulated
-/// simulated time.
-pub fn connected_components_dist<T: Copy + Send + Sync>(
-    a: &gblas_dist::DistCsrMatrix<T>,
-    dctx: &gblas_dist::DistCtx,
+/// Distributed connected components: the same
+/// [`connected_components_on`] text with the bulk-only distributed SpMV
+/// as the per-round kernel. Returns labels and accumulated simulated
+/// time.
+pub fn connected_components_dist<T: Scalar>(
+    a: &DistCsrMatrix<T>,
+    dctx: &DistCtx,
 ) -> Result<(DenseVec<usize>, gblas_sim::SimReport)> {
-    use gblas_dist::ops::spmv::spmv_dist;
-    use gblas_dist::DistDenseVec;
-
-    check_dims("square matrix", a.nrows(), a.ncols())?;
-    let n = a.nrows();
-    let p = a.grid().locales();
-    let ring: Semiring<Min, First> = Semiring::new(Min, First);
-    let mut labels = DistDenseVec::from_global(&DenseVec::from_fn(n, |i| i), p);
-    let mut total = gblas_sim::SimReport::default();
-    loop {
-        let (propagated, report) = spmv_dist(a, &labels, &ring, dctx)?;
-        total.merge(&report);
-        let mut changed = false;
-        for l in 0..p {
-            let seg = labels.segment_mut(l);
-            let prop = propagated.segment(l);
-            for (slot, &cand) in seg.iter_mut().zip(prop) {
-                if cand < *slot {
-                    *slot = cand;
-                    changed = true;
-                }
-            }
-        }
-        if !changed {
-            return Ok((labels.to_global(), total));
-        }
-    }
+    let backend = DistBackend::new(dctx);
+    let labels = connected_components_on(&backend, a)?;
+    Ok((labels, backend.take_report()))
 }
 
 #[cfg(test)]
@@ -164,11 +154,8 @@ mod tests {
         let expect = connected_components(&a, &ctx).unwrap();
         for (pr, pc) in [(1, 1), (2, 2), (2, 3)] {
             let grid = gblas_dist::ProcGrid::new(pr, pc);
-            let da = gblas_dist::DistCsrMatrix::from_global(&a, grid);
-            let dctx = gblas_dist::DistCtx::new(gblas_sim::MachineConfig::edison_cluster(
-                grid.locales(),
-                24,
-            ));
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let dctx = DistCtx::new(gblas_sim::MachineConfig::edison_cluster(grid.locales(), 24));
             let (labels, report) = connected_components_dist(&da, &dctx).unwrap();
             assert_eq!(labels, expect, "grid {pr}x{pc}");
             assert!(report.total() > 0.0);

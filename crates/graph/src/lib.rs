@@ -7,25 +7,33 @@
 //! algorithms written in our GraphBLAS Chapel library" as future work
 //! (§V). This crate closes that loop:
 //!
-//! * [`mod@bfs`] — level-synchronous BFS with parent tracking, in shared
-//!   memory (masked SpMSpV per level) and distributed memory (the
-//!   Listing-8 SpMSpV as the level kernel);
+//! * [`mod@bfs`] — level-synchronous BFS with parent tracking;
 //! * [`cc`] — connected components by label propagation over the
 //!   `(min, first)` semiring;
 //! * [`mod@pagerank`] — PageRank power iteration over `(+, ×)` SpMV with
 //!   dangling-mass correction;
 //! * [`mod@sssp`] — single-source shortest paths: Bellman–Ford over the
-//!   tropical `(min, +)` semiring;
+//!   tropical `(min, +)` semiring, for any [`sssp::EdgeWeight`] value
+//!   type;
 //! * [`triangles`] — triangle counting via masked SpGEMM
 //!   (`C⟨L⟩ = L · Lᵀ` over the plus-pair semiring);
 //! * [`mod@betweenness`] — Brandes betweenness centrality from masked
 //!   path-counting SpMSpV sweeps and a transposed dependency
 //!   back-propagation;
-//! * [`kcore`] — k-core decomposition by `reduce`/`select` peeling.
+//! * [`kcore`] — k-core decomposition by `reduce`/`select` peeling;
+//! * [`mis`] — maximal independent set by Luby's algorithm.
 //!
-//! Every algorithm is written against the *public* `gblas-core` /
-//! `gblas-dist` API — they double as integration tests of the operation
-//! set, exactly the role BFS plays in the paper.
+//! **Every algorithm is written exactly once**, as a generic function
+//! over [`gblas_core::backend::GblasBackend`] (`bfs_on`, `sssp_on`, ...):
+//! the same text runs on the shared-memory backend
+//! ([`gblas_core::backend::SharedBackend`]) and on the simulated
+//! distributed backend ([`gblas_dist::DistBackend`]), which is the
+//! paper's version-1/version-2 split made a compile-time contract. The
+//! `bfs`/`bfs_dist`-style entry points are thin wrappers that pick a
+//! backend; the `_dist` variants also return the accumulated
+//! [`gblas_sim::SimReport`] comm/compute ledger. All eight algorithms run
+//! distributed, including triangles (sparse SUMMA, square grids), k-core,
+//! MIS and betweenness.
 
 //! ```
 //! use gblas_core::{gen, par::ExecCtx};
@@ -45,11 +53,11 @@ pub mod pagerank;
 pub mod sssp;
 pub mod triangles;
 
-pub use betweenness::betweenness;
-pub use bfs::{bfs, bfs_dist, bfs_dist_with, bfs_with, BfsResult};
-pub use cc::{connected_components, connected_components_dist};
-pub use kcore::core_numbers;
-pub use mis::maximal_independent_set;
-pub use pagerank::{pagerank, pagerank_dist, PageRankOptions};
-pub use sssp::{sssp, sssp_dist, sssp_dist_with, sssp_with};
-pub use triangles::triangle_count;
+pub use betweenness::{betweenness, betweenness_dist, betweenness_on};
+pub use bfs::{bfs, bfs_dist, bfs_dist_with, bfs_on, bfs_with, BfsResult};
+pub use cc::{connected_components, connected_components_dist, connected_components_on};
+pub use kcore::{core_numbers, core_numbers_dist, core_numbers_on};
+pub use mis::{maximal_independent_set, maximal_independent_set_dist, maximal_independent_set_on};
+pub use pagerank::{pagerank, pagerank_dist, pagerank_dist_on, pagerank_on, PageRankOptions};
+pub use sssp::{sssp, sssp_dist, sssp_dist_with, sssp_on, sssp_with, EdgeWeight};
+pub use triangles::{triangle_count, triangle_count_dist, triangle_count_on};

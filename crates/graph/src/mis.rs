@@ -3,32 +3,43 @@
 //! Each round, every candidate vertex draws a random priority; a vertex
 //! joins the set when its priority beats all of its neighbours'
 //! (a `(max, first)` SpMSpV comparison), and winners' neighbourhoods
-//! leave the candidate pool. Expected `O(log n)` rounds. A classic
-//! GraphBLAS kernel (it appears in the GraphBLAS API papers the paper
-//! cites) exercising ewise ops, masks and reductions together.
+//! leave the candidate pool — a second `(max, first)` SpMSpV over the
+//! winner set. Expected `O(log n)` rounds. A classic GraphBLAS kernel
+//! (it appears in the GraphBLAS API papers the paper cites) exercising
+//! sparse vectors, semirings and reductions together.
+//!
+//! One implementation, [`maximal_independent_set_on`], generic over
+//! [`GblasBackend`]. Priorities are drawn driver-side in vertex order, so
+//! every backend sees the identical random sequence and the result is
+//! deterministic in the seed regardless of substrate.
 
-use gblas_core::algebra::{First, Max, Semiring};
-use gblas_core::container::{CsrMatrix, DenseVec, SparseVec};
+use gblas_core::algebra::{First, Max, Scalar, Semiring};
+use gblas_core::backend::{GblasBackend, SharedBackend};
+use gblas_core::container::{CsrMatrix, DenseVec};
 use gblas_core::error::{check_dims, Result};
-use gblas_core::ops::spmspv::spmspv_semiring;
+use gblas_core::ops::spmspv::SpMSpVOpts;
 use gblas_core::par::ExecCtx;
+use gblas_dist::{DistBackend, DistCsrMatrix, DistCtx};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// Compute a maximal independent set of the *symmetric* graph `a`.
-/// Returns the indicator vector (true = in the set). Deterministic in
-/// `seed`.
-pub fn maximal_independent_set<T: Copy + Send + Sync>(
-    a: &CsrMatrix<T>,
+/// Luby rounds over any backend. The candidate pool and the set are
+/// driver-side control state; each round is two `(max, first)` SpMSpVs
+/// (neighbour-priority comparison, winner-neighbourhood kill) plus one
+/// scalar all-reduce for the "pool empty?" decision.
+pub fn maximal_independent_set_on<B: GblasBackend, T: Scalar>(
+    backend: &B,
+    a: &B::Matrix<T>,
     seed: u64,
-    ctx: &ExecCtx,
 ) -> Result<DenseVec<bool>> {
-    check_dims("square matrix", a.nrows(), a.ncols())?;
-    let n = a.nrows();
+    check_dims("square matrix", backend.mat_nrows(a), backend.mat_ncols(a))?;
+    let n = backend.mat_nrows(a);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut in_set = DenseVec::filled(n, false);
     let mut candidate = vec![true; n];
-    let ring: Semiring<Max, First> = Semiring::new(Max, First);
+    let prio_ring: Semiring<Max, First> = Semiring::new(Max, First);
+    let kill_ring: Semiring<Max, First> = Semiring::new(Max, First);
+    let opts = SpMSpVOpts::default();
     let mut rounds = 0usize;
     while candidate.iter().any(|&c| c) {
         rounds += 1;
@@ -43,30 +54,71 @@ pub fn maximal_independent_set<T: Copy + Send + Sync>(
                 vals.push(1.0 + rng.gen::<f64>() + v as f64 * 1e-15);
             }
         }
-        let prio = SparseVec::from_sorted(n, inds, vals)?;
+        let prio_entries: Vec<(usize, f64)> =
+            inds.iter().copied().zip(vals.iter().copied()).collect();
+        let prio = backend.sparse_from_sorted(n, inds, vals)?;
         // max neighbour priority among candidates:
         // nbr[j] = max_{i candidate, i->j} prio[i]
-        let nbr = spmspv_semiring(a, &prio, &ring, ctx)?.vector;
+        let nbr: B::SparseVec<f64> = backend.spmspv_semiring(a, &prio, &prio_ring, None, opts)?;
+        let nbr_entries = backend.sparse_entries(&nbr);
         // winners: candidates whose own priority beats every candidate
-        // neighbour's
+        // neighbour's (merge-scan: both entry lists are index-sorted)
         let mut winners = Vec::new();
-        for (v, &p) in prio.iter() {
-            let best_nbr = nbr.get(v).copied().unwrap_or(0.0);
+        let mut ni = 0usize;
+        for (v, p) in prio_entries {
+            while ni < nbr_entries.len() && nbr_entries[ni].0 < v {
+                ni += 1;
+            }
+            let best_nbr = if ni < nbr_entries.len() && nbr_entries[ni].0 == v {
+                nbr_entries[ni].1
+            } else {
+                0.0
+            };
             if p > best_nbr {
                 winners.push(v);
             }
         }
         debug_assert!(!winners.is_empty(), "some candidate always wins a round");
+        // Winners join the set; their neighbourhoods (one more SpMSpV over
+        // the winner indicator) leave the pool.
+        let wvec = backend.sparse_from_sorted(n, winners.clone(), vec![true; winners.len()])?;
+        let killed: B::SparseVec<bool> =
+            backend.spmspv_semiring(a, &wvec, &kill_ring, None, opts)?;
+        for (u, _) in backend.sparse_entries(&killed) {
+            candidate[u] = false;
+        }
         for &w in &winners {
             in_set[w] = true;
             candidate[w] = false;
-            let (cols, _) = a.row(w);
-            for &u in cols {
-                candidate[u] = false;
-            }
         }
+        backend.allreduce_scalar("mis-round")?;
     }
     Ok(in_set)
+}
+
+/// Compute a maximal independent set of the *symmetric* graph `a`.
+/// Returns the indicator vector (true = in the set). Deterministic in
+/// `seed`.
+pub fn maximal_independent_set<T: Scalar>(
+    a: &CsrMatrix<T>,
+    seed: u64,
+    ctx: &ExecCtx,
+) -> Result<DenseVec<bool>> {
+    maximal_independent_set_on(&SharedBackend::new(ctx), a, seed)
+}
+
+/// Distributed MIS: the same [`maximal_independent_set_on`] text with the
+/// distributed SpMSpV as the round kernel. Returns the indicator vector
+/// and accumulated simulated time; bit-identical to the shared run for
+/// the same seed.
+pub fn maximal_independent_set_dist<T: Scalar>(
+    a: &DistCsrMatrix<T>,
+    seed: u64,
+    dctx: &DistCtx,
+) -> Result<(DenseVec<bool>, gblas_sim::SimReport)> {
+    let backend = DistBackend::new(dctx);
+    let set = maximal_independent_set_on(&backend, a, seed)?;
+    Ok((set, backend.take_report()))
 }
 
 #[cfg(test)]
@@ -132,5 +184,20 @@ mod tests {
         let s1 = maximal_independent_set(&a, 42, &ctx).unwrap();
         let s2 = maximal_independent_set(&a, 42, &ctx).unwrap();
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn distributed_matches_shared_at_every_grid() {
+        let a = gen::erdos_renyi_symmetric(150, 4, 77);
+        let ctx = ExecCtx::serial();
+        let expect = maximal_independent_set(&a, 42, &ctx).unwrap();
+        for (pr, pc) in [(1, 1), (2, 2), (2, 3)] {
+            let grid = gblas_dist::ProcGrid::new(pr, pc);
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let dctx = DistCtx::new(gblas_sim::MachineConfig::edison_cluster(grid.locales(), 24));
+            let (set, report) = maximal_independent_set_dist(&da, 42, &dctx).unwrap();
+            assert_eq!(set, expect, "grid {pr}x{pc}");
+            assert!(report.total() > 0.0);
+        }
     }
 }

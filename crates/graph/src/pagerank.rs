@@ -1,11 +1,17 @@
 //! PageRank by power iteration over `(+, ×)` SpMV.
+//!
+//! One implementation, [`pagerank_on`], generic over [`GblasBackend`]:
+//! the stochastic scaling (`W[i,j] = 1/outdeg(i)`) is two backend `Apply`
+//! calls plus a row-`reduce`, each iteration is one backend SpMV, and the
+//! two global scalar decisions per iteration (dangling mass, convergence)
+//! are priced through [`GblasBackend::allreduce_scalar`].
 
-use gblas_core::algebra::semirings;
+use gblas_core::algebra::{semirings, Plus, Scalar};
+use gblas_core::backend::{GblasBackend, SharedBackend};
 use gblas_core::container::{CsrMatrix, DenseVec};
 use gblas_core::error::{check_dims, Result};
-use gblas_core::ops::reduce::reduce_rows;
-use gblas_core::ops::spmv::spmv_col;
 use gblas_core::par::ExecCtx;
+use gblas_dist::{DistBackend, DistCsrMatrix, DistCtx, ProcGrid};
 
 /// Tunables for [`pagerank`].
 #[derive(Debug, Clone, Copy)]
@@ -24,159 +30,88 @@ impl Default for PageRankOptions {
     }
 }
 
-/// PageRank of the directed graph `a` (edge `i -> j` stored at `A[i,j]`).
-/// Returns `(ranks, iterations)`; ranks sum to 1.
-pub fn pagerank<T: Copy + Send + Sync>(
-    a: &CsrMatrix<T>,
+/// Power iteration over any backend. Ranks are driver-side control state
+/// imported into the backend layout once per iteration for the SpMV; the
+/// dangling-mass and convergence sums run in ascending vertex order so
+/// every backend produces the same floating-point fold.
+pub fn pagerank_on<B: GblasBackend, T: Scalar>(
+    backend: &B,
+    a: &B::Matrix<T>,
     opts: PageRankOptions,
-    ctx: &ExecCtx,
 ) -> Result<(DenseVec<f64>, usize)> {
-    check_dims("square matrix", a.nrows(), a.ncols())?;
-    let n = a.nrows();
+    check_dims("square matrix", backend.mat_nrows(a), backend.mat_ncols(a))?;
+    let n = backend.mat_nrows(a);
     if n == 0 {
         return Ok((DenseVec::from_vec(Vec::new()), 0));
     }
     // Row-stochastic weights: W[i,j] = 1/outdeg(i).
-    let ones = {
-        let (nr, nc, rp, ci, vals) = a.clone().into_raw_parts();
-        CsrMatrix::from_raw_parts(nr, nc, rp, ci, vec![1.0f64; vals.len()])?
-    };
-    let outdeg = reduce_rows(&ones, &gblas_core::algebra::Plus, ctx);
-    let w = {
-        let (nr, nc, rp, ci, _) = ones.into_raw_parts();
-        let mut vals = Vec::with_capacity(ci.len());
-        for i in 0..nr {
-            let deg = outdeg[i];
-            for _ in rp[i]..rp[i + 1] {
-                vals.push(1.0 / deg);
-            }
-        }
-        CsrMatrix::from_raw_parts(nr, nc, rp, ci, vals)?
+    let ones: B::Matrix<f64> = backend.mat_map(a, &|_, _, _| 1.0f64)?;
+    let outdeg: Vec<f64> = backend.reduce_rows(&ones, &Plus)?;
+    let w: B::Matrix<f64> = {
+        let deg = &outdeg;
+        backend.mat_map(&ones, &|i, _, _| 1.0 / deg[i])?
     };
     let ring = semirings::plus_times_f64();
-    let mut pr = DenseVec::filled(n, 1.0 / n as f64);
+    let mut pr = vec![1.0 / n as f64; n];
     let base = (1.0 - opts.damping) / n as f64;
     for iter in 1..=opts.max_iterations {
         // Dangling vertices redistribute their mass uniformly.
         let dangling: f64 = (0..n).filter(|&i| outdeg[i] == 0.0).map(|i| pr[i]).sum();
-        let spread: DenseVec<f64> = spmv_col(&w, &pr, &ring, ctx)?;
+        backend.allreduce_scalar("dangling-allreduce")?;
+        let x = backend.dense_from_vec(pr.clone());
+        let spread: B::DenseVec<f64> = backend.spmv(&w, &x, &ring)?;
+        let spread = backend.dense_to_vec(&spread);
         let mut diff = 0.0;
-        let mut next = DenseVec::filled(n, 0.0);
+        let mut next = vec![0.0f64; n];
         for v in 0..n {
             let r = base + opts.damping * (spread[v] + dangling / n as f64);
             diff += (r - pr[v]).abs();
             next[v] = r;
         }
+        backend.allreduce_scalar("diff-allreduce")?;
         pr = next;
         if diff < opts.tolerance {
-            return Ok((pr, iter));
+            return Ok((DenseVec::from_vec(pr), iter));
         }
     }
-    Ok((pr, opts.max_iterations))
+    Ok((DenseVec::from_vec(pr), opts.max_iterations))
 }
 
-/// Distributed PageRank: the power iteration runs on the 2-D grid with
-/// bulk-only communication — one `spmv_dist` per iteration plus two
+/// PageRank of the directed graph `a` (edge `i -> j` stored at `A[i,j]`).
+/// Returns `(ranks, iterations)`; ranks sum to 1.
+pub fn pagerank<T: Scalar>(
+    a: &CsrMatrix<T>,
+    opts: PageRankOptions,
+    ctx: &ExecCtx,
+) -> Result<(DenseVec<f64>, usize)> {
+    pagerank_on(&SharedBackend::new(ctx), a, opts)
+}
+
+/// Distributed PageRank: the same [`pagerank_on`] text on the 2-D grid
+/// with bulk-only communication — one `spmv_dist` per iteration plus two
 /// all-reduce-style scalar combines (dangling mass, convergence check),
 /// each priced as a binomial tree of small bulk messages.
-///
-/// The stochastic scaling of the matrix (`W[i,j] = 1/outdeg(i)`) is a
-/// one-time setup performed globally before distribution, as a real
-/// deployment would do during ingest.
 ///
 /// Returns `(ranks, iterations, simulated time)`.
 pub fn pagerank_dist(
     a: &CsrMatrix<f64>,
-    grid: gblas_dist::ProcGrid,
+    grid: ProcGrid,
     opts: PageRankOptions,
-    dctx: &gblas_dist::DistCtx,
+    dctx: &DistCtx,
 ) -> Result<(DenseVec<f64>, usize, gblas_sim::SimReport)> {
-    use gblas_dist::ops::spmv::spmv_dist;
-    use gblas_dist::{DistCsrMatrix, DistDenseVec};
+    let da = DistCsrMatrix::from_global(a, grid);
+    pagerank_dist_on(&da, opts, dctx)
+}
 
-    check_dims("square matrix", a.nrows(), a.ncols())?;
-    let n = a.nrows();
-    let p = grid.locales();
-    if n == 0 {
-        return Ok((DenseVec::from_vec(Vec::new()), 0, gblas_sim::SimReport::default()));
-    }
-    // --- One-time setup (global): stochastic scaling. ---
-    let setup_ctx = ExecCtx::serial();
-    let ones = {
-        let (nr, nc, rp, ci, vals) = a.clone().into_raw_parts();
-        CsrMatrix::from_raw_parts(nr, nc, rp, ci, vec![1.0f64; vals.len()])?
-    };
-    let outdeg = reduce_rows(&ones, &gblas_core::algebra::Plus, &setup_ctx);
-    let w = {
-        let (nr, nc, rp, ci, _) = ones.into_raw_parts();
-        let mut vals = Vec::with_capacity(ci.len());
-        for i in 0..nr {
-            for _ in rp[i]..rp[i + 1] {
-                vals.push(1.0 / outdeg[i]);
-            }
-        }
-        CsrMatrix::from_raw_parts(nr, nc, rp, ci, vals)?
-    };
-    let dw = DistCsrMatrix::from_global(&w, grid);
-    let ring = semirings::plus_times_f64();
-    let base = (1.0 - opts.damping) / n as f64;
-    let out_dist = gblas_dist::BlockDist::new(n, p);
-    let dangling_mask: Vec<Vec<bool>> =
-        (0..p).map(|l| out_dist.range(l).map(|i| outdeg[i] == 0.0).collect()).collect();
-
-    let mut pr = DistDenseVec::filled(n, 1.0 / n as f64, p);
-    let mut total = gblas_sim::SimReport::default();
-    let mut iters = 0usize;
-    // Scalar all-reduce cost: binomial tree of p-1 tiny bulk messages.
-    let allreduce = |phase: &str| -> Result<()> {
-        let mut stride = 1usize;
-        while stride < p {
-            for l in (0..p).step_by(stride * 2) {
-                if l + stride < p {
-                    dctx.comm.bulk(phase, l + stride, l, 1, 8)?;
-                }
-            }
-            stride *= 2;
-        }
-        Ok(())
-    };
-    for iter in 1..=opts.max_iterations {
-        iters = iter;
-        // Dangling mass: local partial sums + allreduce.
-        let mut dangling = 0.0;
-        #[allow(clippy::needless_range_loop)] // `l` indexes mask and segments in parallel
-        for l in 0..p {
-            for (off, &is_dangling) in dangling_mask[l].iter().enumerate() {
-                if is_dangling {
-                    dangling += pr.segment(l)[off];
-                }
-            }
-        }
-        allreduce("dangling-allreduce")?;
-        // One distributed SpMV.
-        let (spread, report) = spmv_dist(&dw, &pr, &ring, dctx)?;
-        total.merge(&report);
-        // Local segment update + convergence partials.
-        let mut diff = 0.0;
-        let mut next = DistDenseVec::filled(n, 0.0f64, p);
-        for l in 0..p {
-            let seg_pr = pr.segment(l);
-            let seg_sp = spread.segment(l);
-            let out = next.segment_mut(l);
-            for off in 0..out.len() {
-                let r = base + opts.damping * (seg_sp[off] + dangling / n as f64);
-                diff += (r - seg_pr[off]).abs();
-                out[off] = r;
-            }
-        }
-        allreduce("diff-allreduce")?;
-        pr = next;
-        if diff < opts.tolerance {
-            break;
-        }
-    }
-    total.merge(&dctx.price_comm(&dctx.comm.take_events()));
-    Ok((pr.to_global(), iters, total))
+/// Distributed PageRank over an already-distributed matrix.
+pub fn pagerank_dist_on<T: Scalar>(
+    a: &DistCsrMatrix<T>,
+    opts: PageRankOptions,
+    dctx: &DistCtx,
+) -> Result<(DenseVec<f64>, usize, gblas_sim::SimReport)> {
+    let backend = DistBackend::new(dctx);
+    let (pr, iters) = pagerank_on(&backend, a, opts)?;
+    Ok((pr, iters, backend.take_report()))
 }
 
 #[cfg(test)]
@@ -246,11 +181,8 @@ mod tests {
         let opts = PageRankOptions { tolerance: 1e-12, ..Default::default() };
         let (expect, iters_shared) = pagerank(&a, opts, &ctx).unwrap();
         for (pr_grid, pc_grid) in [(1, 1), (2, 2), (2, 3)] {
-            let grid = gblas_dist::ProcGrid::new(pr_grid, pc_grid);
-            let dctx = gblas_dist::DistCtx::new(gblas_sim::MachineConfig::edison_cluster(
-                grid.locales(),
-                24,
-            ));
+            let grid = ProcGrid::new(pr_grid, pc_grid);
+            let dctx = DistCtx::new(gblas_sim::MachineConfig::edison_cluster(grid.locales(), 24));
             let (ranks, iters, report) = pagerank_dist(&a, grid, opts, &dctx).unwrap();
             assert_eq!(iters, iters_shared, "grid {pr_grid}x{pc_grid}");
             for v in 0..250 {
@@ -263,8 +195,8 @@ mod tests {
     #[test]
     fn distributed_pagerank_is_all_bulk() {
         let a = gen::erdos_renyi(200, 5, 34);
-        let grid = gblas_dist::ProcGrid::new(2, 2);
-        let dctx = gblas_dist::DistCtx::new(gblas_sim::MachineConfig::edison_cluster(4, 24));
+        let grid = ProcGrid::new(2, 2);
+        let dctx = DistCtx::new(gblas_sim::MachineConfig::edison_cluster(4, 24));
         let _ = pagerank_dist(&a, grid, PageRankOptions::default(), &dctx).unwrap();
         let (fine, bulk, _) = dctx.comm.totals();
         assert_eq!(fine, 0, "distributed PageRank must use only bulk messages");

@@ -5,138 +5,138 @@
 //! `(min, +)` relaxes all their out-edges; improvements re-enter the
 //! frontier. Terminates after at most `V` rounds on graphs with
 //! non-negative weights (and detects negative cycles otherwise).
+//!
+//! One implementation, [`sssp_on`], generic over [`GblasBackend`] and any
+//! [`EdgeWeight`] value type (the matrix is cast to `f64` weights with one
+//! local `Apply` before the relaxation loop).
 
-use gblas_core::algebra::semirings;
-use gblas_core::container::{CsrMatrix, DenseVec, SparseVec};
+use gblas_core::algebra::{semirings, Scalar};
+use gblas_core::backend::{GblasBackend, SharedBackend};
+use gblas_core::container::{CsrMatrix, DenseVec};
 use gblas_core::error::{check_dims, GblasError, Result};
-use gblas_core::ops::spmspv::{spmspv_semiring_masked, SpMSpVOpts};
+use gblas_core::ops::spmspv::SpMSpVOpts;
 use gblas_core::par::ExecCtx;
+use gblas_dist::ops::spmspv::CommStrategy;
+use gblas_dist::{DistBackend, DistCsrMatrix, DistCtx};
 
-/// Shortest-path distances from `source`; unreachable vertices hold
-/// `f64::INFINITY`.
-///
-/// Returns an error on out-of-range sources, non-square matrices, or when
-/// relaxation fails to settle within `V` rounds (a negative cycle).
-pub fn sssp(a: &CsrMatrix<f64>, source: usize, ctx: &ExecCtx) -> Result<DenseVec<f64>> {
-    sssp_with(a, source, SpMSpVOpts::default(), ctx)
+/// A scalar that can serve as an edge weight: anything with a lossless-
+/// enough cast to `f64` for tropical-semiring arithmetic. This is what
+/// lets [`sssp`] accept the same `T: Scalar` matrices as every other
+/// algorithm instead of hardcoding `CsrMatrix<f64>`.
+pub trait EdgeWeight: Scalar {
+    /// The edge weight as an `f64` (structure-only types map to 1).
+    fn as_weight(self) -> f64;
 }
 
-/// SSSP with explicit SpMSpV options (sort algorithm / merge strategy)
-/// for the per-round relaxation kernel.
-pub fn sssp_with(
-    a: &CsrMatrix<f64>,
+macro_rules! weight_as {
+    ($($t:ty),*) => {$(
+        impl EdgeWeight for $t {
+            fn as_weight(self) -> f64 {
+                self as f64
+            }
+        }
+    )*};
+}
+weight_as!(f64, f32, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl EdgeWeight for bool {
+    fn as_weight(self) -> f64 {
+        1.0
+    }
+}
+
+/// Bellman–Ford relaxation over any backend. Tentative distances are
+/// driver-side control state; each round is one `(min, +)` SpMSpV whose
+/// improvements (checked in ascending vertex order) form the next
+/// frontier.
+pub fn sssp_on<B: GblasBackend, T: EdgeWeight>(
+    backend: &B,
+    a: &B::Matrix<T>,
     source: usize,
     opts: SpMSpVOpts,
-    ctx: &ExecCtx,
 ) -> Result<DenseVec<f64>> {
-    check_dims("square matrix", a.nrows(), a.ncols())?;
-    let n = a.nrows();
+    check_dims("square matrix", backend.mat_nrows(a), backend.mat_ncols(a))?;
+    let n = backend.mat_nrows(a);
     if source >= n {
         return Err(GblasError::IndexOutOfBounds { index: source, capacity: n });
     }
+    let w: B::Matrix<f64> = backend.mat_map(a, &|_, _, v| v.as_weight())?;
     let ring = semirings::min_plus();
-    let mut dist = DenseVec::filled(n, f64::INFINITY);
+    let mut dist = vec![f64::INFINITY; n];
     dist[source] = 0.0;
-    let mut frontier = SparseVec::from_sorted(n, vec![source], vec![0.0])?;
+    let mut frontier = backend.sparse_from_sorted(n, vec![source], vec![0.0])?;
     let mut rounds = 0usize;
-    while frontier.nnz() > 0 {
+    while backend.sparse_nnz(&frontier) > 0 {
         rounds += 1;
         if rounds > n {
             return Err(GblasError::InvalidArgument(
                 "sssp did not converge within V rounds (negative cycle?)".into(),
             ));
         }
-        let relaxed = spmspv_semiring_masked(a, &frontier, &ring, None, opts, ctx)?.vector;
+        let relaxed: B::SparseVec<f64> =
+            backend.spmspv_semiring(&w, &frontier, &ring, None, opts)?;
         let mut next_i = Vec::new();
         let mut next_v = Vec::new();
-        for (j, &d) in relaxed.iter() {
+        for (j, d) in backend.sparse_entries(&relaxed) {
             if d < dist[j] {
                 dist[j] = d;
                 next_i.push(j);
                 next_v.push(d);
             }
         }
-        frontier = SparseVec::from_sorted(n, next_i, next_v)?;
+        frontier = backend.sparse_from_sorted(n, next_i, next_v)?;
     }
-    Ok(dist)
+    Ok(DenseVec::from_vec(dist))
 }
 
-/// Distributed SSSP: the same Bellman–Ford relaxation with the
-/// general-semiring distributed SpMSpV
-/// ([`gblas_dist::ops::spmspv::spmspv_dist_semiring`]) as the per-round
-/// kernel — another "complete graph algorithm ... in distributed memory"
-/// (§V). The tentative-distance vector is kept block-distributed; each
-/// round's improvements are detected locale-locally against the owner's
-/// segment. Returns distances and accumulated simulated time.
-pub fn sssp_dist(
-    a: &gblas_dist::DistCsrMatrix<f64>,
+/// Shortest-path distances from `source`; unreachable vertices hold
+/// `f64::INFINITY`.
+///
+/// Returns an error on out-of-range sources, non-square matrices, or when
+/// relaxation fails to settle within `V` rounds (a negative cycle).
+pub fn sssp<T: EdgeWeight>(
+    a: &CsrMatrix<T>,
     source: usize,
-    dctx: &gblas_dist::DistCtx,
+    ctx: &ExecCtx,
+) -> Result<DenseVec<f64>> {
+    sssp_with(a, source, SpMSpVOpts::default(), ctx)
+}
+
+/// SSSP with explicit SpMSpV options (sort algorithm / merge strategy)
+/// for the per-round relaxation kernel.
+pub fn sssp_with<T: EdgeWeight>(
+    a: &CsrMatrix<T>,
+    source: usize,
+    opts: SpMSpVOpts,
+    ctx: &ExecCtx,
+) -> Result<DenseVec<f64>> {
+    sssp_on(&SharedBackend::new(ctx), a, source, opts)
+}
+
+/// Distributed SSSP: the same [`sssp_on`] text with the general-semiring
+/// distributed SpMSpV as the per-round kernel — another "complete graph
+/// algorithm ... in distributed memory" (§V). Returns distances and
+/// accumulated simulated time.
+pub fn sssp_dist<T: EdgeWeight>(
+    a: &DistCsrMatrix<T>,
+    source: usize,
+    dctx: &DistCtx,
 ) -> Result<(DenseVec<f64>, gblas_sim::SimReport)> {
-    use gblas_dist::ops::spmspv::CommStrategy;
     sssp_dist_with(a, source, CommStrategy::Bulk, SpMSpVOpts::default(), dctx)
 }
 
 /// Distributed SSSP with an explicit communication strategy and SpMSpV
 /// options for the per-round relaxation kernel.
-pub fn sssp_dist_with(
-    a: &gblas_dist::DistCsrMatrix<f64>,
+pub fn sssp_dist_with<T: EdgeWeight>(
+    a: &DistCsrMatrix<T>,
     source: usize,
-    strategy: gblas_dist::ops::spmspv::CommStrategy,
+    strategy: CommStrategy,
     opts: SpMSpVOpts,
-    dctx: &gblas_dist::DistCtx,
+    dctx: &DistCtx,
 ) -> Result<(DenseVec<f64>, gblas_sim::SimReport)> {
-    use gblas_dist::ops::spmspv::spmspv_dist_semiring_with;
-    use gblas_dist::{DistDenseVec, DistSparseVec};
-
-    check_dims("square matrix", a.nrows(), a.ncols())?;
-    let n = a.nrows();
-    if source >= n {
-        return Err(GblasError::IndexOutOfBounds { index: source, capacity: n });
-    }
-    let p = a.grid().locales();
-    let ring = semirings::min_plus();
-    let mut dist = DistDenseVec::filled(n, f64::INFINITY, p);
-    {
-        let owner = dist.dist().owner(source);
-        let off = source - dist.dist().range(owner).start;
-        dist.segment_mut(owner)[off] = 0.0;
-    }
-    let mut frontier =
-        DistSparseVec::from_global(&SparseVec::from_sorted(n, vec![source], vec![0.0])?, p);
-    let mut total = gblas_sim::SimReport::default();
-    let mut rounds = 0usize;
-    while frontier.nnz() > 0 {
-        rounds += 1;
-        if rounds > n {
-            return Err(GblasError::InvalidArgument(
-                "sssp_dist did not converge within V rounds (negative cycle?)".into(),
-            ));
-        }
-        let (relaxed, report) =
-            spmspv_dist_semiring_with(a, &frontier, &ring, strategy, opts, dctx)?;
-        total.merge(&report);
-        // Locale-local improvement detection: relaxed and dist share the
-        // same block layout.
-        let mut shards = Vec::with_capacity(p);
-        for l in 0..p {
-            let start = dist.dist().range(l).start;
-            let seg = dist.segment_mut(l);
-            let mut inds = Vec::new();
-            let mut vals = Vec::new();
-            for (j, &d) in relaxed.shard(l).iter() {
-                let off = j - start;
-                if d < seg[off] {
-                    seg[off] = d;
-                    inds.push(j);
-                    vals.push(d);
-                }
-            }
-            shards.push(SparseVec::from_sorted(n, inds, vals)?);
-        }
-        frontier = DistSparseVec::from_shards(n, shards)?;
-    }
-    Ok((dist.to_global(), total))
+    let backend = DistBackend::with_strategy(dctx, strategy);
+    let dist = sssp_on(&backend, a, source, opts)?;
+    Ok((dist, backend.take_report()))
 }
 
 #[cfg(test)]
@@ -206,6 +206,24 @@ mod tests {
     }
 
     #[test]
+    fn integer_weights_via_edge_weight_cast() {
+        // The same path graph with u32 weights: hop costs 2, 3, 4.
+        let a = CsrMatrix::from_triplets(4, 4, &[(0, 1, 2u32), (1, 2, 3), (2, 3, 4)]).unwrap();
+        let ctx = ExecCtx::serial();
+        let dist = sssp(&a, 0, &ctx).unwrap();
+        assert_eq!(dist.as_slice(), &[0.0, 2.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn bool_weights_count_hops() {
+        let a =
+            CsrMatrix::from_triplets(4, 4, &[(0, 1, true), (1, 2, true), (2, 3, true)]).unwrap();
+        let ctx = ExecCtx::serial();
+        let dist = sssp(&a, 0, &ctx).unwrap();
+        assert_eq!(dist.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
     fn takes_the_shorter_of_two_routes() {
         // 0 -> 2 direct (10.0) vs 0 -> 1 -> 2 (1.0 + 2.0)
         let a = CsrMatrix::from_triplets(3, 3, &[(0, 2, 10.0), (0, 1, 1.0), (1, 2, 2.0)]).unwrap();
@@ -244,7 +262,6 @@ mod tests {
     #[test]
     fn bucketed_bulk_sssp_dist_matches_shared() {
         use gblas_core::ops::spmspv::MergeStrategy;
-        use gblas_dist::ops::spmspv::CommStrategy;
         let a = gen::erdos_renyi(250, 5, 11);
         let expect = sssp(&a, 7, &ExecCtx::serial()).unwrap();
         let grid = gblas_dist::ProcGrid::new(2, 3);

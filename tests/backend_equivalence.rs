@@ -1,0 +1,248 @@
+//! Backend equivalence: every algorithm is one generic function over
+//! [`gblas_core::backend::GblasBackend`], so the shared-memory run and
+//! the simulated distributed run execute the *same text*. These tests pin
+//! the contract down: for the integer/min/max algorithms the distributed
+//! result is **bit-identical** to the shared one on every grid and under
+//! both locale executors; for the floating-point accumulations
+//! (pagerank, betweenness) it is bit-identical exactly on the grid shapes
+//! where the summation order provably matches, and within 1e-9 elsewhere.
+
+use gblas_core::container::CsrMatrix;
+use gblas_core::gen;
+use gblas_core::ops::spmspv::{MergeStrategy, SpMSpVOpts};
+use gblas_core::par::ExecCtx;
+use gblas_dist::ops::spmspv::CommStrategy;
+use gblas_dist::{DistCsrMatrix, DistCtx, LocaleExecutor, ProcGrid};
+use gblas_graph::{
+    betweenness, betweenness_dist, bfs, bfs_dist_with, connected_components,
+    connected_components_dist, core_numbers, core_numbers_dist, maximal_independent_set,
+    maximal_independent_set_dist, pagerank, pagerank_dist_on, sssp, sssp_dist_with, triangle_count,
+    triangle_count_dist, PageRankOptions,
+};
+use gblas_sim::MachineConfig;
+
+const EXECUTORS: [LocaleExecutor; 2] = [LocaleExecutor::Serial, LocaleExecutor::Threaded];
+
+fn dctx(grid: ProcGrid, executor: LocaleExecutor) -> DistCtx {
+    let mut d = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+    d.set_executor(executor);
+    d
+}
+
+fn distribute(a: &CsrMatrix<f64>, pr: usize, pc: usize) -> (DistCsrMatrix<f64>, ProcGrid) {
+    let grid = ProcGrid::new(pr, pc);
+    (DistCsrMatrix::from_global(a, grid), grid)
+}
+
+/// Assert two f64 slices are bit-for-bit identical (not just `==`, which
+/// would conflate 0.0 and -0.0 and miss NaN payloads).
+fn assert_bits(got: &[f64], expect: &[f64], what: &str) {
+    assert_eq!(got.len(), expect.len(), "{what}: length");
+    for (v, (g, e)) in got.iter().zip(expect).enumerate() {
+        assert_eq!(g.to_bits(), e.to_bits(), "{what}: vertex {v}: {g} vs {e}");
+    }
+}
+
+const GRIDS: [(usize, usize); 4] = [(1, 1), (2, 2), (2, 3), (4, 1)];
+
+#[test]
+fn bfs_bit_identical_on_every_grid_and_executor() {
+    let a = gen::erdos_renyi(180, 5, 31);
+    let expect = bfs(&a, 3, &ExecCtx::serial()).unwrap();
+    for (pr, pc) in GRIDS {
+        for exec in EXECUTORS {
+            let (da, grid) = distribute(&a, pr, pc);
+            let d = dctx(grid, exec);
+            let (r, report) =
+                bfs_dist_with(&da, 3, CommStrategy::Fine, SpMSpVOpts::default(), &d).unwrap();
+            assert_eq!(r.levels, expect.levels, "grid {pr}x{pc} {exec:?}");
+            assert_eq!(r.parents, expect.parents, "grid {pr}x{pc} {exec:?}");
+            assert!(report.total() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn bfs_bucketed_merge_and_bulk_comm_change_nothing() {
+    let a = gen::erdos_renyi(180, 5, 31);
+    let expect = bfs(&a, 3, &ExecCtx::serial()).unwrap();
+    let opts = SpMSpVOpts::with_merge(MergeStrategy::Bucketed);
+    let (da, grid) = distribute(&a, 2, 3);
+    let d = dctx(grid, LocaleExecutor::Threaded);
+    let (r, _) = bfs_dist_with(&da, 3, CommStrategy::Bulk, opts, &d).unwrap();
+    assert_eq!(r.levels, expect.levels);
+    assert_eq!(r.parents, expect.parents);
+}
+
+#[test]
+fn sssp_bit_identical_on_every_grid_and_executor() {
+    // min-plus over f64: every combine picks one of the candidate values,
+    // so there is no reassociation error to tolerate — bits must match.
+    let a = gen::erdos_renyi(160, 4, 8);
+    let expect = sssp(&a, 0, &ExecCtx::serial()).unwrap();
+    for (pr, pc) in GRIDS {
+        for exec in EXECUTORS {
+            let (da, grid) = distribute(&a, pr, pc);
+            let d = dctx(grid, exec);
+            let (dist, _) =
+                sssp_dist_with(&da, 0, CommStrategy::Bulk, SpMSpVOpts::default(), &d).unwrap();
+            assert_bits(dist.as_slice(), expect.as_slice(), &format!("grid {pr}x{pc} {exec:?}"));
+        }
+    }
+}
+
+#[test]
+fn sssp_bucketed_merge_variant_matches() {
+    let a = gen::erdos_renyi(160, 4, 8);
+    let expect = sssp(&a, 0, &ExecCtx::serial()).unwrap();
+    let opts = SpMSpVOpts::with_merge(MergeStrategy::Bucketed);
+    let (da, grid) = distribute(&a, 2, 2);
+    let d = dctx(grid, LocaleExecutor::Threaded);
+    let (dist, _) = sssp_dist_with(&da, 0, CommStrategy::Bulk, opts, &d).unwrap();
+    assert_bits(dist.as_slice(), expect.as_slice(), "bucketed+bulk");
+}
+
+#[test]
+fn cc_bit_identical_on_every_grid_and_executor() {
+    let a = gen::erdos_renyi_symmetric(150, 3, 12);
+    let expect = connected_components(&a, &ExecCtx::serial()).unwrap();
+    for (pr, pc) in GRIDS {
+        for exec in EXECUTORS {
+            let (da, grid) = distribute(&a, pr, pc);
+            let d = dctx(grid, exec);
+            let (labels, _) = connected_components_dist(&da, &d).unwrap();
+            assert_eq!(labels, expect, "grid {pr}x{pc} {exec:?}");
+        }
+    }
+}
+
+#[test]
+fn kcore_bit_identical_on_every_grid_and_executor() {
+    let a = gen::erdos_renyi_symmetric(150, 5, 4);
+    let expect = core_numbers(&a, &ExecCtx::serial()).unwrap();
+    for (pr, pc) in GRIDS {
+        for exec in EXECUTORS {
+            let (da, grid) = distribute(&a, pr, pc);
+            let d = dctx(grid, exec);
+            let (core, _) = core_numbers_dist(&da, &d).unwrap();
+            assert_eq!(core, expect, "grid {pr}x{pc} {exec:?}");
+        }
+    }
+}
+
+#[test]
+fn mis_bit_identical_on_every_grid_and_executor() {
+    let a = gen::erdos_renyi_symmetric(150, 4, 21);
+    let expect = maximal_independent_set(&a, 42, &ExecCtx::serial()).unwrap();
+    for (pr, pc) in GRIDS {
+        for exec in EXECUTORS {
+            let (da, grid) = distribute(&a, pr, pc);
+            let d = dctx(grid, exec);
+            let (set, _) = maximal_independent_set_dist(&da, 42, &d).unwrap();
+            assert_eq!(set, expect, "grid {pr}x{pc} {exec:?}");
+        }
+    }
+}
+
+#[test]
+fn triangles_bit_identical_on_square_grids_and_executors() {
+    // the sparse SUMMA behind the masked SpGEMM needs a square grid
+    let a = gen::erdos_renyi_symmetric(160, 6, 17);
+    let expect = triangle_count(&a, &ExecCtx::serial()).unwrap();
+    for q in [1usize, 2, 3] {
+        for exec in EXECUTORS {
+            let (da, grid) = distribute(&a, q, q);
+            let d = dctx(grid, exec);
+            let (t, report) = triangle_count_dist(&da, &d).unwrap();
+            assert_eq!(t, expect, "grid {q}x{q} {exec:?}");
+            assert!(report.total() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn pagerank_tolerance_and_iteration_parity_on_every_grid() {
+    // The distributed SpMV reassociates the f64 dot products (its partial
+    // sums follow the column blocks), so pagerank agrees to rounding —
+    // never bitwise, even on one locale — and must converge in the same
+    // number of iterations.
+    let a = gen::erdos_renyi(120, 4, 6);
+    let opts = PageRankOptions::default();
+    let (expect, iters) = pagerank(&a, opts, &ExecCtx::serial()).unwrap();
+    for (pr_rows, pc) in GRIDS {
+        for exec in EXECUTORS {
+            let (da, grid) = distribute(&a, pr_rows, pc);
+            let d = dctx(grid, exec);
+            let (pr, di, _) = pagerank_dist_on(&da, opts, &d).unwrap();
+            assert_eq!(di, iters, "grid {pr_rows}x{pc} {exec:?}");
+            for v in 0..120 {
+                assert!(
+                    (pr[v] - expect[v]).abs() < 1e-9,
+                    "grid {pr_rows}x{pc} {exec:?} vertex {v}: {} vs {}",
+                    pr[v],
+                    expect[v]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn betweenness_bit_identical_on_column_vector_grids() {
+    // With the input on a pr x 1 grid the transposed matrix lands on
+    // 1 x pr, so both sweeps see whole rows and the f64 accumulation
+    // order matches the shared run exactly.
+    let a = gen::erdos_renyi(80, 4, 13);
+    let sources = [0usize, 11, 39];
+    let expect = betweenness(&a, &sources, &ExecCtx::serial()).unwrap();
+    for pr in [1usize, 4] {
+        for exec in EXECUTORS {
+            let (da, grid) = distribute(&a, pr, 1);
+            let d = dctx(grid, exec);
+            let (bc, _) = betweenness_dist(&da, &sources, &d).unwrap();
+            assert_bits(bc.as_slice(), expect.as_slice(), &format!("grid {pr}x1 {exec:?}"));
+        }
+    }
+}
+
+#[test]
+fn betweenness_tolerance_on_general_grids() {
+    let a = gen::erdos_renyi(80, 4, 13);
+    let sources = [0usize, 11, 39];
+    let expect = betweenness(&a, &sources, &ExecCtx::serial()).unwrap();
+    for exec in EXECUTORS {
+        let (da, grid) = distribute(&a, 2, 2);
+        let d = dctx(grid, exec);
+        let (bc, _) = betweenness_dist(&da, &sources, &d).unwrap();
+        for v in 0..80 {
+            assert!(
+                (bc[v] - expect[v]).abs() < 1e-9,
+                "{exec:?} vertex {v}: {} vs {}",
+                bc[v],
+                expect[v]
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_and_threaded_executors_agree_bit_for_bit_on_floats() {
+    // Even where dist differs from shared by rounding, the two executors
+    // must agree with each other exactly: scheduling must not change
+    // arithmetic.
+    let a = gen::erdos_renyi(120, 4, 99);
+    let sources = [0usize, 7];
+    let (da, grid) = distribute(&a, 2, 3);
+
+    let d_serial = dctx(grid, LocaleExecutor::Serial);
+    let d_threaded = dctx(grid, LocaleExecutor::Threaded);
+
+    let (pr_s, it_s, _) = pagerank_dist_on(&da, PageRankOptions::default(), &d_serial).unwrap();
+    let (pr_t, it_t, _) = pagerank_dist_on(&da, PageRankOptions::default(), &d_threaded).unwrap();
+    assert_eq!(it_s, it_t);
+    assert_bits(pr_s.as_slice(), pr_t.as_slice(), "pagerank serial vs threaded");
+
+    let (bc_s, _) = betweenness_dist(&da, &sources, &d_serial).unwrap();
+    let (bc_t, _) = betweenness_dist(&da, &sources, &d_threaded).unwrap();
+    assert_bits(bc_s.as_slice(), bc_t.as_slice(), "betweenness serial vs threaded");
+}
