@@ -1,0 +1,367 @@
+//! Allocation-accounting harness for the iterative kernels.
+//!
+//! Installs a counting global allocator (behind the `bench` feature) and
+//! measures, per iteration of each workload, (a) raw allocator traffic
+//! (malloc calls + bytes requested) and (b) workspace-pool behaviour
+//! (checkout hits vs misses), with pooling on and off
+//! (`GBLAS_WORKSPACE=off` equivalent via `WorkspacePool::set_enabled`).
+//!
+//! Workloads mirror the iteration structure of the real algorithms:
+//!
+//! - **bfs**: the `bfs_on` level loop — one masked first-visitor SpMSpV
+//!   per level; an iteration is one level.
+//! - **pagerank**: the `pagerank_on` power loop — one SpMV plus the
+//!   dangling/convergence folds; an iteration is one power step.
+//! - **spmspv**: repeated `spmspv_semiring` calls with a fixed operand —
+//!   the steady-state inner kernel on its own.
+//!
+//! Each workload runs one untimed warm-up pass first so the pool shelves
+//! reach their steady working set; the measured pass then samples every
+//! iteration. "Steady" rows skip the first [`WARMUP_ITERS`] measured
+//! iterations. Results are written as JSON (default `BENCH_alloc.json`).
+//!
+//! `--check` runs at a reduced scale and exits nonzero if the pooled BFS
+//! steady state performs any pool-miss checkouts — the CI gate for
+//! "zero-allocation hot paths".
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use gblas_bench::workloads;
+use gblas_core::algebra::{semirings, Plus};
+use gblas_core::backend::{GblasBackend, MaskSpec, SharedBackend};
+use gblas_core::container::{CsrMatrix, SparseVec};
+use gblas_core::ops::spmspv::{spmspv_semiring, SpMSpVOpts, SpMSpVOutput};
+use gblas_core::par::ExecCtx;
+use gblas_core::workspace::WorkspaceStats;
+
+/// Counting allocator: forwards to [`System`], tallying every allocation.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System`; the counters are monotonic
+// side-channels and never influence allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Measured iterations skipped before the "steady" aggregate.
+const WARMUP_ITERS: usize = 2;
+
+/// Per-iteration deltas: allocator traffic plus pool checkouts.
+#[derive(Debug, Clone, Copy, Default)]
+struct IterSample {
+    allocs: u64,
+    bytes: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+}
+
+/// Rolling snapshot used to turn cumulative counters into deltas.
+struct Probe {
+    allocs: u64,
+    bytes: u64,
+    ws: WorkspaceStats,
+}
+
+impl Probe {
+    fn start(ctx: &ExecCtx) -> Self {
+        Probe {
+            allocs: ALLOCS.load(Ordering::Relaxed),
+            bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+            ws: ctx.workspace().stats(),
+        }
+    }
+
+    /// Delta since the previous call (or since `start`).
+    fn sample(&mut self, ctx: &ExecCtx) -> IterSample {
+        let allocs = ALLOCS.load(Ordering::Relaxed);
+        let bytes = ALLOC_BYTES.load(Ordering::Relaxed);
+        let ws = ctx.workspace().stats();
+        let d = ws.saturating_sub(&self.ws);
+        let out = IterSample {
+            allocs: allocs - self.allocs,
+            bytes: bytes - self.bytes,
+            pool_hits: d.pool_hits,
+            pool_misses: d.pool_misses,
+        };
+        self.allocs = allocs;
+        self.bytes = bytes;
+        self.ws = ws;
+        out
+    }
+}
+
+/// One workload × one pooling mode.
+struct RunStats {
+    iterations: usize,
+    wall_ms: f64,
+    samples: Vec<IterSample>,
+}
+
+impl RunStats {
+    fn steady(&self) -> &[IterSample] {
+        if self.samples.len() > WARMUP_ITERS {
+            &self.samples[WARMUP_ITERS..]
+        } else {
+            &self.samples
+        }
+    }
+
+    fn steady_mean(&self, f: impl Fn(&IterSample) -> u64) -> f64 {
+        let s = self.steady();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.iter().map(&f).sum::<u64>() as f64 / s.len() as f64
+    }
+
+    fn steady_misses_total(&self) -> u64 {
+        self.steady().iter().map(|s| s.pool_misses).sum()
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"iterations\": {}, \"wall_ms\": {:.2}, \"steady\": ",
+                "{{\"allocs_per_iter\": {:.1}, \"bytes_per_iter\": {:.1}, ",
+                "\"pool_hits_per_iter\": {:.1}, \"pool_misses_per_iter\": {:.1}}}, ",
+                "\"total\": {{\"allocs\": {}, \"bytes\": {}}}}}"
+            ),
+            self.iterations,
+            self.wall_ms,
+            self.steady_mean(|s| s.allocs),
+            self.steady_mean(|s| s.bytes),
+            self.steady_mean(|s| s.pool_hits),
+            self.steady_mean(|s| s.pool_misses),
+            self.samples.iter().map(|s| s.allocs).sum::<u64>(),
+            self.samples.iter().map(|s| s.bytes).sum::<u64>(),
+        )
+    }
+}
+
+/// BFS level loop, mirrored from `gblas_graph::bfs_on` so each level can
+/// be sampled individually.
+fn bfs_levels(
+    a: &CsrMatrix<f64>,
+    source: usize,
+    ctx: &ExecCtx,
+    probe: Option<&mut Probe>,
+) -> Vec<IterSample> {
+    let backend = SharedBackend::new(ctx);
+    let n = backend.mat_nrows(a);
+    let mut visited = backend.dense_filled(n, false);
+    backend.dense_set(&mut visited, source, true);
+    let mut frontier = backend.sparse_from_sorted(n, vec![source], vec![source]).unwrap();
+    let mut samples = Vec::new();
+    let mut probe = probe;
+    while backend.sparse_nnz(&frontier) > 0 {
+        let next = backend
+            .spmspv_first_visitor(
+                a,
+                &frontier,
+                Some(MaskSpec::complement(&visited)),
+                SpMSpVOpts::default(),
+            )
+            .unwrap();
+        let entries = backend.sparse_entries(&next);
+        let mut inds = Vec::with_capacity(entries.len());
+        let mut vals = Vec::with_capacity(entries.len());
+        for (v, _) in entries {
+            backend.dense_set(&mut visited, v, true);
+            inds.push(v);
+            vals.push(v);
+        }
+        frontier = backend.sparse_from_sorted(n, inds, vals).unwrap();
+        if let Some(p) = probe.as_deref_mut() {
+            samples.push(p.sample(ctx));
+        }
+    }
+    samples
+}
+
+fn run_bfs(a: &CsrMatrix<f64>, ctx: &ExecCtx, pooled: bool) -> RunStats {
+    ctx.workspace().set_enabled(pooled);
+    bfs_levels(a, 0, ctx, None); // warm the shelves at full frontier width
+    let mut probe = Probe::start(ctx);
+    let t0 = Instant::now();
+    let samples = bfs_levels(a, 0, ctx, Some(&mut probe));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    RunStats { iterations: samples.len(), wall_ms, samples }
+}
+
+/// PageRank power loop, mirrored from `gblas_graph::pagerank_on`; the
+/// stochastic-scaling setup runs before sampling starts.
+fn pagerank_iters(
+    a: &CsrMatrix<f64>,
+    iters: usize,
+    ctx: &ExecCtx,
+    probe: Option<&mut Probe>,
+) -> Vec<IterSample> {
+    let backend = SharedBackend::new(ctx);
+    let n = backend.mat_nrows(a);
+    let ones: CsrMatrix<f64> = backend.mat_map(a, &|_, _, _| 1.0f64).unwrap();
+    let outdeg: Vec<f64> = backend.reduce_rows(&ones, &Plus).unwrap();
+    let w: CsrMatrix<f64> = {
+        let deg = &outdeg;
+        backend.mat_map(&ones, &|i, _, _| 1.0 / deg[i].max(1.0)).unwrap()
+    };
+    let ring = semirings::plus_times_f64();
+    let damping = 0.85;
+    let base = (1.0 - damping) / n as f64;
+    let mut pr = vec![1.0 / n as f64; n];
+    let mut samples = Vec::new();
+    let mut probe = probe;
+    for _ in 0..iters {
+        let dangling: f64 = (0..n).filter(|&i| outdeg[i] == 0.0).map(|i| pr[i]).sum();
+        let x = backend.dense_from_vec(pr.clone());
+        let spread = backend.dense_to_vec(&backend.spmv(&w, &x, &ring).unwrap());
+        for v in 0..n {
+            pr[v] = base + damping * (spread[v] + dangling / n as f64);
+        }
+        if let Some(p) = probe.as_deref_mut() {
+            samples.push(p.sample(ctx));
+        }
+    }
+    samples
+}
+
+fn run_pagerank(a: &CsrMatrix<f64>, iters: usize, ctx: &ExecCtx, pooled: bool) -> RunStats {
+    ctx.workspace().set_enabled(pooled);
+    pagerank_iters(a, 2, ctx, None);
+    let mut probe = Probe::start(ctx);
+    let t0 = Instant::now();
+    let samples = pagerank_iters(a, iters, ctx, Some(&mut probe));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    RunStats { iterations: samples.len(), wall_ms, samples }
+}
+
+fn run_spmspv(
+    a: &CsrMatrix<f64>,
+    x: &SparseVec<f64>,
+    iters: usize,
+    ctx: &ExecCtx,
+    pooled: bool,
+) -> RunStats {
+    ctx.workspace().set_enabled(pooled);
+    let ring = semirings::plus_times_f64();
+    for _ in 0..2 {
+        let _: SpMSpVOutput<f64> = spmspv_semiring(a, x, &ring, ctx).unwrap();
+    }
+    let mut probe = Probe::start(ctx);
+    let t0 = Instant::now();
+    let mut samples = Vec::new();
+    for _ in 0..iters {
+        let _: SpMSpVOutput<f64> = spmspv_semiring(a, x, &ring, ctx).unwrap();
+        samples.push(probe.sample(ctx));
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    RunStats { iterations: samples.len(), wall_ms, samples }
+}
+
+fn main() {
+    let mut check = false;
+    let mut out_path = String::from("BENCH_alloc.json");
+    let mut n = 20_000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {
+                check = true;
+                n = 2_000;
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--n" => n = args.next().expect("--n needs a value").parse().expect("--n usize"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let degree = 8;
+    let threads = 4;
+    let pr_iters = 10;
+    let spmspv_iters = 10;
+    let ctx = ExecCtx::new(threads, 2);
+    let a = workloads::er_matrix(n, degree, 7);
+    let x = workloads::spmspv_vector(n, 10, 11);
+
+    eprintln!("alloc_bench: n={n} degree={degree} nnz={} threads={threads}", a.nnz());
+
+    // Unpooled first so the pooled run's shelves are not pre-warmed by it
+    // (set_enabled(false) drains the shelves anyway, but order makes the
+    // wall-clock comparison symmetric: both modes start cold).
+    let mut sections = Vec::new();
+    for (name, runner) in [("bfs", 0usize), ("pagerank", 1), ("spmspv", 2)] {
+        let run = |pooled: bool| match runner {
+            0 => run_bfs(&a, &ctx, pooled),
+            1 => run_pagerank(&a, pr_iters, &ctx, pooled),
+            _ => run_spmspv(&a, &x, spmspv_iters, &ctx, pooled),
+        };
+        let unpooled = run(false);
+        let pooled = run(true);
+        eprintln!(
+            "  {name:8} pooled: {:7.1} allocs/iter, {:5.1} misses/iter, {:8.2} ms | \
+             unpooled: {:7.1} allocs/iter, {:8.2} ms",
+            pooled.steady_mean(|s| s.allocs),
+            pooled.steady_mean(|s| s.pool_misses),
+            pooled.wall_ms,
+            unpooled.steady_mean(|s| s.allocs),
+            unpooled.wall_ms,
+        );
+        sections.push((name, pooled, unpooled));
+    }
+
+    let body: Vec<String> = sections
+        .iter()
+        .map(|(name, pooled, unpooled)| {
+            format!(
+                "    {{\"name\": \"{name}\", \"pooled\": {}, \"unpooled\": {}}}",
+                pooled.to_json(),
+                unpooled.to_json()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"n\": {n}, \"degree\": {degree}, \"nnz\": {}, \
+         \"threads\": {threads}, \"warmup_iters\": {WARMUP_ITERS}}},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        a.nnz(),
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_alloc.json");
+    eprintln!("alloc_bench: wrote {out_path}");
+
+    if check {
+        let bfs_pooled = &sections[0].1;
+        let misses = bfs_pooled.steady_misses_total();
+        if misses != 0 {
+            eprintln!(
+                "alloc_bench --check FAILED: BFS steady state performed {misses} pool-miss \
+                 checkouts (expected 0)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("alloc_bench --check OK: BFS steady state is pool-miss free");
+    }
+}

@@ -128,7 +128,7 @@ pub fn vxm<T, AddM, MulOp, Acc>(
     ctx: &ExecCtx,
 ) -> Result<()>
 where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     AddM: Monoid<T>,
     MulOp: BinaryOp<T, T, T>,
     Acc: BinaryOp<T, T, T>,
@@ -154,7 +154,7 @@ pub fn mxv<T, AddM, MulOp, Acc>(
     ctx: &ExecCtx,
 ) -> Result<()>
 where
-    T: Copy + Send + Sync + PartialEq,
+    T: Copy + Send + Sync + PartialEq + 'static,
     AddM: Monoid<T>,
     MulOp: BinaryOp<T, T, T>,
     Acc: BinaryOp<T, T, T>,

@@ -216,6 +216,14 @@ pub trait GblasBackend {
     /// sum) to the ledger under `phase`. The shared backend is a no-op;
     /// the distributed backend prices a `⌈log₂ p⌉`-round binomial tree.
     fn allreduce_scalar(&self, phase: &'static str) -> Result<()>;
+
+    /// Cumulative workspace-pool accounting for this backend: pool hits,
+    /// misses and fresh allocations made on behalf of kernels run through
+    /// it. The shared backend reads its [`ExecCtx`]'s pool; the
+    /// distributed backend aggregates its per-locale pools. Generic
+    /// algorithms can subtract two snapshots to assert that steady-state
+    /// iterations allocate nothing.
+    fn workspace_stats(&self) -> crate::workspace::WorkspaceStats;
 }
 
 /// The shared-memory backend: plain CSR containers driven by an
@@ -397,6 +405,10 @@ impl GblasBackend for SharedBackend<'_> {
 
     fn allreduce_scalar(&self, _phase: &'static str) -> Result<()> {
         Ok(())
+    }
+
+    fn workspace_stats(&self) -> crate::workspace::WorkspaceStats {
+        self.ctx.workspace().stats()
     }
 }
 

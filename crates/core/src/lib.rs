@@ -29,6 +29,12 @@
 //!   trace-event / JSONL / summary exporters, plus an always-on registry of
 //!   cumulative atomic metrics. Disabled recorders are free: one branch per
 //!   call, no locks on the hot path.
+//! * **Workspace pooling** ([`workspace`]): a per-context pool of
+//!   generation-stamped SPAs, staging vectors and bucket/outbox scratch,
+//!   checked out via RAII guards so iterative algorithms allocate on their
+//!   first iteration and then run allocation-free (`GBLAS_WORKSPACE=off`
+//!   restores per-call allocation; `pool_hits`/`pool_misses`/`allocs`/
+//!   `alloc_bytes` metrics make the reuse observable).
 //! * **Workload generators** ([`gen`]): seeded Erdős–Rényi matrices
 //!   `G(n, d/n)` and random sparse/dense vectors, matching §II-A.
 //!
@@ -62,6 +68,8 @@ pub mod par;
 pub mod sort;
 pub mod spa;
 pub mod trace;
+pub mod workspace;
 
 pub use backend::{GblasBackend, MaskSpec, SharedBackend};
 pub use error::{GblasError, Result};
+pub use workspace::{WorkspacePool, WorkspaceStats, WsGuard};

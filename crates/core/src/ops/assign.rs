@@ -25,7 +25,7 @@ pub const PHASE_DOMAIN: &str = "assign-domain";
 pub const PHASE_VALUES: &str = "assign-values";
 
 /// Listing 4: domain rebuild + per-element indexed copy (binary searches).
-pub fn assign_v1<T: Copy + Send + Sync + Default>(
+pub fn assign_v1<T: Copy + Send + Sync + Default + 'static>(
     a: &mut SparseVec<T>,
     b: &SparseVec<T>,
     ctx: &ExecCtx,
@@ -42,9 +42,10 @@ pub fn assign_v1<T: Copy + Send + Sync + Default>(
     // Both the read of B[i] and the write of A[i] go through logarithmic
     // indexed access, as in Chapel. Collect per-chunk (index, value) pairs
     // from B by search, then write them into A by search.
-    let b_indices = a.indices().to_vec(); // == b.indices()
+    let mut b_indices = ctx.ws_vec::<usize>();
+    b_indices.extend_from_slice(a.indices()); // == b.indices()
     let reads = ctx.parallel_for(PHASE_VALUES, b_indices.len(), |r, c| {
-        let mut out: Vec<(usize, T)> = Vec::with_capacity(r.len());
+        let mut out = ctx.ws_vec::<(usize, T)>();
         for &i in &b_indices[r.clone()] {
             let mut probes = 0;
             let v = *b.get_probed(i, &mut probes).expect("index came from b's domain");
@@ -56,7 +57,7 @@ pub fn assign_v1<T: Copy + Send + Sync + Default>(
     });
     let mut probes = 0u64;
     for chunk in reads {
-        for (i, v) in chunk {
+        for &(i, v) in chunk.iter() {
             a.set_existing(i, v, &mut probes)?;
         }
     }

@@ -50,8 +50,11 @@ where
 {
     check_dims("capacity", x.capacity(), y.len())?;
     let nnz = x.nnz();
-    // keepInd + atomic cursor k (Listing 6 lines 16–21).
-    let keep_ind: Vec<AtomicUsize> = (0..nnz).map(|_| AtomicUsize::new(0)).collect();
+    // keepInd + atomic cursor k (Listing 6 lines 16–21). The dense staging
+    // array is pooled scratch; stale contents are fine because only the
+    // first `kept` slots — all freshly stored — are ever read back.
+    let mut keep_ind = ctx.ws_vec::<AtomicUsize>();
+    keep_ind.resize_with(nnz, || AtomicUsize::new(0));
     let k = AtomicUsize::new(0);
     let xi = x.indices();
     let xv = x.values();
@@ -87,15 +90,15 @@ pub fn ewise_filter_prefix<T, U>(
     ctx: &ExecCtx,
 ) -> Result<SparseVec<T>>
 where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     U: Copy + Send + Sync,
 {
     check_dims("capacity", x.capacity(), y.len())?;
     let xi = x.indices();
     let xv = x.values();
     let parts = ctx.parallel_for(PHASE_SCAN, x.nnz(), |r, c| {
-        let mut inds: Vec<usize> = Vec::new();
-        let mut vals: Vec<T> = Vec::new();
+        let mut inds = ctx.ws_vec::<usize>();
+        let mut vals = ctx.ws_vec::<T>();
         for p in r.clone() {
             let ind = xi[p];
             c.rand_access += 1;
@@ -111,8 +114,8 @@ where
     let mut indices = Vec::with_capacity(total);
     let mut values = Vec::with_capacity(total);
     for (i, v) in parts {
-        indices.extend(i);
-        values.extend(v);
+        indices.extend_from_slice(&i);
+        values.extend_from_slice(&v);
     }
     ctx.record(PHASE_OUTPUT, |c| {
         c.elems += total as u64;
@@ -246,7 +249,7 @@ pub fn ewise_filter<T, U>(
     ctx: &ExecCtx,
 ) -> Result<SparseVec<T>>
 where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     U: Copy + Send + Sync,
 {
     match variant {

@@ -31,7 +31,7 @@ pub fn mxv_sparse<A, B, C, AddM, MulOp>(
 where
     A: Copy + Send + Sync,
     B: Copy + Send + Sync,
-    C: Copy + Send + Sync + PartialEq,
+    C: Copy + Send + Sync + PartialEq + 'static,
     AddM: Monoid<C>,
     MulOp: BinaryOp<A, B, C>,
 {
@@ -39,7 +39,7 @@ where
     let xi = x.indices();
     let xv = x.values();
     let row_blocks = ctx.parallel_for(PHASE, a.nrows(), |r, c| {
-        let mut out: Vec<(usize, C)> = Vec::new();
+        let mut out = ctx.ws_vec::<(usize, C)>();
         for i in r.clone() {
             let (cols, vals) = a.row(i);
             if cols.is_empty() || xi.is_empty() {
@@ -106,7 +106,7 @@ where
     let mut indices = Vec::new();
     let mut values = Vec::new();
     for block in row_blocks {
-        for (i, v) in block {
+        for &(i, v) in block.iter() {
             indices.push(i);
             values.push(v);
         }
@@ -129,12 +129,12 @@ pub fn mxv_sparse_csc<A, B, C, AddM, MulOp>(
 where
     A: Copy + Send + Sync,
     B: Copy + Send + Sync,
-    C: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
     AddM: Monoid<C>,
     MulOp: BinaryOp<A, B, C>,
 {
     check_dims("x length vs matrix cols", a.ncols(), x.capacity())?;
-    let mut spa = crate::spa::DenseSpa::new(a.nrows(), ring.zero::<C>());
+    let mut spa = ctx.ws_dense_spa(a.nrows(), ring.zero::<C>());
     let mut c = crate::par::Counters::default();
     // Step 1: SPA-merge the selected columns (phase "spa", as in the
     // row-wise kernel).

@@ -31,7 +31,6 @@ use crate::error::{check_dims, Result};
 use crate::mask::VecMask;
 use crate::par::ExecCtx;
 use crate::sort::{parallel_merge_sort, sort_indices, SortAlgo};
-use crate::spa::{AtomicSpa, BucketSpa, DenseSpa};
 
 /// Phase: SPA merge.
 pub const PHASE_SPA: &str = "spa";
@@ -49,7 +48,7 @@ pub enum MergeStrategy {
     /// step Fig 7 shows dominating. The differential oracle.
     #[default]
     SortBased,
-    /// Sort-free bucket merge ([`BucketSpa`]): scatter indices into
+    /// Sort-free bucket merge ([`BucketSpa`](crate::spa::BucketSpa)): scatter indices into
     /// per-task column-range buckets, emit each bucket by an in-order
     /// occupancy scan. `PHASE_SORT` disappears; a cheap `PHASE_BUCKET`
     /// takes its place.
@@ -114,7 +113,7 @@ where
         }
         MergeStrategy::Bucketed => {
             let nnz = nzinds.len();
-            let mut bspa = BucketSpa::new(capacity, ctx.threads());
+            let mut bspa = ctx.ws_bucket_spa(capacity, ctx.threads());
             ctx.record(PHASE_BUCKET, |c| bspa.scatter(&nzinds, c));
             let parts = ctx.for_each_task(PHASE_BUCKET, bspa.nbuckets(), |b, c| {
                 bspa.collect_bucket(b, &is_set, c)
@@ -150,8 +149,10 @@ pub fn spmspv_first_visitor<T: Send + Sync, X: Send + Sync>(
         &[("nrows", a.nrows()), ("ncols", a.ncols())],
     );
     let ncols = a.ncols();
-    // Step 1: SPA (Listing 7 lines 12–29).
-    let spa = AtomicSpa::new(ncols);
+    // Step 1: SPA (Listing 7 lines 12–29) — checked out of the context's
+    // workspace pool: on every BFS level after the first this is an O(1)
+    // generation bump instead of an O(ncols) allocation + zero-fill.
+    let spa = ctx.ws_atomic_spa(ncols);
     let xi = x.indices();
     ctx.parallel_for(PHASE_SPA, x.nnz(), |r, c| {
         for &rid in &xi[r.clone()] {
@@ -173,14 +174,15 @@ pub fn spmspv_first_visitor<T: Send + Sync, X: Send + Sync>(
     let nzinds = merged_indices(spa.collected(), ncols, |i| spa.contains(i), opts, ctx);
     // Step 3: populate the output vector (lines 33–39).
     let value_chunks = ctx.parallel_for(PHASE_OUTPUT, nzinds.len(), |r, c| {
-        let vals: Vec<usize> = nzinds[r.clone()].iter().map(|&si| spa.value(si)).collect();
+        let mut vals = ctx.ws_vec::<usize>();
+        vals.extend(nzinds[r.clone()].iter().map(|&si| spa.value(si)));
         c.spa_touches += r.len() as u64;
         c.elems += r.len() as u64;
         vals
     });
     let mut values = Vec::with_capacity(nzinds.len());
     for v in value_chunks {
-        values.extend(v);
+        values.extend_from_slice(&v);
     }
     SparseVec::from_sorted(ncols, nzinds, values)
 }
@@ -199,7 +201,7 @@ pub fn spmspv_semiring<A, B, C, AddM, MulOp>(
 where
     A: Copy + Send + Sync,
     B: Copy + Send + Sync,
-    C: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
     AddM: Monoid<C>,
     MulOp: BinaryOp<A, B, C>,
 {
@@ -226,7 +228,7 @@ pub fn spmspv_semiring_masked<A, B, C, AddM, MulOp>(
 where
     A: Copy + Send + Sync,
     B: Copy + Send + Sync,
-    C: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
     AddM: Monoid<C>,
     MulOp: BinaryOp<A, B, C>,
 {
@@ -237,7 +239,7 @@ where
         &[("nrows", a.nrows()), ("ncols", a.ncols())],
     );
     let ncols = a.ncols();
-    let mut spa = DenseSpa::new(ncols, ring.zero::<C>());
+    let mut spa = ctx.ws_dense_spa(ncols, ring.zero::<C>());
     let mut c = crate::par::Counters::default();
     for (rid, &xv) in x.iter() {
         let (cols, vals) = a.row(rid);
@@ -282,7 +284,7 @@ pub fn spmspv_sort_based<A, B, C, AddM, MulOp>(
 where
     A: Copy + Send + Sync,
     B: Copy + Send + Sync,
-    C: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
     AddM: Monoid<C>,
     MulOp: BinaryOp<A, B, C>,
 {

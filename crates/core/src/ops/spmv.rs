@@ -26,13 +26,13 @@ pub fn spmv_row<A, B, C, AddM, MulOp>(
 where
     A: Copy + Send + Sync,
     B: Copy + Send + Sync,
-    C: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
     AddM: Monoid<C>,
     MulOp: BinaryOp<A, B, C>,
 {
     check_dims("x length vs matrix cols", a.ncols(), x.len())?;
     let row_chunks = ctx.parallel_for(PHASE, a.nrows(), |r, c| {
-        let mut out: Vec<C> = Vec::with_capacity(r.len());
+        let mut out = ctx.ws_vec::<C>();
         for i in r.clone() {
             let (cols, vals) = a.row(i);
             let mut acc = ring.zero::<C>();
@@ -48,7 +48,7 @@ where
     });
     let mut y = Vec::with_capacity(a.nrows());
     for chunk in row_chunks {
-        y.extend(chunk);
+        y.extend_from_slice(&chunk);
     }
     Ok(DenseVec::from_vec(y))
 }
@@ -65,14 +65,14 @@ pub fn spmv_col<A, B, C, AddM, MulOp>(
 where
     A: Copy + Send + Sync,
     B: Copy + Send + Sync,
-    C: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
     AddM: Monoid<C>,
     MulOp: BinaryOp<A, B, C>,
 {
     check_dims("x length vs matrix rows", a.nrows(), x.len())?;
     let ncols = a.ncols();
     let partials = ctx.parallel_for(PHASE, a.nrows(), |r, c| {
-        let mut acc: Vec<C> = vec![ring.zero::<C>(); ncols];
+        let mut acc = ctx.ws_filled_vec::<C>(ncols, ring.zero::<C>());
         for i in r.clone() {
             let (cols, vals) = a.row(i);
             for (&j, &av) in cols.iter().zip(vals) {
@@ -87,7 +87,7 @@ where
     let mut y = vec![ring.zero::<C>(); ncols];
     let mut c = crate::par::Counters::default();
     for p in partials {
-        for (slot, v) in y.iter_mut().zip(p) {
+        for (slot, &v) in y.iter_mut().zip(p.iter()) {
             *slot = ring.accumulate(*slot, v);
         }
         c.elems += ncols as u64;

@@ -27,7 +27,9 @@ mod profile;
 pub use counters::Counters;
 pub use profile::Profile;
 
+use crate::spa::{AtomicSpa, BucketSpa, DenseSpa};
 use crate::trace::{MetricsRegistry, SpanKind, TraceRecorder};
+use crate::workspace::{WorkspacePool, WsGuard};
 use parking_lot::Mutex;
 use std::ops::Range;
 use std::sync::Arc;
@@ -48,6 +50,9 @@ pub struct ExecCtx {
     profile: Mutex<Profile>,
     recorder: TraceRecorder,
     metrics: Arc<MetricsRegistry>,
+    /// Reusable kernel scratch (SPAs, staging vectors, outboxes) shared
+    /// by every op run under this context — see [`crate::workspace`].
+    workspace: Arc<WorkspacePool>,
 }
 
 impl ExecCtx {
@@ -81,6 +86,7 @@ impl ExecCtx {
             profile: Mutex::new(Profile::default()),
             recorder: TraceRecorder::disabled(),
             metrics: Arc::new(MetricsRegistry::default()),
+            workspace: Arc::new(WorkspacePool::from_env()),
         }
     }
 
@@ -100,6 +106,52 @@ impl ExecCtx {
     /// The cumulative metrics registry.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// The workspace pool ops under this context check scratch out of.
+    pub fn workspace(&self) -> &Arc<WorkspacePool> {
+        &self.workspace
+    }
+
+    /// Replace the workspace pool — the distributed layer uses this to
+    /// hand every superstep's per-locale context the *same* long-lived
+    /// pool so scratch survives across supersteps and iterations.
+    pub fn set_workspace_pool(&mut self, pool: Arc<WorkspacePool>) {
+        self.workspace = pool;
+    }
+
+    /// Check out a [`DenseSpa`] over `0..capacity` from the pool.
+    pub fn ws_dense_spa<T: Copy + Send + 'static>(
+        &self,
+        capacity: usize,
+        fill: T,
+    ) -> WsGuard<DenseSpa<T>> {
+        self.workspace.dense_spa(capacity, fill, &self.metrics)
+    }
+
+    /// Check out an [`AtomicSpa`] over `0..capacity` from the pool.
+    pub fn ws_atomic_spa(&self, capacity: usize) -> WsGuard<AtomicSpa> {
+        self.workspace.atomic_spa(capacity, &self.metrics)
+    }
+
+    /// Check out a [`BucketSpa`] shaped `(capacity, nbuckets)` from the pool.
+    pub fn ws_bucket_spa(&self, capacity: usize, nbuckets: usize) -> WsGuard<BucketSpa> {
+        self.workspace.bucket_spa(capacity, nbuckets, &self.metrics)
+    }
+
+    /// Check out an empty staging vector from the pool.
+    pub fn ws_vec<T: Send + 'static>(&self) -> WsGuard<Vec<T>> {
+        self.workspace.vec(&self.metrics)
+    }
+
+    /// Check out a `vec![fill; len]`-shaped scratch vector from the pool.
+    pub fn ws_filled_vec<T: Clone + Send + 'static>(&self, len: usize, fill: T) -> WsGuard<Vec<T>> {
+        self.workspace.filled_vec(len, fill, &self.metrics)
+    }
+
+    /// Check out a `n`-slot outbox (vector of empty vectors) from the pool.
+    pub fn ws_nested_vec<T: Send + 'static>(&self, n: usize) -> WsGuard<Vec<Vec<T>>> {
+        self.workspace.nested_vec(n, &self.metrics)
     }
 
     /// Open an op-level span: bumps `ops_executed`/`nnz_processed`, and —

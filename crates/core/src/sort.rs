@@ -30,7 +30,7 @@ pub enum SortAlgo {
 
 /// Sort `data` ascending with a parallel merge sort, charging every element
 /// move to `counters.sort_elems`.
-pub fn parallel_merge_sort<T: Copy + Ord + Send + Sync>(
+pub fn parallel_merge_sort<T: Copy + Ord + Send + Sync + 'static>(
     data: &mut [T],
     ctx: &ExecCtx,
     phase: &str,
@@ -60,7 +60,8 @@ pub fn parallel_merge_sort<T: Copy + Ord + Send + Sync>(
             slices.into_iter().map(parking_lot::Mutex::new).collect();
         ctx.for_each_task(phase, slices.len(), |t, c| {
             let mut guard = slices[t].lock();
-            natural_run_merge_sort(&mut guard, c);
+            let mut buf = ctx.ws_vec::<T>();
+            natural_run_merge_sort(&mut guard, &mut buf, c);
         });
     }
     // Phase 2: merge runs pairwise until one remains. Each round's merges
@@ -96,7 +97,7 @@ pub fn parallel_merge_sort<T: Copy + Ord + Send + Sync>(
 /// sweep this replaces. Deliberately *not* [`ExecCtx::for_each_task`]:
 /// that would add priced region/task bookkeeping the serial loop never
 /// paid.
-fn merge_pairs_parallel<T: Copy + Ord + Send + Sync>(
+fn merge_pairs_parallel<T: Copy + Ord + Send + Sync + 'static>(
     data: &mut [T],
     pairs: &[(usize, usize, usize)],
     ctx: &ExecCtx,
@@ -108,7 +109,7 @@ fn merge_pairs_parallel<T: Copy + Ord + Send + Sync>(
     let nworkers = ctx.real_threads().min(pairs.len());
     let mut counters: Vec<Counters> = vec![Counters::default(); pairs.len()];
     if nworkers <= 1 {
-        let mut buf: Vec<T> = Vec::new();
+        let mut buf = ctx.ws_vec::<T>();
         for (k, &(s, m, e)) in pairs.iter().enumerate() {
             merge_adjacent(&mut data[s..e], 0, m - s, e - s, &mut buf, &mut counters[k]);
         }
@@ -136,7 +137,7 @@ fn merge_pairs_parallel<T: Copy + Ord + Send + Sync>(
             for w in 0..nworkers {
                 let cells = &cells;
                 scope.spawn(move |_| {
-                    let mut buf: Vec<T> = Vec::new();
+                    let mut buf = ctx.ws_vec::<T>();
                     let mut k = w;
                     while k < cells.len() {
                         let (window, c) = cells[k].lock().take().expect("pair merged exactly once");
@@ -163,7 +164,7 @@ fn merge_pairs_parallel<T: Copy + Ord + Send + Sync>(
 /// input is already ordered when the compaction ran in task order. Random
 /// input still pays the full `n·log(runs)` the paper's Fig 7 shows
 /// dominating SpMSpV.
-fn natural_run_merge_sort<T: Copy + Ord>(data: &mut [T], c: &mut Counters) {
+fn natural_run_merge_sort<T: Copy + Ord>(data: &mut [T], buf: &mut Vec<T>, c: &mut Counters) {
     let n = data.len();
     if n <= 1 {
         return;
@@ -180,14 +181,13 @@ fn natural_run_merge_sort<T: Copy + Ord>(data: &mut [T], c: &mut Counters) {
     runs.push((start, n));
     c.sort_elems += n as u64; // the detection scan
                               // Merge runs pairwise until one remains.
-    let mut buf: Vec<T> = Vec::new();
     while runs.len() > 1 {
         let mut next = Vec::with_capacity(runs.len().div_ceil(2));
         let mut i = 0;
         while i + 1 < runs.len() {
             let (s1, e1) = runs[i];
             let (_, e2) = runs[i + 1];
-            merge_adjacent(data, s1, e1, e2, &mut buf, c);
+            merge_adjacent(data, s1, e1, e2, buf, c);
             next.push((s1, e2));
             i += 2;
         }
@@ -262,7 +262,7 @@ pub fn radix_sort(data: &mut [usize], ctx: &ExecCtx, phase: &str) {
     } else {
         (usize::BITS as usize - max.leading_zeros() as usize).div_ceil(BITS)
     };
-    let mut buf = vec![0usize; n];
+    let mut buf = ctx.ws_filled_vec::<usize>(n, 0);
     let mut src_is_data = true;
     for pass in 0..passes {
         let shift = pass * BITS;
@@ -287,14 +287,14 @@ fn radix_pass(src: &[usize], dst: &mut [usize], shift: usize, ctx: &ExecCtx, pha
     let n = src.len();
     // Parallel histogram.
     let histograms = ctx.parallel_for(phase, n, |r, c| {
-        let mut h = vec![0usize; BUCKETS];
+        let mut h = ctx.ws_filled_vec::<usize>(BUCKETS, 0);
         for &x in &src[r.clone()] {
             h[(x >> shift) & (BUCKETS - 1)] += 1;
         }
         c.elems += r.len() as u64;
         h
     });
-    let mut offsets = vec![0usize; BUCKETS];
+    let mut offsets = ctx.ws_filled_vec::<usize>(BUCKETS, 0);
     let mut total = 0;
     for (b, offset) in offsets.iter_mut().enumerate() {
         let count: usize = histograms.iter().map(|h| h[b]).sum();

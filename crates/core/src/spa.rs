@@ -20,18 +20,28 @@
 //!   the collected indices are scattered into per-task contiguous
 //!   column-range buckets, and each bucket is emitted in index order by a
 //!   scan of its (small) range. Sorted output, zero comparison sorts.
+//!
+//! All three reset in O(1) (or O(live data)) rather than O(capacity): the
+//! occupancy arrays are *generation-stamped* — a slot is occupied iff its
+//! stamp equals the SPA's current generation, so [`DenseSpa::reset`] /
+//! [`AtomicSpa::reset`] just bump the generation and never touch the
+//! dense arrays. That is what makes the [`crate::workspace`] pool's
+//! checkout cheap: a pooled SPA is handed back warm, with its backing
+//! arrays intact and every slot logically empty.
 
 use crate::algebra::Monoid;
 use crate::par::Counters;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Serial sparse accumulator over domain `0..capacity` with monoid
 /// accumulation.
 #[derive(Debug)]
 pub struct DenseSpa<T> {
     values: Vec<T>,
-    occupied: Vec<bool>,
+    /// Generation stamp per slot: occupied ⇔ `stamp[i] == generation`.
+    stamp: Vec<u64>,
+    generation: u64,
     nzinds: Vec<usize>,
 }
 
@@ -42,12 +52,14 @@ impl<T: Copy> DenseSpa<T> {
     pub fn new(capacity: usize, fill: T) -> Self {
         DenseSpa {
             values: vec![fill; capacity],
-            occupied: vec![false; capacity],
+            stamp: vec![0; capacity],
+            generation: 1,
             nzinds: Vec::new(),
         }
     }
 
-    /// The domain size.
+    /// The backing domain size (≥ the capacity most recently requested
+    /// through [`DenseSpa::ensure`] — the pool never shrinks backing).
     pub fn capacity(&self) -> usize {
         self.values.len()
     }
@@ -55,6 +67,32 @@ impl<T: Copy> DenseSpa<T> {
     /// Number of occupied slots.
     pub fn nnz(&self) -> usize {
         self.nzinds.len()
+    }
+
+    /// Logically empty every slot in O(1) by bumping the generation; the
+    /// dense arrays are untouched (their stale contents are unobservable
+    /// because every read is gated on the stamp).
+    pub fn reset(&mut self) {
+        self.generation += 1;
+        self.nzinds.clear();
+    }
+
+    /// Make the SPA usable for domain `0..capacity`, growing the backing
+    /// arrays when the request exceeds them (a pool capacity miss), and
+    /// reset it. Returns `true` when the backing had to grow.
+    pub fn ensure(&mut self, capacity: usize, fill: T) -> bool {
+        let grew = capacity > self.values.len();
+        if grew {
+            self.values.resize(capacity, fill);
+            self.stamp.resize(capacity, 0);
+        }
+        self.reset();
+        grew
+    }
+
+    #[inline]
+    fn occupied(&self, index: usize) -> bool {
+        self.stamp[index] == self.generation
     }
 
     /// Accumulate `value` into slot `index` with `monoid`, charging the SPA
@@ -67,10 +105,10 @@ impl<T: Copy> DenseSpa<T> {
         counters: &mut Counters,
     ) {
         counters.spa_touches += 1;
-        if self.occupied[index] {
+        if self.occupied(index) {
             self.values[index] = monoid.combine(self.values[index], value);
         } else {
-            self.occupied[index] = true;
+            self.stamp[index] = self.generation;
             self.values[index] = value;
             self.nzinds.push(index);
         }
@@ -80,10 +118,10 @@ impl<T: Copy> DenseSpa<T> {
     /// semantics). Returns whether the insert happened.
     pub fn insert_first(&mut self, index: usize, value: T, counters: &mut Counters) -> bool {
         counters.spa_touches += 1;
-        if self.occupied[index] {
+        if self.occupied(index) {
             false
         } else {
-            self.occupied[index] = true;
+            self.stamp[index] = self.generation;
             self.values[index] = value;
             self.nzinds.push(index);
             true
@@ -92,7 +130,7 @@ impl<T: Copy> DenseSpa<T> {
 
     /// Read an occupied slot.
     pub fn get(&self, index: usize) -> Option<T> {
-        if self.occupied[index] {
+        if self.occupied(index) {
             Some(self.values[index])
         } else {
             None
@@ -106,28 +144,31 @@ impl<T: Copy> DenseSpa<T> {
     }
 
     /// Drain into `(indices_in_insertion_order, values_in_that_order)` and
-    /// reset the SPA for reuse (clearing only the occupied slots, so reuse
-    /// is `O(nnz)` not `O(capacity)`).
+    /// reset the SPA for reuse. The per-entry value reads are charged as
+    /// before; the reset itself is the O(1) generation bump.
     pub fn drain(&mut self, counters: &mut Counters) -> (Vec<usize>, Vec<T>) {
         let inds = std::mem::take(&mut self.nzinds);
         let mut vals = Vec::with_capacity(inds.len());
         for &i in &inds {
             vals.push(self.values[i]);
-            self.occupied[i] = false;
         }
         counters.spa_touches += inds.len() as u64;
+        self.generation += 1;
         (inds, vals)
     }
 }
 
 /// The paper's parallel SPA: atomic `isthere` flags, an atomic compaction
-/// cursor, and value slots written only by the winning claimer.
+/// cursor, and value slots written only by the winning claimer. The
+/// `isthere` flags are generation stamps so a reused SPA resets in O(1).
 pub struct AtomicSpa {
-    isthere: Vec<AtomicBool>,
+    /// `isthere` in Listing 7: claimed ⇔ `stamp == generation`.
+    isthere: Vec<AtomicU64>,
     /// `localy` in Listing 7: value slot, written only by the claim winner.
     values: Vec<AtomicUsize>,
     nzinds: Vec<AtomicUsize>,
     cursor: AtomicUsize,
+    generation: u64,
 }
 
 impl AtomicSpa {
@@ -136,16 +177,39 @@ impl AtomicSpa {
     /// length `ncol`).
     pub fn new(capacity: usize) -> Self {
         AtomicSpa {
-            isthere: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
+            isthere: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
             values: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
             nzinds: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
             cursor: AtomicUsize::new(0),
+            generation: 1,
         }
     }
 
-    /// The domain size.
+    /// The backing domain size.
     pub fn capacity(&self) -> usize {
         self.isthere.len()
+    }
+
+    /// Logically release every claim in O(1) by bumping the generation and
+    /// rewinding the compaction cursor.
+    pub fn reset(&mut self) {
+        self.generation += 1;
+        self.cursor.store(0, Ordering::Relaxed);
+    }
+
+    /// Make the SPA usable for domain `0..capacity` (growing the atomic
+    /// arrays on a pool capacity miss) and reset it. Returns `true` when
+    /// the backing had to grow.
+    pub fn ensure(&mut self, capacity: usize) -> bool {
+        let grew = capacity > self.isthere.len();
+        if grew {
+            let extra = capacity - self.isthere.len();
+            self.isthere.extend((0..extra).map(|_| AtomicU64::new(0)));
+            self.values.extend((0..extra).map(|_| AtomicUsize::new(0)));
+            self.nzinds.extend((0..extra).map(|_| AtomicUsize::new(0)));
+        }
+        self.reset();
+        grew
     }
 
     /// Try to claim slot `index` with `value`; the first claimer wins
@@ -154,12 +218,13 @@ impl AtomicSpa {
     /// the fetch-add and the stores, to `counters`.
     pub fn claim_first(&self, index: usize, value: usize, counters: &mut Counters) -> bool {
         counters.atomics += 1;
-        if self.isthere[index].load(Ordering::Relaxed) {
+        let seen = self.isthere[index].load(Ordering::Relaxed);
+        if seen == self.generation {
             return false;
         }
         counters.atomics += 1;
         if self.isthere[index]
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .compare_exchange(seen, self.generation, Ordering::AcqRel, Ordering::Relaxed)
             .is_err()
         {
             return false;
@@ -184,7 +249,7 @@ impl AtomicSpa {
 
     /// Whether `index` has been claimed.
     pub fn contains(&self, index: usize) -> bool {
-        self.isthere[index].load(Ordering::Acquire)
+        self.isthere[index].load(Ordering::Acquire) == self.generation
     }
 
     /// Snapshot the collected indices (unsorted) — Listing 7's
@@ -212,6 +277,9 @@ impl AtomicSpa {
 pub struct BucketSpa {
     ranges: Vec<Range<usize>>,
     buckets: Vec<Vec<usize>>,
+    /// The `(capacity, nbuckets)` the ranges were computed for, so a
+    /// same-shape [`BucketSpa::reset`] skips recomputing them.
+    shape: (usize, usize),
 }
 
 impl BucketSpa {
@@ -221,7 +289,23 @@ impl BucketSpa {
     pub fn new(capacity: usize, nbuckets: usize) -> Self {
         let ranges = crate::par::split_ranges(capacity, nbuckets);
         let buckets = vec![Vec::new(); ranges.len()];
-        BucketSpa { ranges, buckets }
+        BucketSpa { ranges, buckets, shape: (capacity, nbuckets) }
+    }
+
+    /// Re-shape for `(capacity, nbuckets)` and clear every bucket, keeping
+    /// the buckets' allocations. A same-shape reset (the steady state of
+    /// an iterative algorithm on one context) allocates nothing.
+    pub fn reset(&mut self, capacity: usize, nbuckets: usize) {
+        if self.shape != (capacity, nbuckets) {
+            self.ranges = crate::par::split_ranges(capacity, nbuckets);
+            // Keep existing bucket allocations; only adjust the count.
+            self.buckets.resize_with(self.ranges.len(), Vec::new);
+            self.buckets.truncate(self.ranges.len());
+            self.shape = (capacity, nbuckets);
+        }
+        for b in &mut self.buckets {
+            b.clear();
+        }
     }
 
     /// Number of buckets actually allocated.
@@ -328,6 +412,47 @@ mod tests {
         assert_eq!(spa.get(2), Some(10));
     }
 
+    /// The generation-based reset must charge exactly the same SPA-touch
+    /// counters as a freshly allocated SPA for the same operation
+    /// sequence, and must never leak values across generations.
+    #[test]
+    fn reused_dense_spa_counters_match_fresh() {
+        let run = |spa: &mut DenseSpa<f64>| -> (Counters, Vec<usize>, Vec<f64>) {
+            let mut c = Counters::default();
+            spa.accumulate(1, 2.0, &Plus, &mut c);
+            spa.accumulate(6, 3.0, &Plus, &mut c);
+            spa.accumulate(1, 5.0, &Plus, &mut c);
+            let (i, v) = spa.drain(&mut c);
+            (c, i, v)
+        };
+        let mut fresh = DenseSpa::new(8, 0.0f64);
+        let expect = run(&mut fresh);
+
+        let mut reused = DenseSpa::new(8, 0.0f64);
+        let mut c = Counters::default();
+        reused.accumulate(1, 99.0, &Plus, &mut c); // stale garbage from a prior op
+        reused.accumulate(7, 42.0, &Plus, &mut c);
+        reused.reset();
+        assert_eq!(reused.get(1), None, "reset must hide stale slots");
+        assert_eq!(reused.nnz(), 0);
+        let got = run(&mut reused);
+        assert_eq!(got, expect, "reuse must be observationally identical");
+    }
+
+    #[test]
+    fn dense_spa_ensure_grows_and_clears() {
+        let mut spa = DenseSpa::new(4, 0i64);
+        let mut c = Counters::default();
+        spa.accumulate(3, 7, &Plus, &mut c);
+        assert!(!spa.ensure(4, 0), "same capacity is not a miss");
+        assert_eq!(spa.get(3), None);
+        assert!(spa.ensure(10, 0), "growth is a miss");
+        assert_eq!(spa.capacity(), 10);
+        spa.accumulate(9, 1, &Plus, &mut c);
+        assert_eq!(spa.get(9), Some(1));
+        assert_eq!(spa.get(3), None);
+    }
+
     #[test]
     fn atomic_spa_single_winner_per_slot() {
         let spa = AtomicSpa::new(16);
@@ -338,6 +463,29 @@ mod tests {
         assert!(spa.contains(7));
         assert!(!spa.contains(8));
         assert_eq!(spa.collected(), vec![7]);
+    }
+
+    #[test]
+    fn atomic_spa_reset_releases_claims_in_o1() {
+        let mut spa = AtomicSpa::new(8);
+        let mut c = Counters::default();
+        assert!(spa.claim_first(2, 11, &mut c));
+        assert!(spa.claim_first(5, 12, &mut c));
+        spa.reset();
+        assert_eq!(spa.nnz(), 0);
+        assert!(!spa.contains(2), "stale claims must be invisible");
+        // identical counter charges post-reset as on a fresh SPA
+        let mut c2 = Counters::default();
+        assert!(spa.claim_first(2, 21, &mut c2));
+        assert!(!spa.claim_first(2, 22, &mut c2));
+        assert_eq!(c2.atomics, 4);
+        assert_eq!(spa.value(2), 21);
+        assert_eq!(spa.collected(), vec![2]);
+        // growth path
+        assert!(spa.ensure(20));
+        assert_eq!(spa.capacity(), 20);
+        assert!(!spa.contains(2));
+        assert!(spa.claim_first(19, 1, &mut c2));
     }
 
     #[test]
@@ -399,6 +547,27 @@ mod tests {
         }
         assert_eq!(out, set.into_iter().collect::<Vec<_>>());
         assert_eq!(c.sort_elems, 0);
+    }
+
+    #[test]
+    fn bucket_spa_reset_reshapes_and_clears() {
+        let mut spa = BucketSpa::new(100, 4);
+        let mut c = Counters::default();
+        spa.scatter(&[5, 80], &mut c);
+        assert_eq!(spa.nnz(), 2);
+        // same shape: buckets cleared, ranges identical
+        spa.reset(100, 4);
+        assert_eq!(spa.nnz(), 0);
+        assert_eq!(spa.nbuckets(), 4);
+        // new shape: ranges recomputed, bucket_of stays consistent
+        spa.reset(37, 6);
+        assert_eq!(spa.nbuckets(), BucketSpa::new(37, 6).nbuckets());
+        for i in 0..37 {
+            let b = spa.bucket_of(i);
+            assert!(spa.range(b).contains(&i), "i={i} b={b}");
+        }
+        spa.scatter(&[36, 0], &mut c);
+        assert_eq!(spa.nnz(), 2);
     }
 
     #[test]

@@ -323,6 +323,16 @@ metrics_registry! {
     retries,
     /// Spans recorded across all recorders sharing this registry.
     spans_recorded,
+    /// Fresh heap allocations made for kernel workspaces (pool misses
+    /// plus in-place growth of pooled buffers).
+    allocs,
+    /// Estimated bytes of those workspace allocations.
+    alloc_bytes,
+    /// Workspace checkouts served from the pool without allocating.
+    pool_hits,
+    /// Workspace checkouts that had to allocate (cold pool, capacity
+    /// miss, or pooling disabled via `GBLAS_WORKSPACE=off`).
+    pool_misses,
 }
 
 #[cfg(test)]

@@ -267,6 +267,10 @@ impl GblasBackend for DistBackend<'_> {
         self.absorb(op.finish());
         Ok(())
     }
+
+    fn workspace_stats(&self) -> gblas_core::workspace::WorkspaceStats {
+        self.dctx.workspace_stats()
+    }
 }
 
 #[cfg(test)]

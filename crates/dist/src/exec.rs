@@ -4,6 +4,7 @@ use crate::comm::{Comm, CommEvent, CommKind};
 use gblas_core::error::{GblasError, Result};
 use gblas_core::par::{Counters, ExecCtx, Profile};
 use gblas_core::trace::{CommSummary, MetricsRegistry, SpanKind, TraceRecorder};
+use gblas_core::workspace::{WorkspacePool, WorkspaceStats, WsGuard};
 use gblas_sim::{MachineConfig, SimReport};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -32,6 +33,12 @@ pub enum LocaleExecutor {
 /// serial sweep would.
 pub type Outbox<M> = Vec<Vec<M>>;
 
+/// One pool-checked-out [`Outbox`] per locale: what a superstep's send
+/// side collects into. The guards keep the per-destination buffers alive
+/// through the owning superstep and return them to their locale's
+/// workspace pool on drop.
+pub type PooledOutboxes<M> = Vec<WsGuard<Outbox<M>>>;
+
 /// Execution context for distributed operations.
 ///
 /// Holds the simulated [`MachineConfig`] and the communication log for the
@@ -57,6 +64,14 @@ pub struct DistCtx {
     executor: LocaleExecutor,
     recorder: TraceRecorder,
     metrics: Arc<MetricsRegistry>,
+    /// One long-lived workspace pool per locale: every superstep body that
+    /// runs "on" locale `l` (via [`DistCtx::locale_ctx_for`]) checks its
+    /// scratch out of pool `l`, so outbox/inbox staging and SPA slots are
+    /// reused across supersteps and across algorithm iterations.
+    pools: Vec<Arc<WorkspacePool>>,
+    /// Watermark of per-locale pool stats already mirrored into the
+    /// shared [`MetricsRegistry`] — see [`DistCtx::sync_workspace_metrics`].
+    ws_synced: Mutex<WorkspaceStats>,
 }
 
 impl DistCtx {
@@ -81,7 +96,16 @@ impl DistCtx {
             Some("serial") => LocaleExecutor::Serial,
             _ => LocaleExecutor::default(),
         };
-        DistCtx { machine, comm, executor, recorder, metrics }
+        let pools = (0..machine.locales()).map(|_| Arc::new(WorkspacePool::from_env())).collect();
+        DistCtx {
+            machine,
+            comm,
+            executor,
+            recorder,
+            metrics,
+            pools,
+            ws_synced: Mutex::new(WorkspaceStats::default()),
+        }
     }
 
     /// The wall-clock executor for per-locale superstep bodies.
@@ -124,6 +148,61 @@ impl DistCtx {
     /// threads, serial real execution (deterministic).
     pub fn locale_ctx(&self) -> ExecCtx {
         ExecCtx::new(self.machine.threads_per_locale, 1)
+    }
+
+    /// Like [`DistCtx::locale_ctx`], but attached to locale `l`'s
+    /// long-lived workspace pool, so kernel scratch checked out by the
+    /// superstep body is returned to the pool when the body's guards drop
+    /// and reused by the next superstep that runs on `l`. The context
+    /// itself (thread counts, counters, profile) is still fresh.
+    pub fn locale_ctx_for(&self, l: usize) -> ExecCtx {
+        let mut ctx = self.locale_ctx();
+        ctx.set_workspace_pool(Arc::clone(&self.pools[l]));
+        ctx
+    }
+
+    /// Locale `l`'s workspace pool.
+    pub fn workspace_pool(&self, l: usize) -> &Arc<WorkspacePool> {
+        &self.pools[l]
+    }
+
+    /// Enable or disable workspace pooling on every locale's pool
+    /// (disabling drains them). The escape hatch `GBLAS_WORKSPACE=off`
+    /// does the same at construction time; this method lets tests compare
+    /// pooled and unpooled runs without touching the process environment.
+    pub fn set_workspace_enabled(&self, on: bool) {
+        for pool in &self.pools {
+            pool.set_enabled(on);
+        }
+    }
+
+    /// Aggregate workspace-pool accounting across every locale.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        let mut total = WorkspaceStats::default();
+        for pool in &self.pools {
+            total.merge(&pool.stats());
+        }
+        total
+    }
+
+    /// Mirror per-locale pool accounting into the shared metrics
+    /// registry. Superstep bodies check scratch out through short-lived
+    /// per-locale [`ExecCtx`]s whose registries are discarded, so the
+    /// pool-side counters are authoritative; this charges whatever they
+    /// accumulated since the last sync to the [`DistCtx`] registry that
+    /// the CLI's metrics dump reads. Called by [`OpTrace::finish`], so a
+    /// traced run's `pool_hits`/`pool_misses`/`allocs`/`alloc_bytes`
+    /// match [`DistCtx::workspace_stats`] after every distributed op.
+    pub fn sync_workspace_metrics(&self) {
+        let now = self.workspace_stats();
+        let mut synced = self.ws_synced.lock();
+        let d = now.saturating_sub(&synced);
+        *synced = now;
+        drop(synced);
+        self.metrics.pool_hits(d.pool_hits);
+        self.metrics.pool_misses(d.pool_misses);
+        self.metrics.allocs(d.allocs);
+        self.metrics.alloc_bytes(d.alloc_bytes);
     }
 
     /// Run one superstep SPMD-style: `f(l)` once per locale, results in
@@ -526,6 +605,7 @@ impl OpTrace<'_> {
 
         dctx.metrics.ops_executed(1);
         dctx.metrics.nnz_processed(nnz);
+        dctx.sync_workspace_metrics();
 
         if let Some(detail) = detail {
             let recorder = &dctx.recorder;

@@ -34,8 +34,8 @@ pub fn apply_v1<T: Copy + Send + Sync>(
     // entirely on the initiating locale). The wall-clock execution still
     // fans out one task per shard; merging the per-shard profiles in
     // locale order reproduces the single shared profile exactly.
-    let per_shard = dctx.for_each_locale_state(x.shards_mut(), |_, shard| {
-        let ctx = dctx.locale_ctx();
+    let per_shard = dctx.for_each_locale_state(x.shards_mut(), |l, shard| {
+        let ctx = dctx.locale_ctx_for(l);
         apply_vec_inplace(shard, op, &ctx);
         Ok(ctx.take_profile())
     })?;
@@ -58,8 +58,8 @@ pub fn apply_v2<T: Copy + Send + Sync>(
     op: &impl UnaryOp<T, T>,
     dctx: &DistCtx,
 ) -> Result<SimReport> {
-    let profiles = dctx.for_each_locale_state(x.shards_mut(), |_, shard| {
-        let ctx = dctx.locale_ctx();
+    let profiles = dctx.for_each_locale_state(x.shards_mut(), |l, shard| {
+        let ctx = dctx.locale_ctx_for(l);
         apply_vec_inplace(shard, op, &ctx);
         Ok(ctx.take_profile())
     })?;
@@ -77,8 +77,8 @@ pub fn apply_mat_v2<T: Copy + Send + Sync>(
     op: &impl UnaryOp<T, T>,
     dctx: &DistCtx,
 ) -> Result<SimReport> {
-    let profiles = dctx.for_each_locale_state(a.blocks_mut(), |_, block| {
-        let ctx = dctx.locale_ctx();
+    let profiles = dctx.for_each_locale_state(a.blocks_mut(), |l, block| {
+        let ctx = dctx.locale_ctx_for(l);
         gblas_core::ops::apply::apply_mat_inplace(block, op, &ctx);
         Ok(ctx.take_profile())
     })?;

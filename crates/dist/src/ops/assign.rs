@@ -27,7 +27,7 @@ where
 /// initiating locale and copy element-by-element. Every access to a
 /// remote element is a fine-grained GET/PUT, and every indexed access —
 /// local or remote — pays the `O(log nnz)` search of §III-B.
-pub fn assign_v1<T: Copy + Send + Sync + Default>(
+pub fn assign_v1<T: Copy + Send + Sync + Default + 'static>(
     a: &mut DistSparseVec<T>,
     b: &DistSparseVec<T>,
     dctx: &DistCtx,
@@ -52,7 +52,7 @@ pub fn assign_v1<T: Copy + Send + Sync + Default>(
     // threads: the per-shard profiles are merged in locale order into one
     // locale-0 profile, identical to a single shared context.
     let per_shard = dctx.for_each_locale_state(a.shards_mut(), |l, shard| {
-        let ctx = dctx.locale_ctx();
+        let ctx = dctx.locale_ctx_for(l);
         gblas_core::ops::assign::assign_v1(shard, b.shard(l), &ctx)?;
         Ok(ctx.take_profile())
     })?;
@@ -78,7 +78,7 @@ pub fn assign_v2<T: Copy + Send + Sync + Default>(
 ) -> Result<SimReport> {
     check_conformant(a, b)?;
     let profiles = dctx.for_each_locale_state(a.shards_mut(), |l, shard| {
-        let ctx = dctx.locale_ctx();
+        let ctx = dctx.locale_ctx_for(l);
         gblas_core::ops::assign::assign_v2(shard, b.shard(l), &ctx)?;
         Ok(fold_assign_phases(ctx.take_profile()))
     })?;

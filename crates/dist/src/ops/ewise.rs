@@ -30,7 +30,7 @@ pub fn ewise_mult_dist<T, U>(
     dctx: &DistCtx,
 ) -> Result<(DistSparseVec<T>, SimReport)>
 where
-    T: Copy + Send + Sync,
+    T: Copy + Send + Sync + 'static,
     U: Copy + Send + Sync,
 {
     check_dims("capacity", x.capacity(), y.len())?;
@@ -52,7 +52,7 @@ where
                     .expect("rebased shard stays sorted");
             let seg = DenseVec::from_vec(y.segment(l).to_vec());
             // Guard against the degenerate empty-block case.
-            let ctx = dctx.locale_ctx();
+            let ctx = dctx.locale_ctx_for(l);
             let filtered = if range.is_empty() {
                 SparseVec::new(0)
             } else {
@@ -112,7 +112,7 @@ where
     check_aligned(a, b)?;
     let (profiles, shards): (Vec<Profile>, Vec<SparseVec<C>>) = dctx
         .for_each_locale(|l| {
-            let ctx = dctx.locale_ctx();
+            let ctx = dctx.locale_ctx_for(l);
             let z = gblas_core::ops::ewise::ewise_mult(a.shard(l), b.shard(l), op, &ctx)?;
             Ok((fold_phases(ctx.take_profile()), z))
         })?
@@ -140,7 +140,7 @@ where
     check_aligned(a, b)?;
     let (profiles, shards): (Vec<Profile>, Vec<SparseVec<T>>) = dctx
         .for_each_locale(|l| {
-            let ctx = dctx.locale_ctx();
+            let ctx = dctx.locale_ctx_for(l);
             let z = gblas_core::ops::ewise::ewise_add(a.shard(l), b.shard(l), op, &ctx)?;
             Ok((fold_phases(ctx.take_profile()), z))
         })?

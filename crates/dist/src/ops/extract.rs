@@ -10,7 +10,7 @@
 //! locale pair — the §IV style) and reports the communication volume, so
 //! the √p cost is observable in the simulated report.
 
-use crate::exec::{DistCtx, Outbox};
+use crate::exec::{DistCtx, PooledOutboxes};
 use crate::vec::DistSparseVec;
 use gblas_core::error::{GblasError, Result};
 use gblas_core::par::Profile;
@@ -23,7 +23,7 @@ pub const PHASE_EXCHANGE: &str = "extract-exchange";
 
 /// `z[k] = x[I[k]]` wherever `x` stores `I[k]`, with `z` block-distributed
 /// over the same locale count. `I` must be strictly increasing.
-pub fn extract_dist<T: Copy + Send + Sync>(
+pub fn extract_dist<T: Copy + Send + Sync + 'static>(
     x: &DistSparseVec<T>,
     index_set: &[usize],
     dctx: &DistCtx,
@@ -53,12 +53,13 @@ pub fn extract_dist<T: Copy + Send + Sync>(
     // index set (merge-walk, the shard and I are both sorted), builds one
     // outbox per destination, and logs its own aggregated exchange
     // messages (one bulk message per communicating pair).
-    let (select_profiles, outboxes): (Vec<Profile>, Vec<Outbox<(usize, T)>>) = dctx
+    let (select_profiles, outboxes): (Vec<Profile>, PooledOutboxes<(usize, T)>) = dctx
         .for_each_locale(|l| {
-            let sctx = dctx.locale_ctx();
+            let sctx = dctx.locale_ctx_for(l);
             let mut c = gblas_core::par::Counters::default();
-            // outbox[dst] = (dest index, value) pairs bound for locale dst.
-            let mut outbox: Vec<Vec<(usize, T)>> = (0..p).map(|_| Vec::new()).collect();
+            // outbox[dst] = (dest index, value) pairs bound for locale dst,
+            // in pooled per-destination buffers reused across calls.
+            let mut outbox = sctx.ws_nested_vec::<(usize, T)>(p);
             let shard = x.shard(l);
             let (si, sv) = (shard.indices(), shard.values());
             let (mut a, mut b) = (0usize, 0usize);
@@ -91,7 +92,7 @@ pub fn extract_dist<T: Copy + Send + Sync>(
     // interleave) and sorts, building only its own shard.
     let (exchange_profiles, shards): (Vec<Profile>, Vec<gblas_core::container::SparseVec<T>>) =
         dctx.for_each_locale(|o| {
-            let ctx = dctx.locale_ctx();
+            let ctx = dctx.locale_ctx_for(o);
             let mut pairs: Vec<(usize, T)> = Vec::new();
             for outbox in &outboxes {
                 pairs.extend_from_slice(&outbox[o]);

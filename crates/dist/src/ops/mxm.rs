@@ -146,7 +146,7 @@ where
                 a_blk.nnz() as u64 * a_bytes + b_blk.nnz() as u64 * b_bytes;
             // Local multiply + accumulate into the stationary block. The
             // locale's mask block covers exactly its stationary C block.
-            let lctx = dctx.locale_ctx();
+            let lctx = dctx.locale_ctx_for(l);
             let partial: CsrMatrix<C> = gblas_core::ops::mxm::mxm::<_, _, C, _, _, M>(
                 a_blk,
                 b_blk,

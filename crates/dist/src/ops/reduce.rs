@@ -32,7 +32,7 @@ where
     // Local folds (one task per locale, 24-way within each).
     let (partials, profiles): (Vec<T>, Vec<Profile>) = dctx
         .for_each_locale(|l| {
-            let ctx = dctx.locale_ctx();
+            let ctx = dctx.locale_ctx_for(l);
             let local = gblas_core::ops::reduce::reduce_vec(x.shard(l), monoid, &ctx);
             let mut folded = Profile::default();
             let c = folded.counters_mut(PHASE_LOCAL);
@@ -89,7 +89,7 @@ where
     // Local per-block row folds (block rows are local coordinates).
     let (partials, profiles): (Vec<gblas_core::container::DenseVec<T>>, Vec<Profile>) = dctx
         .for_each_locale(|l| {
-            let ctx = dctx.locale_ctx();
+            let ctx = dctx.locale_ctx_for(l);
             let local = gblas_core::ops::reduce::reduce_rows(a.block(l), monoid, &ctx);
             let mut folded = Profile::default();
             let c = folded.counters_mut(PHASE_LOCAL);
@@ -143,7 +143,7 @@ where
     let p = a.grid().locales();
     let (partials, profiles): (Vec<T>, Vec<Profile>) = dctx
         .for_each_locale(|l| {
-            let ctx = dctx.locale_ctx();
+            let ctx = dctx.locale_ctx_for(l);
             let local = gblas_core::ops::reduce::reduce_mat(a.block(l), monoid, &ctx);
             let mut folded = Profile::default();
             let c = folded.counters_mut(PHASE_LOCAL);

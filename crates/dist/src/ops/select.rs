@@ -26,7 +26,7 @@ pub fn select_mat_dist<T: Copy + Send + Sync>(
     let mut blocks: Vec<CsrMatrix<T>> = Vec::with_capacity(p);
     let mut profiles = Vec::with_capacity(p);
     for (block, profile) in dctx.for_each_locale(|l| {
-        let ctx = dctx.locale_ctx();
+        let ctx = dctx.locale_ctx_for(l);
         let r0 = a.row_range(l).start;
         let c0 = a.col_range(l).start;
         let kept = gblas_core::ops::select::select_mat(
@@ -59,7 +59,7 @@ pub fn map_mat_dist<T: Copy + Send + Sync, U: Copy + Send + Sync>(
     let mut blocks: Vec<CsrMatrix<U>> = Vec::with_capacity(p);
     let mut profiles = Vec::with_capacity(p);
     for (block, profile) in dctx.for_each_locale(|l| {
-        let ctx = dctx.locale_ctx();
+        let ctx = dctx.locale_ctx_for(l);
         let r0 = a.row_range(l).start;
         let c0 = a.col_range(l).start;
         let mapped =

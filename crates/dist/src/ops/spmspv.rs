@@ -26,7 +26,7 @@
 //! The output stores, per reached column, the **global row id** of the
 //! first visitor — the BFS parent vector.
 
-use crate::exec::{DistCtx, Outbox};
+use crate::exec::{DistCtx, PooledOutboxes};
 use crate::grid::ProcGrid;
 use crate::mat::DistCsrMatrix;
 use crate::vec::DistSparseVec;
@@ -92,7 +92,7 @@ fn gather_row_blocks<V, RR>(
     dctx: &DistCtx,
 ) -> Result<(Vec<Profile>, Vec<SparseVec<V>>)>
 where
-    V: Copy + Send + Sync,
+    V: Copy + Send + Sync + 'static,
     RR: Fn(usize) -> Range<usize> + Sync,
 {
     let p = grid.locales();
@@ -102,7 +102,7 @@ where
             .for_each_locale(|l| {
                 let (r, _) = grid.coords(l);
                 let rr = row_range(l);
-                let gctx = dctx.locale_ctx();
+                let gctx = dctx.locale_ctx_for(l);
                 let mut inds: Vec<usize> = Vec::new();
                 let mut vals: Vec<V> = Vec::new();
                 for src in grid.row_locales(r) {
@@ -137,12 +137,15 @@ where
 
     // ---- Superstep 1 (requests): one coalesced segment descriptor per
     // remote row peer.
-    let (req_profiles, req_outboxes): (Vec<Profile>, Vec<Outbox<(usize, usize)>>) = dctx
+    let (req_profiles, req_outboxes): (Vec<Profile>, PooledOutboxes<(usize, usize)>) = dctx
         .for_each_locale(|l| {
             let (r, _) = grid.coords(l);
             let rr = row_range(l);
-            let gctx = dctx.locale_ctx();
-            let mut outbox: Vec<Vec<(usize, usize)>> = (0..p).map(|_| Vec::new()).collect();
+            let gctx = dctx.locale_ctx_for(l);
+            // Pooled per-destination request buffers: the skeleton (outer
+            // vec and each inner vec's capacity) survives across
+            // supersteps and across algorithm iterations.
+            let mut outbox = gctx.ws_nested_vec::<(usize, usize)>(p);
             let mut c = Counters::default();
             for src in grid.row_locales(r) {
                 if src == l {
@@ -162,11 +165,11 @@ where
     // requester order and answers each request with one message carrying
     // its slice of the requested segment — priced from the payload that
     // actually crosses, not per element.
-    let (rep_profiles, rep_outboxes): (Vec<Profile>, Vec<Outbox<ReplySlice<V>>>) = dctx
+    let (rep_profiles, rep_outboxes): (Vec<Profile>, PooledOutboxes<ReplySlice<V>>) = dctx
         .for_each_locale(|o| {
-            let gctx = dctx.locale_ctx();
+            let gctx = dctx.locale_ctx_for(o);
             let shard = x.shard(o);
-            let mut outbox: Vec<Vec<ReplySlice<V>>> = (0..p).map(|_| Vec::new()).collect();
+            let mut outbox = gctx.ws_nested_vec::<ReplySlice<V>>(p);
             let mut c = Counters::default();
             for (requester, reqs) in req_outboxes.iter().map(|ob| &ob[o]).enumerate() {
                 for &(start, end) in reqs {
@@ -196,7 +199,7 @@ where
         .for_each_locale(|l| {
             let (r, _) = grid.coords(l);
             let rr = row_range(l);
-            let gctx = dctx.locale_ctx();
+            let gctx = dctx.locale_ctx_for(l);
             let mut inds: Vec<usize> = Vec::new();
             let mut vals: Vec<V> = Vec::new();
             for src in grid.row_locales(r) {
@@ -263,7 +266,7 @@ impl<'a> DistMask<'a> {
 }
 
 /// Listing 8 as written: fine-grained gather and scatter.
-pub fn spmspv_dist<T: Copy + Send + Sync>(
+pub fn spmspv_dist<T: Copy + Send + Sync + 'static>(
     a: &DistCsrMatrix<T>,
     x: &DistSparseVec<T>,
     dctx: &DistCtx,
@@ -272,7 +275,7 @@ pub fn spmspv_dist<T: Copy + Send + Sync>(
 }
 
 /// The bulk-synchronous variant (ablation; §IV).
-pub fn spmspv_dist_bulk<T: Copy + Send + Sync>(
+pub fn spmspv_dist_bulk<T: Copy + Send + Sync + 'static>(
     a: &DistCsrMatrix<T>,
     x: &DistSparseVec<T>,
     dctx: &DistCtx,
@@ -281,7 +284,7 @@ pub fn spmspv_dist_bulk<T: Copy + Send + Sync>(
 }
 
 /// Masked distributed SpMSpV (fine-grained communication).
-pub fn spmspv_dist_masked<T: Copy + Send + Sync>(
+pub fn spmspv_dist_masked<T: Copy + Send + Sync + 'static>(
     a: &DistCsrMatrix<T>,
     x: &DistSparseVec<T>,
     mask: DistMask<'_>,
@@ -292,7 +295,7 @@ pub fn spmspv_dist_masked<T: Copy + Send + Sync>(
 
 /// Full-control entry point. The frontier's value type `V` is independent
 /// of the matrix type — first-visitor semantics never read the values.
-pub fn spmspv_dist_with<T: Copy + Send + Sync, V: Copy + Send + Sync>(
+pub fn spmspv_dist_with<T: Copy + Send + Sync, V: Copy + Send + Sync + 'static>(
     a: &DistCsrMatrix<T>,
     x: &DistSparseVec<V>,
     mask: Option<DistMask<'_>>,
@@ -346,7 +349,9 @@ pub fn spmspv_dist_with<T: Copy + Send + Sync, V: Copy + Send + Sync>(
     for (local, result) in dctx.for_each_locale(|l| {
         let row_range = a.row_range(l);
         let col_range = a.col_range(l);
-        let lctx = dctx.locale_ctx();
+        // Attach locale `l`'s long-lived pool so the local kernel's SPA is
+        // reused across BFS levels instead of reallocated per call.
+        let lctx = dctx.locale_ctx_for(l);
         let ly = if row_range.is_empty() || col_range.is_empty() {
             SparseVec::new(col_range.len().max(1))
         } else {
@@ -364,13 +369,15 @@ pub fn spmspv_dist_with<T: Copy + Send + Sync, V: Copy + Send + Sync>(
     // its claims into one outbox per owning locale and logs its own
     // scatter traffic.
     let out_dist = crate::grid::BlockDist::new(n, p);
-    let (send_profiles, outboxes): (Vec<Profile>, Vec<Outbox<(usize, usize)>>) = dctx
+    let (send_profiles, outboxes): (Vec<Profile>, PooledOutboxes<(usize, usize)>) = dctx
         .for_each_locale(|l| {
-            let sctx = dctx.locale_ctx();
+            let sctx = dctx.locale_ctx_for(l);
             let mut c = gblas_core::par::Counters::default();
-            // outbox[owner] = (segment offset, parent row) claims.
-            let mut outbox: Vec<Vec<(usize, usize)>> = (0..p).map(|_| Vec::new()).collect();
-            let mut per_dst: Vec<u64> = vec![0; p];
+            // outbox[owner] = (segment offset, parent row) claims. Both the
+            // per-destination buffers and the fan-out histogram come from
+            // the locale pool and are reused superstep after superstep.
+            let mut outbox = sctx.ws_nested_vec::<(usize, usize)>(p);
+            let mut per_dst = sctx.ws_filled_vec::<u64>(p, 0);
             for &(col, rid) in &local_results[l] {
                 let owner = out_dist.owner(col);
                 if owner != l {
@@ -405,10 +412,10 @@ pub fn spmspv_dist_with<T: Copy + Send + Sync, V: Copy + Send + Sync>(
     // the owner's denseToSparse scan.
     let (apply_profiles, shards): (Vec<Profile>, Vec<SparseVec<usize>>) = dctx
         .for_each_locale(|o| {
-            let octx = dctx.locale_ctx();
+            let octx = dctx.locale_ctx_for(o);
             let range = out_dist.range(o);
-            let mut isthere: Vec<bool> = vec![false; range.len()];
-            let mut value: Vec<usize> = vec![0usize; range.len()];
+            let mut isthere = octx.ws_filled_vec::<bool>(range.len(), false);
+            let mut value = octx.ws_filled_vec::<usize>(range.len(), 0);
             let mut c = gblas_core::par::Counters::default();
             for outbox in &outboxes {
                 for &(off, rid) in &outbox[o] {
@@ -490,9 +497,9 @@ pub fn spmspv_dist_semiring<A, B, C, AddM, MulOp>(
     dctx: &DistCtx,
 ) -> Result<(DistSparseVec<C>, SimReport)>
 where
-    A: Copy + Send + Sync,
+    A: Copy + Send + Sync + 'static,
     B: Copy + Send + Sync,
-    C: Copy + Send + Sync + PartialEq,
+    C: Copy + Send + Sync + PartialEq + 'static,
     AddM: gblas_core::algebra::Monoid<C>,
     MulOp: gblas_core::algebra::BinaryOp<A, B, C>,
 {
@@ -514,9 +521,9 @@ pub fn spmspv_dist_semiring_with<A, B, C, AddM, MulOp>(
     dctx: &DistCtx,
 ) -> Result<(DistSparseVec<C>, SimReport)>
 where
-    A: Copy + Send + Sync,
+    A: Copy + Send + Sync + 'static,
     B: Copy + Send + Sync,
-    C: Copy + Send + Sync + PartialEq,
+    C: Copy + Send + Sync + PartialEq + 'static,
     AddM: gblas_core::algebra::Monoid<C>,
     MulOp: gblas_core::algebra::BinaryOp<A, B, C>,
 {
@@ -556,7 +563,7 @@ where
     for (local, result) in dctx.for_each_locale(|l| {
         let row_range = a.row_range(l);
         let col_range = a.col_range(l);
-        let lctx = dctx.locale_ctx();
+        let lctx = dctx.locale_ctx_for(l);
         let ly = if row_range.is_empty() || col_range.is_empty() {
             SparseVec::new(col_range.len().max(1))
         } else {
@@ -580,12 +587,12 @@ where
     // ---- Superstep 2 (scatter, send side): per-owner outboxes + each
     // source's own comm log entries.
     let out_dist = crate::grid::BlockDist::new(n, p);
-    let (send_profiles, outboxes): (Vec<Profile>, Vec<Outbox<(usize, C)>>) = dctx
+    let (send_profiles, outboxes): (Vec<Profile>, PooledOutboxes<(usize, C)>) = dctx
         .for_each_locale(|l| {
-            let sctx = dctx.locale_ctx();
+            let sctx = dctx.locale_ctx_for(l);
             let mut c = gblas_core::par::Counters::default();
-            let mut outbox: Vec<Vec<(usize, C)>> = (0..p).map(|_| Vec::new()).collect();
-            let mut per_dst: Vec<u64> = vec![0; p];
+            let mut outbox = sctx.ws_nested_vec::<(usize, C)>(p);
+            let mut per_dst = sctx.ws_filled_vec::<u64>(p, 0);
             for &(col, v) in &local_results[l] {
                 let owner = out_dist.owner(col);
                 if owner != l {
@@ -618,10 +625,10 @@ where
     // exactly the serial schedule's.
     let (apply_profiles, shards): (Vec<Profile>, Vec<SparseVec<C>>) = dctx
         .for_each_locale(|o| {
-            let octx = dctx.locale_ctx();
+            let octx = dctx.locale_ctx_for(o);
             let range = out_dist.range(o);
-            let mut occupied: Vec<bool> = vec![false; range.len()];
-            let mut value: Vec<C> = vec![ring.zero::<C>(); range.len()];
+            let mut occupied = octx.ws_filled_vec::<bool>(range.len(), false);
+            let mut value = octx.ws_filled_vec::<C>(range.len(), ring.zero::<C>());
             let mut c = gblas_core::par::Counters::default();
             for outbox in &outboxes {
                 for &(off, v) in &outbox[o] {

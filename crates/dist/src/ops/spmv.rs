@@ -37,7 +37,7 @@ pub fn spmv_dist<A, B, C, AddM, MulOp>(
 where
     A: Copy + Send + Sync,
     B: Copy + Send + Sync,
-    C: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
     AddM: Monoid<C>,
     MulOp: BinaryOp<A, B, C>,
 {
@@ -71,7 +71,7 @@ where
         let (r, _) = grid.coords(l);
         let row_range = a.row_range(l);
         // Bulk-gather the row block of x (one message per remote segment).
-        let gctx = dctx.locale_ctx();
+        let gctx = dctx.locale_ctx_for(l);
         let mut lx: Vec<A> = Vec::with_capacity(row_range.len());
         for src in grid.row_locales(r) {
             let seg = x.segment(src);
@@ -85,7 +85,7 @@ where
             c.bytes_moved += lx.len() as u64 * a_bytes;
         });
         // Local multiply: partial[j_local] over the block's column range.
-        let lctx = dctx.locale_ctx();
+        let lctx = dctx.locale_ctx_for(l);
         let block = a.block(l);
         let width = a.col_range(l).len();
         let partial = {

@@ -44,7 +44,7 @@ pub fn transpose_dist<T: Copy + Send + Sync>(
         (0..p).map(|_| None).collect();
     for (profile, dest, t) in dctx.for_each_locale(|l| {
         let (r, c) = grid.coords(l);
-        let lctx = dctx.locale_ctx();
+        let lctx = dctx.locale_ctx_for(l);
         let t = gblas_core::ops::transpose::transpose(a.block(l), &lctx)?;
         let mut folded = Profile::default();
         let counters = folded.counters_mut(PHASE_LOCAL);

@@ -375,6 +375,113 @@ fn mid_superstep_fault_propagates_on_aggregated_gather() {
     }
 }
 
+/// Workspace pooling must be invisible: running the same op sequence with
+/// the per-locale pools enabled (the default) and disabled (the
+/// `GBLAS_WORKSPACE=off` escape hatch) must produce bit-identical
+/// results, comm ledgers, and simulated reports, under both executors.
+/// Each op runs twice so the pooled pass exercises actual shelf reuse,
+/// not just first-checkout allocation.
+#[test]
+fn workspace_pooling_is_bit_invisible_across_executors() {
+    for (pr, pc) in GRIDS {
+        let grid = ProcGrid::new(pr, pc);
+        let p = grid.locales();
+        let a = gen::erdos_renyi(350, 6, 81);
+        let x = gen::random_sparse_vec(350, 50, 82);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dx = DistSparseVec::from_global(&x, p);
+        let xd = DenseVec::from_fn(350, |i| 1.0 + (i % 5) as f64);
+        let dxd = DistDenseVec::from_global(&xd, p);
+        let index_set: Vec<usize> = (0..350).step_by(4).collect();
+        let ring = semirings::plus_times_f64();
+        for exec in [LocaleExecutor::Threaded, LocaleExecutor::Serial] {
+            let run = |pooled: bool| {
+                let dctx = ctx_with(p, exec);
+                dctx.set_workspace_enabled(pooled);
+                let mut outs: Vec<(Vec<usize>, Vec<u64>, SimReport)> = Vec::new();
+                for _ in 0..2 {
+                    for strategy in [CommStrategy::Fine, CommStrategy::Bulk] {
+                        for merge in [MergeStrategy::SortBased, MergeStrategy::Bucketed] {
+                            let (y, rep) = spmspv::spmspv_dist_semiring_with(
+                                &da,
+                                &dx,
+                                &ring,
+                                None,
+                                strategy,
+                                SpMSpVOpts::with_merge(merge),
+                                &dctx,
+                            )
+                            .unwrap();
+                            let g = y.to_global();
+                            let bits = g.values().iter().map(|v| v.to_bits()).collect();
+                            outs.push((g.indices().to_vec(), bits, rep));
+                        }
+                    }
+                    let (y, rep) = spmv::spmv_dist(&da, &dxd, &ring, &dctx).unwrap();
+                    let g = y.to_global();
+                    let bits = g.as_slice().iter().map(|v| v.to_bits()).collect();
+                    outs.push((Vec::new(), bits, rep));
+                    let (z, rep) = extract::extract_dist(&dx, &index_set, &dctx).unwrap();
+                    let g = z.to_global();
+                    let bits = g.values().iter().map(|v| v.to_bits()).collect();
+                    outs.push((g.indices().to_vec(), bits, rep));
+                }
+                let ws = dctx.workspace_stats();
+                if pooled {
+                    assert!(ws.pool_hits > 0, "{pr}x{pc} {exec:?}: pooled run never reused");
+                } else {
+                    assert_eq!(ws.pool_hits, 0, "{pr}x{pc} {exec:?}: disabled pool served hits");
+                    assert!(ws.pool_misses > 0, "{pr}x{pc} {exec:?}: disabled pool uncharged");
+                }
+                (outs, dctx.comm.totals())
+            };
+            assert_eq!(run(true), run(false), "{pr}x{pc} {exec:?}: pooling visible");
+        }
+    }
+}
+
+/// Fault injection with pooling on: a mid-superstep comm failure must
+/// surface identically with pools enabled and disabled, and the pool
+/// must survive the error path — the same context retries the op after
+/// `clear_faults` and produces the correct result from reused shelves.
+#[test]
+fn workspace_pooling_survives_comm_faults() {
+    let grid = ProcGrid::new(2, 3);
+    let p = grid.locales();
+    let a = gen::erdos_renyi(300, 6, 91);
+    let x = gen::random_sparse_vec(300, 40, 92);
+    let da = DistCsrMatrix::from_global(&a, grid);
+    let dx = DistSparseVec::from_global(&x, p);
+    let expect = {
+        let dctx = ctx_with(p, LocaleExecutor::Serial);
+        spmspv::spmspv_dist(&da, &dx, &dctx).unwrap().0
+    };
+    for exec in [LocaleExecutor::Threaded, LocaleExecutor::Serial] {
+        for pooled in [true, false] {
+            let dctx = ctx_with(p, exec);
+            dctx.set_workspace_enabled(pooled);
+            // Warm the shelves (pooled) or prove cold-path parity (unpooled).
+            let warm = spmspv::spmspv_dist(&da, &dx, &dctx).unwrap().0;
+            assert_eq!(warm.to_global(), expect.to_global(), "{exec:?} pooled={pooled}");
+            for fail_at in [0, 3, 7] {
+                dctx.comm.fail_after(fail_at);
+                let r = spmspv::spmspv_dist(&da, &dx, &dctx);
+                assert!(
+                    matches!(r, Err(GblasError::CommFailure(_))),
+                    "{exec:?} pooled={pooled} fail_after={fail_at}: got {r:?}"
+                );
+                dctx.comm.clear_faults();
+                let retry = spmspv::spmspv_dist(&da, &dx, &dctx).unwrap().0;
+                assert_eq!(
+                    retry.to_global(),
+                    expect.to_global(),
+                    "{exec:?} pooled={pooled} fail_at={fail_at}: retry diverged"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn failed_in_place_op_does_not_corrupt_its_operand() {
     let x = gen::random_sparse_vec(400, 60, 61);

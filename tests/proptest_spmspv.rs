@@ -211,6 +211,40 @@ proptest! {
         }
     }
 
+    /// Workspace reuse across *changing* problem sizes: one shared
+    /// `ExecCtx` (and thus one workspace pool) services a random sequence
+    /// of grow/shrink capacities, and every call must match a fresh-pool
+    /// oracle bit for bit — a capacity miss must re-size cleanly and a
+    /// shrink must never leak stale SPA stamps or vector contents from an
+    /// earlier, larger checkout.
+    #[test]
+    fn shared_workspace_across_varying_sizes_matches_fresh_ctx(
+        sizes in prop::collection::vec(2usize..80, 2..8), seed in 0u64..1000
+    ) {
+        let ring = semirings::plus_times_f64();
+        let shared = ExecCtx::new(3, 1);
+        for (k, &n) in sizes.iter().enumerate() {
+            let s = seed + k as u64;
+            let a = gblas_core::gen::erdos_renyi(n, 3.min(n - 1).max(1), s);
+            let x = gblas_core::gen::random_sparse_vec(n, (n / 2).max(1), s + 500);
+            for opts in [sorted_opts(), bucketed_opts()] {
+                let fresh = ExecCtx::new(3, 1);
+                let got = spmspv_semiring_masked(&a, &x, &ring, None, opts, &shared)
+                    .unwrap().vector;
+                let want = spmspv_semiring_masked(&a, &x, &ring, None, opts, &fresh)
+                    .unwrap().vector;
+                prop_assert_eq!(&got, &want, "semiring n={} step {}", n, k);
+                let gf = spmspv_first_visitor(&a, &x, None, opts, &shared).unwrap();
+                let wf = spmspv_first_visitor(&a, &x, None, opts, &fresh).unwrap();
+                prop_assert_eq!(&gf, &wf, "first_visitor n={} step {}", n, k);
+            }
+        }
+        // The shared context must actually have been reusing shelves —
+        // otherwise this test proves nothing about pooling.
+        let ws = shared.workspace().stats();
+        prop_assert!(ws.pool_hits > 0, "no shelf reuse across {} sizes", sizes.len());
+    }
+
     #[test]
     fn dense_vector_exercises_every_bucket(a in csr(CAP, CAP), fill in -5.0f64..5.0) {
         // a fully dense input vector drives nnz through every per-task
@@ -253,6 +287,32 @@ fn degenerate_shapes_agree() {
     let yb = spmspv_semiring_masked(&a, &x, &ring, None, bucketed_opts(), &ctx).unwrap().vector;
     assert_eq!(ys, yb);
     assert_eq!(yb.indices(), &[0, 1]);
+}
+
+/// Deterministic shrink pin: after a large-capacity run populates the
+/// pooled SPA, a much smaller run on the same context must produce only
+/// in-range indices and exactly the fresh-context result — generation
+/// stamping, not re-zeroing, is what hides the stale large-run slots.
+#[test]
+fn pooled_spa_shrink_leaves_no_stale_values() {
+    let ring = semirings::plus_times_f64();
+    let shared = ExecCtx::new(4, 1);
+    let big = gblas_core::gen::erdos_renyi(200, 5, 7);
+    let xb = gblas_core::gen::random_sparse_vec(200, 60, 8);
+    for opts in [sorted_opts(), bucketed_opts()] {
+        spmspv_semiring_masked::<_, _, f64, _, _>(&big, &xb, &ring, None, opts, &shared).unwrap();
+    }
+    let small = gblas_core::gen::erdos_renyi(6, 2, 9);
+    let xs = gblas_core::gen::random_sparse_vec(6, 3, 10);
+    for opts in [sorted_opts(), bucketed_opts()] {
+        let got = spmspv_semiring_masked(&small, &xs, &ring, None, opts, &shared).unwrap().vector;
+        let want = spmspv_semiring_masked(&small, &xs, &ring, None, opts, &ExecCtx::new(4, 1))
+            .unwrap()
+            .vector;
+        assert!(got.indices().iter().all(|&j| j < 6), "stale out-of-range index");
+        assert_eq!(got, want);
+    }
+    assert!(shared.workspace().stats().pool_hits > 0);
 }
 
 /// The mask in the bucketed drain must consult SPA occupancy, not the
