@@ -8,8 +8,9 @@
 //! * `--fig N` — a figure number 1..10 (6 is the SPA diagram: no data);
 //!   `ablations` for the design-choice sweeps, `algorithms` for the
 //!   node sweep of the newly-distributed analytics (triangles, k-core,
-//!   MIS, betweenness via the backend trait); `all` (default) runs
-//!   everything.
+//!   MIS, betweenness via the backend trait), `imbalance` for the trace
+//!   profiler's load-imbalance factor vs locale count (BFS and PageRank);
+//!   `all` (default) runs everything.
 //! * `--scale S` — divide the paper's large input sizes (1M/10M/100M) by
 //!   `S` for quick runs; default 1 (full paper sizes, needs ~8 GB RAM and
 //!   a few minutes).
@@ -29,6 +30,7 @@ fn main() {
     let mut figs: Vec<usize> = (1..=10).collect();
     let mut ablations = true;
     let mut algorithms = true;
+    let mut imbalance = true;
     let mut scale = 1usize;
     let mut out = PathBuf::from("results");
     let mut trace_out: Option<String> = None;
@@ -43,15 +45,22 @@ fn main() {
                 if v == "ablations" {
                     figs = Vec::new();
                     algorithms = false;
+                    imbalance = false;
                 } else if v == "algorithms" {
                     figs = Vec::new();
                     ablations = false;
-                } else if v != "all" {
-                    figs = vec![v
-                        .parse()
-                        .expect("--fig expects 1..10, 'ablations', 'algorithms' or 'all'")];
+                    imbalance = false;
+                } else if v == "imbalance" {
+                    figs = Vec::new();
                     ablations = false;
                     algorithms = false;
+                } else if v != "all" {
+                    figs = vec![v.parse().expect(
+                        "--fig expects 1..10, 'ablations', 'algorithms', 'imbalance' or 'all'",
+                    )];
+                    ablations = false;
+                    algorithms = false;
+                    imbalance = false;
                 }
             }
             "--scale" => {
@@ -75,8 +84,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig N|ablations|algorithms|all] [--scale S] [--out DIR] \
-                     [--trace FILE] [--spmspv-merge sort|bucket]"
+                    "usage: figures [--fig N|ablations|algorithms|imbalance|all] [--scale S] \
+                     [--out DIR] [--trace FILE] [--spmspv-merge sort|bucket]"
                 );
                 return;
             }
@@ -126,6 +135,17 @@ fn main() {
             }
         }
         eprintln!("# algorithms sweep regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    if imbalance {
+        let t0 = std::time::Instant::now();
+        for fig in gblas_bench::figs::fig_imbalance(scale) {
+            fig.print();
+            match fig.write_csv(&out) {
+                Ok(path) => println!("(wrote {})", path.display()),
+                Err(e) => eprintln!("(csv write failed: {e})"),
+            }
+        }
+        eprintln!("# imbalance sweep regenerated in {:.1}s", t0.elapsed().as_secs_f64());
     }
     if let (Some(path), Some((recorder, metrics))) = (trace_out, tracing) {
         let trace = recorder.snapshot();

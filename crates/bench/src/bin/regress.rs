@@ -1,0 +1,218 @@
+//! Perf-regression gate: diff a fresh `alloc_bench` result against the
+//! committed `BENCH_alloc.json` baseline, with tolerances.
+//!
+//! ```text
+//! cargo run -p gblas-bench --bin regress -- \
+//!     [--baseline BENCH_alloc.json] --candidate NEW.json [--check] [--tolerance PCT]
+//! ```
+//!
+//! The gate compares the *allocation* metrics — steady-state allocs,
+//! bytes, pool hits and misses per iteration — which are stable across
+//! machines, and deliberately ignores wall-clock (too noisy for CI).
+//! Regressions are one-sided: using *less* memory than the baseline
+//! passes; the failure modes gated here are pooled hot paths that start
+//! allocating again, pools that stop being reused, and workloads whose
+//! allocation volume quietly grows.
+//!
+//! The two files must describe the same experiment: their `config`
+//! objects (n, degree, nnz, threads, warmup) are compared exactly, and a
+//! mismatch is an error rather than a meaningless diff. After an
+//! intentional workload change, regenerate the baseline with
+//! `cargo run -p gblas-bench --features bench --bin alloc_bench`.
+//!
+//! `--check` exits 1 when any metric fails; without it the diff is
+//! informational. Exit code 2 is reserved for usage/IO errors.
+
+use gblas_core::trace::sink::{parse_json, JsonValue};
+
+/// Relative tolerance (fraction) applied to the volume metrics.
+const DEFAULT_TOLERANCE: f64 = 0.25;
+/// Absolute slack for per-iteration allocation counts.
+const ALLOC_FLOOR: f64 = 2.0;
+/// Absolute slack for per-iteration byte volumes.
+const BYTES_FLOOR: f64 = 4096.0;
+/// Absolute slack for pool misses (a miss is a cold checkout; steady
+/// state should have almost none).
+const MISS_FLOOR: f64 = 1.0;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("regress: {msg}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> JsonValue {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    parse_json(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+}
+
+fn num(v: &JsonValue, key: &str, ctx: &str) -> f64 {
+    v.get(key)
+        .and_then(JsonValue::as_num)
+        .unwrap_or_else(|| fail(&format!("{ctx}: missing number '{key}'")))
+}
+
+fn steady<'a>(workload: &'a JsonValue, mode: &str, ctx: &str) -> &'a JsonValue {
+    workload
+        .get(mode)
+        .and_then(|m| m.get("steady"))
+        .unwrap_or_else(|| fail(&format!("{ctx}: missing {mode}.steady")))
+}
+
+/// One comparison row; `ok` is one-sided per the metric's direction.
+struct Check {
+    label: String,
+    base: f64,
+    cand: f64,
+    ok: bool,
+}
+
+impl Check {
+    /// Gate an increase: candidate may not exceed baseline by more than
+    /// the relative tolerance plus an absolute floor.
+    fn upper(label: String, base: f64, cand: f64, tol: f64, floor: f64) -> Check {
+        Check { label, base, cand, ok: cand <= base * (1.0 + tol) + floor }
+    }
+
+    /// Gate a collapse: candidate may not fall below baseline by more
+    /// than the relative tolerance plus an absolute floor.
+    fn lower(label: String, base: f64, cand: f64, tol: f64, floor: f64) -> Check {
+        Check { label, base, cand, ok: cand >= base * (1.0 - tol) - floor }
+    }
+}
+
+fn main() {
+    let mut baseline = String::from("BENCH_alloc.json");
+    let mut candidate: Option<String> = None;
+    let mut check = false;
+    let mut tol = DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline = args.next().unwrap_or_else(|| fail("--baseline needs a path"))
+            }
+            "--candidate" => {
+                candidate = Some(args.next().unwrap_or_else(|| fail("--candidate needs a path")))
+            }
+            "--check" => check = true,
+            "--tolerance" => {
+                let v = args.next().unwrap_or_else(|| fail("--tolerance needs a percentage"));
+                tol = v.parse::<f64>().unwrap_or_else(|_| fail("--tolerance expects a number"))
+                    / 100.0;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: regress [--baseline FILE] --candidate FILE [--check] [--tolerance PCT]"
+                );
+                return;
+            }
+            other => fail(&format!("unknown argument {other}")),
+        }
+    }
+    let candidate = candidate.unwrap_or_else(|| fail("--candidate FILE is required"));
+
+    let base = load(&baseline);
+    let cand = load(&candidate);
+
+    // The experiments must match before their metrics can be compared.
+    let (Some(JsonValue::Obj(bc)), Some(cc)) = (base.get("config"), cand.get("config")) else {
+        fail("both files need a 'config' object");
+    };
+    for (key, want) in bc {
+        let got = cc.get(key);
+        if got != Some(want) {
+            fail(&format!(
+                "config mismatch on '{key}': baseline {want:?} vs candidate {got:?} — \
+                 regenerate the baseline if the workload changed intentionally"
+            ));
+        }
+    }
+
+    let workloads = |v: &JsonValue, path: &str| -> Vec<JsonValue> {
+        match v.get("workloads") {
+            Some(JsonValue::Arr(items)) => items.clone(),
+            _ => fail(&format!("{path}: missing 'workloads' array")),
+        }
+    };
+    let base_wl = workloads(&base, &baseline);
+    let cand_wl = workloads(&cand, &candidate);
+
+    let mut checks: Vec<Check> = Vec::new();
+    for bw in &base_wl {
+        let name = bw
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_else(|| fail("workload without a name"))
+            .to_string();
+        let Some(cw) = cand_wl
+            .iter()
+            .find(|w| w.get("name").and_then(JsonValue::as_str) == Some(name.as_str()))
+        else {
+            fail(&format!("candidate is missing workload '{name}'"));
+        };
+        for mode in ["pooled", "unpooled"] {
+            let bs = steady(bw, mode, &name);
+            let cs = steady(cw, mode, &name);
+            let ctx = format!("{name}/{mode}");
+            checks.push(Check::upper(
+                format!("{ctx} allocs/iter"),
+                num(bs, "allocs_per_iter", &ctx),
+                num(cs, "allocs_per_iter", &ctx),
+                tol,
+                ALLOC_FLOOR,
+            ));
+            checks.push(Check::upper(
+                format!("{ctx} bytes/iter"),
+                num(bs, "bytes_per_iter", &ctx),
+                num(cs, "bytes_per_iter", &ctx),
+                tol,
+                BYTES_FLOOR,
+            ));
+        }
+        // Pool behaviour is only meaningful with pooling on: steady-state
+        // misses must stay near zero, and reuse must not collapse.
+        let bs = steady(bw, "pooled", &name);
+        let cs = steady(cw, "pooled", &name);
+        let ctx = format!("{name}/pooled");
+        checks.push(Check::upper(
+            format!("{ctx} pool misses/iter"),
+            num(bs, "pool_misses_per_iter", &ctx),
+            num(cs, "pool_misses_per_iter", &ctx),
+            0.0,
+            MISS_FLOOR,
+        ));
+        checks.push(Check::lower(
+            format!("{ctx} pool hits/iter"),
+            num(bs, "pool_hits_per_iter", &ctx),
+            num(cs, "pool_hits_per_iter", &ctx),
+            tol,
+            ALLOC_FLOOR,
+        ));
+    }
+
+    println!("regress: {candidate} vs baseline {baseline} (tolerance {:.0}%)", tol * 100.0);
+    println!("{:<34} {:>14} {:>14}  status", "metric", "baseline", "candidate");
+    let mut failures = 0usize;
+    for c in &checks {
+        println!(
+            "{:<34} {:>14.1} {:>14.1}  {}",
+            c.label,
+            c.base,
+            c.cand,
+            if c.ok { "ok" } else { "REGRESSION" }
+        );
+        if !c.ok {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        println!("{failures} of {} checks regressed", checks.len());
+        if check {
+            std::process::exit(1);
+        }
+        println!("(informational run; pass --check to fail on regressions)");
+    } else {
+        println!("all {} checks within tolerance", checks.len());
+    }
+}

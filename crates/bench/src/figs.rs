@@ -471,6 +471,56 @@ pub fn fig_algorithms(scale: usize) -> Vec<Figure> {
     vec![fig]
 }
 
+/// Beyond-the-paper observability figure (`--fig imbalance`): the
+/// trace profiler's whole-run load-imbalance factor (max/mean locale
+/// work) versus locale count for BFS and PageRank, alongside the mean
+/// per-locale busy/comm/idle split the factor summarizes. Each point
+/// traces its own run on a dedicated recorder (independent of `--trace`'s
+/// process-global one), profiles the span tree, and reports the derived
+/// quantities — the chart version of `gblas-cli profile`.
+pub fn fig_imbalance(scale: usize) -> Vec<Figure> {
+    use gblas_core::trace::profile::profile;
+    use gblas_dist::ops::spmspv::CommStrategy;
+    use gblas_dist::DistBackend;
+
+    let n = workloads::scaled(100_000, scale, 2_000);
+    let a = workloads::er_matrix(n, 8, 176);
+    let mut fig = Figure::new(
+        "imbalance",
+        "Load imbalance (max/mean locale work) vs locales, ER d=8",
+        "nodes",
+    );
+    for algo in ["bfs", "pagerank"] {
+        let mut points = Vec::new();
+        for &p in NODES {
+            let grid = ProcGrid::square_for(p);
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let mut dctx = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+            dctx.enable_tracing();
+            // BFS uses the paper's fine-grained Listing-8 gather, PageRank
+            // the aggregated bulk path — matching the CLI's strategy split.
+            let strategy = if algo == "bfs" { CommStrategy::Fine } else { CommStrategy::Bulk };
+            let backend = DistBackend::with_strategy(&dctx, strategy);
+            if algo == "bfs" {
+                gblas_graph::bfs_on(&backend, &da, 0, SpMSpVOpts::default()).expect("bfs");
+            } else {
+                gblas_graph::pagerank_on(&backend, &da, gblas_graph::PageRankOptions::default())
+                    .expect("pagerank");
+            }
+            let prof = profile(&dctx.recorder().snapshot());
+            let locales = prof.locales.max(1) as f64;
+            let mut report = SimReport::default();
+            report.push("imbalance", prof.imbalance());
+            report.push("busy", prof.locale_totals.iter().map(|u| u.busy).sum::<f64>() / locales);
+            report.push("comm", prof.locale_totals.iter().map(|u| u.comm).sum::<f64>() / locales);
+            report.push("idle", prof.locale_totals.iter().map(|u| u.idle).sum::<f64>() / locales);
+            points.push(FigPoint { x: p, report });
+        }
+        fig.push_series(algo, points);
+    }
+    vec![fig]
+}
+
 /// Run one figure by number. Figure 6 is the SPA diagram — nothing to
 /// measure — so it returns an empty set.
 pub fn run_fig(n: usize, scale: usize) -> Vec<Figure> {

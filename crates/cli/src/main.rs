@@ -16,6 +16,10 @@
 //!   mis         maximal independent set, seeded by --seed (requires symmetric input)
 //!   bc          betweenness centrality from --source (or all if --source omitted and n <= 2000)
 //!   trace       summarize a saved JSONL trace (--input trace.jsonl)
+//!   profile     analyze a saved JSONL trace (--input trace.jsonl
+//!               [--format text|markdown|json]): per-locale busy/comm/idle,
+//!               load imbalance, critical path with slack, locale-to-locale
+//!               communication matrix, message-size percentiles
 //! ```
 //!
 //! `--spmspv-merge` selects how the frontier algorithms merge SpMSpV
@@ -38,13 +42,13 @@ use gblas_core::container::CsrMatrix;
 use gblas_core::error::{GblasError, Result};
 use gblas_core::ops::spmspv::{MergeStrategy, SpMSpVOpts};
 use gblas_core::par::ExecCtx;
-use gblas_core::trace::sink;
+use gblas_core::trace::{profile, sink};
 use gblas_core::{gen, io};
 use gblas_dist::ops::spmspv::CommStrategy;
 use gblas_dist::{DistBackend, DistCsrMatrix, DistCtx, ProcGrid};
 use gblas_sim::MachineConfig;
 
-const USAGE_COMMANDS: &str = "info|bfs|sssp|pagerank|cc|triangles|kcore|mis|bc|trace";
+const USAGE_COMMANDS: &str = "info|bfs|sssp|pagerank|cc|triangles|kcore|mis|bc|trace|profile";
 
 struct Args {
     command: String,
@@ -57,6 +61,7 @@ struct Args {
     simulate: Option<usize>,
     trace_out: Option<String>,
     merge: MergeStrategy,
+    format: String,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -73,6 +78,7 @@ fn parse_args() -> std::result::Result<Args, String> {
         simulate: None,
         trace_out: None,
         merge: MergeStrategy::default(),
+        format: "text".to_string(),
     };
     let mut rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -107,6 +113,14 @@ fn parse_args() -> std::result::Result<Args, String> {
             }
             "--trace" => {
                 args.trace_out = Some(need(i, &mut rest)?);
+                i += 2;
+            }
+            "--format" => {
+                let v = need(i, &mut rest)?;
+                if !matches!(v.as_str(), "text" | "markdown" | "json") {
+                    return Err(format!("bad --format '{v}' (text|markdown|json)"));
+                }
+                args.format = v;
                 i += 2;
             }
             "--spmspv-merge" => {
@@ -211,6 +225,32 @@ fn summarize_trace(args: &Args) -> Result<()> {
     }
     let trace = sink::from_jsonl(&text).map_err(GblasError::InvalidArgument)?;
     print!("{}", sink::summary(&trace));
+    Ok(())
+}
+
+/// `profile` subcommand: reload a JSONL trace and print the full
+/// analysis — per-locale breakdown, load imbalance, critical path, comm
+/// matrix, and histograms — in the requested format.
+fn profile_trace(args: &Args) -> Result<()> {
+    let path = args.input.as_ref().ok_or_else(|| {
+        GblasError::InvalidArgument("profile needs --input FILE.jsonl (a saved JSONL trace)".into())
+    })?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| GblasError::InvalidArgument(format!("cannot read {path}: {e}")))?;
+    if text.trim_start().starts_with('[') {
+        return Err(GblasError::InvalidArgument(
+            "this looks like a Chrome trace; the profile subcommand reads the JSONL format \
+             (--trace FILE.jsonl)"
+                .into(),
+        ));
+    }
+    let trace = sink::from_jsonl(&text).map_err(GblasError::InvalidArgument)?;
+    let p = profile::profile(&trace);
+    match args.format.as_str() {
+        "markdown" => print!("{}", profile::render_markdown(&p)),
+        "json" => println!("{}", profile::render_json(&p)),
+        _ => print!("{}", profile::render_text(&p)),
+    }
     Ok(())
 }
 
@@ -355,6 +395,9 @@ fn run() -> Result<()> {
     if args.command == "trace" {
         return summarize_trace(&args);
     }
+    if args.command == "profile" {
+        return profile_trace(&args);
+    }
     let a = load(&args)?;
     let ctx = ExecCtx::with_threads(args.threads);
     println!(
@@ -387,6 +430,12 @@ fn run() -> Result<()> {
             println!("(distributed result) {dist_summary}");
         }
         println!("simulated on {nodes} Edison nodes: {report}");
+        let attributions = report.attributions();
+        if !attributions.is_empty() {
+            let list: Vec<String> =
+                attributions.iter().map(|(phase, l)| format!("{phase}=L{l}")).collect();
+            println!("slowest locale per phase: {}", list.join(" "));
+        }
         finish_sim(&dctx, &args)?;
     }
     if args.trace_out.is_some() && args.simulate.is_none() {

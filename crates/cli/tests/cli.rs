@@ -69,6 +69,57 @@ fn reads_matrix_market_files() {
 }
 
 #[test]
+fn traced_bfs_profiles_end_to_end() {
+    let dir = std::env::temp_dir().join("gblas_cli_profile_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("bfs.jsonl");
+    let trace_arg = trace.to_str().unwrap();
+    let (ok, stdout, _) =
+        run(&["bfs", "--gen", "er:2000:8", "--simulate", "4", "--trace", trace_arg, "--seed", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("slowest locale per phase:"), "got: {stdout}");
+    assert!(trace.exists());
+
+    // text report: imbalance, critical path, and a populated comm matrix
+    let (ok, text, _) = run(&["profile", "--input", trace_arg]);
+    assert!(ok);
+    assert!(text.contains("load imbalance"), "got: {text}");
+    assert!(text.contains("critical path"));
+    assert!(text.contains("communication matrix"));
+    assert!(text.contains("spmspv_dist/gather"));
+
+    // the comm-matrix byte total must equal the run's bytes_sent counter
+    let metrics_bytes: u64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("bytes_sent"))
+        .expect("metrics dump present")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(
+        text.contains(&format!("total: {metrics_bytes} bytes")),
+        "profile bytes must match metrics bytes_sent={metrics_bytes}: {text}"
+    );
+
+    // JSON profile parses and markdown renders tables
+    let (ok, json, _) = run(&["profile", "--input", trace_arg, "--format", "json"]);
+    assert!(ok);
+    assert!(json.starts_with("{\"schema\":\"gblas-profile-v1\""), "got: {json}");
+    assert!(json.contains(&format!("\"total_bytes\":{metrics_bytes}")));
+    let (ok, md, _) = run(&["profile", "--input", trace_arg, "--format", "markdown"]);
+    assert!(ok);
+    assert!(md.contains("## Critical path"));
+
+    // bad format and missing input fail cleanly
+    let (ok, _, stderr) = run(&["profile", "--input", trace_arg, "--format", "xml"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --format"));
+    let (ok, _, stderr) = run(&["profile"]);
+    assert!(!ok);
+    assert!(stderr.contains("--input"));
+}
+
+#[test]
 fn errors_are_clean_not_panics() {
     let (ok, _, stderr) = run(&["bogus-command", "--gen", "er:10:2"]);
     assert!(!ok);

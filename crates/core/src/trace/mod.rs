@@ -25,6 +25,7 @@
 //!   injected, retries, spans recorded) accumulates across operations and
 //!   contexts and is queryable at runtime.
 
+pub mod profile;
 pub mod sink;
 
 use crate::par::Counters;
@@ -141,9 +142,18 @@ impl Trace {
     }
 
     /// End of the simulated timeline (max span end / instant ts).
+    ///
+    /// Total on empty traces and traces holding only instants: `0.0` when
+    /// nothing carries a finite timestamp (never a panic, never NaN —
+    /// non-finite endpoints from corrupt input are ignored).
     pub fn sim_end(&self) -> f64 {
-        let span_end = self.spans.iter().map(|s| s.sim_start + s.sim_dur).fold(0.0f64, f64::max);
-        self.instants.iter().map(|i| i.sim_ts).fold(span_end, f64::max)
+        let span_end = self
+            .spans
+            .iter()
+            .map(|s| s.sim_start + s.sim_dur)
+            .filter(|t| t.is_finite())
+            .fold(0.0f64, f64::max);
+        self.instants.iter().map(|i| i.sim_ts).filter(|t| t.is_finite()).fold(span_end, f64::max)
     }
 }
 
@@ -425,6 +435,49 @@ mod tests {
         let t = r.snapshot();
         assert_eq!(t.locales(), vec![0, 2]);
         assert_eq!(t.sim_end(), 4.0);
+    }
+
+    #[test]
+    fn sim_end_is_zero_on_empty_and_instant_only_traces() {
+        let empty = Trace::default();
+        assert_eq!(empty.sim_end(), 0.0);
+        assert!(empty.locales().is_empty());
+
+        // Instants only (no spans): the latest finite timestamp wins; a
+        // fresh recorder's instants sit at cursor 0.
+        let r = TraceRecorder::new();
+        r.instant("boot", None, vec![]);
+        assert_eq!(r.snapshot().sim_end(), 0.0);
+        r.advance(1.5);
+        r.instant("later", Some(1), vec![]);
+        assert_eq!(r.snapshot().sim_end(), 1.5);
+    }
+
+    #[test]
+    fn sim_end_ignores_non_finite_endpoints() {
+        let mut t = Trace::default();
+        t.spans.push(Span {
+            id: 1,
+            parent: None,
+            name: "bad".into(),
+            kind: SpanKind::Op,
+            locale: None,
+            sim_start: f64::NAN,
+            sim_dur: 1.0,
+            wall_ns: 0,
+            counters: Counters::default(),
+            attrs: vec![],
+            comm: None,
+        });
+        t.instants.push(Instant {
+            name: "inf".into(),
+            sim_ts: f64::INFINITY,
+            locale: None,
+            attrs: vec![],
+        });
+        assert_eq!(t.sim_end(), 0.0, "corrupt endpoints must not poison the makespan");
+        t.instants.push(Instant { name: "ok".into(), sim_ts: 2.0, locale: None, attrs: vec![] });
+        assert_eq!(t.sim_end(), 2.0);
     }
 
     #[test]

@@ -1,0 +1,1091 @@
+//! Trace-analysis profiler: turn a recorded [`Trace`] into answers.
+//!
+//! The recorder (PR 1) captures *what happened* — op → phase → per-locale
+//! spans on the simulated clock. This module computes *what it means*,
+//! deterministically, from the spans alone (so it works equally on a live
+//! snapshot and on a reloaded JSONL file):
+//!
+//! 1. **Per-locale busy/comm/idle** — for the whole timeline and per op,
+//!    with a load-imbalance factor (max over locales of busy+comm divided
+//!    by the mean). The paper's central distributed claim is that locale
+//!    imbalance and fine-grained communication dominate; this is the
+//!    number that says so.
+//! 2. **Critical path** — the chain of phase spans laid end-to-end on the
+//!    simulated clock. Their durations sum to [`Trace::sim_end`] (the
+//!    bulk-synchronous timeline has no overlap between phases); each
+//!    phase's *slack* is the part of its duration not explained by its
+//!    slowest locale (spawn overhead), and its *critical locale* is the
+//!    one that defined the superstep.
+//! 3. **Communication matrix** — locale×locale messages and bytes,
+//!    reconstructed from the per-destination attributes the distributed
+//!    op tracer stamps on `LocaleComm` spans (`dst3_bytes`, …). Traffic
+//!    from traces recorded before those attributes existed is kept in an
+//!    explicit `unattributed` bucket rather than dropped.
+//! 4. **Log-bucketed histograms** (p50/p90/p99) for message sizes and
+//!    per-(op, phase) latencies.
+//!
+//! Everything renders three ways — [`render_text`], [`render_markdown`],
+//! [`render_json`] — all byte-deterministic (fixed field order, fixed
+//! precision, simulated clock only), so profile output is golden-file
+//! testable and identical across wall-clock executors.
+
+use super::{SpanKind, Trace};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One locale's time split over some interval (the whole timeline or one
+/// op): compute seconds, communication seconds, and the idle remainder.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LocaleUse {
+    /// Seconds spent in `LocaleCompute` segments.
+    pub busy: f64,
+    /// Seconds spent in `LocaleComm` segments.
+    pub comm: f64,
+    /// Interval seconds not covered by either (waiting at barriers).
+    pub idle: f64,
+}
+
+impl LocaleUse {
+    /// Non-idle seconds (busy + comm) — the "work" of the imbalance factor.
+    pub fn work(&self) -> f64 {
+        self.busy + self.comm
+    }
+}
+
+/// Load-imbalance factor over per-locale work: `max / mean`, 1.0 when
+/// perfectly balanced or when there is no work at all.
+fn imbalance_of(work: &[f64]) -> f64 {
+    if work.is_empty() {
+        return 1.0;
+    }
+    let max = work.iter().cloned().fold(0.0f64, f64::max);
+    let mean = work.iter().sum::<f64>() / work.len() as f64;
+    if mean > 0.0 {
+        max / mean
+    } else {
+        1.0
+    }
+}
+
+/// Aggregate over every instance of one op name.
+#[derive(Debug, Clone)]
+pub struct OpStat {
+    /// Op span name (`spmspv_dist`, …).
+    pub name: String,
+    /// Number of op spans with this name.
+    pub count: usize,
+    /// Summed duration of those spans.
+    pub seconds: f64,
+    /// Per-locale busy/comm/idle within these ops (idle relative to the
+    /// ops' summed duration).
+    pub per_locale: Vec<LocaleUse>,
+    /// max/mean over locales of busy+comm.
+    pub imbalance: f64,
+}
+
+impl OpStat {
+    /// The locale with the most work in this op (lowest index on ties),
+    /// `None` when no locale recorded any.
+    pub fn slowest_locale(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (l, u) in self.per_locale.iter().enumerate() {
+            let w = u.work();
+            if w > 0.0 && best.map(|(_, bw)| w > bw).unwrap_or(true) {
+                best = Some((l, w));
+            }
+        }
+        best.map(|(l, _)| l)
+    }
+}
+
+/// Aggregate over every instance of one (op, phase) pair — one entry of
+/// the critical path.
+#[derive(Debug, Clone)]
+pub struct PhaseStat {
+    /// Parent op name.
+    pub op: String,
+    /// Phase name (`gather`, `local`, …).
+    pub phase: String,
+    /// Number of phase spans aggregated.
+    pub count: usize,
+    /// Summed phase duration — this phase's length on the critical path.
+    pub seconds: f64,
+    /// Summed duration not explained by the slowest locale of each
+    /// instance (fork/join spawn overhead and pure-comm remainders).
+    pub slack: f64,
+    /// The locale with the most summed work across instances.
+    pub critical_locale: Option<usize>,
+    /// max/mean over locales of summed busy+comm within this phase.
+    pub imbalance: f64,
+    /// Per-instance latency histogram (log2 buckets of seconds).
+    pub latency: LogHistogram,
+    /// Summed busy+comm seconds per locale.
+    pub per_locale_work: Vec<f64>,
+}
+
+/// Locale×locale traffic totals reconstructed from `LocaleComm` spans.
+#[derive(Debug, Clone, Default)]
+pub struct CommMatrix {
+    /// Matrix dimension (machine locale count).
+    pub locales: usize,
+    /// Messages, row-major `[src * locales + dst]`.
+    pub msgs: Vec<u64>,
+    /// Payload bytes, row-major `[src * locales + dst]`.
+    pub bytes: Vec<u64>,
+    /// Messages whose destination the trace did not record (pre-profiler
+    /// traces without `dst*` attributes).
+    pub unattributed_msgs: u64,
+    /// Bytes whose destination the trace did not record.
+    pub unattributed_bytes: u64,
+}
+
+impl CommMatrix {
+    /// `(msgs, bytes)` sent from `src` to `dst`.
+    pub fn at(&self, src: usize, dst: usize) -> (u64, u64) {
+        let i = src * self.locales + dst;
+        (self.msgs[i], self.bytes[i])
+    }
+
+    /// Total bytes including unattributed traffic — equals the run's
+    /// cumulative comm-bytes counter.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum::<u64>() + self.unattributed_bytes
+    }
+
+    /// Total messages including unattributed traffic.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum::<u64>() + self.unattributed_msgs
+    }
+}
+
+/// A log₂-bucketed histogram with weighted inserts and deterministic
+/// percentile read-out (bucket upper bounds, never interpolation — the
+/// same trace always reports the same p50/p90/p99).
+#[derive(Debug, Clone, Default)]
+pub struct LogHistogram {
+    /// `(floor(log2(value)), weight)` sorted by exponent.
+    buckets: Vec<(i32, u64)>,
+    count: u64,
+}
+
+/// Exact `floor(log2(v))` for positive finite `v` via the IEEE-754
+/// exponent field (no libm, bit-deterministic everywhere).
+fn log2_floor(v: f64) -> i32 {
+    let exp = ((v.to_bits() >> 52) & 0x7ff) as i32;
+    if exp == 0 {
+        -1074 // subnormal: lump into the smallest bucket
+    } else {
+        exp - 1023
+    }
+}
+
+impl LogHistogram {
+    /// Add `weight` observations of `value`. Non-positive and non-finite
+    /// values land in the smallest bucket rather than being dropped.
+    pub fn add(&mut self, value: f64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        let e = if value.is_finite() && value > 0.0 { log2_floor(value) } else { i32::MIN };
+        match self.buckets.binary_search_by_key(&e, |&(b, _)| b) {
+            Ok(i) => self.buckets[i].1 += weight,
+            Err(i) => self.buckets.insert(i, (e, weight)),
+        }
+        self.count += weight;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sorted `(exponent, weight)` buckets; a bucket holds values in
+    /// `[2^e, 2^(e+1))`.
+    pub fn buckets(&self) -> &[(i32, u64)] {
+        &self.buckets
+    }
+
+    /// The upper bound `2^(e+1)` of the bucket containing the `q`-quantile
+    /// (`0 < q <= 1`); `0.0` when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(e, w) in &self.buckets {
+            cum += w;
+            if cum >= target {
+                return if e == i32::MIN { 0.0 } else { 2.0f64.powi(e.saturating_add(1)) };
+            }
+        }
+        0.0
+    }
+}
+
+/// Everything the profiler computed from one trace.
+#[derive(Debug, Clone)]
+pub struct TraceProfile {
+    /// End of the simulated timeline.
+    pub sim_end: f64,
+    /// Machine locale count (from op `locales` attrs, else max seen + 1).
+    pub locales: usize,
+    /// Spans consumed.
+    pub span_count: usize,
+    /// Whole-timeline busy/comm/idle per locale.
+    pub locale_totals: Vec<LocaleUse>,
+    /// Per-op aggregates, in first-seen order.
+    pub ops: Vec<OpStat>,
+    /// The critical path: per-(op, phase) aggregates in first-seen
+    /// (timeline) order. Their `seconds` sum to `path_seconds`.
+    pub phases: Vec<PhaseStat>,
+    /// Sum of all phase durations — equals `sim_end` up to `uncovered`.
+    pub path_seconds: f64,
+    /// Timeline seconds covered by no phase span (0 for op-tracer output).
+    pub uncovered: f64,
+    /// Locale×locale traffic.
+    pub comm: CommMatrix,
+    /// Message-size histogram (bytes per message, log2 buckets).
+    pub msg_sizes: LogHistogram,
+}
+
+impl TraceProfile {
+    /// Whole-run load-imbalance factor: max/mean over locales of total
+    /// busy+comm seconds.
+    pub fn imbalance(&self) -> f64 {
+        let work: Vec<f64> = self.locale_totals.iter().map(LocaleUse::work).collect();
+        imbalance_of(&work)
+    }
+}
+
+/// Parse the `dst{d}_msgs` / `dst{d}_bytes` attributes a `LocaleComm`
+/// span carries; returns `(dst, msgs, bytes)` tuples in attribute order.
+fn dst_traffic(attrs: &[(String, String)]) -> Vec<(usize, u64, u64)> {
+    let mut out: Vec<(usize, u64, u64)> = Vec::new();
+    for (k, v) in attrs {
+        let Some(rest) = k.strip_prefix("dst") else { continue };
+        let Some((num, field)) = rest.split_once('_') else { continue };
+        let (Ok(dst), Ok(val)) = (num.parse::<usize>(), v.parse::<u64>()) else { continue };
+        let entry = match out.iter_mut().find(|(d, _, _)| *d == dst) {
+            Some(e) => e,
+            None => {
+                out.push((dst, 0, 0));
+                out.last_mut().unwrap()
+            }
+        };
+        match field {
+            "msgs" => entry.1 += val,
+            "bytes" => entry.2 += val,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Compute the full profile of a trace. Deterministic: the same trace
+/// (from a live recorder or reloaded JSONL) always yields the same
+/// profile, and its renderings are byte-identical.
+pub fn profile(trace: &Trace) -> TraceProfile {
+    let sim_end = trace.sim_end();
+    let index: HashMap<u64, usize> =
+        trace.spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, s) in trace.spans.iter().enumerate() {
+        if let Some(p) = s.parent {
+            children.entry(p).or_default().push(i);
+        }
+    }
+    // Resolve each span's op ancestor (index into `spans`).
+    let op_of: Vec<Option<usize>> = trace
+        .spans
+        .iter()
+        .map(|s| {
+            let mut cur = Some(s);
+            for _ in 0..8 {
+                let c = cur?;
+                if c.kind == SpanKind::Op {
+                    return index.get(&c.id).copied();
+                }
+                cur = c.parent.and_then(|p| index.get(&p)).map(|&i| &trace.spans[i]);
+            }
+            None
+        })
+        .collect();
+
+    // Locale count: declared on op spans when available, else observed.
+    let mut locales = trace.spans.iter().filter_map(|s| s.locale).map(|l| l + 1).max().unwrap_or(0);
+    for s in trace.spans.iter().filter(|s| s.kind == SpanKind::Op) {
+        if let Some(p) =
+            s.attrs.iter().find(|(k, _)| k == "locales").and_then(|(_, v)| v.parse::<usize>().ok())
+        {
+            locales = locales.max(p);
+        }
+    }
+
+    // Whole-timeline per-locale totals.
+    let mut locale_totals = vec![LocaleUse::default(); locales];
+    for s in &trace.spans {
+        if let Some(l) = s.locale {
+            match s.kind {
+                SpanKind::LocaleCompute => locale_totals[l].busy += s.sim_dur,
+                SpanKind::LocaleComm => locale_totals[l].comm += s.sim_dur,
+                _ => {}
+            }
+        }
+    }
+    for u in &mut locale_totals {
+        u.idle = (sim_end - u.busy - u.comm).max(0.0);
+    }
+
+    // Per-op aggregates.
+    let mut ops: Vec<OpStat> = Vec::new();
+    for (i, s) in trace.spans.iter().enumerate() {
+        if s.kind != SpanKind::Op {
+            continue;
+        }
+        let stat = match ops.iter_mut().find(|o| o.name == s.name) {
+            Some(o) => o,
+            None => {
+                ops.push(OpStat {
+                    name: s.name.clone(),
+                    count: 0,
+                    seconds: 0.0,
+                    per_locale: vec![LocaleUse::default(); locales],
+                    imbalance: 1.0,
+                });
+                ops.last_mut().unwrap()
+            }
+        };
+        stat.count += 1;
+        stat.seconds += s.sim_dur;
+        let _ = i;
+    }
+    for (i, s) in trace.spans.iter().enumerate() {
+        let (Some(l), Some(op_idx)) = (s.locale, op_of[i]) else { continue };
+        let op_name = &trace.spans[op_idx].name;
+        if let Some(stat) = ops.iter_mut().find(|o| &o.name == op_name) {
+            match s.kind {
+                SpanKind::LocaleCompute => stat.per_locale[l].busy += s.sim_dur,
+                SpanKind::LocaleComm => stat.per_locale[l].comm += s.sim_dur,
+                _ => {}
+            }
+        }
+    }
+    for stat in &mut ops {
+        for u in &mut stat.per_locale {
+            u.idle = (stat.seconds - u.busy - u.comm).max(0.0);
+        }
+        let work: Vec<f64> = stat.per_locale.iter().map(LocaleUse::work).collect();
+        stat.imbalance = imbalance_of(&work);
+    }
+
+    // Critical path: phase spans in timeline order (fall back to op spans
+    // for phase-less traces, e.g. shared-memory op streams).
+    let mut path_idx: Vec<usize> =
+        (0..trace.spans.len()).filter(|&i| trace.spans[i].kind == SpanKind::Phase).collect();
+    let phaseless = path_idx.is_empty();
+    if phaseless {
+        path_idx =
+            (0..trace.spans.len()).filter(|&i| trace.spans[i].kind == SpanKind::Op).collect();
+    }
+    path_idx.sort_by(|&a, &b| {
+        trace.spans[a]
+            .sim_start
+            .partial_cmp(&trace.spans[b].sim_start)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let mut phases: Vec<PhaseStat> = Vec::new();
+    let mut path_seconds = 0.0f64;
+    let mut uncovered = 0.0f64;
+    let mut cursor = 0.0f64;
+    for &i in &path_idx {
+        let s = &trace.spans[i];
+        if s.sim_start > cursor {
+            uncovered += s.sim_start - cursor;
+        }
+        cursor = cursor.max(s.sim_start + s.sim_dur);
+        path_seconds += s.sim_dur;
+
+        let op_name = if phaseless {
+            s.name.clone()
+        } else {
+            op_of[i].map(|o| trace.spans[o].name.clone()).unwrap_or_default()
+        };
+        let stat = match phases.iter_mut().find(|p| p.op == op_name && p.phase == s.name) {
+            Some(p) => p,
+            None => {
+                phases.push(PhaseStat {
+                    op: op_name,
+                    phase: s.name.clone(),
+                    count: 0,
+                    seconds: 0.0,
+                    slack: 0.0,
+                    critical_locale: None,
+                    imbalance: 1.0,
+                    latency: LogHistogram::default(),
+                    per_locale_work: vec![0.0; locales],
+                });
+                phases.last_mut().unwrap()
+            }
+        };
+        stat.count += 1;
+        stat.seconds += s.sim_dur;
+        stat.latency.add(s.sim_dur, 1);
+        // Per-instance critical work: the slowest locale inside this span.
+        let mut inst_work = vec![0.0f64; locales];
+        if let Some(kids) = children.get(&s.id) {
+            for &k in kids {
+                let c = &trace.spans[k];
+                if let Some(l) = c.locale {
+                    if matches!(c.kind, SpanKind::LocaleCompute | SpanKind::LocaleComm) {
+                        inst_work[l] += c.sim_dur;
+                        stat.per_locale_work[l] += c.sim_dur;
+                    }
+                }
+            }
+        }
+        let crit = inst_work.iter().cloned().fold(0.0f64, f64::max);
+        stat.slack += (s.sim_dur - crit).max(0.0);
+    }
+    if sim_end > cursor {
+        uncovered += sim_end - cursor;
+    }
+    for stat in &mut phases {
+        stat.imbalance = imbalance_of(&stat.per_locale_work);
+        let mut best: Option<(usize, f64)> = None;
+        for (l, &w) in stat.per_locale_work.iter().enumerate() {
+            if w > 0.0 && best.map(|(_, bw)| w > bw).unwrap_or(true) {
+                best = Some((l, w));
+            }
+        }
+        stat.critical_locale = best.map(|(l, _)| l);
+    }
+
+    // Communication matrix + message-size histogram.
+    let mut comm = CommMatrix {
+        locales,
+        msgs: vec![0; locales * locales],
+        bytes: vec![0; locales * locales],
+        unattributed_msgs: 0,
+        unattributed_bytes: 0,
+    };
+    let mut msg_sizes = LogHistogram::default();
+    for s in &trace.spans {
+        if s.kind != SpanKind::LocaleComm {
+            continue;
+        }
+        let Some(cs) = &s.comm else { continue };
+        let total_msgs = cs.fine_msgs + cs.fine_dependent_msgs + cs.bulk_msgs;
+        let dsts = dst_traffic(&s.attrs);
+        if let (Some(src), false) = (s.locale, dsts.is_empty()) {
+            for (dst, m, b) in &dsts {
+                if *dst < locales && src < locales {
+                    let i = src * locales + dst;
+                    comm.msgs[i] += m;
+                    comm.bytes[i] += b;
+                } else {
+                    comm.unattributed_msgs += m;
+                    comm.unattributed_bytes += b;
+                }
+                if *m > 0 {
+                    msg_sizes.add(*b as f64 / *m as f64, *m);
+                }
+            }
+        } else {
+            comm.unattributed_msgs += total_msgs;
+            comm.unattributed_bytes += cs.bytes;
+            if total_msgs > 0 {
+                msg_sizes.add(cs.bytes as f64 / total_msgs as f64, total_msgs);
+            }
+        }
+    }
+
+    TraceProfile {
+        sim_end,
+        locales,
+        span_count: trace.spans.len(),
+        locale_totals,
+        ops,
+        phases,
+        path_seconds,
+        uncovered,
+        comm,
+        msg_sizes,
+    }
+}
+
+fn fmt_s(v: f64) -> String {
+    format!("{v:.9}")
+}
+
+/// Upper-bound formatter for byte-valued percentile bounds.
+fn fmt_bytes_bound(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+/// Render the profile as a fixed-width text report.
+pub fn render_text(p: &TraceProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace profile: {} spans, {} locales, makespan {}s",
+        p.span_count,
+        p.locales,
+        fmt_s(p.sim_end)
+    );
+    let _ = writeln!(out, "load imbalance (max/mean locale work): {:.3}", p.imbalance());
+
+    let _ = writeln!(out, "\nper-locale breakdown over the whole timeline:");
+    let _ = writeln!(
+        out,
+        "  {:>6} {:>15} {:>15} {:>15} {:>7}",
+        "locale", "busy(s)", "comm(s)", "idle(s)", "util%"
+    );
+    for (l, u) in p.locale_totals.iter().enumerate() {
+        let util = if p.sim_end > 0.0 { 100.0 * u.work() / p.sim_end } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>15} {:>15} {:>15} {:>7.1}",
+            format!("L{l}"),
+            fmt_s(u.busy),
+            fmt_s(u.comm),
+            fmt_s(u.idle),
+            util
+        );
+    }
+
+    let _ = writeln!(out, "\nper-op aggregate:");
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>6} {:>15} {:>10} {:>8}",
+        "op", "count", "seconds", "imbalance", "slowest"
+    );
+    for o in &p.ops {
+        let slow = o.slowest_locale().map(|l| format!("L{l}")).unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>6} {:>15} {:>10.3} {:>8}",
+            o.name,
+            o.count,
+            fmt_s(o.seconds),
+            o.imbalance,
+            slow
+        );
+    }
+
+    let _ = writeln!(out, "\ncritical path (phases in timeline order; sum = makespan):");
+    let _ = writeln!(
+        out,
+        "  {:<34} {:>6} {:>15} {:>7} {:>13} {:>5} {:>10} {:>10}",
+        "op/phase", "count", "seconds", "share%", "slack(s)", "crit", "p50(s)", "p99(s)"
+    );
+    for ph in &p.phases {
+        let share = if p.sim_end > 0.0 { 100.0 * ph.seconds / p.sim_end } else { 0.0 };
+        let crit = ph.critical_locale.map(|l| format!("L{l}")).unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>6} {:>15} {:>7.1} {:>13} {:>5} {:>10.3e} {:>10.3e}",
+            format!("{}/{}", ph.op, ph.phase),
+            ph.count,
+            fmt_s(ph.seconds),
+            share,
+            fmt_s(ph.slack),
+            crit,
+            ph.latency.percentile(0.50),
+            ph.latency.percentile(0.99),
+        );
+    }
+    if p.uncovered > 0.0 {
+        let _ = writeln!(out, "  {:<34} {:>6} {:>15}", "(uncovered)", "", fmt_s(p.uncovered));
+    }
+    let _ = writeln!(
+        out,
+        "  {:<34} {:>6} {:>15}   (makespan {}s)",
+        "sum",
+        "",
+        fmt_s(p.path_seconds + p.uncovered),
+        fmt_s(p.sim_end)
+    );
+
+    if p.locales > 0 {
+        let _ = writeln!(out, "\ncommunication matrix (bytes; rows = source locale):");
+        let mut head = String::from("       ");
+        for d in 0..p.locales {
+            let _ = write!(head, " {:>12}", format!("->L{d}"));
+        }
+        let _ = writeln!(out, "{head}");
+        for s in 0..p.locales {
+            let mut row = format!("  {:>5}", format!("L{s}"));
+            for d in 0..p.locales {
+                let (_, b) = p.comm.at(s, d);
+                let cell = if s == d && b == 0 { "-".to_string() } else { b.to_string() };
+                let _ = write!(row, " {cell:>12}");
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        let _ = write!(
+            out,
+            "  total: {} bytes in {} messages",
+            p.comm.total_bytes(),
+            p.comm.total_msgs()
+        );
+        if p.comm.unattributed_bytes > 0 {
+            let _ = write!(out, " ({} bytes unattributed)", p.comm.unattributed_bytes);
+        }
+        let _ = writeln!(out);
+    }
+
+    if p.msg_sizes.count() > 0 {
+        let _ = writeln!(
+            out,
+            "\nmessage sizes (log2 buckets): p50 <= {} B, p90 <= {} B, p99 <= {} B over {} messages",
+            fmt_bytes_bound(p.msg_sizes.percentile(0.50)),
+            fmt_bytes_bound(p.msg_sizes.percentile(0.90)),
+            fmt_bytes_bound(p.msg_sizes.percentile(0.99)),
+            p.msg_sizes.count()
+        );
+    }
+    out
+}
+
+/// Render the profile as GitHub-flavoured markdown tables.
+pub fn render_markdown(p: &TraceProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Trace profile\n");
+    let _ = writeln!(
+        out,
+        "{} spans, {} locales, makespan **{}s**, load imbalance **{:.3}**\n",
+        p.span_count,
+        p.locales,
+        fmt_s(p.sim_end),
+        p.imbalance()
+    );
+    let _ = writeln!(out, "## Per-locale breakdown\n");
+    let _ = writeln!(out, "| locale | busy (s) | comm (s) | idle (s) | util % |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for (l, u) in p.locale_totals.iter().enumerate() {
+        let util = if p.sim_end > 0.0 { 100.0 * u.work() / p.sim_end } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "| L{l} | {} | {} | {} | {util:.1} |",
+            fmt_s(u.busy),
+            fmt_s(u.comm),
+            fmt_s(u.idle)
+        );
+    }
+    let _ = writeln!(out, "\n## Ops\n");
+    let _ = writeln!(out, "| op | count | seconds | imbalance | slowest |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    for o in &p.ops {
+        let slow = o.slowest_locale().map(|l| format!("L{l}")).unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.3} | {slow} |",
+            o.name,
+            o.count,
+            fmt_s(o.seconds),
+            o.imbalance
+        );
+    }
+    let _ = writeln!(out, "\n## Critical path\n");
+    let _ = writeln!(
+        out,
+        "| op/phase | count | seconds | share % | slack (s) | crit | p50 (s) | p99 (s) |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    for ph in &p.phases {
+        let share = if p.sim_end > 0.0 { 100.0 * ph.seconds / p.sim_end } else { 0.0 };
+        let crit = ph.critical_locale.map(|l| format!("L{l}")).unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "| {}/{} | {} | {} | {share:.1} | {} | {crit} | {:.3e} | {:.3e} |",
+            ph.op,
+            ph.phase,
+            ph.count,
+            fmt_s(ph.seconds),
+            fmt_s(ph.slack),
+            ph.latency.percentile(0.50),
+            ph.latency.percentile(0.99),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\npath sum {}s + uncovered {}s = makespan {}s",
+        fmt_s(p.path_seconds),
+        fmt_s(p.uncovered),
+        fmt_s(p.sim_end)
+    );
+    if p.locales > 0 {
+        let _ = writeln!(out, "\n## Communication matrix (bytes)\n");
+        let mut head = String::from("| src\\dst |");
+        let mut rule = String::from("|---|");
+        for d in 0..p.locales {
+            let _ = write!(head, " L{d} |");
+            rule.push_str("---|");
+        }
+        let _ = writeln!(out, "{head}");
+        let _ = writeln!(out, "{rule}");
+        for s in 0..p.locales {
+            let mut row = format!("| L{s} |");
+            for d in 0..p.locales {
+                let _ = write!(row, " {} |", p.comm.at(s, d).1);
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        let _ = writeln!(
+            out,
+            "\ntotal {} bytes in {} messages ({} bytes unattributed)",
+            p.comm.total_bytes(),
+            p.comm.total_msgs(),
+            p.comm.unattributed_bytes
+        );
+    }
+    if p.msg_sizes.count() > 0 {
+        let _ = writeln!(
+            out,
+            "\nmessage sizes: p50 <= {} B, p90 <= {} B, p99 <= {} B",
+            fmt_bytes_bound(p.msg_sizes.percentile(0.50)),
+            fmt_bytes_bound(p.msg_sizes.percentile(0.90)),
+            fmt_bytes_bound(p.msg_sizes.percentile(0.99)),
+        );
+    }
+    out
+}
+
+fn hist_json(h: &LogHistogram, bound_fmt: impl Fn(f64) -> String) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+        h.count(),
+        bound_fmt(h.percentile(0.50)),
+        bound_fmt(h.percentile(0.90)),
+        bound_fmt(h.percentile(0.99))
+    );
+    for (i, (e, w)) in h.buckets().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{e},{w}]");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn u64_matrix_json(m: &[u64], n: usize) -> String {
+    let mut out = String::from("[");
+    for r in 0..n {
+        if r > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for c in 0..n {
+            if c > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", m[r * n + c]);
+        }
+        out.push(']');
+    }
+    out.push(']');
+    out
+}
+
+/// Render the machine-readable JSON profile (schema `gblas-profile-v1`).
+/// Byte-deterministic: fixed field order and precision.
+pub fn render_json(p: &TraceProfile) -> String {
+    let sec = |v: f64| format!("{v:.9}");
+    let secs_e = |v: f64| format!("{v:.9e}");
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"schema\":\"gblas-profile-v1\",\"sim_end\":{},\"locales\":{},\"spans\":{},\"imbalance\":{:.6},",
+        sec(p.sim_end),
+        p.locales,
+        p.span_count,
+        p.imbalance()
+    );
+    out.push_str("\"locale_totals\":[");
+    for (l, u) in p.locale_totals.iter().enumerate() {
+        if l > 0 {
+            out.push(',');
+        }
+        let util = if p.sim_end > 0.0 { u.work() / p.sim_end } else { 0.0 };
+        let _ = write!(
+            out,
+            "{{\"locale\":{l},\"busy\":{},\"comm\":{},\"idle\":{},\"util\":{util:.6}}}",
+            sec(u.busy),
+            sec(u.comm),
+            sec(u.idle)
+        );
+    }
+    out.push_str("],\"ops\":[");
+    for (i, o) in p.ops.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let slow = o.slowest_locale().map(|l| l.to_string()).unwrap_or_else(|| "null".into());
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"count\":{},\"seconds\":{},\"imbalance\":{:.6},\"slowest_locale\":{slow},\"per_locale\":[",
+            o.name,
+            o.count,
+            sec(o.seconds),
+            o.imbalance
+        );
+        for (l, u) in o.per_locale.iter().enumerate() {
+            if l > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"locale\":{l},\"busy\":{},\"comm\":{},\"idle\":{}}}",
+                sec(u.busy),
+                sec(u.comm),
+                sec(u.idle)
+            );
+        }
+        out.push_str("]}");
+    }
+    let _ = write!(
+        out,
+        "],\"critical_path\":{{\"sum\":{},\"uncovered\":{},\"phases\":[",
+        sec(p.path_seconds),
+        sec(p.uncovered)
+    );
+    for (i, ph) in p.phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let share = if p.sim_end > 0.0 { ph.seconds / p.sim_end } else { 0.0 };
+        let crit = ph.critical_locale.map(|l| l.to_string()).unwrap_or_else(|| "null".into());
+        let _ = write!(
+            out,
+            "{{\"op\":\"{}\",\"phase\":\"{}\",\"count\":{},\"seconds\":{},\"share\":{share:.6},\"slack\":{},\"critical_locale\":{crit},\"imbalance\":{:.6},\"latency\":{}}}",
+            ph.op,
+            ph.phase,
+            ph.count,
+            sec(ph.seconds),
+            sec(ph.slack),
+            ph.imbalance,
+            hist_json(&ph.latency, secs_e)
+        );
+    }
+    let _ = write!(
+        out,
+        "]}},\"comm_matrix\":{{\"locales\":{},\"total_msgs\":{},\"total_bytes\":{},\"unattributed_msgs\":{},\"unattributed_bytes\":{},\"msgs\":{},\"bytes\":{}}},",
+        p.comm.locales,
+        p.comm.total_msgs(),
+        p.comm.total_bytes(),
+        p.comm.unattributed_msgs,
+        p.comm.unattributed_bytes,
+        u64_matrix_json(&p.comm.msgs, p.comm.locales),
+        u64_matrix_json(&p.comm.bytes, p.comm.locales)
+    );
+    let _ = write!(out, "\"msg_sizes\":{}", hist_json(&p.msg_sizes, fmt_bytes_bound));
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::Counters;
+    use crate::trace::{CommSummary, TraceRecorder};
+
+    /// Two ops on a 2-locale machine: op `a` with phases `g` (imbalanced
+    /// compute) and `s` (comm from L0 to L1), then op `b` with one
+    /// balanced phase.
+    fn sample_trace() -> Trace {
+        let r = TraceRecorder::new();
+        let attrs = |pairs: &[(&str, &str)]| -> Vec<(String, String)> {
+            pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        };
+        let c = Counters::default();
+
+        let op_a = r.span(
+            None,
+            "a",
+            SpanKind::Op,
+            None,
+            0.0,
+            10.0,
+            0,
+            c,
+            attrs(&[("locales", "2")]),
+            None,
+        );
+        let g = r.span(Some(op_a), "g", SpanKind::Phase, None, 0.0, 6.0, 0, c, vec![], None);
+        r.span(Some(g), "g", SpanKind::LocaleCompute, Some(0), 0.0, 2.0, 0, c, vec![], None);
+        r.span(Some(g), "g", SpanKind::LocaleCompute, Some(1), 0.0, 6.0, 0, c, vec![], None);
+        let s = r.span(Some(op_a), "s", SpanKind::Phase, None, 6.0, 4.0, 0, c, vec![], None);
+        r.span(
+            Some(s),
+            "s",
+            SpanKind::LocaleComm,
+            Some(0),
+            6.0,
+            4.0,
+            0,
+            c,
+            attrs(&[("dst1_msgs", "4"), ("dst1_bytes", "4096")]),
+            Some(CommSummary { bulk_msgs: 4, bytes: 4096, peers: 1, ..Default::default() }),
+        );
+
+        let op_b = r.span(
+            None,
+            "b",
+            SpanKind::Op,
+            None,
+            10.0,
+            2.0,
+            0,
+            c,
+            attrs(&[("locales", "2")]),
+            None,
+        );
+        let w = r.span(Some(op_b), "w", SpanKind::Phase, None, 10.0, 2.0, 0, c, vec![], None);
+        r.span(Some(w), "w", SpanKind::LocaleCompute, Some(0), 10.0, 2.0, 0, c, vec![], None);
+        r.span(Some(w), "w", SpanKind::LocaleCompute, Some(1), 10.0, 2.0, 0, c, vec![], None);
+        r.advance(12.0);
+        r.snapshot()
+    }
+
+    #[test]
+    fn busy_comm_idle_and_imbalance() {
+        let p = profile(&sample_trace());
+        assert_eq!(p.locales, 2);
+        assert_eq!(p.sim_end, 12.0);
+        // L0: 2 busy (g) + 2 busy (w) + 4 comm (s) = 8 work, 4 idle.
+        assert_eq!(p.locale_totals[0].busy, 4.0);
+        assert_eq!(p.locale_totals[0].comm, 4.0);
+        assert_eq!(p.locale_totals[0].idle, 4.0);
+        // L1: 6 + 2 busy, no comm, 4 idle.
+        assert_eq!(p.locale_totals[1].busy, 8.0);
+        assert_eq!(p.locale_totals[1].comm, 0.0);
+        assert_eq!(p.locale_totals[1].idle, 4.0);
+        assert!((p.imbalance() - 1.0).abs() < 1e-12, "equal work: balanced");
+
+        let op_a = &p.ops[0];
+        assert_eq!(op_a.name, "a");
+        assert_eq!(op_a.count, 1);
+        // op a work: L0 = 2+4 = 6, L1 = 6; balanced overall...
+        assert!((op_a.imbalance - 1.0).abs() < 1e-12);
+        // ...but phase g alone is imbalanced 6 / mean(4) = 1.5.
+        let g = p.phases.iter().find(|ph| ph.phase == "g").unwrap();
+        assert!((g.imbalance - 1.5).abs() < 1e-12);
+        assert_eq!(g.critical_locale, Some(1));
+    }
+
+    #[test]
+    fn critical_path_sums_to_makespan() {
+        let p = profile(&sample_trace());
+        assert!(p.uncovered.abs() < 1e-12);
+        assert!((p.path_seconds - p.sim_end).abs() < 1e-9);
+        // Phase g's slack: 6.0 - max-locale 6.0 = 0.
+        let g = p.phases.iter().find(|ph| ph.phase == "g").unwrap();
+        assert!(g.slack.abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_matrix_reconstructs_pairs_and_totals() {
+        let p = profile(&sample_trace());
+        assert_eq!(p.comm.at(0, 1), (4, 4096));
+        assert_eq!(p.comm.at(1, 0), (0, 0));
+        assert_eq!(p.comm.total_bytes(), 4096);
+        assert_eq!(p.comm.total_msgs(), 4);
+        assert_eq!(p.comm.unattributed_bytes, 0);
+        // avg message size 1024 B -> bucket [1024, 2048), p50 bound 2048.
+        assert_eq!(p.msg_sizes.percentile(0.5), 2048.0);
+    }
+
+    #[test]
+    fn comm_without_dst_attrs_is_kept_unattributed() {
+        let r = TraceRecorder::new();
+        let c = Counters::default();
+        let op = r.span(None, "o", SpanKind::Op, None, 0.0, 1.0, 0, c, vec![], None);
+        let ph = r.span(Some(op), "p", SpanKind::Phase, None, 0.0, 1.0, 0, c, vec![], None);
+        r.span(
+            Some(ph),
+            "p",
+            SpanKind::LocaleComm,
+            Some(0),
+            0.0,
+            1.0,
+            0,
+            c,
+            vec![],
+            Some(CommSummary { fine_msgs: 10, bytes: 80, peers: 1, ..Default::default() }),
+        );
+        let p = profile(&r.snapshot());
+        assert_eq!(p.comm.unattributed_msgs, 10);
+        assert_eq!(p.comm.unattributed_bytes, 80);
+        assert_eq!(p.comm.total_bytes(), 80, "legacy traffic still counts toward the total");
+    }
+
+    #[test]
+    fn empty_trace_profiles_to_zeroes() {
+        let p = profile(&Trace::default());
+        assert_eq!(p.sim_end, 0.0);
+        assert_eq!(p.locales, 0);
+        assert!(p.ops.is_empty());
+        assert!(p.phases.is_empty());
+        assert_eq!(p.path_seconds, 0.0);
+        assert_eq!(p.comm.total_bytes(), 0);
+        assert_eq!(p.imbalance(), 1.0);
+        // All three renderers must not panic on the degenerate input.
+        assert!(render_text(&p).contains("0 spans"));
+        assert!(render_markdown(&p).contains("Trace profile"));
+        assert!(render_json(&p).contains("\"gblas-profile-v1\""));
+    }
+
+    #[test]
+    fn instants_only_trace_shows_uncovered_time() {
+        let r = TraceRecorder::new();
+        r.advance(3.0);
+        r.instant("tick", None, vec![]);
+        let p = profile(&r.snapshot());
+        assert_eq!(p.sim_end, 3.0);
+        assert_eq!(p.path_seconds, 0.0);
+        assert_eq!(p.uncovered, 3.0);
+    }
+
+    #[test]
+    fn log_histogram_percentiles_are_bucket_bounds() {
+        let mut h = LogHistogram::default();
+        for _ in 0..90 {
+            h.add(100.0, 1); // bucket [64,128)
+        }
+        h.add(1000.0, 10); // bucket [512,1024)
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(0.5), 128.0);
+        assert_eq!(h.percentile(0.9), 128.0);
+        assert_eq!(h.percentile(0.99), 1024.0);
+        assert_eq!(h.percentile(1.0), 1024.0);
+        // exact powers of two land in their own bucket
+        let mut e = LogHistogram::default();
+        e.add(1024.0, 1);
+        assert_eq!(e.percentile(1.0), 2048.0);
+        // weight 0 and non-positive values are safe
+        e.add(5.0, 0);
+        e.add(0.0, 3);
+        assert_eq!(e.percentile(0.25), 0.0);
+    }
+
+    #[test]
+    fn renderers_are_deterministic_and_parse() {
+        let p = profile(&sample_trace());
+        assert_eq!(render_text(&p), render_text(&p));
+        assert_eq!(render_json(&p), render_json(&p));
+        let parsed = crate::trace::sink::parse_json(&render_json(&p)).expect("profile JSON parses");
+        assert_eq!(parsed.get("schema").and_then(|v| v.as_str()), Some("gblas-profile-v1"));
+        let sim_end = parsed.get("sim_end").and_then(|v| v.as_num()).unwrap();
+        assert!((sim_end - 12.0).abs() < 1e-9);
+        let text = render_text(&p);
+        assert!(text.contains("communication matrix"));
+        assert!(text.contains("critical path"));
+        assert!(text.contains("a/g"));
+    }
+}

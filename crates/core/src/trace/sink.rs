@@ -272,6 +272,31 @@ pub fn summary(trace: &Trace) -> String {
             comm.fine_msgs, comm.fine_dependent_msgs, comm.bulk_msgs, comm.bytes
         );
     }
+
+    // Workspace-pool reuse, aggregated from the `ws_*` attrs distributed
+    // ops stamp on their spans — pooled runs show their hit rate without
+    // a separate metrics dump.
+    let mut ws = [0u64; 4]; // pool hits, pool misses, allocs, alloc bytes
+    for s in trace.spans.iter().filter(|s| s.kind == SpanKind::Op) {
+        for (k, v) in &s.attrs {
+            let slot = match k.as_str() {
+                "ws_pool_hits" => 0,
+                "ws_pool_misses" => 1,
+                "ws_allocs" => 2,
+                "ws_alloc_bytes" => 3,
+                _ => continue,
+            };
+            ws[slot] += v.parse::<u64>().unwrap_or(0);
+        }
+    }
+    if ws.iter().any(|&v| v > 0) {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "workspace: {} pool hits, {} pool misses, {} allocs, {} bytes allocated",
+            ws[0], ws[1], ws[2], ws[3]
+        );
+    }
     if !trace.instants.is_empty() {
         let _ = writeln!(out);
         let _ = writeln!(out, "events:");
@@ -572,74 +597,81 @@ pub fn from_jsonl(text: &str) -> Result<Trace, String> {
         if line.is_empty() {
             continue;
         }
-        let obj = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        let ty = obj
-            .get("type")
-            .and_then(JsonValue::as_str)
-            .ok_or_else(|| format!("line {}: missing 'type'", lineno + 1))?;
-        match ty {
-            "span" => {
-                let counters_kv = attrs_field(&obj, "counters");
-                let counters = Counters {
-                    elems: u64_of(&counters_kv, "elems"),
-                    flops: u64_of(&counters_kv, "flops"),
-                    search_probes: u64_of(&counters_kv, "search_probes"),
-                    atomics: u64_of(&counters_kv, "atomics"),
-                    sort_elems: u64_of(&counters_kv, "sort_elems"),
-                    spa_touches: u64_of(&counters_kv, "spa_touches"),
-                    rand_access: u64_of(&counters_kv, "rand_access"),
-                    bytes_moved: u64_of(&counters_kv, "bytes_moved"),
-                    tasks: u64_of(&counters_kv, "tasks"),
-                    regions: u64_of(&counters_kv, "regions"),
-                };
-                let comm = match obj.get("comm") {
-                    Some(JsonValue::Obj(_)) => {
-                        let kv = attrs_field(&obj, "comm");
-                        Some(CommSummary {
-                            fine_msgs: u64_of(&kv, "fine_msgs"),
-                            fine_dependent_msgs: u64_of(&kv, "fine_dependent_msgs"),
-                            bulk_msgs: u64_of(&kv, "bulk_msgs"),
-                            bytes: u64_of(&kv, "bytes"),
-                            peers: u64_of(&kv, "peers"),
-                        })
-                    }
-                    _ => None,
-                };
-                trace.spans.push(super::Span {
-                    id: num_field(&obj, "id")? as u64,
-                    parent: obj.get("parent").and_then(JsonValue::as_num).map(|n| n as u64),
-                    name: obj
-                        .get("name")
-                        .and_then(JsonValue::as_str)
-                        .ok_or_else(|| format!("line {}: missing 'name'", lineno + 1))?
-                        .to_string(),
-                    kind: kind_from_str(obj.get("kind").and_then(JsonValue::as_str).unwrap_or(""))
-                        .map_err(|e| format!("line {}: {e}", lineno + 1))?,
-                    locale: opt_usize(&obj, "locale"),
-                    sim_start: num_field(&obj, "sim_start")?,
-                    sim_dur: num_field(&obj, "sim_dur")?,
-                    wall_ns: num_field(&obj, "wall_ns")? as u64,
-                    counters,
-                    attrs: attrs_field(&obj, "attrs"),
-                    comm,
-                });
-            }
-            "instant" => {
-                trace.instants.push(super::Instant {
-                    name: obj
-                        .get("name")
-                        .and_then(JsonValue::as_str)
-                        .ok_or_else(|| format!("line {}: missing 'name'", lineno + 1))?
-                        .to_string(),
-                    sim_ts: num_field(&obj, "sim_ts")?,
-                    locale: opt_usize(&obj, "locale"),
-                    attrs: attrs_field(&obj, "attrs"),
-                });
-            }
-            other => return Err(format!("line {}: unknown type '{other}'", lineno + 1)),
-        }
+        // Every failure — malformed JSON, missing field, bad kind — names
+        // the 1-based line it came from, so a truncated or corrupted
+        // stream points straight at the damage.
+        parse_jsonl_line(line, &mut trace).map_err(|e| format!("line {}: {e}", lineno + 1))?;
     }
     Ok(trace)
+}
+
+/// Parse one (non-blank, trimmed) JSONL record into `trace`. Errors are
+/// unprefixed; [`from_jsonl`] adds the line number.
+fn parse_jsonl_line(line: &str, trace: &mut Trace) -> Result<(), String> {
+    let obj = parse_json(line)?;
+    let ty =
+        obj.get("type").and_then(JsonValue::as_str).ok_or_else(|| "missing 'type'".to_string())?;
+    match ty {
+        "span" => {
+            let counters_kv = attrs_field(&obj, "counters");
+            let counters = Counters {
+                elems: u64_of(&counters_kv, "elems"),
+                flops: u64_of(&counters_kv, "flops"),
+                search_probes: u64_of(&counters_kv, "search_probes"),
+                atomics: u64_of(&counters_kv, "atomics"),
+                sort_elems: u64_of(&counters_kv, "sort_elems"),
+                spa_touches: u64_of(&counters_kv, "spa_touches"),
+                rand_access: u64_of(&counters_kv, "rand_access"),
+                bytes_moved: u64_of(&counters_kv, "bytes_moved"),
+                tasks: u64_of(&counters_kv, "tasks"),
+                regions: u64_of(&counters_kv, "regions"),
+            };
+            let comm = match obj.get("comm") {
+                Some(JsonValue::Obj(_)) => {
+                    let kv = attrs_field(&obj, "comm");
+                    Some(CommSummary {
+                        fine_msgs: u64_of(&kv, "fine_msgs"),
+                        fine_dependent_msgs: u64_of(&kv, "fine_dependent_msgs"),
+                        bulk_msgs: u64_of(&kv, "bulk_msgs"),
+                        bytes: u64_of(&kv, "bytes"),
+                        peers: u64_of(&kv, "peers"),
+                    })
+                }
+                _ => None,
+            };
+            trace.spans.push(super::Span {
+                id: num_field(&obj, "id")? as u64,
+                parent: obj.get("parent").and_then(JsonValue::as_num).map(|n| n as u64),
+                name: obj
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| "missing 'name'".to_string())?
+                    .to_string(),
+                kind: kind_from_str(obj.get("kind").and_then(JsonValue::as_str).unwrap_or(""))?,
+                locale: opt_usize(&obj, "locale"),
+                sim_start: num_field(&obj, "sim_start")?,
+                sim_dur: num_field(&obj, "sim_dur")?,
+                wall_ns: num_field(&obj, "wall_ns")? as u64,
+                counters,
+                attrs: attrs_field(&obj, "attrs"),
+                comm,
+            });
+        }
+        "instant" => {
+            trace.instants.push(super::Instant {
+                name: obj
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| "missing 'name'".to_string())?
+                    .to_string(),
+                sim_ts: num_field(&obj, "sim_ts")?,
+                locale: opt_usize(&obj, "locale"),
+                attrs: attrs_field(&obj, "attrs"),
+            });
+        }
+        other => return Err(format!("unknown type '{other}'")),
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -787,5 +819,92 @@ mod tests {
         assert_eq!(v.get("b"), Some(&JsonValue::Bool(true)));
         assert_eq!(v.get("n"), Some(&JsonValue::Null));
         assert!(parse_json("{\"a\":1} trailing").is_err());
+    }
+
+    #[test]
+    fn parser_resolves_unicode_and_control_escapes() {
+        let v = parse_json(r#"{"s":"tab\tquote\"uAé end"}"#).unwrap();
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("tab\tquote\"uAé end"));
+        // a dangling escape is an error, not a panic
+        assert!(parse_json(r#"{"s":"oops\"#).is_err());
+        assert!(parse_json(r#"{"s":"bad\q"}"#).is_err());
+    }
+
+    #[test]
+    fn parser_accepts_exponent_floats_and_whitespace() {
+        let v = parse_json("  {\"a\": 1.5e-3 , \"b\": -2E+4, \"c\": 0.0}  \t\n").unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_num), Some(0.0015));
+        assert_eq!(v.get("b").and_then(JsonValue::as_num), Some(-20000.0));
+        assert_eq!(v.get("c").and_then(JsonValue::as_num), Some(0.0));
+    }
+
+    #[test]
+    fn from_jsonl_tolerates_blank_and_padded_lines() {
+        let jsonl = jsonl(&sample_trace());
+        // pad every line with trailing whitespace and sprinkle blanks
+        let padded: String =
+            jsonl.lines().map(|l| format!("{l}   \n\n")).collect::<Vec<_>>().join("");
+        let t = from_jsonl(&padded).expect("padded JSONL still parses");
+        assert_eq!(t.spans.len(), sample_trace().spans.len());
+        assert_eq!(t.instants.len(), sample_trace().instants.len());
+    }
+
+    #[test]
+    fn from_jsonl_names_the_bad_line_in_errors() {
+        let jsonl = jsonl(&sample_trace());
+        let n_lines = jsonl.lines().count();
+        // truncate the final line mid-object, as a killed process would
+        let truncated = &jsonl[..jsonl.len() - 20];
+        let err = from_jsonl(truncated).expect_err("truncated trailer must fail");
+        assert!(
+            err.starts_with(&format!("line {n_lines}:")),
+            "error should name the truncated line: {err}"
+        );
+        // a structurally-valid line missing required fields also names itself
+        let err = from_jsonl("{\"type\":\"span\"}").expect_err("span without fields");
+        assert!(err.starts_with("line 1:"), "got: {err}");
+        let err = from_jsonl("{\"no_type\":1}").expect_err("missing type");
+        assert!(err.contains("line 1") && err.contains("type"), "got: {err}");
+    }
+
+    #[test]
+    fn summary_reports_workspace_reuse_from_ws_attrs() {
+        let r = TraceRecorder::new();
+        r.span(
+            None,
+            "op_a",
+            SpanKind::Op,
+            None,
+            0.0,
+            1.0,
+            0,
+            Counters::default(),
+            vec![
+                ("ws_pool_hits".to_string(), "7".to_string()),
+                ("ws_pool_misses".to_string(), "2".to_string()),
+                ("ws_allocs".to_string(), "2".to_string()),
+                ("ws_alloc_bytes".to_string(), "4096".to_string()),
+            ],
+            None,
+        );
+        r.span(
+            None,
+            "op_b",
+            SpanKind::Op,
+            None,
+            1.0,
+            1.0,
+            0,
+            Counters::default(),
+            vec![("ws_pool_hits".to_string(), "3".to_string())],
+            None,
+        );
+        let text = summary(&r.snapshot());
+        assert!(
+            text.contains("workspace: 10 pool hits, 2 pool misses, 2 allocs, 4096 bytes allocated"),
+            "got: {text}"
+        );
+        // traces without ws attrs keep the old output exactly
+        assert!(!summary(&sample_trace()).contains("workspace:"));
     }
 }

@@ -193,7 +193,9 @@ impl DistCtx {
     /// the CLI's metrics dump reads. Called by [`OpTrace::finish`], so a
     /// traced run's `pool_hits`/`pool_misses`/`allocs`/`alloc_bytes`
     /// match [`DistCtx::workspace_stats`] after every distributed op.
-    pub fn sync_workspace_metrics(&self) {
+    /// Returns the delta charged by this call (what the op consumed since
+    /// the previous sync) so callers can stamp it onto the op's span.
+    pub fn sync_workspace_metrics(&self) -> WorkspaceStats {
         let now = self.workspace_stats();
         let mut synced = self.ws_synced.lock();
         let d = now.saturating_sub(&synced);
@@ -203,6 +205,7 @@ impl DistCtx {
         self.metrics.pool_misses(d.pool_misses);
         self.metrics.allocs(d.allocs);
         self.metrics.alloc_bytes(d.alloc_bytes);
+        d
     }
 
     /// Run one superstep SPMD-style: `f(l)` once per locale, results in
@@ -363,6 +366,7 @@ impl DistCtx {
             let mut per_locale_seconds = vec![0.0f64; self.machine.locales()];
             let mut per_locale_summary = vec![CommSummary::default(); self.machine.locales()];
             let mut peers: Vec<Vec<usize>> = vec![Vec::new(); self.machine.locales()];
+            let mut per_pair: Vec<(usize, usize, u64, u64)> = Vec::new();
             for e in &evs {
                 let intra = self.machine.same_node(e.src, e.dst);
                 let t = match e.kind {
@@ -396,14 +400,23 @@ impl DistCtx {
                 if !peers[e.src].contains(&e.dst) {
                     peers[e.src].push(e.dst);
                 }
+                match per_pair.iter_mut().find(|(ps, pd, _, _)| *ps == e.src && *pd == e.dst) {
+                    Some(p) => {
+                        p.2 += e.msgs;
+                        p.3 += e.bytes;
+                    }
+                    None => per_pair.push((e.src, e.dst, e.msgs, e.bytes)),
+                }
             }
             for (s, p) in per_locale_summary.iter_mut().zip(&peers) {
                 s.peers = p.len() as u64;
             }
+            per_pair.sort_unstable_by_key(|&(s, d, _, _)| (s, d));
             out.push(CommPhaseCost {
                 phase: phase.to_string(),
                 per_locale_seconds,
                 per_locale_summary,
+                per_pair,
             });
         }
         out
@@ -414,7 +427,7 @@ impl DistCtx {
     pub fn price_comm(&self, events: &[CommEvent]) -> SimReport {
         let mut report = SimReport::default();
         for c in self.price_comm_detailed(events) {
-            report.push(&c.phase, c.max_seconds());
+            report.push_attributed(&c.phase, c.max_seconds(), c.max_locale());
         }
         report
     }
@@ -450,6 +463,9 @@ pub struct CommPhaseCost {
     pub per_locale_seconds: Vec<f64>,
     /// What each locale initiated (messages by kind, bytes, peers).
     pub per_locale_summary: Vec<CommSummary>,
+    /// Pairwise `(src, dst, msgs, bytes)` traffic, sorted by `(src, dst)`
+    /// — the raw material of the profiler's locale×locale comm matrix.
+    pub per_pair: Vec<(usize, usize, u64, u64)>,
 }
 
 impl CommPhaseCost {
@@ -457,6 +473,24 @@ impl CommPhaseCost {
     pub fn max_seconds(&self) -> f64 {
         self.per_locale_seconds.iter().cloned().fold(0.0, f64::max)
     }
+
+    /// The locale whose transfers dominated this phase (lowest index on
+    /// ties), `None` when nothing moved.
+    pub fn max_locale(&self) -> Option<usize> {
+        argmax_positive(&self.per_locale_seconds)
+    }
+}
+
+/// Index of the strictly-largest positive entry (first on ties), `None`
+/// when every entry is zero — the shared "who was slowest" convention.
+fn argmax_positive(values: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v > 0.0 && best.map(|(_, bv)| v > bv).unwrap_or(true) {
+            best = Some((i, v));
+        }
+    }
+    best.map(|(i, _)| i)
 }
 
 /// Per-phase compute detail buffered while an op runs (only when tracing).
@@ -539,7 +573,11 @@ impl OpTrace<'_> {
         profiles: &[Profile],
     ) -> &mut Self {
         let per_locale = self.dctx.price_compute_per_locale(profile_phase, profiles);
-        self.report.push(report_phase, per_locale.iter().cloned().fold(0.0, f64::max));
+        self.report.push_attributed(
+            report_phase,
+            per_locale.iter().cloned().fold(0.0, f64::max),
+            argmax_positive(&per_locale),
+        );
         if self.detail.is_some() {
             let counters: Vec<Counters> = profiles.iter().map(|p| p.phase(profile_phase)).collect();
             let d = self.phase_detail(report_phase);
@@ -557,24 +595,31 @@ impl OpTrace<'_> {
     pub fn compute_folded(&mut self, report_phase: &str, profiles: &[Profile]) -> &mut Self {
         let folded = self.dctx.price_compute_all(profiles, |_| report_phase.to_string());
         self.report.merge(&folded);
+        // Per-locale folded totals: the attribution (always) and the
+        // traced segment detail both need them. The merge above stays the
+        // pricing path so report seconds accumulate bit-identically to
+        // the manual `price_compute_all` + `merge` assembly.
+        let mut per_locale: Vec<(f64, Counters)> = vec![(0.0, Counters::default()); profiles.len()];
+        let mut names: Vec<String> = Vec::new();
+        for p in profiles {
+            for n in p.phase_names() {
+                if !names.iter().any(|m| m == n) {
+                    names.push(n.to_string());
+                }
+            }
+        }
+        for n in &names {
+            let secs = self.dctx.price_compute_per_locale(n, profiles);
+            for (l, s) in secs.into_iter().enumerate() {
+                per_locale[l].0 += s;
+                per_locale[l].1.merge(&profiles[l].phase(n));
+            }
+        }
+        let work: Vec<f64> = per_locale.iter().map(|(s, _)| *s).collect();
+        if let Some(l) = argmax_positive(&work) {
+            self.report.attribute(report_phase, l, work[l]);
+        }
         if self.detail.is_some() {
-            let mut per_locale: Vec<(f64, Counters)> =
-                vec![(0.0, Counters::default()); profiles.len()];
-            let mut names: Vec<String> = Vec::new();
-            for p in profiles {
-                for n in p.phase_names() {
-                    if !names.iter().any(|m| m == n) {
-                        names.push(n.to_string());
-                    }
-                }
-            }
-            for n in &names {
-                let secs = self.dctx.price_compute_per_locale(n, profiles);
-                for (l, s) in secs.into_iter().enumerate() {
-                    per_locale[l].0 += s;
-                    per_locale[l].1.merge(&profiles[l].phase(n));
-                }
-            }
             let d = self.phase_detail(report_phase);
             for (l, (sec, c)) in per_locale.into_iter().enumerate() {
                 d.segments.push((l, sec, c));
@@ -600,12 +645,12 @@ impl OpTrace<'_> {
         let OpTrace { dctx, name, mut attrs, nnz, mut report, detail, wall_start } = self;
         let comm_costs = dctx.price_comm_detailed(&dctx.comm.take_events());
         for c in &comm_costs {
-            report.push(&c.phase, c.max_seconds());
+            report.push_attributed(&c.phase, c.max_seconds(), c.max_locale());
         }
 
         dctx.metrics.ops_executed(1);
         dctx.metrics.nnz_processed(nnz);
-        dctx.sync_workspace_metrics();
+        let ws = dctx.sync_workspace_metrics();
 
         if let Some(detail) = detail {
             let recorder = &dctx.recorder;
@@ -619,6 +664,16 @@ impl OpTrace<'_> {
             }
             if !attrs.iter().any(|(k, _)| k == "locales") {
                 attrs.push(("locales".to_string(), dctx.locales().to_string()));
+            }
+            // Workspace-pool accounting for this op, so the summary sink
+            // (and any JSONL consumer) sees pool reuse without a separate
+            // metrics dump. Deterministic across executors: pools are
+            // per-locale and the workload is identical.
+            if ws != WorkspaceStats::default() {
+                attrs.push(("ws_pool_hits".to_string(), ws.pool_hits.to_string()));
+                attrs.push(("ws_pool_misses".to_string(), ws.pool_misses.to_string()));
+                attrs.push(("ws_allocs".to_string(), ws.allocs.to_string()));
+                attrs.push(("ws_alloc_bytes".to_string(), ws.alloc_bytes.to_string()));
             }
             let op_id = recorder.span(
                 None,
@@ -676,7 +731,17 @@ impl OpTrace<'_> {
                     // (plus spawn) is done — the bulk-synchronous picture.
                     let comm_start = phase_start + compute_dur;
                     for (l, sec) in c.per_locale_seconds.iter().enumerate() {
-                        if *sec > 0.0 {
+                        if *sec > 0.0 || !c.per_locale_summary[l].is_empty() {
+                            // Per-destination traffic attrs (`dst3_msgs`,
+                            // `dst3_bytes`, sorted by destination): what the
+                            // profiler's comm matrix is rebuilt from.
+                            let mut comm_attrs = Vec::new();
+                            for &(src, dst, msgs, bytes) in &c.per_pair {
+                                if src == l {
+                                    comm_attrs.push((format!("dst{dst}_msgs"), msgs.to_string()));
+                                    comm_attrs.push((format!("dst{dst}_bytes"), bytes.to_string()));
+                                }
+                            }
                             recorder.span(
                                 Some(phase_id),
                                 pname,
@@ -686,7 +751,7 @@ impl OpTrace<'_> {
                                 *sec,
                                 0,
                                 Counters::default(),
-                                Vec::new(),
+                                comm_attrs,
                                 Some(c.per_locale_summary[l].clone()),
                             );
                             spans += 1;
