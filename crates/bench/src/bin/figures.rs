@@ -9,7 +9,9 @@
 //!   `ablations` for the design-choice sweeps, `algorithms` for the
 //!   node sweep of the newly-distributed analytics (triangles, k-core,
 //!   MIS, betweenness via the backend trait), `imbalance` for the trace
-//!   profiler's load-imbalance factor vs locale count (BFS and PageRank);
+//!   profiler's load-imbalance factor vs locale count (BFS and PageRank),
+//!   `serving` for the query-serving throughput-vs-batch-size sweep
+//!   (batched multi-source BFS vs the k-loop baseline);
 //!   `all` (default) runs everything.
 //! * `--scale S` — divide the paper's large input sizes (1M/10M/100M) by
 //!   `S` for quick runs; default 1 (full paper sizes, needs ~8 GB RAM and
@@ -31,6 +33,7 @@ fn main() {
     let mut ablations = true;
     let mut algorithms = true;
     let mut imbalance = true;
+    let mut serving = true;
     let mut scale = 1usize;
     let mut out = PathBuf::from("results");
     let mut trace_out: Option<String> = None;
@@ -46,21 +49,31 @@ fn main() {
                     figs = Vec::new();
                     algorithms = false;
                     imbalance = false;
+                    serving = false;
                 } else if v == "algorithms" {
                     figs = Vec::new();
                     ablations = false;
                     imbalance = false;
+                    serving = false;
                 } else if v == "imbalance" {
                     figs = Vec::new();
                     ablations = false;
                     algorithms = false;
+                    serving = false;
+                } else if v == "serving" {
+                    figs = Vec::new();
+                    ablations = false;
+                    algorithms = false;
+                    imbalance = false;
                 } else if v != "all" {
                     figs = vec![v.parse().expect(
-                        "--fig expects 1..10, 'ablations', 'algorithms', 'imbalance' or 'all'",
+                        "--fig expects 1..10, 'ablations', 'algorithms', 'imbalance', \
+                         'serving' or 'all'",
                     )];
                     ablations = false;
                     algorithms = false;
                     imbalance = false;
+                    serving = false;
                 }
             }
             "--scale" => {
@@ -84,8 +97,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig N|ablations|algorithms|imbalance|all] [--scale S] \
-                     [--out DIR] [--trace FILE] [--spmspv-merge sort|bucket]"
+                    "usage: figures [--fig N|ablations|algorithms|imbalance|serving|all] \
+                     [--scale S] [--out DIR] [--trace FILE] [--spmspv-merge sort|bucket]"
                 );
                 return;
             }
@@ -146,6 +159,17 @@ fn main() {
             }
         }
         eprintln!("# imbalance sweep regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    if serving {
+        let t0 = std::time::Instant::now();
+        for fig in gblas_bench::serve::fig_serving(scale) {
+            fig.print();
+            match fig.write_csv(&out) {
+                Ok(path) => println!("(wrote {})", path.display()),
+                Err(e) => eprintln!("(csv write failed: {e})"),
+            }
+        }
+        eprintln!("# serving sweep regenerated in {:.1}s", t0.elapsed().as_secs_f64());
     }
     if let (Some(path), Some((recorder, metrics))) = (trace_out, tracing) {
         let trace = recorder.snapshot();

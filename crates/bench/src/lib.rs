@@ -22,6 +22,7 @@
 
 pub mod figs;
 pub mod output;
+pub mod serve;
 pub mod workloads;
 
 pub use output::{FigPoint, Figure, Series};

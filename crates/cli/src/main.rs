@@ -15,6 +15,11 @@
 //!   kcore       k-core decomposition (requires symmetric input; use --symmetrize)
 //!   mis         maximal independent set, seeded by --seed (requires symmetric input)
 //!   bc          betweenness centrality from --source (or all if --source omitted and n <= 2000)
+//!   serve-bench query-serving throughput: batched multi-source BFS vs a
+//!               one-query-at-a-time loop over a generated request stream
+//!               (--requests N --batch K --window SECONDS
+//!               --arrival uniform|poisson|bursty:RATE --verify); simulated
+//!               cluster clock with --simulate NODES, wall clock otherwise
 //!   trace       summarize a saved JSONL trace (--input trace.jsonl)
 //!   profile     analyze a saved JSONL trace (--input trace.jsonl
 //!               [--format text|markdown|json]): per-locale busy/comm/idle,
@@ -48,7 +53,8 @@ use gblas_dist::ops::spmspv::CommStrategy;
 use gblas_dist::{DistBackend, DistCsrMatrix, DistCtx, ProcGrid};
 use gblas_sim::MachineConfig;
 
-const USAGE_COMMANDS: &str = "info|bfs|sssp|pagerank|cc|triangles|kcore|mis|bc|trace|profile";
+const USAGE_COMMANDS: &str =
+    "info|bfs|sssp|pagerank|cc|triangles|kcore|mis|bc|serve-bench|trace|profile";
 
 struct Args {
     command: String,
@@ -62,6 +68,11 @@ struct Args {
     trace_out: Option<String>,
     merge: MergeStrategy,
     format: String,
+    requests: usize,
+    batch: usize,
+    window: f64,
+    arrival: String,
+    verify: bool,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -79,6 +90,11 @@ fn parse_args() -> std::result::Result<Args, String> {
         trace_out: None,
         merge: MergeStrategy::default(),
         format: "text".to_string(),
+        requests: 64,
+        batch: 8,
+        window: 0.005,
+        arrival: "poisson:2000".to_string(),
+        verify: false,
     };
     let mut rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -128,6 +144,26 @@ fn parse_args() -> std::result::Result<Args, String> {
                 args.merge = MergeStrategy::parse(&v)
                     .ok_or_else(|| format!("bad --spmspv-merge '{v}' (sort|bucket)"))?;
                 i += 2;
+            }
+            "--requests" => {
+                args.requests = need(i, &mut rest)?.parse().map_err(|_| "bad --requests")?;
+                i += 2;
+            }
+            "--batch" => {
+                args.batch = need(i, &mut rest)?.parse().map_err(|_| "bad --batch")?;
+                i += 2;
+            }
+            "--window" => {
+                args.window = need(i, &mut rest)?.parse().map_err(|_| "bad --window")?;
+                i += 2;
+            }
+            "--arrival" => {
+                args.arrival = need(i, &mut rest)?;
+                i += 2;
+            }
+            "--verify" => {
+                args.verify = true;
+                i += 1;
             }
             "--symmetrize" => {
                 args.symmetrize = true;
@@ -268,7 +304,8 @@ fn degree_stats(a: &CsrMatrix<f64>) -> (usize, usize, f64) {
 /// Format the top-scoring vertices of a dense score vector.
 fn top_vertices(scores: &[f64], k: usize, fmt: impl Fn(f64) -> String) -> String {
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&x, &y| scores[y].partial_cmp(&scores[x]).unwrap());
+    // total_cmp: a NaN score (degenerate input) must not panic the CLI
+    order.sort_by(|&x, &y| scores[y].total_cmp(&scores[x]));
     let mut out = String::new();
     for (rank, &v) in order.iter().take(k).enumerate() {
         out.push_str(&format!("\n  #{:<2} vertex {:>8}  score {}", rank + 1, v, fmt(scores[v])));
@@ -360,6 +397,55 @@ fn run_algo<B: GblasBackend>(backend: &B, a: &B::Matrix<f64>, args: &Args) -> Re
     })
 }
 
+/// `serve-bench` subcommand: replay a generated query stream through the
+/// batched server and the one-query-at-a-time loop, and report QPS plus
+/// tail latency for both. With `--simulate NODES` the service times come
+/// from the distributed backend's simulated clock; otherwise from the
+/// shared backend's wall clock.
+fn serve_bench_cmd(a: &CsrMatrix<f64>, args: &Args) -> Result<()> {
+    use gblas_bench::serve;
+    let spec = serve::ArrivalSpec::parse(&args.arrival).ok_or_else(|| {
+        GblasError::InvalidArgument(format!(
+            "bad --arrival '{}' (uniform|poisson|bursty:RATE)",
+            args.arrival
+        ))
+    })?;
+    if args.batch == 0 {
+        return Err(GblasError::InvalidArgument("--batch must be at least 1".into()));
+    }
+    let requests = serve::generate_requests(args.requests, a.nrows(), spec, args.seed);
+    let policy = serve::ServePolicy::batch_window(args.batch, args.window);
+    println!(
+        "serving {} requests ({}), batch <= {}, window {:.1}ms",
+        args.requests,
+        args.arrival,
+        args.batch,
+        args.window * 1e3
+    );
+    let (batched, looped) = if let Some(nodes) = args.simulate {
+        let r = serve::serve_bench_dist(a, nodes, &requests, policy)?;
+        println!("clock: simulated ({} Edison nodes)", ProcGrid::square_for(nodes).locales());
+        r
+    } else {
+        let r = serve::serve_bench_shared(a, args.threads, &requests, policy)?;
+        println!("clock: wall ({} threads)", args.threads);
+        r
+    };
+    println!("{batched}");
+    println!("{looped}");
+    println!("batched/loop QPS: {:.2}x", batched.qps / looped.qps.max(f64::MIN_POSITIVE));
+    if args.verify {
+        let sources: Vec<usize> = requests.iter().map(|r| r.source).collect();
+        serve::verify_batched_equivalence(a, &sources, args.simulate.unwrap_or(4))?;
+        println!(
+            "verified: batched results bit-identical to single-source runs \
+             ({} queries, both backends)",
+            sources.len()
+        );
+    }
+    Ok(())
+}
+
 /// Pick the locale grid for `--simulate`. Triangles runs a sparse SUMMA,
 /// which needs a square grid, so its node count rounds down to a square.
 fn sim_grid(command: &str, nodes: usize) -> ProcGrid {
@@ -412,6 +498,10 @@ fn run() -> Result<()> {
         let (dmin, dmax, davg) = degree_stats(&a);
         println!("out-degree: min {dmin}, max {dmax}, mean {davg:.2}");
         return Ok(());
+    }
+
+    if args.command == "serve-bench" {
+        return serve_bench_cmd(&a, &args);
     }
 
     let t0 = std::time::Instant::now();

@@ -31,7 +31,7 @@
 //! are block-distributed with the output.
 
 use crate::algebra::{BinaryOp, ComMonoid, Monoid, Scalar, Semiring};
-use crate::container::{CsrMatrix, DenseVec, SparseVec};
+use crate::container::{CsrMatrix, DenseVec, SparseFrontier, SparseVec};
 use crate::error::Result;
 use crate::mask::VecMask;
 use crate::ops;
@@ -75,6 +75,9 @@ pub trait GblasBackend {
     type SparseVec<T: Scalar>;
     /// Dense vector in this backend's layout.
     type DenseVec<T: Scalar>;
+    /// Multi-source frontier (the CombBLAS 2.0 `n×k` sparse frontier
+    /// matrix): `k` per-source sparse vectors in this backend's layout.
+    type Frontier<T: Scalar>;
 
     /// Human-readable backend name (for traces and error messages).
     fn name(&self) -> &'static str;
@@ -181,6 +184,68 @@ pub trait GblasBackend {
         AddM: Monoid<C>,
         MulOp: BinaryOp<A, B, C>;
 
+    // ---- batched multi-source kernels --------------------------------
+
+    /// Build an `capacity×k` frontier from per-source entry lists
+    /// (unsorted; duplicate indices within one source are an error).
+    fn frontier_from_entries<T: Scalar>(
+        &self,
+        capacity: usize,
+        entries: Vec<Vec<(usize, T)>>,
+    ) -> Result<Self::Frontier<T>>;
+
+    /// Export every source's entries in ascending global index order.
+    fn frontier_entries<T: Scalar>(&self, f: &Self::Frontier<T>) -> Vec<Vec<(usize, T)>>;
+
+    /// Total stored entries across the batch (the loop-termination test).
+    fn frontier_nnz<T: Scalar>(&self, f: &Self::Frontier<T>) -> usize;
+
+    /// Batched BFS expansion — one masked-SpGEMM level step: row `s` of
+    /// the output is `f_s · A` under the **complement** of `visited[s]`
+    /// (source `s`'s not-yet-visited mask), with first-writer-wins parent
+    /// values. Per source, bit-identical to
+    /// [`GblasBackend::spmspv_first_visitor`] on that source alone.
+    fn expand_first_visitor<T: Scalar>(
+        &self,
+        a: &Self::Matrix<T>,
+        f: &Self::Frontier<usize>,
+        visited: &[Self::DenseVec<bool>],
+        opts: SpMSpVOpts,
+    ) -> Result<Self::Frontier<usize>>;
+
+    /// Batched semiring expansion (unmasked): row `s` of the output is
+    /// `y_s[j] = ⊕_i f_s[i] ⊗ A[i,j]`. Per source, bit-identical to
+    /// [`GblasBackend::spmspv_semiring`] on that source alone.
+    fn expand_semiring<A, B, C, AddM, MulOp>(
+        &self,
+        a: &Self::Matrix<B>,
+        f: &Self::Frontier<A>,
+        ring: &Semiring<AddM, MulOp>,
+        opts: SpMSpVOpts,
+    ) -> Result<Self::Frontier<C>>
+    where
+        A: Scalar,
+        B: Scalar,
+        C: Scalar,
+        AddM: Monoid<C>,
+        MulOp: BinaryOp<A, B, C>;
+
+    /// Batched dense SpMM in the column orientation:
+    /// `ys[s][j] = ⊕_i xs[s][i] ⊗ A[i,j]`. Per column, bit-identical to
+    /// [`GblasBackend::spmv`] on that column alone.
+    fn spmm_dense<A, B, C, AddM, MulOp>(
+        &self,
+        a: &Self::Matrix<B>,
+        xs: &[Self::DenseVec<A>],
+        ring: &Semiring<AddM, MulOp>,
+    ) -> Result<Vec<Self::DenseVec<C>>>
+    where
+        A: Scalar,
+        B: Scalar,
+        C: Scalar,
+        AddM: Monoid<C>,
+        MulOp: BinaryOp<A, B, C>;
+
     // ---- driver <-> backend data movement ----------------------------
 
     /// A dense vector of `len` copies of `fill`.
@@ -255,6 +320,7 @@ impl GblasBackend for SharedBackend<'_> {
     type Matrix<T: Scalar> = CsrMatrix<T>;
     type SparseVec<T: Scalar> = SparseVec<T>;
     type DenseVec<T: Scalar> = DenseVec<T>;
+    type Frontier<T: Scalar> = SparseFrontier<T>;
 
     fn name(&self) -> &'static str {
         "shared"
@@ -368,6 +434,65 @@ impl GblasBackend for SharedBackend<'_> {
         MulOp: BinaryOp<A, B, C>,
     {
         ops::spmv::spmv_col(a, x, ring, self.ctx)
+    }
+
+    fn frontier_from_entries<T: Scalar>(
+        &self,
+        capacity: usize,
+        entries: Vec<Vec<(usize, T)>>,
+    ) -> Result<SparseFrontier<T>> {
+        SparseFrontier::from_entries(capacity, entries)
+    }
+
+    fn frontier_entries<T: Scalar>(&self, f: &SparseFrontier<T>) -> Vec<Vec<(usize, T)>> {
+        f.to_entries()
+    }
+
+    fn frontier_nnz<T: Scalar>(&self, f: &SparseFrontier<T>) -> usize {
+        f.nnz()
+    }
+
+    fn expand_first_visitor<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        f: &SparseFrontier<usize>,
+        visited: &[DenseVec<bool>],
+        opts: SpMSpVOpts,
+    ) -> Result<SparseFrontier<usize>> {
+        ops::expand::expand_first_visitor(a, f, visited, opts, self.ctx)
+    }
+
+    fn expand_semiring<A, B, C, AddM, MulOp>(
+        &self,
+        a: &CsrMatrix<B>,
+        f: &SparseFrontier<A>,
+        ring: &Semiring<AddM, MulOp>,
+        opts: SpMSpVOpts,
+    ) -> Result<SparseFrontier<C>>
+    where
+        A: Scalar,
+        B: Scalar,
+        C: Scalar,
+        AddM: Monoid<C>,
+        MulOp: BinaryOp<A, B, C>,
+    {
+        ops::expand::expand_semiring(a, f, ring, opts, self.ctx)
+    }
+
+    fn spmm_dense<A, B, C, AddM, MulOp>(
+        &self,
+        a: &CsrMatrix<B>,
+        xs: &[DenseVec<A>],
+        ring: &Semiring<AddM, MulOp>,
+    ) -> Result<Vec<DenseVec<C>>>
+    where
+        A: Scalar,
+        B: Scalar,
+        C: Scalar,
+        AddM: Monoid<C>,
+        MulOp: BinaryOp<A, B, C>,
+    {
+        ops::expand::spmm_dense(a, xs, ring, self.ctx)
     }
 
     fn dense_filled<T: Scalar>(&self, len: usize, fill: T) -> DenseVec<T> {

@@ -11,15 +11,20 @@
 //!   not change the algorithm or its complexity).
 //! * [`CooMatrix`] — a triplet builder for assembling matrices before
 //!   conversion to CSR.
+//! * [`SparseFrontier`] — the CombBLAS-2.0-style `n×k` multi-source
+//!   frontier: `k` sparse vectors over one index space, one per source
+//!   in a batched traversal.
 
 mod coo;
 mod csc;
 mod csr;
 mod dense_vec;
+mod frontier;
 mod sparse_vec;
 
 pub use coo::{CooMatrix, DupPolicy};
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense_vec::DenseVec;
+pub use frontier::SparseFrontier;
 pub use sparse_vec::SparseVec;

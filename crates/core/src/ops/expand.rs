@@ -1,0 +1,166 @@
+//! Batched (multi-source) frontier expansion: masked SpGEMM over an
+//! `n×k` sparse frontier.
+//!
+//! CombBLAS 2.0 replaces k per-source SpMSpVs with one masked SpGEMM per
+//! traversal level by packing k frontiers into a sparse `n×k` matrix
+//! ([`SparseFrontier`]). Row `s` of the product `Fᵀ·A` is exactly
+//! `f_s · A` — the single-source kernel applied to source `s`'s frontier
+//! — so the shared-memory SpGEMM is computed row by row with the very
+//! same SPA kernels of [`crate::ops::spmspv`]. That makes the batched
+//! result **bit-identical per source** to k single-source runs by
+//! construction: same merge strategy, same accumulation order, same
+//! mask semantics, same counters per row.
+//!
+//! In shared memory the batch buys loop fusion (one pass over the
+//! algorithm per level instead of k). The latency amortization that
+//! makes batching a throughput win lives in the distributed backend,
+//! where the k per-source gathers and scatters of a level fuse into one
+//! bulk message per locale pair (`gblas_dist::ops::expand`).
+
+use crate::algebra::{BinaryOp, Monoid, Semiring};
+use crate::container::{CsrMatrix, DenseVec, SparseFrontier};
+use crate::error::{check_dims, Result};
+use crate::mask::VecMask;
+use crate::ops::spmspv::{spmspv_first_visitor, spmspv_semiring_masked, SpMSpVOpts};
+use crate::ops::spmv::spmv_col;
+use crate::par::ExecCtx;
+
+/// Batched first-visitor expansion: row `s` of the output is
+/// `f_s · A` under the complement of `visited[s]` (source `s`'s "not yet
+/// visited" mask), with first-writer-wins parent values — Listing 7 run
+/// over every column of the frontier matrix.
+pub fn expand_first_visitor<T: Send + Sync>(
+    a: &CsrMatrix<T>,
+    f: &SparseFrontier<usize>,
+    visited: &[DenseVec<bool>],
+    opts: SpMSpVOpts,
+    ctx: &ExecCtx,
+) -> Result<SparseFrontier<usize>> {
+    check_dims("visited masks vs batch width", f.k(), visited.len())?;
+    let mut rows = Vec::with_capacity(f.k());
+    for (s, x) in f.rows().iter().enumerate() {
+        check_dims("mask length vs matrix columns", a.ncols(), visited[s].len())?;
+        let vm = VecMask::dense(&visited[s]).complement();
+        rows.push(spmspv_first_visitor(a, x, Some(&vm), opts, ctx)?);
+    }
+    SparseFrontier::new(a.ncols(), rows)
+}
+
+/// Batched semiring expansion: row `s` of the output is
+/// `y_s[j] = ⊕_i f_s[i] ⊗ A[i,j]`, unmasked (SSSP relaxation keeps its
+/// own distance array per source and filters improvements driver-side).
+pub fn expand_semiring<A, B, C, AddM, MulOp>(
+    a: &CsrMatrix<B>,
+    f: &SparseFrontier<A>,
+    ring: &Semiring<AddM, MulOp>,
+    opts: SpMSpVOpts,
+    ctx: &ExecCtx,
+) -> Result<SparseFrontier<C>>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
+    AddM: Monoid<C>,
+    MulOp: BinaryOp<A, B, C>,
+{
+    let mut rows = Vec::with_capacity(f.k());
+    for x in f.rows() {
+        rows.push(spmspv_semiring_masked(a, x, ring, None, opts, ctx)?.vector);
+    }
+    SparseFrontier::new(a.ncols(), rows)
+}
+
+/// Batched dense SpMM in the column orientation the algorithms use:
+/// `ys[s] = xs[s] · A` — one [`spmv_col`] per batch column, so each
+/// column's result is bit-identical to its standalone SpMV.
+pub fn spmm_dense<A, B, C, AddM, MulOp>(
+    a: &CsrMatrix<B>,
+    xs: &[DenseVec<A>],
+    ring: &Semiring<AddM, MulOp>,
+    ctx: &ExecCtx,
+) -> Result<Vec<DenseVec<C>>>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
+    AddM: Monoid<C>,
+    MulOp: BinaryOp<A, B, C>,
+{
+    xs.iter().map(|x| spmv_col(a, x, ring, ctx)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::semirings;
+    use crate::container::SparseVec;
+    use crate::gen;
+
+    #[test]
+    fn batched_first_visitor_rows_match_single_source_runs() {
+        let a = gen::erdos_renyi(200, 6, 7);
+        let sources = [0usize, 5, 5, 190]; // duplicate on purpose
+        let ctx = ExecCtx::new(4, 1);
+        let f = SparseFrontier::from_entries(200, sources.iter().map(|&s| vec![(s, s)]).collect())
+            .unwrap();
+        let visited: Vec<DenseVec<bool>> =
+            sources.iter().map(|&s| DenseVec::from_fn(200, |i| i == s)).collect();
+        let batched = expand_first_visitor(&a, &f, &visited, SpMSpVOpts::default(), &ctx).unwrap();
+        for (s, &src) in sources.iter().enumerate() {
+            let x = SparseVec::from_sorted(200, vec![src], vec![src]).unwrap();
+            let vm = VecMask::dense(&visited[s]).complement();
+            let single =
+                spmspv_first_visitor(&a, &x, Some(&vm), SpMSpVOpts::default(), &ctx).unwrap();
+            assert_eq!(batched.row(s), &single, "source slot {s}");
+        }
+    }
+
+    #[test]
+    fn batched_semiring_rows_match_single_source_runs() {
+        let a = gen::erdos_renyi(150, 5, 13);
+        let ctx = ExecCtx::serial();
+        let ring = semirings::min_plus();
+        let f = SparseFrontier::from_entries(150, vec![vec![(0, 0.0)], vec![(42, 0.0)]]).unwrap();
+        let batched: SparseFrontier<f64> =
+            expand_semiring(&a, &f, &ring, SpMSpVOpts::default(), &ctx).unwrap();
+        for (s, x) in f.rows().iter().enumerate() {
+            let single: SparseVec<f64> =
+                spmspv_semiring_masked(&a, x, &ring, None, SpMSpVOpts::default(), &ctx)
+                    .unwrap()
+                    .vector;
+            assert_eq!(batched.row(s), &single, "source slot {s}");
+        }
+    }
+
+    #[test]
+    fn spmm_columns_match_single_spmv() {
+        let a = gen::erdos_renyi(120, 4, 19);
+        let ctx = ExecCtx::serial();
+        let ring = semirings::plus_times_f64();
+        let xs: Vec<DenseVec<f64>> =
+            (0..3).map(|s| DenseVec::from_fn(120, |i| ((i + s) % 7) as f64)).collect();
+        let ys: Vec<DenseVec<f64>> = spmm_dense(&a, &xs, &ring, &ctx).unwrap();
+        for (s, x) in xs.iter().enumerate() {
+            let y: DenseVec<f64> = spmv_col(&a, x, &ring, &ctx).unwrap();
+            assert_eq!(ys[s].as_slice(), y.as_slice(), "column {s}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_expands_to_empty_batch() {
+        let a = gen::erdos_renyi(50, 3, 23);
+        let ctx = ExecCtx::serial();
+        let f = SparseFrontier::<usize>::empty(50, 0);
+        let out = expand_first_visitor(&a, &f, &[], SpMSpVOpts::default(), &ctx).unwrap();
+        assert_eq!(out.k(), 0);
+        assert_eq!(out.nnz(), 0);
+    }
+
+    #[test]
+    fn mask_count_mismatch_is_error() {
+        let a = gen::erdos_renyi(50, 3, 29);
+        let ctx = ExecCtx::serial();
+        let f = SparseFrontier::from_entries(50, vec![vec![(0, 0usize)]]).unwrap();
+        assert!(expand_first_visitor(&a, &f, &[], SpMSpVOpts::default(), &ctx).is_err());
+    }
+}

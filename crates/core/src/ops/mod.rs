@@ -20,6 +20,7 @@ pub mod apply;
 pub mod assign;
 pub mod ewise;
 pub mod ewise_mat;
+pub mod expand;
 pub mod extract;
 pub mod kron;
 pub mod mxm;

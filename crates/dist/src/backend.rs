@@ -11,6 +11,7 @@
 
 use crate::exec::DistCtx;
 use crate::mat::DistCsrMatrix;
+use crate::ops::expand::DistFrontier;
 use crate::ops::spmspv::{CommStrategy, DistMask};
 use crate::vec::{DistDenseVec, DistSparseVec};
 use gblas_core::algebra::{BinaryOp, ComMonoid, Monoid, Scalar, Semiring};
@@ -67,6 +68,7 @@ impl GblasBackend for DistBackend<'_> {
     type Matrix<T: Scalar> = DistCsrMatrix<T>;
     type SparseVec<T: Scalar> = DistSparseVec<T>;
     type DenseVec<T: Scalar> = DistDenseVec<T>;
+    type Frontier<T: Scalar> = DistFrontier<T>;
 
     fn name(&self) -> &'static str {
         "dist"
@@ -205,6 +207,72 @@ impl GblasBackend for DistBackend<'_> {
         MulOp: BinaryOp<A, B, C>,
     {
         let (out, r) = crate::ops::spmv::spmv_dist(a, x, ring, self.dctx)?;
+        self.absorb(r);
+        Ok(out)
+    }
+
+    fn frontier_from_entries<T: Scalar>(
+        &self,
+        capacity: usize,
+        entries: Vec<Vec<(usize, T)>>,
+    ) -> Result<DistFrontier<T>> {
+        DistFrontier::from_entries(capacity, entries, self.dctx.locales())
+    }
+
+    fn frontier_entries<T: Scalar>(&self, f: &DistFrontier<T>) -> Vec<Vec<(usize, T)>> {
+        f.to_entries()
+    }
+
+    fn frontier_nnz<T: Scalar>(&self, f: &DistFrontier<T>) -> usize {
+        f.nnz()
+    }
+
+    fn expand_first_visitor<T: Scalar>(
+        &self,
+        a: &DistCsrMatrix<T>,
+        f: &DistFrontier<usize>,
+        visited: &[DistDenseVec<bool>],
+        opts: SpMSpVOpts,
+    ) -> Result<DistFrontier<usize>> {
+        let (out, r) =
+            crate::ops::expand::expand_dist_first_visitor(a, f, visited, opts, self.dctx)?;
+        self.absorb(r);
+        Ok(out)
+    }
+
+    fn expand_semiring<A, B, C, AddM, MulOp>(
+        &self,
+        a: &DistCsrMatrix<B>,
+        f: &DistFrontier<A>,
+        ring: &Semiring<AddM, MulOp>,
+        opts: SpMSpVOpts,
+    ) -> Result<DistFrontier<C>>
+    where
+        A: Scalar,
+        B: Scalar,
+        C: Scalar,
+        AddM: Monoid<C>,
+        MulOp: BinaryOp<A, B, C>,
+    {
+        let (out, r) = crate::ops::expand::expand_dist_semiring(a, f, ring, opts, self.dctx)?;
+        self.absorb(r);
+        Ok(out)
+    }
+
+    fn spmm_dense<A, B, C, AddM, MulOp>(
+        &self,
+        a: &DistCsrMatrix<B>,
+        xs: &[DistDenseVec<A>],
+        ring: &Semiring<AddM, MulOp>,
+    ) -> Result<Vec<DistDenseVec<C>>>
+    where
+        A: Scalar,
+        B: Scalar,
+        C: Scalar,
+        AddM: Monoid<C>,
+        MulOp: BinaryOp<A, B, C>,
+    {
+        let (out, r) = crate::ops::expand::spmm_dense_dist(a, xs, ring, self.dctx)?;
         self.absorb(r);
         Ok(out)
     }

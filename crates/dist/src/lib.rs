@@ -62,4 +62,5 @@ pub use comm::Comm;
 pub use exec::{DistCtx, LocaleExecutor, Outbox};
 pub use grid::{BlockDist, ProcGrid};
 pub use mat::DistCsrMatrix;
+pub use ops::expand::DistFrontier;
 pub use vec::{DistDenseVec, DistSparseVec};

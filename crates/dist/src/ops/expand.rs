@@ -1,0 +1,867 @@
+//! Distributed batched (multi-source) frontier expansion: one masked
+//! SpGEMM sweep per traversal level instead of k SpMSpVs.
+//!
+//! The CombBLAS 2.0 observation: a level of k concurrent traversals
+//! gathers, multiplies and scatters k sparse vectors over the *same*
+//! 2-D matrix distribution, so the per-superstep communication fuses —
+//! every locale pair exchanges **one** bulk message carrying all k
+//! sources' payloads, paying the per-message latency α once instead of
+//! k (or 2k, for the request/reply gather) times. At serving batch
+//! sizes the α term dominates small frontiers' traffic, which is where
+//! the simulated-QPS win of `gblas serve-bench` comes from.
+//!
+//! Structure mirrors [`crate::ops::spmspv`] superstep for superstep:
+//!
+//! 1. **`gather`** — each locale pulls its row-block slices of all k
+//!    frontiers from its processor-row peers, one combined bulk message
+//!    per remote peer (the pattern is static — every row peer always
+//!    needs the whole slice — so no request round is needed).
+//! 2. **`local`** — each locale runs the *shared-memory single-source
+//!    kernel once per source* on its block. This is what makes the
+//!    batched result bit-identical per source to k single-source runs:
+//!    the per-source local multiply is literally the same code on the
+//!    same operands in the same order.
+//! 3. **`scatter`** — claims `(source, offset, value)` from all k
+//!    sources travel in one bulk message per locale pair; owners drain
+//!    inboxes in ascending sender order per source, so first-writer-wins
+//!    (and the accumulation order) resolves exactly as the serial
+//!    schedule — and exactly as the single-source distributed kernel.
+//!    Per-source visited masks are enforced owner-side, like
+//!    [`crate::ops::spmspv::DistMask`].
+
+use crate::exec::{DistCtx, PooledOutboxes};
+use crate::mat::DistCsrMatrix;
+use crate::ops::spmspv::{PHASE_GATHER, PHASE_LOCAL, PHASE_SCATTER};
+use crate::vec::{DistDenseVec, DistSparseVec};
+use gblas_core::algebra::{BinaryOp, Monoid, Semiring};
+use gblas_core::container::SparseVec;
+use gblas_core::error::{check_dims, GblasError, Result};
+use gblas_core::ops::spmspv::{spmspv_first_visitor, spmspv_semiring_masked, SpMSpVOpts};
+use gblas_core::par::Profile;
+use gblas_sim::SimReport;
+
+/// Phase: combine partial dense products down processor columns (the
+/// batched dense SpMM reuses the SpMV phase names).
+pub const PHASE_COMBINE: &str = "combine";
+
+/// A batch of `k` block-distributed sparse frontiers over one capacity —
+/// the distributed layout of the conceptual `n×k` frontier matrix. Every
+/// per-source vector shares the same block distribution, so a batched
+/// kernel's communication pattern is the single-source pattern with k×
+/// the payload and 1× the messages.
+#[derive(Debug, Clone)]
+pub struct DistFrontier<T> {
+    capacity: usize,
+    locales: usize,
+    rows: Vec<DistSparseVec<T>>,
+}
+
+impl<T: Copy + Send + Sync + 'static> DistFrontier<T> {
+    /// Build from per-source entry lists (unsorted; duplicate indices
+    /// within one source are an error), block-distributed over `locales`.
+    pub fn from_entries(
+        capacity: usize,
+        entries: Vec<Vec<(usize, T)>>,
+        locales: usize,
+    ) -> Result<Self> {
+        let rows = entries
+            .into_iter()
+            .map(|pairs| {
+                let global = SparseVec::from_pairs(capacity, pairs)?;
+                Ok(DistSparseVec::from_global(&global, locales))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(DistFrontier { capacity, locales, rows })
+    }
+
+    /// Wrap `k` distributed sparse vectors sharing `capacity`/`locales`.
+    pub fn new(capacity: usize, locales: usize, rows: Vec<DistSparseVec<T>>) -> Result<Self> {
+        for r in &rows {
+            check_dims("frontier row capacity", capacity, r.capacity())?;
+            check_dims("frontier row locales", locales, r.locales())?;
+        }
+        Ok(DistFrontier { capacity, locales, rows })
+    }
+
+    /// A batch of `k` empty frontiers.
+    pub fn empty(capacity: usize, k: usize, locales: usize) -> Self {
+        DistFrontier {
+            capacity,
+            locales,
+            rows: (0..k).map(|_| DistSparseVec::empty(capacity, locales)).collect(),
+        }
+    }
+
+    /// Shared index-space size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Locale count of the block distribution.
+    pub fn locales(&self) -> usize {
+        self.locales
+    }
+
+    /// Number of sources in the batch.
+    pub fn k(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total stored entries across all sources.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(|r| r.nnz()).sum()
+    }
+
+    /// Source `s`'s frontier.
+    pub fn row(&self, s: usize) -> &DistSparseVec<T> {
+        &self.rows[s]
+    }
+
+    /// All per-source frontiers, batch order.
+    pub fn rows(&self) -> &[DistSparseVec<T>] {
+        &self.rows
+    }
+
+    /// Export every source's entries in ascending global index order.
+    pub fn to_entries(&self) -> Vec<Vec<(usize, T)>> {
+        self.rows
+            .iter()
+            .map(|r| {
+                let g = r.to_global();
+                g.iter().map(|(i, &v)| (i, v)).collect()
+            })
+            .collect()
+    }
+}
+
+/// Validate the operands every batched kernel shares.
+fn check_batch<T: Copy + Send + Sync + 'static, B: Copy + Send + Sync>(
+    a: &DistCsrMatrix<B>,
+    f: &DistFrontier<T>,
+    dctx: &DistCtx,
+) -> Result<()> {
+    check_dims("frontier capacity vs matrix rows", a.nrows(), f.capacity())?;
+    let p = a.grid().locales();
+    if f.locales() != p || dctx.locales() != p {
+        return Err(GblasError::DimensionMismatch {
+            expected: format!("{p} locales"),
+            actual: format!("{} / {} locales", f.locales(), dctx.locales()),
+        });
+    }
+    Ok(())
+}
+
+/// Fused gather: each locale assembles all k sources' row-block slices
+/// (local row coordinates) from its processor-row peers, paying **one**
+/// bulk message per remote peer for the whole batch.
+#[allow(clippy::type_complexity)] // (per-locale profiles, per-locale k gathered slices)
+fn gather_batch<V: Copy + Send + Sync + 'static>(
+    a_row_range: &(impl Fn(usize) -> std::ops::Range<usize> + Sync),
+    grid: crate::grid::ProcGrid,
+    f: &DistFrontier<V>,
+    elem_bytes: u64,
+    dctx: &DistCtx,
+) -> Result<(Vec<Profile>, Vec<Vec<SparseVec<V>>>)> {
+    let k = f.k();
+    Ok(dctx
+        .for_each_locale(|l| {
+            let (r, _) = grid.coords(l);
+            let rr = a_row_range(l);
+            let gctx = dctx.locale_ctx_for(l);
+            let mut inds: Vec<Vec<usize>> = (0..k).map(|_| Vec::new()).collect();
+            let mut vals: Vec<Vec<V>> = (0..k).map(|_| Vec::new()).collect();
+            for src in grid.row_locales(r) {
+                let payload: u64 =
+                    (0..k).map(|s| f.row(s).shard(src).nnz() as u64).sum::<u64>() * elem_bytes;
+                if src != l && payload > 0 {
+                    dctx.comm.bulk(PHASE_GATHER, l, src, 1, payload)?;
+                }
+                for s in 0..k {
+                    let shard = f.row(s).shard(src);
+                    inds[s].extend(shard.indices().iter().map(|&i| i - rr.start));
+                    vals[s].extend_from_slice(shard.values());
+                }
+            }
+            let total: u64 = inds.iter().map(|i| i.len() as u64).sum();
+            gctx.record(PHASE_GATHER, |c| {
+                c.elems += total;
+                c.bytes_moved += total * elem_bytes;
+            });
+            let lxs = inds
+                .into_iter()
+                .zip(vals)
+                .map(|(i, v)| {
+                    SparseVec::from_sorted(rr.len().max(1), i, v)
+                        .expect("row-ordered shards concatenate sorted")
+                })
+                .collect::<Vec<_>>();
+            Ok((gctx.take_profile(), lxs))
+        })?
+        .into_iter()
+        .unzip())
+}
+
+/// Batched distributed first-visitor expansion under per-source visited
+/// masks (complement semantics hardcoded: a claim is dropped where
+/// `visited[s]` is `true`). Row `s` of the result is bit-identical to the
+/// single-source distributed kernel on source `s` alone — and therefore
+/// to the serial shared-memory kernel.
+pub fn expand_dist_first_visitor<T: Copy + Send + Sync>(
+    a: &DistCsrMatrix<T>,
+    f: &DistFrontier<usize>,
+    visited: &[DistDenseVec<bool>],
+    opts: SpMSpVOpts,
+    dctx: &DistCtx,
+) -> Result<(DistFrontier<usize>, SimReport)> {
+    check_batch(a, f, dctx)?;
+    let grid = a.grid();
+    let p = grid.locales();
+    let n = a.ncols();
+    let k = f.k();
+    check_dims("visited masks vs batch width", k, visited.len())?;
+    for m in visited {
+        check_dims("mask length vs matrix cols", n, m.len())?;
+        if m.locales() != p {
+            return Err(GblasError::DimensionMismatch {
+                expected: format!("mask over {p} locales"),
+                actual: format!("mask over {} locales", m.locales()),
+            });
+        }
+    }
+    let elem_bytes = (2 * std::mem::size_of::<usize>()) as u64;
+    // A batched claim carries (source slot, destination offset, parent).
+    let claim_bytes = (3 * std::mem::size_of::<usize>()) as u64;
+
+    // ---- Superstep 1: fused gather (one message per locale pair).
+    let (gather_profiles, lxs) = gather_batch(&|l| a.row_range(l), grid, f, elem_bytes, dctx)?;
+
+    // ---- Local multiply: the shared single-source kernel, once per
+    // source, on this locale's block.
+    let mut local_profiles: Vec<Profile> = Vec::with_capacity(p);
+    let mut local_results: Vec<Vec<Vec<(usize, usize)>>> = Vec::with_capacity(p);
+    for (local, results) in dctx.for_each_locale(|l| {
+        let row_range = a.row_range(l);
+        let col_range = a.col_range(l);
+        let lctx = dctx.locale_ctx_for(l);
+        let mut per_source: Vec<Vec<(usize, usize)>> = Vec::with_capacity(k);
+        for lx in &lxs[l] {
+            let ly = if row_range.is_empty() || col_range.is_empty() {
+                SparseVec::new(col_range.len().max(1))
+            } else {
+                spmspv_first_visitor(a.block(l), lx, None, opts, &lctx)?
+            };
+            per_source.push(
+                ly.iter()
+                    .map(|(lj, &lrid)| (lj + col_range.start, lrid + row_range.start))
+                    .collect(),
+            );
+        }
+        Ok((lctx.take_profile(), per_source))
+    })? {
+        local_profiles.push(local);
+        local_results.push(results);
+    }
+
+    // ---- Superstep 2 (scatter, send side): all k sources' claims for an
+    // owner share one outbox — and one bulk message per pair.
+    let out_dist = crate::grid::BlockDist::new(n, p);
+    let (send_profiles, outboxes): (Vec<Profile>, PooledOutboxes<(usize, usize, usize)>) = dctx
+        .for_each_locale(|l| {
+            let sctx = dctx.locale_ctx_for(l);
+            let mut c = gblas_core::par::Counters::default();
+            let mut outbox = sctx.ws_nested_vec::<(usize, usize, usize)>(p);
+            let mut per_dst = sctx.ws_filled_vec::<u64>(p, 0);
+            for (s, claims) in local_results[l].iter().enumerate() {
+                for &(col, rid) in claims {
+                    let owner = out_dist.owner(col);
+                    if owner != l {
+                        per_dst[owner] += 1;
+                    }
+                    c.atomics += 1;
+                    outbox[owner].push((s, col - out_dist.range(owner).start, rid));
+                }
+            }
+            for (dst, msgs) in per_dst.iter().enumerate() {
+                if *msgs > 0 {
+                    dctx.comm.bulk(PHASE_SCATTER, l, dst, 1, *msgs * claim_bytes)?;
+                }
+            }
+            sctx.record(PHASE_SCATTER, |pc| pc.merge(&c));
+            Ok((sctx.take_profile(), outbox))
+        })?
+        .into_iter()
+        .unzip();
+
+    // ---- Superstep 3 (scatter, owner side): per source, drain senders in
+    // ascending locale order — the single-source resolution order — with
+    // the source's own visited bit checked at the owner.
+    let (apply_profiles, owner_shards): (Vec<Profile>, Vec<Vec<SparseVec<usize>>>) = dctx
+        .for_each_locale(|o| {
+            let octx = dctx.locale_ctx_for(o);
+            let range = out_dist.range(o);
+            let mut c = gblas_core::par::Counters::default();
+            let mut shards: Vec<SparseVec<usize>> = Vec::with_capacity(k);
+            // `s` filters outbox entries (`es != s`) *and* indexes the
+            // source's visited vector — not a plain slice walk.
+            #[allow(clippy::needless_range_loop)]
+            for s in 0..k {
+                let mut isthere = octx.ws_filled_vec::<bool>(range.len(), false);
+                let mut value = octx.ws_filled_vec::<usize>(range.len(), 0);
+                for outbox in &outboxes {
+                    for &(es, off, rid) in &outbox[o] {
+                        if es != s {
+                            continue;
+                        }
+                        c.rand_access += 1;
+                        if visited[s].segment(o)[off] {
+                            continue;
+                        }
+                        if !isthere[off] {
+                            isthere[off] = true;
+                            value[off] = rid;
+                        }
+                    }
+                }
+                let mut inds = Vec::new();
+                let mut vals = Vec::new();
+                for (off, &set) in isthere.iter().enumerate() {
+                    if set {
+                        inds.push(range.start + off);
+                        vals.push(value[off]);
+                    }
+                }
+                c.elems += range.len() as u64;
+                shards.push(SparseVec::from_sorted(n, inds, vals)?);
+            }
+            octx.record(PHASE_SCATTER, |pc| pc.merge(&c));
+            Ok((octx.take_profile(), shards))
+        })?
+        .into_iter()
+        .unzip();
+    let mut scatter_profiles = send_profiles;
+    for (l, apply) in apply_profiles.iter().enumerate() {
+        for (name, cs) in apply.iter() {
+            scatter_profiles[l].counters_mut(name).merge(cs);
+        }
+    }
+    let rows = (0..k)
+        .map(|s| {
+            DistSparseVec::from_shards(n, owner_shards.iter().map(|sh| sh[s].clone()).collect())
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let out = DistFrontier { capacity: n, locales: p, rows };
+
+    let mut op = dctx.op("expand_dist_first_visitor");
+    op.attr("k", k)
+        .attr("nrows", a.nrows())
+        .attr("ncols", n)
+        .attr("masked", true)
+        .nnz(f.nnz() as u64);
+    op.spawn(PHASE_GATHER, 1);
+    op.compute(PHASE_GATHER, &gather_profiles);
+    op.compute_folded(PHASE_LOCAL, &local_profiles);
+    op.compute(PHASE_SCATTER, &scatter_profiles);
+    Ok((out, op.finish()))
+}
+
+/// Batched distributed semiring expansion (unmasked): row `s` of the
+/// result is `y_s[j] = ⊕_i f_s[i] ⊗ A[i,j]`, accumulated at the owner in
+/// ascending sender order — the single-source kernel's exact
+/// floating-point order, so each row matches its solo run bit for bit.
+pub fn expand_dist_semiring<A, B, C, AddM, MulOp>(
+    a: &DistCsrMatrix<B>,
+    f: &DistFrontier<A>,
+    ring: &Semiring<AddM, MulOp>,
+    opts: SpMSpVOpts,
+    dctx: &DistCtx,
+) -> Result<(DistFrontier<C>, SimReport)>
+where
+    A: Copy + Send + Sync + 'static,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync + PartialEq + 'static,
+    AddM: Monoid<C>,
+    MulOp: BinaryOp<A, B, C>,
+{
+    check_batch(a, f, dctx)?;
+    let grid = a.grid();
+    let p = grid.locales();
+    let n = a.ncols();
+    let k = f.k();
+    let elem_bytes = (std::mem::size_of::<usize>() + std::mem::size_of::<A>()) as u64;
+    let claim_bytes = (2 * std::mem::size_of::<usize>() + std::mem::size_of::<C>()) as u64;
+
+    let (gather_profiles, lxs) = gather_batch(&|l| a.row_range(l), grid, f, elem_bytes, dctx)?;
+
+    let mut local_profiles: Vec<Profile> = Vec::with_capacity(p);
+    let mut local_results: Vec<Vec<Vec<(usize, C)>>> = Vec::with_capacity(p);
+    for (local, results) in dctx.for_each_locale(|l| {
+        let row_range = a.row_range(l);
+        let col_range = a.col_range(l);
+        let lctx = dctx.locale_ctx_for(l);
+        let mut per_source: Vec<Vec<(usize, C)>> = Vec::with_capacity(k);
+        for lx in &lxs[l] {
+            let ly = if row_range.is_empty() || col_range.is_empty() {
+                SparseVec::new(col_range.len().max(1))
+            } else {
+                spmspv_semiring_masked(a.block(l), lx, ring, None, opts, &lctx)?.vector
+            };
+            per_source.push(ly.iter().map(|(lj, &v)| (lj + col_range.start, v)).collect());
+        }
+        Ok((lctx.take_profile(), per_source))
+    })? {
+        local_profiles.push(local);
+        local_results.push(results);
+    }
+
+    let out_dist = crate::grid::BlockDist::new(n, p);
+    let (send_profiles, outboxes): (Vec<Profile>, PooledOutboxes<(usize, usize, C)>) = dctx
+        .for_each_locale(|l| {
+            let sctx = dctx.locale_ctx_for(l);
+            let mut c = gblas_core::par::Counters::default();
+            let mut outbox = sctx.ws_nested_vec::<(usize, usize, C)>(p);
+            let mut per_dst = sctx.ws_filled_vec::<u64>(p, 0);
+            for (s, claims) in local_results[l].iter().enumerate() {
+                for &(col, v) in claims {
+                    let owner = out_dist.owner(col);
+                    if owner != l {
+                        per_dst[owner] += 1;
+                    }
+                    c.atomics += 1;
+                    outbox[owner].push((s, col - out_dist.range(owner).start, v));
+                }
+            }
+            for (dst, msgs) in per_dst.iter().enumerate() {
+                if *msgs > 0 {
+                    dctx.comm.bulk(PHASE_SCATTER, l, dst, 1, *msgs * claim_bytes)?;
+                }
+            }
+            sctx.record(PHASE_SCATTER, |pc| pc.merge(&c));
+            Ok((sctx.take_profile(), outbox))
+        })?
+        .into_iter()
+        .unzip();
+
+    let (apply_profiles, owner_shards): (Vec<Profile>, Vec<Vec<SparseVec<C>>>) = dctx
+        .for_each_locale(|o| {
+            let octx = dctx.locale_ctx_for(o);
+            let range = out_dist.range(o);
+            let mut c = gblas_core::par::Counters::default();
+            let mut shards: Vec<SparseVec<C>> = Vec::with_capacity(k);
+            for s in 0..k {
+                let mut occupied = octx.ws_filled_vec::<bool>(range.len(), false);
+                let mut value = octx.ws_filled_vec::<C>(range.len(), ring.zero::<C>());
+                for outbox in &outboxes {
+                    for &(es, off, v) in &outbox[o] {
+                        if es != s {
+                            continue;
+                        }
+                        if occupied[off] {
+                            value[off] = ring.accumulate(value[off], v);
+                            c.flops += 1;
+                        } else {
+                            occupied[off] = true;
+                            value[off] = v;
+                        }
+                    }
+                }
+                let mut inds = Vec::new();
+                let mut vals = Vec::new();
+                for (off, &set) in occupied.iter().enumerate() {
+                    if set {
+                        inds.push(range.start + off);
+                        vals.push(value[off]);
+                    }
+                }
+                c.elems += range.len() as u64;
+                shards.push(SparseVec::from_sorted(n, inds, vals)?);
+            }
+            octx.record(PHASE_SCATTER, |pc| pc.merge(&c));
+            Ok((octx.take_profile(), shards))
+        })?
+        .into_iter()
+        .unzip();
+    let mut scatter_profiles = send_profiles;
+    for (l, apply) in apply_profiles.iter().enumerate() {
+        for (name, cs) in apply.iter() {
+            scatter_profiles[l].counters_mut(name).merge(cs);
+        }
+    }
+    let rows = (0..k)
+        .map(|s| {
+            DistSparseVec::from_shards(n, owner_shards.iter().map(|sh| sh[s].clone()).collect())
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let out = DistFrontier { capacity: n, locales: p, rows };
+
+    let mut op = dctx.op("expand_dist_semiring");
+    op.attr("k", k).attr("nrows", a.nrows()).attr("ncols", n).nnz(f.nnz() as u64);
+    op.spawn(PHASE_GATHER, 1);
+    op.compute(PHASE_GATHER, &gather_profiles);
+    op.compute_folded(PHASE_LOCAL, &local_profiles);
+    op.compute(PHASE_SCATTER, &scatter_profiles);
+    Ok((out, op.finish()))
+}
+
+/// Batched distributed dense SpMM: `ys[s] = xs[s] · A` for the whole
+/// batch with the [`crate::ops::spmv::spmv_dist`] superstep structure,
+/// but every gather / combine / placement message carries all k columns —
+/// 1× the messages, k× the payload. Each column's values are accumulated
+/// in the single-column kernel's exact order, so `ys[s]` matches a solo
+/// `spmv_dist` run bit for bit.
+pub fn spmm_dense_dist<A, B, C, AddM, MulOp>(
+    a: &DistCsrMatrix<B>,
+    xs: &[DistDenseVec<A>],
+    ring: &Semiring<AddM, MulOp>,
+    dctx: &DistCtx,
+) -> Result<(Vec<DistDenseVec<C>>, SimReport)>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
+    AddM: Monoid<C>,
+    MulOp: BinaryOp<A, B, C>,
+{
+    let grid = a.grid();
+    let p = grid.locales();
+    let k = xs.len();
+    for x in xs {
+        check_dims("x length vs matrix rows", a.nrows(), x.len())?;
+        if x.locales() != p {
+            return Err(GblasError::DimensionMismatch {
+                expected: format!("{p} locales"),
+                actual: format!("{} locales", x.locales()),
+            });
+        }
+    }
+    if dctx.locales() != p {
+        return Err(GblasError::DimensionMismatch {
+            expected: format!("machine with {p} locales"),
+            actual: format!("machine with {} locales", dctx.locales()),
+        });
+    }
+    let n = a.ncols();
+    let a_bytes = std::mem::size_of::<A>() as u64;
+    let c_bytes = std::mem::size_of::<C>() as u64;
+
+    // ---- Superstep 1: fused gather + per-column local multiply.
+    struct GatherLocal<C> {
+        gather: Profile,
+        local: Profile,
+        partials: Vec<Vec<C>>,
+    }
+    let gl: Vec<GatherLocal<C>> = dctx.for_each_locale(|l| {
+        let (r, _) = grid.coords(l);
+        let row_range = a.row_range(l);
+        let gctx = dctx.locale_ctx_for(l);
+        let mut lx: Vec<Vec<A>> = (0..k).map(|_| Vec::with_capacity(row_range.len())).collect();
+        for src in grid.row_locales(r) {
+            if src != l && k > 0 {
+                let seg_len = xs[0].segment(src).len() as u64;
+                if seg_len > 0 {
+                    dctx.comm.bulk(PHASE_GATHER, l, src, 1, k as u64 * seg_len * a_bytes)?;
+                }
+            }
+            for (s, x) in xs.iter().enumerate() {
+                lx[s].extend_from_slice(x.segment(src));
+            }
+        }
+        let moved: u64 = lx.iter().map(|v| v.len() as u64).sum();
+        gctx.record(PHASE_GATHER, |c| {
+            c.elems += moved;
+            c.bytes_moved += moved * a_bytes;
+        });
+        let lctx = dctx.locale_ctx_for(l);
+        let block = a.block(l);
+        let width = a.col_range(l).len();
+        let mut partials: Vec<Vec<C>> = Vec::with_capacity(k);
+        for v in lx {
+            let partial = {
+                let lx_dense = gblas_core::container::DenseVec::from_vec(v);
+                if row_range.is_empty() || width == 0 {
+                    vec![ring.zero::<C>(); width]
+                } else {
+                    gblas_core::ops::spmv::spmv_col(block, &lx_dense, ring, &lctx)?.into_vec()
+                }
+            };
+            partials.push(partial);
+        }
+        let mut folded = Profile::default();
+        let cc = folded.counters_mut(PHASE_LOCAL);
+        for (_, counters) in lctx.take_profile().iter() {
+            cc.merge(counters);
+        }
+        Ok(GatherLocal { gather: gctx.take_profile(), local: folded, partials })
+    })?;
+    let gather_profiles: Vec<Profile> = gl.iter().map(|g| g.gather.clone()).collect();
+    let local_profiles: Vec<Profile> = gl.iter().map(|g| g.local.clone()).collect();
+    let partials: Vec<Vec<Vec<C>>> = gl.into_iter().map(|g| g.partials).collect();
+
+    // ---- Superstep 2: combine down each processor column, all k columns
+    // in one message per non-leader.
+    #[allow(clippy::type_complexity)] // (per-locale profiles, leader-only k accumulators)
+    let (combine_profiles, accs): (Vec<Profile>, Vec<Option<Vec<Vec<C>>>>) = dctx
+        .for_each_locale(|l| {
+            let (_, c) = grid.coords(l);
+            let leader = grid.locale(0, c);
+            let col_range = a.col_range(leader);
+            if l != leader {
+                let payload = k as u64 * col_range.len() as u64 * c_bytes;
+                if payload > 0 {
+                    dctx.comm.bulk(PHASE_COMBINE, l, leader, 1, payload)?;
+                }
+                return Ok((Profile::default(), None));
+            }
+            let mut acc_k: Vec<Vec<C>> = Vec::with_capacity(k);
+            // `s` selects source slot `partials[src][s]` across every
+            // sender `src`, so it is not a single-slice index.
+            #[allow(clippy::needless_range_loop)]
+            for s in 0..k {
+                let mut acc: Vec<C> = vec![ring.zero::<C>(); col_range.len()];
+                for src in grid.col_locales(c) {
+                    for (slot, &v) in acc.iter_mut().zip(&partials[src][s]) {
+                        *slot = ring.accumulate(*slot, v);
+                    }
+                }
+                acc_k.push(acc);
+            }
+            let mut profile = Profile::default();
+            let elems = (col_range.len() * grid.pr() * k) as u64;
+            profile.counters_mut(PHASE_COMBINE).elems += elems;
+            profile.counters_mut(PHASE_COMBINE).flops += elems;
+            Ok((profile, Some(acc_k)))
+        })?
+        .into_iter()
+        .unzip();
+
+    // ---- Placement: leaders hand output blocks to owners, one fused
+    // message per (leader, owner) pair for the whole batch.
+    let out_dist = crate::grid::BlockDist::new(n, p);
+    let mut segments: Vec<Vec<Vec<C>>> = (0..k)
+        .map(|_| (0..p).map(|b| vec![ring.zero::<C>(); out_dist.size(b)]).collect())
+        .collect();
+    for c in 0..grid.pc() {
+        let leader = grid.locale(0, c);
+        let col_range = a.col_range(leader);
+        let acc_k = match accs[leader].as_ref() {
+            Some(a) => a,
+            None => continue,
+        };
+        for (s, acc) in acc_k.iter().enumerate() {
+            for (off, &v) in acc.iter().enumerate() {
+                let j = col_range.start + off;
+                let owner = out_dist.owner(j);
+                segments[s][owner][j - out_dist.range(owner).start] = v;
+            }
+        }
+        let first_owner = if col_range.is_empty() { 0 } else { out_dist.owner(col_range.start) };
+        let last_owner = if col_range.is_empty() { 0 } else { out_dist.owner(col_range.end - 1) };
+        for owner in first_owner..=last_owner {
+            if !col_range.is_empty() && owner != leader {
+                let overlap = out_dist.range(owner);
+                let lo = overlap.start.max(col_range.start);
+                let hi = overlap.end.min(col_range.end);
+                if lo < hi && k > 0 {
+                    dctx.comm.bulk(
+                        PHASE_COMBINE,
+                        leader,
+                        owner,
+                        1,
+                        k as u64 * (hi - lo) as u64 * c_bytes,
+                    )?;
+                }
+            }
+        }
+    }
+
+    let ys = segments
+        .into_iter()
+        .map(|segs| DistDenseVec::from_segments(n, segs))
+        .collect::<Result<Vec<_>>>()?;
+    let mut trace = dctx.op("spmm_dense_dist");
+    trace.attr("k", k).attr("nrows", a.nrows()).attr("ncols", n).nnz(a.nnz() as u64);
+    trace.spawn(PHASE_GATHER, 1);
+    trace.compute(PHASE_GATHER, &gather_profiles);
+    trace.compute(PHASE_LOCAL, &local_profiles);
+    trace.compute(PHASE_COMBINE, &combine_profiles);
+    Ok((ys, trace.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ProcGrid;
+    use crate::ops::spmspv::{spmspv_dist_with, CommStrategy, DistMask};
+    use gblas_core::algebra::semirings;
+    use gblas_core::container::DenseVec;
+    use gblas_core::gen;
+    use gblas_sim::MachineConfig;
+
+    fn machine_for(grid: ProcGrid) -> MachineConfig {
+        MachineConfig::edison_cluster(grid.locales(), 24)
+    }
+
+    #[test]
+    fn batched_rows_match_single_source_dist_runs() {
+        let n = 400;
+        let a = gen::erdos_renyi(n, 6, 211);
+        let sources = [0usize, 7, 7, 390];
+        for (pr, pc) in [(1, 1), (2, 2), (2, 3)] {
+            let grid = ProcGrid::new(pr, pc);
+            let p = grid.locales();
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let f =
+                DistFrontier::from_entries(n, sources.iter().map(|&s| vec![(s, s)]).collect(), p)
+                    .unwrap();
+            let visited: Vec<DistDenseVec<bool>> = sources
+                .iter()
+                .map(|&s| DistDenseVec::from_global(&DenseVec::from_fn(n, |i| i == s), p))
+                .collect();
+            let dctx = DistCtx::new(machine_for(grid));
+            let (batched, report) =
+                expand_dist_first_visitor(&da, &f, &visited, SpMSpVOpts::default(), &dctx).unwrap();
+            assert!(report.total() > 0.0);
+            for (s, &src) in sources.iter().enumerate() {
+                let x = DistSparseVec::from_global(
+                    &SparseVec::from_sorted(n, vec![src], vec![src]).unwrap(),
+                    p,
+                );
+                let sctx = DistCtx::new(machine_for(grid));
+                let (single, _) = spmspv_dist_with(
+                    &da,
+                    &x,
+                    Some(DistMask::complement(&visited[s])),
+                    CommStrategy::Bulk,
+                    SpMSpVOpts::default(),
+                    &sctx,
+                )
+                .unwrap();
+                assert_eq!(
+                    batched.row(s).to_global(),
+                    single.to_global(),
+                    "grid {pr}x{pc} slot {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gather_pays_one_message_per_pair() {
+        let n = 600;
+        let a = gen::erdos_renyi(n, 6, 221);
+        let grid = ProcGrid::new(2, 4);
+        let p = grid.locales();
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let k = 8;
+        let f = DistFrontier::from_entries(n, (0..k).map(|s| vec![(s * 50, s * 50)]).collect(), p)
+            .unwrap();
+        let visited: Vec<DistDenseVec<bool>> =
+            (0..k).map(|_| DistDenseVec::filled(n, false, p)).collect();
+        let dctx = DistCtx::new(machine_for(grid));
+        dctx.comm.record_history();
+        let _ = expand_dist_first_visitor(&da, &f, &visited, SpMSpVOpts::default(), &dctx).unwrap();
+        let gather_msgs: u64 =
+            dctx.comm.history().iter().filter(|e| e.phase == PHASE_GATHER).map(|e| e.msgs).sum();
+        // one fused message per (locale, remote row peer) pair, at most
+        let peers = grid.pc() - 1;
+        assert!(
+            gather_msgs <= (p * peers) as u64,
+            "{gather_msgs} gather msgs for {p} locales x {peers} peers"
+        );
+    }
+
+    #[test]
+    fn batched_semiring_rows_match_single_source_dist_runs() {
+        let n = 300;
+        let a = gen::erdos_renyi(n, 5, 231);
+        let ring = semirings::min_plus();
+        for (pr, pc) in [(1, 1), (2, 2)] {
+            let grid = ProcGrid::new(pr, pc);
+            let p = grid.locales();
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let f =
+                DistFrontier::from_entries(n, vec![vec![(0, 0.0)], vec![(100, 0.0)]], p).unwrap();
+            let dctx = DistCtx::new(machine_for(grid));
+            let (batched, _) =
+                expand_dist_semiring(&da, &f, &ring, SpMSpVOpts::default(), &dctx).unwrap();
+            for (s, x) in f.rows().iter().enumerate() {
+                let sctx = DistCtx::new(machine_for(grid));
+                let (single, _) = crate::ops::spmspv::spmspv_dist_semiring(
+                    &da,
+                    x,
+                    &ring,
+                    CommStrategy::Bulk,
+                    &sctx,
+                )
+                .unwrap();
+                assert_eq!(
+                    batched.row(s).to_global(),
+                    single.to_global(),
+                    "grid {pr}x{pc} slot {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_columns_match_single_spmv_dist_runs() {
+        let n = 250;
+        let a = gen::erdos_renyi(n, 5, 241);
+        let ring = semirings::plus_times_f64();
+        for (pr, pc) in [(1, 1), (2, 2), (2, 3)] {
+            let grid = ProcGrid::new(pr, pc);
+            let p = grid.locales();
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let xs: Vec<DistDenseVec<f64>> = (0..3)
+                .map(|s| {
+                    DistDenseVec::from_global(&DenseVec::from_fn(n, |i| ((i + s) % 7) as f64), p)
+                })
+                .collect();
+            let dctx = DistCtx::new(machine_for(grid));
+            let (ys, report) = spmm_dense_dist(&da, &xs, &ring, &dctx).unwrap();
+            assert!(report.total() > 0.0);
+            for (s, x) in xs.iter().enumerate() {
+                let sctx = DistCtx::new(machine_for(grid));
+                let (y, _) = crate::ops::spmv::spmv_dist(&da, x, &ring, &sctx).unwrap();
+                let got = ys[s].to_global();
+                let want = y.to_global();
+                for j in 0..n {
+                    assert_eq!(got[j], want[j], "grid {pr}x{pc} col {s} entry {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let a = gen::erdos_renyi(100, 4, 251);
+        let grid = ProcGrid::new(2, 2);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dctx = DistCtx::new(machine_for(grid));
+        let f = DistFrontier::<usize>::empty(100, 0, 4);
+        let (out, _) =
+            expand_dist_first_visitor(&da, &f, &[], SpMSpVOpts::default(), &dctx).unwrap();
+        assert_eq!(out.k(), 0);
+        let (ys, _) =
+            spmm_dense_dist::<f64, f64, f64, _, _>(&da, &[], &semirings::plus_times_f64(), &dctx)
+                .unwrap();
+        assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn shape_validation() {
+        let a = gen::erdos_renyi(100, 4, 261);
+        let grid = ProcGrid::new(2, 2);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dctx = DistCtx::new(machine_for(grid));
+        // wrong capacity
+        let f = DistFrontier::from_entries(99, vec![vec![(0, 0usize)]], 4).unwrap();
+        let m = vec![DistDenseVec::filled(100, false, 4)];
+        assert!(expand_dist_first_visitor(&da, &f, &m, SpMSpVOpts::default(), &dctx).is_err());
+        // mask count mismatch
+        let f = DistFrontier::from_entries(100, vec![vec![(0, 0usize)]], 4).unwrap();
+        assert!(expand_dist_first_visitor(&da, &f, &[], SpMSpVOpts::default(), &dctx).is_err());
+        // wrong locale count
+        let f2 = DistFrontier::from_entries(100, vec![vec![(0, 0usize)]], 2).unwrap();
+        assert!(expand_dist_first_visitor(&da, &f2, &m, SpMSpVOpts::default(), &dctx).is_err());
+    }
+}

@@ -23,6 +23,7 @@
 pub mod apply;
 pub mod assign;
 pub mod ewise;
+pub mod expand;
 pub mod extract;
 pub mod mxm;
 pub mod reduce;

@@ -52,13 +52,17 @@ pub fn betweenness_on<B: GblasBackend, T: Scalar>(
         backend.dense_set(&mut visited, source, true);
         let mut sigma = vec![0.0f64; n];
         sigma[source] = 1.0;
-        let mut frontiers: Vec<Vec<(usize, f64)>> = vec![vec![(source, 1.0)]];
-        loop {
-            let last = frontiers.last().unwrap();
+        // The current frontier is carried separately so the loop never has
+        // to assume `frontiers` is non-empty; a source with no out-edges
+        // (empty first expansion) simply leaves one frontier and an empty
+        // backward pass — zero contribution, no panic.
+        let mut current: Vec<(usize, f64)> = vec![(source, 1.0)];
+        let mut frontiers: Vec<Vec<(usize, f64)>> = Vec::new();
+        while !current.is_empty() {
             let fx = backend.sparse_from_sorted(
                 n,
-                last.iter().map(|&(v, _)| v).collect(),
-                last.iter().map(|&(_, p)| p).collect(),
+                current.iter().map(|&(v, _)| v).collect(),
+                current.iter().map(|&(_, p)| p).collect(),
             )?;
             let next: B::SparseVec<f64> = backend.spmspv_semiring(
                 &ones,
@@ -68,14 +72,11 @@ pub fn betweenness_on<B: GblasBackend, T: Scalar>(
                 opts,
             )?;
             let entries = backend.sparse_entries(&next);
-            if entries.is_empty() {
-                break;
-            }
             for &(v, paths) in &entries {
                 backend.dense_set(&mut visited, v, true);
                 sigma[v] = paths;
             }
-            frontiers.push(entries);
+            frontiers.push(std::mem::replace(&mut current, entries));
         }
         // ---- Backward: dependency accumulation.
         let mut delta = vec![0.0f64; n];
@@ -241,6 +242,14 @@ mod tests {
         for v in 0..80 {
             assert!((bc[v] - expect[v]).abs() < 1e-6, "vertex {v}");
         }
+    }
+
+    #[test]
+    fn source_with_no_out_edges_contributes_zero() {
+        // vertex 2 has no out-edges: its sweep ends at level 0
+        let a = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0)]).unwrap();
+        let bc = betweenness(&a, &[2], &ExecCtx::serial()).unwrap();
+        assert_eq!(bc.as_slice(), &[0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -28,10 +28,16 @@ pub fn core_numbers_on<B: GblasBackend, T: Scalar>(
     check_dims("square matrix", backend.mat_nrows(a), backend.mat_ncols(a))?;
     let n = backend.mat_nrows(a);
     let mut core = DenseVec::filled(n, 0usize);
+    if n == 0 {
+        return Ok(core);
+    }
     let mut alive = vec![true; n];
     let mut remaining: B::Matrix<u64> = backend.mat_map(a, &|_, _, _| 1u64)?;
     let mut k = 0usize;
-    loop {
+    // Every vertex is peeled exactly once, so the loop condition is
+    // simply "someone is still alive" — the empty graph and the
+    // fully-peeled state exit here instead of through in-loop breaks.
+    while alive.iter().any(|&x| x) {
         // degrees within the remaining subgraph
         let deg: Vec<u64> = backend.reduce_rows(&remaining, &Plus)?;
         // peel everything of degree < k+1 at the current level; if nothing
@@ -40,11 +46,8 @@ pub fn core_numbers_on<B: GblasBackend, T: Scalar>(
         let peel: Vec<usize> = (0..n).filter(|&v| alive[v] && (deg[v] as usize) < next_k).collect();
         backend.allreduce_scalar("kcore-peel")?;
         if peel.is_empty() {
-            if alive.iter().any(|&x| x) {
-                k = next_k;
-                continue;
-            }
-            break;
+            k = next_k;
+            continue;
         }
         for &v in &peel {
             alive[v] = false;
@@ -60,7 +63,6 @@ pub fn core_numbers_on<B: GblasBackend, T: Scalar>(
                     core[v] = k;
                 }
             }
-            break;
         }
     }
     Ok(core)
@@ -98,8 +100,7 @@ mod tests {
         let mut core = vec![0usize; n];
         let mut removed = vec![false; n];
         let mut current = 0usize;
-        for _ in 0..n {
-            let v = (0..n).filter(|&v| !removed[v]).min_by_key(|&v| deg[v]).unwrap();
+        while let Some(v) = (0..n).filter(|&v| !removed[v]).min_by_key(|&v| deg[v]) {
             current = current.max(deg[v]);
             core[v] = current;
             removed[v] = true;
@@ -153,6 +154,13 @@ mod tests {
             let expect = reference(&a);
             assert_eq!(core.as_slice(), &expect[..], "seed {seed}");
         }
+    }
+
+    #[test]
+    fn empty_graph_is_ok() {
+        let a = CsrMatrix::<f64>::empty(0, 0);
+        let core = core_numbers(&a, &ExecCtx::serial()).unwrap();
+        assert!(core.is_empty());
     }
 
     #[test]

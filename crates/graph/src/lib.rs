@@ -49,6 +49,7 @@ pub mod bfs;
 pub mod cc;
 pub mod kcore;
 pub mod mis;
+pub mod multi;
 pub mod pagerank;
 pub mod sssp;
 pub mod triangles;
@@ -58,6 +59,11 @@ pub use bfs::{bfs, bfs_dist, bfs_dist_with, bfs_on, bfs_with, BfsResult};
 pub use cc::{connected_components, connected_components_dist, connected_components_on};
 pub use kcore::{core_numbers, core_numbers_dist, core_numbers_on};
 pub use mis::{maximal_independent_set, maximal_independent_set_dist, maximal_independent_set_on};
+pub use multi::{
+    bfs_multi, bfs_multi_dist, bfs_multi_on, bfs_multi_with, ppr, ppr_dist, ppr_multi,
+    ppr_multi_dist, ppr_multi_on, sssp_multi, sssp_multi_dist, sssp_multi_on, sssp_multi_with,
+    PprOptions, PprResult,
+};
 pub use pagerank::{pagerank, pagerank_dist, pagerank_dist_on, pagerank_on, PageRankOptions};
 pub use sssp::{sssp, sssp_dist, sssp_dist_with, sssp_on, sssp_with, EdgeWeight};
 pub use triangles::{triangle_count, triangle_count_dist, triangle_count_on};

@@ -16,7 +16,7 @@
 use gblas_core::algebra::{First, Max, Scalar, Semiring};
 use gblas_core::backend::{GblasBackend, SharedBackend};
 use gblas_core::container::{CsrMatrix, DenseVec};
-use gblas_core::error::{check_dims, Result};
+use gblas_core::error::{check_dims, GblasError, Result};
 use gblas_core::ops::spmspv::SpMSpVOpts;
 use gblas_core::par::ExecCtx;
 use gblas_dist::{DistBackend, DistCsrMatrix, DistCtx};
@@ -43,7 +43,14 @@ pub fn maximal_independent_set_on<B: GblasBackend, T: Scalar>(
     let mut rounds = 0usize;
     while candidate.iter().any(|&c| c) {
         rounds += 1;
-        assert!(rounds <= 4 * (usize::BITS as usize), "Luby must terminate in O(log n)");
+        if rounds > 4 * (usize::BITS as usize) {
+            // Luby terminates in expected O(log n) rounds; blowing far past
+            // that means the input breaks the algorithm's contract (e.g. a
+            // non-symmetric matrix). Fail the query instead of panicking.
+            return Err(GblasError::InvalidArgument(
+                "MIS did not terminate within O(log n) rounds (is the matrix symmetric?)".into(),
+            ));
+        }
         // Draw strictly-positive priorities for the candidates (ties are
         // broken by adding a deterministic per-vertex epsilon).
         let mut inds = Vec::new();

@@ -1,0 +1,441 @@
+//! Batched multi-source analytics: k queries per masked-SpGEMM sweep.
+//!
+//! The CombBLAS 2.0 serving pattern: when a query stream asks for BFS /
+//! SSSP / personalized PageRank from many sources, running them one at a
+//! time pays the per-level (or per-iteration) latency k times. Packing
+//! the k frontiers into an `n×k` frontier matrix
+//! ([`gblas_core::container::SparseFrontier`] /
+//! [`gblas_dist::DistFrontier`]) turns every traversal level into **one**
+//! batched expansion — in distributed memory, one fused bulk message per
+//! locale pair instead of k (see `gblas_dist::ops::expand`).
+//!
+//! Each `*_multi_on` function is the single-source algorithm text with
+//! the per-level kernel swapped for its batched counterpart. Because the
+//! batched kernels are bit-identical per source to the single-source
+//! kernels (a row of the frontier SpGEMM *is* the single-source product),
+//! slot `s` of every batched result equals the single-source run from
+//! `sources[s]` — the equivalence the `batched_equivalence` integration
+//! suite pins on both backends. Duplicate sources are independent slots.
+
+use crate::bfs::BfsResult;
+use crate::sssp::EdgeWeight;
+use gblas_core::algebra::{semirings, Plus, Scalar};
+use gblas_core::backend::{GblasBackend, SharedBackend};
+use gblas_core::container::{CsrMatrix, DenseVec};
+use gblas_core::error::{check_dims, GblasError, Result};
+use gblas_core::ops::spmspv::SpMSpVOpts;
+use gblas_core::par::ExecCtx;
+use gblas_dist::{DistBackend, DistCsrMatrix, DistCtx};
+
+fn check_sources<B: GblasBackend, T: Scalar>(
+    backend: &B,
+    a: &B::Matrix<T>,
+    sources: &[usize],
+) -> Result<usize> {
+    check_dims("square matrix", backend.mat_nrows(a), backend.mat_ncols(a))?;
+    let n = backend.mat_nrows(a);
+    for &s in sources {
+        if s >= n {
+            return Err(GblasError::IndexOutOfBounds { index: s, capacity: n });
+        }
+    }
+    Ok(n)
+}
+
+/// Batched level-synchronous BFS: one masked batched expansion per level
+/// for all `k` sources. Slot `s` of the result is bit-identical to
+/// [`crate::bfs::bfs_on`] from `sources[s]`.
+pub fn bfs_multi_on<B: GblasBackend, T: Scalar>(
+    backend: &B,
+    a: &B::Matrix<T>,
+    sources: &[usize],
+    opts: SpMSpVOpts,
+) -> Result<Vec<BfsResult>> {
+    let n = check_sources(backend, a, sources)?;
+    let k = sources.len();
+    let mut levels: Vec<DenseVec<i64>> = (0..k).map(|_| DenseVec::filled(n, -1i64)).collect();
+    let mut parents: Vec<DenseVec<usize>> =
+        (0..k).map(|_| DenseVec::filled(n, usize::MAX)).collect();
+    let mut visited: Vec<B::DenseVec<bool>> =
+        (0..k).map(|_| backend.dense_filled(n, false)).collect();
+    for (s, &src) in sources.iter().enumerate() {
+        levels[s][src] = 0;
+        parents[s][src] = src;
+        backend.dense_set(&mut visited[s], src, true);
+    }
+    let mut frontier =
+        backend.frontier_from_entries(n, sources.iter().map(|&src| vec![(src, src)]).collect())?;
+    let mut level = 0i64;
+    while backend.frontier_nnz(&frontier) > 0 {
+        level += 1;
+        let next = backend.expand_first_visitor(a, &frontier, &visited, opts)?;
+        let entries = backend.frontier_entries(&next);
+        let mut rows: Vec<Vec<(usize, usize)>> = Vec::with_capacity(k);
+        for (s, found) in entries.into_iter().enumerate() {
+            let mut row = Vec::with_capacity(found.len());
+            for (v, parent) in found {
+                backend.dense_set(&mut visited[s], v, true);
+                levels[s][v] = level;
+                parents[s][v] = parent;
+                row.push((v, v));
+            }
+            rows.push(row);
+        }
+        frontier = backend.frontier_from_entries(n, rows)?;
+    }
+    Ok(levels
+        .into_iter()
+        .zip(parents)
+        .map(|(levels, parents)| BfsResult { levels, parents })
+        .collect())
+}
+
+/// Shared-memory batched BFS.
+pub fn bfs_multi<T: Scalar>(
+    a: &CsrMatrix<T>,
+    sources: &[usize],
+    ctx: &ExecCtx,
+) -> Result<Vec<BfsResult>> {
+    bfs_multi_with(a, sources, SpMSpVOpts::default(), ctx)
+}
+
+/// Shared-memory batched BFS with explicit SpMSpV options.
+pub fn bfs_multi_with<T: Scalar>(
+    a: &CsrMatrix<T>,
+    sources: &[usize],
+    opts: SpMSpVOpts,
+    ctx: &ExecCtx,
+) -> Result<Vec<BfsResult>> {
+    bfs_multi_on(&SharedBackend::new(ctx), a, sources, opts)
+}
+
+/// Distributed batched BFS: one fused gather/scatter per level for the
+/// whole batch. Returns per-source results plus the accumulated
+/// simulated-time ledger.
+pub fn bfs_multi_dist<T: Scalar>(
+    a: &DistCsrMatrix<T>,
+    sources: &[usize],
+    dctx: &DistCtx,
+) -> Result<(Vec<BfsResult>, gblas_sim::SimReport)> {
+    let backend = DistBackend::new(dctx);
+    let results = bfs_multi_on(&backend, a, sources, SpMSpVOpts::default())?;
+    Ok((results, backend.take_report()))
+}
+
+/// Batched Bellman–Ford: one batched `(min, +)` expansion per round for
+/// all `k` sources. Slot `s` matches [`crate::sssp::sssp_on`] from
+/// `sources[s]` bit for bit.
+pub fn sssp_multi_on<B: GblasBackend, T: EdgeWeight>(
+    backend: &B,
+    a: &B::Matrix<T>,
+    sources: &[usize],
+    opts: SpMSpVOpts,
+) -> Result<Vec<DenseVec<f64>>> {
+    let n = check_sources(backend, a, sources)?;
+    let k = sources.len();
+    let w: B::Matrix<f64> = backend.mat_map(a, &|_, _, v| v.as_weight())?;
+    let ring = semirings::min_plus();
+    let mut dist: Vec<Vec<f64>> = (0..k).map(|_| vec![f64::INFINITY; n]).collect();
+    for (s, &src) in sources.iter().enumerate() {
+        dist[s][src] = 0.0;
+    }
+    let mut frontier =
+        backend.frontier_from_entries(n, sources.iter().map(|&src| vec![(src, 0.0)]).collect())?;
+    let mut rounds = 0usize;
+    while backend.frontier_nnz(&frontier) > 0 {
+        rounds += 1;
+        if rounds > n {
+            return Err(GblasError::InvalidArgument(
+                "sssp did not converge within V rounds (negative cycle?)".into(),
+            ));
+        }
+        let relaxed: B::Frontier<f64> = backend.expand_semiring(&w, &frontier, &ring, opts)?;
+        let entries = backend.frontier_entries(&relaxed);
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(k);
+        for (s, found) in entries.into_iter().enumerate() {
+            let mut row = Vec::new();
+            for (j, d) in found {
+                if d < dist[s][j] {
+                    dist[s][j] = d;
+                    row.push((j, d));
+                }
+            }
+            rows.push(row);
+        }
+        frontier = backend.frontier_from_entries(n, rows)?;
+    }
+    Ok(dist.into_iter().map(DenseVec::from_vec).collect())
+}
+
+/// Shared-memory batched SSSP.
+pub fn sssp_multi<T: EdgeWeight>(
+    a: &CsrMatrix<T>,
+    sources: &[usize],
+    ctx: &ExecCtx,
+) -> Result<Vec<DenseVec<f64>>> {
+    sssp_multi_with(a, sources, SpMSpVOpts::default(), ctx)
+}
+
+/// Shared-memory batched SSSP with explicit SpMSpV options.
+pub fn sssp_multi_with<T: EdgeWeight>(
+    a: &CsrMatrix<T>,
+    sources: &[usize],
+    opts: SpMSpVOpts,
+    ctx: &ExecCtx,
+) -> Result<Vec<DenseVec<f64>>> {
+    sssp_multi_on(&SharedBackend::new(ctx), a, sources, opts)
+}
+
+/// Distributed batched SSSP. Returns per-source distances plus the
+/// accumulated simulated-time ledger.
+pub fn sssp_multi_dist<T: EdgeWeight>(
+    a: &DistCsrMatrix<T>,
+    sources: &[usize],
+    dctx: &DistCtx,
+) -> Result<(Vec<DenseVec<f64>>, gblas_sim::SimReport)> {
+    let backend = DistBackend::new(dctx);
+    let results = sssp_multi_on(&backend, a, sources, SpMSpVOpts::default())?;
+    Ok((results, backend.take_report()))
+}
+
+/// Tunables for personalized PageRank ([`ppr_multi_on`]). Same defaults
+/// as [`crate::pagerank::PageRankOptions`].
+#[derive(Debug, Clone, Copy)]
+pub struct PprOptions {
+    /// Damping factor (0.85 is the classic value).
+    pub damping: f64,
+    /// Per-seed stop: L1 change between iterations below this.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for PprOptions {
+    fn default() -> Self {
+        PprOptions { damping: 0.85, tolerance: 1e-9, max_iterations: 200 }
+    }
+}
+
+/// Batched personalized-PageRank output.
+#[derive(Debug, Clone)]
+pub struct PprResult {
+    /// Per-seed score vectors (each sums to 1), batch order.
+    pub scores: Vec<DenseVec<f64>>,
+    /// Iterations each seed ran before converging (or hitting the cap).
+    pub iterations: Vec<usize>,
+}
+
+/// Batched personalized PageRank: power iteration with restart to each
+/// seed, all seeds sharing one dense SpMM per iteration. Restart *and*
+/// dangling mass teleport to the seed vertex (the standard personalized
+/// formulation), so mass stays conserved per seed:
+///
+/// `r[v] ← (1-d)·e_s[v] + d·(spread[v] + dangling·e_s[v])`
+///
+/// A converged seed freezes — it drops out of subsequent SpMMs — so each
+/// seed's trajectory (and iteration count) is exactly its `k = 1` run.
+pub fn ppr_multi_on<B: GblasBackend, T: Scalar>(
+    backend: &B,
+    a: &B::Matrix<T>,
+    seeds: &[usize],
+    opts: PprOptions,
+) -> Result<PprResult> {
+    let n = check_sources(backend, a, seeds)?;
+    let k = seeds.len();
+    if n == 0 || k == 0 {
+        return Ok(PprResult {
+            scores: seeds.iter().map(|_| DenseVec::from_vec(Vec::new())).collect(),
+            iterations: vec![0; k],
+        });
+    }
+    // Row-stochastic weights, shared by the whole batch.
+    let ones: B::Matrix<f64> = backend.mat_map(a, &|_, _, _| 1.0f64)?;
+    let outdeg: Vec<f64> = backend.reduce_rows(&ones, &Plus)?;
+    let w: B::Matrix<f64> = {
+        let deg = &outdeg;
+        backend.mat_map(&ones, &|i, _, _| 1.0 / deg[i])?
+    };
+    let ring = semirings::plus_times_f64();
+    let mut pr: Vec<Vec<f64>> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut v = vec![0.0f64; n];
+            v[seed] = 1.0;
+            v
+        })
+        .collect();
+    let mut iterations = vec![opts.max_iterations; k];
+    let mut active: Vec<usize> = (0..k).collect();
+    for iter in 1..=opts.max_iterations {
+        if active.is_empty() {
+            break;
+        }
+        let xs: Vec<B::DenseVec<f64>> =
+            active.iter().map(|&s| backend.dense_from_vec(pr[s].clone())).collect();
+        let spreads: Vec<B::DenseVec<f64>> = backend.spmm_dense(&w, &xs, &ring)?;
+        backend.allreduce_scalar("ppr-allreduce")?;
+        let mut still = Vec::with_capacity(active.len());
+        for (slot, &s) in active.iter().enumerate() {
+            let seed = seeds[s];
+            let dangling: f64 = (0..n).filter(|&i| outdeg[i] == 0.0).map(|i| pr[s][i]).sum();
+            let spread = backend.dense_to_vec(&spreads[slot]);
+            let mut diff = 0.0;
+            let mut next = vec![0.0f64; n];
+            for v in 0..n {
+                let teleport = if v == seed { 1.0 } else { 0.0 };
+                let r = (1.0 - opts.damping) * teleport
+                    + opts.damping * (spread[v] + dangling * teleport);
+                diff += (r - pr[s][v]).abs();
+                next[v] = r;
+            }
+            pr[s] = next;
+            if diff < opts.tolerance {
+                iterations[s] = iter;
+            } else {
+                still.push(s);
+            }
+        }
+        active = still;
+    }
+    Ok(PprResult { scores: pr.into_iter().map(DenseVec::from_vec).collect(), iterations })
+}
+
+/// Shared-memory batched personalized PageRank.
+pub fn ppr_multi<T: Scalar>(
+    a: &CsrMatrix<T>,
+    seeds: &[usize],
+    opts: PprOptions,
+    ctx: &ExecCtx,
+) -> Result<PprResult> {
+    ppr_multi_on(&SharedBackend::new(ctx), a, seeds, opts)
+}
+
+/// Single-seed personalized PageRank — [`ppr_multi`] at `k = 1`.
+pub fn ppr<T: Scalar>(
+    a: &CsrMatrix<T>,
+    seed: usize,
+    opts: PprOptions,
+    ctx: &ExecCtx,
+) -> Result<(DenseVec<f64>, usize)> {
+    let mut r = ppr_multi(a, &[seed], opts, ctx)?;
+    Ok((r.scores.remove(0), r.iterations[0]))
+}
+
+/// Distributed batched personalized PageRank. Returns the batched result
+/// plus the accumulated simulated-time ledger.
+pub fn ppr_multi_dist<T: Scalar>(
+    a: &DistCsrMatrix<T>,
+    seeds: &[usize],
+    opts: PprOptions,
+    dctx: &DistCtx,
+) -> Result<(PprResult, gblas_sim::SimReport)> {
+    let backend = DistBackend::new(dctx);
+    let result = ppr_multi_on(&backend, a, seeds, opts)?;
+    Ok((result, backend.take_report()))
+}
+
+/// Distributed single-seed personalized PageRank — [`ppr_multi_dist`] at
+/// `k = 1`.
+pub fn ppr_dist<T: Scalar>(
+    a: &DistCsrMatrix<T>,
+    seed: usize,
+    opts: PprOptions,
+    dctx: &DistCtx,
+) -> Result<(DenseVec<f64>, usize, gblas_sim::SimReport)> {
+    let (mut r, report) = ppr_multi_dist(a, &[seed], opts, dctx)?;
+    Ok((r.scores.remove(0), r.iterations[0], report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs;
+    use crate::sssp::sssp;
+    use gblas_core::gen;
+    use gblas_dist::ProcGrid;
+    use gblas_sim::MachineConfig;
+
+    #[test]
+    fn batched_bfs_matches_single_source_loop() {
+        let a = gen::erdos_renyi(300, 5, 71);
+        let ctx = ExecCtx::serial();
+        let sources = [0usize, 17, 17, 250];
+        let batched = bfs_multi(&a, &sources, &ctx).unwrap();
+        for (s, &src) in sources.iter().enumerate() {
+            let single = bfs(&a, src, &ctx).unwrap();
+            assert_eq!(batched[s], single, "slot {s}");
+        }
+    }
+
+    #[test]
+    fn batched_sssp_matches_single_source_loop() {
+        let a = gen::erdos_renyi(250, 5, 73);
+        let ctx = ExecCtx::serial();
+        let sources = [3usize, 99];
+        let batched = sssp_multi(&a, &sources, &ctx).unwrap();
+        for (s, &src) in sources.iter().enumerate() {
+            let single = sssp(&a, src, &ctx).unwrap();
+            assert_eq!(batched[s].as_slice(), single.as_slice(), "slot {s}");
+        }
+    }
+
+    #[test]
+    fn ppr_scores_sum_to_one_and_localize() {
+        let a = gen::erdos_renyi(200, 6, 79);
+        let ctx = ExecCtx::serial();
+        let r = ppr_multi(&a, &[5, 120], PprOptions::default(), &ctx).unwrap();
+        for (scores, iters) in r.scores.iter().zip(&r.iterations) {
+            let sum: f64 = scores.as_slice().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+            assert!(*iters > 1);
+        }
+        // the seed itself should carry far more mass than average
+        assert!(r.scores[0][5] > 10.0 / 200.0);
+        assert!(r.scores[1][120] > 10.0 / 200.0);
+    }
+
+    #[test]
+    fn ppr_batch_slot_matches_its_solo_run() {
+        let a = gen::erdos_renyi(150, 5, 83);
+        let ctx = ExecCtx::serial();
+        let opts = PprOptions::default();
+        let batch = ppr_multi(&a, &[2, 60, 2], opts, &ctx).unwrap();
+        for (s, &seed) in [2usize, 60, 2].iter().enumerate() {
+            let (solo, iters) = ppr(&a, seed, opts, &ctx).unwrap();
+            assert_eq!(batch.scores[s].as_slice(), solo.as_slice(), "slot {s}");
+            assert_eq!(batch.iterations[s], iters, "slot {s}");
+        }
+    }
+
+    #[test]
+    fn dist_batched_bfs_matches_shared() {
+        let a = gen::erdos_renyi(300, 5, 89);
+        let sources = [1usize, 42, 200];
+        let shared = bfs_multi(&a, &sources, &ExecCtx::serial()).unwrap();
+        let grid = ProcGrid::new(2, 2);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dctx = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+        let (dist, report) = bfs_multi_dist(&da, &sources, &dctx).unwrap();
+        assert_eq!(dist, shared);
+        assert!(report.total() > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let a = gen::erdos_renyi(50, 3, 97);
+        let ctx = ExecCtx::serial();
+        assert!(bfs_multi(&a, &[], &ctx).unwrap().is_empty());
+        assert!(sssp_multi(&a, &[], &ctx).unwrap().is_empty());
+        let r = ppr_multi(&a, &[], PprOptions::default(), &ctx).unwrap();
+        assert!(r.scores.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_source_is_error() {
+        let a = gen::erdos_renyi(10, 2, 101);
+        let ctx = ExecCtx::serial();
+        assert!(bfs_multi(&a, &[0, 10], &ctx).is_err());
+        assert!(sssp_multi(&a, &[10], &ctx).is_err());
+        assert!(ppr_multi(&a, &[10], PprOptions::default(), &ctx).is_err());
+    }
+}

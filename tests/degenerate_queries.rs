@@ -1,0 +1,177 @@
+//! Degenerate-query hardening: a serving deployment feeds algorithms
+//! whatever the request stream contains, so every analytic must answer
+//! empty graphs, isolated sources (an empty frontier at level 0),
+//! out-of-range sources and duplicate batch entries with a clean `Err`
+//! or an empty/zero result — never a panic. All eight algorithms, both
+//! backends, both locale executors.
+
+use gblas_core::container::CsrMatrix;
+use gblas_core::par::ExecCtx;
+use gblas_dist::{DistCsrMatrix, DistCtx, LocaleExecutor, ProcGrid};
+use gblas_graph::{
+    betweenness, betweenness_dist, bfs, bfs_dist, bfs_multi, bfs_multi_dist, connected_components,
+    connected_components_dist, core_numbers, core_numbers_dist, maximal_independent_set,
+    maximal_independent_set_dist, pagerank, pagerank_dist_on, ppr_multi, ppr_multi_dist, sssp,
+    sssp_dist, sssp_multi, sssp_multi_dist, triangle_count, triangle_count_dist, PageRankOptions,
+    PprOptions,
+};
+use gblas_sim::MachineConfig;
+
+const EXECUTORS: [LocaleExecutor; 2] = [LocaleExecutor::Serial, LocaleExecutor::Threaded];
+
+fn dctx(grid: ProcGrid, executor: LocaleExecutor) -> DistCtx {
+    let mut d = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+    d.set_executor(executor);
+    d
+}
+
+fn empty() -> CsrMatrix<f64> {
+    CsrMatrix::empty(0, 0)
+}
+
+/// Vertices 3 and 4 are isolated (no edges at all); vertex 2 has only an
+/// in-edge, so its frontier is empty at level 0.
+fn with_isolated() -> CsrMatrix<f64> {
+    CsrMatrix::from_triplets(5, 5, &[(0, 1, 1.0), (1, 0, 1.0), (0, 2, 1.0)]).unwrap()
+}
+
+#[test]
+fn empty_graph_all_eight_algorithms_shared() {
+    let a = empty();
+    let ctx = ExecCtx::serial();
+    // source-based queries: source 0 is out of range on n = 0 -> clean Err
+    assert!(bfs(&a, 0, &ctx).is_err());
+    assert!(sssp(&a, 0, &ctx).is_err());
+    assert!(betweenness(&a, &[0], &ctx).is_err());
+    // whole-graph queries: empty/zero results
+    let (pr, _) = pagerank(&a, PageRankOptions::default(), &ctx).unwrap();
+    assert!(pr.is_empty());
+    assert!(connected_components(&a, &ctx).unwrap().is_empty());
+    assert_eq!(triangle_count(&a, &ctx).unwrap(), 0);
+    assert!(core_numbers(&a, &ctx).unwrap().is_empty());
+    assert!(maximal_independent_set(&a, 1, &ctx).unwrap().is_empty());
+    assert!(betweenness(&a, &[], &ctx).unwrap().is_empty());
+    // batched queries with an empty batch
+    assert!(bfs_multi(&a, &[], &ctx).unwrap().is_empty());
+    assert!(sssp_multi(&a, &[], &ctx).unwrap().is_empty());
+    assert!(ppr_multi(&a, &[], PprOptions::default(), &ctx).unwrap().scores.is_empty());
+}
+
+#[test]
+fn empty_graph_all_eight_algorithms_dist() {
+    let a = empty();
+    let da = DistCsrMatrix::from_global(&a, ProcGrid::new(2, 2));
+    let grid = ProcGrid::new(2, 2);
+    for executor in EXECUTORS {
+        assert!(bfs_dist(&da, 0, &dctx(grid, executor)).is_err());
+        assert!(sssp_dist(&da, 0, &dctx(grid, executor)).is_err());
+        assert!(betweenness_dist(&da, &[0], &dctx(grid, executor)).is_err());
+        let (pr, _, _) =
+            pagerank_dist_on(&da, PageRankOptions::default(), &dctx(grid, executor)).unwrap();
+        assert!(pr.is_empty());
+        assert!(connected_components_dist(&da, &dctx(grid, executor)).unwrap().0.is_empty());
+        assert_eq!(triangle_count_dist(&da, &dctx(grid, executor)).unwrap().0, 0);
+        assert!(core_numbers_dist(&da, &dctx(grid, executor)).unwrap().0.is_empty());
+        assert!(maximal_independent_set_dist(&da, 1, &dctx(grid, executor)).unwrap().0.is_empty());
+        assert!(bfs_multi_dist(&da, &[], &dctx(grid, executor)).unwrap().0.is_empty());
+        assert!(sssp_multi_dist(&da, &[], &dctx(grid, executor)).unwrap().0.is_empty());
+        let (r, _) =
+            ppr_multi_dist(&da, &[], PprOptions::default(), &dctx(grid, executor)).unwrap();
+        assert!(r.scores.is_empty());
+    }
+}
+
+#[test]
+fn isolated_sources_terminate_at_level_zero_shared() {
+    let a = with_isolated();
+    let ctx = ExecCtx::serial();
+    // single-source: the first expansion is empty, traversal stops cleanly
+    let r = bfs(&a, 3, &ctx).unwrap();
+    assert_eq!(r.reached(), 1);
+    let d = sssp(&a, 4, &ctx).unwrap();
+    assert_eq!(d.as_slice().iter().filter(|x| x.is_finite()).count(), 1);
+    // vertex 2 has an in-edge but no out-edges: same story
+    let r = bfs(&a, 2, &ctx).unwrap();
+    assert_eq!(r.reached(), 1);
+    let bc = betweenness(&a, &[2, 3], &ctx).unwrap();
+    assert!(bc.as_slice().iter().all(|&x| x == 0.0));
+    // a whole batch of isolated/duplicate sources: empty batched frontier
+    // after level 0 on every slot
+    let batch = bfs_multi(&a, &[3, 4, 3, 2], &ctx).unwrap();
+    for (s, r) in batch.iter().enumerate() {
+        assert_eq!(r.reached(), 1, "slot {s}");
+    }
+    let dists = sssp_multi(&a, &[4, 4, 2], &ctx).unwrap();
+    for d in &dists {
+        assert_eq!(d.as_slice().iter().filter(|x| x.is_finite()).count(), 1);
+    }
+    // PPR from a dangling seed: all mass teleports home every iteration
+    let r = ppr_multi(&a, &[2, 4], PprOptions::default(), &ctx).unwrap();
+    for scores in &r.scores {
+        assert!(scores.as_slice().iter().sum::<f64>() > 0.99);
+    }
+}
+
+#[test]
+fn isolated_sources_terminate_at_level_zero_dist() {
+    let a = with_isolated();
+    for (pr, pc) in [(1, 1), (2, 2)] {
+        let grid = ProcGrid::new(pr, pc);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        for executor in EXECUTORS {
+            let (batch, _) = bfs_multi_dist(&da, &[3, 4, 3, 2], &dctx(grid, executor)).unwrap();
+            for (s, r) in batch.iter().enumerate() {
+                assert_eq!(r.reached(), 1, "grid {pr}x{pc} slot {s}");
+            }
+            let (dists, _) = sssp_multi_dist(&da, &[4, 4, 2], &dctx(grid, executor)).unwrap();
+            for d in &dists {
+                assert_eq!(d.as_slice().iter().filter(|x| x.is_finite()).count(), 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn out_of_range_and_duplicate_batches_are_handled() {
+    let a = with_isolated();
+    let ctx = ExecCtx::serial();
+    // any out-of-range source anywhere in the batch fails the whole query
+    assert!(bfs_multi(&a, &[0, 99], &ctx).is_err());
+    assert!(sssp_multi(&a, &[99], &ctx).is_err());
+    assert!(ppr_multi(&a, &[1, 5], PprOptions::default(), &ctx).is_err());
+    assert!(betweenness(&a, &[5], &ctx).is_err());
+    // duplicates are independent slots with identical answers
+    let batch = bfs_multi(&a, &[0, 0, 0], &ctx).unwrap();
+    assert_eq!(batch[0], batch[1]);
+    assert_eq!(batch[1], batch[2]);
+    let grid = ProcGrid::new(2, 2);
+    let da = DistCsrMatrix::from_global(&a, grid);
+    for executor in EXECUTORS {
+        assert!(bfs_multi_dist(&da, &[0, 99], &dctx(grid, executor)).is_err());
+        let (batch, _) = bfs_multi_dist(&da, &[0, 0], &dctx(grid, executor)).unwrap();
+        assert_eq!(batch[0], batch[1]);
+    }
+}
+
+#[test]
+fn serving_harness_survives_degenerate_streams() {
+    use gblas_bench::serve::{
+        generate_requests, simulate_serving, ArrivalDist, ArrivalSpec, ServePolicy,
+    };
+    // zero requests: an empty report, not a division by zero
+    let report =
+        simulate_serving("empty", &[], ServePolicy::batch_window(4, 0.01), &mut |_| Ok(0.001))
+            .unwrap();
+    assert_eq!(report.requests, 0);
+    assert_eq!(report.qps, 0.0);
+    // a stream over an empty vertex set still generates (source 0 slots)
+    let spec = ArrivalSpec { dist: ArrivalDist::Uniform, rate: 100.0 };
+    let reqs = generate_requests(3, 0, spec, 1);
+    assert!(reqs.iter().all(|r| r.source == 0));
+    // a service function that rejects propagates Err instead of panicking
+    let reqs = generate_requests(3, 10, spec, 1);
+    let res = simulate_serving("err", &reqs, ServePolicy::immediate(), &mut |_| {
+        Err(gblas_core::error::GblasError::InvalidArgument("backend down".into()))
+    });
+    assert!(res.is_err());
+}
