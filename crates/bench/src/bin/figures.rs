@@ -11,8 +11,9 @@
 //!   MIS, betweenness via the backend trait), `imbalance` for the trace
 //!   profiler's load-imbalance factor vs locale count (BFS and PageRank),
 //!   `serving` for the query-serving throughput-vs-batch-size sweep
-//!   (batched multi-source BFS vs the k-loop baseline);
-//!   `all` (default) runs everything.
+//!   (batched multi-source BFS vs the k-loop baseline), `direction` for
+//!   the direction-optimizing BFS ablation (auto vs static push/pull on
+//!   a skewed RMAT graph); `all` (default) runs everything.
 //! * `--scale S` — divide the paper's large input sizes (1M/10M/100M) by
 //!   `S` for quick runs; default 1 (full paper sizes, needs ~8 GB RAM and
 //!   a few minutes).
@@ -34,6 +35,7 @@ fn main() {
     let mut algorithms = true;
     let mut imbalance = true;
     let mut serving = true;
+    let mut direction = true;
     let mut scale = 1usize;
     let mut out = PathBuf::from("results");
     let mut trace_out: Option<String> = None;
@@ -50,30 +52,41 @@ fn main() {
                     algorithms = false;
                     imbalance = false;
                     serving = false;
+                    direction = false;
                 } else if v == "algorithms" {
                     figs = Vec::new();
                     ablations = false;
                     imbalance = false;
                     serving = false;
+                    direction = false;
                 } else if v == "imbalance" {
                     figs = Vec::new();
                     ablations = false;
                     algorithms = false;
                     serving = false;
+                    direction = false;
                 } else if v == "serving" {
                     figs = Vec::new();
                     ablations = false;
                     algorithms = false;
                     imbalance = false;
+                    direction = false;
+                } else if v == "direction" {
+                    figs = Vec::new();
+                    ablations = false;
+                    algorithms = false;
+                    imbalance = false;
+                    serving = false;
                 } else if v != "all" {
                     figs = vec![v.parse().expect(
                         "--fig expects 1..10, 'ablations', 'algorithms', 'imbalance', \
-                         'serving' or 'all'",
+                         'serving', 'direction' or 'all'",
                     )];
                     ablations = false;
                     algorithms = false;
                     imbalance = false;
                     serving = false;
+                    direction = false;
                 }
             }
             "--scale" => {
@@ -97,7 +110,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig N|ablations|algorithms|imbalance|serving|all] \
+                    "usage: figures [--fig N|ablations|algorithms|imbalance|serving|direction|all] \
                      [--scale S] [--out DIR] [--trace FILE] [--spmspv-merge sort|bucket]"
                 );
                 return;
@@ -170,6 +183,17 @@ fn main() {
             }
         }
         eprintln!("# serving sweep regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    if direction {
+        let t0 = std::time::Instant::now();
+        for fig in gblas_bench::figs::fig_direction(scale) {
+            fig.print();
+            match fig.write_csv(&out) {
+                Ok(path) => println!("(wrote {})", path.display()),
+                Err(e) => eprintln!("(csv write failed: {e})"),
+            }
+        }
+        eprintln!("# direction sweep regenerated in {:.1}s", t0.elapsed().as_secs_f64());
     }
     if let (Some(path), Some((recorder, metrics))) = (trace_out, tracing) {
         let trace = recorder.snapshot();

@@ -521,6 +521,54 @@ pub fn fig_imbalance(scale: usize) -> Vec<Figure> {
     vec![fig]
 }
 
+/// Beyond-the-paper ablation (`--fig direction`): direction-optimizing
+/// BFS under the adaptive selection policy versus the two static
+/// policies, on a skewed RMAT graph where neither static direction wins
+/// everywhere — push wastes edge traversals on the hub-dominated middle
+/// levels, pull wastes full-vertex scans on the sparse head and tail.
+/// `auto` switches per level from the measured frontier density, so its
+/// priced total should match or beat the best static policy at every
+/// node count (the `selection-smoke` CI job gates on exactly that).
+pub fn fig_direction(scale: usize) -> Vec<Figure> {
+    use gblas_core::ops::selection::SelectionPolicy;
+    use gblas_dist::ops::spmspv::CommStrategy;
+
+    // Floor of 2^16 vertices: below that the full-vertex pull scans are
+    // so cheap that static pull wins every level and the sweep shows
+    // nothing. RMAT wants a power-of-two count: floor log2 of the target.
+    let target = workloads::scaled(1 << 22, scale, 1 << 16);
+    let rmat_scale = usize::BITS - 1 - target.leading_zeros();
+    let a = gblas_core::gen::rmat(rmat_scale, 16, 177);
+    let title = format!(
+        "Direction-optimizing BFS: auto vs static push/pull (RMAT scale {rmat_scale} ef=16)"
+    );
+    let mut fig = Figure::new("direction", &title, "nodes");
+    for (label, policy) in [
+        ("push", SelectionPolicy::Push),
+        ("pull", SelectionPolicy::Pull),
+        ("auto", SelectionPolicy::Auto),
+    ] {
+        let mut points = Vec::new();
+        for &p in NODES {
+            let grid = ProcGrid::square_for(p);
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let dctx = dist_ctx(MachineConfig::edison_cluster(grid.locales(), 24));
+            let (_, _, report) = gblas_graph::bfs_selected_dist(
+                &da,
+                0,
+                policy,
+                CommStrategy::Bulk,
+                SpMSpVOpts::default(),
+                &dctx,
+            )
+            .expect("bfs_selected");
+            points.push(FigPoint { x: p, report });
+        }
+        fig.push_series(label, points);
+    }
+    vec![fig]
+}
+
 /// Run one figure by number. Figure 6 is the SPA diagram — nothing to
 /// measure — so it returns an empty set.
 pub fn run_fig(n: usize, scale: usize) -> Vec<Figure> {

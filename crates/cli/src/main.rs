@@ -3,7 +3,8 @@
 //! ```text
 //! gblas-cli <command> [--input FILE.mtx | --gen er:N:D | --gen rmat:SCALE:EF]
 //!           [--source V] [--threads T] [--symmetrize] [--seed S]
-//!           [--simulate NODES] [--trace FILE] [--spmspv-merge sort|bucket]
+//!           [--simulate NODES] [--trace FILE]
+//!           [--spmspv-merge sort|bucket|auto] [--selection auto|push|pull]
 //!
 //! commands:
 //!   info        matrix shape, nnz, degree statistics
@@ -28,8 +29,16 @@
 //! ```
 //!
 //! `--spmspv-merge` selects how the frontier algorithms merge SpMSpV
-//! results each round: `sort` (the paper's merge/radix sort) or `bucket`
-//! (the sort-free bucketed merge). Both give identical output.
+//! results each round: `sort` (the paper's merge/radix sort), `bucket`
+//! (the sort-free bucketed merge), or `auto` (pick by frontier size; the
+//! `GBLAS_MERGE` environment variable overrides all of these). All give
+//! identical output.
+//!
+//! `--selection` routes `bfs`, `cc` and `sssp` through the
+//! direction-optimizing drivers: `auto` switches push/pull per iteration
+//! from the measured frontier density, `push`/`pull` pin one direction.
+//! Results are bit-identical to the static drivers; each decision shows
+//! up in traces as a `select` span with `dir`/`fmt`/`merge` attributes.
 //!
 //! Every algorithm is a single generic function over the backend trait,
 //! so with `--simulate NODES` **every** analytic (bfs, sssp, pagerank,
@@ -45,6 +54,7 @@
 use gblas_core::backend::{GblasBackend, SharedBackend};
 use gblas_core::container::CsrMatrix;
 use gblas_core::error::{GblasError, Result};
+use gblas_core::ops::selection::{Direction, SelectionPolicy};
 use gblas_core::ops::spmspv::{MergeStrategy, SpMSpVOpts};
 use gblas_core::par::ExecCtx;
 use gblas_core::trace::{profile, sink};
@@ -67,6 +77,7 @@ struct Args {
     simulate: Option<usize>,
     trace_out: Option<String>,
     merge: MergeStrategy,
+    selection: Option<SelectionPolicy>,
     format: String,
     requests: usize,
     batch: usize,
@@ -89,6 +100,7 @@ fn parse_args() -> std::result::Result<Args, String> {
         simulate: None,
         trace_out: None,
         merge: MergeStrategy::default(),
+        selection: None,
         format: "text".to_string(),
         requests: 64,
         batch: 8,
@@ -142,7 +154,15 @@ fn parse_args() -> std::result::Result<Args, String> {
             "--spmspv-merge" => {
                 let v = need(i, &mut rest)?;
                 args.merge = MergeStrategy::parse(&v)
-                    .ok_or_else(|| format!("bad --spmspv-merge '{v}' (sort|bucket)"))?;
+                    .ok_or_else(|| format!("bad --spmspv-merge '{v}' (sort|bucket|auto)"))?;
+                i += 2;
+            }
+            "--selection" => {
+                let v = need(i, &mut rest)?;
+                args.selection = Some(
+                    SelectionPolicy::parse(&v)
+                        .ok_or_else(|| format!("bad --selection '{v}' (auto|push|pull)"))?,
+                );
                 i += 2;
             }
             "--requests" => {
@@ -313,6 +333,32 @@ fn top_vertices(scores: &[f64], k: usize, fmt: impl Fn(f64) -> String) -> String
     out
 }
 
+/// Run-length summary of the per-iteration direction choices, e.g.
+/// `" [directions: push x2, pull x3, push]"`.
+fn dir_summary(decisions: &[gblas_core::ops::selection::Decision]) -> String {
+    if decisions.is_empty() {
+        return String::new();
+    }
+    let mut runs: Vec<(Direction, usize)> = Vec::new();
+    for d in decisions {
+        match runs.last_mut() {
+            Some((dir, count)) if *dir == d.dir => *count += 1,
+            _ => runs.push((d.dir, 1)),
+        }
+    }
+    let body: Vec<String> =
+        runs.iter()
+            .map(|(dir, count)| {
+                if *count == 1 {
+                    dir.name().to_string()
+                } else {
+                    format!("{} x{count}", dir.name())
+                }
+            })
+            .collect();
+    format!(" [directions: {}]", body.join(", "))
+}
+
 /// The bc source set: `--source` when given (or on big graphs), else all.
 fn bc_sources(args: &Args, n: usize) -> Vec<usize> {
     if args.source != 0 || n > 2000 {
@@ -331,21 +377,33 @@ fn run_algo<B: GblasBackend>(backend: &B, a: &B::Matrix<f64>, args: &Args) -> Re
     let opts = SpMSpVOpts::with_merge(args.merge);
     Ok(match args.command.as_str() {
         "bfs" => {
-            let r = gblas_graph::bfs_on(backend, a, args.source, opts)?;
+            let (r, dirs) = if let Some(policy) = args.selection {
+                let (r, decisions) =
+                    gblas_graph::bfs_selected_on(backend, a, args.source, policy, opts)?;
+                (r, dir_summary(&decisions))
+            } else {
+                (gblas_graph::bfs_on(backend, a, args.source, opts)?, String::new())
+            };
             format!(
-                "bfs from {}: reached {} vertices, max level {}",
+                "bfs from {}: reached {} vertices, max level {}{dirs}",
                 args.source,
                 r.reached(),
                 r.levels.as_slice().iter().max().unwrap_or(&0)
             )
         }
         "sssp" => {
-            let dist = gblas_graph::sssp_on(backend, a, args.source, opts)?;
+            let (dist, dirs) = if let Some(policy) = args.selection {
+                let (dist, decisions) =
+                    gblas_graph::sssp_selected_on(backend, a, args.source, policy, opts)?;
+                (dist, dir_summary(&decisions))
+            } else {
+                (gblas_graph::sssp_on(backend, a, args.source, opts)?, String::new())
+            };
             let reached = dist.as_slice().iter().filter(|d| d.is_finite()).count();
             let furthest =
                 dist.as_slice().iter().filter(|d| d.is_finite()).cloned().fold(0.0, f64::max);
             format!(
-                "sssp from {}: {} reachable, max distance {:.4}",
+                "sssp from {}: {} reachable, max distance {:.4}{dirs}",
                 args.source, reached, furthest
             )
         }
@@ -358,8 +416,14 @@ fn run_algo<B: GblasBackend>(backend: &B, a: &B::Matrix<f64>, args: &Args) -> Re
             )
         }
         "cc" => {
-            let labels = gblas_graph::connected_components_on(backend, a)?;
-            format!("{} connected components", gblas_graph::cc::component_count(&labels))
+            let (labels, dirs) = if let Some(policy) = args.selection {
+                let (labels, decisions) =
+                    gblas_graph::connected_components_selected_on(backend, a, policy, opts)?;
+                (labels, dir_summary(&decisions))
+            } else {
+                (gblas_graph::connected_components_on(backend, a)?, String::new())
+            };
+            format!("{} connected components{dirs}", gblas_graph::cc::component_count(&labels))
         }
         "triangles" => {
             let t = gblas_graph::triangle_count_on(backend, a)?;

@@ -246,6 +246,54 @@ pub trait GblasBackend {
         AddM: Monoid<C>,
         MulOp: BinaryOp<A, B, C>;
 
+    // ---- adaptive selection ------------------------------------------
+
+    /// Pull-direction BFS kernel over `at = Aᵀ`: for each **unvisited**
+    /// destination, claim its minimum in-frontier in-neighbor as parent
+    /// (early exit per row). Bit-identical to
+    /// [`GblasBackend::spmspv_first_visitor`] under the complement-of-
+    /// visited mask on a deterministic schedule — the contract the
+    /// direction-optimizing traversals rely on when they switch
+    /// mid-traversal.
+    fn pull_first_visitor<T: Scalar>(
+        &self,
+        at: &Self::Matrix<T>,
+        frontier: &Self::DenseVec<bool>,
+        visited: &Self::DenseVec<bool>,
+    ) -> Result<Self::SparseVec<usize>>;
+
+    /// Promote a sparse frontier to its dense bitmap representation
+    /// (true at every stored index). Local on every backend: the bitmap
+    /// segments are block-aligned with the sparse shards.
+    fn sparse_to_bitmap<T: Scalar>(&self, x: &Self::SparseVec<T>) -> Result<Self::DenseVec<bool>>;
+
+    /// Demote a bitmap frontier to the sorted index list; each stored
+    /// value is its own index (the identity frontier BFS pushes from).
+    fn bitmap_to_sparse(&self, bits: &Self::DenseVec<bool>) -> Result<Self::SparseVec<usize>>;
+
+    /// The selection thresholds tuned for this backend's machine. The
+    /// default (and every shared-memory backend) is the Beamer constants;
+    /// the distributed backend scales them by its locale count
+    /// ([`ops::selection::SelectionThresholds::for_locales`]) because
+    /// communication, not local compute, dominates its per-level cost.
+    fn selection_thresholds(&self) -> ops::selection::SelectionThresholds {
+        ops::selection::SelectionThresholds::default()
+    }
+
+    /// Record one adaptive-selection decision as a `select` trace span
+    /// with `algo`/`dir`/`fmt`/`merge` attributes. The distributed
+    /// backend also prices the `⌈log₂ p⌉`-round allreduce that makes the
+    /// globally-agreed density counts real communication, exactly like
+    /// [`GblasBackend::allreduce_scalar`].
+    fn record_decision(
+        &self,
+        algo: &'static str,
+        iter: usize,
+        d: ops::selection::Decision,
+        nnz_f: usize,
+        unexplored: usize,
+    ) -> Result<()>;
+
     // ---- driver <-> backend data movement ----------------------------
 
     /// A dense vector of `len` copies of `fill`.
@@ -493,6 +541,51 @@ impl GblasBackend for SharedBackend<'_> {
         MulOp: BinaryOp<A, B, C>,
     {
         ops::expand::spmm_dense(a, xs, ring, self.ctx)
+    }
+
+    fn pull_first_visitor<T: Scalar>(
+        &self,
+        at: &CsrMatrix<T>,
+        frontier: &DenseVec<bool>,
+        visited: &DenseVec<bool>,
+    ) -> Result<SparseVec<usize>> {
+        ops::selection::pull_first_visitor(at, frontier, visited, self.ctx)
+    }
+
+    fn sparse_to_bitmap<T: Scalar>(&self, x: &SparseVec<T>) -> Result<DenseVec<bool>> {
+        let mut bits = vec![false; x.capacity()];
+        for &i in x.indices() {
+            bits[i] = true;
+        }
+        Ok(DenseVec::from_vec(bits))
+    }
+
+    fn bitmap_to_sparse(&self, bits: &DenseVec<bool>) -> Result<SparseVec<usize>> {
+        let indices: Vec<usize> =
+            bits.as_slice().iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        SparseVec::from_sorted(bits.len(), indices.clone(), indices)
+    }
+
+    fn record_decision(
+        &self,
+        algo: &'static str,
+        iter: usize,
+        d: ops::selection::Decision,
+        nnz_f: usize,
+        unexplored: usize,
+    ) -> Result<()> {
+        let _op = self.ctx.trace_op_attrs(
+            "select",
+            nnz_f as u64,
+            &[("iter", iter), ("unexplored", unexplored)],
+            &[
+                ("algo", algo),
+                ("dir", d.dir.name()),
+                ("fmt", d.fmt.name()),
+                ("merge", d.merge.name()),
+            ],
+        );
+        Ok(())
     }
 
     fn dense_filled<T: Scalar>(&self, len: usize, fill: T) -> DenseVec<T> {

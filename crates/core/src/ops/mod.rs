@@ -27,6 +27,7 @@ pub mod mxm;
 pub mod mxv;
 pub mod reduce;
 pub mod select;
+pub mod selection;
 pub mod spmspv;
 pub mod spmv;
 pub mod transpose;

@@ -41,6 +41,13 @@ pub const PHASE_BUCKET: &str = "bucket";
 /// Phase: output construction.
 pub const PHASE_OUTPUT: &str = "output";
 
+/// [`MergeStrategy::Auto`] picks the bucketed merge once the frontier has
+/// at least this many nonzeros: below it the bucket scatter's fixed
+/// occupancy scans cost more than a small comparison sort; above it the
+/// sort's `n log n` loses. (SuiteSparse:GraphBLAS applies the same kind
+/// of nnz switch to its saxpy-vs-dot choice.)
+pub const AUTO_BUCKET_MIN_NNZ: usize = 4096;
+
 /// How the SPA's collected (unsorted) indices become the sorted output.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum MergeStrategy {
@@ -53,6 +60,11 @@ pub enum MergeStrategy {
     /// occupancy scan. `PHASE_SORT` disappears; a cheap `PHASE_BUCKET`
     /// takes its place.
     Bucketed,
+    /// Decide per call from the measured frontier nnz: bucketed at or
+    /// above [`AUTO_BUCKET_MIN_NNZ`], sort-based below. Resolved to a
+    /// concrete strategy by [`MergeStrategy::resolve`] before any kernel
+    /// work runs, so traces always record what actually executed.
+    Auto,
 }
 
 impl MergeStrategy {
@@ -61,15 +73,50 @@ impl MergeStrategy {
         match self {
             MergeStrategy::SortBased => "sort",
             MergeStrategy::Bucketed => "bucket",
+            MergeStrategy::Auto => "auto",
         }
     }
 
-    /// Parse a CLI spelling (`sort` | `bucket`).
+    /// Parse a CLI spelling (`sort` | `bucket` | `auto`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "sort" | "sorted" | "sort-based" => Some(MergeStrategy::SortBased),
             "bucket" | "bucketed" => Some(MergeStrategy::Bucketed),
+            "auto" => Some(MergeStrategy::Auto),
             _ => None,
+        }
+    }
+
+    /// Resolve to a concrete strategy for a frontier with `nnz` stored
+    /// entries.
+    ///
+    /// This is the single resolution point for *both* the shared and the
+    /// distributed `spmspv` paths: a concrete `GBLAS_MERGE=sort|bucket`
+    /// environment override beats whatever the caller picked, and `Auto`
+    /// (from either source) then falls to the nnz threshold. The dist
+    /// kernels resolve once from the **global** frontier nnz before
+    /// fanning out, so every locale runs the same merge and the op trace
+    /// records the strategy that actually executed.
+    pub fn resolve(self, nnz: usize) -> MergeStrategy {
+        let base = match std::env::var("GBLAS_MERGE") {
+            Ok(v) => match MergeStrategy::parse(v.trim()) {
+                // "auto" in the env is a request to re-decide, not a
+                // concrete override; anything unparseable is ignored.
+                Some(e) if e != MergeStrategy::Auto => e,
+                Some(_) => MergeStrategy::Auto,
+                None => self,
+            },
+            Err(_) => self,
+        };
+        match base {
+            MergeStrategy::Auto => {
+                if nnz >= AUTO_BUCKET_MIN_NNZ {
+                    MergeStrategy::Bucketed
+                } else {
+                    MergeStrategy::SortBased
+                }
+            }
+            concrete => concrete,
         }
     }
 }
@@ -88,6 +135,12 @@ impl SpMSpVOpts {
     pub fn with_merge(merge: MergeStrategy) -> Self {
         SpMSpVOpts { merge, ..Default::default() }
     }
+
+    /// Options with the merge strategy resolved to a concrete choice for
+    /// a frontier of `nnz` entries (see [`MergeStrategy::resolve`]).
+    pub fn resolved(self, nnz: usize) -> Self {
+        SpMSpVOpts { merge: self.merge.resolve(nnz), ..self }
+    }
 }
 
 /// Turn the SPA's collected (unsorted, duplicate-free) indices into
@@ -105,7 +158,11 @@ fn merged_indices<F>(
 where
     F: Fn(usize) -> bool + Sync,
 {
-    match opts.merge {
+    // Entry points resolve `Auto` from the input frontier's nnz before
+    // the SPA runs; an unresolved strategy arriving here (a direct
+    // internal caller) falls back to the collected count.
+    match opts.merge.resolve(nzinds.len()) {
+        MergeStrategy::Auto => unreachable!("resolve() always returns a concrete strategy"),
         MergeStrategy::SortBased => {
             let mut inds = nzinds;
             sort_indices(&mut inds, opts.sort, ctx, PHASE_SORT);
@@ -143,10 +200,12 @@ pub fn spmspv_first_visitor<T: Send + Sync, X: Send + Sync>(
     ctx: &ExecCtx,
 ) -> Result<SparseVec<usize>> {
     check_dims("x capacity vs matrix rows", a.nrows(), x.capacity())?;
-    let _op = ctx.trace_op(
+    let opts = opts.resolved(x.nnz());
+    let _op = ctx.trace_op_attrs(
         "spmspv_first_visitor",
         x.nnz() as u64,
         &[("nrows", a.nrows()), ("ncols", a.ncols())],
+        &[("merge", opts.merge.name())],
     );
     let ncols = a.ncols();
     // Step 1: SPA (Listing 7 lines 12–29) — checked out of the context's
@@ -233,10 +292,12 @@ where
     MulOp: BinaryOp<A, B, C>,
 {
     check_dims("x capacity vs matrix rows", a.nrows(), x.capacity())?;
-    let _op = ctx.trace_op(
+    let opts = opts.resolved(x.nnz());
+    let _op = ctx.trace_op_attrs(
         "spmspv_semiring",
         x.nnz() as u64,
         &[("nrows", a.nrows()), ("ncols", a.ncols())],
+        &[("merge", opts.merge.name())],
     );
     let ncols = a.ncols();
     let mut spa = ctx.ws_dense_spa(ncols, ring.zero::<C>());

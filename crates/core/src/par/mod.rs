@@ -161,11 +161,27 @@ impl ExecCtx {
     /// on the simulated clock (core cannot price counters; `gblas-sim`
     /// does), so their `sim_dur` is zero.
     pub fn trace_op<'a>(&'a self, name: &str, nnz: u64, attrs: &[(&str, usize)]) -> OpSpan<'a> {
+        self.trace_op_attrs(name, nnz, attrs, &[])
+    }
+
+    /// [`ExecCtx::trace_op`] with additional string-valued attributes
+    /// (strategy names, adaptive-selection decisions) alongside the
+    /// numeric ones.
+    pub fn trace_op_attrs<'a>(
+        &'a self,
+        name: &str,
+        nnz: u64,
+        attrs: &[(&str, usize)],
+        str_attrs: &[(&str, &str)],
+    ) -> OpSpan<'a> {
         self.metrics.ops_executed(1);
         self.metrics.nnz_processed(nnz);
-        let mut span_attrs = Vec::with_capacity(attrs.len() + 1);
+        let mut span_attrs = Vec::with_capacity(attrs.len() + str_attrs.len() + 1);
         span_attrs.push(("nnz".to_string(), nnz.to_string()));
         for (k, v) in attrs {
+            span_attrs.push((k.to_string(), v.to_string()));
+        }
+        for (k, v) in str_attrs {
             span_attrs.push((k.to_string(), v.to_string()));
         }
         OpSpan {

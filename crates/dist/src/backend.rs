@@ -18,6 +18,7 @@ use gblas_core::algebra::{BinaryOp, ComMonoid, Monoid, Scalar, Semiring};
 use gblas_core::backend::{GblasBackend, MaskSpec};
 use gblas_core::container::{DenseVec, SparseVec};
 use gblas_core::error::Result;
+use gblas_core::ops::selection;
 use gblas_core::ops::spmspv::SpMSpVOpts;
 use gblas_sim::SimReport;
 use parking_lot::Mutex;
@@ -275,6 +276,82 @@ impl GblasBackend for DistBackend<'_> {
         let (out, r) = crate::ops::expand::spmm_dense_dist(a, xs, ring, self.dctx)?;
         self.absorb(r);
         Ok(out)
+    }
+
+    fn pull_first_visitor<T: Scalar>(
+        &self,
+        at: &DistCsrMatrix<T>,
+        frontier: &DistDenseVec<bool>,
+        visited: &DistDenseVec<bool>,
+    ) -> Result<DistSparseVec<usize>> {
+        let (y, report) =
+            crate::ops::pull::pull_first_visitor_dist(at, frontier, visited, self.dctx)?;
+        self.absorb(report);
+        Ok(y)
+    }
+
+    fn sparse_to_bitmap<T: Scalar>(&self, x: &DistSparseVec<T>) -> Result<DistDenseVec<bool>> {
+        let global = x.to_global();
+        let mut bits = vec![false; global.capacity()];
+        for (i, _) in global.iter() {
+            bits[i] = true;
+        }
+        Ok(DistDenseVec::from_global(&DenseVec::from_vec(bits), self.dctx.locales()))
+    }
+
+    fn bitmap_to_sparse(&self, bits: &DistDenseVec<bool>) -> Result<DistSparseVec<usize>> {
+        let global = bits.to_global();
+        let indices: Vec<usize> =
+            global.as_slice().iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect();
+        let sparse = SparseVec::from_sorted(global.len(), indices.clone(), indices)?;
+        Ok(DistSparseVec::from_global(&sparse, self.dctx.locales()))
+    }
+
+    fn selection_thresholds(&self) -> selection::SelectionThresholds {
+        selection::SelectionThresholds::for_locales(self.dctx.locales())
+    }
+
+    /// The decision span plus the allreduce that makes it globally
+    /// agreed: every locale contributes its shard's `nnz(frontier)` and
+    /// unexplored count, so the winner is combined exactly like
+    /// [`GblasBackend::allreduce_scalar`] before any locale commits to a
+    /// direction.
+    fn record_decision(
+        &self,
+        algo: &'static str,
+        iter: usize,
+        d: selection::Decision,
+        nnz_f: usize,
+        unexplored: usize,
+    ) -> Result<()> {
+        const PHASE_SELECT: &str = "select";
+        let mut op = self.dctx.op(PHASE_SELECT);
+        op.attr("algo", algo)
+            .attr("iter", iter)
+            .attr("dir", d.dir.name())
+            .attr("fmt", d.fmt.name())
+            .attr("merge", d.merge.name())
+            .attr("unexplored", unexplored)
+            .nnz(nnz_f as u64);
+        let p = self.dctx.locales();
+        let mut stride = 1usize;
+        while stride < p {
+            for l in (0..p).step_by(stride * 2) {
+                let peer = l + stride;
+                if peer < p {
+                    self.dctx.comm.bulk(
+                        PHASE_SELECT,
+                        peer,
+                        l,
+                        1,
+                        std::mem::size_of::<f64>() as u64,
+                    )?;
+                }
+            }
+            stride *= 2;
+        }
+        self.absorb(op.finish());
+        Ok(())
     }
 
     fn dense_filled<T: Scalar>(&self, len: usize, fill: T) -> DistDenseVec<T> {

@@ -26,6 +26,7 @@ pub mod ewise;
 pub mod expand;
 pub mod extract;
 pub mod mxm;
+pub mod pull;
 pub mod reduce;
 pub mod select;
 pub mod spmspv;

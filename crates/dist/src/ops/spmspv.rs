@@ -304,6 +304,9 @@ pub fn spmspv_dist_with<T: Copy + Send + Sync, V: Copy + Send + Sync + 'static>(
     dctx: &DistCtx,
 ) -> Result<(DistSparseVec<usize>, SimReport)> {
     check_dims("x capacity vs matrix rows", a.nrows(), x.capacity())?;
+    // Resolve `auto` (and any `GBLAS_MERGE` override) once from the
+    // *global* nnz so every locale runs the same strategy.
+    let opts = opts.resolved(x.nnz());
     let grid = a.grid();
     let p = grid.locales();
     if x.locales() != p {
@@ -528,6 +531,9 @@ where
     MulOp: gblas_core::algebra::BinaryOp<A, B, C>,
 {
     check_dims("x capacity vs matrix rows", a.nrows(), x.capacity())?;
+    // Same global resolution as [`spmspv_dist_with`]: one strategy,
+    // every locale.
+    let opts = opts.resolved(x.nnz());
     let grid = a.grid();
     let p = grid.locales();
     if x.locales() != p || dctx.locales() != p {

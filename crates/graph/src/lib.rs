@@ -51,6 +51,7 @@ pub mod kcore;
 pub mod mis;
 pub mod multi;
 pub mod pagerank;
+pub mod selected;
 pub mod sssp;
 pub mod triangles;
 
@@ -65,5 +66,10 @@ pub use multi::{
     PprOptions, PprResult,
 };
 pub use pagerank::{pagerank, pagerank_dist, pagerank_dist_on, pagerank_on, PageRankOptions};
+pub use selected::{
+    bfs_selected, bfs_selected_dist, bfs_selected_on, connected_components_selected,
+    connected_components_selected_dist, connected_components_selected_on, sssp_selected,
+    sssp_selected_dist, sssp_selected_on,
+};
 pub use sssp::{sssp, sssp_dist, sssp_dist_with, sssp_on, sssp_with, EdgeWeight};
 pub use triangles::{triangle_count, triangle_count_dist, triangle_count_on};

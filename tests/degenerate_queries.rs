@@ -153,6 +153,154 @@ fn out_of_range_and_duplicate_batches_are_handled() {
     }
 }
 
+/// Adaptive selection at the degenerate ends: the heuristics must answer
+/// n = 0 and single-vertex graphs without panicking, and the full suite
+/// of policies must agree there like everywhere else.
+#[test]
+fn selection_degenerate_graphs_all_policies() {
+    use gblas_core::ops::selection::SelectionPolicy;
+    use gblas_core::ops::spmspv::SpMSpVOpts;
+    use gblas_graph::{bfs_selected, bfs_selected_dist, connected_components_selected};
+
+    const POLICIES: [SelectionPolicy; 3] =
+        [SelectionPolicy::Auto, SelectionPolicy::Push, SelectionPolicy::Pull];
+    let ctx = ExecCtx::serial();
+
+    // n = 0: source queries Err cleanly, whole-graph queries are empty
+    let a = empty();
+    for policy in POLICIES {
+        assert!(bfs_selected(&a, 0, policy, SpMSpVOpts::default(), &ctx).is_err());
+        let (labels, decisions) =
+            connected_components_selected(&a, policy, SpMSpVOpts::default(), &ctx).unwrap();
+        assert!(labels.is_empty());
+        // one convergence round, same as the static driver
+        assert_eq!(decisions.len(), 1);
+    }
+
+    // single vertex, no edges: one level, traversal stops immediately
+    let one = CsrMatrix::<f64>::from_triplets(1, 1, &[]).unwrap();
+    for policy in POLICIES {
+        let (r, decisions) = bfs_selected(&one, 0, policy, SpMSpVOpts::default(), &ctx).unwrap();
+        assert_eq!(r.reached(), 1, "{policy:?}");
+        assert_eq!(decisions.len(), 1, "{policy:?}");
+    }
+
+    // isolated and sink sources: empty frontier after level 0
+    let a = with_isolated();
+    for source in [2, 3, 4] {
+        for policy in POLICIES {
+            let (r, _) = bfs_selected(&a, source, policy, SpMSpVOpts::default(), &ctx).unwrap();
+            assert_eq!(r.reached(), 1, "source {source} under {policy:?}");
+        }
+    }
+
+    // the same degenerate shapes on the distributed backend
+    use gblas_dist::ops::spmspv::CommStrategy;
+    for (p_r, p_c) in [(1, 1), (2, 2)] {
+        let grid = ProcGrid::new(p_r, p_c);
+        let done = DistCsrMatrix::from_global(&one, grid);
+        for executor in EXECUTORS {
+            for policy in POLICIES {
+                let (r, decisions, _) = bfs_selected_dist(
+                    &done,
+                    0,
+                    policy,
+                    CommStrategy::Bulk,
+                    SpMSpVOpts::default(),
+                    &dctx(grid, executor),
+                )
+                .unwrap();
+                assert_eq!(r.reached(), 1, "grid {p_r}x{p_c} {policy:?}");
+                assert_eq!(decisions.len(), 1);
+            }
+        }
+    }
+}
+
+/// The decision function exactly at its thresholds: the documented
+/// comparisons are `>=` (pull trigger, bitmap promotion) and strict `<`
+/// (push trigger), so equality flips to pull / bitmap / not-push — and a
+/// decision is always a fixed point (feeding it back as `prev` repeats
+/// it), which is what rules out push/pull oscillation at any stationary
+/// frontier density.
+#[test]
+fn selection_thresholds_exact_boundaries_and_no_oscillation() {
+    use gblas_core::ops::selection::{
+        decide, decide_format, Direction, FrontierFmt, SelectionPolicy, SelectionThresholds,
+    };
+    use gblas_core::ops::spmspv::MergeStrategy;
+
+    let t = SelectionThresholds::default(); // alpha 14, beta 24, bitmap 8, ref 8
+    let auto = SelectionPolicy::Auto;
+    let merge = MergeStrategy::SortBased;
+
+    // bitmap promotion at exactly nnz * bitmap_den == n, demotion below
+    assert_eq!(decide_format(10, 80, &t), FrontierFmt::Bitmap);
+    assert_eq!(decide_format(9, 80, &t), FrontierFmt::Sparse);
+
+    // pull trigger at exactly nnz*deg*alpha == unexplored*ref:
+    // 4*4*14 = 224 == 28*8 -> pull (and n = 96 keeps the push trigger off)
+    assert_eq!(decide(auto, Direction::Push, 4, 28, 96, 4, merge, &t).dir, Direction::Pull);
+    // one more unexplored vertex and the edge estimate falls short
+    assert_eq!(decide(auto, Direction::Push, 4, 29, 96, 4, merge, &t).dir, Direction::Push);
+
+    // push trigger is strict: nnz*beta == n stays pull, one less flips
+    assert_eq!(decide(auto, Direction::Pull, 4, 28, 96, 4, merge, &t).dir, Direction::Pull);
+    assert_eq!(decide(auto, Direction::Pull, 3, 28, 96, 4, merge, &t).dir, Direction::Push);
+
+    // n = 0 / empty frontier: decide answers without panicking
+    let d = decide(auto, Direction::Push, 0, 0, 0, 0, merge, &t);
+    assert_eq!(d.dir, Direction::Push);
+    assert_eq!(d.fmt, FrontierFmt::Sparse);
+
+    // fixed point: at any density (including exactly at the thresholds),
+    // re-deciding with the previous answer never flips it back
+    for p in [1usize, 4, 64] {
+        let tp = SelectionThresholds::for_locales(p);
+        for nnz in 0..=96usize {
+            for prev in [Direction::Push, Direction::Pull] {
+                let d1 = decide(auto, prev, nnz, 96 - nnz, 96, 4, merge, &tp);
+                let d2 = decide(auto, d1.dir, nnz, 96 - nnz, 96, 4, merge, &tp);
+                assert_eq!(d2, d1, "p={p} nnz={nnz} prev={prev:?}");
+            }
+        }
+    }
+}
+
+/// A full frontier (every vertex active at once, the complete graph's
+/// second level) promotes to a bitmap and pulls, and every policy still
+/// agrees with the static driver.
+#[test]
+fn selection_full_frontier_complete_graph() {
+    use gblas_core::ops::selection::{FrontierFmt, SelectionPolicy};
+    use gblas_core::ops::spmspv::SpMSpVOpts;
+    use gblas_graph::{bfs, bfs_selected};
+
+    const N: usize = 24;
+    let mut triplets = Vec::new();
+    for i in 0..N {
+        for j in 0..N {
+            if i != j {
+                triplets.push((i, j, 1.0));
+            }
+        }
+    }
+    let a = CsrMatrix::from_triplets(N, N, &triplets).unwrap();
+    let ctx = ExecCtx::serial();
+    let expect = bfs(&a, 0, &ctx).unwrap();
+    let mut auto_decisions = Vec::new();
+    for policy in [SelectionPolicy::Auto, SelectionPolicy::Push, SelectionPolicy::Pull] {
+        let (r, decisions) = bfs_selected(&a, 0, policy, SpMSpVOpts::default(), &ctx).unwrap();
+        assert_eq!(r, expect, "{policy:?}");
+        if policy == SelectionPolicy::Auto {
+            auto_decisions = decisions;
+        }
+    }
+    // two levels: the single source, then all n-1 others at once
+    assert_eq!(auto_decisions.len(), 2);
+    assert_eq!(auto_decisions[1].fmt, FrontierFmt::Bitmap, "full frontier must promote");
+}
+
 #[test]
 fn serving_harness_survives_degenerate_streams() {
     use gblas_bench::serve::{
