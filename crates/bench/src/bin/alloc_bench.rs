@@ -23,6 +23,13 @@
 //! `--check` runs at a reduced scale and exits nonzero if the pooled BFS
 //! steady state performs any pool-miss checkouts — the CI gate for
 //! "zero-allocation hot paths".
+//!
+//! A `sched` section records the inspector–executor schedule cache's
+//! behaviour on the simulated cluster (one distributed BFS and one
+//! PageRank run on a 2×2 grid): plan builds, replays and invalidations
+//! from the metrics registry. `regress` gates these one-sidedly — builds
+//! must not grow (a kernel falling off the schedule path re-inspects
+//! every iteration) and replays must not collapse.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -279,6 +286,47 @@ fn run_spmspv(
     RunStats { iterations: samples.len(), wall_ms, samples }
 }
 
+/// Schedule-cache accounting for one distributed algorithm run:
+/// `(iterations, builds, replays, invalidations)` plus the JSON row.
+fn sched_workload(name: &str, a: &CsrMatrix<f64>) -> String {
+    use gblas_dist::ops::spmspv::CommStrategy;
+    use gblas_dist::{DistCsrMatrix, DistCtx, ProcGrid};
+    use gblas_sim::MachineConfig;
+
+    let grid = ProcGrid::new(2, 2);
+    let da = DistCsrMatrix::from_global(a, grid);
+    let dctx = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+    let iterations = match name {
+        "bfs" => {
+            let (r, _) = gblas_graph::bfs_dist_with(
+                &da,
+                0,
+                CommStrategy::Bulk,
+                SpMSpVOpts::default(),
+                &dctx,
+            )
+            .expect("dist bfs");
+            *r.levels.as_slice().iter().max().unwrap_or(&0) as usize
+        }
+        _ => {
+            let (_, iters, _) =
+                gblas_graph::pagerank_dist_on(&da, gblas_graph::PageRankOptions::default(), &dctx)
+                    .expect("dist pagerank");
+            iters
+        }
+    };
+    let m = dctx.metrics().snapshot();
+    eprintln!(
+        "  sched/{name}: {} iterations, {} builds, {} replays, {} invalidations",
+        iterations, m.sched_builds, m.sched_replays, m.sched_invalidations
+    );
+    format!(
+        "    {{\"name\": \"{name}\", \"iterations\": {iterations}, \"builds\": {}, \
+         \"replays\": {}, \"invalidations\": {}}}",
+        m.sched_builds, m.sched_replays, m.sched_invalidations
+    )
+}
+
 fn main() {
     let mut check = false;
     let mut out_path = String::from("BENCH_alloc.json");
@@ -343,11 +391,14 @@ fn main() {
             )
         })
         .collect();
+    let sched_body: Vec<String> =
+        ["bfs", "pagerank"].iter().map(|name| sched_workload(name, &a)).collect();
     let json = format!(
         "{{\n  \"config\": {{\"n\": {n}, \"degree\": {degree}, \"nnz\": {}, \
-         \"threads\": {threads}, \"warmup_iters\": {WARMUP_ITERS}}},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"threads\": {threads}, \"warmup_iters\": {WARMUP_ITERS}}},\n  \"workloads\": [\n{}\n  ],\n  \"sched\": [\n{}\n  ]\n}}\n",
         a.nnz(),
-        body.join(",\n")
+        body.join(",\n"),
+        sched_body.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write BENCH_alloc.json");
     eprintln!("alloc_bench: wrote {out_path}");

@@ -13,7 +13,9 @@
 //!   `serving` for the query-serving throughput-vs-batch-size sweep
 //!   (batched multi-source BFS vs the k-loop baseline), `direction` for
 //!   the direction-optimizing BFS ablation (auto vs static push/pull on
-//!   a skewed RMAT graph); `all` (default) runs everything.
+//!   a skewed RMAT graph), `overlap` for the split-phase (compute/comm
+//!   overlap) pricing ablation over BFS and PageRank node sweeps;
+//!   `all` (default) runs everything.
 //! * `--scale S` — divide the paper's large input sizes (1M/10M/100M) by
 //!   `S` for quick runs; default 1 (full paper sizes, needs ~8 GB RAM and
 //!   a few minutes).
@@ -36,6 +38,7 @@ fn main() {
     let mut imbalance = true;
     let mut serving = true;
     let mut direction = true;
+    let mut overlap = true;
     let mut scale = 1usize;
     let mut out = PathBuf::from("results");
     let mut trace_out: Option<String> = None;
@@ -53,40 +56,53 @@ fn main() {
                     imbalance = false;
                     serving = false;
                     direction = false;
+                    overlap = false;
                 } else if v == "algorithms" {
                     figs = Vec::new();
                     ablations = false;
                     imbalance = false;
                     serving = false;
                     direction = false;
+                    overlap = false;
                 } else if v == "imbalance" {
                     figs = Vec::new();
                     ablations = false;
                     algorithms = false;
                     serving = false;
                     direction = false;
+                    overlap = false;
                 } else if v == "serving" {
                     figs = Vec::new();
                     ablations = false;
                     algorithms = false;
                     imbalance = false;
                     direction = false;
+                    overlap = false;
                 } else if v == "direction" {
                     figs = Vec::new();
                     ablations = false;
                     algorithms = false;
                     imbalance = false;
                     serving = false;
+                    overlap = false;
+                } else if v == "overlap" {
+                    figs = Vec::new();
+                    ablations = false;
+                    algorithms = false;
+                    imbalance = false;
+                    serving = false;
+                    direction = false;
                 } else if v != "all" {
                     figs = vec![v.parse().expect(
                         "--fig expects 1..10, 'ablations', 'algorithms', 'imbalance', \
-                         'serving', 'direction' or 'all'",
+                         'serving', 'direction', 'overlap' or 'all'",
                     )];
                     ablations = false;
                     algorithms = false;
                     imbalance = false;
                     serving = false;
                     direction = false;
+                    overlap = false;
                 }
             }
             "--scale" => {
@@ -110,8 +126,9 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig N|ablations|algorithms|imbalance|serving|direction|all] \
-                     [--scale S] [--out DIR] [--trace FILE] [--spmspv-merge sort|bucket]"
+                    "usage: figures [--fig N|ablations|algorithms|imbalance|serving|direction|\
+                     overlap|all] [--scale S] [--out DIR] [--trace FILE] \
+                     [--spmspv-merge sort|bucket]"
                 );
                 return;
             }
@@ -194,6 +211,17 @@ fn main() {
             }
         }
         eprintln!("# direction sweep regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    if overlap {
+        let t0 = std::time::Instant::now();
+        for fig in gblas_bench::figs::fig_overlap(scale) {
+            fig.print();
+            match fig.write_csv(&out) {
+                Ok(path) => println!("(wrote {})", path.display()),
+                Err(e) => eprintln!("(csv write failed: {e})"),
+            }
+        }
+        eprintln!("# overlap sweep regenerated in {:.1}s", t0.elapsed().as_secs_f64());
     }
     if let (Some(path), Some((recorder, metrics))) = (trace_out, tracing) {
         let trace = recorder.snapshot();

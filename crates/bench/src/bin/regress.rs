@@ -12,7 +12,10 @@
 //! Regressions are one-sided: using *less* memory than the baseline
 //! passes; the failure modes gated here are pooled hot paths that start
 //! allocating again, pools that stop being reused, and workloads whose
-//! allocation volume quietly grows.
+//! allocation volume quietly grows. The `sched` section is gated the
+//! same way: schedule builds must not grow (a kernel falling off the
+//! inspector–executor path re-inspects every iteration) and replays
+//! must not collapse.
 //!
 //! The two files must describe the same experiment: their `config`
 //! objects (n, degree, nnz, threads, warmup) are compared exactly, and a
@@ -189,6 +192,46 @@ fn main() {
             tol,
             ALLOC_FLOOR,
         ));
+    }
+
+    // Schedule-cache metrics, gated one-sidedly: plan builds must not
+    // grow (a kernel falling off the schedule path re-inspects every
+    // iteration) and replays must not collapse (the cache going cold).
+    // Invalidations are informational — the fixed workload should show
+    // zero, but a legitimate workload change can move them.
+    if let Some(JsonValue::Arr(base_sched)) = base.get("sched") {
+        let cand_sched = match cand.get("sched") {
+            Some(JsonValue::Arr(items)) => items.clone(),
+            _ => fail(&format!("{candidate}: missing 'sched' array (baseline has one)")),
+        };
+        for bw in base_sched {
+            let name = bw
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_else(|| fail("sched workload without a name"))
+                .to_string();
+            let Some(cw) = cand_sched
+                .iter()
+                .find(|w| w.get("name").and_then(JsonValue::as_str) == Some(name.as_str()))
+            else {
+                fail(&format!("candidate is missing sched workload '{name}'"));
+            };
+            let ctx = format!("sched/{name}");
+            checks.push(Check::upper(
+                format!("{ctx} builds"),
+                num(bw, "builds", &ctx),
+                num(cw, "builds", &ctx),
+                0.0,
+                0.0,
+            ));
+            checks.push(Check::lower(
+                format!("{ctx} replays"),
+                num(bw, "replays", &ctx),
+                num(cw, "replays", &ctx),
+                tol,
+                0.0,
+            ));
+        }
     }
 
     println!("regress: {candidate} vs baseline {baseline} (tolerance {:.0}%)", tol * 100.0);

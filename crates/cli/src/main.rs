@@ -3,7 +3,7 @@
 //! ```text
 //! gblas-cli <command> [--input FILE.mtx | --gen er:N:D | --gen rmat:SCALE:EF]
 //!           [--source V] [--threads T] [--symmetrize] [--seed S]
-//!           [--simulate NODES] [--trace FILE]
+//!           [--simulate NODES] [--trace FILE] [--overlap]
 //!           [--spmspv-merge sort|bucket|auto] [--selection auto|push|pull]
 //!
 //! commands:
@@ -39,6 +39,16 @@
 //! from the measured frontier density, `push`/`pull` pin one direction.
 //! Results are bit-identical to the static drivers; each decision shows
 //! up in traces as a `select` span with `dir`/`fmt`/`merge` attributes.
+//!
+//! `--overlap` switches the simulated cluster's pricing to split-phase
+//! (compute/communication overlap): every op phase is charged
+//! `max(comm, compute)` instead of `comm + compute`, modeling a runtime
+//! that posts its aggregated transfers asynchronously and overlaps them
+//! with local work. Results and the comm ledger are identical either
+//! way — only the simulated seconds move; traces carry the per-op
+//! `overlap_saved_s` attribute. (`GBLAS_OVERLAP=1` is the env spelling;
+//! `GBLAS_SCHED=off` disables the inspector–executor schedule cache for
+//! ablation.)
 //!
 //! Every algorithm is a single generic function over the backend trait,
 //! so with `--simulate NODES` **every** analytic (bfs, sssp, pagerank,
@@ -84,6 +94,7 @@ struct Args {
     window: f64,
     arrival: String,
     verify: bool,
+    overlap: bool,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -107,6 +118,7 @@ fn parse_args() -> std::result::Result<Args, String> {
         window: 0.005,
         arrival: "poisson:2000".to_string(),
         verify: false,
+        overlap: false,
     };
     let mut rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -185,6 +197,10 @@ fn parse_args() -> std::result::Result<Args, String> {
                 args.verify = true;
                 i += 1;
             }
+            "--overlap" => {
+                args.overlap = true;
+                i += 1;
+            }
             "--symmetrize" => {
                 args.symmetrize = true;
                 i += 1;
@@ -241,6 +257,9 @@ fn sim_ctx(nodes: usize, args: &Args) -> DistCtx {
     let mut dctx = DistCtx::new(MachineConfig::edison_cluster(nodes, 24));
     if args.trace_out.is_some() {
         dctx.enable_tracing();
+    }
+    if args.overlap {
+        dctx.set_overlap(true);
     }
     dctx
 }

@@ -343,11 +343,68 @@ metrics_registry! {
     /// Workspace checkouts that had to allocate (cold pool, capacity
     /// miss, or pooling disabled via `GBLAS_WORKSPACE=off`).
     pool_misses,
+    /// Communication schedules compiled by an inspector pass (cache
+    /// misses and rebuilds after invalidation).
+    sched_builds,
+    /// Communication schedules replayed from the cache, skipping the
+    /// inspector.
+    sched_replays,
+    /// Cached schedules discarded because the matrix generation or the
+    /// access-pattern fingerprint changed.
+    sched_invalidations,
+}
+
+/// Span-attribute key for the per-destination message count of a comm
+/// span (`dst{d}_msgs`). The single source of truth for the naming
+/// scheme, shared by the emission side ([`gblas-dist`]'s OpTrace) and the
+/// profile reconstructor, so the schema cannot drift.
+pub fn dst_msgs_key(dst: usize) -> String {
+    format!("dst{dst}_msgs")
+}
+
+/// Span-attribute key for the per-destination payload bytes of a comm
+/// span (`dst{d}_bytes`). See [`dst_msgs_key`].
+pub fn dst_bytes_key(dst: usize) -> String {
+    format!("dst{dst}_bytes")
+}
+
+/// Which per-destination quantity a comm-span attribute carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DstQuantity {
+    /// A `dst{d}_msgs` attribute.
+    Msgs,
+    /// A `dst{d}_bytes` attribute.
+    Bytes,
+}
+
+/// Parse a per-destination comm-span attribute key produced by
+/// [`dst_msgs_key`]/[`dst_bytes_key`] back into `(destination, quantity)`.
+/// Returns `None` for every other attribute.
+pub fn parse_dst_key(key: &str) -> Option<(usize, DstQuantity)> {
+    let rest = key.strip_prefix("dst")?;
+    if let Some(d) = rest.strip_suffix("_msgs") {
+        return Some((d.parse().ok()?, DstQuantity::Msgs));
+    }
+    if let Some(d) = rest.strip_suffix("_bytes") {
+        return Some((d.parse().ok()?, DstQuantity::Bytes));
+    }
+    None
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dst_keys_round_trip() {
+        for d in [0usize, 3, 17, 4096] {
+            assert_eq!(parse_dst_key(&dst_msgs_key(d)), Some((d, DstQuantity::Msgs)));
+            assert_eq!(parse_dst_key(&dst_bytes_key(d)), Some((d, DstQuantity::Bytes)));
+        }
+        for k in ["dst_msgs", "dstX_bytes", "dst3_elems", "src3_msgs", "dst3"] {
+            assert_eq!(parse_dst_key(k), None, "{k} must not parse");
+        }
+    }
 
     #[test]
     fn disabled_recorder_is_inert() {

@@ -260,12 +260,13 @@ impl TraceProfile {
 
 /// Parse the `dst{d}_msgs` / `dst{d}_bytes` attributes a `LocaleComm`
 /// span carries; returns `(dst, msgs, bytes)` tuples in attribute order.
+/// The key scheme is owned by [`crate::trace::parse_dst_key`] — the same
+/// helper the emission side names keys with, so the schema cannot drift.
 fn dst_traffic(attrs: &[(String, String)]) -> Vec<(usize, u64, u64)> {
     let mut out: Vec<(usize, u64, u64)> = Vec::new();
     for (k, v) in attrs {
-        let Some(rest) = k.strip_prefix("dst") else { continue };
-        let Some((num, field)) = rest.split_once('_') else { continue };
-        let (Ok(dst), Ok(val)) = (num.parse::<usize>(), v.parse::<u64>()) else { continue };
+        let Some((dst, quantity)) = super::parse_dst_key(k) else { continue };
+        let Ok(val) = v.parse::<u64>() else { continue };
         let entry = match out.iter_mut().find(|(d, _, _)| *d == dst) {
             Some(e) => e,
             None => {
@@ -273,10 +274,9 @@ fn dst_traffic(attrs: &[(String, String)]) -> Vec<(usize, u64, u64)> {
                 out.last_mut().unwrap()
             }
         };
-        match field {
-            "msgs" => entry.1 += val,
-            "bytes" => entry.2 += val,
-            _ => {}
+        match quantity {
+            super::DstQuantity::Msgs => entry.1 += val,
+            super::DstQuantity::Bytes => entry.2 += val,
         }
     }
     out

@@ -1,12 +1,16 @@
 //! Distributed execution context, pricing, and op-level tracing.
 
 use crate::comm::{Comm, CommEvent, CommKind};
+use crate::sched::{FrontierClass, PlanData, SchedKey, SchedOutcome, ScheduleCache};
 use gblas_core::error::{GblasError, Result};
 use gblas_core::par::{Counters, ExecCtx, Profile};
-use gblas_core::trace::{CommSummary, MetricsRegistry, SpanKind, TraceRecorder};
+use gblas_core::trace::{
+    dst_bytes_key, dst_msgs_key, CommSummary, MetricsRegistry, SpanKind, TraceRecorder,
+};
 use gblas_core::workspace::{WorkspacePool, WorkspaceStats, WsGuard};
 use gblas_sim::{MachineConfig, SimReport};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// How [`DistCtx::for_each_locale`] runs the per-locale bodies of a
@@ -72,6 +76,18 @@ pub struct DistCtx {
     /// Watermark of per-locale pool stats already mirrored into the
     /// shared [`MetricsRegistry`] — see [`DistCtx::sync_workspace_metrics`].
     ws_synced: Mutex<WorkspaceStats>,
+    /// Compiled communication schedules, keyed by (op, grid, frontier
+    /// class) and replayed across the iterations of a driver that keeps
+    /// one context alive — see [`crate::sched`].
+    sched: ScheduleCache,
+    /// Whether [`DistCtx::schedule`] caches at all (`GBLAS_SCHED=off`
+    /// builds fresh every call — the ablation/differential toggle).
+    sched_enabled: AtomicBool,
+    /// Whether comm is priced as overlapping local compute
+    /// (`max(comm, compute)` per superstep phase) instead of serializing
+    /// after it (`comm + compute`). Off by default; `GBLAS_OVERLAP=1` or
+    /// [`DistCtx::set_overlap`] turns it on.
+    overlap: AtomicBool,
 }
 
 impl DistCtx {
@@ -97,6 +113,10 @@ impl DistCtx {
             _ => LocaleExecutor::default(),
         };
         let pools = (0..machine.locales()).map(|_| Arc::new(WorkspacePool::from_env())).collect();
+        let sched_enabled =
+            !matches!(std::env::var("GBLAS_SCHED").ok().as_deref(), Some("off") | Some("0"));
+        let overlap =
+            matches!(std::env::var("GBLAS_OVERLAP").ok().as_deref(), Some("1") | Some("on"));
         DistCtx {
             machine,
             comm,
@@ -105,7 +125,70 @@ impl DistCtx {
             metrics,
             pools,
             ws_synced: Mutex::new(WorkspaceStats::default()),
+            sched: ScheduleCache::default(),
+            sched_enabled: AtomicBool::new(sched_enabled),
+            overlap: AtomicBool::new(overlap),
         }
+    }
+
+    /// Whether communication schedules are cached and replayed.
+    pub fn schedules_enabled(&self) -> bool {
+        self.sched_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable schedule caching (the programmatic form of
+    /// `GBLAS_SCHED=off`). Disabling leaves cached entries in place but
+    /// unused; kernels build fresh plans every call.
+    pub fn set_schedules(&self, on: bool) {
+        self.sched_enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether split-phase overlap pricing is on.
+    pub fn overlap_enabled(&self) -> bool {
+        self.overlap.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable split-phase overlap pricing (the programmatic
+    /// form of `GBLAS_OVERLAP=1`). Never affects results or comm logs —
+    /// only how [`OpTrace::finish`] prices comm against compute.
+    pub fn set_overlap(&self, on: bool) {
+        self.overlap.store(on, Ordering::Relaxed);
+    }
+
+    /// The schedule cache (test introspection).
+    pub fn schedules(&self) -> &ScheduleCache {
+        &self.sched
+    }
+
+    /// Resolve the communication schedule for `(op, class)` on this
+    /// context: replay the cached plan when its stamps still match, run
+    /// the `build` inspector otherwise (and cache the result). Bumps the
+    /// `sched_builds` / `sched_replays` / `sched_invalidations` metrics;
+    /// with schedules disabled the inspector always runs and no metric
+    /// moves. Called on the driver thread between supersteps, never from
+    /// locale tasks.
+    pub fn schedule(
+        &self,
+        op: &'static str,
+        class: FrontierClass,
+        grid: (usize, usize),
+        mat_gen: u64,
+        aux: u64,
+        build: impl FnOnce() -> PlanData,
+    ) -> (Arc<PlanData>, SchedOutcome) {
+        let key = SchedKey { op, grid, class };
+        let (plan, outcome) =
+            self.sched.resolve(self.schedules_enabled(), key, mat_gen, aux, build);
+        match outcome {
+            SchedOutcome::Built => self.metrics.sched_builds(1),
+            SchedOutcome::Replayed => self.metrics.sched_replays(1),
+            SchedOutcome::Invalidated => {
+                self.metrics.sched_invalidations(1);
+                self.metrics.sched_builds(1);
+            }
+            SchedOutcome::Off => {}
+        }
+        (plan, outcome)
     }
 
     /// The wall-clock executor for per-locale superstep bodies.
@@ -546,6 +629,12 @@ impl OpTrace<'_> {
         self.attr("nnz", nnz)
     }
 
+    /// Stamp how this op's communication schedule resolved
+    /// (`built`/`replayed`/`invalidated`/`off`) on the op span.
+    pub fn sched(&mut self, outcome: SchedOutcome) -> &mut Self {
+        self.attr("sched", outcome.as_str())
+    }
+
     /// Charge `count` fork-join fan-outs (`coforall loc in Locales`) to
     /// `phase` — the old `spawn_time()` / `spawn_time() * stages` terms.
     pub fn spawn(&mut self, phase: &str, count: usize) -> &mut Self {
@@ -644,8 +733,18 @@ impl OpTrace<'_> {
     pub fn finish(self) -> SimReport {
         let OpTrace { dctx, name, mut attrs, nnz, mut report, detail, wall_start } = self;
         let comm_costs = dctx.price_comm_detailed(&dctx.comm.take_events());
+        // Split-phase pricing: each phase's comm either serializes after
+        // its compute (the default sum) or overlaps it, in which case only
+        // the comm sticking out past the compute adds time. The off path
+        // is bit-identical to the historic `push_attributed(comm)`.
+        let overlap = dctx.overlap_enabled();
+        let mut overlap_saved = 0.0;
         for c in &comm_costs {
-            report.push_attributed(&c.phase, c.max_seconds(), c.max_locale());
+            overlap_saved +=
+                report.push_comm_split(&c.phase, c.max_seconds(), overlap, c.max_locale());
+        }
+        if overlap {
+            attrs.push(("overlap_saved_s".to_string(), overlap_saved.to_string()));
         }
 
         dctx.metrics.ops_executed(1);
@@ -738,8 +837,8 @@ impl OpTrace<'_> {
                             let mut comm_attrs = Vec::new();
                             for &(src, dst, msgs, bytes) in &c.per_pair {
                                 if src == l {
-                                    comm_attrs.push((format!("dst{dst}_msgs"), msgs.to_string()));
-                                    comm_attrs.push((format!("dst{dst}_bytes"), bytes.to_string()));
+                                    comm_attrs.push((dst_msgs_key(dst), msgs.to_string()));
+                                    comm_attrs.push((dst_bytes_key(dst), bytes.to_string()));
                                 }
                             }
                             recorder.span(
@@ -913,6 +1012,60 @@ mod tests {
             let report = op.finish();
             assert_eq!(report, manual, "traced={traced}");
         }
+    }
+
+    #[test]
+    fn op_trace_overlap_prices_max_and_stamps_savings() {
+        // Identical workload twice: overlap off (the default sum) and on
+        // (max per phase). Comm and compute logs are identical; only the
+        // final pricing differs.
+        let run = |overlap: bool| {
+            let mut dctx = DistCtx::new(MachineConfig::edison_cluster(2, 24));
+            dctx.set_overlap(overlap);
+            let recorder = dctx.enable_tracing();
+            let mut p = Profile::default();
+            p.counters_mut("work").elems = 1_000_000;
+            dctx.comm.bulk("work", 0, 1, 4, 1 << 22).unwrap();
+            let mut op = dctx.op("o");
+            op.compute("work", &[p.clone(), p]);
+            (op.finish(), recorder.snapshot())
+        };
+        let (off, off_trace) = run(false);
+        let (on, on_trace) = run(true);
+        let comm = off.phase("work") - on.phase("work"); // hidden part
+        assert!(on.phase("work") < off.phase("work"), "overlap must reduce the phase");
+        assert!(comm > 0.0);
+        // the op span records what overlap hid
+        let saved_attr = |t: &gblas_core::trace::Trace| {
+            t.spans.iter().find(|s| s.kind == SpanKind::Op).and_then(|s| {
+                s.attrs.iter().find(|(k, _)| k == "overlap_saved_s").map(|(_, v)| v.clone())
+            })
+        };
+        assert!(saved_attr(&off_trace).is_none(), "no savings attr when overlap is off");
+        let saved: f64 = saved_attr(&on_trace).expect("savings attr").parse().unwrap();
+        assert!((saved - comm).abs() < 1e-12, "saved {saved} vs hidden {comm}");
+    }
+
+    #[test]
+    fn schedule_resolution_counts_metrics() {
+        use crate::sched::GatherPlan;
+        let dctx = DistCtx::new(MachineConfig::edison_cluster(4, 24));
+        dctx.set_schedules(true);
+        let grid = crate::grid::ProcGrid::new(2, 2);
+        let build = || PlanData::Gather(GatherPlan::build(grid, |l| (l * 10)..(l * 10 + 10)));
+        let (_, o) = dctx.schedule("t", FrontierClass::Sparse, (2, 2), 1, 0, build);
+        assert_eq!(o, SchedOutcome::Built);
+        let (_, o) = dctx.schedule("t", FrontierClass::Sparse, (2, 2), 1, 0, build);
+        assert_eq!(o, SchedOutcome::Replayed);
+        let (_, o) = dctx.schedule("t", FrontierClass::Sparse, (2, 2), 2, 0, build);
+        assert_eq!(o, SchedOutcome::Invalidated);
+        let m = dctx.metrics().snapshot();
+        assert_eq!((m.sched_builds, m.sched_replays, m.sched_invalidations), (2, 1, 1));
+        // disabled: inspector runs, metrics untouched
+        dctx.set_schedules(false);
+        let (_, o) = dctx.schedule("t", FrontierClass::Sparse, (2, 2), 2, 0, build);
+        assert_eq!(o, SchedOutcome::Off);
+        assert_eq!(dctx.metrics().snapshot().sched_builds, 2);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod exec;
 pub mod grid;
 pub mod mat;
 pub mod ops;
+pub mod sched;
 pub mod vec;
 
 pub use backend::DistBackend;
@@ -63,4 +64,5 @@ pub use exec::{DistCtx, LocaleExecutor, Outbox};
 pub use grid::{BlockDist, ProcGrid};
 pub use mat::DistCsrMatrix;
 pub use ops::expand::DistFrontier;
+pub use sched::{CommSchedule, FrontierClass, PlanData, SchedKey, SchedOutcome, ScheduleCache};
 pub use vec::{DistDenseVec, DistSparseVec};

@@ -3,6 +3,17 @@
 use crate::grid::{BlockDist, ProcGrid};
 use gblas_core::container::{CooMatrix, CsrMatrix, DupPolicy};
 use gblas_core::error::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide generation counter: every construction or mutation of a
+/// distributed matrix draws a fresh stamp, so a cached communication
+/// schedule can tell "same matrix, same structure" from "rebuilt or
+/// mutated" with one integer compare.
+static NEXT_GEN: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_gen() -> u64 {
+    NEXT_GEN.fetch_add(1, Ordering::Relaxed)
+}
 
 /// An `nrows × ncols` sparse matrix distributed over a [`ProcGrid`]:
 /// locale `(r, c)` owns the CSR block covering row range `r` of `pr` and
@@ -14,7 +25,7 @@ use gblas_core::error::Result;
 /// a block entry is `(row + row_range.start, col + col_range.start)`.
 /// Local column coordinates mirror Listing 7's SPA, which is allocated
 /// over the local block's column range `ciLow..ciHigh` only.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DistCsrMatrix<T> {
     nrows: usize,
     ncols: usize,
@@ -22,6 +33,21 @@ pub struct DistCsrMatrix<T> {
     row_dist: BlockDist,
     col_dist: BlockDist,
     blocks: Vec<CsrMatrix<T>>,
+    /// Schedule-invalidation stamp; see [`DistCsrMatrix::generation`].
+    gen: u64,
+}
+
+impl<T: PartialEq> PartialEq for DistCsrMatrix<T> {
+    /// The generation stamp is cache-invalidation metadata, not content:
+    /// two separately-built matrices with the same entries are equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.grid == other.grid
+            && self.row_dist == other.row_dist
+            && self.col_dist == other.col_dist
+            && self.blocks == other.blocks
+    }
 }
 
 impl<T: Copy> DistCsrMatrix<T> {
@@ -82,7 +108,15 @@ impl<T: Copy> DistCsrMatrix<T> {
                 .expect("row-major walk preserves CSR order")
             })
             .collect();
-        DistCsrMatrix { nrows: a.nrows(), ncols: a.ncols(), grid, row_dist, col_dist, blocks }
+        DistCsrMatrix {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            grid,
+            row_dist,
+            col_dist,
+            blocks,
+            gen: fresh_gen(),
+        }
     }
 
     /// Assemble from per-locale blocks in local coordinates. Each block's
@@ -116,7 +150,14 @@ impl<T: Copy> DistCsrMatrix<T> {
                 )));
             }
         }
-        Ok(DistCsrMatrix { nrows, ncols, grid, row_dist, col_dist, blocks })
+        Ok(DistCsrMatrix { nrows, ncols, grid, row_dist, col_dist, blocks, gen: fresh_gen() })
+    }
+
+    /// The matrix's generation stamp: unique per construction, bumped on
+    /// every mutable block access. Communication schedules key on it and
+    /// invalidate automatically when it moves.
+    pub fn generation(&self) -> u64 {
+        self.gen
     }
 
     /// Global row count.
@@ -166,15 +207,20 @@ impl<T: Copy> DistCsrMatrix<T> {
         &self.blocks[l]
     }
 
-    /// Mutable access to locale `l`'s block.
+    /// Mutable access to locale `l`'s block. Conservatively bumps the
+    /// generation stamp: any handed-out `&mut` may change the sparsity
+    /// pattern, so cached schedules for this matrix stop replaying.
     pub fn block_mut(&mut self, l: usize) -> &mut CsrMatrix<T> {
+        self.gen = fresh_gen();
         &mut self.blocks[l]
     }
 
     /// All blocks in locale order — the shape
     /// [`crate::DistCtx::for_each_locale_state`] splits into one disjoint
-    /// `&mut` per locale task.
+    /// `&mut` per locale task. Bumps the generation stamp like
+    /// [`DistCsrMatrix::block_mut`].
     pub fn blocks_mut(&mut self) -> &mut [CsrMatrix<T>] {
+        self.gen = fresh_gen();
         &mut self.blocks
     }
 
@@ -249,5 +295,26 @@ mod tests {
         let a = gen::erdos_renyi(97, 3, 5);
         let d = DistCsrMatrix::from_global(&a, ProcGrid::new(3, 4));
         assert_eq!(d.to_global().unwrap(), a);
+    }
+
+    #[test]
+    fn generation_moves_on_mutation_not_equality() {
+        let a = gen::erdos_renyi(80, 4, 9);
+        let grid = ProcGrid::new(2, 2);
+        let mut d1 = DistCsrMatrix::from_global(&a, grid);
+        let d2 = DistCsrMatrix::from_global(&a, grid);
+        // distinct constructions: distinct stamps, but equal content
+        assert_ne!(d1.generation(), d2.generation());
+        assert_eq!(d1, d2);
+        // clone keeps the stamp (same data, schedules stay valid)
+        let c = d1.clone();
+        assert_eq!(c.generation(), d1.generation());
+        // any mutable access conservatively bumps it
+        let before = d1.generation();
+        let _ = d1.block_mut(0);
+        assert_ne!(d1.generation(), before);
+        let mid = d1.generation();
+        let _ = d1.blocks_mut();
+        assert_ne!(d1.generation(), mid);
     }
 }

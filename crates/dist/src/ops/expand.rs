@@ -156,8 +156,7 @@ fn check_batch<T: Copy + Send + Sync + 'static, B: Copy + Send + Sync>(
 /// bulk message per remote peer for the whole batch.
 #[allow(clippy::type_complexity)] // (per-locale profiles, per-locale k gathered slices)
 fn gather_batch<V: Copy + Send + Sync + 'static>(
-    a_row_range: &(impl Fn(usize) -> std::ops::Range<usize> + Sync),
-    grid: crate::grid::ProcGrid,
+    plan: &crate::sched::GatherPlan,
     f: &DistFrontier<V>,
     elem_bytes: u64,
     dctx: &DistCtx,
@@ -165,12 +164,11 @@ fn gather_batch<V: Copy + Send + Sync + 'static>(
     let k = f.k();
     Ok(dctx
         .for_each_locale(|l| {
-            let (r, _) = grid.coords(l);
-            let rr = a_row_range(l);
+            let (rs, re) = plan.row_ranges[l];
             let gctx = dctx.locale_ctx_for(l);
             let mut inds: Vec<Vec<usize>> = (0..k).map(|_| Vec::new()).collect();
             let mut vals: Vec<Vec<V>> = (0..k).map(|_| Vec::new()).collect();
-            for src in grid.row_locales(r) {
+            for &src in &plan.row_peers[l] {
                 let payload: u64 =
                     (0..k).map(|s| f.row(s).shard(src).nnz() as u64).sum::<u64>() * elem_bytes;
                 if src != l && payload > 0 {
@@ -178,7 +176,7 @@ fn gather_batch<V: Copy + Send + Sync + 'static>(
                 }
                 for s in 0..k {
                     let shard = f.row(s).shard(src);
-                    inds[s].extend(shard.indices().iter().map(|&i| i - rr.start));
+                    inds[s].extend(shard.indices().iter().map(|&i| i - rs));
                     vals[s].extend_from_slice(shard.values());
                 }
             }
@@ -191,7 +189,7 @@ fn gather_batch<V: Copy + Send + Sync + 'static>(
                 .into_iter()
                 .zip(vals)
                 .map(|(i, v)| {
-                    SparseVec::from_sorted(rr.len().max(1), i, v)
+                    SparseVec::from_sorted((re - rs).max(1), i, v)
                         .expect("row-ordered shards concatenate sorted")
                 })
                 .collect::<Vec<_>>();
@@ -199,6 +197,30 @@ fn gather_batch<V: Copy + Send + Sync + 'static>(
         })?
         .into_iter()
         .unzip())
+}
+
+/// Resolve the batched-expand gather schedule for `a` on `dctx`. The
+/// pattern is the row-aligned [`crate::sched::GatherPlan`] keyed per
+/// batch width `k` (class `Batched(k)`), so the `_multi` drivers replay
+/// one plan per width across iterations.
+fn expand_schedule<B: Copy>(
+    a: &DistCsrMatrix<B>,
+    k: usize,
+    dctx: &DistCtx,
+) -> (std::sync::Arc<crate::sched::PlanData>, crate::sched::SchedOutcome) {
+    let grid = a.grid();
+    dctx.schedule(
+        "expand_gather",
+        crate::sched::FrontierClass::Batched(k),
+        (grid.pr(), grid.pc()),
+        a.generation(),
+        0,
+        || {
+            crate::sched::PlanData::Gather(crate::sched::GatherPlan::build(grid, |l| {
+                a.row_range(l)
+            }))
+        },
+    )
 }
 
 /// Batched distributed first-visitor expansion under per-source visited
@@ -232,8 +254,10 @@ pub fn expand_dist_first_visitor<T: Copy + Send + Sync>(
     // A batched claim carries (source slot, destination offset, parent).
     let claim_bytes = (3 * std::mem::size_of::<usize>()) as u64;
 
-    // ---- Superstep 1: fused gather (one message per locale pair).
-    let (gather_profiles, lxs) = gather_batch(&|l| a.row_range(l), grid, f, elem_bytes, dctx)?;
+    // ---- Superstep 1: fused gather (one message per locale pair),
+    // executed from the cached or freshly-inspected schedule.
+    let (sched_plan, sched) = expand_schedule(a, k, dctx);
+    let (gather_profiles, lxs) = gather_batch(sched_plan.gather(), f, elem_bytes, dctx)?;
 
     // ---- Local multiply: the shared single-source kernel, once per
     // source, on this locale's block.
@@ -356,6 +380,7 @@ pub fn expand_dist_first_visitor<T: Copy + Send + Sync>(
         .attr("nrows", a.nrows())
         .attr("ncols", n)
         .attr("masked", true)
+        .sched(sched)
         .nnz(f.nnz() as u64);
     op.spawn(PHASE_GATHER, 1);
     op.compute(PHASE_GATHER, &gather_profiles);
@@ -390,7 +415,8 @@ where
     let elem_bytes = (std::mem::size_of::<usize>() + std::mem::size_of::<A>()) as u64;
     let claim_bytes = (2 * std::mem::size_of::<usize>() + std::mem::size_of::<C>()) as u64;
 
-    let (gather_profiles, lxs) = gather_batch(&|l| a.row_range(l), grid, f, elem_bytes, dctx)?;
+    let (sched_plan, sched) = expand_schedule(a, k, dctx);
+    let (gather_profiles, lxs) = gather_batch(sched_plan.gather(), f, elem_bytes, dctx)?;
 
     let mut local_profiles: Vec<Profile> = Vec::with_capacity(p);
     let mut local_results: Vec<Vec<Vec<(usize, C)>>> = Vec::with_capacity(p);
@@ -494,7 +520,7 @@ where
     let out = DistFrontier { capacity: n, locales: p, rows };
 
     let mut op = dctx.op("expand_dist_semiring");
-    op.attr("k", k).attr("nrows", a.nrows()).attr("ncols", n).nnz(f.nnz() as u64);
+    op.attr("k", k).attr("nrows", a.nrows()).attr("ncols", n).sched(sched).nnz(f.nnz() as u64);
     op.spawn(PHASE_GATHER, 1);
     op.compute(PHASE_GATHER, &gather_profiles);
     op.compute_folded(PHASE_LOCAL, &local_profiles);

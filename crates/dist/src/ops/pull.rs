@@ -24,6 +24,7 @@
 use crate::exec::DistCtx;
 use crate::mat::DistCsrMatrix;
 use crate::ops::spmspv::{PHASE_GATHER, PHASE_LOCAL, PHASE_SCATTER};
+use crate::sched::{FrontierClass, PlanData, PullPlan};
 use crate::vec::{DistDenseVec, DistSparseVec};
 use gblas_core::container::SparseVec;
 use gblas_core::error::{check_dims, GblasError, Result};
@@ -66,6 +67,26 @@ pub fn pull_first_visitor_dist<T: Copy + Send + Sync>(
     let out_dist = crate::grid::BlockDist::new(n, p);
     let nnz_f: usize = (0..p).map(|l| frontier.segment(l).iter().filter(|&&b| b).count()).sum();
 
+    // ---- Inspect or replay the pull gather schedule: the visited
+    // segments and frontier-block overlaps are pure distribution metadata,
+    // so across BFS iterations the cached plan replays untouched.
+    let (sched_plan, sched) = dctx.schedule(
+        "pull_gather",
+        FrontierClass::Bitmap,
+        (grid.pr(), grid.pc()),
+        at.generation(),
+        0,
+        || {
+            PlanData::Pull(PullPlan::build(
+                grid,
+                |l| at.col_range(l),
+                |src| visited.segment(src).len(),
+                &in_dist,
+            ))
+        },
+    );
+    let plan = sched_plan.pull();
+
     // ---- Superstep 1: gather bitmaps, scan the local block, send claims.
     struct GatherLocal {
         gather: Profile,
@@ -74,40 +95,30 @@ pub fn pull_first_visitor_dist<T: Copy + Send + Sync>(
         claims: Vec<(usize, usize)>,
     }
     let gl: Vec<GatherLocal> = dctx.for_each_locale(|l| {
-        let (r, _) = grid.coords(l);
         let row_range = at.row_range(l);
         let col_range = at.col_range(l);
         let gctx = dctx.locale_ctx_for(l);
         // Visited bits over the row range: the row block is the union of
         // the row peers' vector blocks (the alignment property), so this
-        // is one contiguous segment per peer.
+        // is one contiguous segment per peer — the plan's visited lines.
         let mut lvisited: Vec<bool> = Vec::with_capacity(row_range.len());
-        for src in grid.row_locales(r) {
-            let seg = visited.segment(src);
-            if src != l && !seg.is_empty() {
-                dctx.comm.bulk(PHASE_GATHER, l, src, 1, seg.len() as u64)?;
+        for &(src, seg_len) in &plan.visited_segs[l] {
+            if src != l && seg_len > 0 {
+                dctx.comm.bulk(PHASE_GATHER, l, src, 1, seg_len as u64)?;
             }
-            lvisited.extend_from_slice(seg);
+            lvisited.extend_from_slice(visited.segment(src));
         }
         // Frontier bits over the column range: not block-aligned, so copy
         // the overlap from every owning vector block (one bulk message per
-        // remote owner).
+        // remote owner) — the plan's overlap windows.
         let mut lfrontier: Vec<bool> = Vec::with_capacity(col_range.len());
-        if !col_range.is_empty() {
-            let first = in_dist.owner(col_range.start);
-            let last = in_dist.owner(col_range.end - 1);
-            for owner in first..=last {
-                let block = in_dist.range(owner);
-                let lo = block.start.max(col_range.start);
-                let hi = block.end.min(col_range.end);
-                if lo < hi {
-                    if owner != l {
-                        dctx.comm.bulk(PHASE_GATHER, l, owner, 1, (hi - lo) as u64)?;
-                    }
-                    let seg = frontier.segment(owner);
-                    lfrontier.extend_from_slice(&seg[lo - block.start..hi - block.start]);
-                }
+        for &(owner, lo, hi) in &plan.frontier_overlaps[l] {
+            if owner != l {
+                dctx.comm.bulk(PHASE_GATHER, l, owner, 1, (hi - lo) as u64)?;
             }
+            let block_start = in_dist.range(owner).start;
+            let seg = frontier.segment(owner);
+            lfrontier.extend_from_slice(&seg[lo - block_start..hi - block_start]);
         }
         gctx.record(PHASE_GATHER, |c| {
             c.elems += (lvisited.len() + lfrontier.len()) as u64;
@@ -198,7 +209,7 @@ pub fn pull_first_visitor_dist<T: Copy + Send + Sync>(
 
     let y = DistSparseVec::from_shards(n, shards)?;
     let mut trace = dctx.op("pull_first_visitor");
-    trace.attr("nrows", n).attr("ncols", at.ncols()).nnz(nnz_f as u64);
+    trace.attr("nrows", n).attr("ncols", at.ncols()).sched(sched).nnz(nnz_f as u64);
     trace.spawn(PHASE_GATHER, 1);
     trace.compute(PHASE_GATHER, &gather_profiles);
     trace.compute(PHASE_LOCAL, &local_profiles);

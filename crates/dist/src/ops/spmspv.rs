@@ -29,13 +29,13 @@
 use crate::exec::{DistCtx, PooledOutboxes};
 use crate::grid::ProcGrid;
 use crate::mat::DistCsrMatrix;
+use crate::sched::{FrontierClass, GatherPlan, PlanData};
 use crate::vec::DistSparseVec;
 use gblas_core::container::SparseVec;
 use gblas_core::error::{check_dims, GblasError, Result};
 use gblas_core::ops::spmspv::{spmspv_first_visitor, SpMSpVOpts};
 use gblas_core::par::{Counters, Profile};
 use gblas_sim::SimReport;
-use std::ops::Range;
 
 /// One aggregated gather reply: the owner's `(indices, values)` slice of
 /// the requested segment.
@@ -65,27 +65,32 @@ pub enum CommStrategy {
 /// range, `(start, end)`.
 const REQ_BYTES: u64 = (2 * std::mem::size_of::<usize>()) as u64;
 
-/// Gather every locale's row-block slice of `x` from its processor row.
-/// Returns per-locale gather [`Profile`]s and the assembled local vectors
-/// (local row coordinates, capacity `row_range.len().max(1)`).
+/// Gather every locale's row-block slice of `x` from its processor row,
+/// executing from a compiled [`GatherPlan`] (the *executor* half of the
+/// inspector–executor split — the plan may be freshly built or replayed
+/// from the [`crate::ScheduleCache`]; either way this runs the same code,
+/// so replay is bit-invisible). Returns per-locale gather [`Profile`]s
+/// and the assembled local vectors (local row coordinates, capacity
+/// `row_range.len().max(1)`).
 ///
 /// * [`CommStrategy::Fine`] — Listing 8 as written: each locale walks its
 ///   row peers' shards element-at-a-time (two dependent remote accesses
 ///   per nonzero), in a single superstep. This is the differential oracle
 ///   the figures plot blowing up (Figs 8–9).
-/// * [`CommStrategy::Bulk`] — the aggregated protocol, three supersteps
-///   through the outbox/inbox machinery: (1) every locale posts one
-///   coalesced *request* — the row-range descriptor it needs — per remote
-///   row peer; (2) every owner drains its request inbox in requester
-///   order and answers each with one *reply* carrying its whole slice of
-///   the requested segment, priced from the actual payload width; (3)
-///   every locale assembles its replies — ascending peer order
-///   concatenates sorted thanks to block alignment — into `lx`. Latency α
-///   is paid once per locale pair, and each locale sends ≤ `pc − 1`
-///   messages per superstep instead of one per element.
-fn gather_row_blocks<V, RR>(
+/// * [`CommStrategy::Bulk`] — the aggregated protocol, three supersteps:
+///   (1) every locale posts one coalesced *request* — the row-range
+///   descriptor it needs — per remote row peer (the descriptors come
+///   straight off the plan, so no request outbox is materialised);
+///   (2) every owner answers its plan's reply lines in requester order,
+///   each with one message carrying its whole slice of the requested
+///   segment, priced from the actual payload width; (3) every locale
+///   assembles its replies — ascending peer order concatenates sorted
+///   thanks to block alignment — into `lx`. Latency α is paid once per
+///   locale pair, and each locale sends ≤ `pc − 1` messages per superstep
+///   instead of one per element.
+fn gather_row_blocks<V>(
     grid: ProcGrid,
-    row_range: RR,
+    plan: &GatherPlan,
     x: &DistSparseVec<V>,
     strategy: CommStrategy,
     elem_bytes: u64,
@@ -93,19 +98,17 @@ fn gather_row_blocks<V, RR>(
 ) -> Result<(Vec<Profile>, Vec<SparseVec<V>>)>
 where
     V: Copy + Send + Sync + 'static,
-    RR: Fn(usize) -> Range<usize> + Sync,
 {
     let p = grid.locales();
     if strategy == CommStrategy::Fine {
         // ---- One superstep: element-wise pulls, exactly Listing 8.
         return Ok(dctx
             .for_each_locale(|l| {
-                let (r, _) = grid.coords(l);
-                let rr = row_range(l);
+                let (rs, _) = plan.row_ranges[l];
                 let gctx = dctx.locale_ctx_for(l);
                 let mut inds: Vec<usize> = Vec::new();
                 let mut vals: Vec<V> = Vec::new();
-                for src in grid.row_locales(r) {
+                for &src in &plan.row_peers[l] {
                     let shard = x.shard(src);
                     let nnz = shard.nnz() as u64;
                     if src != l {
@@ -120,14 +123,15 @@ where
                             nnz * elem_bytes,
                         )?;
                     }
-                    inds.extend(shard.indices().iter().map(|&i| i - rr.start));
+                    inds.extend(shard.indices().iter().map(|&i| i - rs));
                     vals.extend_from_slice(shard.values());
                 }
                 gctx.record(PHASE_GATHER, |c| {
                     c.elems += inds.len() as u64;
                     c.bytes_moved += inds.len() as u64 * elem_bytes;
                 });
-                let lx = SparseVec::from_sorted(rr.len().max(1), inds, vals)
+                let (start, end) = plan.row_ranges[l];
+                let lx = SparseVec::from_sorted((end - start).max(1), inds, vals)
                     .expect("row-ordered shards concatenate sorted");
                 Ok((gctx.take_profile(), lx))
             })?
@@ -136,33 +140,26 @@ where
     }
 
     // ---- Superstep 1 (requests): one coalesced segment descriptor per
-    // remote row peer.
-    let (req_profiles, req_outboxes): (Vec<Profile>, PooledOutboxes<(usize, usize)>) = dctx
-        .for_each_locale(|l| {
-            let (r, _) = grid.coords(l);
-            let rr = row_range(l);
-            let gctx = dctx.locale_ctx_for(l);
-            // Pooled per-destination request buffers: the skeleton (outer
-            // vec and each inner vec's capacity) survives across
-            // supersteps and across algorithm iterations.
-            let mut outbox = gctx.ws_nested_vec::<(usize, usize)>(p);
-            let mut c = Counters::default();
-            for src in grid.row_locales(r) {
-                if src == l {
-                    continue;
-                }
-                dctx.comm.bulk(PHASE_GATHER, l, src, 1, REQ_BYTES)?;
-                c.elems += 1;
-                outbox[src].push((rr.start, rr.end));
+    // remote row peer. The descriptors are exactly the plan's reply lines
+    // seen from the requester side, so nothing needs to be staged in an
+    // outbox — each request is logged and the owner already knows what to
+    // serve.
+    let req_profiles: Vec<Profile> = dctx.for_each_locale(|l| {
+        let gctx = dctx.locale_ctx_for(l);
+        let mut c = Counters::default();
+        for &src in &plan.row_peers[l] {
+            if src == l {
+                continue;
             }
-            gctx.record(PHASE_GATHER, |pc| pc.merge(&c));
-            Ok((gctx.take_profile(), outbox))
-        })?
-        .into_iter()
-        .unzip();
+            dctx.comm.bulk(PHASE_GATHER, l, src, 1, REQ_BYTES)?;
+            c.elems += 1;
+        }
+        gctx.record(PHASE_GATHER, |pc| pc.merge(&c));
+        Ok(gctx.take_profile())
+    })?;
 
-    // ---- Superstep 2 (replies): every owner drains its request inbox in
-    // requester order and answers each request with one message carrying
+    // ---- Superstep 2 (replies): every owner serves its plan's reply
+    // lines in requester order, answering each with one message carrying
     // its slice of the requested segment — priced from the payload that
     // actually crosses, not per element.
     let (rep_profiles, rep_outboxes): (Vec<Profile>, PooledOutboxes<ReplySlice<V>>) = dctx
@@ -171,20 +168,18 @@ where
             let shard = x.shard(o);
             let mut outbox = gctx.ws_nested_vec::<ReplySlice<V>>(p);
             let mut c = Counters::default();
-            for (requester, reqs) in req_outboxes.iter().map(|ob| &ob[o]).enumerate() {
-                for &(start, end) in reqs {
-                    // With block alignment the slice is the whole shard,
-                    // but cut it honestly from the requested range.
-                    let lo = shard.indices().partition_point(|&i| i < start);
-                    let hi = shard.indices().partition_point(|&i| i < end);
-                    let inds = shard.indices()[lo..hi].to_vec();
-                    let vals = shard.values()[lo..hi].to_vec();
-                    let nnz = inds.len() as u64;
-                    c.elems += nnz;
-                    c.bytes_moved += nnz * elem_bytes;
-                    dctx.comm.bulk(PHASE_GATHER, o, requester, 1, nnz * elem_bytes)?;
-                    outbox[requester].push((inds, vals));
-                }
+            for &(requester, start, end) in &plan.replies[o] {
+                // With block alignment the slice is the whole shard,
+                // but cut it honestly from the requested range.
+                let lo = shard.indices().partition_point(|&i| i < start);
+                let hi = shard.indices().partition_point(|&i| i < end);
+                let inds = shard.indices()[lo..hi].to_vec();
+                let vals = shard.values()[lo..hi].to_vec();
+                let nnz = inds.len() as u64;
+                c.elems += nnz;
+                c.bytes_moved += nnz * elem_bytes;
+                dctx.comm.bulk(PHASE_GATHER, o, requester, 1, nnz * elem_bytes)?;
+                outbox[requester].push((inds, vals));
             }
             gctx.record(PHASE_GATHER, |pc| pc.merge(&c));
             Ok((gctx.take_profile(), outbox))
@@ -197,19 +192,18 @@ where
     // alongside the locale's own shard.
     let (asm_profiles, lxs): (Vec<Profile>, Vec<SparseVec<V>>) = dctx
         .for_each_locale(|l| {
-            let (r, _) = grid.coords(l);
-            let rr = row_range(l);
+            let (rs, re) = plan.row_ranges[l];
             let gctx = dctx.locale_ctx_for(l);
             let mut inds: Vec<usize> = Vec::new();
             let mut vals: Vec<V> = Vec::new();
-            for src in grid.row_locales(r) {
+            for &src in &plan.row_peers[l] {
                 if src == l {
                     let shard = x.shard(l);
-                    inds.extend(shard.indices().iter().map(|&i| i - rr.start));
+                    inds.extend(shard.indices().iter().map(|&i| i - rs));
                     vals.extend_from_slice(shard.values());
                 } else {
                     for (rinds, rvals) in &rep_outboxes[src][l] {
-                        inds.extend(rinds.iter().map(|&i| i - rr.start));
+                        inds.extend(rinds.iter().map(|&i| i - rs));
                         vals.extend_from_slice(rvals);
                     }
                 }
@@ -218,7 +212,7 @@ where
                 c.elems += inds.len() as u64;
                 c.bytes_moved += inds.len() as u64 * elem_bytes;
             });
-            let lx = SparseVec::from_sorted(rr.len().max(1), inds, vals)
+            let lx = SparseVec::from_sorted((re - rs).max(1), inds, vals)
                 .expect("row-ordered replies concatenate sorted");
             Ok((gctx.take_profile(), lx))
         })?
@@ -337,13 +331,25 @@ pub fn spmspv_dist_with<T: Copy + Send + Sync, V: Copy + Send + Sync + 'static>(
     // other payload — computed from the actual pair width now).
     let claim_bytes = (2 * std::mem::size_of::<usize>()) as u64;
 
+    // ---- Inspect or replay the gather schedule (driver thread, before
+    // any superstep). Keyed on the matrix generation: a rebuilt or
+    // mutated matrix invalidates and re-inspects.
+    let (plan, sched) = dctx.schedule(
+        "gather_rows",
+        FrontierClass::Sparse,
+        (grid.pr(), grid.pc()),
+        a.generation(),
+        0,
+        || PlanData::Gather(GatherPlan::build(grid, |l| a.row_range(l))),
+    );
+
     // ---- Gather supersteps: one element-wise superstep (Fine) or the
     // aggregated request/reply protocol (Bulk) — see [`gather_row_blocks`].
     // All comm is logged by the task whose id is the event's source
     // locale, so the log's per-source order is deterministic under the
     // threaded executor.
     let (gather_profiles, lxs) =
-        gather_row_blocks(grid, |l| a.row_range(l), x, strategy, elem_bytes, dctx)?;
+        gather_row_blocks(grid, plan.gather(), x, strategy, elem_bytes, dctx)?;
 
     // ---- Local multiply superstep, one task per locale (local coords).
     let mut local_profiles: Vec<Profile> = Vec::with_capacity(p);
@@ -466,6 +472,7 @@ pub fn spmspv_dist_with<T: Copy + Send + Sync, V: Copy + Send + Sync + 'static>(
         .attr("nrows", a.nrows())
         .attr("ncols", n)
         .attr("masked", mask.is_some())
+        .sched(sched)
         .nnz(x.nnz() as u64);
     // Fine fuses the gather in one superstep; the aggregated protocol
     // spawns three (request / reply / assemble).
@@ -558,10 +565,22 @@ where
     // which over-billed small `C` and under-billed large `C`).
     let claim_bytes = (std::mem::size_of::<usize>() + std::mem::size_of::<C>()) as u64;
 
+    // ---- Inspect or replay the gather schedule — the pattern is shared
+    // with the first-visitor kernel (same key), so a BFS level and an
+    // SSSP relaxation over the same matrix replay one plan.
+    let (plan, sched) = dctx.schedule(
+        "gather_rows",
+        FrontierClass::Sparse,
+        (grid.pr(), grid.pc()),
+        a.generation(),
+        0,
+        || PlanData::Gather(GatherPlan::build(grid, |l| a.row_range(l))),
+    );
+
     // ---- Gather supersteps (shared with the first-visitor kernel):
     // element-wise (Fine) or the aggregated request/reply protocol (Bulk).
     let (gather_profiles, lxs) =
-        gather_row_blocks(grid, |l| a.row_range(l), x, strategy, elem_bytes, dctx)?;
+        gather_row_blocks(grid, plan.gather(), x, strategy, elem_bytes, dctx)?;
 
     // ---- Local semiring multiply superstep.
     let mut local_profiles: Vec<Profile> = Vec::with_capacity(p);
@@ -681,6 +700,7 @@ where
         .attr("merge", opts.merge.name())
         .attr("nrows", a.nrows())
         .attr("ncols", n)
+        .sched(sched)
         .nnz(x.nnz() as u64);
     // Only stamp the attr for masked runs so unmasked traces (and their
     // golden files) are byte-identical to the pre-mask kernel.

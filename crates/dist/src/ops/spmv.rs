@@ -13,6 +13,7 @@
 
 use crate::exec::DistCtx;
 use crate::mat::DistCsrMatrix;
+use crate::sched::{FrontierClass, GatherPlan, PlanData};
 use crate::vec::DistDenseVec;
 use gblas_core::algebra::{BinaryOp, Monoid, Semiring};
 use gblas_core::error::{check_dims, GblasError, Result};
@@ -60,6 +61,19 @@ where
     let a_bytes = std::mem::size_of::<A>() as u64;
     let c_bytes = std::mem::size_of::<C>() as u64;
 
+    // ---- Inspect or replay the gather schedule: dense SpMV gathers whole
+    // row-peer segments, so the pattern is the row-aligned plan under the
+    // `Dense` class — PageRank's power iteration replays it every step.
+    let (sched_plan, sched) = dctx.schedule(
+        "spmv_gather",
+        FrontierClass::Dense,
+        (grid.pr(), grid.pc()),
+        a.generation(),
+        0,
+        || PlanData::Gather(GatherPlan::build(grid, |l| a.row_range(l))),
+    );
+    let plan = sched_plan.gather();
+
     // ---- Superstep 1: gather + local multiply, one task per locale.
     struct GatherLocal<C> {
         gather: Profile,
@@ -68,12 +82,11 @@ where
         partial: Vec<C>,
     }
     let gl: Vec<GatherLocal<C>> = dctx.for_each_locale(|l| {
-        let (r, _) = grid.coords(l);
         let row_range = a.row_range(l);
         // Bulk-gather the row block of x (one message per remote segment).
         let gctx = dctx.locale_ctx_for(l);
         let mut lx: Vec<A> = Vec::with_capacity(row_range.len());
-        for src in grid.row_locales(r) {
+        for &src in &plan.row_peers[l] {
             let seg = x.segment(src);
             if src != l {
                 dctx.comm.bulk(PHASE_GATHER, l, src, 1, seg.len() as u64 * a_bytes)?;
@@ -166,7 +179,7 @@ where
 
     let y = DistDenseVec::from_segments(n, segments)?;
     let mut trace = dctx.op("spmv_dist");
-    trace.attr("nrows", a.nrows()).attr("ncols", n).nnz(a.nnz() as u64);
+    trace.attr("nrows", a.nrows()).attr("ncols", n).sched(sched).nnz(a.nnz() as u64);
     trace.spawn(PHASE_GATHER, 1);
     trace.compute(PHASE_GATHER, &gather_profiles);
     trace.compute(PHASE_LOCAL, &local_profiles);

@@ -1,0 +1,440 @@
+//! Inspector–executor communication schedules.
+//!
+//! The iterative drivers (BFS, PageRank, SSSP, …) run the same
+//! distributed kernels over the same matrix dozens of times, and every
+//! iteration used to re-derive the same remote-access pattern: which grid
+//! peers a locale gathers from, each locale's global row range, the shape
+//! of the aggregated request/reply exchange. Following the PGAS
+//! inspector–executor idea, this module compiles that pattern **once**
+//! into a [`CommSchedule`] and replays it on subsequent iterations:
+//!
+//! * the **inspector** is the plan constructor (`GatherPlan::build` and
+//!   friends) — it walks the grid/distribution metadata and records the
+//!   access pattern;
+//! * the **executor** is the kernel itself, refactored to *always* run
+//!   from a plan. A freshly built plan and a replayed one drive the exact
+//!   same code path, so replay is bit-invisible by construction: same
+//!   messages in the same order, same counters, same results. The only
+//!   thing a replay skips is the inspection.
+//!
+//! Schedules are cached per [`crate::DistCtx`] keyed by
+//! `(op, grid shape, frontier structure class)` and stamped with the
+//! matrix [`generation`](crate::DistCsrMatrix::generation) (plus an
+//! op-specific fingerprint, e.g. the extract index set). A stamp mismatch
+//! invalidates the entry and rebuilds — mutating a matrix or switching to
+//! a different index set can never replay a stale pattern.
+//!
+//! `GBLAS_SCHED=off` (or [`DistCtx::set_schedules`]) disables caching for
+//! ablations and differential tests: every call builds fresh, and the
+//! `sched_*` metrics stay untouched.
+
+use crate::grid::{BlockDist, ProcGrid};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The structural class of the vector/frontier an op consumes. Schedules
+/// depend on which *kind* of access pattern an op runs — not the frontier
+/// contents — so the class is part of the cache key: a push iteration
+/// over a sparse frontier and a pull iteration over a bitmap coexist in
+/// the cache without thrashing each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrontierClass {
+    /// Sparse vector input (push SpMSpV).
+    Sparse,
+    /// Dense bitmap input (pull).
+    Bitmap,
+    /// Dense value vector input.
+    Dense,
+    /// Batched multi-source frontier of width `k`.
+    Batched(usize),
+    /// An explicit index set (extract/assign).
+    Index,
+}
+
+/// Cache key: which op, on which grid shape, over which input class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SchedKey {
+    /// Static op name (`"gather_rows"`, `"pull_gather"`, …).
+    pub op: &'static str,
+    /// `(pr, pc)` of the process grid.
+    pub grid: (usize, usize),
+    /// Input structure class.
+    pub class: FrontierClass,
+}
+
+/// The compiled gather pattern of the row-aligned kernels (SpMSpV push,
+/// the batched expand): which peers each locale assembles from, each
+/// locale's row range, and — for the aggregated request/reply exchange —
+/// the reply shape every owner serves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatherPlan {
+    /// Per locale: its grid-row peers in ascending locale order,
+    /// **including itself** — the exact order the assembly loop walks, so
+    /// the own-shard position is preserved.
+    pub row_peers: Vec<Vec<usize>>,
+    /// Per locale: its global row range `(start, end)`.
+    pub row_ranges: Vec<(usize, usize)>,
+    /// Per owner locale: the `(requester, start, end)` reply lines it
+    /// serves under the aggregated bulk exchange, in ascending requester
+    /// order — the drain order the executor replays.
+    pub replies: Vec<Vec<(usize, usize, usize)>>,
+}
+
+impl GatherPlan {
+    /// Inspector: derive the gather pattern from the grid and a
+    /// `locale -> row range` map. Pure metadata walk; no communication.
+    pub fn build(grid: ProcGrid, row_range: impl Fn(usize) -> std::ops::Range<usize>) -> Self {
+        let p = grid.locales();
+        let mut row_peers: Vec<Vec<usize>> = Vec::with_capacity(p);
+        let mut row_ranges: Vec<(usize, usize)> = Vec::with_capacity(p);
+        let mut replies: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); p];
+        for l in 0..p {
+            let (r, _) = grid.coords(l);
+            row_peers.push(grid.row_locales(r).collect());
+            let rr = row_range(l);
+            row_ranges.push((rr.start, rr.end));
+        }
+        // Reply lines mirror the request loop: requester l asks every
+        // remote row peer for its row range; owners serve requesters in
+        // ascending order (the deterministic drain order).
+        for (l, peers) in row_peers.iter().enumerate() {
+            let (start, end) = row_ranges[l];
+            for &owner in peers {
+                if owner != l {
+                    replies[owner].push((l, start, end));
+                }
+            }
+        }
+        for lines in &mut replies {
+            lines.sort_unstable_by_key(|&(requester, _, _)| requester);
+        }
+        GatherPlan { row_peers, row_ranges, replies }
+    }
+}
+
+/// The compiled gather pattern of the pull kernel: per locale, the
+/// `visited` segments over its row range and the `frontier` block
+/// overlaps over its column range. Fully determined by the matrix
+/// dimensions, grid, and vector distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PullPlan {
+    /// Per locale: `(source locale, segment length)` for the visited-bit
+    /// gather, in assembly order (ascending grid-row peers, self
+    /// included).
+    pub visited_segs: Vec<Vec<(usize, usize)>>,
+    /// Per locale: `(owner, lo, hi)` global index windows of the frontier
+    /// blocks overlapping its column range, in ascending owner order.
+    pub frontier_overlaps: Vec<Vec<(usize, usize, usize)>>,
+}
+
+impl PullPlan {
+    /// Inspector for the pull gather. `seg_len(src)` is the length of
+    /// `src`'s vector segment; `in_dist` distributes the frontier.
+    pub fn build(
+        grid: ProcGrid,
+        col_range: impl Fn(usize) -> std::ops::Range<usize>,
+        seg_len: impl Fn(usize) -> usize,
+        in_dist: &BlockDist,
+    ) -> Self {
+        let p = grid.locales();
+        let mut visited_segs = Vec::with_capacity(p);
+        let mut frontier_overlaps = Vec::with_capacity(p);
+        for l in 0..p {
+            let (r, _) = grid.coords(l);
+            visited_segs.push(grid.row_locales(r).map(|src| (src, seg_len(src))).collect());
+            let cr = col_range(l);
+            let mut overlaps = Vec::new();
+            if !cr.is_empty() {
+                let first = in_dist.owner(cr.start);
+                let last = in_dist.owner(cr.end - 1);
+                for owner in first..=last {
+                    let block = in_dist.range(owner);
+                    let lo = block.start.max(cr.start);
+                    let hi = block.end.min(cr.end);
+                    if lo < hi {
+                        overlaps.push((owner, lo, hi));
+                    }
+                }
+            }
+            frontier_overlaps.push(overlaps);
+        }
+        PullPlan { visited_segs, frontier_overlaps }
+    }
+}
+
+/// The compiled pattern of `extract`: per locale, the half-open subrange
+/// of the (global, sorted) index set that overlaps its column block —
+/// the merge walk's bounds. Content-independent of `x`, so frontier
+/// changes never invalidate it; keyed on a fingerprint of the index set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractPlan {
+    /// Per locale: `(lo, hi)` positions into the index set.
+    pub index_windows: Vec<(usize, usize)>,
+}
+
+impl ExtractPlan {
+    /// Inspector for extract: binary-search each locale's index-set
+    /// window.
+    pub fn build(
+        locales: usize,
+        x_range: impl Fn(usize) -> std::ops::Range<usize>,
+        index_set: &[usize],
+    ) -> Self {
+        let mut index_windows = Vec::with_capacity(locales);
+        for l in 0..locales {
+            let r = x_range(l);
+            let lo = index_set.partition_point(|&i| i < r.start);
+            let hi = index_set.partition_point(|&i| i < r.end);
+            index_windows.push((lo, hi));
+        }
+        ExtractPlan { index_windows }
+    }
+}
+
+/// FNV-1a 64 over an index slice — the content fingerprint extract keys
+/// its schedule on. Full-content, so two different index sets cannot
+/// share a plan short of a 64-bit collision (documented tradeoff: the
+/// hash is cheaper than storing and comparing the whole set per call).
+pub fn fingerprint_indices(indices: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &i in indices {
+        for b in (i as u64).to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h ^ (indices.len() as u64)
+}
+
+/// The plan payload of one cached schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanData {
+    /// Row-aligned gather (SpMSpV push, batched expand).
+    Gather(GatherPlan),
+    /// Pull-direction bitmap gather.
+    Pull(PullPlan),
+    /// Extract index windows.
+    Extract(ExtractPlan),
+}
+
+impl PlanData {
+    /// The gather plan, panicking if this schedule holds another kind —
+    /// keys are per-op, so a mismatch is a programming error.
+    pub fn gather(&self) -> &GatherPlan {
+        match self {
+            PlanData::Gather(p) => p,
+            other => panic!("schedule kind mismatch: wanted Gather, got {other:?}"),
+        }
+    }
+
+    /// The pull plan (see [`PlanData::gather`] on mismatches).
+    pub fn pull(&self) -> &PullPlan {
+        match self {
+            PlanData::Pull(p) => p,
+            other => panic!("schedule kind mismatch: wanted Pull, got {other:?}"),
+        }
+    }
+
+    /// The extract plan (see [`PlanData::gather`] on mismatches).
+    pub fn extract(&self) -> &ExtractPlan {
+        match self {
+            PlanData::Extract(p) => p,
+            other => panic!("schedule kind mismatch: wanted Extract, got {other:?}"),
+        }
+    }
+}
+
+/// One cached schedule: the compiled plan plus the stamps that gate its
+/// reuse.
+#[derive(Debug, Clone)]
+pub struct CommSchedule {
+    /// Generation of the matrix the plan was inspected against.
+    pub mat_gen: u64,
+    /// Op-specific auxiliary fingerprint (0 when unused; extract hashes
+    /// its index set here).
+    pub aux: u64,
+    /// The compiled pattern.
+    pub plan: Arc<PlanData>,
+}
+
+/// What [`ScheduleCache::resolve`] did — stamped on op spans as the
+/// `sched` attribute and counted in the metrics registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedOutcome {
+    /// Cache miss: the inspector ran and the plan was cached.
+    Built,
+    /// Cache hit: the inspector was skipped.
+    Replayed,
+    /// Stale stamp: the cached plan was discarded and rebuilt.
+    Invalidated,
+    /// Scheduling disabled (`GBLAS_SCHED=off`): built fresh, not cached.
+    Off,
+}
+
+impl SchedOutcome {
+    /// Attribute value for trace spans.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SchedOutcome::Built => "built",
+            SchedOutcome::Replayed => "replayed",
+            SchedOutcome::Invalidated => "invalidated",
+            SchedOutcome::Off => "off",
+        }
+    }
+}
+
+/// The per-[`crate::DistCtx`] schedule store. Resolution happens on the
+/// driver thread between supersteps, so the mutex is uncontended; it
+/// exists so `DistCtx` stays `Sync`.
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    entries: Mutex<HashMap<SchedKey, CommSchedule>>,
+}
+
+impl ScheduleCache {
+    /// Look up (or build) the schedule for `key`. `mat_gen`/`aux` are the
+    /// freshness stamps; `build` runs the inspector on miss or
+    /// invalidation. When `enabled` is false the inspector always runs
+    /// and nothing is cached.
+    pub fn resolve(
+        &self,
+        enabled: bool,
+        key: SchedKey,
+        mat_gen: u64,
+        aux: u64,
+        build: impl FnOnce() -> PlanData,
+    ) -> (Arc<PlanData>, SchedOutcome) {
+        if !enabled {
+            return (Arc::new(build()), SchedOutcome::Off);
+        }
+        let mut entries = self.entries.lock();
+        let outcome = match entries.get(&key) {
+            Some(s) if s.mat_gen == mat_gen && s.aux == aux => {
+                return (Arc::clone(&s.plan), SchedOutcome::Replayed);
+            }
+            Some(_) => SchedOutcome::Invalidated,
+            None => SchedOutcome::Built,
+        };
+        let plan = Arc::new(build());
+        entries.insert(key, CommSchedule { mat_gen, aux, plan: Arc::clone(&plan) });
+        (plan, outcome)
+    }
+
+    /// Number of cached schedules (test introspection).
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when no schedule is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Drop every cached schedule.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(op: &'static str) -> SchedKey {
+        SchedKey { op, grid: (2, 2), class: FrontierClass::Sparse }
+    }
+
+    fn plan() -> PlanData {
+        PlanData::Gather(GatherPlan::build(ProcGrid::new(2, 2), |l| (l * 10)..(l * 10 + 10)))
+    }
+
+    #[test]
+    fn build_then_replay_then_invalidate() {
+        let cache = ScheduleCache::default();
+        let (_, o) = cache.resolve(true, key("g"), 7, 0, plan);
+        assert_eq!(o, SchedOutcome::Built);
+        let (_, o) = cache.resolve(true, key("g"), 7, 0, || panic!("must not rebuild"));
+        assert_eq!(o, SchedOutcome::Replayed);
+        // a moved generation discards the entry and rebuilds
+        let (_, o) = cache.resolve(true, key("g"), 8, 0, plan);
+        assert_eq!(o, SchedOutcome::Invalidated);
+        let (_, o) = cache.resolve(true, key("g"), 8, 0, || panic!("must not rebuild"));
+        assert_eq!(o, SchedOutcome::Replayed);
+        // so does a changed aux fingerprint
+        let (_, o) = cache.resolve(true, key("g"), 8, 5, plan);
+        assert_eq!(o, SchedOutcome::Invalidated);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_always_builds_and_stores_nothing() {
+        let cache = ScheduleCache::default();
+        for _ in 0..3 {
+            let (_, o) = cache.resolve(false, key("g"), 1, 0, plan);
+            assert_eq!(o, SchedOutcome::Off);
+        }
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn distinct_keys_coexist() {
+        let cache = ScheduleCache::default();
+        cache.resolve(true, key("g"), 1, 0, plan);
+        cache.resolve(
+            true,
+            SchedKey { op: "g", grid: (2, 2), class: FrontierClass::Bitmap },
+            1,
+            0,
+            plan,
+        );
+        cache.resolve(
+            true,
+            SchedKey { op: "h", grid: (2, 2), class: FrontierClass::Sparse },
+            1,
+            0,
+            plan,
+        );
+        assert_eq!(cache.len(), 3);
+        // all three replay independently
+        for k in [
+            key("g"),
+            SchedKey { op: "g", grid: (2, 2), class: FrontierClass::Bitmap },
+            SchedKey { op: "h", grid: (2, 2), class: FrontierClass::Sparse },
+        ] {
+            let (_, o) = cache.resolve(true, k, 1, 0, || panic!("must not rebuild"));
+            assert_eq!(o, SchedOutcome::Replayed);
+        }
+    }
+
+    #[test]
+    fn gather_plan_mirrors_grid_topology() {
+        let grid = ProcGrid::new(2, 3);
+        let p = GatherPlan::build(grid, |l| (l * 5)..(l * 5 + 5));
+        assert_eq!(p.row_peers.len(), 6);
+        // locale 0 sits in grid row 0 with peers {0, 1, 2}, itself included
+        assert_eq!(p.row_peers[0], vec![0, 1, 2]);
+        assert_eq!(p.row_ranges[4], (20, 25));
+        // owner 1 serves requesters 0 and 2 (its remote row peers), in
+        // ascending requester order
+        assert_eq!(p.replies[1], vec![(0, 0, 5), (2, 10, 15)]);
+    }
+
+    #[test]
+    fn fingerprint_separates_index_sets() {
+        let a = fingerprint_indices(&[1, 2, 3]);
+        let b = fingerprint_indices(&[1, 2, 4]);
+        let c = fingerprint_indices(&[1, 2]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, fingerprint_indices(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn extract_plan_windows_partition_the_index_set() {
+        let indices = [2usize, 5, 9, 14, 21, 33];
+        let ranges = [0..10, 10..20, 20..40];
+        let p = ExtractPlan::build(3, |l| ranges[l].clone(), &indices);
+        assert_eq!(p.index_windows, vec![(0, 3), (3, 4), (4, 6)]);
+    }
+}

@@ -43,9 +43,26 @@ pub struct NetworkModel {
 
 impl NetworkModel {
     /// Effective congestion multiplier when `participants` locales issue
-    /// fine-grained traffic at once.
+    /// fine-grained traffic at once. Zero or one participant means no one
+    /// shares a link, so the factor is exactly 1.0 — a locale never
+    /// congests itself.
     pub fn congestion(&self, participants: usize) -> f64 {
-        1.0 + self.fine_congestion * participants.saturating_sub(1) as f64
+        if participants <= 1 {
+            return 1.0;
+        }
+        1.0 + self.fine_congestion * (participants - 1) as f64
+    }
+
+    /// Price one superstep under split-phase (overlapped) execution: when
+    /// `overlap` is on, bulk transfers proceed while local compute runs,
+    /// so the superstep costs the *larger* of the two phases; otherwise
+    /// they serialize and it costs the sum.
+    pub fn split_phase_time(&self, compute: f64, comm: f64, overlap: bool) -> f64 {
+        if overlap {
+            compute.max(comm)
+        } else {
+            compute + comm
+        }
     }
 }
 
@@ -121,6 +138,28 @@ mod tests {
         assert!(n.fine_time_intra(1000) < n.fine_time(1000));
         assert!(n.fine_time_intra(1000) > 0.0);
         assert!(n.bulk_time_intra(10, 1 << 20) < n.bulk_time(10, 1 << 20));
+    }
+
+    #[test]
+    fn congestion_boundary_is_exactly_one() {
+        // A gather with zero or one participant has no shared links to
+        // contend on: the factor must be exactly 1.0, not 1 - c or NaN.
+        let n = NetworkModel::aries();
+        assert_eq!(n.congestion(0), 1.0);
+        assert_eq!(n.congestion(1), 1.0);
+        assert!(n.congestion(2) > 1.0);
+        // strictly monotone beyond the boundary
+        assert!(n.congestion(3) > n.congestion(2));
+    }
+
+    #[test]
+    fn split_phase_prices_max_or_sum() {
+        let n = NetworkModel::aries();
+        assert_eq!(n.split_phase_time(3.0, 5.0, false), 8.0);
+        assert_eq!(n.split_phase_time(3.0, 5.0, true), 5.0);
+        assert_eq!(n.split_phase_time(5.0, 3.0, true), 5.0);
+        // overlap never prices higher than the serialized sum
+        assert!(n.split_phase_time(2.0, 2.0, true) <= n.split_phase_time(2.0, 2.0, false));
     }
 
     #[test]

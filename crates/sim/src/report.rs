@@ -59,6 +59,29 @@ impl SimReport {
         }
     }
 
+    /// Append a communication phase under split-phase pricing: `comm`
+    /// seconds of transfers that may overlap the `compute` seconds this
+    /// phase has already accumulated. With `overlap` off the full `comm`
+    /// is added (bit-identical to [`SimReport::push_attributed`]); with it
+    /// on, only the part sticking out past the compute is — so the phase
+    /// totals `max(compute, comm)`. Returns the seconds saved by overlap
+    /// (`min(compute, comm)` when on, `0.0` when off).
+    pub fn push_comm_split(
+        &mut self,
+        name: &str,
+        comm: f64,
+        overlap: bool,
+        locale: Option<usize>,
+    ) -> f64 {
+        let compute = self.phase(name);
+        // The off path must add exactly `comm` — not `(compute + comm) -
+        // compute`, which differs in floating point and would perturb
+        // every existing report.
+        let add = if overlap { (comm - compute).max(0.0) } else { comm };
+        self.push_attributed(name, add, locale);
+        comm - add
+    }
+
     /// Record an attribution for an existing phase without adding time:
     /// `locale` dominated with `contrib` seconds. Used when a producer
     /// prices time through one path (e.g. a merged sub-report) but knows
@@ -218,6 +241,38 @@ mod tests {
         assert_eq!(a.max_locale("p"), Some(5));
         assert_eq!(a.max_locale("q"), Some(2));
         assert!((a.phase("p") - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_split_overlap_prices_max_and_reports_savings() {
+        // comm dominates: phase becomes max(compute, comm), saving = compute
+        let mut r = SimReport::default();
+        r.push("gather", 2.0);
+        let saved = r.push_comm_split("gather", 5.0, true, Some(1));
+        assert_eq!(r.phase("gather"), 5.0);
+        assert_eq!(saved, 2.0);
+        // compute dominates: comm fully hidden
+        let mut r = SimReport::default();
+        r.push("local", 7.0);
+        let saved = r.push_comm_split("local", 3.0, true, None);
+        assert_eq!(r.phase("local"), 7.0);
+        assert_eq!(saved, 3.0);
+    }
+
+    #[test]
+    fn comm_split_off_is_bitwise_push() {
+        // The non-overlapped path must reproduce push_attributed exactly,
+        // bit for bit, so existing pricing cannot drift.
+        for (compute, comm) in [(0.1, 0.3), (1e-9, 2.5e-4), (7.125, 0.875)] {
+            let mut a = SimReport::default();
+            a.push("p", compute);
+            let saved = a.push_comm_split("p", comm, false, Some(2));
+            let mut b = SimReport::default();
+            b.push("p", compute);
+            b.push_attributed("p", comm, Some(2));
+            assert_eq!(a.phase("p").to_bits(), b.phase("p").to_bits());
+            assert_eq!(saved, 0.0);
+        }
     }
 
     #[test]

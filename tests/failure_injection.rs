@@ -70,6 +70,109 @@ fn fault_free_runs_after_a_cleared_plan() {
 }
 
 #[test]
+fn fault_mid_replay_recovers_without_double_counting() {
+    // A fault landing while a *cached* schedule replays must surface as
+    // `CommFailure`, must not evict or rebuild the plan, and the retry on
+    // the same context must move the comm ledger by exactly one clean
+    // replay's worth of messages and bytes — no double-counted traffic.
+    let a = gen::erdos_renyi(250, 5, 7);
+    let x = gen::random_sparse_vec(250, 35, 8);
+    let grid = ProcGrid::new(2, 2);
+    let da = DistCsrMatrix::from_global(&a, grid);
+    let dx = DistSparseVec::from_global(&x, 4);
+
+    // Clean baseline: what one replayed run costs.
+    let base = DistCtx::new(machine(4));
+    dops::spmspv::spmspv_dist_bulk(&da, &dx, &base).unwrap();
+    let warm = base.comm.totals();
+    let (expect, _) = dops::spmspv::spmspv_dist_bulk(&da, &dx, &base).unwrap();
+    let done = base.comm.totals();
+    let replay_cost = (done.0 - warm.0, done.1 - warm.1, done.2 - warm.2);
+    let calls_per_run = base.comm.call_count() / 2;
+    assert!(calls_per_run >= 2, "op too small to fault mid-run");
+
+    // Faulted context: warm run caches the plan, then the fault lands
+    // halfway through the replayed run's transfers.
+    let dctx = DistCtx::new(machine(4));
+    dops::spmspv::spmspv_dist_bulk(&da, &dx, &dctx).unwrap();
+    dctx.comm.fail_after(calls_per_run / 2);
+    let r = dops::spmspv::spmspv_dist_bulk(&da, &dx, &dctx);
+    assert!(matches!(r, Err(GblasError::CommFailure(_))), "mid-replay fault not surfaced: {r:?}");
+    let m = dctx.metrics().snapshot();
+    assert_eq!(m.sched_builds, 1, "fault must not force a rebuild: {m:?}");
+    assert_eq!(m.sched_invalidations, 0, "fault must not invalidate the plan: {m:?}");
+
+    let before = dctx.comm.totals();
+    let (retry, _) = dops::spmspv::spmspv_dist_bulk(&da, &dx, &dctx).unwrap();
+    let after = dctx.comm.totals();
+    assert_eq!(retry.to_global(), expect.to_global(), "retry after mid-replay fault diverged");
+    assert_eq!(
+        (after.0 - before.0, after.1 - before.1, after.2 - before.2),
+        replay_cost,
+        "retry after a mid-replay fault double-counted messages/bytes"
+    );
+    let m = dctx.metrics().snapshot();
+    assert_eq!(m.sched_builds, 1, "retry must replay the surviving plan: {m:?}");
+    assert!(m.sched_replays >= 2, "failed attempt and retry both replay: {m:?}");
+}
+
+#[test]
+fn fault_during_inspection_run_still_caches_a_usable_plan() {
+    // The schedule is compiled before any traffic moves, so even a run
+    // that faults on its very first transfer leaves a valid cached plan:
+    // the retry replays it and matches a clean context bit for bit.
+    let a = gen::erdos_renyi(250, 5, 9);
+    let x = gen::random_sparse_vec(250, 35, 10);
+    let grid = ProcGrid::new(2, 2);
+    let da = DistCsrMatrix::from_global(&a, grid);
+    let dx = DistSparseVec::from_global(&x, 4);
+
+    let clean = DistCtx::new(machine(4));
+    let (expect, _) = dops::spmspv::spmspv_dist_bulk(&da, &dx, &clean).unwrap();
+    let clean_cost = clean.comm.totals();
+
+    let dctx = DistCtx::new(machine(4));
+    dctx.comm.fail_after(0);
+    let r = dops::spmspv::spmspv_dist_bulk(&da, &dx, &dctx);
+    assert!(matches!(r, Err(GblasError::CommFailure(_))));
+    let faulted = dctx.comm.totals();
+    let (retry, _) = dops::spmspv::spmspv_dist_bulk(&da, &dx, &dctx).unwrap();
+    assert_eq!(retry.to_global(), expect.to_global());
+    let after = dctx.comm.totals();
+    assert_eq!(
+        (after.0 - faulted.0, after.1 - faulted.1, after.2 - faulted.2),
+        clean_cost,
+        "replay after a faulted inspection run mispriced the traffic"
+    );
+    let m = dctx.metrics().snapshot();
+    assert_eq!(m.sched_builds, 1, "faulted run already inspected: {m:?}");
+    assert!(m.sched_replays >= 1, "retry must replay, not re-inspect: {m:?}");
+}
+
+#[test]
+fn retry_wrapper_replays_the_cached_schedule_across_attempts() {
+    // `with_retry` around a scheduled op: the transient fault consumes one
+    // attempt, the second attempt replays the plan cached by the first.
+    let a = gen::erdos_renyi(250, 5, 11);
+    let x = gen::random_sparse_vec(250, 35, 12);
+    let grid = ProcGrid::new(2, 2);
+    let da = DistCsrMatrix::from_global(&a, grid);
+    let dx = DistSparseVec::from_global(&x, 4);
+    let expect = {
+        let clean = DistCtx::new(machine(4));
+        dops::spmspv::spmspv_dist_bulk(&da, &dx, &clean).unwrap().0
+    };
+    let dctx = DistCtx::new(machine(4));
+    dctx.comm.fail_after(3);
+    let y =
+        with_retry(2, || dops::spmspv::spmspv_dist_bulk(&da, &dx, &dctx).map(|(y, _)| y)).unwrap();
+    assert_eq!(y.to_global(), expect.to_global());
+    let m = dctx.metrics().snapshot();
+    assert_eq!(m.sched_builds, 1, "one inspection across retry attempts: {m:?}");
+    assert!(m.sched_replays >= 1, "the retry attempt must replay: {m:?}");
+}
+
+#[test]
 fn comm_free_ops_are_immune_to_faults() {
     // Apply2 and Assign2 never touch the network; an armed fault must not
     // fire.
