@@ -14,6 +14,10 @@
 //!   dangling/convergence folds; an iteration is one power step.
 //! - **spmspv**: repeated `spmspv_semiring` calls with a fixed operand —
 //!   the steady-state inner kernel on its own.
+//! - **mxm**: repeated multi-stage SUMMA SpGEMM (`A·A` on a 2×2 grid) —
+//!   the MCL expansion workload; per-stage receive slices and the dense
+//!   SPA accumulator check out of the locale workspace pools, so the
+//!   steady state must be pool-miss free just like the vector kernels.
 //!
 //! Each workload runs one untimed warm-up pass first so the pool shelves
 //! reach their steady working set; the measured pass then samples every
@@ -286,6 +290,50 @@ fn run_spmspv(
     RunStats { iterations: samples.len(), wall_ms, samples }
 }
 
+/// The SUMMA SpGEMM workload: `A·A` on a simulated 2×2 grid, one
+/// distributed multiply per iteration. The local multiply kernels (heap /
+/// hash / dense SPA) and the stage slice buffers check out of the
+/// per-locale workspace pools, so pooled steady state should allocate
+/// nothing per stage beyond the result assembly.
+fn run_mxm(a: &CsrMatrix<f64>, iters: usize, pooled: bool) -> RunStats {
+    use gblas_dist::{DistCsrMatrix, DistCtx, ProcGrid};
+    use gblas_sim::MachineConfig;
+
+    let grid = ProcGrid::new(2, 2);
+    let dctx = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+    dctx.set_workspace_enabled(pooled);
+    let da = DistCsrMatrix::from_global(a, grid);
+    let ring = semirings::plus_times_f64();
+    for _ in 0..2 {
+        let _ = gblas_dist::ops::mxm::mxm_dist(&da, &da, &ring, &dctx).expect("warm-up mxm");
+    }
+    let mut allocs = ALLOCS.load(Ordering::Relaxed);
+    let mut bytes = ALLOC_BYTES.load(Ordering::Relaxed);
+    let mut ws = dctx.workspace_stats();
+    let t0 = Instant::now();
+    let mut samples = Vec::new();
+    for _ in 0..iters {
+        let _ = gblas_dist::ops::mxm::mxm_dist(&da, &da, &ring, &dctx).expect("measured mxm");
+        let (na, nb, nw) = (
+            ALLOCS.load(Ordering::Relaxed),
+            ALLOC_BYTES.load(Ordering::Relaxed),
+            dctx.workspace_stats(),
+        );
+        let d = nw.saturating_sub(&ws);
+        samples.push(IterSample {
+            allocs: na - allocs,
+            bytes: nb - bytes,
+            pool_hits: d.pool_hits,
+            pool_misses: d.pool_misses,
+        });
+        allocs = na;
+        bytes = nb;
+        ws = nw;
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    RunStats { iterations: samples.len(), wall_ms, samples }
+}
+
 /// Schedule-cache accounting for one distributed algorithm run:
 /// `(iterations, builds, replays, invalidations)` plus the JSON row.
 fn sched_workload(name: &str, a: &CsrMatrix<f64>) -> String {
@@ -351,6 +399,7 @@ fn main() {
     let threads = 4;
     let pr_iters = 10;
     let spmspv_iters = 10;
+    let mxm_iters = 8;
     let ctx = ExecCtx::new(threads, 2);
     let a = workloads::er_matrix(n, degree, 7);
     let x = workloads::spmspv_vector(n, 10, 11);
@@ -361,11 +410,12 @@ fn main() {
     // (set_enabled(false) drains the shelves anyway, but order makes the
     // wall-clock comparison symmetric: both modes start cold).
     let mut sections = Vec::new();
-    for (name, runner) in [("bfs", 0usize), ("pagerank", 1), ("spmspv", 2)] {
+    for (name, runner) in [("bfs", 0usize), ("pagerank", 1), ("spmspv", 2), ("mxm", 3)] {
         let run = |pooled: bool| match runner {
             0 => run_bfs(&a, &ctx, pooled),
             1 => run_pagerank(&a, pr_iters, &ctx, pooled),
-            _ => run_spmspv(&a, &x, spmspv_iters, &ctx, pooled),
+            2 => run_spmspv(&a, &x, spmspv_iters, &ctx, pooled),
+            _ => run_mxm(&a, mxm_iters, pooled),
         };
         let unpooled = run(false);
         let pooled = run(true);

@@ -39,6 +39,7 @@ fn main() {
     let mut serving = true;
     let mut direction = true;
     let mut overlap = true;
+    let mut spgemm = true;
     let mut scale = 1usize;
     let mut out = PathBuf::from("results");
     let mut trace_out: Option<String> = None;
@@ -57,6 +58,7 @@ fn main() {
                     serving = false;
                     direction = false;
                     overlap = false;
+                    spgemm = false;
                 } else if v == "algorithms" {
                     figs = Vec::new();
                     ablations = false;
@@ -64,6 +66,7 @@ fn main() {
                     serving = false;
                     direction = false;
                     overlap = false;
+                    spgemm = false;
                 } else if v == "imbalance" {
                     figs = Vec::new();
                     ablations = false;
@@ -71,6 +74,7 @@ fn main() {
                     serving = false;
                     direction = false;
                     overlap = false;
+                    spgemm = false;
                 } else if v == "serving" {
                     figs = Vec::new();
                     ablations = false;
@@ -78,6 +82,7 @@ fn main() {
                     imbalance = false;
                     direction = false;
                     overlap = false;
+                    spgemm = false;
                 } else if v == "direction" {
                     figs = Vec::new();
                     ablations = false;
@@ -85,6 +90,7 @@ fn main() {
                     imbalance = false;
                     serving = false;
                     overlap = false;
+                    spgemm = false;
                 } else if v == "overlap" {
                     figs = Vec::new();
                     ablations = false;
@@ -92,10 +98,19 @@ fn main() {
                     imbalance = false;
                     serving = false;
                     direction = false;
+                    spgemm = false;
+                } else if v == "spgemm" {
+                    figs = Vec::new();
+                    ablations = false;
+                    algorithms = false;
+                    imbalance = false;
+                    serving = false;
+                    direction = false;
+                    overlap = false;
                 } else if v != "all" {
                     figs = vec![v.parse().expect(
                         "--fig expects 1..10, 'ablations', 'algorithms', 'imbalance', \
-                         'serving', 'direction', 'overlap' or 'all'",
+                         'serving', 'direction', 'overlap', 'spgemm' or 'all'",
                     )];
                     ablations = false;
                     algorithms = false;
@@ -103,6 +118,7 @@ fn main() {
                     serving = false;
                     direction = false;
                     overlap = false;
+                    spgemm = false;
                 }
             }
             "--scale" => {
@@ -127,7 +143,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--fig N|ablations|algorithms|imbalance|serving|direction|\
-                     overlap|all] [--scale S] [--out DIR] [--trace FILE] \
+                     overlap|spgemm|all] [--scale S] [--out DIR] [--trace FILE] \
                      [--spmspv-merge sort|bucket]"
                 );
                 return;
@@ -222,6 +238,17 @@ fn main() {
             }
         }
         eprintln!("# overlap sweep regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    if spgemm {
+        let t0 = std::time::Instant::now();
+        for fig in gblas_bench::figs::fig_spgemm(scale) {
+            fig.print();
+            match fig.write_csv(&out) {
+                Ok(path) => println!("(wrote {})", path.display()),
+                Err(e) => eprintln!("(csv write failed: {e})"),
+            }
+        }
+        eprintln!("# spgemm sweep regenerated in {:.1}s", t0.elapsed().as_secs_f64());
     }
     if let (Some(path), Some((recorder, metrics))) = (trace_out, tracing) {
         let trace = recorder.snapshot();

@@ -3,7 +3,7 @@
 //! ```text
 //! gblas-cli <command> [--input FILE.mtx | --gen er:N:D | --gen rmat:SCALE:EF]
 //!           [--source V] [--threads T] [--symmetrize] [--seed S]
-//!           [--simulate NODES] [--trace FILE] [--overlap]
+//!           [--simulate NODES] [--trace FILE] [--overlap] [--mxm-grid 2d|3d]
 //!           [--spmspv-merge sort|bucket|auto] [--selection auto|push|pull]
 //!
 //! commands:
@@ -16,6 +16,8 @@
 //!   kcore       k-core decomposition (requires symmetric input; use --symmetrize)
 //!   mis         maximal independent set, seeded by --seed (requires symmetric input)
 //!   bc          betweenness centrality from --source (or all if --source omitted and n <= 2000)
+//!   mcl         Markov clustering via repeated SpGEMM expansion
+//!               (requires symmetric input; use --symmetrize)
 //!   serve-bench query-serving throughput: batched multi-source BFS vs a
 //!               one-query-at-a-time loop over a generated request stream
 //!               (--requests N --batch K --window SECONDS
@@ -52,10 +54,14 @@
 //!
 //! Every algorithm is a single generic function over the backend trait,
 //! so with `--simulate NODES` **every** analytic (bfs, sssp, pagerank,
-//! cc, triangles, kcore, mis, bc) also runs — same algorithm text — on
-//! the simulated distributed machine and prints where the time would go
-//! on the paper's Cray XC30. `triangles` rounds the node count down to a
-//! square locale grid (the sparse-SUMMA requirement). Adding `--trace
+//! cc, triangles, kcore, mis, bc, mcl) also runs — same algorithm text —
+//! on the simulated distributed machine and prints where the time would
+//! go on the paper's Cray XC30. The matrix-heavy analytics (`triangles`,
+//! `mcl`) run the multi-stage DCSC SUMMA, which accepts any rectangular
+//! locale grid, so no node count is rounded away; `--mxm-grid 3d` runs
+//! their SpGEMMs on the communication-avoiding 3-D grid instead (the
+//! node count splits into `auto_layers` replication layers over a
+//! smaller base grid). Adding `--trace
 //! FILE` records every simulated operation (spans per op/phase/locale)
 //! and writes a Chrome trace-event file (load it in `chrome://tracing` /
 //! Perfetto), or a JSONL stream if `FILE` ends in `.jsonl`; cumulative
@@ -70,11 +76,11 @@ use gblas_core::par::ExecCtx;
 use gblas_core::trace::{profile, sink};
 use gblas_core::{gen, io};
 use gblas_dist::ops::spmspv::CommStrategy;
-use gblas_dist::{DistBackend, DistCsrMatrix, DistCtx, ProcGrid};
+use gblas_dist::{DistBackend, DistCsrMatrix, DistCtx, MxmAlgo, ProcGrid};
 use gblas_sim::MachineConfig;
 
 const USAGE_COMMANDS: &str =
-    "info|bfs|sssp|pagerank|cc|triangles|kcore|mis|bc|serve-bench|trace|profile";
+    "info|bfs|sssp|pagerank|cc|triangles|kcore|mis|bc|mcl|serve-bench|trace|profile";
 
 struct Args {
     command: String,
@@ -95,6 +101,7 @@ struct Args {
     arrival: String,
     verify: bool,
     overlap: bool,
+    mxm_grid: String,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -119,6 +126,7 @@ fn parse_args() -> std::result::Result<Args, String> {
         arrival: "poisson:2000".to_string(),
         verify: false,
         overlap: false,
+        mxm_grid: "2d".to_string(),
     };
     let mut rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -200,6 +208,14 @@ fn parse_args() -> std::result::Result<Args, String> {
             "--overlap" => {
                 args.overlap = true;
                 i += 1;
+            }
+            "--mxm-grid" => {
+                let v = need(i, &mut rest)?;
+                if !matches!(v.as_str(), "2d" | "3d") {
+                    return Err(format!("bad --mxm-grid '{v}' (2d|3d)"));
+                }
+                args.mxm_grid = v;
+                i += 2;
             }
             "--symmetrize" => {
                 args.symmetrize = true;
@@ -463,6 +479,12 @@ fn run_algo<B: GblasBackend>(backend: &B, a: &B::Matrix<f64>, args: &Args) -> Re
                 args.seed
             )
         }
+        "mcl" => {
+            let (labels, iters) =
+                gblas_graph::markov_cluster_on(backend, a, gblas_graph::MclOptions::default())?;
+            let clusters: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
+            format!("mcl: {} clusters in {iters} iterations", clusters.len())
+        }
         "bc" => {
             let sources = bc_sources(args, backend.mat_nrows(a));
             let bc = gblas_graph::betweenness_on(backend, a, &sources)?;
@@ -529,15 +551,12 @@ fn serve_bench_cmd(a: &CsrMatrix<f64>, args: &Args) -> Result<()> {
     Ok(())
 }
 
-/// Pick the locale grid for `--simulate`. Triangles runs a sparse SUMMA,
-/// which needs a square grid, so its node count rounds down to a square.
-fn sim_grid(command: &str, nodes: usize) -> ProcGrid {
-    if command == "triangles" {
-        let q = (nodes as f64).sqrt() as usize;
-        ProcGrid::new(q.max(1), q.max(1))
-    } else {
-        ProcGrid::square_for(nodes)
-    }
+/// Pick the locale grid for `--simulate`: the most square `pr x pc`
+/// factorization of the node count. The multi-stage SUMMA accepts any
+/// rectangular grid, so the matrix analytics (`triangles`, `mcl`) no
+/// longer round the node count down to a perfect square.
+fn sim_grid(nodes: usize) -> ProcGrid {
+    ProcGrid::square_for(nodes)
 }
 
 /// The per-command communication strategy for the sparse-vector kernels
@@ -567,7 +586,12 @@ fn run() -> Result<()> {
     if args.command == "profile" {
         return profile_trace(&args);
     }
-    let a = load(&args)?;
+    let mut a = load(&args)?;
+    if args.command == "mcl" {
+        // MCL's flow interpretation needs self-loops; add them once on
+        // the global matrix so both backends see the identical input.
+        a = gblas_graph::mcl::add_self_loops(&a)?;
+    }
     let ctx = ExecCtx::with_threads(args.threads);
     println!(
         "matrix: {}x{}, {} stored entries{}",
@@ -592,11 +616,23 @@ fn run() -> Result<()> {
     println!("{summary} ({:.2?})", t0.elapsed());
 
     if let Some(nodes) = args.simulate {
-        let grid = sim_grid(&args.command, nodes);
-        let nodes = grid.locales();
+        // The 3-D variant deals the SUMMA stages across `layers`
+        // replication layers: the machine keeps every node, but the
+        // operand grid shrinks to nodes/layers locales.
+        let (grid, algo) = if args.mxm_grid == "3d" {
+            let layers = gblas_dist::auto_layers(nodes).max(1);
+            let grid = sim_grid(nodes / layers.max(1));
+            (grid, MxmAlgo::Summa3d { layers })
+        } else {
+            (sim_grid(nodes), MxmAlgo::Summa2d)
+        };
+        let nodes = match algo {
+            MxmAlgo::Summa3d { layers } => grid.locales() * layers,
+            _ => grid.locales(),
+        };
         let da = DistCsrMatrix::from_global(&a, grid);
         let dctx = sim_ctx(nodes, &args);
-        let backend = DistBackend::with_strategy(&dctx, sim_strategy(&args.command));
+        let backend = DistBackend::with_strategy(&dctx, sim_strategy(&args.command)).with_mxm(algo);
         let dist_summary = run_algo(&backend, &da, &args)?;
         let report = backend.take_report();
         if dist_summary != summary {

@@ -36,6 +36,9 @@ pub struct DistBackend<'a> {
     pub dctx: &'a DistCtx,
     /// Gather/scatter aggregation for the sparse-vector kernels.
     pub strategy: CommStrategy,
+    /// SUMMA variant every `mxm_masked` call routes through
+    /// (`--mxm-grid 2d|3d` at the CLI).
+    pub mxm_algo: crate::ops::mxm::MxmAlgo,
     report: Mutex<SimReport>,
 }
 
@@ -47,7 +50,18 @@ impl<'a> DistBackend<'a> {
 
     /// A backend with an explicit communication strategy.
     pub fn with_strategy(dctx: &'a DistCtx, strategy: CommStrategy) -> Self {
-        DistBackend { dctx, strategy, report: Mutex::new(SimReport::default()) }
+        DistBackend {
+            dctx,
+            strategy,
+            mxm_algo: crate::ops::mxm::MxmAlgo::Summa2d,
+            report: Mutex::new(SimReport::default()),
+        }
+    }
+
+    /// Pick the SUMMA variant for subsequent `mxm` calls.
+    pub fn with_mxm(mut self, algo: crate::ops::mxm::MxmAlgo) -> Self {
+        self.mxm_algo = algo;
+        self
     }
 
     /// Drain the accumulated simulation ledger (resets it to empty).
@@ -107,6 +121,12 @@ impl GblasBackend for DistBackend<'_> {
         Ok(out)
     }
 
+    /// The raw transpose: on a rectangular grid the result lands on the
+    /// flipped `pc×pr` grid. Keeping the natural placement preserves the
+    /// accumulation order the vector kernels have always seen (the
+    /// betweenness back sweep is bit-pinned on `p×1` grids); consumers
+    /// that need grid-aligned operands (SUMMA) regrid lazily in
+    /// [`Self::mxm_masked`].
     fn mat_transpose<T: Scalar>(&self, a: &DistCsrMatrix<T>) -> Result<DistCsrMatrix<T>> {
         let (out, r) = crate::ops::transpose::transpose_dist(a, self.dctx)?;
         self.absorb(r);
@@ -128,7 +148,31 @@ impl GblasBackend for DistBackend<'_> {
         AddM: Monoid<C>,
         MulOp: BinaryOp<A, B, C>,
     {
-        let (out, r) = crate::ops::mxm::mxm_dist_masked(a, b, ring, mask, self.dctx)?;
+        // SUMMA wants every operand on A's grid; a matrix arriving on a
+        // different shape (e.g. a transpose on the flipped rectangular
+        // grid) is regridded here, priced as a `regrid` phase.
+        let regrid = |m: &DistCsrMatrix<B>| -> Result<DistCsrMatrix<B>> {
+            let (out, r) = crate::ops::transpose::redistribute_dist(m, a.grid(), self.dctx)?;
+            self.absorb(r);
+            Ok(out)
+        };
+        let b_aligned = if b.grid() == a.grid() { None } else { Some(regrid(b)?) };
+        let mask_aligned = match mask {
+            Some(m) if m.grid() != a.grid() => {
+                let (out, r) = crate::ops::transpose::redistribute_dist(m, a.grid(), self.dctx)?;
+                self.absorb(r);
+                Some(out)
+            }
+            _ => None,
+        };
+        let (out, r) = crate::ops::mxm::mxm_dist_masked_with(
+            a,
+            b_aligned.as_ref().unwrap_or(b),
+            ring,
+            mask_aligned.as_ref().or(mask),
+            self.mxm_algo,
+            self.dctx,
+        )?;
         self.absorb(r);
         Ok(out)
     }

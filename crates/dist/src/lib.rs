@@ -51,6 +51,7 @@
 
 pub mod backend;
 pub mod comm;
+pub mod dcsc;
 pub mod exec;
 pub mod grid;
 pub mod mat;
@@ -60,9 +61,13 @@ pub mod vec;
 
 pub use backend::DistBackend;
 pub use comm::Comm;
+pub use dcsc::{BlockFormat, ColSlice, DcscBlock};
 pub use exec::{DistCtx, LocaleExecutor, Outbox};
 pub use grid::{BlockDist, ProcGrid};
 pub use mat::DistCsrMatrix;
 pub use ops::expand::DistFrontier;
-pub use sched::{CommSchedule, FrontierClass, PlanData, SchedKey, SchedOutcome, ScheduleCache};
+pub use ops::mxm::{auto_layers, MxmAlgo};
+pub use sched::{
+    CommSchedule, FrontierClass, PlanData, SchedKey, SchedOutcome, ScheduleCache, SummaPlan,
+};
 pub use vec::{DistDenseVec, DistSparseVec};

@@ -1,31 +1,123 @@
-//! Distributed SpGEMM: `C = A ⊗ B` by sparse SUMMA on the 2-D grid.
+//! Distributed SpGEMM: `C = A ⊗ B` by multi-stage sparse SUMMA.
 //!
 //! The paper cites the 2-D sparse SUMMA algorithm for matrix-matrix
 //! multiply and general indexing \[8\] (Buluç & Gilbert) as the natural
 //! companion to its block distribution. Stationary-C formulation: in
-//! stage `k`, the owners of `A`'s column-block `k` broadcast their blocks
-//! along their grid *row*, the owners of `B`'s row-block `k` broadcast
-//! along their grid *column*, every locale multiplies the received pair
-//! locally (Gustavson with a SPA, `gblas_core::ops::mxm`) and accumulates
-//! into its stationary `C` block with an element-wise add.
+//! stage `s` covering the inner-dimension interval `[lo, hi)`, the owners
+//! of `A`'s covering column-block broadcast that interval's *column
+//! slice* along their grid row, the owners of `B`'s covering row-block
+//! broadcast the interval's *row slice* down their grid column, every
+//! locale multiplies the received pair locally and accumulates into its
+//! stationary `C` block with an element-wise add.
 //!
-//! Requires a square grid (SUMMA's stage structure) and square-conformant
-//! operands (`A: m×n`, `B: n×q`).
+//! Three algorithm variants ([`MxmAlgo`]):
+//!
+//! * **`Single`** — the legacy single-stage-per-block SUMMA: whole CSR
+//!   blocks are broadcast (row pointers included), one stage per grid
+//!   column. Requires a square grid; kept as the measured baseline.
+//! * **`Summa2d`** — multi-stage DCSC SUMMA on arbitrary rectangular
+//!   `pr×pc` grids. The stage bounds are the sorted union of `A`'s column
+//!   split and `B`'s row split ([`SummaPlan`]), so no `lcm`-sized
+//!   re-blocking is needed; broadcasts carry doubly compressed slices
+//!   ([`crate::dcsc`]) whose wire bytes scale with the slice's nonzeros,
+//!   not the block side — the hypersparsity win. Each block pair's local
+//!   multiply picks a density-adaptive kernel (heap merge / hash
+//!   accumulator / pooled dense SPA) via
+//!   [`gblas_core::ops::selection::decide_mxm_kernel`].
+//! * **`Summa3d`** — the communication-avoiding 3-D variant: the machine
+//!   is split into `c` replication layers of `p` locales each, stages are
+//!   dealt round-robin to layers, operand blocks are replicated to the
+//!   layer that consumes them (priced point-to-point), and the layers'
+//!   partial `C` blocks are merged by a binomial-tree allreduce. Fewer,
+//!   larger blocks per layer mean smaller broadcast fan-out; the price is
+//!   the `log₂ c` merge rounds over the (sparse) partial products.
+//!
+//! All variants produce identical results: every local kernel
+//! accumulates each output position in ascending inner-dimension order,
+//! so integer-semiring products are bit-identical across variants, grid
+//! shapes, and executors (floating-point products agree to rounding, as
+//! the stage grouping associates the sums differently).
 
+use crate::dcsc::{self, choose_format, BlockFormat, ColSlice, DcscBlock};
 use crate::exec::DistCtx;
 use crate::mat::DistCsrMatrix;
+use crate::sched::{fingerprint_indices, FrontierClass, PlanData, SummaPlan};
 use gblas_core::algebra::{BinaryOp, Monoid, Semiring};
 use gblas_core::container::CsrMatrix;
 use gblas_core::error::{GblasError, Result};
-use gblas_core::par::Profile;
+use gblas_core::ops::selection::{decide_mxm_kernel, MxmKernel};
+use gblas_core::par::{Counters, ExecCtx, Profile};
 use gblas_sim::SimReport;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
-/// Phase: block broadcasts.
+/// Phase: slice/block broadcasts.
 pub const PHASE_BCAST: &str = "broadcast";
 /// Phase: local multiplies + accumulation.
 pub const PHASE_LOCAL: &str = "local";
+/// Phase: DCSC conversion and stage-slice extraction on the owners.
+pub const PHASE_EXTRACT: &str = "extract";
+/// Phase: operand block replication to 3-D layers.
+pub const PHASE_REPLICATE: &str = "replicate";
+/// Phase: binomial allreduce merging the layers' partial `C` blocks.
+pub const PHASE_MERGE: &str = "allreduce";
 
-/// `C = A ⊗ B` over `ring` with both operands on the same square grid.
+/// Which SUMMA variant a distributed multiply runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MxmAlgo {
+    /// Legacy single-stage-per-block broadcast SUMMA (square grids only),
+    /// full CSR blocks on the wire. The measured baseline.
+    Single,
+    /// Multi-stage DCSC SUMMA on rectangular grids (the default).
+    #[default]
+    Summa2d,
+    /// Communication-avoiding 3-D SUMMA with `layers` replication layers
+    /// (`layers = 0` derives the layer count from the machine:
+    /// `dctx.locales() / grid.locales()`).
+    Summa3d {
+        /// Replication layer count; 0 = derive from the machine size.
+        layers: usize,
+    },
+}
+
+impl MxmAlgo {
+    /// Stable lowercase name (trace attributes, figure series).
+    pub fn name(self) -> &'static str {
+        match self {
+            MxmAlgo::Single => "single",
+            MxmAlgo::Summa2d => "summa2d",
+            MxmAlgo::Summa3d { .. } => "summa3d",
+        }
+    }
+
+    /// Parse the CLI spelling (`single` | `2d` | `3d`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "single" => Some(MxmAlgo::Single),
+            "2d" => Some(MxmAlgo::Summa2d),
+            "3d" => Some(MxmAlgo::Summa3d { layers: 0 }),
+            _ => None,
+        }
+    }
+}
+
+/// Replication layer count for a machine of `total` locales: the largest
+/// power of two `c` with `c³ ≤ total` that divides `total` — the classic
+/// `c ≤ ∛p` bound that keeps the allreduce from dominating.
+pub fn auto_layers(total: usize) -> usize {
+    let mut best = 1;
+    let mut cand = 2usize;
+    while cand.saturating_mul(cand).saturating_mul(cand) <= total {
+        if total.is_multiple_of(cand) {
+            best = cand;
+        }
+        cand *= 2;
+    }
+    best
+}
+
+/// `C = A ⊗ B` over `ring` with both operands on the same grid
+/// (multi-stage DCSC SUMMA, the default variant).
 pub fn mxm_dist<T, AddM, MulOp>(
     a: &DistCsrMatrix<T>,
     b: &DistCsrMatrix<T>,
@@ -33,21 +125,15 @@ pub fn mxm_dist<T, AddM, MulOp>(
     dctx: &DistCtx,
 ) -> Result<(DistCsrMatrix<T>, SimReport)>
 where
-    T: Copy + Send + Sync + PartialEq,
+    T: Copy + Send + Sync + PartialEq + 'static,
     AddM: Monoid<T>,
     MulOp: BinaryOp<T, T, T>,
 {
     mxm_dist_masked::<T, T, T, AddM, MulOp, bool>(a, b, ring, None, dctx)
 }
 
-/// Masked, mixed-type sparse SUMMA: `C⟨M⟩ = A ⊗ B`.
-///
-/// The mask is structural and distributed on the *same grid* as the
-/// stationary `C` blocks, so each stage applies its locale's mask block to
-/// the local Gustavson multiply — masking commutes with the stage-wise
-/// element-wise accumulation (`(Σ Pₖ) ∩ M = Σ (Pₖ ∩ M)`), and suppressed
-/// entries never enter a stationary block. This is what masked distributed
-/// triangle counting (`C⟨L⟩ = L · Lᵀ`) needs.
+/// Masked, mixed-type multi-stage SUMMA: `C⟨M⟩ = A ⊗ B` (default
+/// variant). See [`mxm_dist_masked_with`] for the variant-selecting form.
 pub fn mxm_dist_masked<A, B, C, AddM, MulOp, M>(
     a: &DistCsrMatrix<A>,
     b: &DistCsrMatrix<B>,
@@ -58,15 +144,39 @@ pub fn mxm_dist_masked<A, B, C, AddM, MulOp, M>(
 where
     A: Copy + Send + Sync,
     B: Copy + Send + Sync,
-    C: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
+    M: Copy + Send + Sync,
+    AddM: Monoid<C>,
+    MulOp: BinaryOp<A, B, C>,
+{
+    mxm_dist_masked_with(a, b, ring, mask, MxmAlgo::default(), dctx)
+}
+
+/// Masked, mixed-type sparse SUMMA with an explicit algorithm variant.
+///
+/// The mask is structural and distributed on the *same grid* as the
+/// stationary `C` blocks, so each stage applies its locale's mask block to
+/// the local multiply — masking commutes with the stage-wise element-wise
+/// accumulation (`(Σ Pₖ) ∩ M = Σ (Pₖ ∩ M)`), and suppressed entries never
+/// enter a stationary block. This is what masked distributed triangle
+/// counting (`C⟨L⟩ = L · Lᵀ`) needs.
+pub fn mxm_dist_masked_with<A, B, C, AddM, MulOp, M>(
+    a: &DistCsrMatrix<A>,
+    b: &DistCsrMatrix<B>,
+    ring: &Semiring<AddM, MulOp>,
+    mask: Option<&DistCsrMatrix<M>>,
+    algo: MxmAlgo,
+    dctx: &DistCtx,
+) -> Result<(DistCsrMatrix<C>, SimReport)>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
     M: Copy + Send + Sync,
     AddM: Monoid<C>,
     MulOp: BinaryOp<A, B, C>,
 {
     let grid = a.grid();
-    if grid.pr() != grid.pc() {
-        return Err(GblasError::InvalidArgument("sparse SUMMA needs a square process grid".into()));
-    }
     if b.grid() != grid {
         return Err(GblasError::DimensionMismatch {
             expected: format!("B on the same {}x{} grid", grid.pr(), grid.pc()),
@@ -77,16 +187,6 @@ where
         return Err(GblasError::DimensionMismatch {
             expected: format!("inner dimension {}", a.ncols()),
             actual: format!("inner dimension {}", b.nrows()),
-        });
-    }
-    // SUMMA's stage alignment requires A's column split and B's row split
-    // to agree; with the floor block partition that holds exactly when the
-    // inner dimension is shared, which was checked above.
-    let p = grid.locales();
-    if dctx.locales() != p {
-        return Err(GblasError::DimensionMismatch {
-            expected: format!("machine with {p} locales"),
-            actual: format!("machine with {} locales", dctx.locales()),
         });
     }
     if let Some(m) = mask {
@@ -103,12 +203,647 @@ where
             });
         }
     }
-    let stages = grid.pc();
-    let a_bytes = (2 * std::mem::size_of::<usize>() + std::mem::size_of::<A>()) as u64;
-    let b_bytes = (2 * std::mem::size_of::<usize>() + std::mem::size_of::<B>()) as u64;
+    let p = grid.locales();
+    match algo {
+        MxmAlgo::Single => {
+            if grid.pr() != grid.pc() {
+                return Err(GblasError::InvalidArgument(
+                    "single-stage SUMMA needs a square process grid".into(),
+                ));
+            }
+            if dctx.locales() != p {
+                return Err(GblasError::DimensionMismatch {
+                    expected: format!("machine with {p} locales"),
+                    actual: format!("machine with {} locales", dctx.locales()),
+                });
+            }
+            single_stage(a, b, ring, mask, dctx)
+        }
+        MxmAlgo::Summa2d => {
+            if dctx.locales() != p {
+                return Err(GblasError::DimensionMismatch {
+                    expected: format!("machine with {p} locales"),
+                    actual: format!("machine with {} locales", dctx.locales()),
+                });
+            }
+            summa_engine(a, b, ring, mask, 1, dctx)
+        }
+        MxmAlgo::Summa3d { layers } => {
+            let total = dctx.locales();
+            let derived = if layers == 0 {
+                if !total.is_multiple_of(p) {
+                    return Err(GblasError::DimensionMismatch {
+                        expected: format!("machine locales divisible by grid size {p}"),
+                        actual: format!("{total} locales"),
+                    });
+                }
+                total / p
+            } else {
+                layers
+            };
+            if p * derived != total {
+                return Err(GblasError::DimensionMismatch {
+                    expected: format!(
+                        "machine with {} locales ({p} grid x {derived} layers)",
+                        p * derived
+                    ),
+                    actual: format!("machine with {total} locales"),
+                });
+            }
+            summa_engine(a, b, ring, mask, derived, dctx)
+        }
+    }
+}
 
-    // Stationary C blocks, accumulated stage by stage. Each locale's
-    // superstep state bundles its C block with its two profiles.
+/// The multi-stage engine shared by the 2-D (`layers == 1`) and 3-D
+/// (`layers > 1`) variants. See the module docs for the structure.
+fn summa_engine<A, B, C, AddM, MulOp, M>(
+    a: &DistCsrMatrix<A>,
+    b: &DistCsrMatrix<B>,
+    ring: &Semiring<AddM, MulOp>,
+    mask: Option<&DistCsrMatrix<M>>,
+    layers: usize,
+    dctx: &DistCtx,
+) -> Result<(DistCsrMatrix<C>, SimReport)>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
+    M: Copy + Send + Sync,
+    AddM: Monoid<C>,
+    MulOp: BinaryOp<A, B, C>,
+{
+    let grid = a.grid();
+    let p = grid.locales();
+    let total = p * layers;
+    let a_elem = std::mem::size_of::<A>();
+    let b_elem = std::mem::size_of::<B>();
+
+    // The stage plan is purely shape-derived (dimensions + grid), so
+    // iterative callers replay it across fresh matrices of the same shape
+    // — the generation stamp is unused (0) and the shapes fingerprint
+    // gates reuse instead.
+    let (plan_arc, sched_outcome) = dctx.schedule(
+        "mxm_summa",
+        FrontierClass::Mat,
+        (grid.pr(), grid.pc()),
+        0,
+        fingerprint_indices(&[a.nrows(), a.ncols(), b.ncols()]),
+        || PlanData::Summa(SummaPlan::build(a.ncols(), &a.col_dist(), &b.row_dist())),
+    );
+    let plan = plan_arc.summa();
+    let stages = plan.stages();
+
+    // Prepare superstep: every locale picks its A block's representation
+    // (DCSC when hypersparse) and converts once; conversion work lands in
+    // the extract phase. B blocks stay CSR — row slices are contiguous.
+    let mut prep: Vec<(Option<DcscBlock<A>>, Profile)> =
+        (0..p).map(|_| (None, Profile::default())).collect();
+    dctx.for_each_locale_state(&mut prep, |l, (slot, prof)| {
+        let blk = a.block(l);
+        if choose_format(blk.nnz(), blk.nrows().max(blk.ncols())) == BlockFormat::Dcsc {
+            let c = prof.counters_mut(PHASE_EXTRACT);
+            c.elems += blk.nnz() as u64;
+            c.sort_elems += (blk.nnz().max(1).ilog2() as u64 + 1) * blk.nnz() as u64;
+            *slot = Some(DcscBlock::from_csr(blk));
+        }
+        Ok(())
+    })?;
+    let mut a_dcsc: Vec<Option<DcscBlock<A>>> = Vec::with_capacity(p);
+    let mut extract_profiles: Vec<Profile> = vec![Profile::default(); total];
+    for (l, (slot, prof)) in prep.into_iter().enumerate() {
+        a_dcsc.push(slot);
+        extract_profiles[l] = prof;
+    }
+
+    // Driver-side kernel decisions, per (stage, grid position): pure
+    // integer estimates from block structure, so every locale — and both
+    // executors — agree without additional communication (the estimates
+    // ride on the slice headers the broadcasts already carry).
+    let mut decisions: Vec<Vec<MxmKernel>> = Vec::with_capacity(stages);
+    let mut kernel_counts = [0u64; 3];
+    let mut est_total: u64 = 0;
+    let mut stage_cost: Vec<u64> = vec![0; stages];
+    for (s, cost) in stage_cost.iter_mut().enumerate() {
+        let (lo, hi) = plan.bounds[s];
+        let w = hi - lo;
+        let mut per_locale = Vec::with_capacity(p);
+        for l in 0..p {
+            let (r, c) = grid.coords(l);
+            let a_blk = a.block(grid.locale(r, plan.ka[s]));
+            let b_blk = b.block(grid.locale(plan.kb[s], c));
+            let brange = b.row_dist().range(plan.kb[s]);
+            let (blo, bhi) = (lo - brange.start, hi - brange.start);
+            let b_nnz = b_blk.rowptr()[bhi] - b_blk.rowptr()[blo];
+            let a_est = a_blk.nnz() * w / a_blk.ncols().max(1);
+            let est_flops = a_est * b_nnz / w.max(1);
+            let q_l = b.col_range(l).len();
+            let k = decide_mxm_kernel(est_flops, q_l);
+            kernel_counts[match k {
+                MxmKernel::Heap => 0,
+                MxmKernel::Hash => 1,
+                MxmKernel::Spa => 2,
+            }] += 1;
+            est_total += est_flops as u64;
+            *cost = (*cost).max(est_flops as u64);
+            per_locale.push(k);
+        }
+        decisions.push(per_locale);
+    }
+
+    // Stage -> layer assignment (3-D only): LPT greedy on the driver-side
+    // critical-path estimates, heaviest stage to the least-loaded layer.
+    // Round-robin dealing loses badly on skewed (RMAT) inputs, where hub
+    // block-columns concentrate the flops in a few stages; balancing on
+    // the same integer estimates the kernel selection already computes
+    // keeps the layers' critical paths even — and stays deterministic
+    // across executors and grid shapes.
+    let stage_layer: Vec<usize> = {
+        let mut order: Vec<usize> = (0..stages).collect();
+        order.sort_by_key(|&s| (std::cmp::Reverse(stage_cost[s]), s));
+        let mut load = vec![0u64; layers];
+        let mut assign = vec![0usize; stages];
+        for s in order {
+            let target = (0..layers).min_by_key(|&j| (load[j], j)).unwrap_or(0);
+            assign[s] = target;
+            load[target] += stage_cost[s].max(1);
+        }
+        assign
+    };
+    let mut select_trace = dctx.op("select");
+    select_trace
+        .attr("algo", "mxm")
+        .attr("stages", stages)
+        .attr("heap", kernel_counts[0])
+        .attr("hash", kernel_counts[1])
+        .attr("spa", kernel_counts[2])
+        .nnz(est_total);
+    let select_report = select_trace.finish();
+
+    // 3-D replication: each operand block moves once to every layer > 0
+    // that consumes one of its stages, point-to-point from its resident
+    // locale to the layer counterpart. DCSC-converted blocks ship doubly
+    // compressed.
+    if layers > 1 {
+        let mut moves: BTreeSet<(usize, usize, bool)> = BTreeSet::new(); // (base locale, layer, is_b)
+        for (s, &layer) in stage_layer.iter().enumerate() {
+            if layer == 0 {
+                continue;
+            }
+            for r in 0..grid.pr() {
+                moves.insert((grid.locale(r, plan.ka[s]), layer, false));
+            }
+            for c in 0..grid.pc() {
+                moves.insert((grid.locale(plan.kb[s], c), layer, true));
+            }
+        }
+        for &(base, layer, is_b) in &moves {
+            let bytes = if is_b {
+                let blk = b.block(base);
+                dcsc::csr_wire_bytes(blk.nrows(), blk.nnz(), b_elem)
+            } else {
+                match &a_dcsc[base] {
+                    Some(d) => dcsc::dcsc_wire_bytes(d.nzc(), d.nnz(), a_elem),
+                    None => {
+                        let blk = a.block(base);
+                        dcsc::csr_wire_bytes(blk.nrows(), blk.nnz(), a_elem)
+                    }
+                }
+            };
+            dctx.comm.bulk(PHASE_REPLICATE, base, layer * p + base, 1, bytes)?;
+        }
+    }
+
+    // Stationary C blocks (one per layer-locale), accumulated stage by
+    // stage. Layer j's locale l holds the partial sum of its stage subset.
+    let mut state: Vec<(CsrMatrix<C>, Profile, Profile)> = (0..total)
+        .map(|g| {
+            let l = g % p;
+            let rows = a.row_range(l).len();
+            let cols = b.col_range(l).len();
+            (CsrMatrix::empty(rows, cols), Profile::default(), Profile::default())
+        })
+        .collect();
+
+    // The whole stage pipeline runs inside ONE SPMD superstep: every
+    // locale task loops its stages locally, with the per-stage exchange
+    // expressed as owner-logged point-to-point sends. This is the
+    // multi-stage engine's structural advantage over the legacy
+    // single-stage baseline, which re-spawns a machine-wide superstep per
+    // stage and pays the `locales × c_remote_task` coforall fan-out every
+    // time — at 256 nodes that fan-out, not the wire, dominates its
+    // broadcast phase.
+    {
+        let decisions_ref = &decisions;
+        let a_dcsc_ref = &a_dcsc;
+        let plan_ref = plan;
+        dctx.for_each_locale_state(&mut state, |g, (c_block, local_profile, bcast_profile)| {
+            let l = g % p;
+            for s in 0..stages {
+                let layer = stage_layer[s];
+                if g / p != layer {
+                    continue; // another layer's stage
+                }
+                let (lo, hi) = plan_ref.bounds[s];
+                let (ka, kb) = (plan_ref.ka[s], plan_ref.kb[s]);
+                let a_cols = a.col_dist().range(ka);
+                let b_rows = b.row_dist().range(kb);
+                let decisions_s = &decisions_ref[s];
+                let (r, c) = grid.coords(l);
+                let a_owner = grid.locale(r, ka);
+                let b_owner = grid.locale(kb, c);
+                let a_blk = a.block(a_owner);
+                let b_blk = b.block(b_owner);
+                // Extract the A column slice. Every receiver re-derives it
+                // (simulating the received payload); only the owner charges
+                // the extraction work.
+                let mut scratch = Counters::default();
+                let slice: ColSlice<A> = {
+                    let cnt =
+                        if l == a_owner { extract_counters(local_profile) } else { &mut scratch };
+                    match &a_dcsc_ref[a_owner] {
+                        Some(d) => d.col_slice(lo - a_cols.start, hi - a_cols.start, cnt),
+                        None => {
+                            dcsc::csr_col_slice(a_blk, lo - a_cols.start, hi - a_cols.start, cnt)
+                        }
+                    }
+                };
+                // B's slice is the contiguous local row range [blo, bhi); the
+                // owner charges the nonempty-row scan that sizes the payload.
+                let (blo, bhi) = (lo - b_rows.start, hi - b_rows.start);
+                let b_nnz = b_blk.rowptr()[bhi] - b_blk.rowptr()[blo];
+                let b_nzr =
+                    (blo..bhi).filter(|&i| b_blk.rowptr()[i] < b_blk.rowptr()[i + 1]).count();
+                if l == b_owner {
+                    extract_counters(local_profile).elems += (bhi - blo) as u64;
+                }
+                // Broadcasts: sends are logged by the *owner*'s task — one
+                // writer per source keeps the comm log's per-src order
+                // deterministic under the threaded executor. Empty slices
+                // never hit the wire: DCSC's `jc` array answers "is this
+                // k-range empty?" without touching a rowptr, so hypersparse
+                // stages cost zero messages — the payoff the legacy full-CSR
+                // baseline (which always ships `(rows+1)` pointer words)
+                // cannot see.
+                let a_bytes = if slice.nnz() == 0 {
+                    0
+                } else {
+                    dcsc::slice_wire_bytes(slice.nzr(), slice.nnz(), a_elem)
+                };
+                let b_bytes =
+                    if b_nnz == 0 { 0 } else { dcsc::slice_wire_bytes(b_nzr, b_nnz, b_elem) };
+                if l == a_owner && a_bytes > 0 {
+                    for peer in grid.row_locales(r) {
+                        if peer != l {
+                            dctx.comm.bulk(PHASE_BCAST, g, layer * p + peer, 1, a_bytes)?;
+                        }
+                    }
+                }
+                if l == b_owner && b_bytes > 0 {
+                    for peer in grid.col_locales(c) {
+                        if peer != l {
+                            dctx.comm.bulk(PHASE_BCAST, g, layer * p + peer, 1, b_bytes)?;
+                        }
+                    }
+                }
+                bcast_profile.counters_mut(PHASE_BCAST).bytes_moved += a_bytes + b_bytes;
+                // Local multiply with the stage's density-adaptive kernel,
+                // accumulated into the stationary block. The locale's mask
+                // block covers exactly its stationary C block.
+                if slice.nnz() > 0 && b_nnz > 0 {
+                    let lctx = dctx.locale_ctx_for(l);
+                    let m_l = a.row_range(l).len();
+                    let q_l = b.col_range(l).len();
+                    let partial: CsrMatrix<C> = multiply_slice(
+                        &slice,
+                        b_blk,
+                        blo,
+                        m_l,
+                        q_l,
+                        ring,
+                        mask.map(|m| m.block(l)),
+                        decisions_s[l],
+                        &lctx,
+                    )?;
+                    let accumulated = gblas_core::ops::ewise_mat::ewise_add_mat(
+                        &*c_block, &partial, &ring.add, &lctx,
+                    )?;
+                    *c_block = accumulated;
+                    let folded = local_profile.counters_mut(PHASE_LOCAL);
+                    for (_, cs) in lctx.take_profile().iter() {
+                        folded.merge(cs);
+                    }
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    // 3-D merge: binomial-tree allreduce of the layers' partial C blocks
+    // into layer 0. Driver-side (the rounds are inherently sequential);
+    // compute is charged to the receiving locale, sends are logged from
+    // the sending layer's locale.
+    let mut merge_profiles: Vec<Profile> = vec![Profile::default(); total];
+    if layers > 1 {
+        let mut half = 1usize;
+        while half < layers {
+            for j in (0..layers).step_by(2 * half) {
+                let src_layer = j + half;
+                if src_layer >= layers {
+                    continue;
+                }
+                for l in 0..p {
+                    let src = src_layer * p + l;
+                    let dst = j * p + l;
+                    let (rows, cols) = (state[src].0.nrows(), state[src].0.ncols());
+                    let partial =
+                        std::mem::replace(&mut state[src].0, CsrMatrix::empty(rows, cols));
+                    let nzr = (0..partial.nrows()).filter(|&i| partial.row_nnz(i) > 0).count();
+                    let bytes =
+                        dcsc::slice_wire_bytes(nzr, partial.nnz(), std::mem::size_of::<C>());
+                    dctx.comm.bulk(PHASE_MERGE, src, dst, 1, bytes)?;
+                    let mc = merge_profiles[dst].counters_mut(PHASE_MERGE);
+                    mc.elems += partial.nrows() as u64; // payload sizing scan
+                    mc.bytes_moved += bytes;
+                    let lctx = dctx.locale_ctx_for(l);
+                    let merged = gblas_core::ops::ewise_mat::ewise_add_mat(
+                        &state[dst].0,
+                        &partial,
+                        &ring.add,
+                        &lctx,
+                    )?;
+                    state[dst].0 = merged;
+                    let folded = merge_profiles[dst].counters_mut(PHASE_MERGE);
+                    for (_, cs) in lctx.take_profile().iter() {
+                        folded.merge(cs);
+                    }
+                }
+            }
+            half *= 2;
+        }
+    }
+
+    let mut c_blocks: Vec<CsrMatrix<C>> = Vec::with_capacity(p);
+    let mut local_profiles: Vec<Profile> = Vec::with_capacity(total);
+    let mut bcast_profiles: Vec<Profile> = Vec::with_capacity(total);
+    for (g, (blk, local, bcast)) in state.into_iter().enumerate() {
+        if g < p {
+            c_blocks.push(blk);
+        }
+        local_profiles.push(local);
+        bcast_profiles.push(bcast);
+    }
+
+    let c = DistCsrMatrix::from_blocks(a.nrows(), b.ncols(), grid, c_blocks)?;
+    let mut trace = dctx.op("mxm_dist");
+    trace
+        .attr("algo", if layers > 1 { "summa3d" } else { "summa2d" })
+        .attr("stages", stages)
+        .attr("grid", format_args!("{}x{}", grid.pr(), grid.pc()))
+        .nnz((a.nnz() + b.nnz()) as u64)
+        .sched(sched_outcome);
+    if layers > 1 {
+        trace.attr("layers", layers);
+    }
+    if mask.is_some() {
+        trace.attr("masked", true);
+    }
+    // Two coforalls for the whole multiply — format preparation and the
+    // fused stage pipeline (whose trailing barrier also covers the 3-D
+    // merge rounds, which are point-to-point between already-live
+    // tasks). The legacy single-stage path spawns per stage instead.
+    trace.spawn(PHASE_EXTRACT, 1);
+    trace.spawn(PHASE_BCAST, 1);
+    trace.compute(PHASE_EXTRACT, &extract_profiles);
+    trace.compute(PHASE_BCAST, &bcast_profiles);
+    trace.compute(PHASE_LOCAL, &local_profiles);
+    if layers > 1 {
+        trace.compute(PHASE_MERGE, &merge_profiles);
+    }
+    let mut report = trace.finish();
+    report.merge(&select_report);
+    Ok((c, report))
+}
+
+/// Counter slot for owner-side extraction charges. The local profile is
+/// keyed by phase, so the slices' preparation lands under
+/// [`PHASE_EXTRACT`] while the multiply stays under [`PHASE_LOCAL`].
+fn extract_counters(profile: &mut Profile) -> &mut Counters {
+    profile.counters_mut(PHASE_EXTRACT)
+}
+
+/// One locale's stage-local multiply: `partial = slice ⊗ B[blo..bhi, :]`
+/// over `ring`, masked by the locale's stationary mask block, with the
+/// selected density-adaptive accumulator. All three kernels visit each
+/// output position's contributions in ascending inner-dimension order and
+/// emit rows with sorted column ids, so they are bit-interchangeable.
+#[allow(clippy::too_many_arguments)]
+fn multiply_slice<A, B, C, AddM, MulOp, M>(
+    a_slice: &ColSlice<A>,
+    b_blk: &CsrMatrix<B>,
+    b_off: usize,
+    m_l: usize,
+    q_l: usize,
+    ring: &Semiring<AddM, MulOp>,
+    mask: Option<&CsrMatrix<M>>,
+    kernel: MxmKernel,
+    ctx: &ExecCtx,
+) -> Result<CsrMatrix<C>>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
+    M: Copy + Send + Sync,
+    AddM: Monoid<C>,
+    MulOp: BinaryOp<A, B, C>,
+{
+    // Pooled receive/accumulate buffers: the partial's column/value
+    // streams come from the workspace pool and are copied out exactly
+    // sized at the end, so per-stage scratch is reused across stages and
+    // iterations.
+    let mut colidx_ws = ctx.ws_vec::<usize>();
+    let mut values_ws = ctx.ws_vec::<C>();
+    let mut row_ends: Vec<(usize, usize)> = Vec::with_capacity(a_slice.rows.len());
+    let mut row_inds: Vec<usize> = Vec::new();
+    let mut row_vals: Vec<C> = Vec::new();
+    match kernel {
+        MxmKernel::Spa => {
+            let mut spa = ctx.ws_dense_spa(q_l, ring.zero::<C>());
+            ctx.record(gblas_core::ops::mxm::PHASE, |c| {
+                for (i, entries) in &a_slice.rows {
+                    for &(k, av) in entries {
+                        let (bcols, bvals) = b_blk.row(b_off + k);
+                        c.flops += bcols.len() as u64;
+                        for (&j, &bv) in bcols.iter().zip(bvals) {
+                            spa.accumulate(j, ring.multiply(av, bv), &ring.add, c);
+                        }
+                    }
+                    let mut inds = spa.nzinds().to_vec();
+                    inds.sort_unstable();
+                    c.sort_elems += (inds.len().max(1).ilog2() as u64 + 1) * inds.len() as u64;
+                    row_inds.clear();
+                    row_vals.clear();
+                    for &j in &inds {
+                        row_inds.push(j);
+                        row_vals.push(spa.get(j).expect("collected index occupied"));
+                    }
+                    let _ = spa.drain(c);
+                    emit_row(*i, &row_inds, &row_vals, mask, &mut colidx_ws, &mut values_ws, c);
+                    row_ends.push((*i, colidx_ws.len()));
+                }
+            });
+        }
+        MxmKernel::Hash => {
+            ctx.record(gblas_core::ops::mxm::PHASE, |c| {
+                let mut tbl: HashMap<usize, C> = HashMap::new();
+                for (i, entries) in &a_slice.rows {
+                    tbl.clear();
+                    for &(k, av) in entries {
+                        let (bcols, bvals) = b_blk.row(b_off + k);
+                        c.flops += bcols.len() as u64;
+                        for (&j, &bv) in bcols.iter().zip(bvals) {
+                            let prod = ring.multiply(av, bv);
+                            c.rand_access += 1; // open-addressing probe
+                            tbl.entry(j)
+                                .and_modify(|v| *v = ring.add.combine(*v, prod))
+                                .or_insert(prod);
+                        }
+                    }
+                    let mut inds: Vec<usize> = tbl.keys().copied().collect();
+                    inds.sort_unstable();
+                    c.sort_elems += (inds.len().max(1).ilog2() as u64 + 1) * inds.len() as u64;
+                    row_inds.clear();
+                    row_vals.clear();
+                    for &j in &inds {
+                        row_inds.push(j);
+                        row_vals.push(tbl[&j]);
+                    }
+                    emit_row(*i, &row_inds, &row_vals, mask, &mut colidx_ws, &mut values_ws, c);
+                    row_ends.push((*i, colidx_ws.len()));
+                }
+            });
+        }
+        MxmKernel::Heap => {
+            ctx.record(gblas_core::ops::mxm::PHASE, |c| {
+                // t-way merge of the B rows the A entries select; the heap
+                // orders by (column, A-entry index) so equal columns pop in
+                // ascending inner-dimension order — the same accumulation
+                // order as the SPA.
+                let mut heap: BinaryHeap<Reverse<(usize, usize, usize)>> = BinaryHeap::new();
+                for (i, entries) in &a_slice.rows {
+                    heap.clear();
+                    let t = entries.len();
+                    let push_charge = t.max(1).ilog2() as u64 + 1;
+                    for (kidx, &(k, _)) in entries.iter().enumerate() {
+                        let (bcols, _) = b_blk.row(b_off + k);
+                        if !bcols.is_empty() {
+                            heap.push(Reverse((bcols[0], kidx, 0)));
+                            c.sort_elems += push_charge;
+                        }
+                    }
+                    row_inds.clear();
+                    row_vals.clear();
+                    while let Some(Reverse((j, kidx, pos))) = heap.pop() {
+                        let (k, av) = entries[kidx];
+                        let (bcols, bvals) = b_blk.row(b_off + k);
+                        let prod = ring.multiply(av, bvals[pos]);
+                        c.flops += 1;
+                        match row_inds.last() {
+                            Some(&last) if last == j => {
+                                let v = row_vals.last_mut().expect("vals track inds");
+                                *v = ring.add.combine(*v, prod);
+                            }
+                            _ => {
+                                row_inds.push(j);
+                                row_vals.push(prod);
+                            }
+                        }
+                        if pos + 1 < bcols.len() {
+                            heap.push(Reverse((bcols[pos + 1], kidx, pos + 1)));
+                            c.sort_elems += push_charge;
+                        }
+                    }
+                    emit_row(*i, &row_inds, &row_vals, mask, &mut colidx_ws, &mut values_ws, c);
+                    row_ends.push((*i, colidx_ws.len()));
+                }
+            });
+        }
+    }
+    // Assemble the partial CSR: rows absent from the slice are empty.
+    let mut rowptr = Vec::with_capacity(m_l + 1);
+    rowptr.push(0usize);
+    let mut cursor = 0usize;
+    let mut last_end = 0usize;
+    for i in 0..m_l {
+        if cursor < row_ends.len() && row_ends[cursor].0 == i {
+            last_end = row_ends[cursor].1;
+            cursor += 1;
+        }
+        rowptr.push(last_end);
+    }
+    CsrMatrix::from_raw_parts(m_l, q_l, rowptr, colidx_ws.clone(), values_ws.clone())
+}
+
+/// Append one finished row to the partial's output streams, applying the
+/// structural mask by sorted intersection (one streamed element per
+/// candidate, the shared-memory idiom).
+fn emit_row<C: Copy, M>(
+    i: usize,
+    inds: &[usize],
+    vals: &[C],
+    mask: Option<&CsrMatrix<M>>,
+    colidx: &mut Vec<usize>,
+    values: &mut Vec<C>,
+    c: &mut Counters,
+) {
+    match mask {
+        Some(m) => {
+            let (mcols, _) = m.row(i);
+            let mut p = 0usize;
+            for (&j, &v) in inds.iter().zip(vals) {
+                while p < mcols.len() && mcols[p] < j {
+                    p += 1;
+                }
+                c.elems += 1;
+                if p < mcols.len() && mcols[p] == j {
+                    colidx.push(j);
+                    values.push(v);
+                }
+            }
+        }
+        None => {
+            colidx.extend_from_slice(inds);
+            values.extend_from_slice(vals);
+        }
+    }
+}
+
+/// The legacy single-stage-per-block sparse SUMMA (square grids): whole
+/// CSR blocks on the wire, shared-memory Gustavson per stage. Kept as the
+/// measured baseline for the `--fig spgemm` sweep; its broadcast bytes
+/// now honestly include the `(rows+1)`-word row-pointer array that
+/// dominates in the hypersparse regime.
+fn single_stage<A, B, C, AddM, MulOp, M>(
+    a: &DistCsrMatrix<A>,
+    b: &DistCsrMatrix<B>,
+    ring: &Semiring<AddM, MulOp>,
+    mask: Option<&DistCsrMatrix<M>>,
+    dctx: &DistCtx,
+) -> Result<(DistCsrMatrix<C>, SimReport)>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync + 'static,
+    M: Copy + Send + Sync,
+    AddM: Monoid<C>,
+    MulOp: BinaryOp<A, B, C>,
+{
+    let grid = a.grid();
+    let p = grid.locales();
+    let stages = grid.pc();
+    let a_elem = std::mem::size_of::<A>();
+    let b_elem = std::mem::size_of::<B>();
+
     let mut state: Vec<(CsrMatrix<C>, Profile, Profile)> = (0..p)
         .map(|l| {
             let rows = a.row_range(l).len();
@@ -120,32 +855,27 @@ where
     for k in 0..stages {
         dctx.for_each_locale_state(&mut state, |l, (c_block, local_profile, bcast_profile)| {
             let (r, c) = grid.coords(l);
-            // A(r, k) arrives along the grid row, B(k, c) down the grid
-            // column. The broadcast sends are logged by the *owner*'s task
-            // — one writer per source locale keeps the comm log's per-src
-            // order deterministic under the threaded executor.
             let a_owner = grid.locale(r, k);
             let a_blk = a.block(a_owner);
             let b_owner = grid.locale(k, c);
             let b_blk = b.block(b_owner);
+            let a_bytes = dcsc::csr_wire_bytes(a_blk.nrows(), a_blk.nnz(), a_elem);
+            let b_bytes = dcsc::csr_wire_bytes(b_blk.nrows(), b_blk.nnz(), b_elem);
             if l == a_owner {
                 for peer in grid.row_locales(r) {
                     if peer != l {
-                        dctx.comm.bulk(PHASE_BCAST, l, peer, 1, a_blk.nnz() as u64 * a_bytes)?;
+                        dctx.comm.bulk(PHASE_BCAST, l, peer, 1, a_bytes)?;
                     }
                 }
             }
             if l == b_owner {
                 for peer in grid.col_locales(c) {
                     if peer != l {
-                        dctx.comm.bulk(PHASE_BCAST, l, peer, 1, b_blk.nnz() as u64 * b_bytes)?;
+                        dctx.comm.bulk(PHASE_BCAST, l, peer, 1, b_bytes)?;
                     }
                 }
             }
-            bcast_profile.counters_mut(PHASE_BCAST).bytes_moved +=
-                a_blk.nnz() as u64 * a_bytes + b_blk.nnz() as u64 * b_bytes;
-            // Local multiply + accumulate into the stationary block. The
-            // locale's mask block covers exactly its stationary C block.
+            bcast_profile.counters_mut(PHASE_BCAST).bytes_moved += a_bytes + b_bytes;
             let lctx = dctx.locale_ctx_for(l);
             let partial: CsrMatrix<C> = gblas_core::ops::mxm::mxm::<_, _, C, _, _, M>(
                 a_blk,
@@ -176,7 +906,11 @@ where
 
     let c = DistCsrMatrix::from_blocks(a.nrows(), b.ncols(), grid, c_blocks)?;
     let mut trace = dctx.op("mxm_dist");
-    trace.attr("stages", stages).nnz((a.nnz() + b.nnz()) as u64);
+    trace
+        .attr("algo", "single")
+        .attr("stages", stages)
+        .attr("grid", format_args!("{}x{}", grid.pr(), grid.pc()))
+        .nnz((a.nnz() + b.nnz()) as u64);
     if mask.is_some() {
         trace.attr("masked", true);
     }
@@ -225,9 +959,30 @@ mod tests {
     }
 
     #[test]
+    fn rectangular_grids_match_shared_exactly_on_integer_rings() {
+        // u64 plus-times: addition is associative, so every grid shape and
+        // stage blocking must produce bit-identical results
+        let af = gen::erdos_renyi(77, 4, 231);
+        let ctx = gblas_core::par::ExecCtx::serial();
+        let a = gblas_core::ops::apply::map_mat(&af, &|_, _, _: f64| 3u64, &ctx);
+        let ring = semirings::plus_times::<u64>();
+        let expect: CsrMatrix<u64> =
+            gblas_core::ops::mxm::mxm::<_, _, u64, _, _, bool>(&a, &a, &ring, None, &ctx).unwrap();
+        for (pr, pc) in [(1usize, 2usize), (2, 1), (2, 3), (3, 2), (1, 4), (4, 3)] {
+            let grid = ProcGrid::new(pr, pc);
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let dctx = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+            let (dc, report) = mxm_dist(&da, &da, &ring, &dctx).unwrap();
+            assert_eq!(dc.to_global().unwrap(), expect, "grid {pr}x{pc}");
+            assert!(report.total() > 0.0, "grid {pr}x{pc}");
+        }
+    }
+
+    #[test]
     fn masked_mixed_type_summa_matches_shared() {
         // the triangle-counting shape: C⟨L⟩ = L · Lᵀ over plus-pair,
-        // f64 operands producing u64 counts
+        // f64 operands producing u64 counts — exact, so rectangular grids
+        // are held to bit-identity too
         let a = gen::erdos_renyi_symmetric(80, 5, 225);
         let ctx = gblas_core::par::ExecCtx::serial();
         let l = gblas_core::ops::select::tril(&a, &ctx);
@@ -235,16 +990,96 @@ mod tests {
         let ring = semirings::plus_pair();
         let expect: gblas_core::container::CsrMatrix<u64> =
             gblas_core::ops::mxm::mxm(&l, &u, &ring, Some(&l), &ctx).unwrap();
-        for s in [1usize, 2, 3] {
-            let grid = ProcGrid::new(s, s);
+        for (pr, pc) in [(1usize, 1usize), (2, 2), (3, 3), (2, 3), (3, 2)] {
+            let grid = ProcGrid::new(pr, pc);
             let dl = DistCsrMatrix::from_global(&l, grid);
             let du = DistCsrMatrix::from_global(&u, grid);
             let dctx = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
             let (dc, report) =
                 mxm_dist_masked::<_, _, u64, _, _, f64>(&dl, &du, &ring, Some(&dl), &dctx).unwrap();
-            assert_eq!(dc.to_global().unwrap(), expect, "grid {s}x{s}");
+            assert_eq!(dc.to_global().unwrap(), expect, "grid {pr}x{pc}");
             assert!(report.total() > 0.0);
         }
+    }
+
+    #[test]
+    fn single_stage_baseline_matches_summa2d() {
+        let af = gen::erdos_renyi(64, 4, 233);
+        let ctx = gblas_core::par::ExecCtx::serial();
+        let a = gblas_core::ops::apply::map_mat(&af, &|_, _, _: f64| 2u64, &ctx);
+        let ring = semirings::plus_times::<u64>();
+        let grid = ProcGrid::new(2, 2);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dctx = DistCtx::new(MachineConfig::edison_cluster(4, 24));
+        let (c_single, _) = mxm_dist_masked_with::<_, _, u64, _, _, bool>(
+            &da,
+            &da,
+            &ring,
+            None,
+            MxmAlgo::Single,
+            &dctx,
+        )
+        .unwrap();
+        let (c_multi, _) = mxm_dist(&da, &da, &ring, &dctx).unwrap();
+        assert_eq!(c_single.to_global().unwrap(), c_multi.to_global().unwrap());
+        // single still refuses rectangular grids
+        let dr = DistCsrMatrix::from_global(&a, ProcGrid::new(1, 4));
+        assert!(mxm_dist_masked_with::<_, _, u64, _, _, bool>(
+            &dr,
+            &dr,
+            &ring,
+            None,
+            MxmAlgo::Single,
+            &dctx
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn summa3d_matches_2d_and_prices_merge() {
+        let af = gen::erdos_renyi(60, 4, 235);
+        let ctx = gblas_core::par::ExecCtx::serial();
+        let a = gblas_core::ops::apply::map_mat(&af, &|_, _, _: f64| 1u64, &ctx);
+        let ring = semirings::plus_times::<u64>();
+        let grid = ProcGrid::new(2, 2);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dctx2 = DistCtx::new(MachineConfig::edison_cluster(4, 24));
+        let (c2, _) = mxm_dist(&da, &da, &ring, &dctx2).unwrap();
+        // 2x2 grid x 2 layers = 8 machine locales
+        let dctx3 = DistCtx::new(MachineConfig::edison_cluster(8, 24));
+        let (c3, r3) = mxm_dist_masked_with::<_, _, u64, _, _, bool>(
+            &da,
+            &da,
+            &ring,
+            None,
+            MxmAlgo::Summa3d { layers: 2 },
+            &dctx3,
+        )
+        .unwrap();
+        assert_eq!(c3.to_global().unwrap(), c2.to_global().unwrap());
+        assert!(r3.phase(PHASE_MERGE) > 0.0, "allreduce merge must be priced");
+        assert!(r3.phase(PHASE_REPLICATE) > 0.0, "replication must be priced");
+        // derived layer count (layers: 0) resolves from the machine size
+        let (c3b, _) = mxm_dist_masked_with::<_, _, u64, _, _, bool>(
+            &da,
+            &da,
+            &ring,
+            None,
+            MxmAlgo::Summa3d { layers: 0 },
+            &dctx3,
+        )
+        .unwrap();
+        assert_eq!(c3b.to_global().unwrap(), c2.to_global().unwrap());
+        // mismatched machine/layer product is an error
+        assert!(mxm_dist_masked_with::<_, _, u64, _, _, bool>(
+            &da,
+            &da,
+            &ring,
+            None,
+            MxmAlgo::Summa3d { layers: 3 },
+            &dctx3
+        )
+        .is_err());
     }
 
     #[test]
@@ -277,19 +1112,22 @@ mod tests {
     }
 
     #[test]
-    fn rejects_non_square_grid_and_mismatches() {
+    fn accepts_rectangular_grids_and_rejects_mismatches() {
         let a = gen::erdos_renyi(40, 3, 223);
         let dctx4 = DistCtx::new(MachineConfig::edison_cluster(4, 24));
-        // non-square grid
+        // rectangular grids are first-class now
         let g_rect = ProcGrid::new(1, 4);
         let da = DistCsrMatrix::from_global(&a, g_rect);
-        assert!(mxm_dist(&da, &da, &semirings::plus_times_f64(), &dctx4).is_err());
-        // grid mismatch
+        assert!(mxm_dist(&da, &da, &semirings::plus_times_f64(), &dctx4).is_ok());
+        // grid mismatch between the operands is still rejected
         let g2 = ProcGrid::new(2, 2);
         let da2 = DistCsrMatrix::from_global(&a, g2);
         let da1 = DistCsrMatrix::from_global(&a, ProcGrid::new(1, 1));
         let dctx = DistCtx::new(MachineConfig::edison_cluster(4, 24));
         assert!(mxm_dist(&da2, &da1, &semirings::plus_times_f64(), &dctx).is_err());
+        // and so is a machine/grid size mismatch
+        let dctx6 = DistCtx::new(MachineConfig::edison_cluster(6, 24));
+        assert!(mxm_dist(&da2, &da2, &semirings::plus_times_f64(), &dctx6).is_err());
     }
 
     #[test]
@@ -302,8 +1140,41 @@ mod tests {
         let _ = mxm_dist(&da, &db, &semirings::plus_times_f64(), &dctx).unwrap();
         let (fine, bulk, _) = dctx.comm.totals();
         assert_eq!(fine, 0, "SUMMA is all-bulk");
-        // per stage: each locale receives at most 2 remote blocks;
+        // per stage: each locale receives at most 2 remote slices;
         // 2 stages x 4 locales x 2 = 16 upper bound (diagonal owners skip)
         assert!((4..=16).contains(&bulk), "bulk = {bulk}");
+    }
+
+    #[test]
+    fn iterative_callers_replay_the_stage_plan() {
+        let af = gen::erdos_renyi(50, 4, 237);
+        let ctx = gblas_core::par::ExecCtx::serial();
+        let a = gblas_core::ops::apply::map_mat(&af, &|_, _, _: f64| 1u64, &ctx);
+        let ring = semirings::plus_times::<u64>();
+        let grid = ProcGrid::new(2, 3);
+        let da = DistCsrMatrix::from_global(&a, grid);
+        let dctx = DistCtx::new(MachineConfig::edison_cluster(6, 24));
+        let (c1, _) = mxm_dist(&da, &da, &ring, &dctx).unwrap();
+        let before = dctx.metrics().snapshot();
+        // a *fresh* matrix of the same shape (new generation) still
+        // replays: the plan is shape-keyed, not content-keyed
+        let (_, _) = mxm_dist(&c1, &c1, &ring, &dctx).unwrap();
+        let after = dctx.metrics().snapshot();
+        assert_eq!(after.sched_replays, before.sched_replays + 1, "expected a plan replay");
+        assert_eq!(after.sched_builds, before.sched_builds);
+    }
+
+    #[test]
+    fn auto_layer_count_follows_cbrt_rule() {
+        assert_eq!(auto_layers(1), 1);
+        assert_eq!(auto_layers(4), 1);
+        assert_eq!(auto_layers(8), 2);
+        assert_eq!(auto_layers(16), 2);
+        assert_eq!(auto_layers(64), 4);
+        assert_eq!(auto_layers(256), 4);
+        assert_eq!(MxmAlgo::parse("2d"), Some(MxmAlgo::Summa2d));
+        assert_eq!(MxmAlgo::parse("3d"), Some(MxmAlgo::Summa3d { layers: 0 }));
+        assert_eq!(MxmAlgo::parse("single"), Some(MxmAlgo::Single));
+        assert_eq!(MxmAlgo::parse("4d"), None);
     }
 }

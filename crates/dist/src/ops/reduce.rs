@@ -89,6 +89,13 @@ where
     // Local per-block row folds (block rows are local coordinates).
     let (partials, profiles): (Vec<gblas_core::container::DenseVec<T>>, Vec<Profile>) = dctx
         .for_each_locale(|l| {
+            if l >= grid.locales() {
+                // 3-D replication layer: no block, identity partial
+                return Ok((
+                    gblas_core::container::DenseVec::from_vec(Vec::new()),
+                    Profile::default(),
+                ));
+            }
             let ctx = dctx.locale_ctx_for(l);
             let local = gblas_core::ops::reduce::reduce_rows(a.block(l), monoid, &ctx);
             let mut folded = Profile::default();
@@ -143,6 +150,9 @@ where
     let p = a.grid().locales();
     let (partials, profiles): (Vec<T>, Vec<Profile>) = dctx
         .for_each_locale(|l| {
+            if l >= p {
+                return Ok((monoid.identity(), Profile::default()));
+            }
             let ctx = dctx.locale_ctx_for(l);
             let local = gblas_core::ops::reduce::reduce_mat(a.block(l), monoid, &ctx);
             let mut folded = Profile::default();

@@ -25,7 +25,10 @@ pub fn select_mat_dist<T: Copy + Send + Sync>(
     let p = grid.locales();
     let mut blocks: Vec<CsrMatrix<T>> = Vec::with_capacity(p);
     let mut profiles = Vec::with_capacity(p);
-    for (block, profile) in dctx.for_each_locale(|l| {
+    for out in dctx.for_each_locale(|l| {
+        if l >= p {
+            return Ok(None); // 3-D replication layer: no block here
+        }
         let ctx = dctx.locale_ctx_for(l);
         let r0 = a.row_range(l).start;
         let c0 = a.col_range(l).start;
@@ -34,8 +37,9 @@ pub fn select_mat_dist<T: Copy + Send + Sync>(
             &|i, j, v| pred(i + r0, j + c0, v),
             &ctx,
         );
-        Ok((kept, ctx.take_profile()))
+        Ok(Some((kept, ctx.take_profile())))
     })? {
+        let Some((block, profile)) = out else { continue };
         blocks.push(block);
         profiles.push(profile);
     }
@@ -58,14 +62,18 @@ pub fn map_mat_dist<T: Copy + Send + Sync, U: Copy + Send + Sync>(
     let p = grid.locales();
     let mut blocks: Vec<CsrMatrix<U>> = Vec::with_capacity(p);
     let mut profiles = Vec::with_capacity(p);
-    for (block, profile) in dctx.for_each_locale(|l| {
+    for out in dctx.for_each_locale(|l| {
+        if l >= p {
+            return Ok(None); // 3-D replication layer: no block here
+        }
         let ctx = dctx.locale_ctx_for(l);
         let r0 = a.row_range(l).start;
         let c0 = a.col_range(l).start;
         let mapped =
             gblas_core::ops::apply::map_mat(a.block(l), &|i, j, v| f(i + r0, j + c0, v), &ctx);
-        Ok((mapped, ctx.take_profile()))
+        Ok(Some((mapped, ctx.take_profile())))
     })? {
+        let Some((block, profile)) = out else { continue };
         blocks.push(block);
         profiles.push(profile);
     }

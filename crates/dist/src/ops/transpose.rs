@@ -29,9 +29,11 @@ pub fn transpose_dist<T: Copy + Send + Sync>(
 ) -> Result<(DistCsrMatrix<T>, SimReport)> {
     let grid = a.grid();
     let p = grid.locales();
-    if dctx.locales() != p {
+    // `>` not `!=`: under the 3-D SUMMA the machine holds extra
+    // replication layers beyond the matrix's own subgrid.
+    if p > dctx.locales() {
         return Err(GblasError::DimensionMismatch {
-            expected: format!("machine with {p} locales"),
+            expected: format!("machine with at least {p} locales"),
             actual: format!("machine with {} locales", dctx.locales()),
         });
     }
@@ -42,7 +44,12 @@ pub fn transpose_dist<T: Copy + Send + Sync>(
     let mut profiles: Vec<Profile> = Vec::with_capacity(p);
     let mut new_blocks: Vec<Option<gblas_core::container::CsrMatrix<T>>> =
         (0..p).map(|_| None).collect();
-    for (profile, dest, t) in dctx.for_each_locale(|l| {
+    for out in dctx.for_each_locale(|l| {
+        if l >= p {
+            // 3-D SUMMA machines carry replication layers beyond the
+            // matrix's subgrid; they hold no block of this matrix.
+            return Ok(None);
+        }
         let (r, c) = grid.coords(l);
         let lctx = dctx.locale_ctx_for(l);
         let t = gblas_core::ops::transpose::transpose(a.block(l), &lctx)?;
@@ -55,8 +62,9 @@ pub fn transpose_dist<T: Copy + Send + Sync>(
         if dest != l {
             dctx.comm.bulk(PHASE_EXCHANGE, l, dest, 1, t.nnz() as u64 * elem_bytes)?;
         }
-        Ok((folded, dest, t))
+        Ok(Some((folded, dest, t)))
     })? {
+        let Some((profile, dest, t)) = out else { continue };
         profiles.push(profile);
         new_blocks[dest] = Some(t);
     }
@@ -70,6 +78,65 @@ pub fn transpose_dist<T: Copy + Send + Sync>(
     trace.spawn(PHASE_LOCAL, 1);
     trace.compute(PHASE_LOCAL, &profiles);
     Ok((result, trace.finish()))
+}
+
+/// Phase: redistribution all-to-all exchange.
+pub const PHASE_REGRID: &str = "regrid";
+
+/// Redistribute `a` onto `grid`, pricing the all-to-all block shuffle:
+/// each source locale scans its block, and every (source, destination)
+/// pair with overlapping entries costs one bulk message carrying the
+/// overlap as triplets. Needed after a rectangular-grid transpose, whose
+/// result lives on the flipped `pc×pr` grid.
+pub fn redistribute_dist<T: Copy + Send + Sync>(
+    a: &DistCsrMatrix<T>,
+    grid: ProcGrid,
+    dctx: &DistCtx,
+) -> Result<(DistCsrMatrix<T>, SimReport)> {
+    if a.grid() == grid {
+        return Ok((a.clone(), SimReport::default()));
+    }
+    let p_src = a.grid().locales();
+    let row_dist = crate::grid::BlockDist::new(a.nrows(), grid.pr());
+    let col_dist = crate::grid::BlockDist::new(a.ncols(), grid.pc());
+    // Driver-side overlap counts: deterministic integers, so the comm
+    // pattern is identical on every executor.
+    let mut counts = vec![vec![0u64; grid.locales()]; p_src];
+    for (l, row) in counts.iter_mut().enumerate() {
+        let r0 = a.row_range(l).start;
+        let c0 = a.col_range(l).start;
+        for (i, j, _) in a.block(l).iter() {
+            let dest = grid.locale(row_dist.owner(i + r0), col_dist.owner(j + c0));
+            row[dest] += 1;
+        }
+    }
+    let elem_bytes = (2 * std::mem::size_of::<usize>() + std::mem::size_of::<T>()) as u64;
+    let mut profiles: Vec<Profile> = Vec::with_capacity(p_src);
+    for folded in dctx.for_each_locale(|l| {
+        let mut profile = Profile::default();
+        if l >= p_src {
+            return Ok(profile);
+        }
+        // the scan that routes each entry to its destination block
+        profile.counters_mut(PHASE_REGRID).elems += a.block(l).nnz() as u64;
+        for (dst, &cnt) in counts[l].iter().enumerate() {
+            if cnt > 0 && dst != l {
+                dctx.comm.bulk(PHASE_REGRID, l, dst, 1, cnt * elem_bytes)?;
+            }
+        }
+        Ok(profile)
+    })? {
+        profiles.push(folded);
+    }
+    let out = DistCsrMatrix::from_global(&a.to_global()?, grid);
+    let mut trace = dctx.op("redistribute_dist");
+    trace
+        .attr("from", format!("{}x{}", a.grid().pr(), a.grid().pc()))
+        .attr("to", format!("{}x{}", grid.pr(), grid.pc()))
+        .nnz(a.nnz() as u64);
+    trace.spawn(PHASE_REGRID, 1);
+    trace.compute(PHASE_REGRID, &profiles);
+    Ok((out, trace.finish()))
 }
 
 #[cfg(test)]

@@ -50,6 +50,8 @@ pub enum FrontierClass {
     Batched(usize),
     /// An explicit index set (extract/assign).
     Index,
+    /// A distributed matrix operand (sparse SUMMA).
+    Mat,
 }
 
 /// Cache key: which op, on which grid shape, over which input class.
@@ -192,6 +194,57 @@ impl ExtractPlan {
     }
 }
 
+/// The compiled stage structure of a multi-stage sparse SUMMA: the
+/// k-blocking of the inner dimension and, per stage, which operand
+/// blocks feed it. On a rectangular `pr×pc` grid `A`'s column split and
+/// `B`'s row split disagree, so the stage bounds are the sorted union of
+/// both splits (at most `pr + pc - 1` intervals) — each interval then
+/// lies inside exactly **one** `A` column-block and one `B` row-block,
+/// which is what makes the per-stage broadcasts well-defined without any
+/// `lcm`-sized re-blocking. Purely shape-derived (dimensions + grid), so
+/// iterative callers (Markov clustering, masked triangles) replay it
+/// across fresh matrices of the same shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaPlan {
+    /// Half-open inner-dimension interval per stage, ascending.
+    pub bounds: Vec<(usize, usize)>,
+    /// Per stage: the grid *column* of the `A` blocks covering it.
+    pub ka: Vec<usize>,
+    /// Per stage: the grid *row* of the `B` blocks covering it.
+    pub kb: Vec<usize>,
+}
+
+impl SummaPlan {
+    /// Inspector: union the two inner-dimension splits into the stage
+    /// list. `n` is the shared inner dimension.
+    pub fn build(n: usize, a_cols: &BlockDist, b_rows: &BlockDist) -> Self {
+        let mut cuts: Vec<usize> = (0..a_cols.blocks())
+            .map(|k| a_cols.range(k).start)
+            .chain((0..b_rows.blocks()).map(|k| b_rows.range(k).start))
+            .chain(std::iter::once(n))
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut bounds = Vec::new();
+        let mut ka = Vec::new();
+        let mut kb = Vec::new();
+        for w in cuts.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if lo < hi {
+                bounds.push((lo, hi));
+                ka.push(a_cols.owner(lo));
+                kb.push(b_rows.owner(lo));
+            }
+        }
+        SummaPlan { bounds, ka, kb }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.bounds.len()
+    }
+}
+
 /// FNV-1a 64 over an index slice — the content fingerprint extract keys
 /// its schedule on. Full-content, so two different index sets cannot
 /// share a plan short of a 64-bit collision (documented tradeoff: the
@@ -216,6 +269,8 @@ pub enum PlanData {
     Pull(PullPlan),
     /// Extract index windows.
     Extract(ExtractPlan),
+    /// Multi-stage SUMMA k-blocking.
+    Summa(SummaPlan),
 }
 
 impl PlanData {
@@ -241,6 +296,14 @@ impl PlanData {
         match self {
             PlanData::Extract(p) => p,
             other => panic!("schedule kind mismatch: wanted Extract, got {other:?}"),
+        }
+    }
+
+    /// The SUMMA stage plan (see [`PlanData::gather`] on mismatches).
+    pub fn summa(&self) -> &SummaPlan {
+        match self {
+            PlanData::Summa(p) => p,
+            other => panic!("schedule kind mismatch: wanted Summa, got {other:?}"),
         }
     }
 }
@@ -418,6 +481,21 @@ mod tests {
         // owner 1 serves requesters 0 and 2 (its remote row peers), in
         // ascending requester order
         assert_eq!(p.replies[1], vec![(0, 0, 5), (2, 10, 15)]);
+    }
+
+    #[test]
+    fn summa_plan_unions_rectangular_splits() {
+        // inner dim 10; A's columns split 3 ways ({0,3,6}), B's rows split
+        // 2 ways ({0,5}): the stage bounds are the union of both cuts
+        let plan = SummaPlan::build(10, &BlockDist::new(10, 3), &BlockDist::new(10, 2));
+        assert_eq!(plan.bounds, vec![(0, 3), (3, 5), (5, 6), (6, 10)]);
+        assert_eq!(plan.ka, vec![0, 1, 1, 2]);
+        assert_eq!(plan.kb, vec![0, 0, 1, 1]);
+        assert!(plan.stages() < 3 + 2);
+        // aligned splits (square grid) collapse to exactly pc stages
+        let sq = SummaPlan::build(10, &BlockDist::new(10, 2), &BlockDist::new(10, 2));
+        assert_eq!(sq.stages(), 2);
+        assert_eq!(sq.bounds, vec![(0, 5), (5, 10)]);
     }
 
     #[test]

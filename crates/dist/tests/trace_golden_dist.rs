@@ -1,12 +1,15 @@
-//! Golden-file coverage for real distributed SpMSpV traces.
+//! Golden-file coverage for real distributed SpMSpV and SpGEMM traces.
 //!
-//! One small fixed workload, exported through the byte-deterministic
-//! Chrome sink, once per merge strategy. These pin the span structure the
-//! observability stack promises: the `bucket` phase (and the absence of
-//! any sort work) under the bucketed merge, and the aggregated
-//! request/reply `gather` supersteps under `CommStrategy::Bulk`. The
-//! serial executor makes the run — and therefore the file — exactly
-//! reproducible.
+//! One small fixed workload each, exported through the byte-deterministic
+//! Chrome sink. The SpMSpV runs (once per merge strategy) pin the span
+//! structure the observability stack promises: the `bucket` phase (and
+//! the absence of any sort work) under the bucketed merge, and the
+//! aggregated request/reply `gather` supersteps under
+//! `CommStrategy::Bulk`. The SpGEMM run pins the multi-stage SUMMA's
+//! `mxm` op span (algo/stages/grid attributes) and its `select` span
+//! carrying the per-stage density-adaptive kernel census
+//! (heap/hash/spa). The serial executor makes each run — and therefore
+//! each file — exactly reproducible.
 //!
 //! Regenerate after an intentional format or pricing change with
 //! `GBLAS_REGEN_GOLDEN=1 cargo test -p gblas-dist --test trace_golden_dist`.
@@ -16,6 +19,7 @@ use gblas_core::gen;
 use gblas_core::ops::spmspv::{MergeStrategy, SpMSpVOpts};
 use gblas_core::trace::sink::chrome_trace;
 use gblas_core::trace::SpanKind;
+use gblas_dist::ops::mxm::mxm_dist;
 use gblas_dist::ops::spmspv::{spmspv_dist_semiring_with, CommStrategy, PHASE_GATHER};
 use gblas_dist::{DistCsrMatrix, DistCtx, DistSparseVec, LocaleExecutor, ProcGrid};
 use gblas_sim::MachineConfig;
@@ -117,4 +121,77 @@ fn traces_carry_the_promised_spans() {
     };
     assert_eq!(merge_attr(&sorted).as_deref(), Some("sort"));
     assert_eq!(merge_attr(&bucketed).as_deref(), Some("bucket"));
+}
+
+/// The SpGEMM golden: multi-stage DCSC SUMMA on the rectangular 2x3
+/// grid — the shape the square-grid guard used to reject outright.
+fn traced_mxm_run() -> gblas_core::trace::Trace {
+    let grid = ProcGrid::new(2, 3);
+    let a = gen::erdos_renyi(60, 4, 7);
+    let b = gen::erdos_renyi(60, 3, 8);
+    let da = DistCsrMatrix::from_global(&a, grid);
+    let db = DistCsrMatrix::from_global(&b, grid);
+    let mut dctx = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+    dctx.set_executor(LocaleExecutor::Serial);
+    dctx.enable_tracing();
+    let ring = semirings::plus_times_f64();
+    mxm_dist(&da, &db, &ring, &dctx).expect("mxm");
+    dctx.recorder().snapshot()
+}
+
+#[test]
+fn mxm_summa_trace_matches_golden() {
+    let got = chrome_trace(&traced_mxm_run());
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/mxm_summa_2x3.json");
+    if std::env::var_os("GBLAS_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden.parent().unwrap()).expect("mkdir golden");
+        std::fs::write(&golden, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden).expect("golden file present");
+    assert_eq!(got, want, "mxm SUMMA trace drifted from the golden file");
+}
+
+/// Structural claims the mxm golden bytes encode, asserted directly so a
+/// regeneration cannot silently drop them: the op span names the
+/// algorithm, stage count and grid shape; the `select` span carries the
+/// density-adaptive kernel census; and every broadcast is a whole
+/// coalesced (bulk) message — the DCSC pipeline never sends fine-grained
+/// traffic.
+#[test]
+fn mxm_trace_carries_stage_and_select_attrs() {
+    let trace = traced_mxm_run();
+    let attr = |s: &gblas_core::trace::Span, k: &str| {
+        s.attrs.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone())
+    };
+    let op = trace
+        .spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Op && s.name == "mxm_dist")
+        .expect("mxm op span present");
+    assert_eq!(attr(op, "algo").as_deref(), Some("summa2d"));
+    assert_eq!(attr(op, "grid").as_deref(), Some("2x3"));
+    let stages: usize = attr(op, "stages").expect("stages attr").parse().expect("numeric stages");
+    assert!(stages > 1, "multi-stage plan expected on a 2x3 grid, got {stages}");
+    let select = trace
+        .spans
+        .iter()
+        .find(|s| {
+            s.kind == SpanKind::Op && s.name == "select" && {
+                attr(s, "algo").as_deref() == Some("mxm")
+            }
+        })
+        .expect("select span for the kernel decisions present");
+    let census: usize = ["heap", "hash", "spa"]
+        .iter()
+        .map(|k| attr(select, k).expect("kernel census attr").parse::<usize>().unwrap())
+        .sum();
+    assert_eq!(census, stages * 6, "one kernel decision per (stage, locale) pair on the 2x3 grid");
+    for s in trace.spans.iter().filter(|s| s.kind == SpanKind::LocaleComm) {
+        if let Some(c) = s.comm.as_ref().filter(|c| !c.is_empty()) {
+            assert_eq!(c.fine_msgs, 0, "{}: SUMMA sent fine messages", s.name);
+            assert_eq!(c.fine_dependent_msgs, 0, "{}: SUMMA sent dependent messages", s.name);
+        }
+    }
 }

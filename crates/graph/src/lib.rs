@@ -21,7 +21,10 @@
 //!   path-counting SpMSpV sweeps and a transposed dependency
 //!   back-propagation;
 //! * [`kcore`] — k-core decomposition by `reduce`/`select` peeling;
-//! * [`mis`] — maximal independent set by Luby's algorithm.
+//! * [`mis`] — maximal independent set by Luby's algorithm;
+//! * [`mod@mcl`] — Markov clustering: expansion is one SpGEMM per
+//!   iteration (the mxm-heavy workload for the hypersparse multi-stage
+//!   SUMMA), inflation is `map` + column prune.
 //!
 //! **Every algorithm is written exactly once**, as a generic function
 //! over [`gblas_core::backend::GblasBackend`] (`bfs_on`, `sssp_on`, ...):
@@ -31,9 +34,9 @@
 //! paper's version-1/version-2 split made a compile-time contract. The
 //! `bfs`/`bfs_dist`-style entry points are thin wrappers that pick a
 //! backend; the `_dist` variants also return the accumulated
-//! [`gblas_sim::SimReport`] comm/compute ledger. All eight algorithms run
-//! distributed, including triangles (sparse SUMMA, square grids), k-core,
-//! MIS and betweenness.
+//! [`gblas_sim::SimReport`] comm/compute ledger. All algorithms run
+//! distributed, including triangles and MCL (multi-stage sparse SUMMA on
+//! any rectangular grid), k-core, MIS and betweenness.
 
 //! ```
 //! use gblas_core::{gen, par::ExecCtx};
@@ -48,6 +51,7 @@ pub mod betweenness;
 pub mod bfs;
 pub mod cc;
 pub mod kcore;
+pub mod mcl;
 pub mod mis;
 pub mod multi;
 pub mod pagerank;
@@ -59,6 +63,9 @@ pub use betweenness::{betweenness, betweenness_dist, betweenness_on};
 pub use bfs::{bfs, bfs_dist, bfs_dist_with, bfs_on, bfs_with, BfsResult};
 pub use cc::{connected_components, connected_components_dist, connected_components_on};
 pub use kcore::{core_numbers, core_numbers_dist, core_numbers_on};
+pub use mcl::{
+    markov_cluster, markov_cluster_dist, markov_cluster_dist_with, markov_cluster_on, MclOptions,
+};
 pub use mis::{maximal_independent_set, maximal_independent_set_dist, maximal_independent_set_on};
 pub use multi::{
     bfs_multi, bfs_multi_dist, bfs_multi_on, bfs_multi_with, ppr, ppr_dist, ppr_multi,

@@ -1,0 +1,294 @@
+//! Markov clustering (MCL) — the mxm-heavy workload.
+//!
+//! Van Dongen's Markov Cluster algorithm alternates *expansion* (squaring
+//! the column-stochastic transition matrix — one SpGEMM per iteration)
+//! and *inflation* (entry-wise powering followed by column pruning and
+//! re-normalization) until the flow matrix reaches its doubly-idempotent
+//! fixed point; the surviving "attractor" rows label the clusters. It is
+//! the canonical SpGEMM-bound analytic: virtually all the time goes into
+//! `M ← M ⊗ M` over `(+, ×)`, which is exactly the workload the
+//! hypersparse multi-stage SUMMA in `gblas_dist::ops::mxm` targets.
+//!
+//! Written once as [`markov_cluster_on`], generic over
+//! [`GblasBackend`]: expansion is `mxm_masked` (unmasked), inflation and
+//! pruning are `mat_map`/`mat_select`, the column statistics come from
+//! `mat_transpose` + `reduce_rows`, and the per-iteration global
+//! convergence decision is priced through
+//! [`GblasBackend::allreduce_scalar`].
+
+use gblas_core::algebra::{semirings, Max, Plus};
+use gblas_core::backend::{GblasBackend, SharedBackend};
+use gblas_core::container::CsrMatrix;
+use gblas_core::error::{check_dims, Result};
+use gblas_core::par::ExecCtx;
+use gblas_dist::{DistBackend, DistCsrMatrix, DistCtx, MxmAlgo, ProcGrid};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Tunables for [`markov_cluster`].
+#[derive(Debug, Clone, Copy)]
+pub struct MclOptions {
+    /// Inflation exponent `r` (granularity knob; 2.0 is the classic value).
+    pub inflation: f64,
+    /// Entries below this are pruned after each inflation.
+    pub prune_threshold: f64,
+    /// Convergence: stop when the column chaos (max − Σ squares) falls
+    /// below this.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for MclOptions {
+    fn default() -> Self {
+        MclOptions { inflation: 2.0, prune_threshold: 1e-4, tolerance: 1e-6, max_iterations: 60 }
+    }
+}
+
+/// Column-normalize `m` in place: `M[i,j] ← M[i,j] / Σᵢ M[i,j]`.
+/// The column sums are a transpose + row-reduce (both backend-priced).
+fn normalize_columns<B: GblasBackend>(backend: &B, m: &B::Matrix<f64>) -> Result<B::Matrix<f64>> {
+    let t = backend.mat_transpose(m)?;
+    let colsum: Vec<f64> = backend.reduce_rows(&t, &Plus)?;
+    let sums = &colsum;
+    backend.mat_map(m, &|_, j, v| if sums[j] > 0.0 { v / sums[j] } else { 0.0 })
+}
+
+/// Markov clustering over any backend. `a` must already contain the
+/// self-loops MCL requires (the [`markov_cluster`] wrappers add them).
+///
+/// Returns `(labels, iterations)`: `labels[v]` is the row index of `v`'s
+/// attractor, so two vertices are in the same cluster iff their labels
+/// are equal. Ties (a column whose maximum is reached by several rows)
+/// resolve to the smallest row index via an order-independent atomic
+/// `fetch_min`, so the labeling is deterministic on every backend,
+/// executor, and grid shape.
+pub fn markov_cluster_on<B: GblasBackend>(
+    backend: &B,
+    a: &B::Matrix<f64>,
+    opts: MclOptions,
+) -> Result<(Vec<usize>, usize)> {
+    check_dims("square matrix", backend.mat_nrows(a), backend.mat_ncols(a))?;
+    let n = backend.mat_nrows(a);
+    if n == 0 {
+        return Ok((Vec::new(), 0));
+    }
+    let ring = semirings::plus_times_f64();
+    let mut m = normalize_columns(backend, a)?;
+    let mut iters = 0usize;
+    for iter in 1..=opts.max_iterations {
+        iters = iter;
+        // Expansion: M ← M ⊗ M (the SpGEMM that dominates the profile).
+        let expanded: B::Matrix<f64> =
+            backend.mxm_masked::<_, _, f64, _, _, bool>(&m, &m, &ring, None)?;
+        // Inflation: entry-wise power sharpens strong flows...
+        let r = opts.inflation;
+        let inflated = backend.mat_map(&expanded, &|_, _, v: f64| v.powf(r))?;
+        // ...and pruning drops the long tail each column accumulated.
+        let thresh = opts.prune_threshold;
+        let pruned = backend.mat_select(&inflated, &|_, _, v: f64| v >= thresh)?;
+        m = normalize_columns(backend, &pruned)?;
+        // Chaos: max over columns of (column max − Σ column squares);
+        // zero exactly at the doubly-idempotent fixed point. The fold
+        // over columns runs in ascending order so every backend computes
+        // the identical scalar; the global agreement is one allreduce.
+        let t = backend.mat_transpose(&m)?;
+        let colmax: Vec<f64> = backend.reduce_rows(&t, &Max)?;
+        let sq = backend.mat_map(&t, &|_, _, v: f64| v * v)?;
+        let colsumsq: Vec<f64> = backend.reduce_rows(&sq, &Plus)?;
+        let mut chaos = 0.0f64;
+        for j in 0..n {
+            let c = colmax[j] - colsumsq[j];
+            if c > chaos {
+                chaos = c;
+            }
+        }
+        backend.allreduce_scalar("chaos-allreduce")?;
+        if chaos < opts.tolerance {
+            break;
+        }
+    }
+    // Interpretation: column j belongs to the attractor row holding its
+    // maximum entry. The side-effecting map visits entries in whatever
+    // order the backend parallelizes, but `fetch_min` makes the tie-break
+    // order-independent.
+    let t = backend.mat_transpose(&m)?;
+    let colmax: Vec<f64> = backend.reduce_rows(&t, &Max)?;
+    let labels: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
+    let cm = &colmax;
+    let lab = &labels;
+    let _probe: B::Matrix<f64> = backend.mat_map(&t, &|j, i, v: f64| {
+        if v == cm[j] {
+            lab[j].fetch_min(i, Ordering::Relaxed);
+        }
+        v
+    })?;
+    // An empty column (all flow pruned away) keeps the vertex as its own
+    // singleton cluster.
+    Ok((
+        labels
+            .iter()
+            .enumerate()
+            .map(|(j, l)| {
+                let v = l.load(Ordering::Relaxed);
+                if v == usize::MAX {
+                    j
+                } else {
+                    v
+                }
+            })
+            .collect(),
+        iters,
+    ))
+}
+
+/// Ensure every vertex has a self-loop (weight 1 where absent) — the MCL
+/// precondition that keeps odd-length flow alive.
+pub fn add_self_loops(a: &CsrMatrix<f64>) -> Result<CsrMatrix<f64>> {
+    let n = a.nrows();
+    let mut trips: Vec<(usize, usize, f64)> = a.iter().map(|(i, j, v)| (i, j, *v)).collect();
+    let mut has_diag = vec![false; n];
+    for &(i, j, _) in &trips {
+        if i == j {
+            has_diag[i] = true;
+        }
+    }
+    for (i, seen) in has_diag.iter().enumerate() {
+        if !seen {
+            trips.push((i, i, 1.0));
+        }
+    }
+    CsrMatrix::from_triplets(n, a.ncols(), &trips)
+}
+
+/// Markov clustering of the undirected graph `a` (shared memory).
+/// Self-loops are added automatically. Returns `(labels, iterations)`.
+pub fn markov_cluster(
+    a: &CsrMatrix<f64>,
+    opts: MclOptions,
+    ctx: &ExecCtx,
+) -> Result<(Vec<usize>, usize)> {
+    let looped = add_self_loops(a)?;
+    markov_cluster_on(&SharedBackend::new(ctx), &looped, opts)
+}
+
+/// Distributed Markov clustering: the same [`markov_cluster_on`] text
+/// with every expansion running the multi-stage DCSC SUMMA on `grid`
+/// (any `pr×pc` shape). Returns `(labels, iterations, simulated time)`.
+pub fn markov_cluster_dist(
+    a: &CsrMatrix<f64>,
+    grid: ProcGrid,
+    opts: MclOptions,
+    dctx: &DistCtx,
+) -> Result<(Vec<usize>, usize, gblas_sim::SimReport)> {
+    markov_cluster_dist_with(a, grid, opts, MxmAlgo::Summa2d, dctx)
+}
+
+/// Distributed MCL with an explicit SUMMA variant (`--mxm-grid 2d|3d`).
+pub fn markov_cluster_dist_with(
+    a: &CsrMatrix<f64>,
+    grid: ProcGrid,
+    opts: MclOptions,
+    algo: MxmAlgo,
+    dctx: &DistCtx,
+) -> Result<(Vec<usize>, usize, gblas_sim::SimReport)> {
+    let looped = add_self_loops(a)?;
+    let da = DistCsrMatrix::from_global(&looped, grid);
+    let backend = DistBackend::new(dctx).with_mxm(algo);
+    let (labels, iters) = markov_cluster_on(&backend, &da, opts)?;
+    Ok((labels, iters, backend.take_report()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gblas_core::gen;
+    use gblas_sim::MachineConfig;
+
+    /// Two 4-cliques joined by a single bridge edge.
+    fn two_cliques() -> CsrMatrix<f64> {
+        let mut trips = Vec::new();
+        for block in 0..2usize {
+            let base = block * 4;
+            for i in 0..4 {
+                for j in 0..4 {
+                    if i != j {
+                        trips.push((base + i, base + j, 1.0));
+                    }
+                }
+            }
+        }
+        trips.push((3, 4, 1.0));
+        trips.push((4, 3, 1.0));
+        CsrMatrix::from_triplets(8, 8, &trips).unwrap()
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        let a = two_cliques();
+        let ctx = ExecCtx::serial();
+        let (labels, iters) = markov_cluster(&a, MclOptions::default(), &ctx).unwrap();
+        assert!(iters >= 2);
+        for v in 1..4 {
+            assert_eq!(labels[v], labels[0], "first clique must be one cluster");
+        }
+        for v in 5..8 {
+            assert_eq!(labels[v], labels[4], "second clique must be one cluster");
+        }
+        assert_ne!(labels[0], labels[4], "cliques must separate");
+    }
+
+    #[test]
+    fn labels_are_deterministic_across_thread_counts() {
+        let a = gen::erdos_renyi_symmetric(60, 4, 913);
+        let (l1, i1) = markov_cluster(&a, MclOptions::default(), &ExecCtx::serial()).unwrap();
+        let (l2, i2) =
+            markov_cluster(&a, MclOptions::default(), &ExecCtx::with_threads(4)).unwrap();
+        assert_eq!(i1, i2);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn distributed_matches_shared_on_rectangular_grids() {
+        let a = two_cliques();
+        let ctx = ExecCtx::serial();
+        let (expect, iters_shared) = markov_cluster(&a, MclOptions::default(), &ctx).unwrap();
+        for (pr, pc) in [(1usize, 1usize), (2, 2), (2, 3), (3, 2)] {
+            let grid = ProcGrid::new(pr, pc);
+            let dctx = DistCtx::new(MachineConfig::edison_cluster(grid.locales(), 24));
+            let (labels, iters, report) =
+                markov_cluster_dist(&a, grid, MclOptions::default(), &dctx).unwrap();
+            assert_eq!(labels, expect, "grid {pr}x{pc}");
+            assert_eq!(iters, iters_shared, "grid {pr}x{pc}");
+            assert!(report.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn distributed_3d_matches_2d() {
+        let a = two_cliques();
+        let grid = ProcGrid::new(2, 2);
+        let dctx2 = DistCtx::new(MachineConfig::edison_cluster(4, 24));
+        let (l2, i2, _) = markov_cluster_dist(&a, grid, MclOptions::default(), &dctx2).unwrap();
+        let dctx3 = DistCtx::new(MachineConfig::edison_cluster(8, 24));
+        let (l3, i3, r3) = markov_cluster_dist_with(
+            &a,
+            grid,
+            MclOptions::default(),
+            MxmAlgo::Summa3d { layers: 2 },
+            &dctx3,
+        )
+        .unwrap();
+        assert_eq!(l2, l3);
+        assert_eq!(i2, i3);
+        assert!(r3.total() > 0.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let a = CsrMatrix::<f64>::empty(0, 0);
+        let ctx = ExecCtx::serial();
+        let (labels, iters) = markov_cluster(&a, MclOptions::default(), &ctx).unwrap();
+        assert!(labels.is_empty());
+        assert_eq!(iters, 0);
+    }
+}

@@ -9,7 +9,8 @@
 //!
 //! One implementation, [`triangle_count_on`], generic over
 //! [`GblasBackend`]; the distributed wrapper runs the masked SpGEMM as a
-//! sparse SUMMA (which requires a square locale grid).
+//! multi-stage sparse SUMMA on any rectangular `pr×pc` locale grid
+//! (non-square locale counts like p=6 distribute as 2×3).
 
 use gblas_core::algebra::{semirings, Plus, Scalar};
 use gblas_core::backend::{GblasBackend, SharedBackend};
@@ -35,9 +36,9 @@ pub fn triangle_count<T: Scalar>(a: &CsrMatrix<T>, ctx: &ExecCtx) -> Result<u64>
 }
 
 /// Distributed triangle counting: the same [`triangle_count_on`] text
-/// with the sparse-SUMMA masked SpGEMM as the multiply. The locale grid
-/// must be square (`p = q²`), the SUMMA requirement. Returns the count
-/// and the accumulated simulated time.
+/// with the multi-stage sparse-SUMMA masked SpGEMM as the multiply, on
+/// any rectangular locale grid. Returns the count and the accumulated
+/// simulated time.
 pub fn triangle_count_dist<T: Scalar>(
     a: &DistCsrMatrix<T>,
     dctx: &DistCtx,
@@ -134,6 +135,25 @@ mod tests {
             let dctx = DistCtx::new(gblas_sim::MachineConfig::edison_cluster(grid.locales(), 24));
             let (count, report) = triangle_count_dist(&da, &dctx).unwrap();
             assert_eq!(count, expect, "grid {q}x{q}");
+            assert!(report.total() > 0.0);
+        }
+    }
+
+    /// Regression: p=6 used to fail outright (the single-stage SUMMA
+    /// rejected non-square grids). Rectangular grids must now run and
+    /// count bit-identically to the square grids — plus-pair is an
+    /// integer semiring, so no tolerance.
+    #[test]
+    fn distributed_runs_on_rectangular_grids_bit_identically() {
+        let a = gen::erdos_renyi_symmetric(120, 6, 71);
+        let ctx = ExecCtx::serial();
+        let expect = triangle_count(&a, &ctx).unwrap();
+        for (pr, pc) in [(2usize, 3usize), (3, 2), (1, 6), (6, 1)] {
+            let grid = gblas_dist::ProcGrid::new(pr, pc);
+            let da = DistCsrMatrix::from_global(&a, grid);
+            let dctx = DistCtx::new(gblas_sim::MachineConfig::edison_cluster(grid.locales(), 24));
+            let (count, report) = triangle_count_dist(&da, &dctx).unwrap();
+            assert_eq!(count, expect, "grid {pr}x{pc}");
             assert!(report.total() > 0.0);
         }
     }
